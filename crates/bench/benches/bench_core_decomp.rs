@@ -1,0 +1,29 @@
+//! Core-decomposition substrate ablation: serial BZ vs parallel PKC vs
+//! Local (paper Algorithm 1, full sweeps) vs the frontier-optimised Local
+//! this reproduction adds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_core_decomp(c: &mut Criterion) {
+    let base = dsd_graph::gen::chung_lu(10_000, 80_000, 2.3, 21);
+    let g = dsd_graph::gen::attach_filaments(&base, 4, 120, 22);
+    let mut group = c.benchmark_group("core_decomp");
+    group.sample_size(10);
+    group.bench_function("bz_serial", |b| b.iter(|| dsd_core::uds::bz::bz_decomposition(&g)));
+    group.bench_function("pkc", |b| b.iter(|| dsd_core::uds::pkc::pkc_decomposition(&g)));
+    group.bench_function("local_full_sweeps", |b| {
+        b.iter(|| dsd_core::uds::local::local_decomposition(&g))
+    });
+    group.bench_function("local_frontier", |b| {
+        b.iter(|| dsd_core::uds::local::local_decomposition_frontier(&g))
+    });
+    // Extension: truss decomposition on a smaller graph (it is O(m^1.5)).
+    let small = dsd_graph::gen::chung_lu(3_000, 24_000, 2.3, 23);
+    group.bench_function("truss_decomposition_24k", |b| {
+        b.iter(|| dsd_core::uds::truss::truss_decomposition(&small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_decomp);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Micro-version of Fig 8: the three practical DDS algorithms on one
+//! mid-size directed power-law graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_dds(c: &mut Criterion) {
+    let g = dsd_graph::gen::chung_lu_directed(10_000, 80_000, 2.4, 2.1, 11);
+    let mut group = c.benchmark_group("dds");
+    group.sample_size(10);
+    group.bench_function("pwc", |b| {
+        b.iter(|| scalable_dsd::run_dds(&g, scalable_dsd::DdsAlgorithm::Pwc))
+    });
+    group.bench_function("pxy", |b| {
+        b.iter(|| scalable_dsd::run_dds(&g, scalable_dsd::DdsAlgorithm::Pxy))
+    });
+    group.bench_function("pbd", |b| {
+        b.iter(|| {
+            scalable_dsd::run_dds(&g, scalable_dsd::DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 })
+        })
+    });
+    group.bench_function("pfw_20", |b| {
+        b.iter(|| scalable_dsd::run_dds(&g, scalable_dsd::DdsAlgorithm::Pfw { iterations: 20 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dds);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Flow substrate microbenchmarks: Dinic max-flow and the exact oracles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_flow::Dinic;
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow");
+    group.sample_size(10);
+    // A layered flow network.
+    let layers = 30usize;
+    let width = 20usize;
+    group.bench_function("dinic_layered", |b| {
+        b.iter(|| {
+            let n = layers * width + 2;
+            let (s, t) = (n - 2, n - 1);
+            let mut d = Dinic::new(n);
+            for w in 0..width {
+                d.add_edge(s, w, 3.0);
+                d.add_edge((layers - 1) * width + w, t, 3.0);
+            }
+            for l in 0..layers - 1 {
+                for w in 0..width {
+                    d.add_edge(l * width + w, (l + 1) * width + (w + 7) % width, 2.0);
+                    d.add_edge(l * width + w, (l + 1) * width + (w + 3) % width, 2.0);
+                }
+            }
+            d.max_flow(s, t)
+        })
+    });
+    let g = dsd_graph::gen::erdos_renyi(150, 700, 3);
+    group.bench_function("uds_exact_150v", |b| b.iter(|| dsd_flow::uds_exact(&g)));
+    let dg = dsd_graph::gen::erdos_renyi_directed(16, 70, 4);
+    group.bench_function("dds_exact_16v", |b| b.iter(|| dsd_flow::dds_exact(&dg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Graph substrate microbenchmarks: CSR construction, generators, edge
+//! sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_graph::UndirectedGraphBuilder;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    let g = dsd_graph::gen::chung_lu(20_000, 160_000, 2.3, 5);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    group.bench_function("csr_build_160k_edges", |b| {
+        b.iter(|| {
+            UndirectedGraphBuilder::with_capacity(20_000, edges.len())
+                .add_edges(edges.iter().copied())
+                .build()
+                .unwrap()
+        })
+    });
+    group.bench_function("gen_chung_lu_160k", |b| {
+        b.iter(|| dsd_graph::gen::chung_lu(20_000, 160_000, 2.3, 5))
+    });
+    group.bench_function("gen_rmat_160k", |b| {
+        b.iter(|| dsd_graph::gen::rmat(14, 160_000, dsd_graph::gen::RmatParams::default(), 5))
+    });
+    group.bench_function("sample_half_edges", |b| {
+        b.iter(|| dsd_graph::sample::sample_edges_undirected(&g, 0.5, 9).unwrap())
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| dsd_graph::components::connected_components(&g))
+    });
+    // Locality ablation: PKMC on the original vs degree-reordered graph.
+    let reordered = dsd_graph::reorder::by_degree_descending(&g);
+    group.bench_function("pkmc_original_order", |b| {
+        b.iter(|| dsd_core::uds::pkmc::pkmc(&g))
+    });
+    group.bench_function("pkmc_degree_reordered", |b| {
+        b.iter(|| dsd_core::uds::pkmc::pkmc(&reordered.graph))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

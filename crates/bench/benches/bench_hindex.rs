@@ -1,0 +1,24 @@
+//! h-index kernel ablation (DESIGN.md §6): counting buckets vs sorting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsd_core::uds::local::{h_index_counting, h_index_sorting};
+use rand::{Rng, SeedableRng};
+
+fn bench_hindex(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("hindex");
+    for &len in &[8usize, 64, 512, 4096] {
+        let values: Vec<u32> = (0..len).map(|_| rng.gen_range(0..len as u32)).collect();
+        group.bench_with_input(BenchmarkId::new("counting", len), &values, |b, vals| {
+            let mut scratch = Vec::new();
+            b.iter(|| h_index_counting(vals, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("sorting", len), &values, |b, vals| {
+            b.iter(|| h_index_sorting(vals))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hindex);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Micro-version of Fig 5: all five UDS algorithms on one mid-size
+//! power-law graph (plus the PKMC verification-cost ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsd_core::uds::pkmc::{pkmc_with, PkmcConfig};
+
+fn bench_uds(c: &mut Criterion) {
+    let base = dsd_graph::gen::chung_lu(10_000, 80_000, 2.2, 7);
+    let g = dsd_graph::gen::attach_filaments(&base, 4, 60, 8);
+    let mut group = c.benchmark_group("uds");
+    group.sample_size(10);
+    group.bench_function("pkmc", |b| {
+        b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Pkmc))
+    });
+    group.bench_function("pkmc_unverified", |b| {
+        b.iter(|| pkmc_with(&g, PkmcConfig { verify_candidate: false }))
+    });
+    group.bench_function("local", |b| {
+        b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Local))
+    });
+    group.bench_function("pkc", |b| {
+        b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Pkc))
+    });
+    group.bench_function("charikar", |b| {
+        b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Charikar))
+    });
+    group.bench_function("bsk_binary_search", |b| {
+        b.iter(|| dsd_core::uds::bsk::bsk(&g))
+    });
+    group.bench_function("pbu", |b| {
+        b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Pbu { epsilon: 0.5 }))
+    });
+    group.bench_function("pfw_20", |b| {
+        b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Pfw { iterations: 20 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uds);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Algorithm 3 ablation (the paper's Remark in Section V-B): w-induced
+//! decomposition with vs without the `d_max` warm start.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_winduced(c: &mut Criterion) {
+    let g = dsd_graph::gen::chung_lu_directed(10_000, 80_000, 2.4, 2.1, 31);
+    let mut group = c.benchmark_group("winduced");
+    group.sample_size(10);
+    group.bench_function("full_decomposition", |b| {
+        b.iter(|| dsd_core::dds::winduced::w_decomposition(&g))
+    });
+    group.bench_function("warm_start_w_star_only", |b| {
+        b.iter(|| dsd_core::dds::winduced::w_star_decomposition(&g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_winduced);
+criterion_main!(benches);

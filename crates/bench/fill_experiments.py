@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fills EXPERIMENTS.md's <!-- *_TABLE --> placeholders from
+experiments_output.txt (the committed run_all capture).
+
+Usage: python3 crates/bench/fill_experiments.py
+"""
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+OUT = (ROOT / "experiments_output.txt").read_text()
+MD_PATH = ROOT / "EXPERIMENTS.md"
+md = MD_PATH.read_text()
+
+SECTIONS = {
+    "FIG5_TABLE": "Fig 5 (Exp-1)",
+    "TABLE6_TABLE": "Table 6 (Exp-2)",
+    "FIG6_TABLE": "Fig 6 (Exp-3)",
+    "FIG7_TABLE": "Fig 7 (Exp-4)",
+    "FIG8_TABLE": "Fig 8 (Exp-5)",
+    "TABLE7_TABLE": "Table 7 (Exp-6)",
+    "FIG9_TABLE": "Fig 9 (Exp-7)",
+    "FIG10_TABLE": "Fig 10 (Exp-8)",
+}
+
+def extract(banner_key: str) -> str:
+    lines = OUT.splitlines()
+    start = None
+    for i, line in enumerate(lines):
+        if line.startswith("====") and banner_key in line:
+            start = i
+            break
+    if start is None:
+        raise SystemExit(f"section {banner_key} not found in experiments_output.txt")
+    body = []
+    for line in lines[start + 1:]:
+        if line.startswith("===="):
+            break
+        body.append(line)
+    # Trim leading/trailing blanks.
+    while body and not body[0].strip():
+        body.pop(0)
+    while body and not body[-1].strip():
+        body.pop()
+    return "\n".join(body)
+
+for placeholder, banner in SECTIONS.items():
+    block = "```text\n" + extract(banner) + "\n```"
+    pattern = re.compile(rf"<!-- {placeholder} -->(?:\n```text\n.*?\n```)?", re.S)
+    md = pattern.sub(f"<!-- {placeholder} -->\n{block}", md, count=1)
+
+MD_PATH.write_text(md)
+print("EXPERIMENTS.md updated from experiments_output.txt")

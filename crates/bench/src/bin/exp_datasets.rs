@@ -1,0 +1,4 @@
+//! Regenerates Tables 4 and 5 (dataset statistics).
+fn main() {
+    dsd_bench::experiments::datasets_tables::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 10 (Exp-8): DDS scalability vs edge sample fraction.
+fn main() {
+    dsd_bench::experiments::fig10_dds_scalability::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 5 (Exp-1): UDS efficiency comparison.
+fn main() {
+    dsd_bench::experiments::fig5_uds_efficiency::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 6 (Exp-3): UDS thread sweep.
+fn main() {
+    dsd_bench::experiments::fig6_uds_threads::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 7 (Exp-4): UDS scalability vs edge sample fraction.
+fn main() {
+    dsd_bench::experiments::fig7_uds_scalability::run();
+}

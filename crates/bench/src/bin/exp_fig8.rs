@@ -1,0 +1,11 @@
+//! Regenerates Fig 8 (Exp-5): DDS efficiency comparison with the
+//! budget-limited heavy baselines. Also implements the `--single` child
+//! protocol used by the timeout harness.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some((algo, dataset, out)) = dsd_bench::harness::parse_single_mode(&args) {
+        dsd_bench::experiments::fig8_dds_efficiency::run_single(&algo, &dataset, &out);
+        return;
+    }
+    dsd_bench::experiments::fig8_dds_efficiency::run();
+}

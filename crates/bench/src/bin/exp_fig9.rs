@@ -1,0 +1,4 @@
+//! Regenerates Fig 9 (Exp-7): DDS thread sweep.
+fn main() {
+    dsd_bench::experiments::fig9_dds_threads::run();
+}

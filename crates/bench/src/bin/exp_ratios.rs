@@ -1,0 +1,4 @@
+//! Supplementary effectiveness experiment: measured approximation ratios.
+fn main() {
+    dsd_bench::experiments::ratios::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 6 (Exp-2): iteration counts of core-based algorithms.
+fn main() {
+    dsd_bench::experiments::table6_iterations::run();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 7 (Exp-6): sizes of the graphs processed by PWC/PXY.
+fn main() {
+    dsd_bench::experiments::table7_sizes::run();
+}

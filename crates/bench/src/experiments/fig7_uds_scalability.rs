@@ -1,0 +1,38 @@
+//! Fig 7 (Exp-4) — scalability of the UDS algorithms: run on subgraphs
+//! induced by 20%..100% uniform edge samples of the two largest
+//! undirected graphs.
+//!
+//! Paper shape: every algorithm's time grows steadily with the edge count;
+//! PKMC is the fastest at every fraction.
+
+use crate::datasets;
+use crate::experiments::{default_threads, run_uds_algo};
+use crate::harness::{banner, format_secs, print_row};
+
+const DATASETS: [&str; 2] = ["SK", "UN"];
+const ALGOS: [&str; 5] = ["pfw", "pbu", "local", "pkc", "pkmc"];
+const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Runs the full figure.
+pub fn run() {
+    let p = default_threads();
+    banner(&format!("Fig 7 (Exp-4): scalability of parallel UDS algorithms, p = {p}"));
+    for abbr in DATASETS {
+        let g = datasets::load_undirected(abbr);
+        println!("-- dataset {abbr} --");
+        let mut header = vec!["edges%".to_string()];
+        header.extend(ALGOS.iter().map(|a| a.to_string()));
+        print_row(&header);
+        for fraction in FRACTIONS {
+            let sample = dsd_graph::sample::sample_edges_undirected(&g, fraction, 0xF167)
+                .expect("valid fraction");
+            let mut cells = vec![format!("{:.0}%", fraction * 100.0)];
+            for algo in ALGOS {
+                let wall = dsd_core::runner::with_threads(p, || run_uds_algo(&sample, algo));
+                cells.push(format_secs(wall.as_secs_f64()));
+            }
+            print_row(&cells);
+        }
+    }
+    println!("(expected shape: time grows with edge fraction; pkmc lowest at full scale)");
+}

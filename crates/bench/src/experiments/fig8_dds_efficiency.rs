@@ -1,0 +1,67 @@
+//! Fig 8 (Exp-5) — DDS efficiency: six algorithms on six directed graphs.
+//!
+//! Paper shape: PBS and PFKS exceed the time budget on *every* dataset
+//! (their complexities are `O(n²(n+m))` and `O(n(n+m))`); PFW only
+//! finishes on the smaller graphs and is orders of magnitude slower; PBD
+//! is fast but loose (8-approximation); PWC is the fastest, up to 30×
+//! faster than PXY.
+//!
+//! Heavy baselines run in budget-limited child processes (see
+//! `crate::harness`), reproducing the paper's "bars touching the upper
+//! boundary" semantics without letting a timed-out run poison later
+//! measurements.
+
+use crate::datasets;
+use crate::experiments::{default_threads, run_dds_algo};
+use crate::harness::{banner, print_row, run_single_subprocess, write_timing, Outcome};
+
+const ALGOS: [&str; 6] = ["pbs", "pfks", "pfw", "pbd", "pxy", "pwc"];
+/// Baselines that need the subprocess timeout protocol.
+const HEAVY: [&str; 3] = ["pbs", "pfks", "pfw"];
+
+/// Child-process entry: run one algorithm on one dataset, write seconds.
+pub fn run_single(algo: &str, dataset: &str, out_path: &str) {
+    let g = datasets::load_directed(dataset);
+    let p = default_threads();
+    let wall = dsd_core::runner::with_threads(p, || run_dds_algo(&g, algo));
+    write_timing(out_path, wall);
+}
+
+/// Runs the full figure.
+pub fn run() {
+    let p = default_threads();
+    banner(&format!(
+        "Fig 8 (Exp-5): efficiency of DDS algorithms, p = {p}, budget = {:?}",
+        crate::harness::timeout_budget()
+    ));
+    let mut header = vec!["dataset".to_string()];
+    header.extend(ALGOS.iter().map(|a| a.to_string()));
+    header.push("pwc-vs-pxy".to_string());
+    print_row(&header);
+    for d in datasets::DIRECTED {
+        let mut cells = vec![d.abbr.to_string()];
+        let mut pxy_secs = f64::NAN;
+        let mut pwc_secs = f64::NAN;
+        for algo in ALGOS {
+            let outcome = if HEAVY.contains(&algo) {
+                run_single_subprocess(&["--single", algo, d.abbr])
+            } else {
+                let g = datasets::load_directed(d.abbr);
+                let wall = dsd_core::runner::with_threads(p, || run_dds_algo(&g, algo));
+                Outcome::Finished(wall.as_secs_f64())
+            };
+            if let Outcome::Finished(secs) = outcome {
+                if algo == "pxy" {
+                    pxy_secs = secs;
+                }
+                if algo == "pwc" {
+                    pwc_secs = secs;
+                }
+            }
+            cells.push(outcome.render());
+        }
+        cells.push(format!("{:.1}x", pxy_secs / pwc_secs));
+        print_row(&cells);
+    }
+    println!("(expected shape: pbs/pfks exceed the budget; pwc fastest, well ahead of pxy)");
+}

@@ -1,0 +1,36 @@
+//! Fig 9 (Exp-7) — effect of the number of threads `p` on the DDS
+//! algorithms, on three datasets.
+//!
+//! Paper shape: PWC 7–10× faster than PXY even at `p = 1` and scales
+//! near-linearly; PBD peaks around `p = 16` then degrades; PXY scales
+//! poorly due to per-pair load imbalance. Same single-core hardware caveat
+//! as Fig 6 (see EXPERIMENTS.md).
+
+use crate::datasets;
+use crate::experiments::run_dds_algo;
+use crate::harness::{banner, format_secs, print_row};
+
+const DATASETS: [&str; 3] = ["AM", "AR", "BA"];
+const ALGOS: [&str; 3] = ["pbd", "pxy", "pwc"];
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Runs the full figure.
+pub fn run() {
+    banner("Fig 9 (Exp-7): effect of the number of threads p (DDS)");
+    for abbr in DATASETS {
+        let g = datasets::load_directed(abbr);
+        println!("-- dataset {abbr} --");
+        let mut header = vec!["p".to_string()];
+        header.extend(ALGOS.iter().map(|a| a.to_string()));
+        print_row(&header);
+        for p in THREADS {
+            let mut cells = vec![p.to_string()];
+            for algo in ALGOS {
+                let wall = dsd_core::runner::with_threads(p, || run_dds_algo(&g, algo));
+                cells.push(format_secs(wall.as_secs_f64()));
+            }
+            print_row(&cells);
+        }
+    }
+    println!("(paper: pwc 7-10x faster than pxy at p=1 and scaling best; flat on 1 core)");
+}

@@ -1,0 +1,57 @@
+//! One module per paper table/figure. Each exposes `run()` (full
+//! experiment, printing paper-style rows) and, where heavy baselines need
+//! the subprocess-timeout protocol, `run_single(algo, dataset, out_path)`.
+
+pub mod datasets_tables;
+pub mod fig10_dds_scalability;
+pub mod fig5_uds_efficiency;
+pub mod fig6_uds_threads;
+pub mod fig7_uds_scalability;
+pub mod fig8_dds_efficiency;
+pub mod fig9_dds_threads;
+pub mod ratios;
+pub mod table6_iterations;
+pub mod table7_sizes;
+
+use dsd_graph::{DirectedGraph, UndirectedGraph};
+use std::time::Duration;
+
+/// Default thread count (the paper's default is p = 32; scaled to 8 for
+/// laptop-class containers — override with `DSD_EXP_THREADS`).
+pub fn default_threads() -> usize {
+    std::env::var("DSD_EXP_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+}
+
+/// Runs the named UDS algorithm once, returning its wall time.
+pub fn run_uds_algo(g: &UndirectedGraph, algo: &str) -> Duration {
+    use scalable_dsd::UdsAlgorithm;
+    let spec = match algo {
+        "pfw" => UdsAlgorithm::Pfw { iterations: 100 },
+        "pbu" => UdsAlgorithm::Pbu { epsilon: 0.5 },
+        "local" => UdsAlgorithm::Local,
+        "pkc" => UdsAlgorithm::Pkc,
+        "pkmc" => UdsAlgorithm::Pkmc,
+        "charikar" => UdsAlgorithm::Charikar,
+        other => panic!("unknown UDS algorithm {other}"),
+    };
+    let (_, wall) = crate::harness::time(|| scalable_dsd::run_uds(g, spec));
+    wall
+}
+
+/// Runs the named DDS algorithm once, returning its wall time.
+pub fn run_dds_algo(g: &DirectedGraph, algo: &str) -> Duration {
+    use scalable_dsd::DdsAlgorithm;
+    let spec = match algo {
+        // Faithful PBS: full O(n^2) ratio enumeration (times out, as in the
+        // paper).
+        "pbs" => DdsAlgorithm::Pbs { max_rounds: None },
+        "pfks" => DdsAlgorithm::Pfks,
+        "pfw" => DdsAlgorithm::Pfw { iterations: 300 },
+        "pbd" => DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 },
+        "pxy" => DdsAlgorithm::Pxy,
+        "pwc" => DdsAlgorithm::Pwc,
+        other => panic!("unknown DDS algorithm {other}"),
+    };
+    let (_, wall) = crate::harness::time(|| scalable_dsd::run_dds(g, spec));
+    wall
+}

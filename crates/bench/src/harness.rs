@@ -1,0 +1,195 @@
+//! Shared experiment infrastructure: timing, table formatting, and
+//! subprocess-based timeouts.
+//!
+//! The paper gives slow baselines (PBS, PFKS, PFW) a 10⁵-second budget and
+//! reports "bars touching the upper boundary" when they exceed it. The
+//! scaled-down analogue here is a configurable per-run budget
+//! (`DSD_EXP_TIMEOUT_SECS`, default 60 s). To keep a timed-out baseline
+//! from poisoning subsequent measurements, each heavy run executes in a
+//! *child process* that is killed at the deadline.
+
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Per-run budget for heavy baselines (the paper's 10⁵-second analogue,
+/// scaled with the datasets).
+pub fn timeout_budget() -> Duration {
+    let secs = std::env::var("DSD_EXP_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60u64);
+    Duration::from_secs(secs)
+}
+
+/// Measures the wall time of `f`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Outcome of a budgeted run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Outcome {
+    /// Finished within budget; wall seconds of the algorithm itself
+    /// (excluding process startup and dataset generation).
+    Finished(f64),
+    /// Killed at the budget deadline.
+    TimedOut,
+    /// The child process failed (bug surface, kept distinct from timeout).
+    Failed,
+}
+
+impl Outcome {
+    /// Renders like the paper's plots: a time or an "exceeds budget" marker.
+    pub fn render(&self) -> String {
+        match self {
+            Outcome::Finished(secs) => format_secs(*secs),
+            Outcome::TimedOut => format!(">{}s (timeout)", timeout_budget().as_secs()),
+            Outcome::Failed => "FAILED".to_string(),
+        }
+    }
+}
+
+/// Spawns the current executable with `args ++ ["--out", tmpfile]`, waits
+/// up to the budget, and reads the elapsed seconds the child wrote.
+///
+/// Children must implement the `--single` protocol: run one algorithm on
+/// one dataset and write the bare seconds to the `--out` file.
+pub fn run_single_subprocess(args: &[&str]) -> Outcome {
+    let mut exe = std::env::current_exe().expect("current exe path");
+    // If the binary was replaced on disk while running (e.g. a concurrent
+    // cargo build), /proc/self/exe resolves with a " (deleted)" suffix;
+    // strip it to reach the rebuilt binary at the same path.
+    if let Some(s) = exe.to_str() {
+        if let Some(stripped) = s.strip_suffix(" (deleted)") {
+            exe = std::path::PathBuf::from(stripped);
+        }
+    }
+    let out_path = std::env::temp_dir().join(format!(
+        "dsd_exp_{}_{}.time",
+        std::process::id(),
+        args.join("_").replace(['/', ' '], "_")
+    ));
+    let _ = std::fs::remove_file(&out_path);
+    let mut child = Command::new(exe)
+        .args(args)
+        .arg("--out")
+        .arg(&out_path)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child experiment");
+    let deadline = Instant::now() + timeout_budget();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                if !status.success() {
+                    return Outcome::Failed;
+                }
+                break;
+            }
+            None => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Outcome::TimedOut;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    match std::fs::read_to_string(&out_path) {
+        Ok(text) => match text.trim().parse::<f64>() {
+            Ok(secs) => {
+                let _ = std::fs::remove_file(&out_path);
+                Outcome::Finished(secs)
+            }
+            Err(_) => Outcome::Failed,
+        },
+        Err(_) => Outcome::Failed,
+    }
+}
+
+/// Writes elapsed seconds for the `--single` protocol.
+pub fn write_timing(out_path: &str, wall: Duration) {
+    std::fs::write(out_path, format!("{:.6}", wall.as_secs_f64())).expect("write timing file");
+}
+
+/// Parses `--single ALGO DATASET --out PATH` from an argument list.
+/// Returns `None` when the binary should run the full experiment.
+pub fn parse_single_mode(args: &[String]) -> Option<(String, String, String)> {
+    let pos = args.iter().position(|a| a == "--single")?;
+    let algo = args.get(pos + 1)?.clone();
+    let dataset = args.get(pos + 2)?.clone();
+    let out_pos = args.iter().position(|a| a == "--out")?;
+    let out = args.get(out_pos + 1)?.clone();
+    Some((algo, dataset, out))
+}
+
+/// Human-readable seconds (paper-style, log-range friendly).
+pub fn format_secs(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.1}ms", secs * 1e3)
+    } else if secs < 100.0 {
+        format!("{secs:.2}s")
+    } else {
+        format!("{secs:.0}s")
+    }
+}
+
+/// Prints a fixed-width row: first column 12 wide, the rest 16.
+pub fn print_row(cells: &[String]) {
+    let mut line = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        if i == 0 {
+            line.push_str(&format!("{cell:<12}"));
+        } else {
+            line.push_str(&format!("{cell:>16}"));
+        }
+    }
+    println!("{line}");
+}
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_secs_ranges() {
+        assert_eq!(format_secs(0.0000014), "1µs");
+        assert_eq!(format_secs(0.0025), "2.5ms");
+        assert_eq!(format_secs(1.5), "1.50s");
+        assert_eq!(format_secs(250.0), "250s");
+    }
+
+    #[test]
+    fn parse_single_mode_roundtrip() {
+        let args: Vec<String> =
+            ["exp", "--single", "pwc", "AM", "--out", "/tmp/x"].iter().map(|s| s.to_string()).collect();
+        let parsed = parse_single_mode(&args).unwrap();
+        assert_eq!(parsed, ("pwc".to_string(), "AM".to_string(), "/tmp/x".to_string()));
+        assert!(parse_single_mode(&["exp".to_string()]).is_none());
+    }
+
+    #[test]
+    fn outcome_render() {
+        assert_eq!(Outcome::Finished(0.5).render(), "500.0ms");
+        assert!(Outcome::TimedOut.render().contains("timeout"));
+    }
+
+    #[test]
+    fn timing_file_roundtrip() {
+        let path = std::env::temp_dir().join("dsd_harness_test.time");
+        write_timing(path.to_str().unwrap(), Duration::from_millis(1500));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!((text.parse::<f64>().unwrap() - 1.5).abs() < 1e-9);
+    }
+}

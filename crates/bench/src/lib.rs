@@ -1,0 +1,12 @@
+//! # dsd-bench
+//!
+//! Experiment harness for the ICDE 2023 reproduction: a dataset registry of
+//! synthetic stand-ins for the paper's 12 graphs, and shared helpers used
+//! by the `exp_*` binaries that regenerate every table and figure.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;

@@ -1,0 +1,84 @@
+//! Brute-force exact DDS for tiny graphs — the independent oracle used to
+//! validate the flow-based exact algorithm and approximation bounds.
+
+use dsd_graph::{DirectedGraph, VertexId};
+
+use crate::density::directed_density;
+
+/// Maximum vertex count accepted by [`dds_brute_force`] (`4^n` pairs).
+pub const BRUTE_FORCE_LIMIT: usize = 10;
+
+/// Enumerates all non-empty `(S, T)` pairs and returns a densest one.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`BRUTE_FORCE_LIMIT`] vertices.
+pub fn dds_brute_force(g: &DirectedGraph) -> (Vec<VertexId>, Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    assert!(n <= BRUTE_FORCE_LIMIT, "brute force limited to {BRUTE_FORCE_LIMIT} vertices");
+    if n == 0 {
+        return (Vec::new(), Vec::new(), 0.0);
+    }
+    let mut best = (Vec::new(), Vec::new(), 0.0f64);
+    for s_mask in 1u32..(1u32 << n) {
+        let s: Vec<VertexId> = (0..n as u32).filter(|&v| s_mask >> v & 1 == 1).collect();
+        for t_mask in 1u32..(1u32 << n) {
+            let t: Vec<VertexId> = (0..n as u32).filter(|&v| t_mask >> v & 1 == 1).collect();
+            let d = directed_density(g, &s, &t);
+            if d > best.2 {
+                best = (s.clone(), t, d);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::DirectedGraphBuilder;
+
+    #[test]
+    fn block_graph() {
+        let mut b = DirectedGraphBuilder::new(5);
+        for u in 0..2u32 {
+            for t in 2..5u32 {
+                b.push_edge(u, t);
+            }
+        }
+        let g = b.build().unwrap();
+        let (s, t, d) = dds_brute_force(&g);
+        assert_eq!(s, vec![0, 1]);
+        assert_eq!(t, vec![2, 3, 4]);
+        assert!((d - 6.0 / 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_flow_exact() {
+        for seed in 0..8 {
+            let g = dsd_graph::gen::erdos_renyi_directed(7, 20, seed + 1000);
+            let (_, _, brute) = dds_brute_force(&g);
+            let flow = dsd_flow::dds_exact(&g);
+            assert!(
+                (brute - flow.density).abs() < 1e-6,
+                "seed {seed}: brute {brute} flow {}",
+                flow.density
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless() {
+        let g = DirectedGraphBuilder::new(4).build().unwrap();
+        let (s, t, d) = dds_brute_force(&g);
+        assert!(s.is_empty() && t.is_empty());
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn rejects_large_graphs() {
+        let g = DirectedGraphBuilder::new(12).build().unwrap();
+        dds_brute_force(&g);
+    }
+}

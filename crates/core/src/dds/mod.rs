@@ -1,0 +1,49 @@
+//! Directed densest subgraph (DDS) algorithms — Section V of the paper.
+//!
+//! The paper's contribution is the w-induced subgraph model
+//! ([`winduced`], Algorithm 3) and [`pwc`] (Algorithm 4), which derives the
+//! `[x*, y*]`-core — a 2-approximate DDS (Lemma 3) — from a single
+//! `w*`-induced subgraph computation. The compared baselines are
+//! [`pxy`] (cn-pair enumeration), [`pbs`] (Charikar peeling), [`pfks`]
+//! (fixed Khuller–Saha), [`pbd`] (Bahmani batch peeling), and [`pfw`]
+//! (Frank–Wolfe); [`exact`] holds a brute-force oracle.
+
+pub mod exact;
+pub mod pbd;
+pub mod pbs;
+pub mod pfks;
+pub mod pfw;
+pub mod pwc;
+pub mod pxy;
+pub mod ratio_peel;
+pub mod winduced;
+pub mod xycore;
+
+use dsd_graph::VertexId;
+use serde::Serialize;
+
+use crate::stats::Stats;
+
+/// Result of a directed densest-subgraph algorithm.
+#[derive(Clone, Debug, Serialize)]
+pub struct DdsResult {
+    /// Source-side vertex set `S` (sorted original ids).
+    pub s: Vec<VertexId>,
+    /// Target-side vertex set `T` (sorted original ids).
+    pub t: Vec<VertexId>,
+    /// Density `|E(S,T)| / √(|S||T|)`.
+    pub density: f64,
+    /// Execution statistics.
+    pub stats: Stats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dds_result_is_serializable() {
+        fn assert_serialize<T: serde::Serialize>() {}
+        assert_serialize::<DdsResult>();
+    }
+}

@@ -1,0 +1,204 @@
+//! PFW (directed) — Frank–Wolfe baseline for DDS (reference \[28\]).
+//!
+//! Directed analogue of the undirected Frank–Wolfe peel: each edge carries
+//! one unit of mass split between its *source role* at `u` and its *target
+//! role* at `v`; iterations shift mass toward the lighter role with step
+//! `γ_t = 2/(t+2)`. Extraction sweeps the combined role list in descending
+//! load order, maintaining the running `(S, T)` pair and edge count, and
+//! returns the densest prefix pair.
+//!
+//! As in the paper's Exp-5, this is the slow high-quality baseline: it only
+//! finishes on the smaller graphs and approaches the exact density as the
+//! sweep budget grows.
+
+use dsd_graph::{DirectedGraph, VertexId};
+use rayon::prelude::*;
+
+use crate::dds::DdsResult;
+use crate::stats::{timed, Stats};
+
+/// Configuration for [`pfw_directed_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct PfwDirectedConfig {
+    /// Number of Frank–Wolfe sweeps (default 100).
+    pub iterations: usize,
+}
+
+impl Default for PfwDirectedConfig {
+    fn default() -> Self {
+        Self { iterations: 100 }
+    }
+}
+
+/// Runs directed PFW with the default sweep budget.
+pub fn pfw_directed(g: &DirectedGraph) -> DdsResult {
+    pfw_directed_with(g, PfwDirectedConfig::default())
+}
+
+/// Runs directed PFW.
+pub fn pfw_directed_with(g: &DirectedGraph, config: PfwDirectedConfig) -> DdsResult {
+    let ((s, t, density), wall) = timed(|| run(g, config.iterations));
+    DdsResult {
+        s,
+        t,
+        density,
+        stats: Stats { iterations: config.iterations, wall, ..Stats::default() },
+    }
+}
+
+fn run(g: &DirectedGraph, iterations: usize) -> (Vec<VertexId>, Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 || m == 0 {
+        return (Vec::new(), Vec::new(), 0.0);
+    }
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    // alpha[e]: mass on the source role of edge e.
+    let mut alpha = vec![0.5f64; m];
+    let mut out_load = vec![0.0f64; n];
+    let mut in_load = vec![0.0f64; n];
+    recompute(&edges, &alpha, &mut out_load, &mut in_load);
+    for t in 0..iterations {
+        let gamma = 2.0 / (t as f64 + 2.0);
+        alpha.par_iter_mut().enumerate().for_each(|(e, a)| {
+            let (u, v) = edges[e];
+            let lu = out_load[u as usize];
+            let lv = in_load[v as usize];
+            let target = if lu < lv || (lu == lv && u <= v) { 1.0 } else { 0.0 };
+            *a = (1.0 - gamma) * *a + gamma * target;
+        });
+        recompute(&edges, &alpha, &mut out_load, &mut in_load);
+    }
+    extract(g, &out_load, &in_load)
+}
+
+fn recompute(
+    edges: &[(VertexId, VertexId)],
+    alpha: &[f64],
+    out_load: &mut [f64],
+    in_load: &mut [f64],
+) {
+    out_load.iter_mut().for_each(|l| *l = 0.0);
+    in_load.iter_mut().for_each(|l| *l = 0.0);
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        out_load[u as usize] += alpha[e];
+        in_load[v as usize] += 1.0 - alpha[e];
+    }
+}
+
+/// Sweeps the combined (vertex, role) list in descending load order and
+/// returns the densest running `(S, T)` pair.
+fn extract(
+    g: &DirectedGraph,
+    out_load: &[f64],
+    in_load: &[f64],
+) -> (Vec<VertexId>, Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    // (load, vertex, is_source_role); skip roles with no incident edges.
+    let mut roles: Vec<(f64, VertexId, bool)> = Vec::with_capacity(2 * n);
+    for v in 0..n as VertexId {
+        if g.out_degree(v) > 0 {
+            roles.push((out_load[v as usize], v, true));
+        }
+        if g.in_degree(v) > 0 {
+            roles.push((in_load[v as usize], v, false));
+        }
+    }
+    roles.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0).expect("loads are finite").then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+    });
+    let mut in_s = vec![false; n];
+    let mut in_t = vec![false; n];
+    let mut s_size = 0usize;
+    let mut t_size = 0usize;
+    let mut edges = 0usize;
+    let mut best_density = 0.0f64;
+    let mut best_step = 0usize;
+    for (step, &(_, v, source_role)) in roles.iter().enumerate() {
+        if source_role {
+            in_s[v as usize] = true;
+            s_size += 1;
+            edges += g.out_neighbors(v).iter().filter(|&&u| in_t[u as usize]).count();
+        } else {
+            in_t[v as usize] = true;
+            t_size += 1;
+            edges += g.in_neighbors(v).iter().filter(|&&u| in_s[u as usize]).count();
+        }
+        if s_size > 0 && t_size > 0 {
+            let density = edges as f64 / ((s_size as f64) * (t_size as f64)).sqrt();
+            if density > best_density {
+                best_density = density;
+                best_step = step + 1;
+            }
+        }
+    }
+    let mut s = Vec::new();
+    let mut t = Vec::new();
+    for &(_, v, source_role) in &roles[..best_step] {
+        if source_role {
+            s.push(v);
+        } else {
+            t.push(v);
+        }
+    }
+    s.sort_unstable();
+    t.sort_unstable();
+    (s, t, best_density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::directed_density;
+
+    #[test]
+    fn close_to_exact_on_small_graphs() {
+        for seed in 0..4 {
+            let g = dsd_graph::gen::erdos_renyi_directed(25, 120, seed + 800);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::dds_exact(&g);
+            let r = pfw_directed_with(&g, PfwDirectedConfig { iterations: 200 });
+            assert!(
+                r.density * 1.6 + 1e-9 >= exact.density,
+                "seed {seed}: pfw {} vs exact {}",
+                r.density,
+                exact.density
+            );
+        }
+    }
+
+    #[test]
+    fn reported_density_matches_sets() {
+        let g = dsd_graph::gen::chung_lu_directed(150, 900, 2.5, 2.2, 71);
+        let r = pfw_directed(&g);
+        let actual = directed_density(&g, &r.s, &r.t);
+        assert!((actual - r.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_planted_block() {
+        let g = dsd_graph::gen::planted_st_block(300, 400, 15, 10, 1.0, 61);
+        let r = pfw_directed(&g);
+        // Planted density 150/sqrt(150) = 12.25.
+        assert!(r.density >= 9.0, "density {}", r.density);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = dsd_graph::DirectedGraphBuilder::new(3).build().unwrap();
+        let r = pfw_directed(&g);
+        assert_eq!(r.density, 0.0);
+        assert!(r.s.is_empty() && r.t.is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = dsd_graph::DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let r = pfw_directed(&g);
+        assert!((r.density - 1.0).abs() < 1e-9);
+        assert_eq!(r.s, vec![0]);
+        assert_eq!(r.t, vec![1]);
+    }
+}

@@ -1,0 +1,456 @@
+//! PWC — the paper's Algorithm 4: parallel `[x*, y*]`-core computation via
+//! the `w*`-induced subgraph.
+//!
+//! 1. Compute the `w*`-induced subgraph with Algorithm 3 (warm-started at
+//!    `d_max` per the paper's Remark).
+//! 2. Derive the maximum cn-pair from it: by Theorem 2, `w* = x*·y*`, and
+//!    by Lemma 6 removing the edges whose endpoint degrees are exactly
+//!    `(x*, y*)` collapses the whole `w*`-induced subgraph. Candidate
+//!    degree pairs are read off the weight-`w*` edges; pairs are tried in
+//!    turn — deleting their edges and cascading sub-`w*` weights — until
+//!    the graph collapses.
+//! 3. Extract the `[x*, y*]`-core from the `w*`-induced subgraph by
+//!    ordinary `[x, y]` peeling (Lemma 4 guarantees the core lives inside
+//!    it) and return it as the 2-approximate DDS (Lemma 3).
+//!
+//! ## Theorem 2 erratum (found by this reproduction's property tests)
+//!
+//! The paper's Theorem 2 claims `w* = x*·y*` unconditionally, but the
+//! `w* ≤ x*·y*` direction can fail: there are graphs whose `w*`-induced
+//! subgraph has heterogeneous degree pairs such that **no** `[x, y]`-core
+//! with `x·y = w*` exists. A minimal-style counterexample (also a unit
+//! test below): sources `s1, s2` with out-degree 6, targets `p1..p5` with
+//! in-degree 2 (each fed by both `s`), targets `t1, t2` with in-degree 6
+//! (each fed by one `s` and five `q`s), sources `q1..q5` with out-degree 2
+//! (one edge to each `t`). Every edge weight is ≥ 12 so `w* = 12`, yet the
+//! best cn-pairs are `[5, 2]` and `[2, 5]` — product 10. Removing the
+//! weight-12 edges whose endpoint degrees multiply to 12 *does* collapse
+//! the graph (Lemma 6's conclusion), but no pair `(x, y)` with `x·y = 12`
+//! has a non-empty core, so Algorithm 4 as printed would return nothing.
+//!
+//! PWC therefore keeps the paper's fast path — which succeeds on all
+//! well-behaved (e.g. the paper's benchmark) graphs and certifies
+//! `w* = x*·y*` when it does — and falls back to the provably correct
+//! `max_cn_pair` enumeration (PXY's core) when no divisor pair of `w*`
+//! yields a non-empty core. Either way the returned `[x, y]`-core has the
+//! true maximum product `x*·y*`, so density `≥ √(x*·y*) ≥ ρ*/2` (Lemma 3)
+//! always holds. [`PwcResult::used_fallback`] reports which path ran.
+
+use dsd_graph::{DirectedGraph, VertexId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::dds::pxy::max_cn_pair;
+use crate::dds::winduced::{w_star_decomposition, WDecomposition};
+use crate::dds::xycore::xy_core;
+use crate::dds::DdsResult;
+use crate::density::st_edges_and_density;
+use crate::stats::{timed, Stats};
+
+/// Outcome of PWC, additionally exposing `w*` and the derived cn-pair.
+#[derive(Clone, Debug)]
+pub struct PwcResult {
+    /// The 2-approximate DDS (the `[x*, y*]`-core).
+    pub result: DdsResult,
+    /// The maximum induce-number `w*` (= `x*·y*` whenever the paper's
+    /// Theorem 2 holds for the input; see the module-level erratum).
+    pub w_star: u64,
+    /// The derived maximum cn-pair `[x*, y*]`.
+    pub cn_pair: (u32, u32),
+    /// `true` if the Theorem-2 fast path failed and the enumeration
+    /// fallback produced the pair (never observed on the paper's graph
+    /// families; exercised by the erratum counterexample).
+    pub used_fallback: bool,
+}
+
+/// Runs PWC (Algorithm 4, with the erratum fallback).
+pub fn pwc(g: &DirectedGraph) -> PwcResult {
+    let (out, wall) = timed(|| run(g));
+    let (s, t, density, w_star, pair, decomp_stats, edges_result, used_fallback) = out;
+    PwcResult {
+        result: DdsResult {
+            s,
+            t,
+            density,
+            stats: Stats {
+                iterations: decomp_stats.iterations,
+                wall,
+                edges_first_iter: decomp_stats.edges_first_iter,
+                edges_last_iter: decomp_stats.edges_last_iter,
+                edges_result: Some(edges_result),
+            },
+        },
+        w_star,
+        cn_pair: pair,
+        used_fallback,
+    }
+}
+
+type RunOut = (Vec<VertexId>, Vec<VertexId>, f64, u64, (u32, u32), Stats, usize, bool);
+
+fn run(g: &DirectedGraph) -> RunOut {
+    if g.num_edges() == 0 {
+        return (Vec::new(), Vec::new(), 0.0, 0, (0, 0), Stats::default(), 0, false);
+    }
+    // Step 1: w*-induced subgraph (Algorithm 3 with warm start).
+    let decomp: WDecomposition = w_star_decomposition(g);
+    let w_star = decomp.w_star;
+    let star_edges = decomp.w_star_edges(g);
+    debug_assert!(!star_edges.is_empty(), "non-empty graph has a w*-subgraph");
+
+    // Step 2: derive [x*, y*] by collapse testing on a scratch copy.
+    let candidates = collapse_order(&star_edges, w_star);
+
+    // Step 3: extract the [x*, y*]-core from the w*-induced subgraph and
+    // validate; fall back across candidate pairs (all share product w*).
+    let (sub, original) = induce_from_edges(g.num_vertices(), &star_edges);
+    // Candidates from the collapse procedure first, then every other
+    // divisor pair of w*. Whenever Theorem 2 holds for the input (all of
+    // the paper's graph families), one of these has a non-empty core.
+    let divisor_pairs = (1..=w_star.min(u32::MAX as u64))
+        .filter(|x| w_star % x == 0 && w_star / x <= u32::MAX as u64)
+        .map(|x| (x as u32, (w_star / x) as u32));
+    for (x, y) in candidates.iter().copied().chain(divisor_pairs) {
+        if let Some(core) = xy_core(&sub, x, y) {
+            let s: Vec<VertexId> = core.s.iter().map(|&v| original[v as usize]).collect();
+            let t: Vec<VertexId> = core.t.iter().map(|&v| original[v as usize]).collect();
+            let (edges, density) = st_edges_and_density(g, &s, &t);
+            return (s, t, density, w_star, (x, y), decomp.stats, edges, false);
+        }
+    }
+    // Theorem-2 erratum fallback (see module docs): w* > x*·y* on this
+    // input, so derive the true maximum cn-pair by enumeration and extract
+    // its core from the full graph.
+    let (x, y) = max_cn_pair(g).expect("non-empty graph has a [1,1]-core");
+    let core = xy_core(g, x, y).expect("max cn-pair has a non-empty core");
+    let (edges, density) = st_edges_and_density(g, &core.s, &core.t);
+    (core.s, core.t, density, w_star, (x, y), decomp.stats, edges, true)
+}
+
+/// Builds a compact directed graph from an edge list over original ids;
+/// returns it with the id mapping.
+fn induce_from_edges(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+) -> (DirectedGraph, Vec<VertexId>) {
+    let mut seen = vec![false; n];
+    for &(u, v) in edges {
+        seen[u as usize] = true;
+        seen[v as usize] = true;
+    }
+    let original: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| seen[v as usize]).collect();
+    let mut remap = vec![0 as VertexId; n];
+    for (i, &v) in original.iter().enumerate() {
+        remap[v as usize] = i as VertexId;
+    }
+    let mut b = dsd_graph::DirectedGraphBuilder::with_capacity(original.len(), edges.len());
+    for &(u, v) in edges {
+        b.push_edge(remap[u as usize], remap[v as usize]);
+    }
+    (b.build().expect("remapped ids are in range"), original)
+}
+
+/// Runs the collapse procedure of Algorithm 4 on the `w*`-subgraph edge
+/// list, returning candidate `(x, y)` pairs ordered with the collapsing
+/// pair first.
+fn collapse_order(star_edges: &[(VertexId, VertexId)], w_star: u64) -> Vec<(u32, u32)> {
+    // Compact the vertex ids appearing in the edge list.
+    let mut ids: Vec<VertexId> = star_edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let remap: FxHashMap<VertexId, u32> =
+        ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let n = ids.len();
+    let edges: Vec<(u32, u32)> =
+        star_edges.iter().map(|&(u, v)| (remap[&u], remap[&v])).collect();
+    let m = edges.len();
+    let mut out_deg = vec![0u32; n];
+    let mut in_deg = vec![0u32; n];
+    for &(u, v) in &edges {
+        out_deg[u as usize] += 1;
+        in_deg[v as usize] += 1;
+    }
+    // Adjacency over edge indices for cascading.
+    let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut in_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        out_edges[u as usize].push(i as u32);
+        in_edges[v as usize].push(i as u32);
+    }
+    let mut alive = vec![true; m];
+    let mut alive_count = m;
+    let weight = |e: usize, out_deg: &[u32], in_deg: &[u32]| {
+        let (u, v) = edges[e];
+        out_deg[u as usize] as u64 * in_deg[v as usize] as u64
+    };
+    // Removing an edge may drop adjacent weights below w*; cascade them out.
+    let remove_edge = |e: usize,
+                       alive: &mut [bool],
+                       out_deg: &mut [u32],
+                       in_deg: &mut [u32],
+                       queue: &mut Vec<u32>,
+                       alive_count: &mut usize| {
+        if !alive[e] {
+            return;
+        }
+        alive[e] = false;
+        *alive_count -= 1;
+        let (u, v) = edges[e];
+        out_deg[u as usize] -= 1;
+        in_deg[v as usize] -= 1;
+        queue.extend(out_edges[u as usize].iter().copied());
+        queue.extend(in_edges[v as usize].iter().copied());
+    };
+
+    let mut tried: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut order: Vec<(u32, u32)> = Vec::new();
+    loop {
+        // Candidate pairs: degrees of endpoints of weight-w* edges, sorted
+        // by descending x (Example 4 removes the larger-x pair first).
+        let mut pairs: Vec<(u32, u32)> = (0..m)
+            .filter(|&e| alive[e] && weight(e, &out_deg, &in_deg) == w_star)
+            .map(|e| {
+                let (u, v) = edges[e];
+                (out_deg[u as usize], in_deg[v as usize])
+            })
+            .collect();
+        pairs.sort_unstable_by(|a, b| b.cmp(a));
+        pairs.dedup();
+        pairs.retain(|p| !tried.contains(p));
+        let Some(&pair) = pairs.first() else {
+            // All observed pairs tried without collapse: the remaining
+            // candidates (if any) were already logged; stop.
+            break;
+        };
+        tried.insert(pair);
+        order.push(pair);
+        // Delete every alive edge whose endpoint degrees are exactly
+        // (pair.0, pair.1), then cascade weights < w*.
+        let mut queue: Vec<u32> = Vec::new();
+        for e in 0..m {
+            if alive[e] {
+                let (u, v) = edges[e];
+                if out_deg[u as usize] == pair.0 && in_deg[v as usize] == pair.1 {
+                    remove_edge(e, &mut alive, &mut out_deg, &mut in_deg, &mut queue, &mut alive_count);
+                }
+            }
+        }
+        while let Some(e) = queue.pop() {
+            let e = e as usize;
+            if alive[e] && weight(e, &out_deg, &in_deg) < w_star {
+                let mut q2: Vec<u32> = Vec::new();
+                remove_edge(e, &mut alive, &mut out_deg, &mut in_deg, &mut q2, &mut alive_count);
+                queue.extend(q2);
+            }
+        }
+        if alive_count == 0 {
+            // This pair collapsed the graph: it is (x*, y*). Move it first.
+            let last = order.pop().expect("just pushed");
+            let mut reordered = vec![last];
+            reordered.extend(order);
+            return reordered;
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dds::pxy::pxy;
+    use dsd_graph::DirectedGraphBuilder;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> DirectedGraph {
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    }
+
+    /// The paper's Fig. 4 graph: u1..u4 = 0..3, v1..v7 = 4..10.
+    /// w* = 12, x* = 4, y* = 3.
+    fn figure_4_graph() -> DirectedGraph {
+        let mut edges = Vec::new();
+        // u1, u2, u3 each point at v1..v4 (the [4,3]-core).
+        for u in 0..3u32 {
+            for v in 4..8u32 {
+                edges.push((u, v));
+            }
+        }
+        // Extra edges keeping weights at 12 but in-degrees of v6, v7 low:
+        // u2 -> v6, u4 -> v6, u3 -> v7, u4 -> v7.
+        // To match the figure's degrees: u2 and u3 get out-degree 6? The
+        // figure is partially specified; we approximate its structure with
+        // u4 -> {v6, v7} plus u2 -> v6... see test body for what we assert.
+        edges.push((3, 9));
+        edges.push((3, 10));
+        graph(11, &edges)
+    }
+
+    #[test]
+    fn figure_4_like_graph_finds_4_3_core() {
+        let g = figure_4_graph();
+        let r = pwc(&g);
+        assert_eq!(r.w_star, 12);
+        assert_eq!(r.cn_pair.0 * r.cn_pair.1, 12);
+        // The [x*, y*]-core must contain the 3x4 block.
+        assert!(r.result.s.iter().filter(|&&u| u < 3).count() == 3);
+        assert!((4..8).all(|v| r.result.t.contains(&v)));
+    }
+
+    #[test]
+    fn pair_product_matches_pxy_and_theorem_2_when_fast_path() {
+        for seed in 0..8 {
+            let g = dsd_graph::gen::erdos_renyi_directed(50, 300, seed + 700);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let w = pwc(&g);
+            let p = pxy(&g);
+            // The derived pair always has the true maximum product x*.y*.
+            assert_eq!(
+                w.cn_pair.0 as u64 * w.cn_pair.1 as u64,
+                p.cn_pair.0 as u64 * p.cn_pair.1 as u64,
+                "seed {seed}: product mismatch"
+            );
+            // When the paper's fast path succeeds, Theorem 2 holds.
+            if !w.used_fallback {
+                assert_eq!(w.w_star, w.cn_pair.0 as u64 * w.cn_pair.1 as u64, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_2_on_power_law_graphs() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::chung_lu_directed(300, 1800, 2.5, 2.2, seed + 40);
+            let w = pwc(&g);
+            let p = pxy(&g);
+            assert!(!w.used_fallback, "fallback fired on a power-law graph");
+            assert_eq!(w.w_star, p.cn_pair.0 as u64 * p.cn_pair.1 as u64, "seed {seed}");
+        }
+    }
+
+    /// The Theorem-2 erratum counterexample from the module docs: w* = 12
+    /// while the true maximum cn-pair product is 10. PWC must fall back
+    /// and still return a correct maximum-product core.
+    #[test]
+    fn theorem_2_counterexample_triggers_fallback() {
+        // Vertices: s1=0, s2=1 (out-degree 6); p1..p5 = 2..6 (in-degree 2);
+        // t1=7, t2=8 (in-degree 6); q1..q5 = 9..13 (out-degree 2).
+        let mut b = DirectedGraphBuilder::new(14);
+        for s in 0..2u32 {
+            for p in 2..7u32 {
+                b.push_edge(s, p); // 5 edges to the p's
+            }
+        }
+        b.push_edge(0, 7); // s1 -> t1
+        b.push_edge(1, 8); // s2 -> t2
+        for q in 9..14u32 {
+            b.push_edge(q, 7);
+            b.push_edge(q, 8);
+        }
+        let g = b.build().unwrap();
+        // Sanity: degrees are as designed.
+        assert_eq!(g.out_degree(0), 6);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.in_degree(7), 6);
+        assert_eq!(g.out_degree(9), 2);
+        // Every edge weight is >= 12, so the whole graph is 12-induced.
+        let decomp = crate::dds::winduced::w_decomposition(&g);
+        assert_eq!(decomp.w_star, 12, "w* should be 12");
+        // But the best cn-pair product is 10 ([5,2] / [2,5]).
+        let p = pxy(&g);
+        assert_eq!(p.cn_pair.0 * p.cn_pair.1, 10, "x*.y* should be 10");
+        // PWC must detect the mismatch, fall back, and agree with PXY.
+        let w = pwc(&g);
+        assert!(w.used_fallback, "fallback should fire on the counterexample");
+        assert_eq!(w.cn_pair.0 * w.cn_pair.1, 10);
+        assert!((w.result.density - p.result.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_approximation_vs_exact() {
+        for seed in 0..5 {
+            let g = dsd_graph::gen::erdos_renyi_directed(30, 150, seed + 900);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::dds_exact(&g);
+            let r = pwc(&g);
+            assert!(
+                r.result.density * 2.0 + 1e-9 >= exact.density,
+                "seed {seed}: pwc {} vs exact {}",
+                r.result.density,
+                exact.density
+            );
+        }
+    }
+
+    #[test]
+    fn density_at_least_sqrt_of_pair_product() {
+        let g = dsd_graph::gen::chung_lu_directed(400, 3000, 2.4, 2.1, 55);
+        let r = pwc(&g);
+        let product = (r.cn_pair.0 as f64) * (r.cn_pair.1 as f64);
+        assert!(
+            r.result.density + 1e-9 >= product.sqrt(),
+            "density {} below sqrt(x*.y*) {}",
+            r.result.density,
+            product.sqrt()
+        );
+    }
+
+    #[test]
+    fn core_degree_constraints_hold() {
+        let g = dsd_graph::gen::erdos_renyi_directed(80, 600, 31);
+        let r = pwc(&g);
+        let (x, y) = r.cn_pair;
+        let mut in_t = vec![false; g.num_vertices()];
+        for &v in &r.result.t {
+            in_t[v as usize] = true;
+        }
+        let mut in_s = vec![false; g.num_vertices()];
+        for &v in &r.result.s {
+            in_s[v as usize] = true;
+        }
+        for &u in &r.result.s {
+            let d = g.out_neighbors(u).iter().filter(|&&v| in_t[v as usize]).count();
+            assert!(d >= x as usize);
+        }
+        for &v in &r.result.t {
+            let d = g.in_neighbors(v).iter().filter(|&&u| in_s[u as usize]).count();
+            assert!(d >= y as usize);
+        }
+    }
+
+    #[test]
+    fn block_graph() {
+        let mut b = DirectedGraphBuilder::new(7);
+        for u in 0..3u32 {
+            for t in 3..7u32 {
+                b.push_edge(u, t);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = pwc(&g);
+        assert_eq!(r.w_star, 12);
+        assert_eq!(r.cn_pair, (4, 3));
+        assert_eq!(r.result.s, vec![0, 1, 2]);
+        assert_eq!(r.result.t, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(3, &[]);
+        let r = pwc(&g);
+        assert_eq!(r.result.density, 0.0);
+        assert_eq!(r.w_star, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = dsd_graph::gen::chung_lu_directed(200, 1500, 2.3, 2.3, 99);
+        let a = pwc(&g);
+        let b = pwc(&g);
+        assert_eq!(a.result.s, b.result.s);
+        assert_eq!(a.result.t, b.result.t);
+        assert_eq!(a.cn_pair, b.cn_pair);
+    }
+}

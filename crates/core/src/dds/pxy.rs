@@ -1,0 +1,166 @@
+//! PXY — parallel cn-pair enumeration (the state-of-the-art baseline,
+//! adapted from Core-Approx of Ma et al. \[7\], \[9\]; Section V-A).
+//!
+//! Because any non-empty `[x, y]`-core forces `m ≥ x·y`, the maximum
+//! cn-pair has `x* ≤ √m` or `y* ≤ √m`. PXY therefore computes, in
+//! parallel, `y_max(x)` for every `x ∈ [1, √m]` and `x_max(y)` for every
+//! `y ∈ [1, √m]` (via the transposed graph), takes the pair with maximum
+//! product, and extracts the corresponding `[x*, y*]`-core — which is a
+//! 2-approximate DDS (Lemma 3).
+//!
+//! Each enumeration task peels its own copy of the degree arrays, which is
+//! the memory blow-up the paper observes on Twitter-scale graphs (Exp-5).
+
+use dsd_graph::DirectedGraph;
+use rayon::prelude::*;
+
+use crate::density::st_edges_and_density;
+use crate::stats::{timed, Stats};
+use crate::dds::xycore::{max_y_for_x, xy_core};
+use crate::dds::DdsResult;
+
+/// Outcome of PXY, additionally exposing the maximum cn-pair.
+#[derive(Clone, Debug)]
+pub struct PxyResult {
+    /// The 2-approximate DDS (the `[x*, y*]`-core).
+    pub result: DdsResult,
+    /// The maximum cn-pair `[x*, y*]`.
+    pub cn_pair: (u32, u32),
+}
+
+/// Runs PXY. `stats.iterations` counts the enumerated cn-pair tasks.
+pub fn pxy(g: &DirectedGraph) -> PxyResult {
+    let ((s, t, density, pair, tasks, edges_result), wall) = timed(|| run(g));
+    PxyResult {
+        result: DdsResult {
+            s,
+            t,
+            density,
+            stats: Stats {
+                iterations: tasks,
+                wall,
+                edges_result: Some(edges_result),
+                ..Stats::default()
+            },
+        },
+        cn_pair: pair,
+    }
+}
+
+type RunOut = (Vec<u32>, Vec<u32>, f64, (u32, u32), usize, usize);
+
+/// Computes the maximum cn-pair `[x*, y*]` (the pair with the largest
+/// product over all non-empty `[x, y]`-cores), or `None` for an edgeless
+/// graph. This is the enumeration core of PXY, also used as the provably
+/// correct fallback inside PWC (see the Theorem-2 erratum in
+/// `dds::pwc`). Ties on the product resolve to the larger `x`.
+pub fn max_cn_pair(g: &DirectedGraph) -> Option<(u32, u32)> {
+    let m = g.num_edges();
+    if m == 0 {
+        return None;
+    }
+    let bound = ((m as f64).sqrt().floor() as u32).max(1);
+    let transpose = g.transpose();
+    // x-side: y_max(x) for x in [1, sqrt(m)].
+    let x_side: Vec<(u32, u32)> = (1..=bound)
+        .into_par_iter()
+        .filter_map(|x| max_y_for_x(g, x).map(|y| (x, y)))
+        .collect();
+    // y-side: x_max(y) for y in [1, sqrt(m)] — peel the transpose, where
+    // out-degrees are the original in-degrees. This covers the maximum
+    // pair because a non-empty [x, y]-core forces m >= x*y, hence
+    // x* <= sqrt(m) or y* <= sqrt(m).
+    let y_side: Vec<(u32, u32)> = (1..=bound)
+        .into_par_iter()
+        .filter_map(|y| max_y_for_x(&transpose, y).map(|x| (x, y)))
+        .collect();
+    x_side
+        .iter()
+        .chain(y_side.iter())
+        .copied()
+        .max_by_key(|&(x, y)| (x as u64 * y as u64, x))
+}
+
+fn run(g: &DirectedGraph) -> RunOut {
+    let m = g.num_edges();
+    if m == 0 {
+        return (Vec::new(), Vec::new(), 0.0, (0, 0), 0, 0);
+    }
+    let bound = ((m as f64).sqrt().floor() as u32).max(1);
+    let tasks = 2 * bound as usize;
+    let best = max_cn_pair(g).expect("m > 0 guarantees a [1,1]-core");
+    let core = xy_core(g, best.0, best.1).expect("enumerated pair must have a core");
+    let (edges, density) = st_edges_and_density(g, &core.s, &core.t);
+    (core.s, core.t, density, best, tasks, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::DirectedGraphBuilder;
+
+    #[test]
+    fn block_graph_pair() {
+        // 3 sources fully linked to 4 targets: the [3*, y]-core analysis
+        // gives max pair (4, 3) — wait: sources have out-degree 4, targets
+        // in-degree 3, so the core is [4, 3] with product 12.
+        let mut b = DirectedGraphBuilder::new(7);
+        for u in 0..3u32 {
+            for t in 3..7u32 {
+                b.push_edge(u, t);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = pxy(&g);
+        assert_eq!(r.cn_pair.0 * r.cn_pair.1, 12);
+        assert!((r.result.density - 12.0 / (12.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_approximation_vs_exact() {
+        for seed in 0..5 {
+            let g = dsd_graph::gen::erdos_renyi_directed(30, 140, seed + 400);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::dds_exact(&g);
+            let r = pxy(&g);
+            assert!(
+                r.result.density * 2.0 + 1e-9 >= exact.density,
+                "seed {seed}: pxy {} vs exact {}",
+                r.result.density,
+                exact.density
+            );
+        }
+    }
+
+    #[test]
+    fn density_at_least_sqrt_of_product() {
+        // Any [x, y]-core has density >= sqrt(x*y).
+        let g = dsd_graph::gen::chung_lu_directed(300, 2400, 2.4, 2.2, 9);
+        let r = pxy(&g);
+        let (x, y) = r.cn_pair;
+        assert!(
+            r.result.density + 1e-9 >= ((x as f64) * (y as f64)).sqrt(),
+            "density {} below sqrt({})",
+            r.result.density,
+            x * y
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DirectedGraphBuilder::new(3).build().unwrap();
+        let r = pxy(&g);
+        assert_eq!(r.result.density, 0.0);
+        assert_eq!(r.cn_pair, (0, 0));
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let r = pxy(&g);
+        assert_eq!(r.cn_pair, (1, 1));
+        assert!((r.result.density - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixed-ratio greedy peeling — the engine behind PBS and PFKS.
+//!
+//! Charikar's directed 2-approximation fixes a target ratio `c = |S|/|T|`
+//! and peels greedily: while both sides are non-empty, remove the minimum
+//! out-degree vertex from `S` if `|S| ≥ c·|T|`, otherwise the minimum
+//! in-degree vertex from `T`, tracking the densest `(S, T)` iterate. Run
+//! over the right ratio (the optimum's own `|S*|/|T*|`) this peel is a
+//! 2-approximation; PBS gets the guarantee by enumerating all `O(n²)`
+//! rational ratios and PFKS trades guarantee for `O(n)` geometric
+//! candidates (see DESIGN.md §2).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsd_graph::{DirectedGraph, VertexId};
+
+/// Outcome of one fixed-ratio peel.
+#[derive(Clone, Debug)]
+pub struct RatioPeelResult {
+    /// Best source set seen.
+    pub s: Vec<VertexId>,
+    /// Best target set seen.
+    pub t: Vec<VertexId>,
+    /// Density of that `(S, T)` pair.
+    pub density: f64,
+}
+
+/// Greedily peels `g` towards size ratio `c = |S|/|T|` and returns the
+/// densest iterate. `O((n + m) log n)` via lazy-deletion heaps.
+pub fn peel_fixed_ratio(g: &DirectedGraph, c: f64) -> RatioPeelResult {
+    assert!(c > 0.0, "ratio must be positive");
+    let n = g.num_vertices();
+    let mut out_deg = g.out_degrees();
+    let mut in_deg = g.in_degrees();
+    // Start from vertices that can contribute at all.
+    let mut in_s: Vec<bool> = out_deg.iter().map(|&d| d > 0).collect();
+    let mut in_t: Vec<bool> = in_deg.iter().map(|&d| d > 0).collect();
+    let mut s_size = in_s.iter().filter(|&&b| b).count();
+    let mut t_size = in_t.iter().filter(|&&b| b).count();
+    let mut edges = g.num_edges();
+    // Min-heaps with lazy deletion: entries are (degree-at-push, vertex).
+    let mut s_heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n as VertexId)
+        .filter(|&v| in_s[v as usize])
+        .map(|v| Reverse((out_deg[v as usize], v)))
+        .collect();
+    let mut t_heap: BinaryHeap<Reverse<(u32, VertexId)>> = (0..n as VertexId)
+        .filter(|&v| in_t[v as usize])
+        .map(|v| Reverse((in_deg[v as usize], v)))
+        .collect();
+
+    // Removal log for reconstructing the densest iterate afterwards.
+    let mut log: Vec<(VertexId, bool)> = Vec::with_capacity(s_size + t_size);
+    let mut best_density = 0.0f64;
+    let mut best_step = 0usize;
+    let initial_s: Vec<bool> = in_s.clone();
+    let initial_t: Vec<bool> = in_t.clone();
+
+    while s_size > 0 && t_size > 0 && edges > 0 {
+        let density = edges as f64 / ((s_size as f64) * (t_size as f64)).sqrt();
+        if density > best_density {
+            best_density = density;
+            best_step = log.len();
+        }
+        if (s_size as f64) >= c * (t_size as f64) {
+            // Remove the minimum out-degree S vertex.
+            let u = loop {
+                let Reverse((d, u)) = s_heap.pop().expect("s_size > 0 implies heap entry");
+                if in_s[u as usize] && out_deg[u as usize] == d {
+                    break u;
+                }
+            };
+            in_s[u as usize] = false;
+            s_size -= 1;
+            log.push((u, true));
+            for &v in g.out_neighbors(u) {
+                if in_t[v as usize] {
+                    edges -= 1;
+                    in_deg[v as usize] -= 1;
+                    t_heap.push(Reverse((in_deg[v as usize], v)));
+                }
+            }
+        } else {
+            let v = loop {
+                let Reverse((d, v)) = t_heap.pop().expect("t_size > 0 implies heap entry");
+                if in_t[v as usize] && in_deg[v as usize] == d {
+                    break v;
+                }
+            };
+            in_t[v as usize] = false;
+            t_size -= 1;
+            log.push((v, false));
+            for &u in g.in_neighbors(v) {
+                if in_s[u as usize] {
+                    edges -= 1;
+                    out_deg[u as usize] -= 1;
+                    s_heap.push(Reverse((out_deg[u as usize], u)));
+                }
+            }
+        }
+    }
+
+    // Reconstruct the best iterate: initial membership minus the first
+    // `best_step` removals.
+    let mut s_mask = initial_s;
+    let mut t_mask = initial_t;
+    for &(v, source_side) in &log[..best_step] {
+        if source_side {
+            s_mask[v as usize] = false;
+        } else {
+            t_mask[v as usize] = false;
+        }
+    }
+    let s: Vec<VertexId> = (0..n as VertexId).filter(|&v| s_mask[v as usize]).collect();
+    let t: Vec<VertexId> = (0..n as VertexId).filter(|&v| t_mask[v as usize]).collect();
+    RatioPeelResult { s, t, density: best_density }
+}
+
+/// Geometric ratio candidates spanning `[1/n, n]`, `count` of them,
+/// deduplicated. Used by PFKS (`count = n`) and PBD (`count = O(log n)`).
+pub fn geometric_ratios(n: usize, count: usize) -> Vec<f64> {
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    if count == 1 {
+        return vec![1.0];
+    }
+    let lo = 1.0 / n as f64;
+    let hi = n as f64;
+    let step = (hi / lo).powf(1.0 / (count as f64 - 1.0));
+    let mut ratios = Vec::with_capacity(count);
+    let mut c = lo;
+    for _ in 0..count {
+        ratios.push(c);
+        c *= step;
+    }
+    ratios.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    ratios
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::directed_density;
+    use dsd_graph::DirectedGraphBuilder;
+
+    fn block_graph() -> DirectedGraph {
+        // 3 sources x 4 targets full block plus noise edge.
+        let mut b = DirectedGraphBuilder::new(9);
+        for u in 0..3u32 {
+            for t in 3..7u32 {
+                b.push_edge(u, t);
+            }
+        }
+        b.push_edge(7, 8);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn peel_at_true_ratio_finds_block() {
+        let g = block_graph();
+        let r = peel_fixed_ratio(&g, 3.0 / 4.0);
+        // Block density: 12 / sqrt(12) = 3.4641.
+        assert!(r.density >= 3.46, "density {}", r.density);
+    }
+
+    #[test]
+    fn reported_density_matches_sets() {
+        let g = dsd_graph::gen::erdos_renyi_directed(60, 400, 77);
+        for &c in &[0.25, 1.0, 4.0] {
+            let r = peel_fixed_ratio(&g, c);
+            let actual = directed_density(&g, &r.s, &r.t);
+            assert!(
+                (actual - r.density).abs() < 1e-9,
+                "c={c}: claimed {} actual {actual}",
+                r.density
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_zero_density() {
+        let g = DirectedGraphBuilder::new(3).build().unwrap();
+        let r = peel_fixed_ratio(&g, 1.0);
+        assert_eq!(r.density, 0.0);
+    }
+
+    #[test]
+    fn geometric_ratios_cover_range() {
+        let rs = geometric_ratios(100, 50);
+        assert!((rs[0] - 0.01).abs() < 1e-9);
+        assert!((rs.last().unwrap() - 100.0).abs() < 1e-6);
+        assert!(rs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn geometric_ratios_edge_cases() {
+        assert!(geometric_ratios(0, 5).is_empty());
+        assert!(geometric_ratios(5, 0).is_empty());
+        assert_eq!(geometric_ratios(5, 1), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn rejects_bad_ratio() {
+        let g = DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        peel_fixed_ratio(&g, 0.0);
+    }
+}

@@ -1,0 +1,403 @@
+//! w-induced subgraph decomposition — the paper's Algorithm 3 and the
+//! novel subgraph model of Section V-B.
+//!
+//! Each directed edge `(u, v)` carries the weight
+//! `w(u,v) = d⁺(u) · d⁻(v)` **with respect to the current subgraph**
+//! (Definition 8). The `w`-induced subgraph is the maximal subgraph whose
+//! edges all have weight ≥ `w` (Definition 9); the induce-number of an edge
+//! is the largest `w` whose induced subgraph contains it (Definition 10).
+//!
+//! Decomposition peels edges in rounds: the outer loop fixes the current
+//! minimum alive weight `w_t`; the inner loop repeatedly (and in parallel
+//! over vertices) removes every edge whose weight has fallen to ≤ `w_t`,
+//! recording induce-number `w_t`, until the cascade is quiescent — then the
+//! next, strictly larger, minimum is taken. All degree updates are atomic
+//! and no ordering between edge removals within a round matters, which is
+//! what makes the algorithm parallel without synchronisation (the property
+//! the paper emphasises).
+//!
+//! The paper's Remark observes `w* ≥ d_max`, so when only the `w*`-induced
+//! subgraph is needed (PWC), all edges with weight < `d_max` can be peeled
+//! in a single warm-start cascade without computing their induce-numbers.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use dsd_graph::{DirectedGraph, VertexId};
+use rayon::prelude::*;
+
+use crate::stats::{timed, Stats};
+
+/// Sentinel induce-number for edges peeled by the warm start (their true
+/// induce-number is `< d_max` and was not computed).
+pub const WARM_PEELED: u64 = 0;
+
+/// Full decomposition output.
+#[derive(Clone, Debug)]
+pub struct WDecomposition {
+    /// `induce_number[i]` for the `i`-th edge in the graph's CSR out-edge
+    /// order (pair with [`edge_endpoints`]). [`WARM_PEELED`] when the warm
+    /// start skipped the edge.
+    pub induce_number: Vec<u64>,
+    /// The maximum induce-number `w*` (0 for an edgeless graph).
+    pub w_star: u64,
+    /// Execution statistics: `iterations` counts inner cascade rounds;
+    /// `edges_first_iter` / `edges_last_iter` are the alive-edge counts at
+    /// the first and last outer round (Table 7's `PWC₁` and `PWC_{w*}`).
+    pub stats: Stats,
+}
+
+impl WDecomposition {
+    /// Edges (as `(u, v)` pairs) whose induce-number equals `w*` — i.e. the
+    /// `w*`-induced subgraph.
+    pub fn w_star_edges(&self, g: &DirectedGraph) -> Vec<(VertexId, VertexId)> {
+        edge_endpoints(g)
+            .zip(self.induce_number.iter())
+            .filter(|&(_, &w)| w == self.w_star && self.w_star > 0)
+            .map(|(e, _)| e)
+            .collect()
+    }
+}
+
+/// Iterator over edges in CSR out-edge order (the order of
+/// `WDecomposition::induce_number`).
+pub fn edge_endpoints(g: &DirectedGraph) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+    g.vertices().flat_map(move |u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+}
+
+/// Runs the full w-induced decomposition (exact induce-numbers for every
+/// edge; no warm start).
+pub fn w_decomposition(g: &DirectedGraph) -> WDecomposition {
+    decompose(g, false)
+}
+
+/// Runs the decomposition with the `d_max` warm start (the paper's
+/// Remark): edges with weight < `d_max` are peeled without induce-numbers.
+/// `w*` and the `w*`-induced subgraph are identical to the full run.
+pub fn w_star_decomposition(g: &DirectedGraph) -> WDecomposition {
+    decompose(g, true)
+}
+
+struct Engine<'a> {
+    g: &'a DirectedGraph,
+    /// Position of each vertex's out-edge range in the flat edge arrays.
+    edge_base: Vec<usize>,
+    alive: Vec<AtomicBool>,
+    out_deg: Vec<AtomicU32>,
+    in_deg: Vec<AtomicU32>,
+    induce: Vec<AtomicU64>,
+    alive_count: AtomicUsize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(g: &'a DirectedGraph) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut edge_base = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for v in 0..n as VertexId {
+            edge_base.push(acc);
+            acc += g.out_degree(v);
+        }
+        Self {
+            g,
+            edge_base,
+            alive: (0..m).map(|_| AtomicBool::new(true)).collect(),
+            out_deg: g.out_degrees().into_iter().map(AtomicU32::new).collect(),
+            in_deg: g.in_degrees().into_iter().map(AtomicU32::new).collect(),
+            induce: (0..m).map(|_| AtomicU64::new(WARM_PEELED)).collect(),
+            alive_count: AtomicUsize::new(m),
+        }
+    }
+
+    #[inline]
+    fn weight(&self, u: VertexId, v: VertexId) -> u64 {
+        self.out_deg[u as usize].load(Ordering::Relaxed) as u64
+            * self.in_deg[v as usize].load(Ordering::Relaxed) as u64
+    }
+
+    /// Minimum alive edge weight, or `None` when the graph is empty.
+    fn min_weight(&self, active: &[VertexId]) -> Option<u64> {
+        active
+            .par_iter()
+            .filter_map(|&u| {
+                let base = self.edge_base[u as usize];
+                self.g
+                    .out_neighbors(u)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| self.alive[base + i].load(Ordering::Relaxed))
+                    .map(|(_, &v)| self.weight(u, v))
+                    .min()
+            })
+            .min()
+    }
+
+    /// Removes every alive edge whose weight is `< bound`, cascading until
+    /// quiescent. Removed edges get induce-number `record` (skipped when
+    /// `record == WARM_PEELED`). Returns the number of cascade rounds.
+    fn cascade_below(&self, active: &mut Vec<VertexId>, bound: u64, record: u64) -> usize {
+        let mut rounds = 0usize;
+        loop {
+            let removed = AtomicUsize::new(0);
+            active.par_iter().for_each(|&u| {
+                let base = self.edge_base[u as usize];
+                for (i, &v) in self.g.out_neighbors(u).iter().enumerate() {
+                    let slot = base + i;
+                    if !self.alive[slot].load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    if self.weight(u, v) < bound {
+                        // Claim the edge; only the winner updates degrees.
+                        if self.alive[slot].swap(false, Ordering::Relaxed) {
+                            if record != WARM_PEELED {
+                                self.induce[slot].store(record, Ordering::Relaxed);
+                            }
+                            self.out_deg[u as usize].fetch_sub(1, Ordering::Relaxed);
+                            self.in_deg[v as usize].fetch_sub(1, Ordering::Relaxed);
+                            removed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+            let removed = removed.load(Ordering::Relaxed);
+            if removed == 0 {
+                break;
+            }
+            rounds += 1;
+            self.alive_count.fetch_sub(removed, Ordering::Relaxed);
+            // Compact the active vertex list.
+            active.retain(|&u| self.out_deg[u as usize].load(Ordering::Relaxed) > 0);
+        }
+        rounds
+    }
+}
+
+fn decompose(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
+    let ((induce, w_star, iterations, first, last), wall) = timed(|| {
+        let engine = Engine::new(g);
+        let mut active: Vec<VertexId> =
+            g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
+        let mut iterations = 0usize;
+        if warm_start {
+            let d_max = g.max_degree() as u64;
+            iterations += engine.cascade_below(&mut active, d_max, WARM_PEELED);
+        }
+        let mut w_star = 0u64;
+        let mut first: Option<usize> = None;
+        let mut last: Option<usize> = None;
+        while let Some(w_t) = engine.min_weight(&active) {
+            let alive_now = engine.alive_count.load(Ordering::Relaxed);
+            if first.is_none() {
+                first = Some(alive_now);
+            }
+            last = Some(alive_now);
+            w_star = w_t;
+            iterations += engine.cascade_below(&mut active, w_t + 1, w_t);
+        }
+        let induce: Vec<u64> =
+            engine.induce.into_iter().map(AtomicU64::into_inner).collect();
+        (induce, w_star, iterations, first, last)
+    });
+    WDecomposition {
+        induce_number: induce,
+        w_star,
+        stats: Stats {
+            iterations,
+            wall,
+            edges_first_iter: first,
+            edges_last_iter: last,
+            ..Stats::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::DirectedGraphBuilder;
+    use rustc_hash::FxHashMap;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> DirectedGraph {
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    }
+
+    /// The paper's Fig. 3(a) graph: u1..u4 = 0..3, v1..v5 = 4..8.
+    fn figure_3_graph() -> DirectedGraph {
+        graph(
+            9,
+            &[
+                (0, 4), // u1 -> v1
+                (0, 5), // u1 -> v2
+                (0, 6), // u1 -> v3
+                (1, 4), // u2 -> v1
+                (1, 5), // u2 -> v2
+                (1, 6), // u2 -> v3
+                (1, 7), // u2 -> v4
+                (1, 8), // u2 -> v5
+                (2, 6), // u3 -> v3
+                (2, 7), // u3 -> v4
+                (3, 7), // u4 -> v4
+            ],
+        )
+    }
+
+    fn induce_map(g: &DirectedGraph, d: &WDecomposition) -> FxHashMap<(u32, u32), u64> {
+        edge_endpoints(g).zip(d.induce_number.iter().copied()).collect()
+    }
+
+    #[test]
+    fn paper_table_3_induce_numbers() {
+        // Table 3 gives the exact induce-number of every edge of Fig. 3(a).
+        let g = figure_3_graph();
+        let d = w_decomposition(&g);
+        let m = induce_map(&g, &d);
+        assert_eq!(m[&(3, 7)], 3); // (u4, v4)
+        assert_eq!(m[&(2, 6)], 4); // (u3, v3)
+        assert_eq!(m[&(2, 7)], 4); // (u3, v4)
+        assert_eq!(m[&(1, 7)], 5); // (u2, v4)
+        assert_eq!(m[&(1, 8)], 5); // (u2, v5)
+        for e in [(0, 4), (0, 5), (0, 6), (1, 4), (1, 5), (1, 6)] {
+            assert_eq!(m[&e], 6, "edge {e:?}");
+        }
+        assert_eq!(d.w_star, 6);
+    }
+
+    #[test]
+    fn paper_figure_3b_w_star_subgraph() {
+        // The w*-induced subgraph contains u1, u2, v1, v2, v3 (Fig. 3(b)).
+        let g = figure_3_graph();
+        let d = w_decomposition(&g);
+        let mut edges = d.w_star_edges(&g);
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 4), (0, 5), (0, 6), (1, 4), (1, 5), (1, 6)]);
+    }
+
+    #[test]
+    fn warm_start_agrees_on_w_star() {
+        for seed in 0..6 {
+            let g = dsd_graph::gen::erdos_renyi_directed(60, 400, seed + 500);
+            let full = w_decomposition(&g);
+            let fast = w_star_decomposition(&g);
+            assert_eq!(full.w_star, fast.w_star, "seed {seed}");
+            let mut a = full.w_star_edges(&g);
+            let mut b = fast.w_star_edges(&g);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn w_star_at_least_d_max() {
+        // The Remark: w* >= d_max.
+        let g = dsd_graph::gen::chung_lu_directed(200, 1200, 2.5, 2.2, 3);
+        let d = w_decomposition(&g);
+        assert!(d.w_star >= g.max_degree() as u64);
+    }
+
+    #[test]
+    fn nested_property_of_w_induced_subgraphs() {
+        // Proposition 3: the w-induced subgraph (edges with induce >= w) is
+        // contained in the w'-induced subgraph for w >= w'. With
+        // induce-numbers this is automatic; verify the decomposition's
+        // subgraphs really satisfy the weight constraint.
+        let g = dsd_graph::gen::erdos_renyi_directed(40, 220, 9);
+        let d = w_decomposition(&g);
+        let endpoints: Vec<(u32, u32)> = edge_endpoints(&g).collect();
+        let mut ws: Vec<u64> = d.induce_number.clone();
+        ws.sort_unstable();
+        ws.dedup();
+        for &w in &ws {
+            // Build the subgraph of edges with induce >= w and check all
+            // internal weights >= w.
+            let sel: Vec<(u32, u32)> = endpoints
+                .iter()
+                .zip(d.induce_number.iter())
+                .filter(|&(_, &iw)| iw >= w)
+                .map(|(&e, _)| e)
+                .collect();
+            let mut outd = vec![0u64; g.num_vertices()];
+            let mut ind = vec![0u64; g.num_vertices()];
+            for &(u, v) in &sel {
+                outd[u as usize] += 1;
+                ind[v as usize] += 1;
+            }
+            for &(u, v) in &sel {
+                assert!(
+                    outd[u as usize] * ind[v as usize] >= w,
+                    "edge ({u},{v}) weight below {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn induce_numbers_are_maximal() {
+        // No edge's induce-number can be raised: the (w+1)-induced subgraph
+        // must exclude it. Equivalent check: for each distinct w, peeling
+        // edges with induce > w from scratch must collapse any edge with
+        // induce == w. We verify via a serial reference decomposition.
+        let g = dsd_graph::gen::erdos_renyi_directed(30, 150, 21);
+        let fast = w_decomposition(&g);
+        let slow = serial_reference(&g);
+        assert_eq!(fast.induce_number, slow);
+    }
+
+    /// Textbook serial peeling: repeatedly remove a single minimum-weight
+    /// edge.
+    fn serial_reference(g: &DirectedGraph) -> Vec<u64> {
+        let endpoints: Vec<(u32, u32)> = edge_endpoints(g).collect();
+        let m = endpoints.len();
+        let mut alive = vec![true; m];
+        let mut outd: Vec<u64> = g.out_degrees().iter().map(|&d| d as u64).collect();
+        let mut ind: Vec<u64> = g.in_degrees().iter().map(|&d| d as u64).collect();
+        let mut induce = vec![0u64; m];
+        let mut remaining = m;
+        let mut current = 0u64;
+        while remaining > 0 {
+            let (ei, w) = endpoints
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| alive[i])
+                .map(|(i, &(u, v))| (i, outd[u as usize] * ind[v as usize]))
+                .min_by_key(|&(_, w)| w)
+                .unwrap();
+            current = current.max(w);
+            induce[ei] = current;
+            alive[ei] = false;
+            let (u, v) = endpoints[ei];
+            outd[u as usize] -= 1;
+            ind[v as usize] -= 1;
+            remaining -= 1;
+        }
+        induce
+    }
+
+    #[test]
+    fn stats_shrink_monotonically() {
+        let g = dsd_graph::gen::chung_lu_directed(300, 2000, 2.3, 2.1, 7);
+        let d = w_star_decomposition(&g);
+        let first = d.stats.edges_first_iter.unwrap();
+        let last = d.stats.edges_last_iter.unwrap();
+        assert!(first <= g.num_edges());
+        assert!(last <= first);
+        assert!(d.w_star >= g.max_degree() as u64);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(3, &[]);
+        let d = w_decomposition(&g);
+        assert_eq!(d.w_star, 0);
+        assert!(d.induce_number.is_empty());
+        assert!(d.w_star_edges(&g).is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = graph(2, &[(0, 1)]);
+        let d = w_decomposition(&g);
+        assert_eq!(d.w_star, 1);
+        assert_eq!(d.induce_number, vec![1]);
+    }
+}

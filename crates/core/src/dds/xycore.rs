@@ -1,0 +1,288 @@
+//! `[x, y]`-core computation (Definition 7, from Ma et al. \[7\]).
+//!
+//! An `[x, y]`-core is the maximal `(S, T)`-induced subgraph in which every
+//! `S`-vertex has out-degree ≥ `x` (counting only edges into `T`) and every
+//! `T`-vertex has in-degree ≥ `y` (counting only edges from `S`). A vertex
+//! may belong to both sides. Computed by cascading removals, exactly like
+//! `k`-core peeling with two interleaved constraints.
+
+use dsd_graph::{DirectedGraph, VertexId};
+
+use crate::uds::bucket::BucketQueue;
+
+/// The two (possibly overlapping) vertex sets of an `[x, y]`-core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XyCore {
+    /// Source side `S` (sorted ids).
+    pub s: Vec<VertexId>,
+    /// Target side `T` (sorted ids).
+    pub t: Vec<VertexId>,
+}
+
+/// Computes the `[x, y]`-core of `g`, or `None` if it is empty.
+///
+/// # Panics
+///
+/// Panics if `x` or `y` is zero (cores are defined for positive
+/// constraints).
+pub fn xy_core(g: &DirectedGraph, x: u32, y: u32) -> Option<XyCore> {
+    assert!(x >= 1 && y >= 1, "core constraints must be positive");
+    let n = g.num_vertices();
+    let mut out_deg = g.out_degrees();
+    let mut in_deg = g.in_degrees();
+    let mut in_s = vec![true; n];
+    let mut in_t = vec![true; n];
+    // Work queue of (vertex, is_source_side) pending removals.
+    let mut queue: Vec<(VertexId, bool)> = Vec::new();
+    for v in 0..n {
+        if out_deg[v] < x {
+            queue.push((v as VertexId, true));
+        }
+        if in_deg[v] < y {
+            queue.push((v as VertexId, false));
+        }
+    }
+    while let Some((v, source_side)) = queue.pop() {
+        let vi = v as usize;
+        if source_side {
+            if !in_s[vi] {
+                continue;
+            }
+            in_s[vi] = false;
+            for &u in g.out_neighbors(v) {
+                let ui = u as usize;
+                if in_t[ui] {
+                    in_deg[ui] -= 1;
+                    if in_deg[ui] < y {
+                        queue.push((u, false));
+                    }
+                }
+            }
+        } else {
+            if !in_t[vi] {
+                continue;
+            }
+            in_t[vi] = false;
+            for &u in g.in_neighbors(v) {
+                let ui = u as usize;
+                if in_s[ui] {
+                    out_deg[ui] -= 1;
+                    if out_deg[ui] < x {
+                        queue.push((u, true));
+                    }
+                }
+            }
+        }
+    }
+    let s: Vec<VertexId> = (0..n as VertexId).filter(|&v| in_s[v as usize]).collect();
+    let t: Vec<VertexId> = (0..n as VertexId).filter(|&v| in_t[v as usize]).collect();
+    if s.is_empty() || t.is_empty() {
+        None
+    } else {
+        Some(XyCore { s, t })
+    }
+}
+
+/// For a fixed out-degree constraint `x`, returns the largest `y` such that
+/// the `[x, y]`-core is non-empty (`None` if even the `[x, 1]`-core is
+/// empty). One arm of the PXY cn-pair enumeration (Section V-A).
+///
+/// Runs a `T`-side min-in-degree peeling (a `k`-core decomposition on the
+/// in-degree) while cascading the `S`-side `x`-constraint, and records the
+/// highest in-degree level at which both sides were still populated.
+pub fn max_y_for_x(g: &DirectedGraph, x: u32) -> Option<u32> {
+    assert!(x >= 1, "core constraint must be positive");
+    let n = g.num_vertices();
+    let mut out_deg = g.out_degrees();
+    let mut in_s = vec![true; n];
+    let mut s_size = n;
+    // Enforce the x-constraint before any T-removal.
+    let mut s_queue: Vec<VertexId> = (0..n as VertexId).filter(|&v| out_deg[v as usize] < x).collect();
+    let mut in_t = vec![true; n];
+    // T-side peeling via the bucket queue on in-degree (the queue owns the
+    // live in-degree of every still-alive T vertex).
+    let mut t_queue = BucketQueue::new(&g.in_degrees());
+    // Process pending S removals against the T bucket keys.
+    let drain_s = |s_queue: &mut Vec<VertexId>,
+                   in_s: &mut [bool],
+                   in_t: &[bool],
+                   t_queue: &mut BucketQueue,
+                   s_size: &mut usize| {
+        while let Some(u) = s_queue.pop() {
+            let ui = u as usize;
+            if !in_s[ui] {
+                continue;
+            }
+            in_s[ui] = false;
+            *s_size -= 1;
+            for &v in g.out_neighbors(u) {
+                let vi = v as usize;
+                if in_t[vi] && !t_queue.is_extracted(v) {
+                    t_queue.decrease_key(v);
+                }
+            }
+        }
+    };
+    drain_s(&mut s_queue, &mut in_s, &in_t, &mut t_queue, &mut s_size);
+
+    let mut best: Option<u32> = None;
+    let mut level = 0u32;
+    while let Some((v, key)) = t_queue.pop_min() {
+        level = level.max(key);
+        // Before removing v: every alive T vertex has in-degree >= level and
+        // every alive S vertex has out-degree >= x, so a non-empty
+        // [x, level]-core exists.
+        if level >= 1 && s_size > 0 {
+            best = Some(best.map_or(level, |b| b.max(level)));
+        }
+        let vi = v as usize;
+        if !in_t[vi] {
+            continue;
+        }
+        in_t[vi] = false;
+        for &u in g.in_neighbors(v) {
+            let ui = u as usize;
+            if in_s[ui] {
+                out_deg[ui] -= 1;
+                if out_deg[ui] < x {
+                    s_queue.push(u);
+                }
+            }
+        }
+        drain_s(&mut s_queue, &mut in_s, &in_t, &mut t_queue, &mut s_size);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::DirectedGraphBuilder;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> DirectedGraph {
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    }
+
+    /// Full bipartite-ish block: 3 sources each pointing at 4 targets.
+    fn block_3x4() -> DirectedGraph {
+        let mut edges = Vec::new();
+        for u in 0..3u32 {
+            for t in 3..7u32 {
+                edges.push((u, t));
+            }
+        }
+        graph(7, &edges)
+    }
+
+    #[test]
+    fn full_block_is_4_3_core() {
+        let g = block_3x4();
+        let core = xy_core(&g, 4, 3).expect("core exists");
+        assert_eq!(core.s, vec![0, 1, 2]);
+        assert_eq!(core.t, vec![3, 4, 5, 6]);
+        assert!(xy_core(&g, 5, 3).is_none());
+        assert!(xy_core(&g, 4, 4).is_none());
+    }
+
+    #[test]
+    fn degrees_satisfied_within_core() {
+        let g = dsd_graph::gen::erdos_renyi_directed(80, 600, 5);
+        let (x, y) = (3, 3);
+        if let Some(core) = xy_core(&g, x, y) {
+            let mut in_t = vec![false; g.num_vertices()];
+            for &v in &core.t {
+                in_t[v as usize] = true;
+            }
+            let mut in_s = vec![false; g.num_vertices()];
+            for &v in &core.s {
+                in_s[v as usize] = true;
+            }
+            for &u in &core.s {
+                let d = g.out_neighbors(u).iter().filter(|&&v| in_t[v as usize]).count();
+                assert!(d >= x as usize, "S vertex {u} out-degree {d}");
+            }
+            for &v in &core.t {
+                let d = g.in_neighbors(v).iter().filter(|&&u| in_s[u as usize]).count();
+                assert!(d >= y as usize, "T vertex {v} in-degree {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn core_is_maximal() {
+        // Any vertex outside the core cannot be added while satisfying the
+        // constraints: verify by attempting naive addition.
+        let g = dsd_graph::gen::erdos_renyi_directed(40, 250, 8);
+        if let Some(core) = xy_core(&g, 2, 2) {
+            let mut in_t = vec![false; g.num_vertices()];
+            for &v in &core.t {
+                in_t[v as usize] = true;
+            }
+            // Every non-S vertex must have < 2 out-edges into T... not
+            // necessarily in one step (cascades), but peeling-based cores
+            // are maximal by construction; here we check the one-step
+            // variant for vertices whose removal was forced directly.
+            let s_set: std::collections::HashSet<u32> = core.s.iter().copied().collect();
+            let mut addable = 0;
+            for v in 0..g.num_vertices() as u32 {
+                if !s_set.contains(&v) {
+                    let d = g.out_neighbors(v).iter().filter(|&&u| in_t[u as usize]).count();
+                    if d >= 2 {
+                        addable += 1;
+                    }
+                }
+            }
+            assert_eq!(addable, 0, "found directly addable S vertices");
+        }
+    }
+
+    #[test]
+    fn max_y_for_x_on_block() {
+        let g = block_3x4();
+        assert_eq!(max_y_for_x(&g, 1), Some(3));
+        assert_eq!(max_y_for_x(&g, 4), Some(3));
+        assert_eq!(max_y_for_x(&g, 5), None);
+    }
+
+    #[test]
+    fn max_y_for_x_matches_linear_scan() {
+        let g = dsd_graph::gen::erdos_renyi_directed(50, 350, 12);
+        for x in 1..=6u32 {
+            let fast = max_y_for_x(&g, x);
+            // Reference: try y = 1, 2, ... with the plain core routine.
+            let mut reference = None;
+            for y in 1..=60u32 {
+                if xy_core(&g, x, y).is_some() {
+                    reference = Some(y);
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(fast, reference, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_core() {
+        let g = graph(4, &[]);
+        assert!(xy_core(&g, 1, 1).is_none());
+        assert!(max_y_for_x(&g, 1).is_none());
+    }
+
+    #[test]
+    fn self_overlapping_core_on_cycle() {
+        // Directed cycle: [1,1]-core is the whole cycle with S = T = V.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let core = xy_core(&g, 1, 1).unwrap();
+        assert_eq!(core.s, vec![0, 1, 2, 3]);
+        assert_eq!(core.t, vec![0, 1, 2, 3]);
+        assert!(xy_core(&g, 1, 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_constraint_rejected() {
+        let g = graph(2, &[(0, 1)]);
+        xy_core(&g, 0, 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Density computations (Definitions 1 and 3 of the paper).
+
+use dsd_graph::{DirectedGraph, UndirectedGraph, VertexId};
+
+/// Density `|E(S)| / |S|` of the subgraph of `g` induced by `set`
+/// (Definition 1). Duplicate ids in `set` are not supported; returns 0 for
+/// the empty set.
+pub fn undirected_density(g: &UndirectedGraph, set: &[VertexId]) -> f64 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    let mut member = vec![false; g.num_vertices()];
+    for &v in set {
+        member[v as usize] = true;
+    }
+    let mut edges = 0usize;
+    for &v in set {
+        for &u in g.neighbors(v) {
+            if u > v && member[u as usize] {
+                edges += 1;
+            }
+        }
+    }
+    edges as f64 / set.len() as f64
+}
+
+/// Number of edges of `g` from `s` to `t` plus the density
+/// `|E(S,T)| / √(|S||T|)` (Definition 3).
+pub fn directed_density(g: &DirectedGraph, s: &[VertexId], t: &[VertexId]) -> f64 {
+    st_edges_and_density(g, s, t).1
+}
+
+/// Returns `(|E(S,T)|, ρ(S,T))`.
+pub fn st_edges_and_density(g: &DirectedGraph, s: &[VertexId], t: &[VertexId]) -> (usize, f64) {
+    if s.is_empty() || t.is_empty() {
+        return (0, 0.0);
+    }
+    let mut in_t = vec![false; g.num_vertices()];
+    for &v in t {
+        in_t[v as usize] = true;
+    }
+    let mut edges = 0usize;
+    for &u in s {
+        for &v in g.out_neighbors(u) {
+            if in_t[v as usize] {
+                edges += 1;
+            }
+        }
+    }
+    (edges, edges as f64 / ((s.len() as f64) * (t.len() as f64)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    #[test]
+    fn triangle_density_one() {
+        let g = UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build()
+            .unwrap();
+        assert!((undirected_density(&g, &[0, 1, 2]) - 1.0).abs() < 1e-12);
+        assert!((undirected_density(&g, &[0, 1, 2, 3]) - 1.0).abs() < 1e-12);
+        assert_eq!(undirected_density(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn directed_density_matches_definition() {
+        let g = DirectedGraphBuilder::new(4)
+            .add_edges([(0, 2), (0, 3), (1, 2), (1, 3)])
+            .build()
+            .unwrap();
+        let (e, d) = st_edges_and_density(&g, &[0, 1], &[2, 3]);
+        assert_eq!(e, 4);
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_density_overlapping_sets_generalises_undirected() {
+        // Density of (S, S) on a doubled undirected graph equals the
+        // undirected density (Section I observation).
+        let ug = UndirectedGraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        let mut b = DirectedGraphBuilder::new(3);
+        for (u, v) in ug.edges() {
+            b.push_edge(u, v);
+            b.push_edge(v, u);
+        }
+        let dg = b.build().unwrap();
+        let s = [0, 1, 2];
+        // 2m_und edges over sqrt(n*n) = 2m/n = 2 * undirected density.
+        let (e, d) = st_edges_and_density(&dg, &s, &s);
+        assert_eq!(e, 6);
+        assert!((d - 2.0 * undirected_density(&ug, &s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sides_zero() {
+        let g = DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        assert_eq!(directed_density(&g, &[], &[1]), 0.0);
+        assert_eq!(directed_density(&g, &[0], &[]), 0.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # dsd-core
+//!
+//! Parallel densest subgraph discovery, reproducing *"Scalable Algorithms
+//! for Densest Subgraph Discovery"* (Luo et al., ICDE 2023).
+//!
+//! The crate implements the paper's two contributions —
+//! [`uds::pkmc`] (Algorithm 2) and [`dds::pwc`] (Algorithm 4) — together
+//! with every baseline the paper compares against, a shared
+//! instrumentation type ([`stats::Stats`]), and a thread-pool
+//! [`runner`] used by the `p`-sweep experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dds;
+pub mod density;
+pub mod refine;
+pub mod runner;
+pub mod stats;
+pub mod uds;

@@ -1,0 +1,98 @@
+//! Result refinement helpers.
+//!
+//! The paper notes (Sections IV-A and V-A) that the `k*`-core and the
+//! `[x*, y*]`-core may consist of several connected components, *any* of
+//! which is a valid 2-approximation. Returning the **densest** component
+//! instead of the whole core is a free quality improvement — the guarantee
+//! is preserved because at least one component is at least as dense as the
+//! full core.
+
+use dsd_graph::{UndirectedGraph, VertexId};
+
+use crate::density::undirected_density;
+
+/// Splits `vertices` into connected components of the induced subgraph and
+/// returns the densest one with its density. Returns the input (density 0)
+/// when the set is empty.
+pub fn densest_component(
+    g: &UndirectedGraph,
+    vertices: &[VertexId],
+) -> (Vec<VertexId>, f64) {
+    if vertices.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let sub = dsd_graph::subgraph::induce_undirected(g, vertices);
+    let comps = dsd_graph::components::connected_components(&sub.graph);
+    let mut best: (Vec<VertexId>, f64) = (Vec::new(), -1.0);
+    for group in comps.groups() {
+        if group.is_empty() {
+            continue;
+        }
+        let original: Vec<VertexId> =
+            group.iter().map(|&v| sub.original[v as usize]).collect();
+        let density = undirected_density(g, &original);
+        if density > best.1 {
+            let mut sorted = original;
+            sorted.sort_unstable();
+            best = (sorted, density);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    #[test]
+    fn picks_the_denser_component() {
+        // K4 (0..4) + triangle (4..7), all in one candidate set.
+        let mut b = UndirectedGraphBuilder::new(7);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.push_edge(u, v);
+            }
+        }
+        b.push_edge(4, 5);
+        b.push_edge(5, 6);
+        b.push_edge(4, 6);
+        let g = b.build().unwrap();
+        let (comp, density) = densest_component(&g, &[0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(comp, vec![0, 1, 2, 3]);
+        assert!((density - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_component_is_identity() {
+        let g = UndirectedGraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        let (comp, density) = densest_component(&g, &[0, 1, 2]);
+        assert_eq!(comp, vec![0, 1, 2]);
+        assert!((density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refinement_never_lowers_density() {
+        for seed in 0..5 {
+            let g = dsd_graph::gen::erdos_renyi(120, 400, seed + 500);
+            let r = crate::uds::pkmc::pkmc(&g);
+            if r.vertices.is_empty() {
+                continue;
+            }
+            let (comp, density) = densest_component(&g, &r.vertices);
+            assert!(!comp.is_empty());
+            assert!(density + 1e-9 >= r.density, "seed {seed}: {density} < {}", r.density);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = UndirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let (comp, density) = densest_component(&g, &[]);
+        assert!(comp.is_empty());
+        assert_eq!(density, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Thread-pool control for the `p`-sweep experiments.
+//!
+//! The paper varies the number of threads `p` from 1 to 64 (Exp-3 and
+//! Exp-7). All algorithms in this crate parallelise through rayon's global
+//! join/scope machinery, so pinning the pool size of the executing scope
+//! reproduces that sweep.
+
+/// Runs `f` inside a dedicated rayon pool with exactly `threads` worker
+/// threads, so every `par_iter` issued by `f` uses that pool.
+///
+/// ```
+/// let sum: u64 = dsd_core::runner::with_threads(2, || {
+///     use rayon::prelude::*;
+///     (0..100u64).into_par_iter().sum()
+/// });
+/// assert_eq!(sum, 4950);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `threads` is 0 or the pool cannot be created.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    assert!(threads > 0, "thread count must be positive");
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pool_size_is_respected() {
+        let observed = with_threads(3, rayon::current_num_threads);
+        assert_eq!(observed, 3);
+    }
+
+    #[test]
+    fn parallel_work_completes() {
+        let v: Vec<u32> = with_threads(2, || (0..1000u32).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[999], 1998);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_rejected() {
+        with_threads(0, || ());
+    }
+}

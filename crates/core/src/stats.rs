@@ -1,0 +1,74 @@
+//! Algorithm instrumentation.
+//!
+//! The paper's evaluation reports more than wall-clock time: Exp-2
+//! (Table 6) compares *iteration counts* across core-decomposition
+//! algorithms, and Exp-6 (Table 7) compares the *sizes of the graphs
+//! processed* by PXY and PWC. Every algorithm in this crate therefore
+//! returns a [`Stats`] value alongside its result.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+/// Execution statistics reported by every algorithm.
+#[derive(Clone, Debug, Default, Serialize, PartialEq)]
+pub struct Stats {
+    /// Number of (parallel) iterations / rounds / sweeps performed.
+    ///
+    /// * h-index algorithms (Local, PKMC): full h-update sweeps,
+    /// * peeling algorithms (PKC, Algorithm 3's inner loop): frontier
+    ///   removal rounds,
+    /// * pass-based algorithms (PBU, PBD, PFW): passes.
+    pub iterations: usize,
+    /// Wall-clock time of the whole computation.
+    pub wall: Duration,
+    /// Edges alive when the first main iteration started (Table 7's
+    /// `PWC₁`). `None` for algorithms where the notion does not apply.
+    pub edges_first_iter: Option<usize>,
+    /// Edges alive when the last main iteration started (Table 7's
+    /// `PWC_{w*}`).
+    pub edges_last_iter: Option<usize>,
+    /// Edges in the returned (densest) subgraph (Table 7's `PWC_{D*}`).
+    pub edges_result: Option<usize>,
+}
+
+impl Stats {
+    /// Creates a stats value carrying only an iteration count and elapsed
+    /// time.
+    pub fn new(iterations: usize, wall: Duration) -> Self {
+        Self { iterations, wall, ..Self::default() }
+    }
+}
+
+/// Measures the wall time of `f`, returning its result and the duration.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result() {
+        let (x, wall) = timed(|| 41 + 1);
+        assert_eq!(x, 42);
+        assert!(wall.as_nanos() > 0 || wall.as_nanos() == 0); // well-formed
+    }
+
+    #[test]
+    fn new_sets_fields() {
+        let s = Stats::new(3, Duration::from_millis(5));
+        assert_eq!(s.iterations, 3);
+        assert_eq!(s.wall, Duration::from_millis(5));
+        assert!(s.edges_first_iter.is_none());
+    }
+
+    #[test]
+    fn stats_is_serializable() {
+        fn assert_serialize<T: serde::Serialize>() {}
+        assert_serialize::<Stats>();
+    }
+}

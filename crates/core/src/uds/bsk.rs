@@ -1,0 +1,140 @@
+//! Binary-search `k*`-core computation — the "simple method" of the
+//! paper's Section IV-B, implemented as an ablation baseline.
+//!
+//! Guess `k̂`, check whether a non-empty `k̂`-core exists (one peeling
+//! pass over the subgraph of vertices with degree ≥ `k̂`), and binary
+//! search on `k̂`. `O((m + n) log n)` — the paper notes this can be
+//! *slower* than the h-index approach despite the better-looking bound,
+//! which is exactly what `bench_uds`'s numbers show on power-law graphs
+//! (each probe rescans the graph, while PKMC's few sweeps touch mostly
+//! hot vertices).
+
+use dsd_graph::{UndirectedGraph, VertexId};
+
+use crate::density::undirected_density;
+use crate::stats::{timed, Stats};
+use crate::uds::UdsResult;
+
+/// Vertices of the `k`-core of `g` (empty if none). One `O(m)` cascade.
+pub fn k_core(g: &UndirectedGraph, k: u32) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut deg = g.degrees();
+    let mut alive = vec![true; n];
+    let mut queue: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| deg[v as usize] < k).collect();
+    for &v in &queue {
+        alive[v as usize] = false;
+    }
+    while let Some(v) = queue.pop() {
+        for &u in g.neighbors(v) {
+            let ui = u as usize;
+            if alive[ui] {
+                deg[ui] -= 1;
+                if deg[ui] < k {
+                    alive[ui] = false;
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    (0..n as VertexId).filter(|&v| alive[v as usize]).collect()
+}
+
+/// Computes the `k*`-core by binary search on `k` (`stats.iterations`
+/// counts peeling probes).
+pub fn bsk(g: &UndirectedGraph) -> UdsResult {
+    let ((vertices, probes), wall) = timed(|| {
+        if g.num_edges() == 0 {
+            return (Vec::new(), 0usize);
+        }
+        // k* is between 1 and d_max; the k-core is non-empty iff k <= k*.
+        let mut lo = 1u32; // 1-core of a graph with edges is non-empty
+        let mut hi = g.max_degree() as u32;
+        let mut probes = 0usize;
+        let mut best = k_core(g, lo);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            probes += 1;
+            let core = k_core(g, mid);
+            if core.is_empty() {
+                hi = mid - 1;
+            } else {
+                best = core;
+                lo = mid;
+            }
+        }
+        (best, probes)
+    });
+    let density = undirected_density(g, &vertices);
+    UdsResult { vertices, density, stats: Stats { iterations: probes, wall, ..Stats::default() } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uds::bz::bz_decomposition;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    #[test]
+    fn k_core_of_triangle_with_tail() {
+        let g = UndirectedGraphBuilder::new(5)
+            .add_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+            .build()
+            .unwrap();
+        assert_eq!(k_core(&g, 2), vec![0, 1, 2]);
+        assert_eq!(k_core(&g, 1).len(), 5);
+        assert!(k_core(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn matches_bz_k_star_core() {
+        for seed in 0..6 {
+            let g = dsd_graph::gen::erdos_renyi(120, 500, seed + 70);
+            let bz = bz_decomposition(&g);
+            let r = bsk(&g);
+            let mut expected = bz.k_star_core();
+            expected.sort_unstable();
+            assert_eq!(r.vertices, expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_pkmc_on_power_law() {
+        let g = dsd_graph::gen::chung_lu(500, 3000, 2.3, 77);
+        let a = bsk(&g);
+        let b = crate::uds::pkmc::pkmc(&g);
+        assert_eq!(a.vertices, b.vertices);
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let g = dsd_graph::gen::chung_lu(1000, 8000, 2.2, 5);
+        let r = bsk(&g);
+        let d_max = g.max_degree() as f64;
+        assert!(r.stats.iterations as f64 <= d_max.log2() + 2.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraphBuilder::new(3).build().unwrap();
+        let r = bsk(&g);
+        assert!(r.vertices.is_empty());
+        assert_eq!(r.density, 0.0);
+    }
+
+    #[test]
+    fn k_core_members_have_internal_degree_k() {
+        let g = dsd_graph::gen::erdos_renyi(100, 450, 8);
+        for k in 1..6u32 {
+            let core = k_core(&g, k);
+            let mut member = vec![false; g.num_vertices()];
+            for &v in &core {
+                member[v as usize] = true;
+            }
+            for &v in &core {
+                let d = g.neighbors(v).iter().filter(|&&u| member[u as usize]).count();
+                assert!(d >= k as usize);
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Bucket priority structure for min-degree peeling.
+//!
+//! The Batagelj–Zaveršnik `O(m)` core decomposition and Charikar's peeling
+//! both repeatedly extract a minimum-degree vertex and decrement its
+//! neighbours' degrees. This structure supports exactly that: vertices are
+//! kept sorted by degree in a flat array with per-degree bucket starts, and
+//! `decrease_key` swaps a vertex to its bucket boundary in `O(1)` — the
+//! textbook binsort layout.
+
+use dsd_graph::VertexId;
+
+/// Min-degree bucket queue over vertices `0..n` with keys `0..=max_key`.
+#[derive(Debug)]
+pub struct BucketQueue {
+    /// Current key of each vertex.
+    key: Vec<u32>,
+    /// Vertices sorted by key.
+    vert: Vec<VertexId>,
+    /// `pos[v]` is the index of `v` in `vert`.
+    pos: Vec<usize>,
+    /// `bin[k]` is the index in `vert` where key-`k` vertices start.
+    bin: Vec<usize>,
+    /// Index of the next unextracted vertex in `vert`.
+    cursor: usize,
+}
+
+impl BucketQueue {
+    /// Builds the queue from initial keys.
+    pub fn new(keys: &[u32]) -> Self {
+        let n = keys.len();
+        let max_key = keys.iter().copied().max().unwrap_or(0) as usize;
+        let mut count = vec![0usize; max_key + 1];
+        for &k in keys {
+            count[k as usize] += 1;
+        }
+        let mut bin = vec![0usize; max_key + 2];
+        let mut acc = 0usize;
+        for (k, &c) in count.iter().enumerate() {
+            bin[k] = acc;
+            acc += c;
+        }
+        bin[max_key + 1] = acc;
+        let mut cursor_bins = bin.clone();
+        let mut vert = vec![0 as VertexId; n];
+        let mut pos = vec![0usize; n];
+        for (v, &k) in keys.iter().enumerate() {
+            let p = cursor_bins[k as usize];
+            vert[p] = v as VertexId;
+            pos[v] = p;
+            cursor_bins[k as usize] += 1;
+        }
+        Self { key: keys.to_vec(), vert, pos, bin, cursor: 0 }
+    }
+
+    /// Number of vertices not yet extracted.
+    pub fn remaining(&self) -> usize {
+        self.vert.len() - self.cursor
+    }
+
+    /// Current key of vertex `v`.
+    pub fn key_of(&self, v: VertexId) -> u32 {
+        self.key[v as usize]
+    }
+
+    /// Whether vertex `v` has been extracted.
+    pub fn is_extracted(&self, v: VertexId) -> bool {
+        self.pos[v as usize] < self.cursor
+    }
+
+    /// Extracts a vertex with the minimum key, returning `(vertex, key)`.
+    pub fn pop_min(&mut self) -> Option<(VertexId, u32)> {
+        if self.cursor >= self.vert.len() {
+            return None;
+        }
+        let v = self.vert[self.cursor];
+        let k = self.key[v as usize];
+        self.cursor += 1;
+        Some((v, k))
+    }
+
+    /// Decrements the key of `v` by one (no-op if already 0 or extracted).
+    pub fn decrease_key(&mut self, v: VertexId) {
+        let vi = v as usize;
+        if self.pos[vi] < self.cursor || self.key[vi] == 0 {
+            return;
+        }
+        let k = self.key[vi] as usize;
+        // Swap v with the first vertex of its bucket, then shrink the bucket.
+        let bucket_start = self.bin[k].max(self.cursor);
+        let pv = self.pos[vi];
+        let w = self.vert[bucket_start];
+        if w != v {
+            self.vert.swap(pv, bucket_start);
+            self.pos[w as usize] = pv;
+            self.pos[vi] = bucket_start;
+        }
+        self.bin[k] = bucket_start + 1;
+        self.key[vi] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_min_order() {
+        let mut q = BucketQueue::new(&[3, 1, 2, 1]);
+        let (v1, k1) = q.pop_min().unwrap();
+        assert_eq!(k1, 1);
+        assert!(v1 == 1 || v1 == 3);
+        let (_, k2) = q.pop_min().unwrap();
+        assert_eq!(k2, 1);
+        let (v3, k3) = q.pop_min().unwrap();
+        assert_eq!((v3, k3), (2, 2));
+        let (v4, k4) = q.pop_min().unwrap();
+        assert_eq!((v4, k4), (0, 3));
+        assert!(q.pop_min().is_none());
+    }
+
+    #[test]
+    fn decrease_key_reorders() {
+        let mut q = BucketQueue::new(&[5, 1, 3]);
+        q.decrease_key(0); // 5 -> 4
+        q.decrease_key(0); // 4 -> 3
+        q.decrease_key(0); // 3 -> 2
+        q.decrease_key(0); // 2 -> 1
+        q.decrease_key(0); // 1 -> 0
+        let (v, k) = q.pop_min().unwrap();
+        assert_eq!((v, k), (0, 0));
+    }
+
+    #[test]
+    fn decrease_after_extract_is_noop() {
+        let mut q = BucketQueue::new(&[0, 2]);
+        let (v, _) = q.pop_min().unwrap();
+        assert_eq!(v, 0);
+        q.decrease_key(0);
+        assert_eq!(q.key_of(1), 2);
+        assert_eq!(q.remaining(), 1);
+    }
+
+    #[test]
+    fn key_floor_at_zero() {
+        let mut q = BucketQueue::new(&[0]);
+        q.decrease_key(0);
+        assert_eq!(q.key_of(0), 0);
+    }
+
+    #[test]
+    fn remaining_and_extracted() {
+        let mut q = BucketQueue::new(&[1, 1]);
+        assert_eq!(q.remaining(), 2);
+        let (v, _) = q.pop_min().unwrap();
+        assert!(q.is_extracted(v));
+        assert_eq!(q.remaining(), 1);
+    }
+
+    #[test]
+    fn bz_style_peel_simulation() {
+        // Triangle plus pendant: peel order must give pendant first.
+        // degrees: v0=3, v1=2, v2=2, v3=1.
+        let mut q = BucketQueue::new(&[3, 2, 2, 1]);
+        let (v, k) = q.pop_min().unwrap();
+        assert_eq!((v, k), (3, 1));
+        q.decrease_key(0); // v0 loses its pendant neighbour
+        let (_, k) = q.pop_min().unwrap();
+        assert_eq!(k, 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Charikar's serial peeling 2-approximation (the classic UDS baseline,
+//! reference \[3\] of the paper).
+//!
+//! Iteratively removes the minimum-degree vertex and returns the densest
+//! prefix of the peeling order. `O(m + n)` with the binsort bucket queue.
+//! This is the "strong dependency in their steps" algorithm the paper's
+//! introduction cites as hard to parallelise — kept serial here, both as a
+//! correctness oracle and as the natural single-thread baseline.
+
+use dsd_graph::{UndirectedGraph, VertexId};
+
+use crate::stats::{timed, Stats};
+use crate::uds::bucket::BucketQueue;
+use crate::uds::UdsResult;
+
+/// Runs Charikar's greedy peeling and returns the densest subgraph seen.
+pub fn charikar(g: &UndirectedGraph) -> UdsResult {
+    let ((order, best_remaining, best_density), wall) = timed(|| peel(g));
+    // The best subgraph is the set of vertices NOT among the first
+    // `n - best_remaining` peeled.
+    let n = g.num_vertices();
+    let mut vertices: Vec<VertexId> = order[(n - best_remaining)..].to_vec();
+    vertices.sort_unstable();
+    UdsResult {
+        vertices,
+        density: best_density,
+        stats: Stats { iterations: n, wall, ..Stats::default() },
+    }
+}
+
+/// Peels min-degree vertices; returns the removal order, the remaining
+/// vertex count at the densest prefix, and that density.
+fn peel(g: &UndirectedGraph) -> (Vec<VertexId>, usize, f64) {
+    let n = g.num_vertices();
+    let mut q = BucketQueue::new(&g.degrees());
+    let mut m_remaining = g.num_edges();
+    let mut best_density = if n > 0 { g.density() } else { 0.0 };
+    let mut best_remaining = n;
+    let mut order = Vec::with_capacity(n);
+    while let Some((v, k)) = q.pop_min() {
+        order.push(v);
+        m_remaining -= k as usize;
+        for &u in g.neighbors(v) {
+            if !q.is_extracted(u) {
+                q.decrease_key(u);
+            }
+        }
+        let remaining = q.remaining();
+        if remaining > 0 {
+            let density = m_remaining as f64 / remaining as f64;
+            if density > best_density {
+                best_density = density;
+                best_remaining = remaining;
+            }
+        }
+    }
+    debug_assert_eq!(m_remaining, 0);
+    (order, best_remaining, best_density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::undirected_density;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> UndirectedGraph {
+        UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    }
+
+    #[test]
+    fn finds_clique_in_sparse_background() {
+        // K4 plus path tail.
+        let g = graph(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+        );
+        let r = charikar(&g);
+        assert_eq!(r.vertices, vec![0, 1, 2, 3]);
+        assert!((r.density - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reported_density_matches_vertex_set() {
+        let g = graph(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let r = charikar(&g);
+        assert!((undirected_density(&g, &r.vertices) - r.density).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph(3, &[]);
+        let r = charikar(&g);
+        assert_eq!(r.density, 0.0);
+    }
+
+    #[test]
+    fn two_approximation_vs_exact() {
+        let g = dsd_graph::gen::erdos_renyi(60, 240, 5);
+        let exact = dsd_flow::uds_exact(&g);
+        let approx = charikar(&g);
+        assert!(
+            approx.density * 2.0 + 1e-9 >= exact.density,
+            "approx {} vs exact {}",
+            approx.density,
+            exact.density
+        );
+    }
+
+    #[test]
+    fn whole_graph_when_it_is_densest() {
+        // A clique: peeling never improves on the full graph.
+        let mut b = UndirectedGraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = charikar(&g);
+        assert_eq!(r.vertices.len(), 5);
+        assert!((r.density - 2.0).abs() < 1e-12);
+    }
+}

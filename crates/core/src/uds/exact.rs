@@ -1,0 +1,80 @@
+//! Brute-force exact UDS for tiny graphs — a second, independent oracle
+//! used by property tests to validate the flow-based exact algorithm and
+//! the approximation bounds.
+
+use dsd_graph::{UndirectedGraph, VertexId};
+
+use crate::density::undirected_density;
+
+/// Maximum vertex count accepted by [`uds_brute_force`].
+pub const BRUTE_FORCE_LIMIT: usize = 24;
+
+/// Enumerates all non-empty vertex subsets and returns a densest one.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`BRUTE_FORCE_LIMIT`] vertices.
+pub fn uds_brute_force(g: &UndirectedGraph) -> (Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    assert!(n <= BRUTE_FORCE_LIMIT, "brute force limited to {BRUTE_FORCE_LIMIT} vertices");
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let mut best_set = Vec::new();
+    let mut best = 0.0f64;
+    for mask in 1u32..(1u32 << n) {
+        let set: Vec<VertexId> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        let d = undirected_density(g, &set);
+        if d > best {
+            best = d;
+            best_set = set;
+        }
+    }
+    (best_set, best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    #[test]
+    fn triangle() {
+        let g = UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let (set, d) = uds_brute_force(&g);
+        assert_eq!(set, vec![0, 1, 2]);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_flow_exact() {
+        for seed in 0..10 {
+            let g = dsd_graph::gen::erdos_renyi(10, 22, seed);
+            let (_, brute) = uds_brute_force(&g);
+            let flow = dsd_flow::uds_exact(&g);
+            assert!(
+                (brute - flow.density).abs() < 1e-9,
+                "seed {seed}: brute {brute} flow {}",
+                flow.density
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless() {
+        let g = UndirectedGraphBuilder::new(3).build().unwrap();
+        let (set, d) = uds_brute_force(&g);
+        assert!(set.is_empty());
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn rejects_large_graphs() {
+        let g = UndirectedGraphBuilder::new(30).build().unwrap();
+        uds_brute_force(&g);
+    }
+}

@@ -1,0 +1,82 @@
+//! Undirected densest subgraph (UDS) algorithms — Section IV of the paper.
+//!
+//! The paper's contribution is [`pkmc`] (Algorithm 2). The baselines it is
+//! compared against in Exp-1..4 are all here too: [`charikar`], [`bz`],
+//! [`pkc`], [`local`], [`pbu`], and [`pfw`]; [`exact`] holds a brute-force
+//! oracle for tiny graphs (the flow-based exact oracle lives in
+//! `dsd-flow`). Extensions beyond the paper: [`bsk`] (the Section IV-B
+//! binary-search method), [`truss`] and [`triangle`] (the future-work
+//! k-truss / k-clique-density relationships).
+
+pub mod bsk;
+pub mod bucket;
+pub mod bz;
+pub mod charikar;
+pub mod exact;
+pub mod local;
+pub mod pbu;
+pub mod pfw;
+pub mod pkc;
+pub mod pkmc;
+pub mod triangle;
+pub mod truss;
+
+use dsd_graph::VertexId;
+use serde::Serialize;
+
+use crate::stats::Stats;
+
+/// Result of an undirected densest-subgraph algorithm.
+#[derive(Clone, Debug, Serialize)]
+pub struct UdsResult {
+    /// Vertex set of the returned subgraph (sorted original ids).
+    pub vertices: Vec<VertexId>,
+    /// Density `|E(S)| / |S|` of the returned subgraph.
+    pub density: f64,
+    /// Execution statistics.
+    pub stats: Stats,
+}
+
+/// Result of a full core decomposition.
+#[derive(Clone, Debug, Serialize)]
+pub struct CoreDecomposition {
+    /// `core[v]` is the core number of vertex `v`.
+    pub core: Vec<u32>,
+    /// The maximum core number `k*`.
+    pub k_star: u32,
+    /// Execution statistics.
+    pub stats: Stats,
+}
+
+impl CoreDecomposition {
+    /// Vertices of the `k*`-core (those with the maximum core number).
+    pub fn k_star_core(&self) -> Vec<VertexId> {
+        self.core
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == self.k_star && self.k_star > 0)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_star_core_selects_max() {
+        let d = CoreDecomposition {
+            core: vec![1, 2, 2, 0],
+            k_star: 2,
+            stats: Stats::default(),
+        };
+        assert_eq!(d.k_star_core(), vec![1, 2]);
+    }
+
+    #[test]
+    fn k_star_zero_core_is_empty() {
+        let d = CoreDecomposition { core: vec![0, 0], k_star: 0, stats: Stats::default() };
+        assert!(d.k_star_core().is_empty());
+    }
+}

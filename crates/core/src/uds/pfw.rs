@@ -1,0 +1,170 @@
+//! PFW — Frank–Wolfe `(1+ε)`-approximation
+//! (Danisch et al. WWW 2017 / Su & Vu DISC 2020; references \[23\], \[28\]).
+//!
+//! The densest subgraph LP assigns each edge one unit of mass split between
+//! its endpoints; minimising the maximum vertex load is dual to maximising
+//! the density. Frank–Wolfe iterations rebalance each edge's mass toward
+//! its currently lighter endpoint with step size `γ_t = 2/(t+2)`; after `T`
+//! sweeps the vertices are sorted by load and the densest prefix is
+//! returned (the standard fractional-peeling extraction).
+//!
+//! As in the paper, PFW is the quality-over-speed baseline: per-sweep cost
+//! is `O(m)` but convergence needs many sweeps, which is why Exp-1 shows it
+//! up to two orders of magnitude slower than the core-based algorithms.
+
+use dsd_graph::{UndirectedGraph, VertexId};
+use rayon::prelude::*;
+
+use crate::stats::{timed, Stats};
+use crate::uds::UdsResult;
+
+/// Configuration for [`pfw_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct PfwConfig {
+    /// Number of Frank–Wolfe sweeps (paper setting ε = 1 corresponds to a
+    /// moderate sweep budget; default 100).
+    pub iterations: usize,
+}
+
+impl Default for PfwConfig {
+    fn default() -> Self {
+        Self { iterations: 100 }
+    }
+}
+
+/// Runs PFW with the default sweep budget.
+pub fn pfw(g: &UndirectedGraph) -> UdsResult {
+    pfw_with(g, PfwConfig::default())
+}
+
+/// Runs PFW with an explicit sweep budget.
+pub fn pfw_with(g: &UndirectedGraph, config: PfwConfig) -> UdsResult {
+    let ((vertices, density), wall) = timed(|| run(g, config.iterations));
+    UdsResult {
+        vertices,
+        density,
+        stats: Stats { iterations: config.iterations, wall, ..Stats::default() },
+    }
+}
+
+fn run(g: &UndirectedGraph, iterations: usize) -> (Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 || m == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    // alpha[e]: fraction of edge e's unit mass assigned to endpoint .0.
+    let mut alpha = vec![0.5f64; m];
+    let mut load = vec![0.0f64; n];
+    recompute_loads(&edges, &alpha, &mut load);
+    for t in 0..iterations {
+        let gamma = 2.0 / (t as f64 + 2.0);
+        alpha.par_iter_mut().enumerate().for_each(|(e, a)| {
+            let (u, v) = edges[e];
+            // Greedy target: all mass to the lighter endpoint (ties to the
+            // smaller id for determinism).
+            let lu = load[u as usize];
+            let lv = load[v as usize];
+            let target = if lu < lv || (lu == lv && u < v) { 1.0 } else { 0.0 };
+            *a = (1.0 - gamma) * *a + gamma * target;
+        });
+        recompute_loads(&edges, &alpha, &mut load);
+    }
+    extract(g, &load)
+}
+
+fn recompute_loads(edges: &[(VertexId, VertexId)], alpha: &[f64], load: &mut [f64]) {
+    load.iter_mut().for_each(|l| *l = 0.0);
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        load[u as usize] += alpha[e];
+        load[v as usize] += 1.0 - alpha[e];
+    }
+}
+
+/// Sorts vertices by load descending and returns the densest prefix.
+fn extract(g: &UndirectedGraph, load: &[f64]) -> (Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.par_sort_unstable_by(|&a, &b| {
+        load[b as usize].partial_cmp(&load[a as usize]).unwrap().then(a.cmp(&b))
+    });
+    let mut rank = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    let mut best_density = 0.0f64;
+    let mut best_len = 0usize;
+    let mut edges_inside = 0usize;
+    for (i, &v) in order.iter().enumerate() {
+        // Edges from v to earlier-ranked vertices enter the prefix subgraph.
+        edges_inside += g.neighbors(v).iter().filter(|&&u| rank[u as usize] < i).count();
+        let density = edges_inside as f64 / (i + 1) as f64;
+        if density > best_density {
+            best_density = density;
+            best_len = i + 1;
+        }
+    }
+    let mut vertices: Vec<VertexId> = order[..best_len].to_vec();
+    vertices.sort_unstable();
+    (vertices, best_density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::undirected_density;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    #[test]
+    fn finds_planted_clique_exactly() {
+        let g = dsd_graph::gen::planted_dense(300, 400, 20, 1.0, 61);
+        let r = pfw(&g);
+        // The planted 20-clique (density 9.5) should be recovered closely.
+        assert!(r.density >= 9.0, "density {}", r.density);
+    }
+
+    #[test]
+    fn close_to_exact_on_random_graph() {
+        let g = dsd_graph::gen::erdos_renyi(80, 400, 13);
+        let exact = dsd_flow::uds_exact(&g);
+        let r = pfw_with(&g, PfwConfig { iterations: 200 });
+        assert!(
+            r.density >= exact.density / 1.25,
+            "pfw {} vs exact {}",
+            r.density,
+            exact.density
+        );
+    }
+
+    #[test]
+    fn reported_density_matches_set() {
+        let g = dsd_graph::gen::chung_lu(200, 1000, 2.4, 9);
+        let r = pfw(&g);
+        assert!((undirected_density(&g, &r.vertices) - r.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_much() {
+        let g = dsd_graph::gen::chung_lu(200, 1200, 2.2, 10);
+        let short = pfw_with(&g, PfwConfig { iterations: 5 });
+        let long = pfw_with(&g, PfwConfig { iterations: 300 });
+        assert!(long.density + 1e-9 >= short.density * 0.95);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraphBuilder::new(2).build().unwrap();
+        let r = pfw(&g);
+        assert_eq!(r.density, 0.0);
+        assert!(r.vertices.is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = UndirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let r = pfw(&g);
+        assert!((r.density - 0.5).abs() < 1e-12);
+        assert_eq!(r.vertices, vec![0, 1]);
+    }
+}

@@ -1,0 +1,270 @@
+//! PKMC — the paper's Algorithm 2: parallel `k*`-core computation with the
+//! Theorem-1 early stop.
+//!
+//! PKMC runs the same synchronous h-index sweeps as [`crate::uds::local`],
+//! but instead of waiting for *every* vertex's h-index to converge to its
+//! core number, it watches only the maximum h-index `h_max` and the number
+//! `s` of vertices attaining it:
+//!
+//! * **Proposition 1 guard** (Algorithm 2, line 12): the `k*`-core has at
+//!   least `k* + 1` vertices, so while `s ≤ h_max` the candidate set cannot
+//!   be the `k*`-core yet and the stop check is skipped.
+//! * **Theorem 1 stop** (lines 13–14): if `h_max` and `s` are unchanged
+//!   between two consecutive sweeps, `k* = h_max` and the subgraph induced
+//!   by `{v : h(v) = h_max}` is the `k*`-core.
+//!
+//! On the power-law graphs the paper targets this fires after single-digit
+//! sweeps (Table 6), while full convergence takes tens to thousands.
+//!
+//! **Safety addition (this implementation):** Theorem 1's stop criterion is
+//! a *heuristic certificate*; before stopping we optionally verify that the
+//! candidate set really induces minimum degree ≥ `h_max` (which proves
+//! `k* = h_max` and that the set is a `k*`-core — see DESIGN.md §2). If the
+//! cheap check fails, the iteration simply continues; at full convergence
+//! the candidate set is exactly the `k*`-core and the check always passes,
+//! so the algorithm terminates with a *correct* answer on every input.
+//! Toggle with [`PkmcConfig::verify_candidate`].
+
+use dsd_graph::{UndirectedGraph, VertexId};
+use rayon::prelude::*;
+
+use crate::density::undirected_density;
+use crate::stats::{timed, Stats};
+use crate::uds::local::sweep_active;
+use crate::uds::UdsResult;
+
+/// Configuration for [`pkmc_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct PkmcConfig {
+    /// Verify that the Theorem-1 candidate set induces min degree ≥ `h_max`
+    /// before stopping (default `true`). With `false` the algorithm is
+    /// exactly the paper's Algorithm 2.
+    pub verify_candidate: bool,
+}
+
+impl Default for PkmcConfig {
+    fn default() -> Self {
+        Self { verify_candidate: true }
+    }
+}
+
+/// Result of PKMC: the `k*`-core as a 2-approximate UDS.
+#[derive(Clone, Debug)]
+pub struct PkmcResult {
+    /// Vertices of the `k*`-core (sorted ids).
+    pub vertices: Vec<VertexId>,
+    /// The maximum core number `k*`.
+    pub k_star: u32,
+    /// Density of the returned subgraph.
+    pub density: f64,
+    /// Whether the Theorem-1 early stop fired (vs running to convergence).
+    pub early_stopped: bool,
+    /// Execution statistics (`iterations` = h-index sweeps performed).
+    pub stats: Stats,
+}
+
+impl From<PkmcResult> for UdsResult {
+    fn from(r: PkmcResult) -> Self {
+        UdsResult { vertices: r.vertices, density: r.density, stats: r.stats }
+    }
+}
+
+/// Runs PKMC with the default (verified) configuration.
+pub fn pkmc(g: &UndirectedGraph) -> PkmcResult {
+    pkmc_with(g, PkmcConfig::default())
+}
+
+/// Runs PKMC (Algorithm 2).
+pub fn pkmc_with(g: &UndirectedGraph, config: PkmcConfig) -> PkmcResult {
+    let ((vertices, k_star, iterations, early), wall) = timed(|| run(g, config));
+    let density = undirected_density(g, &vertices);
+    PkmcResult {
+        vertices,
+        k_star,
+        density,
+        early_stopped: early,
+        stats: Stats { iterations, wall, ..Stats::default() },
+    }
+}
+
+fn max_and_count(h: &[u32]) -> (u32, usize) {
+    let max = h.par_iter().copied().max().unwrap_or(0);
+    let count = h.par_iter().filter(|&&x| x == max).count();
+    (max, count)
+}
+
+fn candidates_of(h: &[u32], h_max: u32) -> Vec<VertexId> {
+    h.iter()
+        .enumerate()
+        .filter(|&(_, &x)| x == h_max)
+        .map(|(v, _)| v as VertexId)
+        .collect()
+}
+
+/// Checks that the subgraph induced by `set` has minimum degree ≥ `k`.
+fn induces_min_degree(g: &UndirectedGraph, set: &[VertexId], k: u32) -> bool {
+    let mut member = vec![false; g.num_vertices()];
+    for &v in set {
+        member[v as usize] = true;
+    }
+    set.par_iter().all(|&v| {
+        let deg_in = g.neighbors(v).iter().filter(|&&u| member[u as usize]).count();
+        deg_in >= k as usize
+    })
+}
+
+fn run(g: &UndirectedGraph, config: PkmcConfig) -> (Vec<VertexId>, u32, usize, bool) {
+    let n = g.num_vertices();
+    if n == 0 || g.num_edges() == 0 {
+        return (Vec::new(), 0, 0, false);
+    }
+    let mut h = g.degrees();
+    // Algorithm 2 line 7 is a full "for v in V in parallel" sweep; PKMC's
+    // whole point is that only a handful of such sweeps are needed.
+    let all: Vec<VertexId> = (0..n as VertexId).collect();
+    // Lines 1-3: h^(0) = degrees; h_max^(0), s^(0).
+    let (mut h_max_prev, mut s_prev) = max_and_count(&h);
+    let mut iterations = 0usize;
+    loop {
+        // Lines 7-9: one parallel h-update sweep.
+        let changed = sweep_active(g, &mut h, &all);
+        if changed.is_empty() {
+            // Full convergence: h = core numbers; candidate set IS the
+            // k*-core (no early stop needed).
+            let (h_max, _) = max_and_count(&h);
+            let cand = candidates_of(&h, h_max);
+            return (cand, h_max, iterations, false);
+        }
+        iterations += 1;
+        // Lines 10-11.
+        let (h_max, s) = max_and_count(&h);
+        // Line 12 (Proposition 1): the k*-core has >= k* + 1 vertices.
+        let guard_ok = s > h_max as usize;
+        // Lines 13-14 (Theorem 1): stable h_max and stable count.
+        if guard_ok && h_max == h_max_prev && s == s_prev {
+            let cand = candidates_of(&h, h_max);
+            if !config.verify_candidate || induces_min_degree(g, &cand, h_max) {
+                return (cand, h_max, iterations, true);
+            }
+            // Verification failed: Theorem-1 certificate not yet valid on
+            // this input; keep iterating (safety addition, see module docs).
+        }
+        h_max_prev = h_max;
+        s_prev = s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uds::bz::bz_decomposition;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    fn check_is_k_star_core(g: &UndirectedGraph, r: &PkmcResult) {
+        let bz = bz_decomposition(g);
+        assert_eq!(r.k_star, bz.k_star, "k* mismatch");
+        let mut expected = bz.k_star_core();
+        expected.sort_unstable();
+        assert_eq!(r.vertices, expected, "k*-core vertex set mismatch");
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = UndirectedGraphBuilder::new(5)
+            .add_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+            .build()
+            .unwrap();
+        let r = pkmc(&g);
+        check_is_k_star_core(&g, &r);
+        assert_eq!(r.vertices, vec![0, 1, 2]);
+        assert_eq!(r.k_star, 2);
+    }
+
+    #[test]
+    fn matches_bz_on_random_graphs() {
+        for seed in 0..8 {
+            let g = dsd_graph::gen::erdos_renyi(150, 600, seed + 30);
+            let r = pkmc(&g);
+            check_is_k_star_core(&g, &r);
+        }
+    }
+
+    #[test]
+    fn matches_bz_on_power_law_graphs() {
+        for seed in 0..4 {
+            let g = dsd_graph::gen::chung_lu(600, 4000, 2.2, seed);
+            let r = pkmc(&g);
+            check_is_k_star_core(&g, &r);
+        }
+    }
+
+    #[test]
+    fn early_stop_uses_fewer_iterations_than_local() {
+        let g = dsd_graph::gen::chung_lu(2000, 16_000, 2.1, 77);
+        let local = crate::uds::local::local_decomposition(&g);
+        let r = pkmc(&g);
+        check_is_k_star_core(&g, &r);
+        assert!(
+            r.stats.iterations <= local.stats.iterations,
+            "pkmc {} vs local {}",
+            r.stats.iterations,
+            local.stats.iterations
+        );
+    }
+
+    #[test]
+    fn unverified_mode_matches_on_power_law() {
+        let g = dsd_graph::gen::chung_lu(800, 6000, 2.3, 3);
+        let r = pkmc_with(&g, PkmcConfig { verify_candidate: false });
+        // On this graph family the paper's raw criterion is also correct.
+        let bz = bz_decomposition(&g);
+        assert_eq!(r.k_star, bz.k_star);
+    }
+
+    #[test]
+    fn two_approximation_vs_exact() {
+        let g = dsd_graph::gen::erdos_renyi(60, 260, 12);
+        let exact = dsd_flow::uds_exact(&g);
+        let r = pkmc(&g);
+        assert!(
+            r.density * 2.0 + 1e-9 >= exact.density,
+            "pkmc {} vs exact {}",
+            r.density,
+            exact.density
+        );
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = UndirectedGraphBuilder::new(0).build().unwrap();
+        assert_eq!(pkmc(&g).k_star, 0);
+        let g = UndirectedGraphBuilder::new(4).build().unwrap();
+        let r = pkmc(&g);
+        assert_eq!(r.k_star, 0);
+        assert!(r.vertices.is_empty());
+    }
+
+    #[test]
+    fn clique_returns_whole_graph() {
+        let mut b = UndirectedGraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = pkmc(&g);
+        assert_eq!(r.vertices.len(), 6);
+        assert_eq!(r.k_star, 5);
+        assert!((r.density - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = dsd_graph::gen::chung_lu(500, 3000, 2.4, 8);
+        let a = pkmc(&g);
+        let b = pkmc(&g);
+        assert_eq!(a.vertices, b.vertices);
+        assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+}

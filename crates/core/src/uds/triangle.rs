@@ -1,0 +1,271 @@
+//! Triangle-densest subgraph — the `k = 3` case of the k-clique densest
+//! subgraph problem (Tsourakakis, WWW 2015; the second half of the paper's
+//! future-work direction alongside [`crate::uds::truss`]).
+//!
+//! The triangle density of `G[S]` is `τ(S)/|S|` where `τ(S)` counts
+//! triangles with all three corners in `S`. Peeling the vertex with the
+//! fewest incident triangles and returning the best prefix gives a
+//! 3-approximation (the triangle analogue of Charikar's peel). Triangle
+//! counts are maintained exactly during the peel: removing `v` subtracts
+//! every triangle through `v` from its two partners.
+
+use rustc_hash::FxHashSet;
+
+use dsd_graph::{UndirectedGraph, VertexId};
+
+use crate::stats::{timed, Stats};
+
+/// Result of the triangle-densest peel.
+#[derive(Clone, Debug)]
+pub struct TriangleDensestResult {
+    /// Vertices of the returned subgraph (sorted ids).
+    pub vertices: Vec<VertexId>,
+    /// Its triangle density `τ(S) / |S|`.
+    pub triangle_density: f64,
+    /// Its edge density `|E(S)| / |S|` for comparison with the UDS result.
+    pub edge_density: f64,
+    /// Execution statistics (`iterations` = vertices peeled).
+    pub stats: Stats,
+}
+
+/// Counts triangles incident to each vertex and the total triangle count.
+fn triangle_counts(g: &UndirectedGraph) -> (Vec<u64>, u64) {
+    let n = g.num_vertices();
+    let mut per_vertex = vec![0u64; n];
+    let mut total = 0u64;
+    // For each edge (u, v) with u < v, intersect sorted neighbourhoods and
+    // count only w > v so each triangle is found once.
+    for (u, v) in g.edges() {
+        let (a, b) = (g.neighbors(u), g.neighbors(v));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let w = a[i];
+                    if w > v {
+                        per_vertex[u as usize] += 1;
+                        per_vertex[v as usize] += 1;
+                        per_vertex[w as usize] += 1;
+                        total += 1;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+    (per_vertex, total)
+}
+
+/// Runs the triangle-densest peel (3-approximation for triangle density).
+pub fn triangle_densest(g: &UndirectedGraph) -> TriangleDensestResult {
+    let ((vertices, tri_density, peeled), wall) = timed(|| run(g));
+    let edge_density = crate::density::undirected_density(g, &vertices);
+    TriangleDensestResult {
+        vertices,
+        triangle_density: tri_density,
+        edge_density,
+        stats: Stats { iterations: peeled, wall, ..Stats::default() },
+    }
+}
+
+fn run(g: &UndirectedGraph) -> (Vec<VertexId>, f64, usize) {
+    let n = g.num_vertices();
+    let (mut tri, mut total) = triangle_counts(g);
+    if total == 0 {
+        return (Vec::new(), 0.0, 0);
+    }
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    // Track the densest prefix over the peel order.
+    let mut best_density = total as f64 / n as f64;
+    let mut best_remaining = n;
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    // Simple lazy min-heap over (count, vertex).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> =
+        (0..n as VertexId).map(|v| Reverse((tri[v as usize], v))).collect();
+    while remaining > 0 {
+        let v = loop {
+            let Reverse((c, v)) = heap.pop().expect("remaining > 0");
+            if alive[v as usize] && tri[v as usize] == c {
+                break v;
+            }
+        };
+        // Remove v: every triangle through v disappears from its partners.
+        alive[v as usize] = false;
+        order.push(v);
+        remaining -= 1;
+        total -= tri[v as usize];
+        let alive_nbrs: Vec<VertexId> =
+            g.neighbors(v).iter().copied().filter(|&u| alive[u as usize]).collect();
+        let nbr_set: FxHashSet<VertexId> = alive_nbrs.iter().copied().collect();
+        for (i, &a) in alive_nbrs.iter().enumerate() {
+            let mut lost = 0u64;
+            for &b in &alive_nbrs[i + 1..] {
+                if g.has_edge(a, b) && nbr_set.contains(&b) {
+                    lost += 1;
+                    // (a, b) each lose this triangle; b handled in its turn.
+                }
+            }
+            if lost > 0 {
+                tri[a as usize] -= lost;
+                heap.push(Reverse((tri[a as usize], a)));
+            }
+        }
+        // Second pass for the b side (each pair charged once above to a).
+        for (i, &a) in alive_nbrs.iter().enumerate() {
+            let mut lost = 0u64;
+            for &b in &alive_nbrs[..i] {
+                if g.has_edge(b, a) {
+                    lost += 1;
+                }
+            }
+            if lost > 0 {
+                tri[a as usize] -= lost;
+                heap.push(Reverse((tri[a as usize], a)));
+            }
+        }
+        if remaining > 0 && total > 0 {
+            let density = total as f64 / remaining as f64;
+            if density > best_density {
+                best_density = density;
+                best_remaining = remaining;
+            }
+        }
+    }
+    let mut vertices: Vec<VertexId> = order[(n - best_remaining)..].to_vec();
+    vertices.sort_unstable();
+    (vertices, best_density, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    fn clique(n: u32) -> UndirectedGraph {
+        let mut b = UndirectedGraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.push_edge(u, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn triangle_counts_on_k4() {
+        let g = clique(4);
+        let (per, total) = triangle_counts(&g);
+        assert_eq!(total, 4);
+        assert!(per.iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn clique_is_its_own_triangle_densest() {
+        let g = clique(6);
+        let r = triangle_densest(&g);
+        assert_eq!(r.vertices.len(), 6);
+        // C(6,3)/6 = 20/6.
+        assert!((r.triangle_density - 20.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finds_clique_in_triangle_free_background() {
+        // Background: bipartite (triangle-free); planted K5.
+        let mut b = UndirectedGraphBuilder::new(30);
+        for u in 5..17u32 {
+            for v in 17..30u32 {
+                if (u + v) % 3 == 0 {
+                    b.push_edge(u, v);
+                }
+            }
+        }
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = triangle_densest(&g);
+        assert_eq!(r.vertices, vec![0, 1, 2, 3, 4]);
+        assert!((r.triangle_density - 2.0).abs() < 1e-9); // C(5,3)/5
+    }
+
+    #[test]
+    fn triangle_free_graph_returns_empty() {
+        let mut b = UndirectedGraphBuilder::new(6);
+        for u in 0..3u32 {
+            for v in 3..6u32 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let r = triangle_densest(&g);
+        assert_eq!(r.triangle_density, 0.0);
+        assert!(r.vertices.is_empty());
+    }
+
+    #[test]
+    fn three_approximation_vs_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for trial in 0..6 {
+            let n = 10usize;
+            let mut b = UndirectedGraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.5) {
+                        b.push_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            // Brute-force optimal triangle density.
+            let mut best = 0.0f64;
+            for mask in 1u32..(1 << n) {
+                let set: Vec<u32> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+                if set.len() < 3 {
+                    continue;
+                }
+                let mut tri = 0u64;
+                for &u in &set {
+                    for &v in &set {
+                        if v <= u {
+                            continue;
+                        }
+                        if !g.has_edge(u, v) {
+                            continue;
+                        }
+                        for &w in &set {
+                            if w > v && g.has_edge(u, w) && g.has_edge(v, w) {
+                                tri += 1;
+                            }
+                        }
+                    }
+                }
+                best = best.max(tri as f64 / set.len() as f64);
+            }
+            if best == 0.0 {
+                continue;
+            }
+            let r = triangle_densest(&g);
+            assert!(
+                r.triangle_density * 3.0 + 1e-9 >= best,
+                "trial {trial}: peel {} vs optimal {best}",
+                r.triangle_density
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraphBuilder::new(4).build().unwrap();
+        let r = triangle_densest(&g);
+        assert_eq!(r.triangle_density, 0.0);
+    }
+}

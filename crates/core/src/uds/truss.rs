@@ -1,0 +1,383 @@
+//! k-truss decomposition — the paper's stated future-work direction
+//! ("another interesting research direction is to explore the theoretical
+//! relationship between other dense subgraphs (e.g., k-truss and k-clique)
+//! and densest graph"), implemented here as an extension.
+//!
+//! The *k-truss* is the maximal subgraph in which every edge closes at
+//! least `k − 2` triangles (within the subgraph); the truss number of an
+//! edge is the largest `k` whose k-truss contains it. Like the `k*`-core,
+//! the maximum truss is a density witness: every edge of the
+//! `k_max`-truss lies in ≥ `k_max − 2` internal triangles, so every vertex
+//! has internal degree ≥ `k_max − 1` and the truss's density is at least
+//! `(k_max − 1)/2` — a lower bound the [`max_truss`] API reports alongside
+//! the subgraph. The `truss_vs_densest` example and `exp_ratios` compare
+//! this witness against the `k*`-core and the exact optimum empirically.
+//!
+//! Decomposition is the standard support peeling (Wang & Cheng, reference
+//! \[52\] of the paper): compute per-edge triangle supports, repeatedly
+//! peel a minimum-support edge, and decrement the supports of the two
+//! other edges of each triangle it closed.
+
+use rustc_hash::FxHashMap;
+
+use dsd_graph::{UndirectedGraph, VertexId};
+
+use crate::stats::{timed, Stats};
+use crate::uds::bucket::BucketQueue;
+
+/// Result of a full truss decomposition.
+#[derive(Clone, Debug)]
+pub struct TrussDecomposition {
+    /// Edges as `(u, v)` with `u < v`, in the order of [`Self::truss`].
+    pub edges: Vec<(VertexId, VertexId)>,
+    /// `truss[i]` is the truss number of `edges[i]` (≥ 2 for every edge).
+    pub truss: Vec<u32>,
+    /// The maximum truss number `k_max` (0 for an edgeless graph).
+    pub k_max: u32,
+    /// Execution statistics (`iterations` = edges peeled).
+    pub stats: Stats,
+}
+
+impl TrussDecomposition {
+    /// Vertices of the `k_max`-truss (sorted ids); empty when `k_max < 3`
+    /// yields no triangle structure worth reporting... more precisely,
+    /// empty only for edgeless graphs (every edge has truss ≥ 2).
+    pub fn max_truss_vertices(&self) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self
+            .edges
+            .iter()
+            .zip(self.truss.iter())
+            .filter(|&(_, &t)| t == self.k_max && self.k_max > 0)
+            .flat_map(|(&(u, v), _)| [u, v])
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+
+    /// The density lower bound `(k_max − 1)/2` certified by the maximum
+    /// truss (0 for truss-free graphs).
+    pub fn density_lower_bound(&self) -> f64 {
+        if self.k_max == 0 {
+            0.0
+        } else {
+            (self.k_max as f64 - 1.0) / 2.0
+        }
+    }
+}
+
+/// Computes the truss number of every edge.
+pub fn truss_decomposition(g: &UndirectedGraph) -> TrussDecomposition {
+    let ((edges, truss, peeled), wall) = timed(|| decompose(g));
+    let k_max = truss.iter().copied().max().unwrap_or(0);
+    TrussDecomposition {
+        edges,
+        truss,
+        k_max,
+        stats: Stats { iterations: peeled, wall, ..Stats::default() },
+    }
+}
+
+type DecomposeOut = (Vec<(VertexId, VertexId)>, Vec<u32>, usize);
+
+fn decompose(g: &UndirectedGraph) -> DecomposeOut {
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let m = edges.len();
+    if m == 0 {
+        return (edges, Vec::new(), 0);
+    }
+    let edge_id: FxHashMap<(VertexId, VertexId), u32> =
+        edges.iter().enumerate().map(|(i, &e)| (e, i as u32)).collect();
+    // Initial supports: |N(u) ∩ N(v)| via sorted-list intersection.
+    let mut support = vec![0u32; m];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        support[i] = intersect_count(g.neighbors(u), g.neighbors(v));
+    }
+    let mut queue = BucketQueue::new(&support);
+    let mut alive = vec![true; m];
+    let mut truss = vec![0u32; m];
+    let mut level = 0u32; // current support level (truss = level + 2)
+    let mut peeled = 0usize;
+    while let Some((e, s)) = queue.pop_min() {
+        let ei = e as usize;
+        level = level.max(s);
+        truss[ei] = level + 2;
+        alive[ei] = false;
+        peeled += 1;
+        let (u, v) = edges[ei];
+        // Decrement the two companion edges of each triangle through (u,v).
+        for w in intersect(g.neighbors(u), g.neighbors(v)) {
+            let e1 = edge_key(u, w);
+            let e2 = edge_key(v, w);
+            let (Some(&i1), Some(&i2)) = (edge_id.get(&e1), edge_id.get(&e2)) else {
+                unreachable!("triangle edges must exist");
+            };
+            if alive[i1 as usize] && alive[i2 as usize] {
+                if queue.key_of(i1) > level {
+                    queue.decrease_key(i1);
+                }
+                if queue.key_of(i2) > level {
+                    queue.decrease_key(i2);
+                }
+            }
+        }
+    }
+    (edges, truss, peeled)
+}
+
+#[inline]
+fn edge_key(a: VertexId, b: VertexId) -> (VertexId, VertexId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn intersect_count(a: &[VertexId], b: &[VertexId]) -> u32 {
+    let mut count = 0u32;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+fn intersect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    fn clique(n: u32) -> UndirectedGraph {
+        let mut b = UndirectedGraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.push_edge(u, v);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_truss_numbers() {
+        // Every edge of K_n has truss number n.
+        for n in 3..7u32 {
+            let d = truss_decomposition(&clique(n));
+            assert!(d.truss.iter().all(|&t| t == n), "K{n}: {:?}", d.truss);
+            assert_eq!(d.k_max, n);
+        }
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let d = truss_decomposition(&g);
+        // Triangle edges: truss 3; pendant edge: truss 2.
+        let map: FxHashMap<_, _> = d.edges.iter().zip(d.truss.iter()).collect();
+        assert_eq!(*map[&(0, 1)], 3);
+        assert_eq!(*map[&(0, 2)], 3);
+        assert_eq!(*map[&(1, 2)], 3);
+        assert_eq!(*map[&(2, 3)], 2);
+        assert_eq!(d.max_truss_vertices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn path_is_2_truss() {
+        let g = UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (2, 3)])
+            .build()
+            .unwrap();
+        let d = truss_decomposition(&g);
+        assert!(d.truss.iter().all(|&t| t == 2));
+        assert_eq!(d.density_lower_bound(), 0.5);
+    }
+
+    #[test]
+    fn two_cliques_different_truss() {
+        // K5 on 0..5 and K3 on 5..8, disjoint.
+        let mut b = UndirectedGraphBuilder::new(8);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.push_edge(u, v);
+            }
+        }
+        b.push_edge(5, 6);
+        b.push_edge(6, 7);
+        b.push_edge(5, 7);
+        let g = b.build().unwrap();
+        let d = truss_decomposition(&g);
+        assert_eq!(d.k_max, 5);
+        assert_eq!(d.max_truss_vertices(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn max_truss_satisfies_density_bound() {
+        for seed in 0..5 {
+            let g = dsd_graph::gen::chung_lu(300, 2400, 2.2, seed + 11);
+            let d = truss_decomposition(&g);
+            if d.k_max >= 2 {
+                let vs = d.max_truss_vertices();
+                let density = crate::density::undirected_density(&g, &vs);
+                // The k_max-truss *vertex set* contains the truss edges, so
+                // its induced density is at least the certified bound.
+                assert!(
+                    density + 1e-9 >= d.density_lower_bound(),
+                    "seed {seed}: density {density} below bound {}",
+                    d.density_lower_bound()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truss_subgraph_has_internal_support() {
+        // Within the k_max-truss edge set, each edge closes >= k_max - 2
+        // triangles.
+        let g = dsd_graph::gen::erdos_renyi(80, 600, 13);
+        let d = truss_decomposition(&g);
+        let max_edges: Vec<(u32, u32)> = d
+            .edges
+            .iter()
+            .zip(d.truss.iter())
+            .filter(|&(_, &t)| t == d.k_max)
+            .map(|(&e, _)| e)
+            .collect();
+        if max_edges.is_empty() {
+            return;
+        }
+        let edge_set: std::collections::HashSet<(u32, u32)> =
+            max_edges.iter().copied().collect();
+        let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &(u, v) in &max_edges {
+            adj.entry(u).or_default().push(v);
+            adj.entry(v).or_default().push(u);
+        }
+        for &(u, v) in &max_edges {
+            let nu = &adj[&u];
+            let tri = nu
+                .iter()
+                .filter(|&&w| {
+                    w != v && (edge_set.contains(&edge_key(v, w)))
+                })
+                .count();
+            assert!(
+                tri + 2 >= d.k_max as usize,
+                "edge ({u},{v}) closes only {tri} internal triangles for k_max {}",
+                d.k_max
+            );
+        }
+    }
+
+    /// Naive fixpoint reference: the k-truss edge set computed by
+    /// repeatedly deleting edges with fewer than k-2 internal triangles.
+    fn naive_k_truss(edges: &[(u32, u32)], k: u32) -> std::collections::HashSet<(u32, u32)> {
+        let mut set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
+        loop {
+            let to_remove: Vec<(u32, u32)> = set
+                .iter()
+                .copied()
+                .filter(|&(u, v)| {
+                    let tri = set
+                        .iter()
+                        .filter(|&&(a, b)| {
+                            // w adjacent to both u and v through set edges
+                            let w = if a == u {
+                                Some(b)
+                            } else if b == u {
+                                Some(a)
+                            } else {
+                                None
+                            };
+                            match w {
+                                Some(w) if w != v => set.contains(&edge_key(v, w)),
+                                _ => false,
+                            }
+                        })
+                        .count();
+                    (tri as u32) + 2 < k
+                })
+                .collect();
+            if to_remove.is_empty() {
+                return set;
+            }
+            for e in to_remove {
+                set.remove(&e);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_fixpoint_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..8 {
+            let n = 10 + trial;
+            let mut b = UndirectedGraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.35) {
+                        b.push_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            let d = truss_decomposition(&g);
+            let all_edges: Vec<(u32, u32)> = g.edges().collect();
+            for k in 2..=d.k_max + 1 {
+                let expected = naive_k_truss(&all_edges, k);
+                let got: std::collections::HashSet<(u32, u32)> = d
+                    .edges
+                    .iter()
+                    .zip(d.truss.iter())
+                    .filter(|&(_, &t)| t >= k)
+                    .map(|(&e, _)| e)
+                    .collect();
+                assert_eq!(got, expected, "trial {trial}, k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraphBuilder::new(3).build().unwrap();
+        let d = truss_decomposition(&g);
+        assert_eq!(d.k_max, 0);
+        assert!(d.max_truss_vertices().is_empty());
+        assert_eq!(d.density_lower_bound(), 0.0);
+    }
+
+    #[test]
+    fn truss_numbers_lower_bounded_by_two() {
+        let g = dsd_graph::gen::erdos_renyi(50, 200, 4);
+        let d = truss_decomposition(&g);
+        assert!(d.truss.iter().all(|&t| t >= 2));
+    }
+}

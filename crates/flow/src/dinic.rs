@@ -1,0 +1,228 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Used by the exact densest-subgraph algorithms in this crate. Capacities
+//! are `f64`: the Goldberg construction scales its density guesses so that
+//! all capacities are integers (exactly representable in `f64` below 2⁵³,
+//! so the computation stays exact), while the directed-DDS construction has
+//! inherently irrational capacities (`√a` factors) and works to an epsilon.
+
+/// Residual-capacity threshold below which an arc is considered saturated.
+pub const EPS: f64 = 1e-11;
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: u32,
+    cap: f64,
+}
+
+/// A max-flow problem instance. Arcs are added in pairs (forward +
+/// residual), so the reverse arc of arc `i` is `i ^ 1`.
+#[derive(Clone, Debug)]
+pub struct Dinic {
+    arcs: Vec<Arc>,
+    head: Vec<Vec<u32>>, // arc indices leaving each node
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    /// Creates an instance with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self { arcs: Vec::new(), head: vec![Vec::new(); n], level: vec![0; n], iter: vec![0; n] }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed arc `u → v` with capacity `cap` (and a zero-capacity
+    /// residual arc). Returns the forward-arc index.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> usize {
+        debug_assert!(cap >= 0.0, "negative capacity {cap}");
+        let idx = self.arcs.len();
+        self.arcs.push(Arc { to: v as u32, cap });
+        self.arcs.push(Arc { to: u as u32, cap: 0.0 });
+        self.head[u].push(idx as u32);
+        self.head[v].push(idx as u32 + 1);
+        idx
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &ai in &self.head[u] {
+                let arc = &self.arcs[ai as usize];
+                let v = arc.to as usize;
+                if arc.cap > EPS && self.level[v] < 0 {
+                    self.level[v] = self.level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: f64) -> f64 {
+        if u == t {
+            return f;
+        }
+        while self.iter[u] < self.head[u].len() {
+            let ai = self.head[u][self.iter[u]] as usize;
+            let (to, cap) = {
+                let arc = &self.arcs[ai];
+                (arc.to as usize, arc.cap)
+            };
+            if cap > EPS && self.level[to] == self.level[u] + 1 {
+                let d = self.dfs(to, t, f.min(cap));
+                if d > EPS {
+                    self.arcs[ai].cap -= d;
+                    self.arcs[ai ^ 1].cap += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let mut flow = 0.0;
+        while self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY);
+                if f <= EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// After [`max_flow`](Self::max_flow), returns the source side of a
+    /// minimum cut: every node reachable from `s` in the residual graph.
+    pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.head.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &ai in &self.head[u] {
+                let arc = &self.arcs[ai as usize];
+                let v = arc.to as usize;
+                if arc.cap > EPS && !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut d = Dinic::new(2);
+        d.add_edge(0, 1, 5.0);
+        assert_eq!(d.max_flow(0, 1), 5.0);
+    }
+
+    #[test]
+    fn series_bottleneck() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 10.0);
+        d.add_edge(1, 2, 3.0);
+        assert_eq!(d.max_flow(0, 2), 3.0);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 2.0);
+        d.add_edge(1, 3, 2.0);
+        d.add_edge(0, 2, 3.0);
+        d.add_edge(2, 3, 3.0);
+        assert_eq!(d.max_flow(0, 3), 5.0);
+    }
+
+    #[test]
+    fn classic_augmenting_path_example() {
+        // Needs flow cancellation through the middle edge.
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 1.0);
+        d.add_edge(0, 2, 1.0);
+        d.add_edge(1, 2, 1.0);
+        d.add_edge(1, 3, 1.0);
+        d.add_edge(2, 3, 1.0);
+        assert_eq!(d.max_flow(0, 3), 2.0);
+    }
+
+    #[test]
+    fn disconnected_zero_flow() {
+        let mut d = Dinic::new(4);
+        d.add_edge(0, 1, 4.0);
+        d.add_edge(2, 3, 4.0);
+        assert_eq!(d.max_flow(0, 3), 0.0);
+    }
+
+    #[test]
+    fn min_cut_side_identifies_cut() {
+        let mut d = Dinic::new(3);
+        d.add_edge(0, 1, 10.0);
+        d.add_edge(1, 2, 3.0);
+        d.max_flow(0, 2);
+        let side = d.min_cut_side(0);
+        assert_eq!(side, vec![true, true, false]);
+    }
+
+    #[test]
+    fn max_flow_equals_min_cut_capacity() {
+        // Random-ish fixed instance; verify flow == capacity crossing cut.
+        let edges = [
+            (0usize, 1usize, 3.0),
+            (0, 2, 2.0),
+            (1, 2, 5.0),
+            (1, 3, 2.0),
+            (2, 4, 3.0),
+            (3, 5, 4.0),
+            (4, 5, 2.0),
+            (4, 3, 1.0),
+        ];
+        let mut d = Dinic::new(6);
+        for &(u, v, c) in &edges {
+            d.add_edge(u, v, c);
+        }
+        let flow = d.max_flow(0, 5);
+        let side = d.min_cut_side(0);
+        let cut: f64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        assert!((flow - cut).abs() < 1e-9, "flow {flow} != cut {cut}");
+    }
+
+    #[test]
+    fn integral_capacities_stay_integral() {
+        let mut d = Dinic::new(5);
+        d.add_edge(0, 1, 7.0);
+        d.add_edge(0, 2, 9.0);
+        d.add_edge(1, 3, 6.0);
+        d.add_edge(2, 3, 4.0);
+        d.add_edge(3, 4, 8.0);
+        let f = d.max_flow(0, 4);
+        assert_eq!(f, 8.0);
+        assert_eq!(f.fract(), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dsd-flow
+//!
+//! Max-flow substrate and flow-based **exact** densest-subgraph algorithms.
+//!
+//! The paper (Luo et al., ICDE 2023) focuses on 2-approximation algorithms,
+//! but its correctness claims are stated relative to the exact optima ρ*
+//! (Lemmas 1 and 3). This crate provides those optima for validation:
+//!
+//! * [`dinic`] — Dinic's max-flow algorithm on an explicit arc list,
+//! * [`goldberg`] — Goldberg's exact undirected densest subgraph via binary
+//!   search over density guesses with a min-cut test,
+//! * [`mod@dds_exact`] — exact directed densest subgraph via `|S|/|T|`-ratio
+//!   enumeration with a per-ratio flow test (Khuller–Saha / Ma et al.
+//!   construction).
+//!
+//! These are deliberately serial: they are ground truth for tests and for
+//! the approximation-ratio checks in EXPERIMENTS.md, not competitors in the
+//! scalability experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dds_exact;
+pub mod dinic;
+pub mod goldberg;
+
+pub use dds_exact::{dds_exact, DdsExactResult};
+pub use dinic::Dinic;
+pub use goldberg::{uds_exact, UdsExactResult};

@@ -1,0 +1,126 @@
+//! Property tests for the flow substrate: Dinic vs an independent
+//! Edmonds–Karp reference, max-flow/min-cut duality, and oracle
+//! cross-checks.
+
+use proptest::prelude::*;
+
+use dsd_flow::Dinic;
+
+/// Reference max-flow: Edmonds–Karp on an adjacency-matrix residual.
+fn edmonds_karp(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usize) -> f64 {
+    let mut cap = vec![vec![0.0f64; n]; n];
+    for &(u, v, c) in edges {
+        cap[u][v] += c;
+    }
+    let mut flow = 0.0;
+    loop {
+        // BFS for an augmenting path.
+        let mut parent = vec![usize::MAX; n];
+        parent[s] = s;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v] == usize::MAX && cap[u][v] > 1e-12 {
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[t] == usize::MAX {
+            return flow;
+        }
+        // Bottleneck.
+        let mut bottleneck = f64::INFINITY;
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = t;
+        while v != s {
+            let u = parent[v];
+            cap[u][v] -= bottleneck;
+            cap[v][u] += bottleneck;
+            v = u;
+        }
+        flow += bottleneck;
+    }
+}
+
+fn flow_instance() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (4usize..12).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n, 0..n, 1u32..20).prop_map(|(u, v, c)| (u, v, c as f64)),
+            1..40,
+        );
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dinic_matches_edmonds_karp((n, edges) in flow_instance()) {
+        let s = 0;
+        let t = n - 1;
+        let clean: Vec<(usize, usize, f64)> =
+            edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+        let mut d = Dinic::new(n);
+        for &(u, v, c) in &clean {
+            d.add_edge(u, v, c);
+        }
+        let dinic_flow = d.max_flow(s, t);
+        let reference = edmonds_karp(n, &clean, s, t);
+        prop_assert!((dinic_flow - reference).abs() < 1e-6,
+            "dinic {dinic_flow} vs reference {reference}");
+    }
+
+    #[test]
+    fn max_flow_equals_min_cut((n, edges) in flow_instance()) {
+        let s = 0;
+        let t = n - 1;
+        let clean: Vec<(usize, usize, f64)> =
+            edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+        let mut d = Dinic::new(n);
+        for &(u, v, c) in &clean {
+            d.add_edge(u, v, c);
+        }
+        let flow = d.max_flow(s, t);
+        let side = d.min_cut_side(s);
+        prop_assert!(side[s]);
+        prop_assert!(!side[t] || flow == 0.0);
+        let cut: f64 = clean
+            .iter()
+            .filter(|&&(u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert!((flow - cut).abs() < 1e-6, "flow {flow} vs cut {cut}");
+    }
+
+    #[test]
+    fn uds_exact_at_least_half_average_degree(
+        (n, m, seed) in (4usize..40, 4usize..120, any::<u64>())
+    ) {
+        let g = dsd_graph::gen::erdos_renyi(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let r = dsd_flow::uds_exact(&g);
+        // The whole graph is a candidate: rho* >= m/n.
+        prop_assert!(r.density + 1e-9 >= g.density());
+        // And no subgraph can beat half the max degree.
+        prop_assert!(r.density <= g.max_degree() as f64 / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn dds_exact_bounds((n, m, seed) in (3usize..12, 2usize..40, any::<u64>())) {
+        let g = dsd_graph::gen::erdos_renyi_directed(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let r = dsd_flow::dds_exact(&g);
+        // A single max in-degree hub star is always a candidate.
+        let hub = (0..n as u32).map(|v| g.in_degree(v)).max().unwrap() as f64;
+        prop_assert!(r.density + 1e-6 >= hub.sqrt());
+        // Density cannot exceed sqrt(m).
+        prop_assert!(r.density <= (g.num_edges() as f64).sqrt() + 1e-6);
+    }
+}

@@ -1,0 +1,255 @@
+//! Compact binary graph format.
+//!
+//! Text edge lists (the [`crate::io`] module) are convenient but slow to
+//! parse at the million-edge scale of the experiment datasets. This module
+//! provides a little-endian binary format that round-trips the CSR arrays
+//! directly:
+//!
+//! ```text
+//! magic   8 bytes   b"DSDGRAPH"
+//! kind    1 byte    0 = undirected, 1 = directed
+//! version 1 byte    currently 1
+//! n       8 bytes   u64 vertex count
+//! m       8 bytes   u64 edge count
+//! edges   m records u32 source, u32 target (undirected: u < v once)
+//! ```
+//!
+//! Graphs are re-validated through the builders on load, so a corrupted or
+//! adversarial file fails with a [`GraphError`] instead of producing a
+//! broken CSR.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{
+    DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
+    UndirectedGraphBuilder, VertexId,
+};
+
+const MAGIC: &[u8; 8] = b"DSDGRAPH";
+const VERSION: u8 = 1;
+const KIND_UNDIRECTED: u8 = 0;
+const KIND_DIRECTED: u8 = 1;
+
+fn write_header<W: Write>(w: &mut W, kind: u8, n: u64, m: u64) -> Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[kind, VERSION])?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(u64, u64)> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(GraphError::Parse { line: 0, message: "bad magic; not a DSDGRAPH file".into() });
+    }
+    let mut kv = [0u8; 2];
+    r.read_exact(&mut kv)?;
+    if kv[0] != expected_kind {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("graph kind mismatch: file has {}, expected {expected_kind}", kv[0]),
+        });
+    }
+    if kv[1] != VERSION {
+        return Err(GraphError::Parse {
+            line: 0,
+            message: format!("unsupported format version {}", kv[1]),
+        });
+    }
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let n = u64::from_le_bytes(buf);
+    r.read_exact(&mut buf)?;
+    let m = u64::from_le_bytes(buf);
+    Ok((n, m))
+}
+
+fn read_edges<R: Read>(r: &mut R, m: usize) -> Result<Vec<(VertexId, VertexId)>> {
+    let mut edges = Vec::with_capacity(m);
+    let mut buf = [0u8; 8];
+    for _ in 0..m {
+        r.read_exact(&mut buf)?;
+        let u = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+        let v = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        edges.push((u, v));
+    }
+    Ok(edges)
+}
+
+/// Writes an undirected graph in the binary format.
+pub fn write_undirected_binary<W: Write>(g: &UndirectedGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    write_header(&mut w, KIND_UNDIRECTED, g.num_vertices() as u64, g.num_edges() as u64)?;
+    for (u, v) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an undirected graph from the binary format.
+pub fn read_undirected_binary<R: Read>(reader: R) -> Result<UndirectedGraph> {
+    let mut r = BufReader::new(reader);
+    let (n, m) = read_header(&mut r, KIND_UNDIRECTED)?;
+    if n > u32::MAX as u64 + 1 {
+        return Err(GraphError::Parse { line: 0, message: "vertex count exceeds u32 ids".into() });
+    }
+    let edges = read_edges(&mut r, m as usize)?;
+    UndirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
+}
+
+/// Writes a directed graph in the binary format.
+pub fn write_directed_binary<W: Write>(g: &DirectedGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    write_header(&mut w, KIND_DIRECTED, g.num_vertices() as u64, g.num_edges() as u64)?;
+    for (u, v) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a directed graph from the binary format.
+pub fn read_directed_binary<R: Read>(reader: R) -> Result<DirectedGraph> {
+    let mut r = BufReader::new(reader);
+    let (n, m) = read_header(&mut r, KIND_DIRECTED)?;
+    if n > u32::MAX as u64 + 1 {
+        return Err(GraphError::Parse { line: 0, message: "vertex count exceeds u32 ids".into() });
+    }
+    let edges = read_edges(&mut r, m as usize)?;
+    DirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
+}
+
+/// Convenience: writes an undirected graph to a file path.
+pub fn write_undirected_binary_path<P: AsRef<Path>>(g: &UndirectedGraph, path: P) -> Result<()> {
+    write_undirected_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads an undirected graph from a file path.
+pub fn read_undirected_binary_path<P: AsRef<Path>>(path: P) -> Result<UndirectedGraph> {
+    read_undirected_binary(std::fs::File::open(path)?)
+}
+
+/// Convenience: writes a directed graph to a file path.
+pub fn write_directed_binary_path<P: AsRef<Path>>(g: &DirectedGraph, path: P) -> Result<()> {
+    write_directed_binary(g, std::fs::File::create(path)?)
+}
+
+/// Convenience: reads a directed graph from a file path.
+pub fn read_directed_binary_path<P: AsRef<Path>>(path: P) -> Result<DirectedGraph> {
+    read_directed_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_round_trip() {
+        let g = crate::gen::chung_lu(500, 2500, 2.3, 7);
+        let mut buf = Vec::new();
+        write_undirected_binary(&g, &mut buf).unwrap();
+        let g2 = read_undirected_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn directed_round_trip() {
+        let g = crate::gen::erdos_renyi_directed(300, 1500, 9);
+        let mut buf = Vec::new();
+        write_directed_binary(&g, &mut buf).unwrap();
+        let g2 = read_directed_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_graph_round_trip() {
+        let g = crate::UndirectedGraphBuilder::new(0).build().unwrap();
+        let mut buf = Vec::new();
+        write_undirected_binary(&g, &mut buf).unwrap();
+        let g2 = read_undirected_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_undirected_binary(&b"NOTAGRPH\x00\x01"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let g = crate::gen::erdos_renyi(10, 20, 1);
+        let mut buf = Vec::new();
+        write_undirected_binary(&g, &mut buf).unwrap();
+        let err = read_directed_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("kind mismatch"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let g = crate::gen::erdos_renyi(10, 20, 2);
+        let mut buf = Vec::new();
+        write_undirected_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_undirected_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_edge_ids_rejected() {
+        // Claim n = 2 but write an edge to vertex 7: builder must reject.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DSDGRAPH");
+        buf.push(0); // undirected
+        buf.push(1); // version
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { .. }));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DSDGRAPH");
+        buf.push(0);
+        buf.push(9); // future version
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn file_path_round_trip() {
+        let g = crate::gen::erdos_renyi(50, 120, 3);
+        let dir = std::env::temp_dir().join("dsd_binio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        write_undirected_binary_path(&g, &path).unwrap();
+        let g2 = read_undirected_binary_path(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_smaller_than_text_for_large_ids() {
+        // 8 bytes/edge beats text once ids have ~7 digits.
+        let mut b = crate::UndirectedGraphBuilder::new(3_000_000);
+        for i in 0..5_000u32 {
+            b.push_edge(2_000_000 + i, 2_500_000 + i);
+        }
+        let g = b.build().unwrap();
+        let mut bin = Vec::new();
+        write_undirected_binary(&g, &mut bin).unwrap();
+        let mut text = Vec::new();
+        crate::io::write_undirected(&g, &mut text).unwrap();
+        assert!(bin.len() < text.len(), "bin {} vs text {}", bin.len(), text.len());
+    }
+}

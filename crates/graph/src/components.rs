@@ -1,0 +1,117 @@
+//! Connected components.
+//!
+//! The `k*`-core (and the `[x*,y*]`-core) may consist of several connected
+//! components; the paper notes any one of them is a valid 2-approximation.
+//! This module provides component labelling so callers can split a core
+//! into components and report the densest one.
+
+use crate::{UndirectedGraph, VertexId};
+
+/// Result of a connected-components labelling.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[v]` is the component id of vertex `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Groups vertices by component, returning one vertex list per
+    /// component id.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups = vec![Vec::new(); self.count];
+        for (v, &c) in self.label.iter().enumerate() {
+            groups[c as usize].push(v as VertexId);
+        }
+        groups
+    }
+
+    /// Size of the largest component (0 if the graph is empty).
+    pub fn largest_size(&self) -> usize {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.label {
+            sizes[c as usize] += 1;
+        }
+        sizes.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Labels connected components with an iterative BFS (no recursion, safe on
+/// long paths). `O(n + m)`.
+pub fn connected_components(g: &UndirectedGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = count;
+        queue.clear();
+        queue.push(start as VertexId);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count: count as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraphBuilder;
+
+    #[test]
+    fn single_component() {
+        let g = UndirectedGraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.largest_size(), 3);
+    }
+
+    #[test]
+    fn two_components_plus_isolated() {
+        let g = UndirectedGraphBuilder::new(5).add_edges([(0, 1), (2, 3)]).build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(c.largest_size(), 2);
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = UndirectedGraphBuilder::new(4).add_edges([(0, 1)]).build().unwrap();
+        let c = connected_components(&g);
+        let groups = c.groups();
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 4);
+        assert!(groups.iter().any(|grp| grp == &vec![0, 1]));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraphBuilder::new(0).build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 0);
+        assert_eq!(c.largest_size(), 0);
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        let n = 100_000u32;
+        let mut b = UndirectedGraphBuilder::with_capacity(n as usize, n as usize);
+        for v in 0..n - 1 {
+            b.push_edge(v, v + 1);
+        }
+        let g = b.build().unwrap();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+}

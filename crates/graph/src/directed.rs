@@ -1,0 +1,240 @@
+//! Compressed-sparse-row directed graph with both out- and in-adjacency.
+
+use crate::VertexId;
+
+/// An immutable directed graph storing both out-neighbour and in-neighbour
+/// CSR arrays.
+///
+/// The paper’s directed algorithms (`[x,y]`-core peeling, the w-induced
+/// subgraph decomposition) need constant-time access to out-degrees *and*
+/// in-degrees and fast scans of both neighbourhoods, so both directions are
+/// materialised. Self-loops and duplicate arcs are removed at construction
+/// time by [`crate::DirectedGraphBuilder`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DirectedGraph {
+    out_offsets: Vec<usize>,
+    out_adj: Vec<VertexId>,
+    in_offsets: Vec<usize>,
+    in_adj: Vec<VertexId>,
+}
+
+impl DirectedGraph {
+    pub(crate) fn from_csr(
+        out_offsets: Vec<usize>,
+        out_adj: Vec<VertexId>,
+        in_offsets: Vec<usize>,
+        in_adj: Vec<VertexId>,
+    ) -> Self {
+        debug_assert_eq!(out_offsets.len(), in_offsets.len());
+        debug_assert_eq!(out_adj.len(), in_adj.len());
+        debug_assert_eq!(*out_offsets.last().unwrap(), out_adj.len());
+        debug_assert_eq!(*in_offsets.last().unwrap(), in_adj.len());
+        Self { out_offsets, out_adj, in_offsets, in_adj }
+    }
+
+    /// Creates an empty directed graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            out_offsets: vec![0; n + 1],
+            out_adj: Vec::new(),
+            in_offsets: vec![0; n + 1],
+            in_adj: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Out-degree `d⁺(v)`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.out_offsets[v + 1] - self.out_offsets[v]
+    }
+
+    /// In-degree `d⁻(v)`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.in_offsets[v + 1] - self.in_offsets[v]
+    }
+
+    /// Sorted out-neighbours `N⁺(v)`.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.out_adj[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// Sorted in-neighbours `N⁻(v)`.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.in_adj[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// Whether the directed edge `(u, v)` exists. `O(log d⁺(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over every directed edge `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.out_neighbors(u).iter().copied().map(move |v| (u, v)))
+    }
+
+    /// Maximum out-degree `d⁺_max`.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.out_degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Maximum in-degree `d⁻_max`.
+    pub fn max_in_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.in_degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// `max(d⁺_max, d⁻_max)` — the `d_max` of the paper's Remark in
+    /// Section V-B, used to warm-start the w-induced decomposition.
+    pub fn max_degree(&self) -> usize {
+        self.max_out_degree().max(self.max_in_degree())
+    }
+
+    /// All out-degrees as a vector.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices()).map(|v| self.out_degree(v as VertexId) as u32).collect()
+    }
+
+    /// All in-degrees as a vector.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices()).map(|v| self.in_degree(v as VertexId) as u32).collect()
+    }
+
+    /// Returns the transpose (edge-reversed) graph: `(u, v)` becomes
+    /// `(v, u)`. Out- and in-adjacency arrays simply swap roles, so this is
+    /// a pair of `O(m)` copies.
+    ///
+    /// Used by algorithms that need to run an out-degree-constrained
+    /// procedure on the in-degree side (e.g. PXY's symmetric cn-pair
+    /// enumeration).
+    pub fn transpose(&self) -> DirectedGraph {
+        DirectedGraph {
+            out_offsets: self.in_offsets.clone(),
+            out_adj: self.in_adj.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_adj: self.out_adj.clone(),
+        }
+    }
+
+    /// Density of the whole graph viewed as an `(V, V)`-induced subgraph,
+    /// i.e. `m / n` (Definition 3 with `S = T = V`).
+    pub fn density(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DirectedGraphBuilder;
+
+    fn sample() -> DirectedGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+        DirectedGraphBuilder::new(3)
+            .add_edges([(0, 1), (0, 2), (1, 2), (2, 0)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.in_degree(2), 2);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = sample();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn has_edge_is_directional() {
+        let g = sample();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn edge_iterator_complete() {
+        let g = sample();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn max_degrees() {
+        let g = sample();
+        assert_eq!(g.max_out_degree(), 2);
+        assert_eq!(g.max_in_degree(), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn empty() {
+        let g = DirectedGraph::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = sample();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(t.has_edge(v, u));
+        }
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn in_out_edge_counts_agree() {
+        let g = sample();
+        let out_sum: usize = (0..3).map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = (0..3).map(|v| g.in_degree(v)).sum();
+        assert_eq!(out_sum, in_sum);
+        assert_eq!(out_sum, g.num_edges());
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared across graph construction and IO.
+
+use std::fmt;
+
+/// Errors produced while building, loading, or manipulating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex id ≥ the declared vertex count.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        n: u64,
+    },
+    /// A text edge list contained a line that could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// Underlying IO failure while reading or writing a graph file.
+    Io(std::io::Error),
+    /// A request was structurally invalid (e.g. sampling fraction outside
+    /// `(0, 1]`).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 5 };
+        assert_eq!(e.to_string(), "vertex id 7 out of range for graph with 5 vertices");
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error on line 3: bad token");
+    }
+
+    #[test]
+    fn io_error_round_trip() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn invalid_argument_display() {
+        let e = GraphError::InvalidArgument("fraction must be positive".into());
+        assert!(e.to_string().contains("fraction"));
+    }
+}

@@ -1,0 +1,571 @@
+//! Seeded synthetic graph generators.
+//!
+//! The paper evaluates on 12 real KONECT/LAW graphs (Tables 4 and 5), four
+//! of them billion-scale. Those datasets are not available offline and do
+//! not fit this environment, so the experiment harness substitutes seeded
+//! synthetic stand-ins generated here (see DESIGN.md §3). What the paper's
+//! results depend on — heavy-tailed power-law degree distributions with
+//! concentrated high-degree vertices, plus dense local structure on the web
+//! graphs — is exactly what these models reproduce:
+//!
+//! * [`erdos_renyi`] / [`erdos_renyi_directed`]: uniform G(n, m) baselines
+//!   and fuzz inputs,
+//! * [`chung_lu`] / [`chung_lu_directed`]: power-law expected degrees
+//!   (social / knowledge graphs),
+//! * [`barabasi_albert`]: preferential attachment (family-link graphs),
+//! * [`rmat`] / [`rmat_directed`]: recursive-matrix web-like graphs with
+//!   skewed, clustered structure (EU/IT/SK/UN stand-ins),
+//! * [`planted_dense`] / [`planted_st_block`]: background noise plus a
+//!   planted dense (sub)graph with a known location, for effectiveness
+//!   examples and tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId};
+
+/// Uniform undirected G(n, m): `m` edges sampled uniformly (duplicates and
+/// loops are dropped by the builder, so the realised edge count can be
+/// slightly below `m` on dense settings).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = UndirectedGraphBuilder::with_capacity(n, m);
+    if n < 2 {
+        return b.build().expect("empty edge set is always valid");
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.push_edge(u, v);
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Uniform directed G(n, m).
+pub fn erdos_renyi_directed(n: usize, m: usize, seed: u64) -> DirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DirectedGraphBuilder::with_capacity(n, m);
+    if n < 2 {
+        return b.build().expect("empty edge set is always valid");
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.push_edge(u, v);
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Cumulative-weight sampler over `0..n` with weights `w`.
+///
+/// Binary search over the cumulative array: `O(log n)` per draw. (An alias
+/// table would be `O(1)` per draw but the sampler is not the bottleneck at
+/// the scales used here, and this keeps the code simple and allocation-light.)
+struct WeightedSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedSampler {
+    fn new(weights: &[f64]) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Self { cumulative, total: acc }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x = rng.gen_range(0.0..self.total);
+        // partition_point returns the first index with cumulative > x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Power-law weight sequence `w_i ∝ (i + i0)^(-1/(γ-1))` normalised to an
+/// average expected degree matching `2m/n` (undirected) — the standard
+/// Chung–Lu construction for exponent `γ`.
+fn power_law_weights(n: usize, gamma: f64) -> Vec<f64> {
+    let alpha = 1.0 / (gamma - 1.0);
+    (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect()
+}
+
+/// Chung–Lu power-law undirected graph: `m` edges with endpoints drawn
+/// proportionally to power-law weights with exponent `gamma` (typically
+/// 2.0–3.0 for the paper's graph categories).
+pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> UndirectedGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = power_law_weights(n, gamma);
+    let sampler = WeightedSampler::new(&weights);
+    let mut b = UndirectedGraphBuilder::with_capacity(n, m);
+    if n < 2 {
+        return b.build().expect("empty edge set is always valid");
+    }
+    for _ in 0..m {
+        let u = sampler.sample(&mut rng) as VertexId;
+        let v = sampler.sample(&mut rng) as VertexId;
+        b.push_edge(u, v);
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Chung–Lu power-law directed graph. Out- and in-weights use independent
+/// shuffles of the same power-law sequence so that hubs on the two sides
+/// are different vertices (matching e.g. the Baidu / Wikilink stand-ins
+/// where `d⁺_max ≪ d⁻_max`). `out_gamma` / `in_gamma` control each side.
+pub fn chung_lu_directed(
+    n: usize,
+    m: usize,
+    out_gamma: f64,
+    in_gamma: f64,
+    seed: u64,
+) -> DirectedGraph {
+    assert!(out_gamma > 1.0 && in_gamma > 1.0, "power-law exponents must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out_w = power_law_weights(n, out_gamma);
+    let mut in_w = power_law_weights(n, in_gamma);
+    // Shuffle in-weights so the in-hubs are not the same ids as out-hubs.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        in_w.swap(i, j);
+    }
+    let out_sampler = WeightedSampler::new(&out_w);
+    let in_sampler = WeightedSampler::new(&in_w);
+    let mut b = DirectedGraphBuilder::with_capacity(n, m);
+    if n < 2 {
+        return b.build().expect("empty edge set is always valid");
+    }
+    for _ in 0..m {
+        let u = out_sampler.sample(&mut rng) as VertexId;
+        let v = in_sampler.sample(&mut rng) as VertexId;
+        b.push_edge(u, v);
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `k` existing vertices chosen proportionally to degree (realised with the
+/// classic repeated-endpoint trick: sample uniformly from the edge-endpoint
+/// list).
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> UndirectedGraph {
+    assert!(k >= 1, "attachment count must be at least 1");
+    assert!(n > k, "need more vertices than attachment edges");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = UndirectedGraphBuilder::with_capacity(n, n * k);
+    // Endpoint multiset: sampling uniformly from it is degree-proportional.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    // Seed with a (k+1)-clique so every new vertex has k candidates.
+    for u in 0..=(k as VertexId) {
+        for v in (u + 1)..=(k as VertexId) {
+            b.push_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (k + 1)..n {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(k);
+        while targets.len() < k {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for t in targets {
+            b.push_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Parameters of the recursive-matrix (R-MAT) model.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Probability mass of the top-left quadrant.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant (`1 - a - b - c` up to rounding).
+    pub d: f64,
+}
+
+impl Default for RmatParams {
+    /// The standard Graph500-style skew.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, d: 0.05 }
+    }
+}
+
+fn rmat_edge(scale: u32, p: RmatParams, rng: &mut impl Rng) -> (VertexId, VertexId) {
+    let (mut u, mut v) = (0u64, 0u64);
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        let r: f64 = rng.gen();
+        if r < p.a {
+            // top-left: no bits set
+        } else if r < p.a + p.b {
+            v |= 1;
+        } else if r < p.a + p.b + p.c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// R-MAT undirected graph with `2^scale` vertices and `m` sampled edges —
+/// the web-graph stand-in (EU / IT / SK / UN).
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> UndirectedGraph {
+    assert!(scale <= 31, "scale must fit in u32 vertex ids");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = UndirectedGraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (u, v) = rmat_edge(scale, params, &mut rng);
+        b.push_edge(u, v);
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// R-MAT directed graph.
+pub fn rmat_directed(scale: u32, m: usize, params: RmatParams, seed: u64) -> DirectedGraph {
+    assert!(scale <= 31, "scale must fit in u32 vertex ids");
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DirectedGraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let (u, v) = rmat_edge(scale, params, &mut rng);
+        b.push_edge(u, v);
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Appends `count` path filaments of `length` fresh vertices to `g`, each
+/// anchored at a random existing vertex.
+///
+/// Real web graphs contain long, low-degree filament structures; they are
+/// what makes convergence-style algorithms (h-index iteration, level
+/// peeling) need hundreds to thousands of rounds (paper Table 6), because
+/// degree/h-index changes ripple along a path one vertex per round. R-MAT
+/// and Chung–Lu samples lack such filaments, so the dataset stand-ins
+/// attach them explicitly (lengths chosen per dataset to mirror the
+/// paper's Local iteration counts — see `dsd-bench`'s dataset registry).
+pub fn attach_filaments(
+    g: &UndirectedGraph,
+    count: usize,
+    length: usize,
+    seed: u64,
+) -> UndirectedGraph {
+    if count == 0 || length == 0 || g.num_vertices() == 0 {
+        return g.clone();
+    }
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = n + count * length;
+    let mut b = UndirectedGraphBuilder::with_capacity(total, g.num_edges() + count * length);
+    for (u, v) in g.edges() {
+        b.push_edge(u, v);
+    }
+    let mut next = n as VertexId;
+    for _ in 0..count {
+        let mut prev = rng.gen_range(0..n) as VertexId;
+        for _ in 0..length {
+            b.push_edge(prev, next);
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build().expect("ids in range by construction")
+}
+
+/// Appends `count` *braid* filaments of `length` segments to `g`.
+///
+/// A braid is a chain of overlapping K4s: segment `i` contributes vertices
+/// `aᵢ, bᵢ` with the rung `aᵢ–bᵢ` plus strand edges `aᵢ–aᵢ₊₁`, `bᵢ–bᵢ₊₁`
+/// and cross edges `aᵢ–bᵢ₊₁`, `bᵢ–aᵢ₊₁` (interior degree 5). Like the single-strand
+/// [`attach_filaments`], convergence-style algorithms need `O(length)`
+/// rounds on it (h-index/peeling corrections ripple inward one segment per
+/// round from the chain's ends), but the five parallel edges per segment
+/// make the ripple **robust to edge sampling**: randomly dropping 20–80%
+/// of edges (the paper's Exp-4/Exp-8 protocol) leaves most of the chain
+/// intact, so iteration counts grow smoothly with the sampled fraction
+/// instead of collapsing the moment a single path edge disappears.
+pub fn attach_braids(
+    g: &UndirectedGraph,
+    count: usize,
+    length: usize,
+    seed: u64,
+) -> UndirectedGraph {
+    if count == 0 || length == 0 || g.num_vertices() == 0 {
+        return g.clone();
+    }
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = n + count * length * 2;
+    let mut b = UndirectedGraphBuilder::with_capacity(total, g.num_edges() + count * length * 5);
+    for (u, v) in g.edges() {
+        b.push_edge(u, v);
+    }
+    let mut next = n as VertexId;
+    for _ in 0..count {
+        let anchor = rng.gen_range(0..n) as VertexId;
+        let mut prev_a = anchor;
+        let mut prev_b = anchor;
+        for i in 0..length {
+            let a = next;
+            let bv = next + 1;
+            next += 2;
+            b.push_edge(a, bv); // rung
+            if i == 0 {
+                b.push_edge(anchor, a);
+            } else {
+                b.push_edge(prev_a, a); // strand a
+                b.push_edge(prev_b, bv); // strand b
+                b.push_edge(prev_a, bv); // cross
+                b.push_edge(prev_b, a); // cross
+            }
+            prev_a = a;
+            prev_b = bv;
+        }
+    }
+    b.build().expect("ids in range by construction")
+}
+
+/// Sparse background noise plus a planted near-clique.
+///
+/// The planted block is the first `clique_size` vertices, each pair
+/// connected independently with probability `clique_p`. With
+/// `clique_p = 1.0` the block is an exact clique of density
+/// `(clique_size - 1) / 2`, which dominates any sparse background — so the
+/// densest subgraph is the planted block (used by the community-detection
+/// example and recovery tests).
+pub fn planted_dense(
+    n: usize,
+    background_m: usize,
+    clique_size: usize,
+    clique_p: f64,
+    seed: u64,
+) -> UndirectedGraph {
+    assert!(clique_size <= n, "planted block cannot exceed the vertex count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = UndirectedGraphBuilder::with_capacity(n, background_m + clique_size * clique_size / 2);
+    for _ in 0..background_m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.push_edge(u, v);
+    }
+    for u in 0..clique_size {
+        for v in (u + 1)..clique_size {
+            if rng.gen_bool(clique_p) {
+                b.push_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build().expect("generated ids are in range")
+}
+
+/// Sparse directed background plus a planted dense `(S, T)` block — the
+/// fake-follower scenario from the paper's introduction: `|S|` accounts all
+/// linking to `|T|` targets with probability `block_p`.
+///
+/// `S` is vertices `0..s_size`, `T` is vertices `s_size..s_size + t_size`.
+pub fn planted_st_block(
+    n: usize,
+    background_m: usize,
+    s_size: usize,
+    t_size: usize,
+    block_p: f64,
+    seed: u64,
+) -> DirectedGraph {
+    assert!(s_size + t_size <= n, "planted block cannot exceed the vertex count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DirectedGraphBuilder::with_capacity(n, background_m + s_size * t_size);
+    for _ in 0..background_m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        b.push_edge(u, v);
+    }
+    for u in 0..s_size {
+        for t in 0..t_size {
+            if rng.gen_bool(block_p) {
+                b.push_edge(u as VertexId, (s_size + t) as VertexId);
+            }
+        }
+    }
+    b.build().expect("generated ids are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        let g1 = erdos_renyi(100, 300, 42);
+        let g2 = erdos_renyi(100, 300, 42);
+        assert_eq!(g1, g2);
+        assert!(g1.num_edges() > 250); // few duplicates at this density
+    }
+
+    #[test]
+    fn erdos_renyi_different_seeds_differ() {
+        let g1 = erdos_renyi(100, 300, 1);
+        let g2 = erdos_renyi(100, 300, 2);
+        assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn erdos_renyi_tiny_n() {
+        let g = erdos_renyi(1, 10, 7);
+        assert_eq!(g.num_edges(), 0);
+        let g = erdos_renyi(0, 10, 7);
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn chung_lu_is_heavy_tailed() {
+        let g = chung_lu(2000, 10_000, 2.2, 7);
+        let max_d = g.max_degree();
+        let avg_d = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        // Hubs should be far above the average degree.
+        assert!(
+            (max_d as f64) > 8.0 * avg_d,
+            "max degree {max_d} not heavy-tailed vs avg {avg_d:.1}"
+        );
+    }
+
+    #[test]
+    fn chung_lu_directed_asymmetric_hubs() {
+        let g = chung_lu_directed(2000, 10_000, 2.6, 2.05, 11);
+        assert!(g.max_in_degree() > 2 * g.max_out_degree());
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count() {
+        let g = barabasi_albert(500, 3, 5);
+        // clique seed: C(4,2)=6 edges; then (500-4) * 3.
+        assert_eq!(g.num_edges(), 6 + (500 - 4) * 3);
+    }
+
+    #[test]
+    fn barabasi_albert_connected() {
+        let g = barabasi_albert(200, 2, 9);
+        let c = crate::components::connected_components(&g);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn rmat_within_bounds() {
+        let g = rmat(10, 5000, RmatParams::default(), 13);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 0);
+        assert!(g.num_edges() <= 5000);
+    }
+
+    #[test]
+    fn rmat_directed_deterministic() {
+        let g1 = rmat_directed(9, 3000, RmatParams::default(), 17);
+        let g2 = rmat_directed(9, 3000, RmatParams::default(), 17);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn attach_filaments_adds_paths() {
+        let g = erdos_renyi(50, 200, 1);
+        let f = attach_filaments(&g, 3, 10, 2);
+        assert_eq!(f.num_vertices(), 50 + 30);
+        assert_eq!(f.num_edges(), g.num_edges() + 30);
+        // Filament interiors have degree 2, tips degree 1.
+        let tip_count = (50..80).filter(|&v| f.degree(v as u32) == 1).count();
+        assert_eq!(tip_count, 3);
+        // Original subgraph is untouched.
+        for (u, v) in g.edges() {
+            assert!(f.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn attach_braids_structure() {
+        let g = erdos_renyi(50, 200, 1);
+        let f = attach_braids(&g, 2, 8, 2);
+        assert_eq!(f.num_vertices(), 50 + 2 * 8 * 2);
+        // Each braid: 1 anchor edge + 8 rungs + 7 * 4 chain/cross edges.
+        assert_eq!(f.num_edges(), g.num_edges() + 2 * (1 + 8 + 7 * 4));
+        // Interior braid vertices have degree 5 (rung + 2 strand + 2 cross).
+        let interior = (50..f.num_vertices() as u32)
+            .filter(|&v| f.degree(v) == 5)
+            .count();
+        assert!(interior > 0, "braid interiors should have degree 5");
+        for (u, v) in g.edges() {
+            assert!(f.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn attach_braids_core_number_is_three() {
+        // The braid is a chain of K4s: core number 3 in isolation.
+        let g = UndirectedGraphBuilder::new(1).build().unwrap();
+        let f = attach_braids(&g, 1, 10, 3);
+        // K4 check on one interior segment: vertices 1,2 (seg 0) 3,4 (seg 1).
+        for quad in [[1u32, 2, 3, 4], [3, 4, 5, 6]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    assert!(f.has_edge(quad[i], quad[j]), "{:?} not a K4", quad);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attach_filaments_zero_is_identity() {
+        let g = erdos_renyi(20, 50, 3);
+        assert_eq!(attach_filaments(&g, 0, 10, 1), g);
+        assert_eq!(attach_filaments(&g, 5, 0, 1), g);
+    }
+
+    #[test]
+    fn planted_dense_block_present() {
+        let g = planted_dense(1000, 1500, 30, 1.0, 21);
+        // Every pair inside the planted clique must be connected.
+        for u in 0..30u32 {
+            for v in (u + 1)..30 {
+                assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_st_block_present() {
+        let g = planted_st_block(500, 800, 20, 10, 1.0, 23);
+        for u in 0..20u32 {
+            for t in 20..30u32 {
+                assert!(g.has_edge(u, t));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_respects_weights() {
+        let weights = vec![0.0, 10.0, 0.0];
+        let sampler = WeightedSampler::new(&weights);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(sampler.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-law exponent")]
+    fn chung_lu_rejects_bad_gamma() {
+        chung_lu(10, 10, 0.5, 0);
+    }
+}

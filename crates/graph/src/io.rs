@@ -1,0 +1,173 @@
+//! Plain-text edge-list IO.
+//!
+//! Format: one edge per line, `u v` (whitespace separated, `u`/`v`
+//! non-negative integers), `#` or `%` comment lines ignored (matching the
+//! KONECT and SNAP conventions of the paper's data sources). The vertex
+//! count is `1 + max id` unless a larger count is given explicitly.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{
+    DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
+    UndirectedGraphBuilder, VertexId,
+};
+
+fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(VertexId, VertexId)>, usize)> {
+    let mut edges = Vec::new();
+    let mut max_id: u64 = 0;
+    let mut saw_vertex = false;
+    let reader = BufReader::new(reader);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing source".into() })?
+            .parse()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad source: {e}") })?;
+        let v: u64 = it
+            .next()
+            .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing target".into() })?
+            .parse()
+            .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad target: {e}") })?;
+        if u > u32::MAX as u64 || v > u32::MAX as u64 {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "vertex id exceeds u32::MAX".into(),
+            });
+        }
+        max_id = max_id.max(u).max(v);
+        saw_vertex = true;
+        edges.push((u as VertexId, v as VertexId));
+    }
+    let n = if saw_vertex { (max_id + 1) as usize } else { 0 };
+    Ok((edges, n))
+}
+
+/// Reads an undirected graph from an edge-list reader.
+pub fn read_undirected<R: Read>(reader: R) -> Result<UndirectedGraph> {
+    let (edges, n) = parse_edges(reader)?;
+    UndirectedGraphBuilder::with_capacity(n, edges.len()).add_edges(edges).build()
+}
+
+/// Reads a directed graph from an edge-list reader.
+pub fn read_directed<R: Read>(reader: R) -> Result<DirectedGraph> {
+    let (edges, n) = parse_edges(reader)?;
+    DirectedGraphBuilder::with_capacity(n, edges.len()).add_edges(edges).build()
+}
+
+/// Reads an undirected graph from a file path.
+pub fn read_undirected_path<P: AsRef<Path>>(path: P) -> Result<UndirectedGraph> {
+    read_undirected(std::fs::File::open(path)?)
+}
+
+/// Reads a directed graph from a file path.
+pub fn read_directed_path<P: AsRef<Path>>(path: P) -> Result<DirectedGraph> {
+    read_directed(std::fs::File::open(path)?)
+}
+
+/// Writes an undirected graph as an edge list (one `u v` line per edge,
+/// `u < v`).
+pub fn write_undirected<W: Write>(g: &UndirectedGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# undirected |V|={} |E|={}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a directed graph as an edge list.
+pub fn write_directed<W: Write>(g: &DirectedGraph, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# directed |V|={} |E|={}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_with_comments_and_blanks() {
+        let text = "# a comment\n% konect style\n\n0 1\n1 2\n";
+        let g = read_undirected(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn read_directed_keeps_direction() {
+        let g = read_directed("0 1\n2 1\n".as_bytes()).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.in_degree(1), 2);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = read_undirected("0 1\nfoo bar\n".as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_target_is_error() {
+        let err = read_undirected("0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_undirected("".as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn undirected_round_trip() {
+        let g = crate::gen::erdos_renyi(50, 120, 3);
+        let mut buf = Vec::new();
+        write_undirected(&g, &mut buf).unwrap();
+        let g2 = read_undirected(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn directed_round_trip() {
+        let g = crate::gen::erdos_renyi_directed(50, 150, 4);
+        let mut buf = Vec::new();
+        write_directed(&g, &mut buf).unwrap();
+        let g2 = read_directed(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn oversized_id_rejected() {
+        let text = format!("0 {}\n", u64::from(u32::MAX) + 1);
+        assert!(read_undirected(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = crate::gen::erdos_renyi(20, 40, 5);
+        let dir = std::env::temp_dir().join("dsd_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_undirected(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        let g2 = read_undirected_path(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,55 @@
+//! # dsd-graph
+//!
+//! Graph substrate for the `scalable-dsd` workspace, a reproduction of
+//! *"Scalable Algorithms for Densest Subgraph Discovery"* (Luo et al.,
+//! ICDE 2023).
+//!
+//! This crate provides everything the densest-subgraph algorithms need from
+//! a graph library:
+//!
+//! * compact CSR representations for undirected ([`UndirectedGraph`]) and
+//!   directed ([`DirectedGraph`]) graphs,
+//! * builders that deduplicate edges and drop self-loops,
+//! * plain-text edge-list IO ([`io`]) and a compact binary format
+//!   ([`binio`]),
+//! * seeded synthetic generators matched to the categories of the paper's
+//!   12 real-world datasets ([`gen`]),
+//! * uniform edge sampling for the scalability experiments ([`sample`]),
+//! * connected components and induced subgraphs ([`components`],
+//!   [`subgraph`]),
+//! * degree statistics for the dataset tables ([`stats`]).
+//!
+//! Vertex ids are `u32` ([`VertexId`]); the largest graphs exercised in this
+//! reproduction have well under 2³² vertices, and the narrower id type keeps
+//! adjacency arrays cache-friendly (see the workspace DESIGN.md).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binio;
+pub mod builder;
+pub mod components;
+pub mod directed;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod reorder;
+pub mod sample;
+pub mod stats;
+pub mod subgraph;
+pub mod undirected;
+
+pub use builder::{DirectedGraphBuilder, UndirectedGraphBuilder};
+pub use directed::DirectedGraph;
+pub use error::GraphError;
+pub use undirected::UndirectedGraph;
+
+/// Vertex identifier used throughout the workspace.
+///
+/// `u32` halves the memory of adjacency arrays compared to `usize` on
+/// 64-bit platforms, which matters for the billion-edge graphs the paper
+/// targets (and, proportionally, for the scaled-down stand-ins used here).
+pub type VertexId = u32;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,102 @@
+//! Degree-based vertex reordering.
+//!
+//! Renumbering vertices in descending degree order packs the hubs — the
+//! vertices every peeling/h-index iteration touches most — into adjacent
+//! cache lines, a standard locality optimisation for CSR graph algorithms
+//! at the paper's scale. `bench_graph` measures the effect on PKMC.
+
+use crate::{UndirectedGraph, UndirectedGraphBuilder, VertexId};
+
+/// A reordered graph plus the mapping back to original vertex ids.
+#[derive(Clone, Debug)]
+pub struct Reordered {
+    /// The renumbered graph.
+    pub graph: UndirectedGraph,
+    /// `original[new_id]` is the vertex's id in the input graph.
+    pub original: Vec<VertexId>,
+    /// `new_id[original]` is the vertex's id in the reordered graph.
+    pub new_id: Vec<VertexId>,
+}
+
+impl Reordered {
+    /// Maps a set of reordered vertex ids back to original ids (sorted).
+    pub fn to_original(&self, vertices: &[VertexId]) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> =
+            vertices.iter().map(|&v| self.original[v as usize]).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Renumbers vertices by descending degree (ties by original id, so the
+/// result is deterministic).
+pub fn by_degree_descending(g: &UndirectedGraph) -> Reordered {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+    let mut new_id = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as VertexId;
+    }
+    let mut b = UndirectedGraphBuilder::with_capacity(n, g.num_edges());
+    for (u, v) in g.edges() {
+        b.push_edge(new_id[u as usize], new_id[v as usize]);
+    }
+    Reordered {
+        graph: b.build().expect("renumbered ids are in range"),
+        original: order,
+        new_id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraphBuilder;
+
+    #[test]
+    fn hub_becomes_vertex_zero() {
+        // Star with hub 3.
+        let g = UndirectedGraphBuilder::new(5)
+            .add_edges([(3, 0), (3, 1), (3, 2), (3, 4)])
+            .build()
+            .unwrap();
+        let r = by_degree_descending(&g);
+        assert_eq!(r.original[0], 3);
+        assert_eq!(r.graph.degree(0), 4);
+    }
+
+    #[test]
+    fn structure_preserved() {
+        let g = crate::gen::chung_lu(200, 1200, 2.3, 9);
+        let r = by_degree_descending(&g);
+        assert_eq!(r.graph.num_vertices(), g.num_vertices());
+        assert_eq!(r.graph.num_edges(), g.num_edges());
+        // Edges map one-to-one through the renumbering.
+        for (u, v) in g.edges() {
+            assert!(r.graph.has_edge(r.new_id[u as usize], r.new_id[v as usize]));
+        }
+        // Degrees are non-increasing in the new ordering.
+        for v in 1..r.graph.num_vertices() {
+            assert!(r.graph.degree(v as u32) <= r.graph.degree(v as u32 - 1));
+        }
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let g = crate::gen::erdos_renyi(50, 150, 4);
+        let r = by_degree_descending(&g);
+        for old in 0..50u32 {
+            assert_eq!(r.original[r.new_id[old as usize] as usize], old);
+        }
+        let back = r.to_original(&[0, 1, 2]);
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraphBuilder::new(0).build().unwrap();
+        let r = by_degree_descending(&g);
+        assert_eq!(r.graph.num_vertices(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Uniform edge sampling.
+//!
+//! Exp-4 and Exp-8 in the paper ("Scalability test") randomly select 20%,
+//! 40%, 60%, 80% and 100% of a graph's edges and run the algorithms on the
+//! subgraphs induced by those edges. This module reproduces that protocol.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
+    UndirectedGraphBuilder,
+};
+
+fn validate_fraction(fraction: f64) -> Result<()> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(GraphError::InvalidArgument(format!(
+            "sampling fraction must be in (0, 1], got {fraction}"
+        )));
+    }
+    Ok(())
+}
+
+/// Floyd-style sampling of `k` distinct indices from `0..len`.
+fn sample_indices(len: usize, k: usize, rng: &mut impl Rng) -> Vec<bool> {
+    debug_assert!(k <= len);
+    let mut selected = vec![false; len];
+    // Robert Floyd's algorithm: uniform k-subset in O(k) draws.
+    for j in (len - k)..len {
+        let t = rng.gen_range(0..=j);
+        if selected[t] {
+            selected[j] = true;
+        } else {
+            selected[t] = true;
+        }
+    }
+    selected
+}
+
+/// Returns the subgraph induced by a uniform sample of
+/// `round(fraction * m)` edges, on the same vertex set.
+pub fn sample_edges_undirected(
+    g: &UndirectedGraph,
+    fraction: f64,
+    seed: u64,
+) -> Result<UndirectedGraph> {
+    validate_fraction(fraction)?;
+    let edges: Vec<_> = g.edges().collect();
+    let k = ((edges.len() as f64) * fraction).round() as usize;
+    let k = k.min(edges.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let selected = sample_indices(edges.len(), k, &mut rng);
+    let mut b = UndirectedGraphBuilder::with_capacity(g.num_vertices(), k);
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if selected[i] {
+            b.push_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Directed counterpart of [`sample_edges_undirected`].
+pub fn sample_edges_directed(g: &DirectedGraph, fraction: f64, seed: u64) -> Result<DirectedGraph> {
+    validate_fraction(fraction)?;
+    let edges: Vec<_> = g.edges().collect();
+    let k = ((edges.len() as f64) * fraction).round() as usize;
+    let k = k.min(edges.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let selected = sample_indices(edges.len(), k, &mut rng);
+    let mut b = DirectedGraphBuilder::with_capacity(g.num_vertices(), k);
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if selected[i] {
+            b.push_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn sample_exact_count_undirected() {
+        let g = gen::erdos_renyi(200, 1000, 3);
+        let m = g.num_edges();
+        let s = sample_edges_undirected(&g, 0.4, 9).unwrap();
+        assert_eq!(s.num_edges(), ((m as f64) * 0.4).round() as usize);
+        assert_eq!(s.num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn sample_full_fraction_is_identity_edge_count() {
+        let g = gen::erdos_renyi(100, 400, 4);
+        let s = sample_edges_undirected(&g, 1.0, 1).unwrap();
+        assert_eq!(s.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn sampled_edges_are_subset() {
+        let g = gen::erdos_renyi(100, 400, 5);
+        let s = sample_edges_undirected(&g, 0.5, 2).unwrap();
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn sample_directed_subset_and_count() {
+        let g = gen::erdos_renyi_directed(150, 600, 6);
+        let m = g.num_edges();
+        let s = sample_edges_directed(&g, 0.2, 8).unwrap();
+        assert_eq!(s.num_edges(), ((m as f64) * 0.2).round() as usize);
+        for (u, v) in s.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let g = gen::erdos_renyi(10, 20, 7);
+        assert!(sample_edges_undirected(&g, 0.0, 0).is_err());
+        assert!(sample_edges_undirected(&g, 1.5, 0).is_err());
+        assert!(sample_edges_undirected(&g, f64::NAN, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = gen::erdos_renyi(100, 500, 11);
+        let a = sample_edges_undirected(&g, 0.6, 42).unwrap();
+        let b = sample_edges_undirected(&g, 0.6, 42).unwrap();
+        assert_eq!(a, b);
+    }
+}

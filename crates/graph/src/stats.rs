@@ -1,0 +1,110 @@
+//! Degree statistics for the dataset tables (Tables 4 and 5 of the paper).
+
+use serde::Serialize;
+
+use crate::{DirectedGraph, UndirectedGraph};
+
+/// Summary row for an undirected dataset (paper Table 4).
+#[derive(Clone, Debug, Serialize, PartialEq)]
+pub struct UndirectedStats {
+    /// Vertex count |V|.
+    pub num_vertices: usize,
+    /// Edge count |E|.
+    pub num_edges: usize,
+    /// Maximum degree `d_max`.
+    pub max_degree: usize,
+    /// Average degree `2m / n` (0 for empty graphs).
+    pub avg_degree: f64,
+}
+
+/// Summary row for a directed dataset (paper Table 5).
+#[derive(Clone, Debug, Serialize, PartialEq)]
+pub struct DirectedStats {
+    /// Vertex count |V|.
+    pub num_vertices: usize,
+    /// Edge count |E|.
+    pub num_edges: usize,
+    /// Maximum out-degree `d⁺_max`.
+    pub max_out_degree: usize,
+    /// Maximum in-degree `d⁻_max`.
+    pub max_in_degree: usize,
+}
+
+/// Computes the Table-4 style statistics of an undirected graph.
+pub fn undirected_stats(g: &UndirectedGraph) -> UndirectedStats {
+    let n = g.num_vertices();
+    UndirectedStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        max_degree: g.max_degree(),
+        avg_degree: if n == 0 { 0.0 } else { 2.0 * g.num_edges() as f64 / n as f64 },
+    }
+}
+
+/// Computes the Table-5 style statistics of a directed graph.
+pub fn directed_stats(g: &DirectedGraph) -> DirectedStats {
+    DirectedStats {
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        max_out_degree: g.max_out_degree(),
+        max_in_degree: g.max_in_degree(),
+    }
+}
+
+/// Degree histogram: `hist[d]` counts vertices with degree `d` (useful for
+/// eyeballing the power-law shape of the synthetic stand-ins).
+pub fn degree_histogram(g: &UndirectedGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    #[test]
+    fn undirected_stats_basic() {
+        let g = UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        let s = undirected_stats(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_stats_basic() {
+        let g = DirectedGraphBuilder::new(3)
+            .add_edges([(0, 1), (0, 2), (1, 2)])
+            .build()
+            .unwrap();
+        let s = directed_stats(&g);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.num_edges, 3);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = UndirectedGraphBuilder::new(5).add_edges([(0, 1), (1, 2)]).build().unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 2); // vertices 3, 4
+        assert_eq!(h[2], 1); // vertex 1
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = UndirectedGraphBuilder::new(0).build().unwrap();
+        let s = undirected_stats(&g);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

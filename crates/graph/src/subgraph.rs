@@ -1,0 +1,184 @@
+//! Induced-subgraph extraction.
+//!
+//! The densest-subgraph algorithms return vertex sets; turning them back
+//! into standalone graphs (with a vertex-id mapping) is needed both to
+//! report the result and to recurse (e.g. the binary-search `k*`-core
+//! method discussed in Section IV-B of the paper).
+
+use rustc_hash::FxHashMap;
+
+use crate::{DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId};
+
+/// An induced subgraph of an undirected graph, with the mapping from new
+/// compact vertex ids back to the original ids.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// The subgraph, with vertices renumbered `0..k`.
+    pub graph: UndirectedGraph,
+    /// `original[i]` is the id in the parent graph of the subgraph vertex `i`.
+    pub original: Vec<VertexId>,
+}
+
+/// An `(S, T)`-induced subgraph of a directed graph (Definition 3 context):
+/// contains exactly the edges from `S` to `T`.
+///
+/// Vertices keep their original ids; `s_members` / `t_members` list the two
+/// (possibly overlapping) sets.
+#[derive(Clone, Debug)]
+pub struct StInducedSubgraph {
+    /// Vertices playing the source role.
+    pub s_members: Vec<VertexId>,
+    /// Vertices playing the target role.
+    pub t_members: Vec<VertexId>,
+    /// Edges from `S` to `T`, with original vertex ids.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+impl StInducedSubgraph {
+    /// Density `|E(S,T)| / √(|S|·|T|)` (Definition 3). Zero if either side
+    /// is empty.
+    pub fn density(&self) -> f64 {
+        if self.s_members.is_empty() || self.t_members.is_empty() {
+            0.0
+        } else {
+            self.edges.len() as f64
+                / ((self.s_members.len() as f64) * (self.t_members.len() as f64)).sqrt()
+        }
+    }
+}
+
+/// Extracts the subgraph of `g` induced by `vertices` (duplicates ignored),
+/// renumbering vertices compactly and remembering the original ids.
+pub fn induce_undirected(g: &UndirectedGraph, vertices: &[VertexId]) -> InducedSubgraph {
+    let mut original: Vec<VertexId> = vertices.to_vec();
+    original.sort_unstable();
+    original.dedup();
+    let map: FxHashMap<VertexId, VertexId> =
+        original.iter().enumerate().map(|(i, &v)| (v, i as VertexId)).collect();
+    let mut b = UndirectedGraphBuilder::new(original.len());
+    for (&v, nv) in original.iter().zip(0..original.len() as VertexId) {
+        debug_assert_eq!(map[&v], nv);
+        for &u in g.neighbors(v) {
+            if u > v {
+                if let Some(&nu) = map.get(&u) {
+                    b.push_edge(nv, nu);
+                }
+            }
+        }
+    }
+    InducedSubgraph { graph: b.build().expect("ids are in range by construction"), original }
+}
+
+/// Extracts the subgraph of the directed graph `g` induced by `vertices`
+/// (all edges among them), renumbering compactly.
+pub fn induce_directed(g: &DirectedGraph, vertices: &[VertexId]) -> (DirectedGraph, Vec<VertexId>) {
+    let mut original: Vec<VertexId> = vertices.to_vec();
+    original.sort_unstable();
+    original.dedup();
+    let map: FxHashMap<VertexId, VertexId> =
+        original.iter().enumerate().map(|(i, &v)| (v, i as VertexId)).collect();
+    let mut b = DirectedGraphBuilder::new(original.len());
+    for &v in &original {
+        let nv = map[&v];
+        for &u in g.out_neighbors(v) {
+            if let Some(&nu) = map.get(&u) {
+                b.push_edge(nv, nu);
+            }
+        }
+    }
+    (b.build().expect("ids are in range by construction"), original)
+}
+
+/// Extracts the `(S, T)`-induced subgraph: all edges of `g` from a vertex
+/// in `s` to a vertex in `t` (Definition 3).
+pub fn induce_st(g: &DirectedGraph, s: &[VertexId], t: &[VertexId]) -> StInducedSubgraph {
+    let mut s_members = s.to_vec();
+    s_members.sort_unstable();
+    s_members.dedup();
+    let mut t_members = t.to_vec();
+    t_members.sort_unstable();
+    t_members.dedup();
+    let t_set: rustc_hash::FxHashSet<VertexId> = t_members.iter().copied().collect();
+    let mut edges = Vec::new();
+    for &u in &s_members {
+        for &v in g.out_neighbors(u) {
+            if t_set.contains(&v) {
+                edges.push((u, v));
+            }
+        }
+    }
+    StInducedSubgraph { s_members, t_members, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    #[test]
+    fn induce_triangle_from_k4() {
+        // K4 on {0,1,2,3}; induce {0,1,2} -> triangle.
+        let mut b = UndirectedGraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        let sub = induce_undirected(&g, &[2, 0, 1, 1]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+        assert_eq!(sub.original, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn induce_preserves_original_ids() {
+        let g = UndirectedGraphBuilder::new(5)
+            .add_edges([(1, 3), (3, 4), (1, 4)])
+            .build()
+            .unwrap();
+        let sub = induce_undirected(&g, &[4, 1, 3]);
+        assert_eq!(sub.original, vec![1, 3, 4]);
+        assert_eq!(sub.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn induce_directed_keeps_internal_edges_only() {
+        let g = DirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build()
+            .unwrap();
+        let (sub, orig) = induce_directed(&g, &[0, 1, 2]);
+        assert_eq!(orig, vec![0, 1, 2]);
+        assert_eq!(sub.num_edges(), 2); // 0->1, 1->2
+    }
+
+    #[test]
+    fn st_induced_density_matches_paper_example() {
+        // Fig. 1(b): S = {v4, v5}, T = {v2, v3}, 4 edges, density 2.
+        // Model: vertices 0..6; edges 4->2, 4->3, 5->2, 5->3.
+        let g = DirectedGraphBuilder::new(6)
+            .add_edges([(4, 2), (4, 3), (5, 2), (5, 3)])
+            .build()
+            .unwrap();
+        let st = induce_st(&g, &[4, 5], &[2, 3]);
+        assert_eq!(st.edges.len(), 4);
+        assert!((st.density() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn st_induced_overlapping_sets() {
+        // S and T may overlap (Definition 3).
+        let g = DirectedGraphBuilder::new(2).add_edges([(0, 1), (1, 0)]).build().unwrap();
+        let st = induce_st(&g, &[0, 1], &[0, 1]);
+        assert_eq!(st.edges.len(), 2);
+        assert!((st.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn st_empty_side_density_zero() {
+        let g = DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let st = induce_st(&g, &[], &[1]);
+        assert_eq!(st.density(), 0.0);
+    }
+}

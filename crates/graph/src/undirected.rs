@@ -1,0 +1,204 @@
+//! Compressed-sparse-row undirected graph.
+
+use crate::VertexId;
+
+/// An immutable undirected graph in CSR (compressed sparse row) form.
+///
+/// Each undirected edge `{u, v}` is stored twice: once in `u`'s adjacency
+/// list and once in `v`'s. Self-loops and parallel edges are removed at
+/// construction time by [`crate::UndirectedGraphBuilder`]. Adjacency lists
+/// are sorted, enabling binary-search membership tests.
+///
+/// This is the representation the paper's algorithms assume: an O(1) degree
+/// lookup and a contiguous, cache-friendly neighbour scan per vertex, shared
+/// read-only between threads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `adj` for vertex `v`; length `n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; length `2m`.
+    adj: Vec<VertexId>,
+}
+
+impl UndirectedGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// Intended for use by the builder and subgraph extraction; callers must
+    /// guarantee the CSR invariants (monotone offsets, sorted per-vertex
+    /// lists, symmetric edges, no self-loops). Debug builds assert them.
+    pub(crate) fn from_csr(offsets: Vec<usize>, adj: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), adj.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        let g = Self { offsets, adj };
+        debug_assert!((0..g.num_vertices()).all(|v| {
+            let nb = g.neighbors(v as VertexId);
+            nb.windows(2).all(|w| w[0] < w[1]) && nb.iter().all(|&u| u != v as VertexId)
+        }));
+        g
+    }
+
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self { offsets: vec![0; n + 1], adj: Vec::new() }
+    }
+
+    /// Number of vertices `n` (including isolated vertices).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbours of vertex `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the edge `{u, v}` exists. `O(log d(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all vertices; 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Density `m / n` of the whole graph (Definition 1 applied to `V`).
+    ///
+    /// Returns 0.0 for a graph with no vertices.
+    pub fn density(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Degree of every vertex, as a vector (used to seed h-index arrays).
+    pub fn degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices()).map(|v| self.degree(v as VertexId) as u32).collect()
+    }
+
+    /// Raw CSR offsets (mainly for zero-copy consumers like the flow crate).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw CSR adjacency array.
+    #[inline]
+    pub fn adjacency(&self) -> &[VertexId] {
+        &self.adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraphBuilder;
+
+    fn triangle_plus_pendant() -> UndirectedGraph {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant off 0.
+        UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn edges_listed_once_with_u_lt_v() {
+        let g = triangle_plus_pendant();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn density_of_triangle() {
+        let g = UndirectedGraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        assert!((g.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph_density_zero() {
+        let g = UndirectedGraph::empty(0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn degrees_vector_matches() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+    }
+}

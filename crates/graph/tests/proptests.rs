@@ -1,0 +1,159 @@
+//! Property tests for the graph substrate: builder invariants, IO round
+//! trips, sampling, components, and induced subgraphs on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use dsd_graph::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+/// Arbitrary raw edge list (may contain self-loops and duplicates) over a
+/// small vertex range.
+fn raw_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..200);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn undirected_builder_invariants((n, edges) in raw_edges()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        // CSR invariants.
+        let mut degree_sum = 0usize;
+        for v in 0..n as u32 {
+            let nb = g.neighbors(v);
+            degree_sum += nb.len();
+            // Sorted, deduplicated, no self-loops.
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted at {v}");
+            prop_assert!(nb.iter().all(|&u| u != v), "self-loop at {v}");
+            // Symmetry.
+            for &u in nb {
+                prop_assert!(g.has_edge(u, v), "asymmetric edge {u}-{v}");
+            }
+        }
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Every non-loop input edge is present.
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_builder_invariants((n, edges) in raw_edges()) {
+        let g = DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let out_sum: usize = (0..n as u32).map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = (0..n as u32).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        for v in 0..n as u32 {
+            prop_assert!(g.out_neighbors(v).windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(g.in_neighbors(v).windows(2).all(|w| w[0] < w[1]));
+            for &u in g.out_neighbors(v) {
+                prop_assert!(g.in_neighbors(u).binary_search(&v).is_ok(), "in/out mismatch");
+            }
+        }
+        for &(u, v) in &edges {
+            if u != v {
+                prop_assert!(g.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn text_and_binary_io_round_trip((n, edges) in raw_edges()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let mut text = Vec::new();
+        dsd_graph::io::write_undirected(&g, &mut text).unwrap();
+        let from_text = dsd_graph::io::read_undirected(text.as_slice()).unwrap();
+        // Text drops isolated trailing vertices (n is inferred); compare edges.
+        let a: Vec<_> = g.edges().collect();
+        let b: Vec<_> = from_text.edges().collect();
+        prop_assert_eq!(a, b);
+
+        let mut bin = Vec::new();
+        dsd_graph::binio::write_undirected_binary(&g, &mut bin).unwrap();
+        let from_bin = dsd_graph::binio::read_undirected_binary(bin.as_slice()).unwrap();
+        prop_assert_eq!(&g, &from_bin);
+    }
+
+    #[test]
+    fn directed_binary_round_trip((n, edges) in raw_edges()) {
+        let g = DirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let mut bin = Vec::new();
+        dsd_graph::binio::write_directed_binary(&g, &mut bin).unwrap();
+        let from_bin = dsd_graph::binio::read_directed_binary(bin.as_slice()).unwrap();
+        prop_assert_eq!(&g, &from_bin);
+    }
+
+    #[test]
+    fn sampling_subset_and_count(
+        (n, edges) in raw_edges(),
+        fraction in 0.1f64..1.0,
+        seed in any::<u64>()
+    ) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let s = dsd_graph::sample::sample_edges_undirected(&g, fraction, seed).unwrap();
+        let expected = ((g.num_edges() as f64) * fraction).round() as usize;
+        prop_assert_eq!(s.num_edges(), expected.min(g.num_edges()));
+        for (u, v) in s.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn components_match_union_find((n, edges) in raw_edges()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let c = dsd_graph::components::connected_components(&g);
+        // Reference union-find.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for (u, v) in g.edges() {
+            let (ru, rv) = (find(&mut parent, u as usize), find(&mut parent, v as usize));
+            parent[ru] = rv;
+        }
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let same_uf = find(&mut parent, u) == find(&mut parent, v);
+                let same_bfs = c.label[u] == c.label[v];
+                prop_assert_eq!(same_uf, same_bfs, "vertices {} and {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edge_consistency((n, edges) in raw_edges(), mask in any::<u64>()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let subset: Vec<u32> = (0..n as u32).filter(|&v| mask >> (v % 64) & 1 == 1).collect();
+        let sub = dsd_graph::subgraph::induce_undirected(&g, &subset);
+        // Every subgraph edge maps to an original edge within the subset.
+        for (a, b) in sub.graph.edges() {
+            let (oa, ob) = (sub.original[a as usize], sub.original[b as usize]);
+            prop_assert!(g.has_edge(oa, ob));
+        }
+        // Edge count equals the original edges with both endpoints inside.
+        let inside: std::collections::HashSet<u32> = subset.iter().copied().collect();
+        let expected = g
+            .edges()
+            .filter(|&(u, v)| inside.contains(&u) && inside.contains(&v))
+            .count();
+        prop_assert_eq!(sub.graph.num_edges(), expected);
+    }
+
+    #[test]
+    fn transpose_involution((n, edges) in raw_edges()) {
+        let g = DirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        prop_assert_eq!(&g.transpose().transpose(), &g);
+        prop_assert_eq!(g.transpose().num_edges(), g.num_edges());
+        prop_assert_eq!(g.transpose().max_out_degree(), g.max_in_degree());
+    }
+}

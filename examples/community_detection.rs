@@ -1,0 +1,60 @@
+//! Community detection — the paper's first motivating application
+//! (Section I cites DSD for mining network communities).
+//!
+//! A tight community (a planted near-clique) is hidden inside a sparse
+//! random social network; the densest subgraph recovers it. We measure
+//! precision/recall of the recovery for PKMC and the baselines.
+//!
+//! ```sh
+//! cargo run --release --example community_detection
+//! ```
+
+use scalable_dsd::prelude::*;
+use scalable_dsd::UdsAlgorithm;
+
+fn precision_recall(found: &[VertexId], planted: usize) -> (f64, f64) {
+    let hits = found.iter().filter(|&&v| (v as usize) < planted).count() as f64;
+    let precision = if found.is_empty() { 0.0 } else { hits / found.len() as f64 };
+    let recall = hits / planted as f64;
+    (precision, recall)
+}
+
+fn main() {
+    // 2,000-member network, 6,000 random friendships, plus a 40-member
+    // community where everyone knows 90% of the others.
+    const N: usize = 2_000;
+    const BACKGROUND_EDGES: usize = 6_000;
+    const COMMUNITY: usize = 40;
+    let g = scalable_dsd::graph::gen::planted_dense(N, BACKGROUND_EDGES, COMMUNITY, 0.9, 20_240_701);
+    println!(
+        "network: |V|={} |E|={}  (planted community: {} members)",
+        g.num_vertices(),
+        g.num_edges(),
+        COMMUNITY
+    );
+    println!("planted community density ≈ {:.2}; background ≈ {:.2}\n", 0.9 * (COMMUNITY as f64 - 1.0) / 2.0, BACKGROUND_EDGES as f64 / N as f64);
+
+    println!("{:<10} {:>9} {:>10} {:>10} {:>9}", "algorithm", "density", "precision", "recall", "time");
+    for (name, algo) in [
+        ("pkmc", UdsAlgorithm::Pkmc),
+        ("local", UdsAlgorithm::Local),
+        ("pkc", UdsAlgorithm::Pkc),
+        ("charikar", UdsAlgorithm::Charikar),
+        ("pbu", UdsAlgorithm::Pbu { epsilon: 0.5 }),
+        ("pfw", UdsAlgorithm::Pfw { iterations: 100 }),
+    ] {
+        let r = scalable_dsd::run_uds(&g, algo);
+        let (p, rec) = precision_recall(&r.vertices, COMMUNITY);
+        println!(
+            "{name:<10} {:>9.3} {:>9.1}% {:>9.1}% {:>9.2?}",
+            r.density,
+            100.0 * p,
+            100.0 * rec,
+            r.stats.wall
+        );
+    }
+
+    println!("\nAll core-based methods recover the planted community: the");
+    println!("community is the k*-core of the network, exactly the structure");
+    println!("Lemma 1 of the paper uses as the 2-approximate densest subgraph.");
+}

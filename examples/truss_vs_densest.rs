@@ -1,0 +1,53 @@
+//! k-truss vs densest subgraph — empirically exploring the paper's stated
+//! future-work question: how do other dense-subgraph models (here the
+//! k-truss) relate to the densest subgraph?
+//!
+//! For each generated graph we compare the exact optimum ρ*, the k*-core
+//! (PKMC, the paper's 2-approximation), and the maximum k-truss with its
+//! certified density lower bound (k_max − 1)/2.
+//!
+//! ```sh
+//! cargo run --release --example truss_vs_densest
+//! ```
+
+use dsd_core::uds::truss::truss_decomposition;
+use scalable_dsd::{run_uds, UdsAlgorithm};
+
+fn main() {
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>12} {:>10}",
+        "graph", "rho*", "k*-core", "truss", "truss bound", "k_max"
+    );
+    let cases: Vec<(&str, dsd_graph::UndirectedGraph)> = vec![
+        ("erdos-renyi", dsd_graph::gen::erdos_renyi(400, 2400, 3)),
+        ("chung-lu 2.2", dsd_graph::gen::chung_lu(400, 2400, 2.2, 5)),
+        ("chung-lu 2.6", dsd_graph::gen::chung_lu(400, 2400, 2.6, 7)),
+        ("planted 25-clique", dsd_graph::gen::planted_dense(400, 900, 25, 1.0, 9)),
+        ("barabasi-albert", dsd_graph::gen::barabasi_albert(400, 6, 11)),
+    ];
+    for (name, g) in cases {
+        let exact = run_uds(&g, UdsAlgorithm::Exact);
+        let core = run_uds(&g, UdsAlgorithm::Pkmc);
+        let truss = truss_decomposition(&g);
+        let truss_density =
+            dsd_core::density::undirected_density(&g, &truss.max_truss_vertices());
+        println!(
+            "{name:<22} {:>8.3} {:>10.3} {:>10.3} {:>12.3} {:>10}",
+            exact.density,
+            core.density,
+            truss_density,
+            truss.density_lower_bound(),
+            truss.k_max
+        );
+        assert!(core.density * 2.0 + 1e-9 >= exact.density, "PKMC guarantee violated");
+    }
+    println!();
+    println!("Observations (the paper's future-work question, empirically):");
+    println!("- the k*-core tracks rho* closely (it is the 2-approximation");
+    println!("  witness of Lemma 1), while the max truss usually lands lower:");
+    println!("  demanding triangles excludes dense but triangle-sparse");
+    println!("  structure, and the truss carries no approximation guarantee;");
+    println!("- the two coincide exactly on clique-like regions (the planted");
+    println!("  clique row), where the truss's certified bound (k_max - 1)/2");
+    println!("  is tight — a quick density witness needing no flow.");
+}

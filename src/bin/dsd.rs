@@ -1,0 +1,262 @@
+//! `dsd` — command-line interface for scalable densest subgraph discovery.
+//!
+//! ```text
+//! dsd uds   --input graph.txt [--algo pkmc] [--threads 4] [--print-vertices]
+//! dsd dds   --input graph.txt [--algo pwc]  [--threads 4] [--print-vertices]
+//! dsd gen   --model chung-lu --n 10000 --m 80000 [--seed 7] [--directed] --out graph.txt
+//! dsd stats --input graph.txt [--directed]
+//! ```
+//!
+//! Graphs are whitespace edge lists (`u v` per line; `#`/`%` comments).
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dsd uds   --input FILE [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--print-vertices]\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|exact]\n            [--threads N] [--print-vertices]\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let Some(name) = a.strip_prefix("--") else {
+            return Err(format!("unexpected argument {a}"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "directed" | "print-vertices") {
+            flags.insert(name.to_string(), "true".to_string());
+            i += 1;
+        } else {
+            let value = args.get(i + 1).ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+            i += 2;
+        }
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: {v}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match command.as_str() {
+        "uds" => cmd_uds(&flags),
+        "dds" => cmd_dds(&flags),
+        "gen" => cmd_gen(&flags),
+        "stats" => cmd_stats(&flags),
+        "decompose" => cmd_decompose(&flags),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_threads<T: Send>(flags: &HashMap<String, String>, f: impl FnOnce() -> T + Send) -> Result<T, String> {
+    let threads: usize = get_parsed(flags, "threads", 0)?;
+    if threads == 0 {
+        Ok(f())
+    } else {
+        Ok(dsd_core::runner::with_threads(threads, f))
+    }
+}
+
+fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+    let epsilon: f64 = get_parsed(flags, "epsilon", 0.5)?;
+    let iterations: usize = get_parsed(flags, "iterations", 100)?;
+    let algo = match flags.get("algo").map(String::as_str).unwrap_or("pkmc") {
+        "pkmc" => UdsAlgorithm::Pkmc,
+        "local" => UdsAlgorithm::Local,
+        "pkc" => UdsAlgorithm::Pkc,
+        "charikar" => UdsAlgorithm::Charikar,
+        "pbu" => UdsAlgorithm::Pbu { epsilon },
+        "pfw" => UdsAlgorithm::Pfw { iterations },
+        "bsk" => UdsAlgorithm::Bsk,
+        "exact" => UdsAlgorithm::Exact,
+        other => return Err(format!("unknown UDS algorithm {other}")),
+    };
+    let r = with_threads(flags, || run_uds(&g, algo))?;
+    println!(
+        "graph: |V|={} |E|={}\nalgorithm: {algo:?}\ndensity: {:.6}\nsubgraph size: {} vertices\niterations: {}\ntime: {:.3?}",
+        g.num_vertices(),
+        g.num_edges(),
+        r.density,
+        r.vertices.len(),
+        r.stats.iterations,
+        r.stats.wall
+    );
+    if flags.contains_key("print-vertices") {
+        println!("vertices: {:?}", r.vertices);
+    }
+    Ok(())
+}
+
+fn cmd_dds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let g = dsd_graph::io::read_directed_path(input).map_err(|e| e.to_string())?;
+    let iterations: usize = get_parsed(flags, "iterations", 100)?;
+    let algo = match flags.get("algo").map(String::as_str).unwrap_or("pwc") {
+        "pwc" => DdsAlgorithm::Pwc,
+        "pxy" => DdsAlgorithm::Pxy,
+        "pbd" => DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 },
+        "pfks" => DdsAlgorithm::Pfks,
+        "pbs" => DdsAlgorithm::Pbs { max_rounds: Some(10_000) },
+        "pfw" => DdsAlgorithm::Pfw { iterations },
+        "exact" => DdsAlgorithm::Exact,
+        other => return Err(format!("unknown DDS algorithm {other}")),
+    };
+    let r = with_threads(flags, || run_dds(&g, algo))?;
+    println!(
+        "graph: |V|={} |E|={}\nalgorithm: {algo:?}\ndensity: {:.6}\n|S|={} |T|={}\niterations: {}\ntime: {:.3?}",
+        g.num_vertices(),
+        g.num_edges(),
+        r.density,
+        r.s.len(),
+        r.t.len(),
+        r.stats.iterations,
+        r.stats.wall
+    );
+    if flags.contains_key("print-vertices") {
+        println!("S: {:?}\nT: {:?}", r.s, r.t);
+    }
+    Ok(())
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = flags.get("model").ok_or("--model is required")?;
+    let out = flags.get("out").ok_or("--out is required")?;
+    let n: usize = get_parsed(flags, "n", 1000)?;
+    let m: usize = get_parsed(flags, "m", 5000)?;
+    let seed: u64 = get_parsed(flags, "seed", 42)?;
+    let gamma: f64 = get_parsed(flags, "gamma", 2.3)?;
+    let directed = flags.contains_key("directed");
+    let file = std::fs::File::create(out).map_err(|e| e.to_string())?;
+    if directed {
+        let g = match model.as_str() {
+            "er" => dsd_graph::gen::erdos_renyi_directed(n, m, seed),
+            "chung-lu" => dsd_graph::gen::chung_lu_directed(n, m, gamma, gamma, seed),
+            "rmat" => {
+                let scale = (n as f64).log2().ceil() as u32;
+                dsd_graph::gen::rmat_directed(scale, m, dsd_graph::gen::RmatParams::default(), seed)
+            }
+            other => return Err(format!("unknown directed model {other}")),
+        };
+        dsd_graph::io::write_directed(&g, file).map_err(|e| e.to_string())?;
+        println!("wrote directed graph |V|={} |E|={} to {out}", g.num_vertices(), g.num_edges());
+    } else {
+        let g = match model.as_str() {
+            "er" => dsd_graph::gen::erdos_renyi(n, m, seed),
+            "chung-lu" => dsd_graph::gen::chung_lu(n, m, gamma, seed),
+            "ba" => dsd_graph::gen::barabasi_albert(n, (m / n).max(1), seed),
+            "rmat" => {
+                let scale = (n as f64).log2().ceil() as u32;
+                dsd_graph::gen::rmat(scale, m, dsd_graph::gen::RmatParams::default(), seed)
+            }
+            other => return Err(format!("unknown undirected model {other}")),
+        };
+        dsd_graph::io::write_undirected(&g, file).map_err(|e| e.to_string())?;
+        println!("wrote undirected graph |V|={} |E|={} to {out}", g.num_vertices(), g.num_edges());
+    }
+    Ok(())
+}
+
+fn cmd_stats(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    if flags.contains_key("directed") {
+        let g = dsd_graph::io::read_directed_path(input).map_err(|e| e.to_string())?;
+        let s = dsd_graph::stats::directed_stats(&g);
+        println!(
+            "|V|={} |E|={} d+max={} d-max={}",
+            s.num_vertices, s.num_edges, s.max_out_degree, s.max_in_degree
+        );
+    } else {
+        let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+        let s = dsd_graph::stats::undirected_stats(&g);
+        println!(
+            "|V|={} |E|={} dmax={} avg={:.2}",
+            s.num_vertices, s.num_edges, s.max_degree, s.avg_degree
+        );
+    }
+    Ok(())
+}
+
+/// Writes a full decomposition (core numbers, truss numbers, or w-induced
+/// induce-numbers) to a file, one record per line.
+fn cmd_decompose(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::Write;
+    let input = flags.get("input").ok_or("--input is required")?;
+    let out_path = flags.get("out").ok_or("--out is required")?;
+    let what = flags.get("what").ok_or("--what is required (core|truss|induce)")?;
+    let mut out =
+        std::io::BufWriter::new(std::fs::File::create(out_path).map_err(|e| e.to_string())?);
+    match what.as_str() {
+        "core" => {
+            let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+            let d = dsd_core::uds::bz::bz_decomposition(&g);
+            writeln!(out, "# vertex core_number (k* = {})", d.k_star).map_err(|e| e.to_string())?;
+            for (v, c) in d.core.iter().enumerate() {
+                writeln!(out, "{v} {c}").map_err(|e| e.to_string())?;
+            }
+            println!("wrote {} core numbers (k* = {}) to {out_path}", d.core.len(), d.k_star);
+        }
+        "truss" => {
+            let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+            let d = dsd_core::uds::truss::truss_decomposition(&g);
+            writeln!(out, "# u v truss_number (k_max = {})", d.k_max).map_err(|e| e.to_string())?;
+            for ((u, v), t) in d.edges.iter().zip(d.truss.iter()) {
+                writeln!(out, "{u} {v} {t}").map_err(|e| e.to_string())?;
+            }
+            println!("wrote {} truss numbers (k_max = {}) to {out_path}", d.truss.len(), d.k_max);
+        }
+        "induce" => {
+            let g = dsd_graph::io::read_directed_path(input).map_err(|e| e.to_string())?;
+            let d = dsd_core::dds::winduced::w_decomposition(&g);
+            writeln!(out, "# u v induce_number (w* = {})", d.w_star).map_err(|e| e.to_string())?;
+            for ((u, v), w) in
+                dsd_core::dds::winduced::edge_endpoints(&g).zip(d.induce_number.iter())
+            {
+                writeln!(out, "{u} {v} {w}").map_err(|e| e.to_string())?;
+            }
+            println!(
+                "wrote {} induce-numbers (w* = {}) to {out_path}",
+                d.induce_number.len(),
+                d.w_star
+            );
+        }
+        other => return Err(format!("unknown decomposition {other}")),
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}

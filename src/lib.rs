@@ -1,0 +1,241 @@
+//! # scalable-dsd
+//!
+//! Scalable parallel algorithms for **Densest Subgraph Discovery** on
+//! undirected and directed graphs — a from-scratch Rust reproduction of
+//! *"Scalable Algorithms for Densest Subgraph Discovery"* (Wensheng Luo,
+//! Zhuo Tang, Yixiang Fang, Chenhao Ma, Xu Zhou; ICDE 2023).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scalable_dsd::prelude::*;
+//!
+//! // Undirected: find a 2-approximate densest subgraph with PKMC.
+//! let g = UndirectedGraphBuilder::new(5)
+//!     .add_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+//!     .build()
+//!     .unwrap();
+//! let dense = densest_subgraph(&g);
+//! assert_eq!(dense.vertices, vec![0, 1, 2]); // the triangle
+//!
+//! // Directed: find a 2-approximate (S, T)-densest subgraph with PWC.
+//! let d = DirectedGraphBuilder::new(4)
+//!     .add_edges([(0, 2), (0, 3), (1, 2), (1, 3)])
+//!     .build()
+//!     .unwrap();
+//! let dds = densest_subgraph_directed(&d);
+//! assert_eq!(dds.s, vec![0, 1]);
+//! assert_eq!(dds.t, vec![2, 3]);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`dsd_graph`] (re-exported as [`graph`]) — CSR graphs, generators,
+//!   IO, sampling.
+//! * [`dsd_flow`] (re-exported as [`flow`]) — max-flow and *exact* UDS/DDS
+//!   oracles.
+//! * [`dsd_core`] (re-exported as [`algo`]) — PKMC, PWC, and every
+//!   baseline the paper compares against, plus thread-pool control.
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! the reproduction of the paper's tables and figures.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use dsd_core as algo;
+pub use dsd_flow as flow;
+pub use dsd_graph as graph;
+
+use dsd_core::dds::DdsResult;
+use dsd_core::uds::UdsResult;
+use dsd_graph::{DirectedGraph, UndirectedGraph};
+
+/// Common imports for library users.
+pub mod prelude {
+    pub use crate::{
+        densest_subgraph, densest_subgraph_directed, run_dds, run_uds, DdsAlgorithm, UdsAlgorithm,
+    };
+    pub use dsd_core::dds::DdsResult;
+    pub use dsd_core::uds::UdsResult;
+    pub use dsd_graph::{
+        DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId,
+    };
+}
+
+/// Finds a 2-approximate undirected densest subgraph using the paper's
+/// PKMC algorithm (Algorithm 2) — the recommended default.
+pub fn densest_subgraph(g: &UndirectedGraph) -> UdsResult {
+    dsd_core::uds::pkmc::pkmc(g).into()
+}
+
+/// Finds a 2-approximate directed densest subgraph using the paper's PWC
+/// algorithm (Algorithm 4) — the recommended default.
+pub fn densest_subgraph_directed(g: &DirectedGraph) -> DdsResult {
+    dsd_core::dds::pwc::pwc(g).result
+}
+
+/// Selector for the undirected algorithms compared in the paper (Exp-1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UdsAlgorithm {
+    /// The paper's Algorithm 2 (default).
+    Pkmc,
+    /// Full h-index core decomposition (Sariyüce et al.).
+    Local,
+    /// Parallel level-by-level peeling (Kabir & Madduri).
+    Pkc,
+    /// Charikar's serial greedy peel.
+    Charikar,
+    /// Bahmani et al. batch peel with parameter ε.
+    Pbu {
+        /// Approximation slack (paper default 0.5).
+        epsilon: f64,
+    },
+    /// Frank–Wolfe with a sweep budget.
+    Pfw {
+        /// Number of sweeps (paper's ε = 1 setting ≈ 100).
+        iterations: usize,
+    },
+    /// Binary-search `k*`-core (the Section IV-B "simple method",
+    /// implemented as an ablation baseline).
+    Bsk,
+    /// Exact flow-based optimum (small graphs only).
+    Exact,
+}
+
+/// Runs the selected UDS algorithm.
+pub fn run_uds(g: &UndirectedGraph, algorithm: UdsAlgorithm) -> UdsResult {
+    use dsd_core::stats::Stats;
+    match algorithm {
+        UdsAlgorithm::Pkmc => dsd_core::uds::pkmc::pkmc(g).into(),
+        UdsAlgorithm::Local => {
+            let d = dsd_core::uds::local::local_decomposition(g);
+            let vertices = d.k_star_core();
+            let density = dsd_core::density::undirected_density(g, &vertices);
+            UdsResult { vertices, density, stats: d.stats }
+        }
+        UdsAlgorithm::Pkc => {
+            let d = dsd_core::uds::pkc::pkc_decomposition(g);
+            let vertices = d.k_star_core();
+            let density = dsd_core::density::undirected_density(g, &vertices);
+            UdsResult { vertices, density, stats: d.stats }
+        }
+        UdsAlgorithm::Charikar => dsd_core::uds::charikar::charikar(g),
+        UdsAlgorithm::Pbu { epsilon } => dsd_core::uds::pbu::pbu(g, epsilon),
+        UdsAlgorithm::Pfw { iterations } => {
+            dsd_core::uds::pfw::pfw_with(g, dsd_core::uds::pfw::PfwConfig { iterations })
+        }
+        UdsAlgorithm::Bsk => dsd_core::uds::bsk::bsk(g),
+        UdsAlgorithm::Exact => {
+            let (r, wall) = dsd_core::stats::timed(|| dsd_flow::uds_exact(g));
+            UdsResult { vertices: r.vertices, density: r.density, stats: Stats::new(0, wall) }
+        }
+    }
+}
+
+/// Selector for the directed algorithms compared in the paper (Exp-5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DdsAlgorithm {
+    /// The paper's Algorithm 4 (default).
+    Pwc,
+    /// cn-pair enumeration (Ma et al., parallelised).
+    Pxy,
+    /// Bahmani et al. directed batch peel (δ, ε).
+    Pbd {
+        /// Ratio-guess base (paper default 2.0).
+        delta: f64,
+        /// Batch slack (paper default 1.0).
+        epsilon: f64,
+    },
+    /// Fixed Khuller–Saha linear peel.
+    Pfks,
+    /// Charikar's full ratio enumeration (optionally capped).
+    Pbs {
+        /// Round cap; `None` is the faithful `O(n²)` enumeration.
+        max_rounds: Option<usize>,
+    },
+    /// Directed Frank–Wolfe with a sweep budget.
+    Pfw {
+        /// Number of sweeps.
+        iterations: usize,
+    },
+    /// Exact flow-based optimum (small graphs only).
+    Exact,
+}
+
+/// Runs the selected DDS algorithm.
+pub fn run_dds(g: &DirectedGraph, algorithm: DdsAlgorithm) -> DdsResult {
+    use dsd_core::stats::Stats;
+    match algorithm {
+        DdsAlgorithm::Pwc => dsd_core::dds::pwc::pwc(g).result,
+        DdsAlgorithm::Pxy => dsd_core::dds::pxy::pxy(g).result,
+        DdsAlgorithm::Pbd { delta, epsilon } => {
+            dsd_core::dds::pbd::pbd_with(g, dsd_core::dds::pbd::PbdConfig { delta, epsilon })
+        }
+        DdsAlgorithm::Pfks => dsd_core::dds::pfks::pfks(g),
+        DdsAlgorithm::Pbs { max_rounds } => {
+            dsd_core::dds::pbs::pbs_with(g, dsd_core::dds::pbs::PbsConfig { max_rounds })
+        }
+        DdsAlgorithm::Pfw { iterations } => dsd_core::dds::pfw::pfw_directed_with(
+            g,
+            dsd_core::dds::pfw::PfwDirectedConfig { iterations },
+        ),
+        DdsAlgorithm::Exact => {
+            let (r, wall) = dsd_core::stats::timed(|| dsd_flow::dds_exact(g));
+            DdsResult { s: r.s, t: r.t, density: r.density, stats: Stats::new(0, wall) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    #[test]
+    fn all_uds_algorithms_run() {
+        let g = dsd_graph::gen::erdos_renyi(60, 240, 1);
+        let exact = run_uds(&g, UdsAlgorithm::Exact);
+        for algo in [
+            UdsAlgorithm::Pkmc,
+            UdsAlgorithm::Local,
+            UdsAlgorithm::Pkc,
+            UdsAlgorithm::Charikar,
+            UdsAlgorithm::Pbu { epsilon: 0.5 },
+            UdsAlgorithm::Pfw { iterations: 50 },
+            UdsAlgorithm::Bsk,
+        ] {
+            let r = run_uds(&g, algo);
+            assert!(r.density > 0.0, "{algo:?} returned zero density");
+            assert!(r.density <= exact.density + 1e-9, "{algo:?} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn all_dds_algorithms_run() {
+        let g = dsd_graph::gen::erdos_renyi_directed(25, 120, 2);
+        let exact = run_dds(&g, DdsAlgorithm::Exact);
+        for algo in [
+            DdsAlgorithm::Pwc,
+            DdsAlgorithm::Pxy,
+            DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 },
+            DdsAlgorithm::Pfks,
+            DdsAlgorithm::Pbs { max_rounds: Some(200) },
+            DdsAlgorithm::Pfw { iterations: 50 },
+        ] {
+            let r = run_dds(&g, algo);
+            assert!(r.density > 0.0, "{algo:?} returned zero density");
+            assert!(r.density <= exact.density + 1e-6, "{algo:?} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn default_entry_points() {
+        let g = UndirectedGraphBuilder::new(3)
+            .add_edges([(0, 1), (1, 2), (0, 2)])
+            .build()
+            .unwrap();
+        let r = densest_subgraph(&g);
+        assert_eq!(r.vertices, vec![0, 1, 2]);
+    }
+}

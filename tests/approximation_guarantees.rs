@@ -1,0 +1,91 @@
+//! Property tests for the paper's approximation guarantees (Lemmas 1 and
+//! 3): on random graphs, every 2-approximation algorithm must return a
+//! subgraph within factor 2 of the flow-exact optimum, and no algorithm may
+//! ever beat the optimum.
+
+use proptest::prelude::*;
+use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
+
+/// Random undirected graph strategy: n in [2, 40], edge probability ~ p.
+fn undirected_graph() -> impl Strategy<Value = dsd_graph::UndirectedGraph> {
+    (2usize..40, 0.05f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        let m = ((n * (n - 1) / 2) as f64 * p).ceil() as usize;
+        dsd_graph::gen::erdos_renyi(n, m.max(1), seed)
+    })
+}
+
+/// Random directed graph strategy: n in [2, 25].
+fn directed_graph() -> impl Strategy<Value = dsd_graph::DirectedGraph> {
+    (2usize..25, 0.05f64..0.5, any::<u64>()).prop_map(|(n, p, seed)| {
+        let m = ((n * (n - 1)) as f64 * p).ceil() as usize;
+        dsd_graph::gen::erdos_renyi_directed(n, m.max(1), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uds_two_approximation(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let exact = run_uds(&g, UdsAlgorithm::Exact).density;
+        for algo in [UdsAlgorithm::Pkmc, UdsAlgorithm::Local, UdsAlgorithm::Pkc, UdsAlgorithm::Charikar] {
+            let d = run_uds(&g, algo).density;
+            prop_assert!(d * 2.0 + 1e-9 >= exact, "{algo:?}: {d} vs exact {exact}");
+            prop_assert!(d <= exact + 1e-9, "{algo:?} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn uds_loose_guarantees(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let exact = run_uds(&g, UdsAlgorithm::Exact).density;
+        // PBU: 2(1+eps) = 3 with eps = 0.5.
+        let pbu = run_uds(&g, UdsAlgorithm::Pbu { epsilon: 0.5 }).density;
+        prop_assert!(pbu * 3.0 + 1e-9 >= exact, "pbu {pbu} vs exact {exact}");
+        // PFW approaches the optimum; on graphs this small, factor 2 is
+        // a very loose envelope for 100 sweeps.
+        let pfw = run_uds(&g, UdsAlgorithm::Pfw { iterations: 100 }).density;
+        prop_assert!(pfw * 2.0 + 1e-9 >= exact, "pfw {pfw} vs exact {exact}");
+    }
+
+    #[test]
+    fn dds_two_approximation(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let exact = run_dds(&g, DdsAlgorithm::Exact).density;
+        for algo in [DdsAlgorithm::Pwc, DdsAlgorithm::Pxy, DdsAlgorithm::Pbs { max_rounds: None }] {
+            let d = run_dds(&g, algo).density;
+            prop_assert!(d * 2.0 + 1e-6 >= exact, "{algo:?}: {d} vs exact {exact}");
+            prop_assert!(d <= exact + 1e-6, "{algo:?} beat the optimum");
+        }
+    }
+
+    #[test]
+    fn dds_loose_guarantees(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let exact = run_dds(&g, DdsAlgorithm::Exact).density;
+        // PBD: 2*delta*(1+eps) = 8 with the paper defaults.
+        let pbd = run_dds(&g, DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 }).density;
+        prop_assert!(pbd * 8.0 + 1e-6 >= exact, "pbd {pbd} vs exact {exact}");
+    }
+
+    #[test]
+    fn reported_density_always_matches_returned_sets(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        for algo in [UdsAlgorithm::Pkmc, UdsAlgorithm::Charikar, UdsAlgorithm::Pbu { epsilon: 0.5 }] {
+            let r = run_uds(&g, algo);
+            let actual = dsd_core::density::undirected_density(&g, &r.vertices);
+            prop_assert!((actual - r.density).abs() < 1e-9, "{algo:?} density mismatch");
+        }
+    }
+
+    #[test]
+    fn dds_reported_density_matches_sets(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        for algo in [DdsAlgorithm::Pwc, DdsAlgorithm::Pxy, DdsAlgorithm::Pfks] {
+            let r = run_dds(&g, algo);
+            let actual = dsd_core::density::directed_density(&g, &r.s, &r.t);
+            prop_assert!((actual - r.density).abs() < 1e-9, "{algo:?} density mismatch");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the undirected core-decomposition substrate: the
+//! serial ground truth (BZ), both parallel decompositions (PKC, Local),
+//! and PKMC must all agree, and the h-index iteration must respect its
+//! invariants (upper bound, monotone convergence — the Lemma 2 context).
+
+use proptest::prelude::*;
+
+use dsd_core::uds::bz::bz_decomposition;
+use dsd_core::uds::local::local_decomposition;
+use dsd_core::uds::pkc::pkc_decomposition;
+use dsd_core::uds::pkmc::pkmc;
+
+fn undirected_graph() -> impl Strategy<Value = dsd_graph::UndirectedGraph> {
+    prop_oneof![
+        // Uniform random graphs.
+        (2usize..60, 1usize..400, any::<u64>())
+            .prop_map(|(n, m, seed)| dsd_graph::gen::erdos_renyi(n, m, seed)),
+        // Power-law graphs (the paper's regime).
+        (20usize..120, 2.05f64..3.0, any::<u64>()).prop_map(|(n, gamma, seed)| {
+            dsd_graph::gen::chung_lu(n, n * 5, gamma, seed)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_decompositions_agree(g in undirected_graph()) {
+        let bz = bz_decomposition(&g);
+        let local = local_decomposition(&g);
+        let pkc = pkc_decomposition(&g);
+        prop_assert_eq!(&bz.core, &local.core, "BZ vs Local");
+        prop_assert_eq!(&bz.core, &pkc.core, "BZ vs PKC");
+        prop_assert_eq!(bz.k_star, local.k_star);
+        prop_assert_eq!(bz.k_star, pkc.k_star);
+    }
+
+    #[test]
+    fn pkmc_returns_the_k_star_core(g in undirected_graph()) {
+        let bz = bz_decomposition(&g);
+        let r = pkmc(&g);
+        prop_assert_eq!(r.k_star, bz.k_star, "k* mismatch");
+        let mut expected = bz.k_star_core();
+        expected.sort_unstable();
+        prop_assert_eq!(r.vertices, expected, "k*-core set mismatch");
+    }
+
+    #[test]
+    fn pkmc_never_needs_more_sweeps_than_local(g in undirected_graph()) {
+        let local = local_decomposition(&g);
+        let r = pkmc(&g);
+        prop_assert!(
+            r.stats.iterations <= local.stats.iterations + 1,
+            "pkmc {} vs local {}", r.stats.iterations, local.stats.iterations
+        );
+    }
+
+    #[test]
+    fn k_star_core_has_min_degree_k_star(g in undirected_graph()) {
+        let r = pkmc(&g);
+        if r.k_star > 0 {
+            let mut member = vec![false; g.num_vertices()];
+            for &v in &r.vertices {
+                member[v as usize] = true;
+            }
+            // Proposition 1: at least k* + 1 vertices.
+            prop_assert!(r.vertices.len() > r.k_star as usize);
+            for &v in &r.vertices {
+                let deg = g.neighbors(v).iter().filter(|&&u| member[u as usize]).count();
+                prop_assert!(deg >= r.k_star as usize, "vertex {v} degree {deg} < k* {}", r.k_star);
+            }
+        }
+    }
+
+    #[test]
+    fn core_numbers_bounded_by_degree(g in undirected_graph()) {
+        let bz = bz_decomposition(&g);
+        for v in 0..g.num_vertices() {
+            prop_assert!(bz.core[v] <= g.degree(v as u32) as u32);
+        }
+    }
+
+    #[test]
+    fn k_core_hierarchy_is_nested(g in undirected_graph()) {
+        // The (k+1)-core is contained in the k-core.
+        let bz = bz_decomposition(&g);
+        for k in 1..=bz.k_star {
+            let upper: Vec<usize> =
+                (0..g.num_vertices()).filter(|&v| bz.core[v] >= k).collect();
+            // Each vertex in the k-core must have >= k neighbours inside it.
+            let mut member = vec![false; g.num_vertices()];
+            for &v in &upper {
+                member[v] = true;
+            }
+            for &v in &upper {
+                let deg = g.neighbors(v as u32).iter().filter(|&&u| member[u as usize]).count();
+                prop_assert!(deg >= k as usize);
+            }
+        }
+    }
+}

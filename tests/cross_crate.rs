@@ -1,0 +1,181 @@
+//! Cross-crate integration tests: sampling feeding algorithms, IO round
+//! trips through the solvers, thread-pool control, and CLI smoke tests.
+
+use std::io::Write;
+use std::process::Command;
+
+use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
+
+#[test]
+fn sampled_subgraphs_remain_solvable_and_monotone_in_size() {
+    let g = dsd_graph::gen::chung_lu(2_000, 16_000, 2.2, 5);
+    let mut prev_edges = 0usize;
+    for &fraction in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        let s = dsd_graph::sample::sample_edges_undirected(&g, fraction, 9).unwrap();
+        assert!(s.num_edges() >= prev_edges, "sampling not monotone");
+        prev_edges = s.num_edges();
+        let r = run_uds(&s, UdsAlgorithm::Pkmc);
+        if s.num_edges() > 0 {
+            assert!(r.density > 0.0);
+        }
+    }
+}
+
+#[test]
+fn io_round_trip_preserves_algorithm_results() {
+    let g = dsd_graph::gen::erdos_renyi(200, 900, 33);
+    let mut buf = Vec::new();
+    dsd_graph::io::write_undirected(&g, &mut buf).unwrap();
+    let g2 = dsd_graph::io::read_undirected(buf.as_slice()).unwrap();
+    let a = run_uds(&g, UdsAlgorithm::Pkmc);
+    let b = run_uds(&g2, UdsAlgorithm::Pkmc);
+    assert_eq!(a.vertices, b.vertices);
+    assert_eq!(a.density, b.density);
+}
+
+#[test]
+fn thread_pool_sizes_give_identical_results() {
+    // Determinism across pool sizes: the Jacobi h-index iteration and the
+    // phase-structured peels must not depend on scheduling.
+    let g = dsd_graph::gen::chung_lu(1_000, 8_000, 2.3, 44);
+    let d = dsd_graph::gen::chung_lu_directed(300, 2_400, 2.4, 2.2, 44);
+    let uds1 = dsd_core::runner::with_threads(1, || run_uds(&g, UdsAlgorithm::Pkmc));
+    let uds4 = dsd_core::runner::with_threads(4, || run_uds(&g, UdsAlgorithm::Pkmc));
+    assert_eq!(uds1.vertices, uds4.vertices);
+    let dds1 = dsd_core::runner::with_threads(1, || run_dds(&d, DdsAlgorithm::Pwc));
+    let dds4 = dsd_core::runner::with_threads(4, || run_dds(&d, DdsAlgorithm::Pwc));
+    assert_eq!(dds1.s, dds4.s);
+    assert_eq!(dds1.t, dds4.t);
+}
+
+#[test]
+fn connected_component_of_core_is_valid_answer() {
+    // The paper: the k*-core may have several components, any of which is a
+    // 2-approximation. Check the density bound holds for the best one.
+    let g = dsd_graph::gen::erdos_renyi(60, 250, 71);
+    let exact = run_uds(&g, UdsAlgorithm::Exact).density;
+    let r = run_uds(&g, UdsAlgorithm::Pkmc);
+    let sub = dsd_graph::subgraph::induce_undirected(&g, &r.vertices);
+    let comps = dsd_graph::components::connected_components(&sub.graph);
+    let best = comps
+        .groups()
+        .into_iter()
+        .filter(|c| !c.is_empty())
+        .map(|c| {
+            let original: Vec<u32> = c.iter().map(|&v| sub.original[v as usize]).collect();
+            dsd_core::density::undirected_density(&g, &original)
+        })
+        .fold(0.0f64, f64::max);
+    assert!(best * 2.0 + 1e-9 >= exact, "best component {best} vs exact {exact}");
+}
+
+fn dsd_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dsd"))
+}
+
+#[test]
+fn cli_gen_stats_and_solve() {
+    let dir = std::env::temp_dir().join(format!("dsd_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.txt");
+    let out = dsd_bin()
+        .args([
+            "gen", "--model", "chung-lu", "--n", "500", "--m", "3000", "--seed", "7", "--out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("gen runs");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = dsd_bin().args(["stats", "--input"]).arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("|V|=500"), "stats output: {text}");
+
+    let out = dsd_bin()
+        .args(["uds", "--algo", "pkmc", "--threads", "2", "--input"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "uds failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("density:"), "uds output: {text}");
+}
+
+#[test]
+fn cli_dds_on_edge_list() {
+    let dir = std::env::temp_dir().join(format!("dsd_cli_dds_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("d.txt");
+    let mut f = std::fs::File::create(&path).unwrap();
+    // 2x3 block: S = {0,1}, T = {2,3,4}.
+    for u in 0..2 {
+        for t in 2..5 {
+            writeln!(f, "{u} {t}").unwrap();
+        }
+    }
+    drop(f);
+    let out = dsd_bin()
+        .args(["dds", "--algo", "pwc", "--print-vertices", "--input"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "dds failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("S: [0, 1]"), "dds output: {text}");
+    assert!(text.contains("T: [2, 3, 4]"), "dds output: {text}");
+}
+
+#[test]
+fn cli_rejects_unknown_algorithm() {
+    let out = dsd_bin().args(["uds", "--input", "/nonexistent", "--algo", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_decompose_core_and_truss() {
+    let dir = std::env::temp_dir().join(format!("dsd_cli_decomp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("g.txt");
+    let mut f = std::fs::File::create(&input).unwrap();
+    // Triangle + pendant.
+    for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+        writeln!(f, "{u} {v}").unwrap();
+    }
+    drop(f);
+    let core_out = dir.join("core.txt");
+    let out = dsd_bin()
+        .args(["decompose", "--what", "core", "--input"])
+        .arg(&input)
+        .arg("--out")
+        .arg(&core_out)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&core_out).unwrap();
+    assert!(text.contains("k* = 2"), "core output: {text}");
+    assert!(text.contains("3 1"), "pendant vertex core number: {text}");
+
+    let truss_out = dir.join("truss.txt");
+    let out = dsd_bin()
+        .args(["decompose", "--what", "truss", "--input"])
+        .arg(&input)
+        .arg("--out")
+        .arg(&truss_out)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&truss_out).unwrap();
+    assert!(text.contains("k_max = 3"), "truss output: {text}");
+}
+
+#[test]
+fn refined_component_keeps_guarantee() {
+    let g = dsd_graph::gen::erdos_renyi(60, 220, 99);
+    let exact = run_uds(&g, UdsAlgorithm::Exact).density;
+    let r = run_uds(&g, UdsAlgorithm::Pkmc);
+    let (comp, density) = dsd_core::refine::densest_component(&g, &r.vertices);
+    assert!(!comp.is_empty());
+    assert!(density + 1e-9 >= r.density);
+    assert!(density * 2.0 + 1e-9 >= exact);
+}

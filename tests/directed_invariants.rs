@@ -1,0 +1,148 @@
+//! Property tests for the paper's directed theory: Theorem 2
+//! (`w* = x*·y*`), the nested property of w-induced subgraphs
+//! (Proposition 3), `[x, y]`-core degree constraints (Definition 7), and
+//! the Section-I observation that directed density generalises undirected
+//! density.
+
+use proptest::prelude::*;
+
+use dsd_core::dds::pwc::pwc;
+use dsd_core::dds::pxy::pxy;
+use dsd_core::dds::winduced::{edge_endpoints, w_decomposition};
+use dsd_core::dds::xycore::xy_core;
+
+fn directed_graph() -> impl Strategy<Value = dsd_graph::DirectedGraph> {
+    prop_oneof![
+        (2usize..50, 1usize..300, any::<u64>())
+            .prop_map(|(n, m, seed)| dsd_graph::gen::erdos_renyi_directed(n, m, seed)),
+        (20usize..100, 2.05f64..3.0, any::<u64>()).prop_map(|(n, gamma, seed)| {
+            dsd_graph::gen::chung_lu_directed(n, n * 5, gamma, (gamma - 0.9).max(2.01), seed)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pwc_pair_product_equals_max_cn_product(g in directed_graph()) {
+        // PWC's derived pair always has the true maximum product x*.y*
+        // (via Theorem 2 on the fast path, via enumeration on the erratum
+        // fallback), so it must agree with PXY's enumeration.
+        prop_assume!(g.num_edges() > 0);
+        let w = pwc(&g);
+        let p = pxy(&g);
+        prop_assert_eq!(
+            w.cn_pair.0 as u64 * w.cn_pair.1 as u64,
+            p.cn_pair.0 as u64 * p.cn_pair.1 as u64,
+            "pair product mismatch"
+        );
+        // w* always upper-bounds x*.y*; equality certifies Theorem 2.
+        prop_assert!(w.w_star >= w.cn_pair.0 as u64 * w.cn_pair.1 as u64);
+        if !w.used_fallback {
+            prop_assert_eq!(w.w_star, w.cn_pair.0 as u64 * w.cn_pair.1 as u64);
+        }
+    }
+
+    #[test]
+    fn pwc_density_at_least_sqrt_pair_product(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let w = pwc(&g);
+        let product = (w.cn_pair.0 as f64) * (w.cn_pair.1 as f64);
+        prop_assert!(w.result.density + 1e-9 >= product.sqrt());
+    }
+
+    #[test]
+    fn w_induced_subgraphs_are_nested(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        // Proposition 3 via induce-numbers: the set of edges with induce
+        // number >= w shrinks as w grows, and each such edge set forms a
+        // valid w-induced subgraph (all internal weights >= w).
+        let d = w_decomposition(&g);
+        let endpoints: Vec<(u32, u32)> = edge_endpoints(&g).collect();
+        let mut levels: Vec<u64> = d.induce_number.clone();
+        levels.sort_unstable();
+        levels.dedup();
+        let mut prev_size = usize::MAX;
+        for &w in &levels {
+            let edges: Vec<(u32, u32)> = endpoints
+                .iter()
+                .zip(d.induce_number.iter())
+                .filter(|&(_, &iw)| iw >= w)
+                .map(|(&e, _)| e)
+                .collect();
+            prop_assert!(edges.len() <= prev_size, "not nested at w = {w}");
+            prev_size = edges.len();
+            let mut outd = vec![0u64; g.num_vertices()];
+            let mut ind = vec![0u64; g.num_vertices()];
+            for &(u, v) in &edges {
+                outd[u as usize] += 1;
+                ind[v as usize] += 1;
+            }
+            for &(u, v) in &edges {
+                prop_assert!(outd[u as usize] * ind[v as usize] >= w);
+            }
+        }
+    }
+
+    #[test]
+    fn xy_core_constraints_and_nesting(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let mut prev: Option<(usize, usize)> = None;
+        for x in 1..=4u32 {
+            if let Some(core) = xy_core(&g, x, 2) {
+                let mut in_t = vec![false; g.num_vertices()];
+                for &v in &core.t {
+                    in_t[v as usize] = true;
+                }
+                let mut in_s = vec![false; g.num_vertices()];
+                for &v in &core.s {
+                    in_s[v as usize] = true;
+                }
+                for &u in &core.s {
+                    let d = g.out_neighbors(u).iter().filter(|&&v| in_t[v as usize]).count();
+                    prop_assert!(d >= x as usize);
+                }
+                for &v in &core.t {
+                    let d = g.in_neighbors(v).iter().filter(|&&u| in_s[u as usize]).count();
+                    prop_assert!(d >= 2);
+                }
+                // [x+1, y]-core is contained in [x, y]-core (side sizes shrink).
+                if let Some((ps, pt)) = prev {
+                    prop_assert!(core.s.len() <= ps && core.t.len() <= pt);
+                }
+                prev = Some((core.s.len(), core.t.len()));
+            } else {
+                prev = Some((0, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn directed_density_generalises_undirected(
+        (n, m, seed) in (2usize..30, 1usize..120, any::<u64>())
+    ) {
+        // Section I: doubling an undirected graph and taking S = T = V
+        // doubles the undirected density.
+        let ug = dsd_graph::gen::erdos_renyi(n, m, seed);
+        prop_assume!(ug.num_edges() > 0);
+        let mut b = dsd_graph::DirectedGraphBuilder::new(n);
+        for (u, v) in ug.edges() {
+            b.push_edge(u, v);
+            b.push_edge(v, u);
+        }
+        let dg = b.build().unwrap();
+        let all: Vec<u32> = (0..n as u32).collect();
+        let und = dsd_core::density::undirected_density(&ug, &all);
+        let dir = dsd_core::density::directed_density(&dg, &all, &all);
+        prop_assert!((dir - 2.0 * und).abs() < 1e-9);
+    }
+
+    #[test]
+    fn w_star_lower_bounded_by_d_max(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        // The paper's Remark in Section V-B.
+        let d = w_decomposition(&g);
+        prop_assert!(d.w_star >= g.max_degree() as u64);
+    }
+}

@@ -1,0 +1,194 @@
+//! Edge-case and failure-injection tests: every public algorithm must
+//! behave sanely on degenerate inputs (empty graphs, isolated vertices,
+//! stars, bipartite blocks, duplicate/self-loop-heavy edge lists).
+
+use scalable_dsd::prelude::*;
+use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
+
+fn all_uds() -> Vec<UdsAlgorithm> {
+    vec![
+        UdsAlgorithm::Pkmc,
+        UdsAlgorithm::Local,
+        UdsAlgorithm::Pkc,
+        UdsAlgorithm::Charikar,
+        UdsAlgorithm::Pbu { epsilon: 0.5 },
+        UdsAlgorithm::Pfw { iterations: 20 },
+        UdsAlgorithm::Bsk,
+        UdsAlgorithm::Exact,
+    ]
+}
+
+fn all_dds() -> Vec<DdsAlgorithm> {
+    vec![
+        DdsAlgorithm::Pwc,
+        DdsAlgorithm::Pxy,
+        DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 },
+        DdsAlgorithm::Pfks,
+        DdsAlgorithm::Pbs { max_rounds: Some(50) },
+        DdsAlgorithm::Pfw { iterations: 20 },
+        DdsAlgorithm::Exact,
+    ]
+}
+
+#[test]
+fn every_uds_algorithm_on_empty_graph() {
+    let g = UndirectedGraphBuilder::new(0).build().unwrap();
+    for algo in all_uds() {
+        let r = run_uds(&g, algo);
+        assert_eq!(r.density, 0.0, "{algo:?}");
+        assert!(r.vertices.is_empty(), "{algo:?}");
+    }
+}
+
+#[test]
+fn every_uds_algorithm_on_edgeless_graph() {
+    let g = UndirectedGraphBuilder::new(7).build().unwrap();
+    for algo in all_uds() {
+        let r = run_uds(&g, algo);
+        assert_eq!(r.density, 0.0, "{algo:?}");
+    }
+}
+
+#[test]
+fn every_dds_algorithm_on_empty_graph() {
+    let g = DirectedGraphBuilder::new(0).build().unwrap();
+    for algo in all_dds() {
+        let r = run_dds(&g, algo);
+        assert_eq!(r.density, 0.0, "{algo:?}");
+        assert!(r.s.is_empty() && r.t.is_empty(), "{algo:?}");
+    }
+}
+
+#[test]
+fn every_uds_algorithm_on_single_edge() {
+    let g = UndirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+    for algo in all_uds() {
+        let r = run_uds(&g, algo);
+        assert!((r.density - 0.5).abs() < 1e-9, "{algo:?} density {}", r.density);
+    }
+}
+
+#[test]
+fn every_dds_algorithm_on_single_edge() {
+    let g = DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+    for algo in all_dds() {
+        let r = run_dds(&g, algo);
+        assert!((r.density - 1.0).abs() < 1e-6, "{algo:?} density {}", r.density);
+    }
+}
+
+#[test]
+fn star_graph_all_algorithms_agree_on_guarantee() {
+    // K_{1,20}: exact density 20/21; k* = 1 so the k*-core is everything.
+    let mut b = UndirectedGraphBuilder::new(21);
+    for leaf in 1..21u32 {
+        b.push_edge(0, leaf);
+    }
+    let g = b.build().unwrap();
+    let exact = run_uds(&g, UdsAlgorithm::Exact).density;
+    assert!((exact - 20.0 / 21.0).abs() < 1e-9);
+    for algo in all_uds() {
+        let r = run_uds(&g, algo);
+        assert!(r.density * 3.0 + 1e-9 >= exact, "{algo:?}");
+    }
+}
+
+#[test]
+fn directed_star_hub() {
+    // 20 sources -> 1 target: exact density 20/sqrt(20) = sqrt(20).
+    let mut b = DirectedGraphBuilder::new(21);
+    for s in 1..21u32 {
+        b.push_edge(s, 0);
+    }
+    let g = b.build().unwrap();
+    let expected = (20.0f64).sqrt();
+    for algo in [DdsAlgorithm::Pwc, DdsAlgorithm::Pxy, DdsAlgorithm::Exact] {
+        let r = run_dds(&g, algo);
+        assert!((r.density - expected).abs() < 1e-6, "{algo:?} density {}", r.density);
+    }
+}
+
+#[test]
+fn duplicate_and_self_loop_heavy_input() {
+    // The builder sanitises; algorithms must see the clean graph.
+    let mut b = UndirectedGraphBuilder::new(4);
+    for _ in 0..10 {
+        b.push_edge(0, 1);
+        b.push_edge(1, 0);
+        b.push_edge(2, 2);
+        b.push_edge(1, 2);
+    }
+    let g = b.build().unwrap();
+    assert_eq!(g.num_edges(), 2);
+    let r = run_uds(&g, UdsAlgorithm::Pkmc);
+    assert!(r.density > 0.0);
+}
+
+#[test]
+fn disconnected_components_densest_found() {
+    // Sparse component (path) + dense component (K5): the K5 wins.
+    let mut b = UndirectedGraphBuilder::new(15);
+    for v in 0..9u32 {
+        b.push_edge(v, v + 1);
+    }
+    for u in 10..15u32 {
+        for v in (u + 1)..15 {
+            b.push_edge(u, v);
+        }
+    }
+    let g = b.build().unwrap();
+    for algo in [UdsAlgorithm::Pkmc, UdsAlgorithm::Charikar, UdsAlgorithm::Exact] {
+        let r = run_uds(&g, algo);
+        assert_eq!(r.vertices, vec![10, 11, 12, 13, 14], "{algo:?}");
+        assert!((r.density - 2.0).abs() < 1e-9, "{algo:?}");
+    }
+}
+
+#[test]
+fn antiparallel_edge_pairs_directed() {
+    // Dense 2-cycles: S = T = all; every algorithm stays within guarantee.
+    let mut b = DirectedGraphBuilder::new(6);
+    for u in 0..6u32 {
+        for v in 0..6u32 {
+            if u != v {
+                b.push_edge(u, v);
+            }
+        }
+    }
+    let g = b.build().unwrap();
+    let exact = run_dds(&g, DdsAlgorithm::Exact).density;
+    assert!((exact - 5.0).abs() < 1e-6); // complete digraph: 30/sqrt(36)
+    for algo in [DdsAlgorithm::Pwc, DdsAlgorithm::Pxy] {
+        let r = run_dds(&g, algo);
+        assert!(r.density * 2.0 + 1e-6 >= exact, "{algo:?}");
+    }
+}
+
+#[test]
+fn very_skewed_degree_distribution() {
+    // One mega-hub plus a weak clique: exercises bucket-queue ranges and
+    // the d_max warm start.
+    let mut b = UndirectedGraphBuilder::new(1200);
+    for leaf in 1..1000u32 {
+        b.push_edge(0, leaf);
+    }
+    for u in 1000..1010u32 {
+        for v in (u + 1)..1010 {
+            b.push_edge(u, v);
+        }
+    }
+    let g = b.build().unwrap();
+    let exact = run_uds(&g, UdsAlgorithm::Exact);
+    // K10 has density 4.5 > star's ~1.
+    assert!((exact.density - 4.5).abs() < 1e-9);
+    let r = run_uds(&g, UdsAlgorithm::Pkmc);
+    assert_eq!(r.vertices, (1000u32..1010).collect::<Vec<_>>());
+}
+
+#[test]
+fn thread_pool_one_thread_matches_default() {
+    let g = dsd_graph::gen::chung_lu(500, 3000, 2.3, 123);
+    let a = run_uds(&g, UdsAlgorithm::Pkmc);
+    let b = dsd_core::runner::with_threads(1, || run_uds(&g, UdsAlgorithm::Pkmc));
+    assert_eq!(a.vertices, b.vertices);
+}
