@@ -11,11 +11,21 @@ fn bench_core_decomp(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("bz_serial", |b| b.iter(|| dsd_core::uds::bz::bz_decomposition(&g)));
     group.bench_function("pkc", |b| b.iter(|| dsd_core::uds::pkc::pkc_decomposition(&g)));
-    group.bench_function("local_full_sweeps", |b| {
-        b.iter(|| dsd_core::uds::local::local_decomposition(&g))
+    // Sweep-engine ablation: the seed's collect-per-sweep kernel vs the
+    // workspace-reuse engine (sync = bit-identical Jacobi, async = the
+    // opt-in Gauss–Seidel schedule), all with full faithful resweeps.
+    group.bench_function("local_full_sweeps_legacy", |b| {
+        b.iter(|| dsd_core::uds::local::local_decomposition_legacy(&g))
+    });
+    let mut ws = dsd_core::uds::sweep::SweepWorkspace::new();
+    group.bench_function("local_full_sweeps_engine", |b| {
+        b.iter(|| dsd_core::uds::local::local_decomposition_in(&g, &mut ws))
+    });
+    group.bench_function("local_full_sweeps_engine_async", |b| {
+        b.iter(|| dsd_core::uds::local::local_decomposition_async_in(&g, &mut ws))
     });
     group.bench_function("local_frontier", |b| {
-        b.iter(|| dsd_core::uds::local::local_decomposition_frontier(&g))
+        b.iter(|| dsd_core::uds::local::local_decomposition_frontier_in(&g, &mut ws))
     });
     // Extension: truss decomposition on a smaller graph (it is O(m^1.5)).
     let small = dsd_graph::gen::chung_lu(3_000, 24_000, 2.3, 23);

@@ -31,9 +31,7 @@ fn bench_graph(c: &mut Criterion) {
     });
     // Locality ablation: PKMC on the original vs degree-reordered graph.
     let reordered = dsd_graph::reorder::by_degree_descending(&g);
-    group.bench_function("pkmc_original_order", |b| {
-        b.iter(|| dsd_core::uds::pkmc::pkmc(&g))
-    });
+    group.bench_function("pkmc_original_order", |b| b.iter(|| dsd_core::uds::pkmc::pkmc(&g)));
     group.bench_function("pkmc_degree_reordered", |b| {
         b.iter(|| dsd_core::uds::pkmc::pkmc(&reordered.graph))
     });

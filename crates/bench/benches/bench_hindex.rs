@@ -13,8 +13,11 @@ fn bench_hindex(c: &mut Criterion) {
             let mut scratch = Vec::new();
             b.iter(|| h_index_counting(vals, &mut scratch))
         });
+        // Both kernels now take a reusable scratch buffer, so this compares
+        // the kernels rather than the allocators.
         group.bench_with_input(BenchmarkId::new("sorting", len), &values, |b, vals| {
-            b.iter(|| h_index_sorting(vals))
+            let mut scratch = Vec::new();
+            b.iter(|| h_index_sorting(vals, &mut scratch))
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench_uds(c: &mut Criterion) {
         b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Pkmc))
     });
     group.bench_function("pkmc_unverified", |b| {
-        b.iter(|| pkmc_with(&g, PkmcConfig { verify_candidate: false }))
+        b.iter(|| pkmc_with(&g, PkmcConfig { verify_candidate: false, ..PkmcConfig::new() }))
     });
     group.bench_function("local", |b| {
         b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Local))
@@ -24,9 +24,7 @@ fn bench_uds(c: &mut Criterion) {
     group.bench_function("charikar", |b| {
         b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Charikar))
     });
-    group.bench_function("bsk_binary_search", |b| {
-        b.iter(|| dsd_core::uds::bsk::bsk(&g))
-    });
+    group.bench_function("bsk_binary_search", |b| b.iter(|| dsd_core::uds::bsk::bsk(&g)));
     group.bench_function("pbu", |b| {
         b.iter(|| scalable_dsd::run_uds(&g, scalable_dsd::UdsAlgorithm::Pbu { epsilon: 0.5 }))
     });

@@ -1,0 +1,251 @@
+//! `bench_report` — the perf-trajectory baseline emitter.
+//!
+//! Times the h-index sweep engine (legacy collect-per-sweep kernel vs the
+//! workspace-reuse engine in sync and async modes, plus the frontier
+//! schedule) and the paper's two contributed algorithms end-to-end (PKMC
+//! and PWC) on the seeded stand-in graphs, verifies the engine's parity
+//! contract (sync mode bit-identical to the seed kernel across rayon pool
+//! sizes {1, 2, 4}), and writes a machine-readable report.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dsd-bench --bin bench_report [-- --out BENCH_PR1.json]
+//! ```
+//!
+//! The default output path is `BENCH_PR1.json` in the current directory
+//! (run from the repo root to refresh the committed baseline). Scale the
+//! workload with `DSD_BENCH_SCALE` (default 1.0; CI can lower it).
+
+use std::time::{Duration, Instant};
+
+use dsd_core::runner::with_threads;
+use dsd_core::uds::local::{
+    local_decomposition_async_in, local_decomposition_frontier_in, local_decomposition_in,
+    local_decomposition_legacy,
+};
+use dsd_core::uds::pkmc::{pkmc_in, PkmcConfig};
+use dsd_core::uds::sweep::{SweepMode, SweepWorkspace};
+use dsd_graph::{DirectedGraph, UndirectedGraph};
+use serde::Serialize;
+
+/// One timed kernel/algorithm entry.
+#[derive(Serialize)]
+struct Timing {
+    name: &'static str,
+    /// Best-of-`reps` wall seconds (the paper's reporting convention).
+    best_secs: f64,
+    /// Mean over `reps` wall seconds.
+    mean_secs: f64,
+    reps: usize,
+    /// Convergence sweeps / rounds of the last run.
+    iterations: usize,
+}
+
+#[derive(Serialize)]
+struct GraphMeta {
+    name: &'static str,
+    vertices: usize,
+    edges: usize,
+    description: &'static str,
+}
+
+#[derive(Serialize)]
+struct Parity {
+    /// Engine sync core numbers == seed-kernel core numbers.
+    core_numbers_identical: bool,
+    /// Engine sync iteration count == seed-kernel iteration count.
+    iteration_counts_identical: bool,
+    /// Both hold at every rayon pool size tried.
+    pool_sizes: Vec<usize>,
+    /// Async fixpoint equals the sync core numbers.
+    async_fixpoint_identical: bool,
+    /// Async sweeps needed (last run) vs sync sweeps — the ablation datum.
+    sync_sweeps: usize,
+    async_sweeps: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    pr: u32,
+    graphs: Vec<GraphMeta>,
+    /// Sweep-engine micro-comparison on the filament-tailed graph.
+    sweep_engine: Vec<Timing>,
+    /// `legacy_best / engine_sync_best` — the acceptance headline.
+    speedup_engine_vs_legacy: f64,
+    parity: Parity,
+    /// End-to-end contributed algorithms.
+    end_to_end: Vec<Timing>,
+    threads: usize,
+    notes: String,
+}
+
+fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> (Duration, Duration, T) {
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out = f();
+        let wall = start.elapsed();
+        best = best.min(wall);
+        total += wall;
+        last = Some(out);
+    }
+    (best, total / reps as u32, last.expect("reps >= 1"))
+}
+
+fn timing<T>(
+    name: &'static str,
+    reps: usize,
+    iterations_of: impl Fn(&T) -> usize,
+    f: impl FnMut() -> T,
+) -> Timing {
+    let (best, mean, last) = time_reps(reps, f);
+    Timing {
+        name,
+        best_secs: best.as_secs_f64(),
+        mean_secs: mean.as_secs_f64(),
+        reps,
+        iterations: iterations_of(&last),
+    }
+}
+
+/// The Table-6 regime stand-in: a power-law body with long filament tails,
+/// so Local-style full resweeps pay `O(m)` per sweep for hundreds of
+/// sweeps.
+fn filament_graph(scale: f64) -> UndirectedGraph {
+    let n = (12_000.0 * scale) as usize;
+    let m = (72_000.0 * scale) as usize;
+    let base = dsd_graph::gen::chung_lu(n.max(100), m.max(500), 2.3, 42);
+    let len = (600.0 * scale.sqrt()) as usize;
+    dsd_graph::gen::attach_filaments(&base, 4, len.max(20), 43)
+}
+
+/// Directed stand-in for the PWC end-to-end timing.
+fn directed_graph(scale: f64) -> DirectedGraph {
+    let n = (4_000.0 * scale) as usize;
+    let m = (32_000.0 * scale) as usize;
+    dsd_graph::gen::chung_lu_directed(n.max(100), m.max(500), 2.3, 2.1, 44)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let scale: f64 =
+        std::env::var("DSD_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+
+    let g = filament_graph(scale);
+    let d = directed_graph(scale);
+    eprintln!(
+        "bench_report: filament graph |V|={} |E|={}, directed |V|={} |E|={}",
+        g.num_vertices(),
+        g.num_edges(),
+        d.num_vertices(),
+        d.num_edges()
+    );
+
+    let reps = 3;
+    let mut ws = SweepWorkspace::new();
+
+    // --- Sweep-engine ablation (the tentpole measurement). ---
+    let core_iters = |r: &dsd_core::uds::CoreDecomposition| r.stats.iterations;
+    let legacy = timing("local_legacy_collect_per_sweep", reps, core_iters, || {
+        local_decomposition_legacy(&g)
+    });
+    let engine_sync =
+        timing("local_engine_sync", reps, core_iters, || local_decomposition_in(&g, &mut ws));
+    let engine_async = timing("local_engine_async", reps, core_iters, || {
+        local_decomposition_async_in(&g, &mut ws)
+    });
+    let engine_frontier = timing("local_engine_frontier", reps, core_iters, || {
+        local_decomposition_frontier_in(&g, &mut ws)
+    });
+    let speedup = legacy.best_secs / engine_sync.best_secs.max(1e-12);
+
+    // --- Parity contract (acceptance: bit-identical sync results). ---
+    let reference = local_decomposition_legacy(&g);
+    let pool_sizes = vec![1usize, 2, 4];
+    let mut core_ok = true;
+    let mut iters_ok = true;
+    for &p in &pool_sizes {
+        let engine = with_threads(p, || local_decomposition_in(&g, &mut SweepWorkspace::new()));
+        core_ok &= engine.core == reference.core;
+        iters_ok &= engine.stats.iterations == reference.stats.iterations;
+    }
+    let asynchronous = local_decomposition_async_in(&g, &mut ws);
+    let parity = Parity {
+        core_numbers_identical: core_ok,
+        iteration_counts_identical: iters_ok,
+        pool_sizes,
+        async_fixpoint_identical: asynchronous.core == reference.core,
+        sync_sweeps: reference.stats.iterations,
+        async_sweeps: asynchronous.stats.iterations,
+    };
+
+    // --- End-to-end contributed algorithms. ---
+    let pkmc_t = timing(
+        "pkmc_sync",
+        reps,
+        |r: &dsd_core::uds::pkmc::PkmcResult| r.stats.iterations,
+        || pkmc_in(&g, PkmcConfig::new(), &mut ws),
+    );
+    let pkmc_async_t = timing(
+        "pkmc_async",
+        reps,
+        |r: &dsd_core::uds::pkmc::PkmcResult| r.stats.iterations,
+        || pkmc_in(&g, PkmcConfig { mode: SweepMode::Asynchronous, ..PkmcConfig::new() }, &mut ws),
+    );
+    let pwc_t = timing(
+        "pwc",
+        reps,
+        |r: &dsd_core::dds::pwc::PwcResult| r.result.stats.iterations,
+        || dsd_core::dds::pwc::pwc(&d),
+    );
+
+    let report = Report {
+        schema: "dsd-bench-report/v1",
+        pr: 1,
+        graphs: vec![
+            GraphMeta {
+                name: "filament_chung_lu",
+                vertices: g.num_vertices(),
+                edges: g.num_edges(),
+                description: "Chung-Lu gamma=2.3 body with 4 long filaments (Table-6 regime)",
+            },
+            GraphMeta {
+                name: "directed_chung_lu",
+                vertices: d.num_vertices(),
+                edges: d.num_edges(),
+                description: "directed Chung-Lu stand-in for the PWC end-to-end timing",
+            },
+        ],
+        sweep_engine: vec![legacy, engine_sync, engine_async, engine_frontier],
+        speedup_engine_vs_legacy: speedup,
+        parity,
+        end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
+        threads: rayon::current_num_threads(),
+        notes: format!(
+            "best-of-{reps} wall times; sync engine must be bit-identical to the seed \
+             kernel (core numbers and iteration counts) at pool sizes 1/2/4; \
+             speedup_engine_vs_legacy is the acceptance headline (target >= 1.3)"
+        ),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, format!("{json}\n")).expect("write report");
+    println!(
+        "bench_report: engine {:.3}s vs legacy {:.3}s -> speedup {:.2}x (parity: core={} iters={}); wrote {}",
+        report.sweep_engine[1].best_secs,
+        report.sweep_engine[0].best_secs,
+        speedup,
+        report.parity.core_numbers_identical,
+        report.parity.iteration_counts_identical,
+        out_path
+    );
+}

@@ -81,9 +81,15 @@ pub fn load_undirected(abbr: &str) -> UndirectedGraph {
         "EW" => with_braids(gen::chung_lu(30_000, 160_000, 2.2, 0xD502), 6, 25, 0xF102),
         // Web graphs: R-MAT, growing sizes.
         "EU" => with_braids(gen::rmat(15, 240_000, RmatParams::default(), 0xD503), 6, 850, 0xF103),
-        "IT" => with_braids(gen::rmat(16, 420_000, RmatParams::default(), 0xD504), 6, 1_750, 0xF104),
-        "SK" => with_braids(gen::rmat(16, 640_000, RmatParams::default(), 0xD505), 6, 3_000, 0xF105),
-        "UN" => with_braids(gen::rmat(17, 900_000, RmatParams::default(), 0xD506), 6, 2_400, 0xF106),
+        "IT" => {
+            with_braids(gen::rmat(16, 420_000, RmatParams::default(), 0xD504), 6, 1_750, 0xF104)
+        }
+        "SK" => {
+            with_braids(gen::rmat(16, 640_000, RmatParams::default(), 0xD505), 6, 3_000, 0xF105)
+        }
+        "UN" => {
+            with_braids(gen::rmat(17, 900_000, RmatParams::default(), 0xD506), 6, 2_400, 0xF106)
+        }
         other => panic!("unknown undirected dataset {other}"),
     }
 }
@@ -111,27 +117,55 @@ pub fn load_directed(abbr: &str) -> DirectedGraph {
         // Amazon ratings: both sides skewed.
         "AR" => gen::chung_lu_directed(30_000, 110_000, 2.6, 2.4, 0xD512),
         // Baidu: in-hubs much larger than out-hubs.
-        "BA" => plant_block(gen::chung_lu_directed(25_000, 140_000, 2.8, 2.1, 0xD513), 200, 150, 0.7, 0xB113),
+        "BA" => plant_block(
+            gen::chung_lu_directed(25_000, 140_000, 2.8, 2.1, 0xD513),
+            200,
+            150,
+            0.7,
+            0xB113,
+        ),
         // DBpedia links.
-        "DL" => plant_block(gen::chung_lu_directed(40_000, 220_000, 2.6, 2.1, 0xD514), 220, 170, 0.7, 0xB114),
+        "DL" => plant_block(
+            gen::chung_lu_directed(40_000, 220_000, 2.6, 2.1, 0xD514),
+            220,
+            170,
+            0.7,
+            0xB114,
+        ),
         // English Wikipedia links.
-        "WE" => plant_block(gen::chung_lu_directed(50_000, 320_000, 2.5, 2.05, 0xD515), 300, 220, 0.7, 0xB115),
+        "WE" => plant_block(
+            gen::chung_lu_directed(50_000, 320_000, 2.5, 2.05, 0xD515),
+            300,
+            220,
+            0.7,
+            0xB115,
+        ),
         // Twitter: the largest, heavy tails on both sides.
-        "TW" => plant_block(gen::chung_lu_directed(60_000, 420_000, 2.2, 2.02, 0xD516), 400, 300, 0.5, 0xB116),
+        "TW" => plant_block(
+            gen::chung_lu_directed(60_000, 420_000, 2.2, 2.02, 0xD516),
+            400,
+            300,
+            0.5,
+            0xB116,
+        ),
         other => panic!("unknown directed dataset {other}"),
     }
 }
 
 /// Appends a dense `(S, T)` block on fresh vertex ids: `s_size` sources
 /// each linking to each of `t_size` targets with probability `p`.
-fn plant_block(base: DirectedGraph, s_size: usize, t_size: usize, p: f64, seed: u64) -> DirectedGraph {
+fn plant_block(
+    base: DirectedGraph,
+    s_size: usize,
+    t_size: usize,
+    p: f64,
+    seed: u64,
+) -> DirectedGraph {
     use rand::{Rng, SeedableRng};
     let n = base.num_vertices();
     let total = n + s_size + t_size;
-    let mut b = dsd_graph::DirectedGraphBuilder::with_capacity(
-        total,
-        base.num_edges() + s_size * t_size,
-    );
+    let mut b =
+        dsd_graph::DirectedGraphBuilder::with_capacity(total, base.num_edges() + s_size * t_size);
     for (u, v) in base.edges() {
         b.push_edge(u, v);
     }

@@ -44,10 +44,7 @@ pub fn run() {
         for (label, algo) in UDS_ALGOS {
             let r = run_uds(&g, algo);
             let ratio = exact / r.density;
-            assert!(
-                ratio <= 3.01 + 1e-9,
-                "{label} ratio {ratio} out of its guarantee on {name}"
-            );
+            assert!(ratio <= 3.01 + 1e-9, "{label} ratio {ratio} out of its guarantee on {name}");
             cells.push(format!("{ratio:.3}"));
         }
         print_row(&cells);
@@ -70,10 +67,7 @@ pub fn run() {
         for (label, algo) in DDS_ALGOS {
             let r = run_dds(&g, algo);
             let ratio = exact / r.density;
-            assert!(
-                ratio <= 8.01 + 1e-9,
-                "{label} ratio {ratio} out of its guarantee on {name}"
-            );
+            assert!(ratio <= 8.01 + 1e-9, "{label} ratio {ratio} out of its guarantee on {name}");
             cells.push(format!("{ratio:.3}"));
         }
         print_row(&cells);

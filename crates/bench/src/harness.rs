@@ -14,10 +14,8 @@ use std::time::{Duration, Instant};
 /// Per-run budget for heavy baselines (the paper's 10⁵-second analogue,
 /// scaled with the datasets).
 pub fn timeout_budget() -> Duration {
-    let secs = std::env::var("DSD_EXP_TIMEOUT_SECS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60u64);
+    let secs =
+        std::env::var("DSD_EXP_TIMEOUT_SECS").ok().and_then(|s| s.parse().ok()).unwrap_or(60u64);
     Duration::from_secs(secs)
 }
 
@@ -172,8 +170,10 @@ mod tests {
 
     #[test]
     fn parse_single_mode_roundtrip() {
-        let args: Vec<String> =
-            ["exp", "--single", "pwc", "AM", "--out", "/tmp/x"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["exp", "--single", "pwc", "AM", "--out", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let parsed = parse_single_mode(&args).unwrap();
         assert_eq!(parsed, ("pwc".to_string(), "AM".to_string(), "/tmp/x".to_string()));
         assert!(parse_single_mode(&["exp".to_string()]).is_none());

@@ -128,17 +128,13 @@ fn run(g: &DirectedGraph) -> RunOut {
 
 /// Builds a compact directed graph from an edge list over original ids;
 /// returns it with the id mapping.
-fn induce_from_edges(
-    n: usize,
-    edges: &[(VertexId, VertexId)],
-) -> (DirectedGraph, Vec<VertexId>) {
+fn induce_from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> (DirectedGraph, Vec<VertexId>) {
     let mut seen = vec![false; n];
     for &(u, v) in edges {
         seen[u as usize] = true;
         seen[v as usize] = true;
     }
-    let original: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| seen[v as usize]).collect();
+    let original: Vec<VertexId> = (0..n as VertexId).filter(|&v| seen[v as usize]).collect();
     let mut remap = vec![0 as VertexId; n];
     for (i, &v) in original.iter().enumerate() {
         remap[v as usize] = i as VertexId;
@@ -161,8 +157,7 @@ fn collapse_order(star_edges: &[(VertexId, VertexId)], w_star: u64) -> Vec<(u32,
     let remap: FxHashMap<VertexId, u32> =
         ids.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
     let n = ids.len();
-    let edges: Vec<(u32, u32)> =
-        star_edges.iter().map(|&(u, v)| (remap[&u], remap[&v])).collect();
+    let edges: Vec<(u32, u32)> = star_edges.iter().map(|&(u, v)| (remap[&u], remap[&v])).collect();
     let m = edges.len();
     let mut out_deg = vec![0u32; n];
     let mut in_deg = vec![0u32; n];
@@ -231,7 +226,14 @@ fn collapse_order(star_edges: &[(VertexId, VertexId)], w_star: u64) -> Vec<(u32,
             if alive[e] {
                 let (u, v) = edges[e];
                 if out_deg[u as usize] == pair.0 && in_deg[v as usize] == pair.1 {
-                    remove_edge(e, &mut alive, &mut out_deg, &mut in_deg, &mut queue, &mut alive_count);
+                    remove_edge(
+                        e,
+                        &mut alive,
+                        &mut out_deg,
+                        &mut in_deg,
+                        &mut queue,
+                        &mut alive_count,
+                    );
                 }
             }
         }

@@ -14,10 +14,10 @@
 use dsd_graph::DirectedGraph;
 use rayon::prelude::*;
 
-use crate::density::st_edges_and_density;
-use crate::stats::{timed, Stats};
 use crate::dds::xycore::{max_y_for_x, xy_core};
 use crate::dds::DdsResult;
+use crate::density::st_edges_and_density;
+use crate::stats::{timed, Stats};
 
 /// Outcome of PXY, additionally exposing the maximum cn-pair.
 #[derive(Clone, Debug)]
@@ -62,10 +62,8 @@ pub fn max_cn_pair(g: &DirectedGraph) -> Option<(u32, u32)> {
     let bound = ((m as f64).sqrt().floor() as u32).max(1);
     let transpose = g.transpose();
     // x-side: y_max(x) for x in [1, sqrt(m)].
-    let x_side: Vec<(u32, u32)> = (1..=bound)
-        .into_par_iter()
-        .filter_map(|x| max_y_for_x(g, x).map(|y| (x, y)))
-        .collect();
+    let x_side: Vec<(u32, u32)> =
+        (1..=bound).into_par_iter().filter_map(|x| max_y_for_x(g, x).map(|y| (x, y))).collect();
     // y-side: x_max(y) for y in [1, sqrt(m)] — peel the transpose, where
     // out-degrees are the original in-degrees. This covers the maximum
     // pair because a non-empty [x, y]-core forces m >= x*y, hence
@@ -74,11 +72,7 @@ pub fn max_cn_pair(g: &DirectedGraph) -> Option<(u32, u32)> {
         .into_par_iter()
         .filter_map(|y| max_y_for_x(&transpose, y).map(|x| (x, y)))
         .collect();
-    x_side
-        .iter()
-        .chain(y_side.iter())
-        .copied()
-        .max_by_key(|&(x, y)| (x as u64 * y as u64, x))
+    x_side.iter().chain(y_side.iter()).copied().max_by_key(|&(x, y)| (x as u64 * y as u64, x))
 }
 
 fn run(g: &DirectedGraph) -> RunOut {

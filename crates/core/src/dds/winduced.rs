@@ -135,7 +135,19 @@ impl<'a> Engine<'a> {
     /// Removes every alive edge whose weight is `< bound`, cascading until
     /// quiescent. Removed edges get induce-number `record` (skipped when
     /// `record == WARM_PEELED`). Returns the number of cascade rounds.
-    fn cascade_below(&self, active: &mut Vec<VertexId>, bound: u64, record: u64) -> usize {
+    ///
+    /// `scratch` is a persistent compaction buffer (the workspace-reuse
+    /// pattern of the h-index sweep engine): the active vertex list is
+    /// compacted by a parallel filter into `scratch` and swapped, instead
+    /// of the seed's serial `retain` per round, and the buffer's capacity
+    /// is reused across rounds and outer peeling iterations.
+    fn cascade_below(
+        &self,
+        active: &mut Vec<VertexId>,
+        scratch: &mut Vec<VertexId>,
+        bound: u64,
+        record: u64,
+    ) -> usize {
         let mut rounds = 0usize;
         loop {
             let removed = AtomicUsize::new(0);
@@ -165,8 +177,17 @@ impl<'a> Engine<'a> {
             }
             rounds += 1;
             self.alive_count.fetch_sub(removed, Ordering::Relaxed);
-            // Compact the active vertex list.
-            active.retain(|&u| self.out_deg[u as usize].load(Ordering::Relaxed) > 0);
+            // Compact the active vertex list (parallel filter into the
+            // reused scratch buffer; rayon preserves item order, so the
+            // list stays in the same order the serial retain produced).
+            scratch.clear();
+            scratch.par_extend(
+                active
+                    .par_iter()
+                    .copied()
+                    .filter(|&u| self.out_deg[u as usize].load(Ordering::Relaxed) > 0),
+            );
+            std::mem::swap(active, scratch);
         }
         rounds
     }
@@ -175,12 +196,14 @@ impl<'a> Engine<'a> {
 fn decompose(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
     let ((induce, w_star, iterations, first, last), wall) = timed(|| {
         let engine = Engine::new(g);
-        let mut active: Vec<VertexId> =
-            g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
+        let mut active: Vec<VertexId> = g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
+        // Persistent compaction buffer, reused across every cascade round
+        // of every outer iteration (see `cascade_below`).
+        let mut scratch: Vec<VertexId> = Vec::with_capacity(active.len());
         let mut iterations = 0usize;
         if warm_start {
             let d_max = g.max_degree() as u64;
-            iterations += engine.cascade_below(&mut active, d_max, WARM_PEELED);
+            iterations += engine.cascade_below(&mut active, &mut scratch, d_max, WARM_PEELED);
         }
         let mut w_star = 0u64;
         let mut first: Option<usize> = None;
@@ -192,10 +215,9 @@ fn decompose(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
             }
             last = Some(alive_now);
             w_star = w_t;
-            iterations += engine.cascade_below(&mut active, w_t + 1, w_t);
+            iterations += engine.cascade_below(&mut active, &mut scratch, w_t + 1, w_t);
         }
-        let induce: Vec<u64> =
-            engine.induce.into_iter().map(AtomicU64::into_inner).collect();
+        let induce: Vec<u64> = engine.induce.into_iter().map(AtomicU64::into_inner).collect();
         (induce, w_star, iterations, first, last)
     });
     WDecomposition {
@@ -323,10 +345,7 @@ mod tests {
                 ind[v as usize] += 1;
             }
             for &(u, v) in &sel {
-                assert!(
-                    outd[u as usize] * ind[v as usize] >= w,
-                    "edge ({u},{v}) weight below {w}"
-                );
+                assert!(outd[u as usize] * ind[v as usize] >= w, "edge ({u},{v}) weight below {w}");
             }
         }
     }

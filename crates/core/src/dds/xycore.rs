@@ -97,7 +97,8 @@ pub fn max_y_for_x(g: &DirectedGraph, x: u32) -> Option<u32> {
     let mut in_s = vec![true; n];
     let mut s_size = n;
     // Enforce the x-constraint before any T-removal.
-    let mut s_queue: Vec<VertexId> = (0..n as VertexId).filter(|&v| out_deg[v as usize] < x).collect();
+    let mut s_queue: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| out_deg[v as usize] < x).collect();
     let mut in_t = vec![true; n];
     // T-side peeling via the bucket queue on in-degree (the queue owns the
     // live in-degree of every still-alive T vertex).

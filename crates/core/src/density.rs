@@ -81,10 +81,8 @@ mod tests {
     fn directed_density_overlapping_sets_generalises_undirected() {
         // Density of (S, S) on a doubled undirected graph equals the
         // undirected density (Section I observation).
-        let ug = UndirectedGraphBuilder::new(3)
-            .add_edges([(0, 1), (1, 2), (0, 2)])
-            .build()
-            .unwrap();
+        let ug =
+            UndirectedGraphBuilder::new(3).add_edges([(0, 1), (1, 2), (0, 2)]).build().unwrap();
         let mut b = DirectedGraphBuilder::new(3);
         for (u, v) in ug.edges() {
             b.push_edge(u, v);

@@ -14,10 +14,7 @@ use crate::density::undirected_density;
 /// Splits `vertices` into connected components of the induced subgraph and
 /// returns the densest one with its density. Returns the input (density 0)
 /// when the set is empty.
-pub fn densest_component(
-    g: &UndirectedGraph,
-    vertices: &[VertexId],
-) -> (Vec<VertexId>, f64) {
+pub fn densest_component(g: &UndirectedGraph, vertices: &[VertexId]) -> (Vec<VertexId>, f64) {
     if vertices.is_empty() {
         return (Vec::new(), 0.0);
     }
@@ -28,8 +25,7 @@ pub fn densest_component(
         if group.is_empty() {
             continue;
         }
-        let original: Vec<VertexId> =
-            group.iter().map(|&v| sub.original[v as usize]).collect();
+        let original: Vec<VertexId> = group.iter().map(|&v| sub.original[v as usize]).collect();
         let density = undirected_density(g, &original);
         if density > best.1 {
             let mut sorted = original;
@@ -65,10 +61,7 @@ mod tests {
 
     #[test]
     fn single_component_is_identity() {
-        let g = UndirectedGraphBuilder::new(3)
-            .add_edges([(0, 1), (1, 2), (0, 2)])
-            .build()
-            .unwrap();
+        let g = UndirectedGraphBuilder::new(3).add_edges([(0, 1), (1, 2), (0, 2)]).build().unwrap();
         let (comp, density) = densest_component(&g, &[0, 1, 2]);
         assert_eq!(comp, vec![0, 1, 2]);
         assert!((density - 1.0).abs() < 1e-12);

@@ -20,8 +20,7 @@ pub fn k_core(g: &UndirectedGraph, k: u32) -> Vec<VertexId> {
     let n = g.num_vertices();
     let mut deg = g.degrees();
     let mut alive = vec![true; n];
-    let mut queue: Vec<VertexId> =
-        (0..n as VertexId).filter(|&v| deg[v as usize] < k).collect();
+    let mut queue: Vec<VertexId> = (0..n as VertexId).filter(|&v| deg[v as usize] < k).collect();
     for &v in &queue {
         alive[v as usize] = false;
     }

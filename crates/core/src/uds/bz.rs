@@ -35,7 +35,11 @@ pub fn bz_decomposition(g: &UndirectedGraph) -> CoreDecomposition {
         core
     });
     let k_star = core.iter().copied().max().unwrap_or(0);
-    CoreDecomposition { core, k_star, stats: Stats { iterations: g.num_vertices(), wall, ..Stats::default() } }
+    CoreDecomposition {
+        core,
+        k_star,
+        stats: Stats { iterations: g.num_vertices(), wall, ..Stats::default() },
+    }
 }
 
 #[cfg(test)]
@@ -116,15 +120,11 @@ mod tests {
         let g = dsd_graph::gen::erdos_renyi(80, 320, 9);
         let d = bz_decomposition(&g);
         for k in 1..=d.k_star {
-            let members: Vec<bool> =
-                d.core.iter().map(|&c| c >= k).collect();
+            let members: Vec<bool> = d.core.iter().map(|&c| c >= k).collect();
             for v in 0..g.num_vertices() {
                 if members[v] {
-                    let deg_in = g
-                        .neighbors(v as u32)
-                        .iter()
-                        .filter(|&&u| members[u as usize])
-                        .count();
+                    let deg_in =
+                        g.neighbors(v as u32).iter().filter(|&&u| members[u as usize]).count();
                     assert!(deg_in >= k as usize, "vertex {v} in {k}-core has degree {deg_in}");
                 }
             }

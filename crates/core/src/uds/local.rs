@@ -5,22 +5,29 @@
 //! from its neighbours' h-indices; the fixpoint is the core number
 //! (Lü et al., reference \[24\]). Updates are embarrassingly parallel.
 //!
-//! This implementation is a *synchronous* (Jacobi) iteration: each sweep
-//! computes all new values from the previous sweep's array before any
-//! write is applied, which makes runs deterministic regardless of the
-//! thread count. [`local_decomposition`] recomputes every vertex per sweep
-//! (faithful to Algorithm 1's "for v in V in parallel"), so graphs with
-//! long filament tails pay `O(m)` per sweep for thousands of sweeps — the
-//! paper's Table 6 regime. [`local_decomposition_frontier`] is this
-//! reproduction's extension: identical results, but each sweep only
-//! touches vertices with a changed neighbour. `stats.iterations` counts
-//! sweeps in which at least one h-index changed — the convergence count
-//! the paper's Table 6 reports.
+//! Sweeps are executed by the shared, zero-allocation
+//! [`sweep engine`](crate::uds::sweep): [`local_decomposition`] runs the
+//! default *synchronous* (Jacobi) schedule — each sweep computes all new
+//! values from the previous sweep's array before any write is applied,
+//! which makes runs deterministic regardless of the thread count — and
+//! recomputes every vertex per sweep (faithful to Algorithm 1's
+//! "for v in V in parallel"), so graphs with long filament tails pay
+//! `O(m)` per sweep for thousands of sweeps — the paper's Table 6 regime.
+//! [`local_decomposition_frontier`] is this reproduction's extension:
+//! identical results, but each sweep only touches vertices with a changed
+//! neighbour. [`local_decomposition_async`] opts into the engine's
+//! asynchronous (Gauss–Seidel) schedule, which converges to the same core
+//! numbers in fewer sweeps at the cost of a scheduling-dependent iteration
+//! count. [`local_decomposition_legacy`] preserves the seed's
+//! collect-per-sweep kernel as the benchmark baseline. `stats.iterations`
+//! counts sweeps in which at least one h-index changed — the convergence
+//! count the paper's Table 6 reports.
 
 use dsd_graph::{UndirectedGraph, VertexId};
 use rayon::prelude::*;
 
 use crate::stats::{timed, Stats};
+use crate::uds::sweep::{SweepMode, SweepWorkspace};
 use crate::uds::CoreDecomposition;
 
 /// Computes the h-index of a multiset of neighbour values with a counting
@@ -46,13 +53,18 @@ pub fn h_index_counting(values: &[u32], scratch: &mut Vec<u32>) -> u32 {
 }
 
 /// Sort-based h-index (the ablation alternative benchmarked in
-/// `bench_hindex`): sorts a copy of the values descending and scans.
+/// `bench_hindex`): sorts the values descending and scans.
+///
+/// `scratch` is a reusable buffer the values are copied into (like
+/// [`h_index_counting`]'s, so `bench_hindex` compares kernels rather than
+/// allocators).
 #[inline]
-pub fn h_index_sorting(values: &[u32]) -> u32 {
-    let mut vals = values.to_vec();
-    vals.sort_unstable_by(|a, b| b.cmp(a));
+pub fn h_index_sorting(values: &[u32], scratch: &mut Vec<u32>) -> u32 {
+    scratch.clear();
+    scratch.extend_from_slice(values);
+    scratch.sort_unstable_by(|a, b| b.cmp(a));
     let mut h = 0u32;
-    for (i, &v) in vals.iter().enumerate() {
+    for (i, &v) in scratch.iter().enumerate() {
         if v as usize > i {
             h = (i + 1) as u32;
         } else {
@@ -62,9 +74,14 @@ pub fn h_index_sorting(values: &[u32]) -> u32 {
     h
 }
 
-/// One synchronous sweep over `active`: recomputes each vertex's h-index
-/// from the current array (all reads happen before any write), applies the
-/// decreases, and returns the vertices whose value changed.
+/// One synchronous sweep over `active` with the **seed (legacy) kernel**:
+/// recomputes each vertex's h-index from the current array (all reads
+/// happen before any write), collects a fresh update vector, applies the
+/// decreases serially, and returns the vertices whose value changed.
+///
+/// Kept as the baseline the sweep engine is benchmarked against
+/// (`bench_report`, `bench_core_decomp`); production paths go through
+/// [`crate::uds::sweep::SweepWorkspace`].
 pub(crate) fn sweep_active(
     g: &UndirectedGraph,
     h: &mut [u32],
@@ -98,7 +115,9 @@ pub(crate) fn sweep_active(
 
 /// Vertices needing recomputation next sweep: the distinct neighbours of
 /// the vertices that changed. `mark` is an all-false scratch array (reset
-/// before returning).
+/// before returning). Part of the legacy kernel (see [`sweep_active`]);
+/// the engine's [`SweepWorkspace::advance_frontier`] is the parallel
+/// replacement.
 pub(crate) fn next_active(
     g: &UndirectedGraph,
     changed: &[VertexId],
@@ -119,6 +138,11 @@ pub(crate) fn next_active(
     out
 }
 
+fn finish(core: Vec<u32>, iterations: usize, wall: std::time::Duration) -> CoreDecomposition {
+    let k_star = core.iter().copied().max().unwrap_or(0);
+    CoreDecomposition { core, k_star, stats: Stats { iterations, wall, ..Stats::default() } }
+}
+
 /// Runs Local to convergence, returning the full core decomposition.
 ///
 /// Faithful to the paper's Algorithm 1: **every** vertex recomputes its
@@ -128,6 +152,61 @@ pub(crate) fn next_active(
 /// removes. For the frontier-optimised variant this reproduction adds on
 /// top of the paper, see [`local_decomposition_frontier`].
 pub fn local_decomposition(g: &UndirectedGraph) -> CoreDecomposition {
+    local_decomposition_in(g, &mut SweepWorkspace::new())
+}
+
+/// [`local_decomposition`] with a caller-provided workspace, so repeated
+/// decompositions (benchmark loops, batch serving) perform no steady-state
+/// allocation.
+pub fn local_decomposition_in(g: &UndirectedGraph, ws: &mut SweepWorkspace) -> CoreDecomposition {
+    let (iterations, wall) = timed(|| ws.run_full(g, SweepMode::Synchronous));
+    finish(ws.h_values(), iterations, wall)
+}
+
+/// Frontier-optimised Local (an extension beyond the paper): after the
+/// first sweep, only vertices with a changed neighbour are recomputed.
+/// Produces exactly the same values and iteration count as
+/// [`local_decomposition`] (recomputing an unchanged neighbourhood is a
+/// no-op) at a fraction of the work on long-tailed graphs — see the
+/// `bench_core_decomp` ablation.
+pub fn local_decomposition_frontier(g: &UndirectedGraph) -> CoreDecomposition {
+    local_decomposition_frontier_in(g, &mut SweepWorkspace::new())
+}
+
+/// [`local_decomposition_frontier`] with a caller-provided workspace.
+pub fn local_decomposition_frontier_in(
+    g: &UndirectedGraph,
+    ws: &mut SweepWorkspace,
+) -> CoreDecomposition {
+    let (iterations, wall) = timed(|| ws.run_frontier(g, SweepMode::Synchronous));
+    finish(ws.h_values(), iterations, wall)
+}
+
+/// Asynchronous (Gauss–Seidel) Local: sweeps read freshly-written h-values
+/// in the same sweep, so convergence needs strictly fewer sweeps
+/// (Sariyüce et al.). The fixpoint — the core numbers — is identical to
+/// the synchronous variants, but `stats.iterations` depends on scheduling
+/// and is therefore **not** deterministic across thread counts; the
+/// synchronous schedule stays the default.
+pub fn local_decomposition_async(g: &UndirectedGraph) -> CoreDecomposition {
+    local_decomposition_async_in(g, &mut SweepWorkspace::new())
+}
+
+/// [`local_decomposition_async`] with a caller-provided workspace.
+pub fn local_decomposition_async_in(
+    g: &UndirectedGraph,
+    ws: &mut SweepWorkspace,
+) -> CoreDecomposition {
+    let (iterations, wall) = timed(|| ws.run_full(g, SweepMode::Asynchronous));
+    finish(ws.h_values(), iterations, wall)
+}
+
+/// The seed implementation of [`local_decomposition`]: the same Jacobi
+/// iteration, but every sweep collects a fresh update vector and applies
+/// it serially ([`sweep_active`]). Kept as the benchmark baseline the
+/// sweep engine's speedup is measured against (`BENCH_PR1.json`); results
+/// and iteration counts are bit-identical to [`local_decomposition`].
+pub fn local_decomposition_legacy(g: &UndirectedGraph) -> CoreDecomposition {
     let ((core, iterations), wall) = timed(|| {
         let n = g.num_vertices();
         let mut h = g.degrees();
@@ -142,43 +221,7 @@ pub fn local_decomposition(g: &UndirectedGraph) -> CoreDecomposition {
         }
         (h, iterations)
     });
-    let k_star = core.iter().copied().max().unwrap_or(0);
-    CoreDecomposition {
-        core,
-        k_star,
-        stats: Stats { iterations, wall, ..Stats::default() },
-    }
-}
-
-/// Frontier-optimised Local (an extension beyond the paper): after the
-/// first sweep, only vertices with a changed neighbour are recomputed.
-/// Produces exactly the same values and iteration count as
-/// [`local_decomposition`] (recomputing an unchanged neighbourhood is a
-/// no-op) at a fraction of the work on long-tailed graphs — see the
-/// `bench_core_decomp` ablation.
-pub fn local_decomposition_frontier(g: &UndirectedGraph) -> CoreDecomposition {
-    let ((core, iterations), wall) = timed(|| {
-        let n = g.num_vertices();
-        let mut h = g.degrees();
-        let mut mark = vec![false; n];
-        let mut active: Vec<VertexId> = (0..n as VertexId).collect();
-        let mut iterations = 0usize;
-        loop {
-            let changed = sweep_active(g, &mut h, &active);
-            if changed.is_empty() {
-                break;
-            }
-            iterations += 1;
-            active = next_active(g, &changed, &mut mark);
-        }
-        (h, iterations)
-    });
-    let k_star = core.iter().copied().max().unwrap_or(0);
-    CoreDecomposition {
-        core,
-        k_star,
-        stats: Stats { iterations, wall, ..Stats::default() },
-    }
+    finish(core, iterations, wall)
 }
 
 #[cfg(test)]
@@ -202,12 +245,13 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let mut scratch = Vec::new();
+        let mut sort_scratch = Vec::new();
         for _ in 0..200 {
             let len = rng.gen_range(0..30);
             let vals: Vec<u32> = (0..len).map(|_| rng.gen_range(0..20)).collect();
             assert_eq!(
                 h_index_counting(&vals, &mut scratch),
-                h_index_sorting(&vals),
+                h_index_sorting(&vals, &mut sort_scratch),
                 "values {vals:?}"
             );
         }
@@ -256,6 +300,37 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_bit_identical_to_legacy() {
+        // The acceptance contract of the sweep engine: same core numbers
+        // AND same iteration counts as the seed collect-per-sweep kernel.
+        for seed in 0..4 {
+            let base = dsd_graph::gen::chung_lu(250, 1200, 2.3, seed + 60);
+            let g = dsd_graph::gen::attach_filaments(&base, 3, 30, seed + 61);
+            let legacy = local_decomposition_legacy(&g);
+            let engine = local_decomposition(&g);
+            assert_eq!(engine.core, legacy.core, "seed {seed}");
+            assert_eq!(engine.stats.iterations, legacy.stats.iterations, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn async_variant_reaches_the_same_fixpoint() {
+        for seed in 0..4 {
+            let base = dsd_graph::gen::chung_lu(250, 1200, 2.3, seed + 70);
+            let g = dsd_graph::gen::attach_filaments(&base, 3, 30, seed + 71);
+            let sync = local_decomposition(&g);
+            let asynchronous = local_decomposition_async(&g);
+            assert_eq!(asynchronous.core, sync.core, "seed {seed}");
+            assert!(
+                asynchronous.stats.iterations <= sync.stats.iterations,
+                "async {} vs sync {} (seed {seed})",
+                asynchronous.stats.iterations,
+                sync.stats.iterations
+            );
+        }
+    }
+
+    #[test]
     fn path_ripple_needs_linear_sweeps() {
         // A path converges one vertex per sweep from each end — the slow
         // regime the filament stand-ins model.
@@ -277,7 +352,8 @@ mod tests {
     #[test]
     fn h_values_upper_bound_core_and_decrease_monotonically() {
         // Lemma 2 context: h is always an upper bound of the core number
-        // and is non-increasing sweep over sweep.
+        // and is non-increasing sweep over sweep (legacy kernel, which the
+        // engine is validated against above).
         let g = dsd_graph::gen::erdos_renyi(100, 400, 55);
         let core = bz_decomposition(&g).core;
         let n = g.num_vertices();

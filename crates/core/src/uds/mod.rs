@@ -6,7 +6,8 @@
 //! oracle for tiny graphs (the flow-based exact oracle lives in
 //! `dsd-flow`). Extensions beyond the paper: [`bsk`] (the Section IV-B
 //! binary-search method), [`truss`] and [`triangle`] (the future-work
-//! k-truss / k-clique-density relationships).
+//! k-truss / k-clique-density relationships). The zero-allocation h-index
+//! [`sweep`] engine is the shared hot path under [`local`] and [`pkmc`].
 
 pub mod bsk;
 pub mod bucket;
@@ -18,6 +19,7 @@ pub mod pbu;
 pub mod pfw;
 pub mod pkc;
 pub mod pkmc;
+pub mod sweep;
 pub mod triangle;
 pub mod truss;
 
@@ -66,11 +68,7 @@ mod tests {
 
     #[test]
     fn k_star_core_selects_max() {
-        let d = CoreDecomposition {
-            core: vec![1, 2, 2, 0],
-            k_star: 2,
-            stats: Stats::default(),
-        };
+        let d = CoreDecomposition { core: vec![1, 2, 2, 0], k_star: 2, stats: Stats::default() };
         assert_eq!(d.k_star_core(), vec![1, 2]);
     }
 

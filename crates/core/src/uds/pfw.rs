@@ -129,12 +129,7 @@ mod tests {
         let g = dsd_graph::gen::erdos_renyi(80, 400, 13);
         let exact = dsd_flow::uds_exact(&g);
         let r = pfw_with(&g, PfwConfig { iterations: 200 });
-        assert!(
-            r.density >= exact.density / 1.25,
-            "pfw {} vs exact {}",
-            r.density,
-            exact.density
-        );
+        assert!(r.density >= exact.density / 1.25, "pfw {} vs exact {}", r.density, exact.density);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! reported in the paper's Table 6, where PKC needs `O(k*)` levels plus
 //! cascade rounds (thousands of iterations on power-law graphs, versus
 //! single digits for PKMC).
+//!
+//! Rounds are allocation-free: the frontier is claimed and killed in place
+//! with a persistent round bitmap (the same workspace-reuse pattern as the
+//! h-index [`sweep engine`](crate::uds::sweep)) instead of collecting a
+//! fresh frontier vector per round; the candidate pool shrinks in place
+//! once per level.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
@@ -30,42 +36,57 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
     let deg: Vec<AtomicU32> = g.degrees().into_iter().map(AtomicU32::new).collect();
     let alive: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(true)).collect();
     let core: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    // Workspace-reuse (no per-round allocation): instead of collecting a
+    // fresh frontier vector every cascade round, a persistent `this_round`
+    // bitmap flags the vertices killed in the current round; it is reset
+    // in place during the decrement phase. Phase 1's kill decisions depend
+    // only on state at round start (kills do not touch `deg`, and already-
+    // dead vertices stay dead), so the removed set — and therefore the
+    // round and level structure — is identical to the seed's snapshot
+    // frontier, and deterministic across thread counts.
+    let this_round: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     let mut remaining = n;
     let mut k = 0u32;
     let mut iterations = 0usize;
     // `candidates` holds the vertices that might still be removable at the
-    // current level; it shrinks as levels advance.
+    // current level; it shrinks (in place) as levels advance.
     let mut candidates: Vec<VertexId> = (0..n as VertexId).collect();
     while remaining > 0 {
         loop {
-            // Snapshot the frontier: alive vertices with degree <= k.
-            let frontier: Vec<VertexId> = candidates
+            // Phase 1: claim and kill this round's frontier in place
+            // (alive vertices with degree <= k), counting the kills.
+            let killed: usize = candidates
                 .par_iter()
-                .copied()
-                .filter(|&v| {
-                    alive[v as usize].load(Ordering::Relaxed)
-                        && deg[v as usize].load(Ordering::Relaxed) <= k
+                .map(|&v| {
+                    let vi = v as usize;
+                    if alive[vi].load(Ordering::Relaxed) && deg[vi].load(Ordering::Relaxed) <= k {
+                        alive[vi].store(false, Ordering::Relaxed);
+                        core[vi].store(k, Ordering::Relaxed);
+                        this_round[vi].store(true, Ordering::Relaxed);
+                        1
+                    } else {
+                        0
+                    }
                 })
-                .collect();
-            if frontier.is_empty() {
+                .sum();
+            if killed == 0 {
                 break;
             }
             iterations += 1;
-            // Phase 1: kill the whole frontier (so neighbour decrements in
-            // phase 2 never touch frontier members).
-            frontier.par_iter().for_each(|&v| {
-                alive[v as usize].store(false, Ordering::Relaxed);
-                core[v as usize].store(k, Ordering::Relaxed);
-            });
-            // Phase 2: decrement alive neighbours.
-            frontier.par_iter().for_each(|&v| {
-                for &u in g.neighbors(v) {
-                    if alive[u as usize].load(Ordering::Relaxed) {
-                        deg[u as usize].fetch_sub(1, Ordering::Relaxed);
+            // Phase 2: decrement alive neighbours of this round's kills
+            // (all of which are already dead, so decrements never touch
+            // frontier members), clearing the round flag as we go.
+            candidates.par_iter().for_each(|&v| {
+                let vi = v as usize;
+                if this_round[vi].swap(false, Ordering::Relaxed) {
+                    for &u in g.neighbors(v) {
+                        if alive[u as usize].load(Ordering::Relaxed) {
+                            deg[u as usize].fetch_sub(1, Ordering::Relaxed);
+                        }
                     }
                 }
             });
-            remaining -= frontier.len();
+            remaining -= killed;
         }
         // Drop dead vertices from the candidate pool before the next level.
         candidates.retain(|&v| alive[v as usize].load(Ordering::Relaxed));

@@ -1,10 +1,12 @@
 //! PKMC — the paper's Algorithm 2: parallel `k*`-core computation with the
 //! Theorem-1 early stop.
 //!
-//! PKMC runs the same synchronous h-index sweeps as [`crate::uds::local`],
-//! but instead of waiting for *every* vertex's h-index to converge to its
-//! core number, it watches only the maximum h-index `h_max` and the number
-//! `s` of vertices attaining it:
+//! PKMC runs the same synchronous h-index sweeps as [`crate::uds::local`]
+//! (through the shared zero-allocation
+//! [`sweep engine`](crate::uds::sweep)), but instead of waiting for
+//! *every* vertex's h-index to converge to its core number, it watches
+//! only the maximum h-index `h_max` and the number `s` of vertices
+//! attaining it:
 //!
 //! * **Proposition 1 guard** (Algorithm 2, line 12): the `k*`-core has at
 //!   least `k* + 1` vertices, so while `s ≤ h_max` the candidate set cannot
@@ -24,13 +26,21 @@
 //! the candidate set is exactly the `k*`-core and the check always passes,
 //! so the algorithm terminates with a *correct* answer on every input.
 //! Toggle with [`PkmcConfig::verify_candidate`].
+//!
+//! **Sweep-mode ablation:** [`PkmcConfig::mode`] selects the engine's
+//! schedule. The default [`SweepMode::Synchronous`] is the paper's
+//! Algorithm 2 (deterministic across thread counts); the opt-in
+//! [`SweepMode::Asynchronous`] reads freshly-written h-values within a
+//! sweep and typically needs fewer sweeps before the Theorem-1 monitors
+//! stabilise. The h-iteration stays monotone in async mode, so with
+//! `verify_candidate` (the default) every stop remains certified.
 
 use dsd_graph::{UndirectedGraph, VertexId};
 use rayon::prelude::*;
 
 use crate::density::undirected_density;
 use crate::stats::{timed, Stats};
-use crate::uds::local::sweep_active;
+use crate::uds::sweep::{SweepMode, SweepWorkspace};
 use crate::uds::UdsResult;
 
 /// Configuration for [`pkmc_with`].
@@ -40,11 +50,21 @@ pub struct PkmcConfig {
     /// before stopping (default `true`). With `false` the algorithm is
     /// exactly the paper's Algorithm 2.
     pub verify_candidate: bool,
+    /// Sweep schedule (default [`SweepMode::Synchronous`], the paper's
+    /// Algorithm 2; see the module docs for the async ablation).
+    pub mode: SweepMode,
+}
+
+impl PkmcConfig {
+    /// The default configuration: verified stops, synchronous sweeps.
+    pub fn new() -> Self {
+        Self { verify_candidate: true, mode: SweepMode::Synchronous }
+    }
 }
 
 impl Default for PkmcConfig {
     fn default() -> Self {
-        Self { verify_candidate: true }
+        Self::new()
     }
 }
 
@@ -69,14 +89,20 @@ impl From<PkmcResult> for UdsResult {
     }
 }
 
-/// Runs PKMC with the default (verified) configuration.
+/// Runs PKMC with the default (verified, synchronous) configuration.
 pub fn pkmc(g: &UndirectedGraph) -> PkmcResult {
-    pkmc_with(g, PkmcConfig::default())
+    pkmc_with(g, PkmcConfig::new())
 }
 
 /// Runs PKMC (Algorithm 2).
 pub fn pkmc_with(g: &UndirectedGraph, config: PkmcConfig) -> PkmcResult {
-    let ((vertices, k_star, iterations, early), wall) = timed(|| run(g, config));
+    pkmc_in(g, config, &mut SweepWorkspace::new())
+}
+
+/// [`pkmc_with`] with a caller-provided sweep workspace, so repeated runs
+/// (benchmark loops, batch serving) perform no steady-state allocation.
+pub fn pkmc_in(g: &UndirectedGraph, config: PkmcConfig, ws: &mut SweepWorkspace) -> PkmcResult {
+    let ((vertices, k_star, iterations, early), wall) = timed(|| run(g, config, ws));
     let density = undirected_density(g, &vertices);
     PkmcResult {
         vertices,
@@ -85,20 +111,6 @@ pub fn pkmc_with(g: &UndirectedGraph, config: PkmcConfig) -> PkmcResult {
         early_stopped: early,
         stats: Stats { iterations, wall, ..Stats::default() },
     }
-}
-
-fn max_and_count(h: &[u32]) -> (u32, usize) {
-    let max = h.par_iter().copied().max().unwrap_or(0);
-    let count = h.par_iter().filter(|&&x| x == max).count();
-    (max, count)
-}
-
-fn candidates_of(h: &[u32], h_max: u32) -> Vec<VertexId> {
-    h.iter()
-        .enumerate()
-        .filter(|&(_, &x)| x == h_max)
-        .map(|(v, _)| v as VertexId)
-        .collect()
 }
 
 /// Checks that the subgraph induced by `set` has minimum degree ≥ `k`.
@@ -113,36 +125,39 @@ fn induces_min_degree(g: &UndirectedGraph, set: &[VertexId], k: u32) -> bool {
     })
 }
 
-fn run(g: &UndirectedGraph, config: PkmcConfig) -> (Vec<VertexId>, u32, usize, bool) {
+fn run(
+    g: &UndirectedGraph,
+    config: PkmcConfig,
+    ws: &mut SweepWorkspace,
+) -> (Vec<VertexId>, u32, usize, bool) {
     let n = g.num_vertices();
     if n == 0 || g.num_edges() == 0 {
         return (Vec::new(), 0, 0, false);
     }
-    let mut h = g.degrees();
-    // Algorithm 2 line 7 is a full "for v in V in parallel" sweep; PKMC's
-    // whole point is that only a handful of such sweeps are needed.
-    let all: Vec<VertexId> = (0..n as VertexId).collect();
     // Lines 1-3: h^(0) = degrees; h_max^(0), s^(0).
-    let (mut h_max_prev, mut s_prev) = max_and_count(&h);
+    ws.bind(g);
+    let (mut h_max_prev, mut s_prev) = ws.max_and_count();
     let mut iterations = 0usize;
     loop {
-        // Lines 7-9: one parallel h-update sweep.
-        let changed = sweep_active(g, &mut h, &all);
-        if changed.is_empty() {
+        // Lines 7-9: one parallel h-update sweep. Algorithm 2 line 7 is a
+        // full "for v in V in parallel" sweep; PKMC's whole point is that
+        // only a handful of such sweeps are needed.
+        let changed = ws.sweep_full(g, config.mode);
+        if changed == 0 {
             // Full convergence: h = core numbers; candidate set IS the
             // k*-core (no early stop needed).
-            let (h_max, _) = max_and_count(&h);
-            let cand = candidates_of(&h, h_max);
+            let (h_max, _) = ws.max_and_count();
+            let cand = ws.vertices_with_value(h_max);
             return (cand, h_max, iterations, false);
         }
         iterations += 1;
         // Lines 10-11.
-        let (h_max, s) = max_and_count(&h);
+        let (h_max, s) = ws.max_and_count();
         // Line 12 (Proposition 1): the k*-core has >= k* + 1 vertices.
         let guard_ok = s > h_max as usize;
         // Lines 13-14 (Theorem 1): stable h_max and stable count.
         if guard_ok && h_max == h_max_prev && s == s_prev {
-            let cand = candidates_of(&h, h_max);
+            let cand = ws.vertices_with_value(h_max);
             if !config.verify_candidate || induces_min_degree(g, &cand, h_max) {
                 return (cand, h_max, iterations, true);
             }
@@ -199,6 +214,23 @@ mod tests {
     }
 
     #[test]
+    fn async_mode_returns_the_k_star_core() {
+        // The async ablation: fewer sweeps, same certified answer (the
+        // verification step keeps every early stop correct).
+        for seed in 0..4 {
+            let g = dsd_graph::gen::chung_lu(500, 3500, 2.2, seed + 90);
+            let sync = pkmc(&g);
+            let cfg = PkmcConfig {
+                mode: crate::uds::sweep::SweepMode::Asynchronous,
+                ..PkmcConfig::new()
+            };
+            let asynchronous = pkmc_with(&g, cfg);
+            check_is_k_star_core(&g, &asynchronous);
+            assert_eq!(asynchronous.k_star, sync.k_star, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn early_stop_uses_fewer_iterations_than_local() {
         let g = dsd_graph::gen::chung_lu(2000, 16_000, 2.1, 77);
         let local = crate::uds::local::local_decomposition(&g);
@@ -215,7 +247,7 @@ mod tests {
     #[test]
     fn unverified_mode_matches_on_power_law() {
         let g = dsd_graph::gen::chung_lu(800, 6000, 2.3, 3);
-        let r = pkmc_with(&g, PkmcConfig { verify_candidate: false });
+        let r = pkmc_with(&g, PkmcConfig { verify_candidate: false, ..PkmcConfig::new() });
         // On this graph family the paper's raw criterion is also correct.
         let bz = bz_decomposition(&g);
         assert_eq!(r.k_star, bz.k_star);
@@ -266,5 +298,17 @@ mod tests {
         let b = pkmc(&g);
         assert_eq!(a.vertices, b.vertices);
         assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+
+    #[test]
+    fn workspace_reuse_is_equivalent() {
+        let mut ws = SweepWorkspace::new();
+        for seed in 0..3 {
+            let g = dsd_graph::gen::chung_lu(400, 2500, 2.3, seed + 200);
+            let fresh = pkmc(&g);
+            let reused = pkmc_in(&g, PkmcConfig::new(), &mut ws);
+            assert_eq!(fresh.vertices, reused.vertices, "seed {seed}");
+            assert_eq!(fresh.stats.iterations, reused.stats.iterations, "seed {seed}");
+        }
     }
 }

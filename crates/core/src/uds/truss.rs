@@ -211,10 +211,7 @@ mod tests {
 
     #[test]
     fn path_is_2_truss() {
-        let g = UndirectedGraphBuilder::new(4)
-            .add_edges([(0, 1), (1, 2), (2, 3)])
-            .build()
-            .unwrap();
+        let g = UndirectedGraphBuilder::new(4).add_edges([(0, 1), (1, 2), (2, 3)]).build().unwrap();
         let d = truss_decomposition(&g);
         assert!(d.truss.iter().all(|&t| t == 2));
         assert_eq!(d.density_lower_bound(), 0.5);
@@ -273,8 +270,7 @@ mod tests {
         if max_edges.is_empty() {
             return;
         }
-        let edge_set: std::collections::HashSet<(u32, u32)> =
-            max_edges.iter().copied().collect();
+        let edge_set: std::collections::HashSet<(u32, u32)> = max_edges.iter().copied().collect();
         let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
         for &(u, v) in &max_edges {
             adj.entry(u).or_default().push(v);
@@ -282,12 +278,8 @@ mod tests {
         }
         for &(u, v) in &max_edges {
             let nu = &adj[&u];
-            let tri = nu
-                .iter()
-                .filter(|&&w| {
-                    w != v && (edge_set.contains(&edge_key(v, w)))
-                })
-                .count();
+            let tri =
+                nu.iter().filter(|&&w| w != v && (edge_set.contains(&edge_key(v, w)))).count();
             assert!(
                 tri + 2 >= d.k_max as usize,
                 "edge ({u},{v}) closes only {tri} internal triangles for k_max {}",

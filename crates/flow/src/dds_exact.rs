@@ -48,7 +48,11 @@ pub(crate) fn st_density(g: &DirectedGraph, s: &[VertexId], t: &[VertexId]) -> f
 
 /// Decision network for ratio `a` and guess `g`: returns `Some((S, T))`
 /// witnessing density `> g` if one exists.
-fn ratio_cut(graph: &DirectedGraph, sqrt_a: f64, guess: f64) -> Option<(Vec<VertexId>, Vec<VertexId>)> {
+fn ratio_cut(
+    graph: &DirectedGraph,
+    sqrt_a: f64,
+    guess: f64,
+) -> Option<(Vec<VertexId>, Vec<VertexId>)> {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     // Node layout: [0, m): edge nodes; [m, m + n): S-side; [m + n, m + 2n):
@@ -198,10 +202,7 @@ mod tests {
     fn paper_figure_1b() {
         // S = {v4, v5}, T = {v2, v3}, four edges, density 2, plus a noise
         // edge that does not create anything denser.
-        let g = graph(
-            6,
-            &[(4, 2), (4, 3), (5, 2), (5, 3), (0, 1)],
-        );
+        let g = graph(6, &[(4, 2), (4, 3), (5, 2), (5, 3), (0, 1)]);
         let r = dds_exact(&g);
         assert!((r.density - 2.0).abs() < 1e-6, "density {}", r.density);
         assert_eq!(r.s, vec![4, 5]);

@@ -205,11 +205,8 @@ mod tests {
         }
         let flow = d.max_flow(0, 5);
         let side = d.min_cut_side(0);
-        let cut: f64 = edges
-            .iter()
-            .filter(|&&(u, v, _)| side[u] && !side[v])
-            .map(|&(_, _, c)| c)
-            .sum();
+        let cut: f64 =
+            edges.iter().filter(|&&(u, v, _)| side[u] && !side[v]).map(|&(_, _, c)| c).sum();
         assert!((flow - cut).abs() < 1e-9, "flow {flow} != cut {cut}");
     }
 

@@ -137,10 +137,7 @@ mod tests {
     fn paper_figure_1a_density() {
         // Fig 1(a): densest subgraph has 5 edges on 4 vertices (density 5/4).
         // Reconstruct: vertices 0..3 near-clique (5 of 6 edges) plus pendants.
-        let g = graph(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (3, 4), (4, 5)],
-        );
+        let g = graph(6, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (3, 4), (4, 5)]);
         let r = uds_exact(&g);
         assert_eq!(r.vertices, vec![0, 1, 2, 3]);
         assert!((r.density - 1.25).abs() < 1e-9);

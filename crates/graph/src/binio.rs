@@ -43,7 +43,10 @@ fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(u64, u64)> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::Parse { line: 0, message: "bad magic; not a DSDGRAPH file".into() });
+        return Err(GraphError::Parse {
+            line: 0,
+            message: "bad magic; not a DSDGRAPH file".into(),
+        });
     }
     let mut kv = [0u8; 2];
     r.read_exact(&mut kv)?;

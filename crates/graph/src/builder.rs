@@ -246,10 +246,7 @@ mod tests {
 
     #[test]
     fn directed_dedup_keeps_antiparallel() {
-        let g = DirectedGraphBuilder::new(2)
-            .add_edges([(0, 1), (0, 1), (1, 0)])
-            .build()
-            .unwrap();
+        let g = DirectedGraphBuilder::new(2).add_edges([(0, 1), (0, 1), (1, 0)]).build().unwrap();
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(1, 0));

@@ -158,10 +158,7 @@ mod tests {
 
     fn sample() -> DirectedGraph {
         // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
-        DirectedGraphBuilder::new(3)
-            .add_edges([(0, 1), (0, 2), (1, 2), (2, 0)])
-            .build()
-            .unwrap()
+        DirectedGraphBuilder::new(3).add_edges([(0, 1), (0, 2), (1, 2), (2, 0)]).build().unwrap()
     }
 
     #[test]

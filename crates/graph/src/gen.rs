@@ -22,7 +22,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId};
+use crate::{
+    DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId,
+};
 
 /// Uniform undirected G(n, m): `m` edges sampled uniformly (duplicates and
 /// loops are dropped by the builder, so the realised edge count can be
@@ -357,7 +359,8 @@ pub fn planted_dense(
 ) -> UndirectedGraph {
     assert!(clique_size <= n, "planted block cannot exceed the vertex count");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = UndirectedGraphBuilder::with_capacity(n, background_m + clique_size * clique_size / 2);
+    let mut b =
+        UndirectedGraphBuilder::with_capacity(n, background_m + clique_size * clique_size / 2);
     for _ in 0..background_m {
         let u = rng.gen_range(0..n) as VertexId;
         let v = rng.gen_range(0..n) as VertexId;
@@ -501,9 +504,7 @@ mod tests {
         // Each braid: 1 anchor edge + 8 rungs + 7 * 4 chain/cross edges.
         assert_eq!(f.num_edges(), g.num_edges() + 2 * (1 + 8 + 7 * 4));
         // Interior braid vertices have degree 5 (rung + 2 strand + 2 cross).
-        let interior = (50..f.num_vertices() as u32)
-            .filter(|&v| f.degree(v) == 5)
-            .count();
+        let interior = (50..f.num_vertices() as u32).filter(|&v| f.degree(v) == 5).count();
         assert!(interior > 0, "braid interiors should have degree 5");
         for (u, v) in g.edges() {
             assert!(f.has_edge(u, v));

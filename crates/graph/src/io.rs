@@ -27,14 +27,26 @@ fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(VertexId, VertexId)>, usize)>
         let mut it = trimmed.split_whitespace();
         let u: u64 = it
             .next()
-            .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing source".into() })?
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "missing source".into(),
+            })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad source: {e}") })?;
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad source: {e}"),
+            })?;
         let v: u64 = it
             .next()
-            .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing target".into() })?
+            .ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "missing target".into(),
+            })?
             .parse()
-            .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad target: {e}") })?;
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad target: {e}"),
+            })?;
         if u > u32::MAX as u64 || v > u32::MAX as u64 {
             return Err(GraphError::Parse {
                 line: lineno + 1,

@@ -21,8 +21,7 @@ pub struct Reordered {
 impl Reordered {
     /// Maps a set of reordered vertex ids back to original ids (sorted).
     pub fn to_original(&self, vertices: &[VertexId]) -> Vec<VertexId> {
-        let mut out: Vec<VertexId> =
-            vertices.iter().map(|&v| self.original[v as usize]).collect();
+        let mut out: Vec<VertexId> = vertices.iter().map(|&v| self.original[v as usize]).collect();
         out.sort_unstable();
         out
     }
@@ -42,11 +41,7 @@ pub fn by_degree_descending(g: &UndirectedGraph) -> Reordered {
     for (u, v) in g.edges() {
         b.push_edge(new_id[u as usize], new_id[v as usize]);
     }
-    Reordered {
-        graph: b.build().expect("renumbered ids are in range"),
-        original: order,
-        new_id,
-    }
+    Reordered { graph: b.build().expect("renumbered ids are in range"), original: order, new_id }
 }
 
 #[cfg(test)]

@@ -68,10 +68,7 @@ mod tests {
 
     #[test]
     fn undirected_stats_basic() {
-        let g = UndirectedGraphBuilder::new(4)
-            .add_edges([(0, 1), (0, 2), (0, 3)])
-            .build()
-            .unwrap();
+        let g = UndirectedGraphBuilder::new(4).add_edges([(0, 1), (0, 2), (0, 3)]).build().unwrap();
         let s = undirected_stats(&g);
         assert_eq!(s.num_vertices, 4);
         assert_eq!(s.num_edges, 3);
@@ -81,10 +78,7 @@ mod tests {
 
     #[test]
     fn directed_stats_basic() {
-        let g = DirectedGraphBuilder::new(3)
-            .add_edges([(0, 1), (0, 2), (1, 2)])
-            .build()
-            .unwrap();
+        let g = DirectedGraphBuilder::new(3).add_edges([(0, 1), (0, 2), (1, 2)]).build().unwrap();
         let s = directed_stats(&g);
         assert_eq!(s.max_out_degree, 2);
         assert_eq!(s.max_in_degree, 2);

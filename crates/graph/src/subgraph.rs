@@ -7,7 +7,9 @@
 
 use rustc_hash::FxHashMap;
 
-use crate::{DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId};
+use crate::{
+    DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId,
+};
 
 /// An induced subgraph of an undirected graph, with the mapping from new
 /// compact vertex ids back to the original ids.
@@ -133,10 +135,7 @@ mod tests {
 
     #[test]
     fn induce_preserves_original_ids() {
-        let g = UndirectedGraphBuilder::new(5)
-            .add_edges([(1, 3), (3, 4), (1, 4)])
-            .build()
-            .unwrap();
+        let g = UndirectedGraphBuilder::new(5).add_edges([(1, 3), (3, 4), (1, 4)]).build().unwrap();
         let sub = induce_undirected(&g, &[4, 1, 3]);
         assert_eq!(sub.original, vec![1, 3, 4]);
         assert_eq!(sub.graph.num_edges(), 3);

@@ -128,10 +128,7 @@ mod tests {
 
     fn triangle_plus_pendant() -> UndirectedGraph {
         // 0-1, 1-2, 0-2 triangle; 3 pendant off 0.
-        UndirectedGraphBuilder::new(4)
-            .add_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
-            .build()
-            .unwrap()
+        UndirectedGraphBuilder::new(4).add_edges([(0, 1), (1, 2), (0, 2), (0, 3)]).build().unwrap()
     }
 
     #[test]
@@ -168,10 +165,7 @@ mod tests {
 
     #[test]
     fn density_of_triangle() {
-        let g = UndirectedGraphBuilder::new(3)
-            .add_edges([(0, 1), (1, 2), (0, 2)])
-            .build()
-            .unwrap();
+        let g = UndirectedGraphBuilder::new(3).add_edges([(0, 1), (1, 2), (0, 2)]).build().unwrap();
         assert!((g.density() - 1.0).abs() < 1e-12);
     }
 

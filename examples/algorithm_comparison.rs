@@ -17,10 +17,7 @@ fn main() {
     let exact = run_uds(&g, UdsAlgorithm::Exact);
     println!("exact optimum density (Goldberg flow): {:.4}\n", exact.density);
 
-    println!(
-        "{:<10} {:>9} {:>8} {:>7} {:>10}",
-        "algorithm", "density", "ratio", "iters", "time"
-    );
+    println!("{:<10} {:>9} {:>8} {:>7} {:>10}", "algorithm", "density", "ratio", "iters", "time");
     for (name, algo) in [
         ("pkmc", UdsAlgorithm::Pkmc),
         ("local", UdsAlgorithm::Local),

@@ -25,16 +25,24 @@ fn main() {
     const N: usize = 2_000;
     const BACKGROUND_EDGES: usize = 6_000;
     const COMMUNITY: usize = 40;
-    let g = scalable_dsd::graph::gen::planted_dense(N, BACKGROUND_EDGES, COMMUNITY, 0.9, 20_240_701);
+    let g =
+        scalable_dsd::graph::gen::planted_dense(N, BACKGROUND_EDGES, COMMUNITY, 0.9, 20_240_701);
     println!(
         "network: |V|={} |E|={}  (planted community: {} members)",
         g.num_vertices(),
         g.num_edges(),
         COMMUNITY
     );
-    println!("planted community density ≈ {:.2}; background ≈ {:.2}\n", 0.9 * (COMMUNITY as f64 - 1.0) / 2.0, BACKGROUND_EDGES as f64 / N as f64);
+    println!(
+        "planted community density ≈ {:.2}; background ≈ {:.2}\n",
+        0.9 * (COMMUNITY as f64 - 1.0) / 2.0,
+        BACKGROUND_EDGES as f64 / N as f64
+    );
 
-    println!("{:<10} {:>9} {:>10} {:>10} {:>9}", "algorithm", "density", "precision", "recall", "time");
+    println!(
+        "{:<10} {:>9} {:>10} {:>10} {:>9}",
+        "algorithm", "density", "precision", "recall", "time"
+    );
     for (name, algo) in [
         ("pkmc", UdsAlgorithm::Pkmc),
         ("local", UdsAlgorithm::Local),

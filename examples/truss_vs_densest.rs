@@ -29,8 +29,7 @@ fn main() {
         let exact = run_uds(&g, UdsAlgorithm::Exact);
         let core = run_uds(&g, UdsAlgorithm::Pkmc);
         let truss = truss_decomposition(&g);
-        let truss_density =
-            dsd_core::density::undirected_density(&g, &truss.max_truss_vertices());
+        let truss_density = dsd_core::density::undirected_density(&g, &truss.max_truss_vertices());
         println!(
             "{name:<22} {:>8.3} {:>10.3} {:>10.3} {:>12.3} {:>10}",
             exact.density,

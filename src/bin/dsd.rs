@@ -82,7 +82,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn with_threads<T: Send>(flags: &HashMap<String, String>, f: impl FnOnce() -> T + Send) -> Result<T, String> {
+fn with_threads<T: Send>(
+    flags: &HashMap<String, String>,
+    f: impl FnOnce() -> T + Send,
+) -> Result<T, String> {
     let threads: usize = get_parsed(flags, "threads", 0)?;
     if threads == 0 {
         Ok(f())

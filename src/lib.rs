@@ -231,10 +231,7 @@ mod tests {
 
     #[test]
     fn default_entry_points() {
-        let g = UndirectedGraphBuilder::new(3)
-            .add_edges([(0, 1), (1, 2), (0, 2)])
-            .build()
-            .unwrap();
+        let g = UndirectedGraphBuilder::new(3).add_edges([(0, 1), (1, 2), (0, 2)]).build().unwrap();
         let r = densest_subgraph(&g);
         assert_eq!(r.vertices, vec![0, 1, 2]);
     }

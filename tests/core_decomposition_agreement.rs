@@ -16,9 +16,8 @@ fn undirected_graph() -> impl Strategy<Value = dsd_graph::UndirectedGraph> {
         (2usize..60, 1usize..400, any::<u64>())
             .prop_map(|(n, m, seed)| dsd_graph::gen::erdos_renyi(n, m, seed)),
         // Power-law graphs (the paper's regime).
-        (20usize..120, 2.05f64..3.0, any::<u64>()).prop_map(|(n, gamma, seed)| {
-            dsd_graph::gen::chung_lu(n, n * 5, gamma, seed)
-        }),
+        (20usize..120, 2.05f64..3.0, any::<u64>())
+            .prop_map(|(n, gamma, seed)| { dsd_graph::gen::chung_lu(n, n * 5, gamma, seed) }),
     ]
 }
 

@@ -49,6 +49,60 @@ fn thread_pool_sizes_give_identical_results() {
 }
 
 #[test]
+fn sweep_engine_deterministic_across_pool_sizes() {
+    // The engine's acceptance contract: synchronous sweeps are
+    // bit-identical to the seed collect-per-sweep kernel — same core
+    // numbers AND same iteration counts — at every pool size, for both
+    // the full (faithful Algorithm 1) and frontier schedules; PKMC
+    // through the engine returns identical sweeps and vertex sets; the
+    // async mode reaches the same fixpoint at every pool size (its
+    // iteration count is scheduling-dependent by design).
+    use dsd_core::runner::with_threads;
+    use dsd_core::uds::local::{
+        local_decomposition, local_decomposition_async, local_decomposition_frontier,
+        local_decomposition_legacy,
+    };
+    use dsd_core::uds::pkmc::pkmc;
+
+    let base = dsd_graph::gen::chung_lu(800, 6_000, 2.3, 11);
+    let g = dsd_graph::gen::attach_filaments(&base, 3, 60, 12);
+    let reference = local_decomposition_legacy(&g);
+    let pkmc_reference = pkmc(&g);
+    for &p in &[1usize, 2, 4] {
+        let full = with_threads(p, || local_decomposition(&g));
+        assert_eq!(full.core, reference.core, "pool {p}: core numbers");
+        assert_eq!(full.stats.iterations, reference.stats.iterations, "pool {p}: iteration count");
+        let frontier = with_threads(p, || local_decomposition_frontier(&g));
+        assert_eq!(frontier.core, reference.core, "pool {p}: frontier core");
+        assert_eq!(
+            frontier.stats.iterations, reference.stats.iterations,
+            "pool {p}: frontier iterations"
+        );
+        let asynchronous = with_threads(p, || local_decomposition_async(&g));
+        assert_eq!(asynchronous.core, reference.core, "pool {p}: async fixpoint");
+        let r = with_threads(p, || pkmc(&g));
+        assert_eq!(r.vertices, pkmc_reference.vertices, "pool {p}: pkmc vertices");
+        assert_eq!(r.stats.iterations, pkmc_reference.stats.iterations, "pool {p}: pkmc sweeps");
+    }
+}
+
+#[test]
+fn pkc_deterministic_across_pool_sizes() {
+    // PKC's in-place claim-and-kill rounds depend only on round-start
+    // state, so its results and round counts are pool-size independent.
+    use dsd_core::runner::with_threads;
+    use dsd_core::uds::pkc::pkc_decomposition;
+
+    let g = dsd_graph::gen::chung_lu(700, 4_200, 2.4, 21);
+    let reference = pkc_decomposition(&g);
+    for &p in &[1usize, 2, 4] {
+        let d = with_threads(p, || pkc_decomposition(&g));
+        assert_eq!(d.core, reference.core, "pool {p}");
+        assert_eq!(d.stats.iterations, reference.stats.iterations, "pool {p}");
+    }
+}
+
+#[test]
 fn connected_component_of_core_is_valid_answer() {
     // The paper: the k*-core may have several components, any of which is a
     // 2-approximation. Check the density bound holds for the best one.
@@ -79,9 +133,7 @@ fn cli_gen_stats_and_solve() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("g.txt");
     let out = dsd_bin()
-        .args([
-            "gen", "--model", "chung-lu", "--n", "500", "--m", "3000", "--seed", "7", "--out",
-        ])
+        .args(["gen", "--model", "chung-lu", "--n", "500", "--m", "3000", "--seed", "7", "--out"])
         .arg(&path)
         .output()
         .expect("gen runs");
@@ -128,7 +180,8 @@ fn cli_dds_on_edge_list() {
 
 #[test]
 fn cli_rejects_unknown_algorithm() {
-    let out = dsd_bin().args(["uds", "--input", "/nonexistent", "--algo", "bogus"]).output().unwrap();
+    let out =
+        dsd_bin().args(["uds", "--input", "/nonexistent", "--algo", "bogus"]).output().unwrap();
     assert!(!out.status.success());
 }
 

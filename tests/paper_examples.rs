@@ -118,9 +118,7 @@ fn example_2_first_peel() {
     // Initial weight of (u4, v4) = d+(u4) * d-(v4) = 1 * 3 = 3, the minimum.
     assert_eq!(g.out_degree(3) * g.in_degree(7), 3);
     let d = dsd_core::dds::winduced::w_decomposition(&g);
-    let idx = dsd_core::dds::winduced::edge_endpoints(&g)
-        .position(|e| e == (3, 7))
-        .unwrap();
+    let idx = dsd_core::dds::winduced::edge_endpoints(&g).position(|e| e == (3, 7)).unwrap();
     assert_eq!(d.induce_number[idx], 3);
 }
 
@@ -177,8 +175,7 @@ fn density_generalisation_on_doubled_clique() {
 /// which is a valid answer: two disjoint K4s share k* = 3 and PKMC
 /// returns both; each component alone still satisfies the guarantee.
 #[test]
-fn k_star_core_with_two_components()
-{
+fn k_star_core_with_two_components() {
     let mut b = UndirectedGraphBuilder::new(8);
     for base in [0u32, 4u32] {
         for u in 0..4u32 {

@@ -1,0 +1,88 @@
+//! Property tests for the zero-allocation sweep engine: the synchronous
+//! mode must be bit-identical to the seed collect-per-sweep kernel (core
+//! numbers *and* iteration counts), and the asynchronous (Gauss–Seidel)
+//! mode's fixpoint must equal the BZ ground-truth core numbers on random
+//! and filament-tailed graphs while never needing more sweeps.
+
+use proptest::prelude::*;
+
+use dsd_core::uds::bz::bz_decomposition;
+use dsd_core::uds::local::{
+    local_decomposition, local_decomposition_async, local_decomposition_frontier,
+    local_decomposition_legacy,
+};
+use dsd_core::uds::pkmc::{pkmc, pkmc_with, PkmcConfig};
+use dsd_core::uds::sweep::SweepMode;
+
+/// Random graphs spanning the regimes the engine must handle: uniform,
+/// power-law, and power-law with attached filaments (the paper's slow
+/// Table-6 convergence regime, where sweeps number in the hundreds).
+fn undirected_graph() -> impl Strategy<Value = dsd_graph::UndirectedGraph> {
+    prop_oneof![
+        (2usize..60, 1usize..400, any::<u64>())
+            .prop_map(|(n, m, seed)| dsd_graph::gen::erdos_renyi(n, m, seed)),
+        (20usize..120, 2.05f64..3.0, any::<u64>())
+            .prop_map(|(n, gamma, seed)| { dsd_graph::gen::chung_lu(n, n * 5, gamma, seed) }),
+        (20usize..80, 1usize..4, 5usize..40, any::<u64>()).prop_map(|(n, count, length, seed)| {
+            let base = dsd_graph::gen::chung_lu(n, n * 4, 2.3, seed);
+            dsd_graph::gen::attach_filaments(&base, count, length, seed ^ 0x5eed)
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sync_engine_is_bit_identical_to_legacy_kernel(g in undirected_graph()) {
+        let legacy = local_decomposition_legacy(&g);
+        let engine = local_decomposition(&g);
+        prop_assert_eq!(&engine.core, &legacy.core, "core numbers diverged");
+        prop_assert_eq!(
+            engine.stats.iterations, legacy.stats.iterations,
+            "iteration counts diverged"
+        );
+        let frontier = local_decomposition_frontier(&g);
+        prop_assert_eq!(&frontier.core, &legacy.core, "frontier core diverged");
+        prop_assert_eq!(frontier.stats.iterations, legacy.stats.iterations);
+    }
+
+    #[test]
+    fn async_fixpoint_equals_bz_core_numbers(g in undirected_graph()) {
+        let bz = bz_decomposition(&g);
+        let asynchronous = local_decomposition_async(&g);
+        prop_assert_eq!(&asynchronous.core, &bz.core, "async fixpoint is not the core numbers");
+        // Gauss–Seidel reads fresher values, so it can never need more
+        // sweeps than Jacobi (monotone operator, pointwise-dominated runs).
+        let sync = local_decomposition(&g);
+        prop_assert!(
+            asynchronous.stats.iterations <= sync.stats.iterations,
+            "async needed {} sweeps, sync {}",
+            asynchronous.stats.iterations, sync.stats.iterations
+        );
+    }
+
+    #[test]
+    fn pkmc_async_ablation_stays_correct(g in undirected_graph()) {
+        // The async sweep schedule keeps every PKMC answer certified: the
+        // returned set is still exactly the k*-core.
+        let bz = bz_decomposition(&g);
+        let r = pkmc_with(&g, PkmcConfig { mode: SweepMode::Asynchronous, ..PkmcConfig::new() });
+        prop_assert_eq!(r.k_star, bz.k_star, "k* mismatch under async sweeps");
+        let mut expected = bz.k_star_core();
+        expected.sort_unstable();
+        prop_assert_eq!(r.vertices, expected, "k*-core mismatch under async sweeps");
+    }
+
+    #[test]
+    fn pkmc_engine_iterations_match_seed_semantics(g in undirected_graph()) {
+        // PKMC through the engine must behave like the seed: never more
+        // sweeps than full Local convergence (+1 for the stop check).
+        let local = local_decomposition(&g);
+        let r = pkmc(&g);
+        prop_assert!(
+            r.stats.iterations <= local.stats.iterations + 1,
+            "pkmc {} vs local {}", r.stats.iterations, local.stats.iterations
+        );
+    }
+}
