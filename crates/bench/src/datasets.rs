@@ -152,6 +152,27 @@ pub fn load_directed(abbr: &str) -> DirectedGraph {
     }
 }
 
+/// Directed Chung–Lu benchmark body used by the DDS engine measurements in
+/// `bench_report` (`BENCH_PR2.json`): `n ≈ 4000·scale`, `m ≈ 32000·scale`,
+/// asymmetric exponents (out 2.3 / in 2.1) like the knowledge-graph
+/// stand-ins above. Deterministic for a given `scale`.
+pub fn directed_chung_lu_bench(scale: f64) -> DirectedGraph {
+    let n = (4_000.0 * scale) as usize;
+    let m = (32_000.0 * scale) as usize;
+    gen::chung_lu_directed(n.max(100), m.max(500), 2.3, 2.1, 44)
+}
+
+/// The filament-tailed variant of [`directed_chung_lu_bench`]: four
+/// skip-arc chains of length `≈ 600·√scale` hang off the body, giving the
+/// w-induced cascade an `O(length)` ripple per outer threshold — the
+/// directed analogue of the undirected filament graph the sweep-engine
+/// benchmarks use (`dsd_graph::gen::attach_filaments_directed`).
+pub fn directed_filament_bench(scale: f64) -> DirectedGraph {
+    let base = directed_chung_lu_bench(scale);
+    let len = (600.0 * scale.sqrt()) as usize;
+    gen::attach_filaments_directed(&base, 4, len.max(20), 45)
+}
+
 /// Appends a dense `(S, T)` block on fresh vertex ids: `s_size` sources
 /// each linking to each of `t_size` targets with probability `p`.
 fn plant_block(
@@ -221,6 +242,20 @@ mod tests {
         // Matches the paper's d+max(AM) = 10 << d-max(AM) = 2751 skew.
         let g = load_directed("AM");
         assert!(g.max_out_degree() * 4 < g.max_in_degree());
+    }
+
+    #[test]
+    fn directed_bench_constructors() {
+        let body = directed_chung_lu_bench(0.1);
+        assert!(body.num_vertices() >= 100);
+        assert!(body.num_edges() >= 500);
+        let tailed = directed_filament_bench(0.1);
+        // The filament variant strictly extends the body: 4 tails, each
+        // adding `len` chain arcs plus `len - 1` skip arcs.
+        assert!(tailed.num_vertices() > body.num_vertices());
+        assert!(tailed.num_edges() > body.num_edges());
+        assert_eq!(directed_chung_lu_bench(0.1), directed_chung_lu_bench(0.1));
+        assert_eq!(directed_filament_bench(0.1), directed_filament_bench(0.1));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! The paper's contribution is the w-induced subgraph model
 //! ([`winduced`], Algorithm 3) and [`pwc`] (Algorithm 4), which derives the
 //! `[x*, y*]`-core — a 2-approximate DDS (Lemma 3) — from a single
-//! `w*`-induced subgraph computation. The compared baselines are
+//! `w*`-induced subgraph computation; both run on the edge-frontier
+//! peeling engine of [`peel`]. The compared baselines are
 //! [`pxy`] (cn-pair enumeration), [`pbs`] (Charikar peeling), [`pfks`]
 //! (fixed Khuller–Saha), [`pbd`] (Bahmani batch peeling), and [`pfw`]
 //! (Frank–Wolfe); [`exact`] holds a brute-force oracle.
@@ -11,6 +12,7 @@
 pub mod exact;
 pub mod pbd;
 pub mod pbs;
+pub mod peel;
 pub mod pfks;
 pub mod pfw;
 pub mod pwc;

@@ -1,0 +1,552 @@
+//! The **edge-frontier peeling engine** for the w-induced decomposition —
+//! the DDS twin of the h-index sweep engine (`crate::uds::sweep`).
+//!
+//! The seed kernel in [`crate::dds::winduced`] (kept as
+//! `w_decomposition_legacy`) pays two structural costs per outer peeling
+//! iteration of Algorithm 3:
+//!
+//! 1. a full `min_weight` scan over **all** alive edges to find the next
+//!    threshold `w_t`, and
+//! 2. cascade rounds that re-walk **every** out-edge of **every** active
+//!    vertex, dead or alive, even when a round only removes a handful of
+//!    edges at the tip of a filament.
+//!
+//! Frontier-driven peeling with bucketed thresholds is the standard cure in
+//! the parallel core/nucleus-decomposition literature (Sarıyüce et al.;
+//! Dhulipala-style bucketing as used by Sukprasert et al.), and this module
+//! applies it to the paper's w-induced model:
+//!
+//! * **Edge frontier** — after a cascade round, only edges incident to
+//!   vertices whose `d⁺`/`d⁻` actually changed are re-examined. The
+//!   frontier holds edge *slots* (CSR out-edge order, the canonical edge
+//!   ids of the induce-number vector); in-side incidences are resolved
+//!   through a precomputed `in-position → out-slot` map so both endpoints'
+//!   edges can be enqueued without walking the graph.
+//! * **Lazy chunk-min threshold scheduler** — edge slots are grouped into
+//!   fixed chunks, each carrying a cached lower bound on the minimum alive
+//!   weight inside it. Because the threshold sequence `w_t` is
+//!   non-decreasing and every weight decrease passes through the frontier
+//!   (which re-clamps the touched chunk's bound), the next threshold is
+//!   found by rescanning only the chunks whose cached bound sits at the
+//!   current candidate — consecutive thresholds are served from the same
+//!   cached bounds without touching the other chunks, batching what the
+//!   legacy kernel did with one full `O(m)` scan per outer iteration.
+//! * **Packed liveness bitmaps** — edge liveness and frontier membership
+//!   are single bits in `AtomicU64` words (64× denser than the legacy
+//!   `Vec<AtomicBool>`), and the degree arrays, slot maps, and bitmaps all
+//!   live in a [`PeelWorkspace`] that is reused across calls via
+//!   `w_decomposition_in` / `w_star_decomposition_in`.
+//!
+//! ## Determinism contract
+//!
+//! Within one outer iteration every removed edge records the same
+//! induce-number `w_t`, and the removed *set* is the closure of
+//! "weight < w_t + 1 in the remaining graph", which is schedule-independent
+//! (removals only lower weights, so any racy early removal is an edge the
+//! closure removes anyway). The engine therefore returns **bit-identical
+//! induce-numbers and `w*`** to the legacy kernel at every rayon pool
+//! size — the parity gate of `tests/peel_engine.rs` and `BENCH_PR2.json`.
+//! Inner *round counts* (`stats.iterations`) are schedule-dependent in both
+//! kernels and are not part of the contract.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use dsd_graph::{DirectedGraph, VertexId};
+use rayon::prelude::*;
+
+use crate::dds::winduced::{WDecomposition, WARM_PEELED};
+use crate::stats::{timed, Stats};
+
+/// log2 of the scheduler chunk size: 1024 edge slots per cached bound.
+/// Chunk boundaries are multiples of 64, so chunks own whole bitmap words.
+const CHUNK_BITS: usize = 10;
+
+#[inline]
+pub(crate) fn bit_test(words: &[AtomicU64], i: usize) -> bool {
+    words[i >> 6].load(Ordering::Relaxed) & (1u64 << (i & 63)) != 0
+}
+
+/// Clears bit `i`; returns `true` iff this call flipped it (claim-to-kill).
+#[inline]
+pub(crate) fn claim_clear(words: &[AtomicU64], i: usize) -> bool {
+    let mask = 1u64 << (i & 63);
+    words[i >> 6].fetch_and(!mask, Ordering::Relaxed) & mask != 0
+}
+
+/// Sets bit `i`; returns `true` iff this call flipped it (claim-to-queue).
+#[inline]
+pub(crate) fn claim_set(words: &[AtomicU64], i: usize) -> bool {
+    let mask = 1u64 << (i & 63);
+    words[i >> 6].fetch_or(mask, Ordering::Relaxed) & mask == 0
+}
+
+/// Reusable state for w-induced peeling: packed liveness/frontier bitmaps,
+/// atomic degree arrays, the slot maps, and the chunk-min scheduler —
+/// owned across cascade rounds, outer iterations, and decompositions
+/// ([`bind`](Self::bind) retargets it; buffer capacity is retained).
+#[derive(Debug, Default)]
+pub struct PeelWorkspace {
+    /// Vertices / edges of the bound graph.
+    n: usize,
+    m: usize,
+    /// Source vertex of each edge slot (CSR out-edge order).
+    edge_src: Vec<VertexId>,
+    /// Out-CSR slot of each in-CSR arc position, so a vertex whose
+    /// in-degree changed can enqueue its in-edges without a graph walk.
+    in_slot: Vec<u32>,
+    /// Packed edge-liveness bitmap.
+    alive: Vec<AtomicU64>,
+    /// Packed frontier-membership bitmap (dedups enqueues).
+    queued: Vec<AtomicU64>,
+    /// Packed per-vertex "out-degree changed this round" bitmap.
+    out_changed: Vec<AtomicU64>,
+    /// Packed per-vertex "in-degree changed this round" bitmap.
+    in_changed: Vec<AtomicU64>,
+    out_deg: Vec<AtomicU32>,
+    in_deg: Vec<AtomicU32>,
+    induce: Vec<AtomicU64>,
+    /// Cached lower bound on the minimum alive weight per slot chunk
+    /// (`u64::MAX` once a chunk is known empty).
+    chunk_lb: Vec<AtomicU64>,
+    alive_count: usize,
+    /// Current edge frontier (slots).
+    frontier: Vec<u32>,
+}
+
+impl PeelWorkspace {
+    /// Creates an empty workspace; it binds itself on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Points the workspace at `g`: bitmaps are filled, degrees reset, the
+    /// slot maps rebuilt (in parallel), and the scheduler cleared.
+    fn bind(&mut self, g: &DirectedGraph) {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        assert!(m < u32::MAX as usize, "peel engine indexes edge slots with u32");
+        self.n = n;
+        self.m = m;
+        let offsets = g.out_offsets();
+        // Slot -> source vertex. par_extend preserves item order.
+        self.edge_src.clear();
+        self.edge_src.par_extend(
+            (0..n).into_par_iter().flat_map_iter(|u| {
+                std::iter::repeat(u as VertexId).take(offsets[u + 1] - offsets[u])
+            }),
+        );
+        // In-arc position -> out-slot, via binary search in the (sorted)
+        // out-neighbour list of the arc's source.
+        self.in_slot.clear();
+        self.in_slot.par_extend((0..n).into_par_iter().flat_map_iter(|v| {
+            g.in_neighbors(v as VertexId).iter().map(move |&u| {
+                let pos = g
+                    .out_neighbors(u)
+                    .binary_search(&(v as VertexId))
+                    .expect("in/out CSR arrays mirror each other");
+                (offsets[u as usize] + pos) as u32
+            })
+        }));
+        let edge_words = m.div_ceil(64);
+        self.alive.clear();
+        self.alive.extend((0..edge_words).map(|_| AtomicU64::new(u64::MAX)));
+        if m % 64 != 0 {
+            if let Some(last) = self.alive.last() {
+                // Trailing bits past `m` must stay clear: chunk scans
+                // iterate whole words.
+                last.store(u64::MAX >> (64 - m % 64), Ordering::Relaxed);
+            }
+        }
+        self.queued.clear();
+        self.queued.extend((0..edge_words).map(|_| AtomicU64::new(0)));
+        let vertex_words = n.div_ceil(64);
+        self.out_changed.clear();
+        self.out_changed.extend((0..vertex_words).map(|_| AtomicU64::new(0)));
+        self.in_changed.clear();
+        self.in_changed.extend((0..vertex_words).map(|_| AtomicU64::new(0)));
+        self.out_deg.clear();
+        self.out_deg.extend((0..n).map(|v| AtomicU32::new(g.out_degree(v as VertexId) as u32)));
+        self.in_deg.clear();
+        self.in_deg.extend((0..n).map(|v| AtomicU32::new(g.in_degree(v as VertexId) as u32)));
+        self.induce.clear();
+        self.induce.extend((0..m).map(|_| AtomicU64::new(WARM_PEELED)));
+        self.chunk_lb.clear();
+        self.chunk_lb.extend((0..m.div_ceil(1 << CHUNK_BITS)).map(|_| AtomicU64::new(0)));
+        self.alive_count = m;
+        self.frontier.clear();
+    }
+
+    /// Current weight `d⁺(u)·d⁻(v)` of the edge `(u, v)`.
+    #[inline]
+    fn weight(&self, u: VertexId, v: VertexId) -> u64 {
+        self.out_deg[u as usize].load(Ordering::Relaxed) as u64
+            * self.in_deg[v as usize].load(Ordering::Relaxed) as u64
+    }
+
+    /// Target vertex of the edge in `slot` (the source is `edge_src`).
+    #[inline]
+    fn slot_target(
+        &self,
+        g: &DirectedGraph,
+        offsets: &[usize],
+        slot: usize,
+    ) -> (VertexId, VertexId) {
+        let u = self.edge_src[slot];
+        (u, g.out_neighbors(u)[slot - offsets[u as usize]])
+    }
+
+    /// One full pass over all (still all-alive) edges: computes every
+    /// chunk's exact minimum weight and seeds the frontier with the edges
+    /// whose weight is `< collect_below` (pass 0 to seed nothing). This is
+    /// the only whole-graph scan the engine ever performs.
+    fn prime(&mut self, g: &DirectedGraph, collect_below: u64) {
+        let offsets = g.out_offsets();
+        let m = self.m;
+        let frontier = (0..self.chunk_lb.len())
+            .into_par_iter()
+            .fold(Vec::new, |mut acc, c| {
+                let lo = c << CHUNK_BITS;
+                let hi = ((c + 1) << CHUNK_BITS).min(m);
+                let mut lb = u64::MAX;
+                for slot in lo..hi {
+                    let (u, v) = self.slot_target(g, offsets, slot);
+                    let w = self.weight(u, v);
+                    lb = lb.min(w);
+                    if w < collect_below {
+                        acc.push(slot as u32);
+                    }
+                }
+                self.chunk_lb[c].store(lb, Ordering::Relaxed);
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        self.frontier = frontier;
+    }
+
+    /// Exact minimum alive weight inside chunk `c` (`u64::MAX` if empty),
+    /// iterating only the set bits of the liveness words the chunk owns.
+    fn chunk_min(&self, g: &DirectedGraph, offsets: &[usize], c: usize) -> u64 {
+        let lo = c << CHUNK_BITS;
+        let hi = ((c + 1) << CHUNK_BITS).min(self.m);
+        let mut min = u64::MAX;
+        for wi in (lo >> 6)..hi.div_ceil(64) {
+            let mut bits = self.alive[wi].load(Ordering::Relaxed);
+            while bits != 0 {
+                let slot = (wi << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let (u, v) = self.slot_target(g, offsets, slot);
+                min = min.min(self.weight(u, v));
+            }
+        }
+        min
+    }
+
+    /// Finds the next threshold `w_t` (the minimum alive weight) through
+    /// the lazy scheduler and seeds the frontier with the weight-`w_t`
+    /// edges. Returns `None` when no edge is alive.
+    ///
+    /// Only chunks whose cached bound sits at (or, transiently, below) the
+    /// running candidate are rescanned; a rescan raises the chunk's bound
+    /// to its exact minimum, so stale bounds are repaired exactly once and
+    /// chunks far above the threshold are never touched — across
+    /// *consecutive* thresholds too, which is where the legacy kernel paid
+    /// one full scan each.
+    fn next_threshold(&mut self, g: &DirectedGraph) -> Option<u64> {
+        let offsets = g.out_offsets();
+        let w_t = loop {
+            let candidate = self.chunk_lb.par_iter().map(|x| x.load(Ordering::Relaxed)).min()?;
+            if candidate == u64::MAX {
+                return None;
+            }
+            let exact = (0..self.chunk_lb.len())
+                .into_par_iter()
+                .filter(|&c| self.chunk_lb[c].load(Ordering::Relaxed) == candidate)
+                .map(|c| {
+                    let min = self.chunk_min(g, offsets, c);
+                    self.chunk_lb[c].store(min, Ordering::Relaxed);
+                    min
+                })
+                .min()
+                .unwrap_or(u64::MAX);
+            debug_assert!(exact >= candidate, "cached bound above an alive weight");
+            if exact == candidate {
+                break candidate;
+            }
+            // Every rescanned chunk's bound strictly rose; retry with the
+            // next candidate.
+        };
+        // The w_t-weight edges can only live in chunks whose (now exact)
+        // minimum is w_t.
+        self.frontier = (0..self.chunk_lb.len())
+            .into_par_iter()
+            .filter(|&c| self.chunk_lb[c].load(Ordering::Relaxed) == w_t)
+            .fold(Vec::new, |mut acc, c| {
+                let lo = c << CHUNK_BITS;
+                let hi = ((c + 1) << CHUNK_BITS).min(self.m);
+                for wi in (lo >> 6)..hi.div_ceil(64) {
+                    let mut bits = self.alive[wi].load(Ordering::Relaxed);
+                    while bits != 0 {
+                        let slot = (wi << 6) + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let (u, v) = self.slot_target(g, offsets, slot);
+                        if self.weight(u, v) == w_t {
+                            acc.push(slot as u32);
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+        Some(w_t)
+    }
+
+    /// Removes every alive edge whose weight falls `< bound`, cascading
+    /// through the edge frontier until quiescent; removed edges record
+    /// induce-number `record` (skipped for [`WARM_PEELED`]). The frontier
+    /// must already hold every alive edge with weight `< bound` (from
+    /// [`prime`](Self::prime) or [`next_threshold`](Self::next_threshold)).
+    /// Returns the number of rounds that removed edges.
+    fn cascade(&mut self, g: &DirectedGraph, bound: u64, record: u64) -> usize {
+        let offsets = g.out_offsets();
+        let in_offsets = g.in_offsets();
+        let mut rounds = 0usize;
+        loop {
+            let removed = AtomicUsize::new(0);
+            // Examine pass: claim-and-kill sub-bound edges, collecting the
+            // vertices whose degree changed (deduped by the changed
+            // bitmaps). Surviving re-examined edges re-clamp their chunk's
+            // cached bound, which keeps the scheduler invariant: every
+            // weight decrease is witnessed by the frontier.
+            let (out_list, in_list) = self
+                .frontier
+                .par_iter()
+                .fold(
+                    || (Vec::new(), Vec::new()),
+                    |(mut ol, mut il), &slot32| {
+                        let slot = slot32 as usize;
+                        // Leave the frontier so later rounds can re-enqueue.
+                        claim_clear(&self.queued, slot);
+                        if bit_test(&self.alive, slot) {
+                            let (u, v) = self.slot_target(g, offsets, slot);
+                            let w = self.weight(u, v);
+                            if w < bound {
+                                if claim_clear(&self.alive, slot) {
+                                    if record != WARM_PEELED {
+                                        self.induce[slot].store(record, Ordering::Relaxed);
+                                    }
+                                    self.out_deg[u as usize].fetch_sub(1, Ordering::Relaxed);
+                                    self.in_deg[v as usize].fetch_sub(1, Ordering::Relaxed);
+                                    removed.fetch_add(1, Ordering::Relaxed);
+                                    if claim_set(&self.out_changed, u as usize) {
+                                        ol.push(u);
+                                    }
+                                    if claim_set(&self.in_changed, v as usize) {
+                                        il.push(v);
+                                    }
+                                }
+                            } else {
+                                self.chunk_lb[slot >> CHUNK_BITS].fetch_min(w, Ordering::Relaxed);
+                            }
+                        }
+                        (ol, il)
+                    },
+                )
+                .reduce(
+                    || (Vec::new(), Vec::new()),
+                    |(mut a0, mut a1), (mut b0, mut b1)| {
+                        a0.append(&mut b0);
+                        a1.append(&mut b1);
+                        (a0, a1)
+                    },
+                );
+            let removed = removed.load(Ordering::Relaxed);
+            if removed == 0 {
+                break;
+            }
+            rounds += 1;
+            self.alive_count -= removed;
+            // Next frontier: every alive edge incident to a changed
+            // vertex — out-edges of out-changed sources, in-edges of
+            // in-changed targets (through the in-slot map) — deduped by
+            // the queued bitmap.
+            let next = out_list
+                .par_iter()
+                .map(|&u| (u, true))
+                .chain(in_list.par_iter().map(|&v| (v, false)))
+                .fold(Vec::new, |mut acc, (x, out_side)| {
+                    let xi = x as usize;
+                    if out_side {
+                        for slot in offsets[xi]..offsets[xi + 1] {
+                            if bit_test(&self.alive, slot) && claim_set(&self.queued, slot) {
+                                acc.push(slot as u32);
+                            }
+                        }
+                    } else {
+                        for pos in in_offsets[xi]..in_offsets[xi + 1] {
+                            let slot = self.in_slot[pos] as usize;
+                            if bit_test(&self.alive, slot) && claim_set(&self.queued, slot) {
+                                acc.push(slot as u32);
+                            }
+                        }
+                    }
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            // Reset the changed marks for the next round.
+            out_list.par_iter().for_each(|&u| {
+                claim_clear(&self.out_changed, u as usize);
+            });
+            in_list.par_iter().for_each(|&v| {
+                claim_clear(&self.in_changed, v as usize);
+            });
+            self.frontier = next;
+        }
+        rounds
+    }
+
+    /// Runs the decomposition (Algorithm 3) on `g`. With `warm_start`, all
+    /// edges below `d_max` are peeled first without recording
+    /// induce-numbers (the paper's Remark; `w*` is unaffected).
+    pub fn decompose(&mut self, g: &DirectedGraph, warm_start: bool) -> WDecomposition {
+        let ((induce, w_star, iterations, first, last), wall) = timed(|| {
+            self.bind(g);
+            let mut iterations = 0usize;
+            if warm_start {
+                let d_max = g.max_degree() as u64;
+                self.prime(g, d_max);
+                iterations += self.cascade(g, d_max, WARM_PEELED);
+            } else {
+                self.prime(g, 0);
+            }
+            let mut w_star = 0u64;
+            let mut first: Option<usize> = None;
+            let mut last: Option<usize> = None;
+            while let Some(w_t) = self.next_threshold(g) {
+                if first.is_none() {
+                    first = Some(self.alive_count);
+                }
+                last = Some(self.alive_count);
+                w_star = w_t;
+                iterations += self.cascade(g, w_t + 1, w_t);
+            }
+            let induce: Vec<u64> = self.induce.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+            (induce, w_star, iterations, first, last)
+        });
+        WDecomposition {
+            induce_number: induce,
+            w_star,
+            stats: Stats {
+                iterations,
+                wall,
+                edges_first_iter: first,
+                edges_last_iter: last,
+                ..Stats::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dds::winduced::{
+        edge_endpoints, w_decomposition_legacy, w_star_decomposition_legacy,
+    };
+
+    fn parity(g: &DirectedGraph) {
+        let mut ws = PeelWorkspace::new();
+        let full_legacy = w_decomposition_legacy(g);
+        let full_engine = ws.decompose(g, false);
+        assert_eq!(full_engine.induce_number, full_legacy.induce_number);
+        assert_eq!(full_engine.w_star, full_legacy.w_star);
+        let warm_legacy = w_star_decomposition_legacy(g);
+        let warm_engine = ws.decompose(g, true);
+        assert_eq!(warm_engine.induce_number, warm_legacy.induce_number);
+        assert_eq!(warm_engine.w_star, warm_legacy.w_star);
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_random_graphs() {
+        for seed in 0..8 {
+            parity(&dsd_graph::gen::erdos_renyi_directed(50, 320, seed + 100));
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_power_law_graphs() {
+        for seed in 0..4 {
+            parity(&dsd_graph::gen::chung_lu_directed(250, 1600, 2.5, 2.1, seed + 7));
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_filament_tails() {
+        for seed in 0..4 {
+            let base = dsd_graph::gen::chung_lu_directed(150, 900, 2.4, 2.2, seed + 60);
+            parity(&dsd_graph::gen::attach_filaments_directed(&base, 3, 40, seed + 61));
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_graphs() {
+        let mut ws = PeelWorkspace::new();
+        let small = dsd_graph::gen::erdos_renyi_directed(20, 60, 1);
+        let big = dsd_graph::gen::chung_lu_directed(400, 2600, 2.4, 2.1, 2);
+        for g in [&small, &big, &small] {
+            let engine = ws.decompose(g, false);
+            let legacy = w_decomposition_legacy(g);
+            assert_eq!(engine.induce_number, legacy.induce_number);
+            assert_eq!(engine.w_star, legacy.w_star);
+        }
+    }
+
+    #[test]
+    fn stats_mirror_legacy_semantics() {
+        let g = dsd_graph::gen::chung_lu_directed(300, 2000, 2.3, 2.1, 7);
+        let mut ws = PeelWorkspace::new();
+        let d = ws.decompose(&g, true);
+        let first = d.stats.edges_first_iter.unwrap();
+        let last = d.stats.edges_last_iter.unwrap();
+        assert!(first <= g.num_edges());
+        assert!(last <= first);
+        assert!(d.w_star >= g.max_degree() as u64);
+        assert!(d.stats.iterations > 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let mut ws = PeelWorkspace::new();
+        let empty = dsd_graph::DirectedGraph::empty(3);
+        let d = ws.decompose(&empty, false);
+        assert_eq!(d.w_star, 0);
+        assert!(d.induce_number.is_empty());
+        let single = dsd_graph::DirectedGraphBuilder::new(2).add_edge(0, 1).build().unwrap();
+        let d = ws.decompose(&single, false);
+        assert_eq!(d.w_star, 1);
+        assert_eq!(d.induce_number, vec![1]);
+    }
+
+    #[test]
+    fn induce_vector_order_is_csr_slot_order() {
+        // The engine's slot ids must agree with `edge_endpoints`'s order
+        // (and hence with the legacy kernel's vector layout).
+        let g = dsd_graph::gen::erdos_renyi_directed(30, 150, 77);
+        let mut ws = PeelWorkspace::new();
+        let engine = ws.decompose(&g, false);
+        let legacy = w_decomposition_legacy(&g);
+        for ((e, a), b) in
+            edge_endpoints(&g).zip(engine.induce_number.iter()).zip(legacy.induce_number.iter())
+        {
+            assert_eq!(a, b, "edge {e:?}");
+        }
+    }
+}

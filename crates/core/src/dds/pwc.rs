@@ -39,8 +39,9 @@
 use dsd_graph::{DirectedGraph, VertexId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
+use crate::dds::peel::PeelWorkspace;
 use crate::dds::pxy::max_cn_pair;
-use crate::dds::winduced::{w_star_decomposition, WDecomposition};
+use crate::dds::winduced::{w_star_decomposition_in, WDecomposition};
 use crate::dds::xycore::xy_core;
 use crate::dds::DdsResult;
 use crate::density::st_edges_and_density;
@@ -64,7 +65,13 @@ pub struct PwcResult {
 
 /// Runs PWC (Algorithm 4, with the erratum fallback).
 pub fn pwc(g: &DirectedGraph) -> PwcResult {
-    let (out, wall) = timed(|| run(g));
+    pwc_in(g, &mut PeelWorkspace::new())
+}
+
+/// [`pwc`] with a caller-owned peeling workspace: the Algorithm 3 step
+/// reuses the engine's buffers across calls (batch / repeated queries).
+pub fn pwc_in(g: &DirectedGraph, ws: &mut PeelWorkspace) -> PwcResult {
+    let (out, wall) = timed(|| run(g, ws));
     let (s, t, density, w_star, pair, decomp_stats, edges_result, used_fallback) = out;
     PwcResult {
         result: DdsResult {
@@ -87,12 +94,12 @@ pub fn pwc(g: &DirectedGraph) -> PwcResult {
 
 type RunOut = (Vec<VertexId>, Vec<VertexId>, f64, u64, (u32, u32), Stats, usize, bool);
 
-fn run(g: &DirectedGraph) -> RunOut {
+fn run(g: &DirectedGraph, ws: &mut PeelWorkspace) -> RunOut {
     if g.num_edges() == 0 {
         return (Vec::new(), Vec::new(), 0.0, 0, (0, 0), Stats::default(), 0, false);
     }
     // Step 1: w*-induced subgraph (Algorithm 3 with warm start).
-    let decomp: WDecomposition = w_star_decomposition(g);
+    let decomp: WDecomposition = w_star_decomposition_in(g, ws);
     let w_star = decomp.w_star;
     let star_edges = decomp.w_star_edges(g);
     debug_assert!(!star_edges.is_empty(), "non-empty graph has a w*-subgraph");
@@ -106,10 +113,7 @@ fn run(g: &DirectedGraph) -> RunOut {
     // Candidates from the collapse procedure first, then every other
     // divisor pair of w*. Whenever Theorem 2 holds for the input (all of
     // the paper's graph families), one of these has a non-empty core.
-    let divisor_pairs = (1..=w_star.min(u32::MAX as u64))
-        .filter(|x| w_star % x == 0 && w_star / x <= u32::MAX as u64)
-        .map(|x| (x as u32, (w_star / x) as u32));
-    for (x, y) in candidates.iter().copied().chain(divisor_pairs) {
+    for (x, y) in candidates.iter().copied().chain(divisor_pairs(w_star)) {
         if let Some(core) = xy_core(&sub, x, y) {
             let s: Vec<VertexId> = core.s.iter().map(|&v| original[v as usize]).collect();
             let t: Vec<VertexId> = core.t.iter().map(|&v| original[v as usize]).collect();
@@ -124,6 +128,31 @@ fn run(g: &DirectedGraph) -> RunOut {
     let core = xy_core(g, x, y).expect("max cn-pair has a non-empty core");
     let (edges, density) = st_edges_and_density(g, &core.s, &core.t);
     (core.s, core.t, density, w_star, (x, y), decomp.stats, edges, true)
+}
+
+/// Every divisor pair `(d, w/d)` of `w` with both factors representable as
+/// `u32`, ascending in the first component — the same sequence the seed
+/// produced by testing every value in `1..=w*` (up to ~4.3e9 trial
+/// divisions for large `w*`), found here by trial division up to `√w*`
+/// with both orientations emitted per hit. `w = 0` yields no pairs.
+fn divisor_pairs(w: u64) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    let mut d = 1u64;
+    // `d <= w / d` avoids the `d * d` overflow near `w ≈ u64::MAX`.
+    while d <= w / d {
+        if w % d == 0 {
+            let q = w / d;
+            if q <= u32::MAX as u64 {
+                pairs.push((d as u32, q as u32));
+                if q != d {
+                    pairs.push((q as u32, d as u32));
+                }
+            }
+        }
+        d += 1;
+    }
+    pairs.sort_unstable();
+    pairs
 }
 
 /// Builds a compact directed graph from an edge list over original ids;
@@ -444,6 +473,54 @@ mod tests {
         let r = pwc(&g);
         assert_eq!(r.result.density, 0.0);
         assert_eq!(r.w_star, 0);
+    }
+
+    #[test]
+    fn divisor_pairs_match_exhaustive_enumeration() {
+        // The seed's O(w*) filter is the specification; the sqrt
+        // enumeration must reproduce it exactly, order included.
+        for w in (0u64..=240).chain([997, 1024, 30030]) {
+            let exhaustive: Vec<(u32, u32)> =
+                (1..=w).filter(|x| w % x == 0).map(|x| (x as u32, (w / x) as u32)).collect();
+            assert_eq!(divisor_pairs(w), exhaustive, "w = {w}");
+        }
+    }
+
+    #[test]
+    fn divisor_pairs_large_prime_is_cheap_and_tiny() {
+        // 4_294_967_291 is prime (the largest below 2^32). The seed would
+        // have trial-divided ~4.3e9 candidates; the sqrt enumeration does
+        // ~65k and must find exactly the trivial factorisations.
+        let p: u64 = 4_294_967_291;
+        assert_eq!(divisor_pairs(p), vec![(1, p as u32), (p as u32, 1)]);
+    }
+
+    #[test]
+    fn divisor_pairs_drop_factors_beyond_u32() {
+        // 2^33 = 2 * 2^32: the pair (1, 2^33) has an unrepresentable
+        // second component and must be dropped, while (2^33, 1) has an
+        // unrepresentable first component and must be dropped too.
+        let w = 1u64 << 33;
+        let pairs = divisor_pairs(w);
+        assert!(pairs.iter().all(|&(x, y)| x as u64 * y as u64 == w));
+        assert!(!pairs.iter().any(|&(x, _)| x == 1));
+        assert!(!pairs.iter().any(|&(_, y)| y == 1));
+        // A perfect square emits its (√w, √w) pair exactly once.
+        assert_eq!(divisor_pairs(49), vec![(1, 49), (7, 7), (49, 1)]);
+    }
+
+    #[test]
+    fn workspace_variant_matches() {
+        let mut ws = PeelWorkspace::new();
+        for seed in 0..4 {
+            let g = dsd_graph::gen::erdos_renyi_directed(60, 400, seed + 321);
+            let a = pwc(&g);
+            let b = pwc_in(&g, &mut ws);
+            assert_eq!(a.result.s, b.result.s, "seed {seed}");
+            assert_eq!(a.result.t, b.result.t, "seed {seed}");
+            assert_eq!(a.cn_pair, b.cn_pair, "seed {seed}");
+            assert_eq!(a.w_star, b.w_star, "seed {seed}");
+        }
     }
 
     #[test]

@@ -19,12 +19,18 @@
 //! The paper's Remark observes `w* ≥ d_max`, so when only the `w*`-induced
 //! subgraph is needed (PWC), all edges with weight < `d_max` can be peeled
 //! in a single warm-start cascade without computing their induce-numbers.
+//!
+//! Since PR 2 the public entry points run on the edge-frontier peeling
+//! engine of [`crate::dds::peel`]; the seed kernel survives as
+//! [`w_decomposition_legacy`] / [`w_star_decomposition_legacy`] for the
+//! ablation and as an independent parity oracle.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use dsd_graph::{DirectedGraph, VertexId};
 use rayon::prelude::*;
 
+use crate::dds::peel::PeelWorkspace;
 use crate::stats::{timed, Stats};
 
 /// Sentinel induce-number for edges peeled by the warm start (their true
@@ -59,28 +65,55 @@ impl WDecomposition {
 }
 
 /// Iterator over edges in CSR out-edge order (the order of
-/// `WDecomposition::induce_number`).
+/// `WDecomposition::induce_number`): slot `i` of `g.out_offsets()` order.
 pub fn edge_endpoints(g: &DirectedGraph) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-    g.vertices().flat_map(move |u| g.out_neighbors(u).iter().map(move |&v| (u, v)))
+    let offsets = g.out_offsets();
+    offsets.windows(2).enumerate().flat_map(move |(u, w)| {
+        debug_assert_eq!(w[1] - w[0], g.out_degree(u as VertexId));
+        g.out_neighbors(u as VertexId).iter().map(move |&v| (u as VertexId, v))
+    })
 }
 
 /// Runs the full w-induced decomposition (exact induce-numbers for every
-/// edge; no warm start).
+/// edge; no warm start) on the edge-frontier peeling engine.
 pub fn w_decomposition(g: &DirectedGraph) -> WDecomposition {
-    decompose(g, false)
+    w_decomposition_in(g, &mut PeelWorkspace::new())
+}
+
+/// [`w_decomposition`] with a caller-owned workspace, so repeated calls
+/// reuse the engine's bitmaps, degree arrays, and frontier buffers.
+pub fn w_decomposition_in(g: &DirectedGraph, ws: &mut PeelWorkspace) -> WDecomposition {
+    ws.decompose(g, false)
 }
 
 /// Runs the decomposition with the `d_max` warm start (the paper's
 /// Remark): edges with weight < `d_max` are peeled without induce-numbers.
 /// `w*` and the `w*`-induced subgraph are identical to the full run.
 pub fn w_star_decomposition(g: &DirectedGraph) -> WDecomposition {
-    decompose(g, true)
+    w_star_decomposition_in(g, &mut PeelWorkspace::new())
+}
+
+/// [`w_star_decomposition`] with a caller-owned workspace.
+pub fn w_star_decomposition_in(g: &DirectedGraph, ws: &mut PeelWorkspace) -> WDecomposition {
+    ws.decompose(g, true)
+}
+
+/// The seed kernel (full `min_weight` scan per outer iteration, all-edge
+/// cascade rounds, per-edge `AtomicBool` liveness), kept as the ablation
+/// baseline and parity oracle for the engine. Induce-numbers and `w*` are
+/// bit-identical to [`w_decomposition`]; only `stats` may differ.
+pub fn w_decomposition_legacy(g: &DirectedGraph) -> WDecomposition {
+    decompose_legacy(g, false)
+}
+
+/// Legacy counterpart of [`w_star_decomposition`] (see
+/// [`w_decomposition_legacy`]).
+pub fn w_star_decomposition_legacy(g: &DirectedGraph) -> WDecomposition {
+    decompose_legacy(g, true)
 }
 
 struct Engine<'a> {
     g: &'a DirectedGraph,
-    /// Position of each vertex's out-edge range in the flat edge arrays.
-    edge_base: Vec<usize>,
     alive: Vec<AtomicBool>,
     out_deg: Vec<AtomicU32>,
     in_deg: Vec<AtomicU32>,
@@ -90,17 +123,9 @@ struct Engine<'a> {
 
 impl<'a> Engine<'a> {
     fn new(g: &'a DirectedGraph) -> Self {
-        let n = g.num_vertices();
         let m = g.num_edges();
-        let mut edge_base = Vec::with_capacity(n);
-        let mut acc = 0usize;
-        for v in 0..n as VertexId {
-            edge_base.push(acc);
-            acc += g.out_degree(v);
-        }
         Self {
             g,
-            edge_base,
             alive: (0..m).map(|_| AtomicBool::new(true)).collect(),
             out_deg: g.out_degrees().into_iter().map(AtomicU32::new).collect(),
             in_deg: g.in_degrees().into_iter().map(AtomicU32::new).collect(),
@@ -120,7 +145,8 @@ impl<'a> Engine<'a> {
         active
             .par_iter()
             .filter_map(|&u| {
-                let base = self.edge_base[u as usize];
+                // The out-CSR offset of `u` is the base slot of its edges.
+                let base = self.g.out_offsets()[u as usize];
                 self.g
                     .out_neighbors(u)
                     .iter()
@@ -152,7 +178,7 @@ impl<'a> Engine<'a> {
         loop {
             let removed = AtomicUsize::new(0);
             active.par_iter().for_each(|&u| {
-                let base = self.edge_base[u as usize];
+                let base = self.g.out_offsets()[u as usize];
                 for (i, &v) in self.g.out_neighbors(u).iter().enumerate() {
                     let slot = base + i;
                     if !self.alive[slot].load(Ordering::Relaxed) {
@@ -193,7 +219,7 @@ impl<'a> Engine<'a> {
     }
 }
 
-fn decompose(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
+fn decompose_legacy(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
     let ((induce, w_star, iterations, first, last), wall) = timed(|| {
         let engine = Engine::new(g);
         let mut active: Vec<VertexId> = g.vertices().filter(|&v| g.out_degree(v) > 0).collect();

@@ -5,9 +5,20 @@
 //! `T`-vertex has in-degree ≥ `y` (counting only edges from `S`). A vertex
 //! may belong to both sides. Computed by cascading removals, exactly like
 //! `k`-core peeling with two interleaved constraints.
+//!
+//! [`xy_core`] peels in parallel with the same vertex-frontier pattern as
+//! the w-induced peeling engine (`crate::dds::peel`): each round removes
+//! the current violating set and collects the vertices whose constraint
+//! newly broke; the `[x, y]`-core is unique (the closure of forced
+//! removals is schedule-independent), so the result is deterministic at
+//! any rayon pool size and identical to [`xy_core_serial`].
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use dsd_graph::{DirectedGraph, VertexId};
+use rayon::prelude::*;
 
+use crate::dds::peel::{bit_test, claim_clear};
 use crate::uds::bucket::BucketQueue;
 
 /// The two (possibly overlapping) vertex sets of an `[x, y]`-core.
@@ -21,11 +32,76 @@ pub struct XyCore {
 
 /// Computes the `[x, y]`-core of `g`, or `None` if it is empty.
 ///
+/// Parallel frontier peeling: the frontier holds `(vertex, side)` removals;
+/// a round claims each (side-membership bitmaps dedup racy claims),
+/// decrements the opposite-side degrees atomically, and enqueues a
+/// neighbour exactly when its degree crosses its constraint (the
+/// `fetch_sub` that observed the old value `== x` / `== y` wins the
+/// enqueue, so no vertex enters a frontier twice per crossing).
+///
 /// # Panics
 ///
 /// Panics if `x` or `y` is zero (cores are defined for positive
 /// constraints).
 pub fn xy_core(g: &DirectedGraph, x: u32, y: u32) -> Option<XyCore> {
+    assert!(x >= 1 && y >= 1, "core constraints must be positive");
+    let n = g.num_vertices();
+    let out_deg: Vec<AtomicU32> = g.out_degrees().into_iter().map(AtomicU32::new).collect();
+    let in_deg: Vec<AtomicU32> = g.in_degrees().into_iter().map(AtomicU32::new).collect();
+    let words = n.div_ceil(64);
+    let in_s: Vec<AtomicU64> = (0..words).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let in_t: Vec<AtomicU64> = (0..words).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let mut frontier: Vec<(VertexId, bool)> = (0..n)
+        .flat_map(|v| {
+            let below_x = (out_deg[v].load(Ordering::Relaxed) < x).then_some((v as VertexId, true));
+            let below_y = (in_deg[v].load(Ordering::Relaxed) < y).then_some((v as VertexId, false));
+            below_x.into_iter().chain(below_y)
+        })
+        .collect();
+    while !frontier.is_empty() {
+        frontier = frontier
+            .par_iter()
+            .fold(Vec::new, |mut acc, &(v, source_side)| {
+                let vi = v as usize;
+                if source_side {
+                    if claim_clear(&in_s, vi) {
+                        for &u in g.out_neighbors(v) {
+                            let ui = u as usize;
+                            if bit_test(&in_t, ui)
+                                && in_deg[ui].fetch_sub(1, Ordering::Relaxed) == y
+                            {
+                                acc.push((u, false));
+                            }
+                        }
+                    }
+                } else if claim_clear(&in_t, vi) {
+                    for &u in g.in_neighbors(v) {
+                        let ui = u as usize;
+                        if bit_test(&in_s, ui) && out_deg[ui].fetch_sub(1, Ordering::Relaxed) == x {
+                            acc.push((u, true));
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            });
+    }
+    let s: Vec<VertexId> = (0..n as VertexId).filter(|&v| bit_test(&in_s, v as usize)).collect();
+    let t: Vec<VertexId> = (0..n as VertexId).filter(|&v| bit_test(&in_t, v as usize)).collect();
+    if s.is_empty() || t.is_empty() {
+        None
+    } else {
+        Some(XyCore { s, t })
+    }
+}
+
+/// The seed's serial work-queue `[x, y]`-core peeling, kept as the parity
+/// reference for [`xy_core`] (the core is unique, so both must agree
+/// exactly).
+pub fn xy_core_serial(g: &DirectedGraph, x: u32, y: u32) -> Option<XyCore> {
     assert!(x >= 1 && y >= 1, "core constraints must be positive");
     let n = g.num_vertices();
     let mut out_deg = g.out_degrees();
@@ -260,6 +336,20 @@ mod tests {
                 }
             }
             assert_eq!(fast, reference, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn parallel_core_matches_serial_reference() {
+        for seed in 0..6 {
+            let g = dsd_graph::gen::erdos_renyi_directed(70, 500, seed + 1300);
+            for (x, y) in [(1, 1), (2, 3), (3, 2), (4, 4), (7, 1)] {
+                assert_eq!(
+                    xy_core(&g, x, y),
+                    xy_core_serial(&g, x, y),
+                    "seed {seed}, x {x}, y {y}"
+                );
+            }
         }
     }
 

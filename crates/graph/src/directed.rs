@@ -75,6 +75,22 @@ impl DirectedGraph {
         &self.out_adj[self.out_offsets[v]..self.out_offsets[v + 1]]
     }
 
+    /// The out-CSR offset array: vertex `v` owns the edge slots
+    /// `out_offsets()[v]..out_offsets()[v + 1]` (length `n + 1`, last entry
+    /// is `m`). Slot indices in this flat order are the canonical edge ids
+    /// used by the w-induced decomposition's induce-number vector.
+    #[inline]
+    pub fn out_offsets(&self) -> &[usize] {
+        &self.out_offsets
+    }
+
+    /// The in-CSR offset array: vertex `v` owns the in-arc positions
+    /// `in_offsets()[v]..in_offsets()[v + 1]` into its in-neighbour list.
+    #[inline]
+    pub fn in_offsets(&self) -> &[usize] {
+        &self.in_offsets
+    }
+
     /// Sorted in-neighbours `N⁻(v)`.
     #[inline]
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
@@ -182,6 +198,21 @@ mod tests {
         let g = sample();
         assert_eq!(g.out_neighbors(0), &[1, 2]);
         assert_eq!(g.in_neighbors(2), &[0, 1]);
+    }
+
+    #[test]
+    fn offset_slices_describe_the_csr() {
+        let g = sample();
+        let out = g.out_offsets();
+        let inn = g.in_offsets();
+        assert_eq!(out.len(), g.num_vertices() + 1);
+        assert_eq!(inn.len(), g.num_vertices() + 1);
+        assert_eq!(*out.last().unwrap(), g.num_edges());
+        assert_eq!(*inn.last().unwrap(), g.num_edges());
+        for v in 0..g.num_vertices() {
+            assert_eq!(out[v + 1] - out[v], g.out_degree(v as VertexId));
+            assert_eq!(inn[v + 1] - inn[v], g.in_degree(v as VertexId));
+        }
     }
 
     #[test]

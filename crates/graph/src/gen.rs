@@ -289,6 +289,54 @@ pub fn attach_filaments(
     b.build().expect("ids in range by construction")
 }
 
+/// Appends `count` *directed* filaments of `length` fresh vertices to `g`,
+/// each anchored at a random existing vertex: a forward chain
+/// `c₀ → c₁ → …` doubled with skip arcs `cᵢ → cᵢ₊₂`.
+///
+/// The skip arcs are what make the tail interesting for the w-induced
+/// decomposition (Algorithm 3): interior chain vertices have
+/// `d⁺ = d⁻ = 2`, so interior edge weights sit at 4 while the last plain
+/// chain edge has weight 2. Peeling at threshold 2 then ripples back along
+/// the chain one or two edges per cascade round — removing the tail edge
+/// drops its predecessor's out-degree, whose edges fall to weight 2, and
+/// so on — giving `O(length)` inner rounds, the directed analogue of the
+/// undirected [`attach_filaments`] convergence tails (paper Table 6 / 7
+/// regime). A plain directed path would instead peel in one round (all its
+/// edges already sit at the minimum weight simultaneously).
+pub fn attach_filaments_directed(
+    g: &DirectedGraph,
+    count: usize,
+    length: usize,
+    seed: u64,
+) -> DirectedGraph {
+    if count == 0 || length == 0 || g.num_vertices() == 0 {
+        return g.clone();
+    }
+    let n = g.num_vertices();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = n + count * length;
+    let mut b = DirectedGraphBuilder::with_capacity(total, g.num_edges() + 2 * count * length);
+    for (u, v) in g.edges() {
+        b.push_edge(u, v);
+    }
+    let mut next = n as VertexId;
+    for _ in 0..count {
+        let anchor = rng.gen_range(0..n) as VertexId;
+        let mut prev2 = anchor;
+        let mut prev = anchor;
+        for i in 0..length {
+            b.push_edge(prev, next);
+            if i > 0 {
+                b.push_edge(prev2, next); // skip arc
+            }
+            prev2 = prev;
+            prev = next;
+            next += 1;
+        }
+    }
+    b.build().expect("ids in range by construction")
+}
+
 /// Appends `count` *braid* filaments of `length` segments to `g`.
 ///
 /// A braid is a chain of overlapping K4s: segment `i` contributes vertices
@@ -491,6 +539,25 @@ mod tests {
         let tip_count = (50..80).filter(|&v| f.degree(v as u32) == 1).count();
         assert_eq!(tip_count, 3);
         // Original subgraph is untouched.
+        for (u, v) in g.edges() {
+            assert!(f.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn attach_filaments_directed_structure() {
+        let g = erdos_renyi_directed(50, 200, 1);
+        let f = attach_filaments_directed(&g, 3, 10, 2);
+        assert_eq!(f.num_vertices(), 50 + 30);
+        // Each filament: `length` chain arcs + `length - 1` skip arcs.
+        assert_eq!(f.num_edges(), g.num_edges() + 3 * (10 + 9));
+        // Interior filament vertices have out-degree 2 and in-degree 2; the
+        // final vertex of each filament has out-degree 0 and in-degree 2.
+        let tails = (50..80).filter(|&v| f.out_degree(v as u32) == 0).count();
+        assert_eq!(tails, 3);
+        let interior =
+            (50..80).filter(|&v| f.out_degree(v as u32) == 2 && f.in_degree(v as u32) == 2).count();
+        assert!(interior >= 3 * 6, "filament interiors should be doubled chains");
         for (u, v) in g.edges() {
             assert!(f.has_edge(u, v));
         }

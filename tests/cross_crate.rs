@@ -87,6 +87,56 @@ fn sweep_engine_deterministic_across_pool_sizes() {
 }
 
 #[test]
+fn w_star_decomposition_deterministic_across_pool_sizes() {
+    // The DDS peeling engine's acceptance contract: induce-numbers, w*,
+    // and the w*-subgraph are bit-identical to the legacy Algorithm 3
+    // kernel at every pool size, for both the full and the warm-started
+    // decomposition. Inner round counts are schedule-dependent in both
+    // kernels and are not part of the contract.
+    use dsd_core::dds::peel::PeelWorkspace;
+    use dsd_core::dds::winduced::{
+        w_decomposition_in, w_decomposition_legacy, w_star_decomposition_in,
+        w_star_decomposition_legacy,
+    };
+    use dsd_core::runner::with_threads;
+
+    let base = dsd_graph::gen::chung_lu_directed(400, 3_200, 2.3, 2.1, 13);
+    let g = dsd_graph::gen::attach_filaments_directed(&base, 3, 80, 14);
+    let full_reference = w_decomposition_legacy(&g);
+    let warm_reference = w_star_decomposition_legacy(&g);
+    for &p in &[1usize, 2, 4] {
+        let full = with_threads(p, || w_decomposition_in(&g, &mut PeelWorkspace::new()));
+        assert_eq!(full.induce_number, full_reference.induce_number, "pool {p}: induce-numbers");
+        assert_eq!(full.w_star, full_reference.w_star, "pool {p}: w*");
+        assert_eq!(full.w_star_edges(&g), full_reference.w_star_edges(&g), "pool {p}: w* edges");
+        let warm = with_threads(p, || w_star_decomposition_in(&g, &mut PeelWorkspace::new()));
+        assert_eq!(warm.induce_number, warm_reference.induce_number, "pool {p}: warm induce");
+        assert_eq!(warm.w_star, warm_reference.w_star, "pool {p}: warm w*");
+        assert_eq!(warm.w_star_edges(&g), warm_reference.w_star_edges(&g), "pool {p}: warm edges");
+    }
+}
+
+#[test]
+fn pwc_deterministic_across_pool_sizes() {
+    // PWC end-to-end (engine-backed Algorithm 3, collapse testing, and the
+    // parallel [x, y]-core extraction) must return the identical answer at
+    // every pool size.
+    use dsd_core::dds::pwc::pwc;
+    use dsd_core::runner::with_threads;
+
+    let g = dsd_graph::gen::chung_lu_directed(500, 4_000, 2.4, 2.1, 77);
+    let reference = pwc(&g);
+    for &p in &[1usize, 2, 4] {
+        let r = with_threads(p, || pwc(&g));
+        assert_eq!(r.result.s, reference.result.s, "pool {p}: S side");
+        assert_eq!(r.result.t, reference.result.t, "pool {p}: T side");
+        assert_eq!(r.cn_pair, reference.cn_pair, "pool {p}: cn-pair");
+        assert_eq!(r.w_star, reference.w_star, "pool {p}: w*");
+        assert_eq!(r.used_fallback, reference.used_fallback, "pool {p}: fallback flag");
+    }
+}
+
+#[test]
 fn pkc_deterministic_across_pool_sizes() {
     // PKC's in-place claim-and-kill rounds depend only on round-start
     // state, so its results and round counts are pool-size independent.

@@ -1,0 +1,105 @@
+//! Property tests for the DDS edge-frontier peeling engine: induce-numbers
+//! and `w*` must be bit-identical to the legacy Algorithm 3 kernel and to
+//! a textbook serial single-edge peeling on random, power-law, and
+//! filament-tailed directed graphs, with or without the `d_max` warm
+//! start. Inner round counts are schedule-dependent in both kernels and
+//! are deliberately NOT compared (see `dds::peel`'s determinism contract).
+
+use proptest::prelude::*;
+
+use dsd_core::dds::peel::PeelWorkspace;
+use dsd_core::dds::winduced::{
+    edge_endpoints, w_decomposition, w_decomposition_legacy, w_star_decomposition,
+    w_star_decomposition_legacy,
+};
+use dsd_graph::DirectedGraph;
+
+/// Directed graphs spanning the regimes the engine must handle: uniform,
+/// power-law with asymmetric exponents, and power-law with skip-arc
+/// filament tails (the long-cascade regime the frontier exists for).
+fn directed_graph() -> impl Strategy<Value = DirectedGraph> {
+    prop_oneof![
+        (2usize..60, 1usize..400, any::<u64>())
+            .prop_map(|(n, m, seed)| dsd_graph::gen::erdos_renyi_directed(n, m, seed)),
+        (20usize..120, 2.05f64..3.0, 2.05f64..3.0, any::<u64>()).prop_map(
+            |(n, gout, gin, seed)| dsd_graph::gen::chung_lu_directed(n, n * 5, gout, gin, seed)
+        ),
+        (20usize..80, 1usize..4, 5usize..40, any::<u64>()).prop_map(|(n, count, length, seed)| {
+            let base = dsd_graph::gen::chung_lu_directed(n, n * 4, 2.3, 2.2, seed);
+            dsd_graph::gen::attach_filaments_directed(&base, count, length, seed ^ 0x5eed)
+        }),
+    ]
+}
+
+/// Textbook serial peeling: repeatedly remove a single minimum-weight edge
+/// (independent of both parallel kernels; the ground-truth oracle).
+fn serial_reference(g: &DirectedGraph) -> (Vec<u64>, u64) {
+    let endpoints: Vec<(u32, u32)> = edge_endpoints(g).collect();
+    let m = endpoints.len();
+    let mut alive = vec![true; m];
+    let mut outd: Vec<u64> = g.out_degrees().iter().map(|&d| d as u64).collect();
+    let mut ind: Vec<u64> = g.in_degrees().iter().map(|&d| d as u64).collect();
+    let mut induce = vec![0u64; m];
+    let mut remaining = m;
+    let mut current = 0u64;
+    while remaining > 0 {
+        let (ei, w) = endpoints
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| alive[i])
+            .map(|(i, &(u, v))| (i, outd[u as usize] * ind[v as usize]))
+            .min_by_key(|&(_, w)| w)
+            .unwrap();
+        current = current.max(w);
+        induce[ei] = current;
+        alive[ei] = false;
+        let (u, v) = endpoints[ei];
+        outd[u as usize] -= 1;
+        ind[v as usize] -= 1;
+        remaining -= 1;
+    }
+    (induce, current)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_is_bit_identical_to_legacy_kernel(g in directed_graph()) {
+        let legacy = w_decomposition_legacy(&g);
+        let engine = w_decomposition(&g);
+        prop_assert_eq!(&engine.induce_number, &legacy.induce_number, "induce-numbers diverged");
+        prop_assert_eq!(engine.w_star, legacy.w_star, "w* diverged");
+        prop_assert_eq!(engine.w_star_edges(&g), legacy.w_star_edges(&g), "w*-subgraph diverged");
+    }
+
+    #[test]
+    fn engine_matches_serial_single_edge_peeling(g in directed_graph()) {
+        let (induce, w_star) = serial_reference(&g);
+        let engine = w_decomposition(&g);
+        prop_assert_eq!(&engine.induce_number, &induce, "induce-numbers diverged from oracle");
+        prop_assert_eq!(engine.w_star, w_star, "w* diverged from oracle");
+    }
+
+    #[test]
+    fn warm_start_engine_matches_legacy_warm_start(g in directed_graph()) {
+        let legacy = w_star_decomposition_legacy(&g);
+        let engine = w_star_decomposition(&g);
+        prop_assert_eq!(&engine.induce_number, &legacy.induce_number, "warm induce diverged");
+        prop_assert_eq!(engine.w_star, legacy.w_star, "warm w* diverged");
+        prop_assert_eq!(engine.w_star_edges(&g), legacy.w_star_edges(&g));
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_leak_state(g in directed_graph()) {
+        // A workspace that just decomposed a different graph must give the
+        // same answers as a fresh one.
+        let mut ws = PeelWorkspace::new();
+        let other = dsd_graph::gen::erdos_renyi_directed(30, 120, 0xDECAF);
+        ws.decompose(&other, true);
+        let reused = ws.decompose(&g, false);
+        let fresh = w_decomposition(&g);
+        prop_assert_eq!(&reused.induce_number, &fresh.induce_number, "stale workspace state");
+        prop_assert_eq!(reused.w_star, fresh.w_star);
+    }
+}
