@@ -13,15 +13,23 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p dsd-bench --bin bench_report [-- --smoke] [-- --out BENCH_PR2.json]
+//! cargo run --release -p dsd-bench --bin bench_report \
+//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR3.json]
 //! ```
 //!
-//! The default output path is `BENCH_PR2.json` in the current directory
+//! The default output path is `BENCH_PR3.json` in the current directory
 //! (run from the repo root to refresh the committed baseline). Scale the
 //! workload with `DSD_BENCH_SCALE` (default 1.0; CI can lower it).
 //! `--smoke` is the CI fast mode: tiny graphs, one rep, output defaulting
 //! to `BENCH_SMOKE.json` — it exists so the binary and its JSON schema
 //! cannot bit-rot (the emitted JSON is re-parsed before exit either way).
+//!
+//! `--trace` additionally turns the telemetry recorder on for one extra
+//! (untimed) UDS sweep run and one DDS peel run and embeds their
+//! per-round [`dsd_telemetry::DecompositionTrace`]s as a `telemetry`
+//! section; all timed measurements run with the recorder off, so the
+//! timings are the disabled-path numbers either way. Render the section
+//! with the `trace_report` binary.
 
 use std::time::{Duration, Instant};
 
@@ -123,6 +131,11 @@ struct Report {
     dds: DdsSection,
     /// End-to-end contributed algorithms.
     end_to_end: Vec<Timing>,
+    /// Per-round decomposition traces (`--trace` only): a
+    /// `dsd-telemetry-section/v1` object whose `traces` array holds one
+    /// `dsd-trace/v1` document per traced run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    telemetry: Option<serde_json::Value>,
     threads: usize,
     notes: String,
 }
@@ -169,9 +182,51 @@ fn filament_graph(scale: f64) -> UndirectedGraph {
     dsd_graph::gen::attach_filaments(&base, 4, len.max(20), 43)
 }
 
+/// Runs one traced UDS sweep decomposition and one traced DDS peel
+/// decomposition and returns the `telemetry` report section. The recorder
+/// is enabled only inside this function; traced runs go through
+/// [`with_threads`] so each trace is labelled with its pool size.
+fn collect_traces(
+    g: &UndirectedGraph,
+    d: &dsd_graph::DirectedGraph,
+    threads: usize,
+) -> serde_json::Value {
+    use dsd_telemetry as tel;
+    tel::set_enabled(true);
+
+    tel::begin_trace("uds_local_engine_sync/filament_chung_lu");
+    let uds = with_threads(threads, || local_decomposition_in(g, &mut SweepWorkspace::new()));
+    let uds_trace = tel::end_trace().expect("recorder is enabled");
+
+    tel::begin_trace("dds_w_star_engine/directed_chung_lu");
+    let dds = with_threads(threads, || w_star_decomposition_in(d, &mut PeelWorkspace::new()));
+    let dds_trace = tel::end_trace().expect("recorder is enabled");
+    tel::set_enabled(false);
+
+    // Acceptance contract: the traces carry per-round samples, and the DDS
+    // trace's final outer round saw exactly `Stats::edges_last_iter` alive
+    // edges.
+    assert!(
+        !uds_trace.rounds.is_empty() && uds_trace.rounds.len() > uds.stats.iterations,
+        "UDS trace must record every sweep including the final fixpoint check"
+    );
+    let final_alive = dds_trace.rounds.last().and_then(|r| r.alive_edges);
+    assert_eq!(
+        final_alive, dds.stats.edges_last_iter,
+        "DDS trace final-round alive_edges must match Stats::edges_last_iter"
+    );
+
+    let traces: Vec<serde_json::Value> = [&uds_trace, &dds_trace]
+        .iter()
+        .map(|t| serde_json::from_str(&t.to_json()).expect("telemetry trace JSON parses"))
+        .collect();
+    serde_json::json!({ "schema": "dsd-telemetry-section/v1", "traces": traces })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let trace = args.iter().any(|a| a == "--trace");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -181,7 +236,7 @@ fn main() {
             if smoke {
                 "BENCH_SMOKE.json".to_string()
             } else {
-                "BENCH_PR2.json".to_string()
+                "BENCH_PR3.json".to_string()
             }
         });
     let scale: f64 = if smoke {
@@ -316,9 +371,12 @@ fn main() {
         || dsd_core::dds::pwc::pwc(&d),
     );
 
+    // --- Per-round traces (recorder on only for these extra runs). ---
+    let telemetry = trace.then(|| collect_traces(&g, &d, rayon::current_num_threads()));
+
     let report = Report {
-        schema: "dsd-bench-report/v2",
-        pr: 2,
+        schema: "dsd-bench-report/v3",
+        pr: 3,
         graphs: vec![
             GraphMeta {
                 name: "filament_chung_lu",
@@ -345,6 +403,7 @@ fn main() {
         parity,
         dds,
         end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
+        telemetry,
         threads: rayon::current_num_threads(),
         notes: format!(
             "best-of-{reps} wall times; UDS sync engine must be bit-identical to the seed \
@@ -355,7 +414,12 @@ fn main() {
              the PR-2 acceptance headline (target >= 1.3), measured on the full \
              decomposition of the filament directed benchmark — the long-cascade regime \
              the frontier engine targets; the warm-started w* runs bulk-peel everything \
-             below d_max in a few rounds on either kernel and carry no headline"
+             below d_max in a few rounds on either kernel and carry no headline; all \
+             timed runs execute with the telemetry recorder disabled (its hot-path cost \
+             is one relaxed atomic load, contract < 2% — see DESIGN.md section 7), so \
+             engine-vs-legacy ratios are comparable with the PR-1/PR-2 baselines; \
+             --trace appends recorder-on runs under the `telemetry` key without \
+             touching the timings"
         ),
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -366,6 +430,21 @@ fn main() {
         parsed.pointer("/dds/speedup_engine_vs_legacy").is_some_and(|v| v.is_number()),
         "report schema lost the DDS headline field"
     );
+    if report.telemetry.is_some() {
+        for (i, kind) in ["UDS", "DDS"].iter().enumerate() {
+            let rounds = parsed.pointer(&format!("/telemetry/traces/{i}/rounds"));
+            assert!(
+                rounds.and_then(|r| r.as_array()).is_some_and(|r| !r.is_empty()),
+                "{kind} trace lost its per-round samples"
+            );
+        }
+        assert!(
+            parsed
+                .pointer("/telemetry/schema")
+                .is_some_and(|s| s.as_str() == Some("dsd-telemetry-section/v1")),
+            "telemetry section schema tag missing"
+        );
+    }
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");
     println!(
         "bench_report: UDS engine {:.3}s vs legacy {:.3}s -> {:.2}x; DDS engine {:.3}s vs \

@@ -3,26 +3,71 @@
 //! Paper shape: PKC needs thousands of peeling rounds, Local tens to
 //! thousands of h-index sweeps, PKMC single digits (its Theorem-1 early
 //! stop fires within the first few sweeps on power-law graphs).
+//!
+//! Since PR 3 the iteration counts are read off the engines' telemetry
+//! traces (one [`dsd_telemetry::RoundSample`] per sweep / peel round)
+//! instead of being hand-counted, and cross-checked against each
+//! algorithm's `Stats::iterations` so the two accountings can never
+//! drift apart silently.
+
+use dsd_telemetry::report::{render_matrix, view, TraceView};
+use dsd_telemetry::{self as telemetry};
 
 use crate::datasets;
-use crate::harness::{banner, print_row};
+use crate::harness::banner;
+
+/// Runs `run` under a fresh named trace and returns its result and the
+/// trace view.
+fn traced<R>(label: &str, run: impl FnOnce() -> R) -> (R, TraceView) {
+    telemetry::begin_trace(label);
+    let out = run();
+    let trace = telemetry::end_trace().expect("recorder is enabled");
+    (out, view(&trace))
+}
+
+/// Rounds that made progress — the Table 6 iteration count. (The engines
+/// also record the final fixpoint-check sweep, which removes nothing and
+/// which the paper's counts never included.)
+fn effective_rounds(v: &TraceView) -> usize {
+    v.rounds.iter().filter(|r| r.items_removed > 0).count()
+}
 
 /// Runs the full table.
 pub fn run() {
     banner("Table 6 (Exp-2): number of iterations in the core-based algorithms");
-    print_row(&["dataset", "PKC", "Local", "PKMC", "PKMC stop"].map(String::from));
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    let mut rows = Vec::new();
     for d in datasets::UNDIRECTED {
         let g = datasets::load_undirected(d.abbr);
-        let pkc = dsd_core::uds::pkc::pkc_decomposition(&g);
-        let local = dsd_core::uds::local::local_decomposition(&g);
-        let pkmc = dsd_core::uds::pkmc::pkmc(&g);
-        print_row(&[
+        let (pkc, pkc_t) =
+            traced(&format!("pkc/{}", d.abbr), || dsd_core::uds::pkc::pkc_decomposition(&g));
+        let (local, local_t) =
+            traced(&format!("local/{}", d.abbr), || dsd_core::uds::local::local_decomposition(&g));
+        let (pkmc, pkmc_t) = traced(&format!("pkmc/{}", d.abbr), || dsd_core::uds::pkmc::pkmc(&g));
+        for (name, t, iters) in [
+            ("pkc", &pkc_t, pkc.stats.iterations),
+            ("local", &local_t, local.stats.iterations),
+            ("pkmc", &pkmc_t, pkmc.stats.iterations),
+        ] {
+            assert_eq!(
+                effective_rounds(t),
+                iters,
+                "{name}/{}: trace rounds disagree with Stats::iterations",
+                d.abbr
+            );
+        }
+        rows.push((
             d.abbr.to_string(),
-            pkc.stats.iterations.to_string(),
-            local.stats.iterations.to_string(),
-            pkmc.stats.iterations.to_string(),
-            if pkmc.early_stopped { "early".to_string() } else { "converged".to_string() },
-        ]);
+            vec![
+                effective_rounds(&pkc_t).to_string(),
+                effective_rounds(&local_t).to_string(),
+                effective_rounds(&pkmc_t).to_string(),
+                if pkmc.early_stopped { "early".to_string() } else { "converged".to_string() },
+            ],
+        ));
     }
+    telemetry::set_enabled(was_enabled);
+    print!("{}", render_matrix("dataset", &["PKC", "Local", "PKMC", "PKMC stop"], &rows));
     println!("(expected shape: PKC >> Local >> PKMC, PKMC in single digits)");
 }

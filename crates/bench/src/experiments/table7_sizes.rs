@@ -9,24 +9,52 @@
 //! Paper shape: `PWC₁ ≪ |E|` (on Twitter the first iteration already
 //! drops ~50% of edges; on small graphs PWC₁ is the answer itself), and
 //! `PWC₁ ≥ PWC_{w*} ≥ PWC_{D*}`.
+//!
+//! Since PR 3 the `PWC₁` / `PWC_{w*}` columns are read off the peeling
+//! engine's telemetry trace — the `alive_edges` value of the first and
+//! last recorded outer round — and cross-checked against the
+//! `Stats::edges_*` fields the hand-rolled table used to print.
+
+use dsd_telemetry::report::{render_matrix, view};
+use dsd_telemetry::{self as telemetry};
 
 use crate::datasets;
-use crate::harness::{banner, print_row};
+use crate::harness::banner;
 
 /// Runs the full table.
 pub fn run() {
     banner("Table 7 (Exp-6): sizes of the graphs processed in PWC and PXY (edge counts)");
-    print_row(&["dataset", "PXY", "PWC_1", "PWC_w*", "PWC_D*"].map(String::from));
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    let mut rows = Vec::new();
     for d in datasets::DIRECTED {
         let g = datasets::load_directed(d.abbr);
+        telemetry::begin_trace(&format!("pwc/{}", d.abbr));
         let r = dsd_core::dds::pwc::pwc(&g);
-        print_row(&[
+        let t = view(&telemetry::end_trace().expect("recorder is enabled"));
+        assert_eq!(
+            t.first_alive(),
+            r.result.stats.edges_first_iter.map(|e| e as u64),
+            "{}: trace first-round alive_edges disagrees with Stats",
+            d.abbr
+        );
+        assert_eq!(
+            t.last_alive(),
+            r.result.stats.edges_last_iter.map(|e| e as u64),
+            "{}: trace last-round alive_edges disagrees with Stats",
+            d.abbr
+        );
+        rows.push((
             d.abbr.to_string(),
-            g.num_edges().to_string(),
-            r.result.stats.edges_first_iter.unwrap_or(0).to_string(),
-            r.result.stats.edges_last_iter.unwrap_or(0).to_string(),
-            r.result.stats.edges_result.unwrap_or(0).to_string(),
-        ]);
+            vec![
+                g.num_edges().to_string(),
+                t.first_alive().unwrap_or(0).to_string(),
+                t.last_alive().unwrap_or(0).to_string(),
+                r.result.stats.edges_result.unwrap_or(0).to_string(),
+            ],
+        ));
     }
+    telemetry::set_enabled(was_enabled);
+    print!("{}", render_matrix("dataset", &["PXY", "PWC_1", "PWC_w*", "PWC_D*"], &rows));
     println!("(expected shape: PWC_1 << PXY; monotone PWC_1 >= PWC_w* >= PWC_D*)");
 }

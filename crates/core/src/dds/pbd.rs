@@ -41,8 +41,13 @@ pub fn pbd(g: &DirectedGraph) -> DdsResult {
 pub fn pbd_with(g: &DirectedGraph, config: PbdConfig) -> DdsResult {
     assert!(config.delta > 1.0, "delta must exceed 1");
     assert!(config.epsilon > 0.0, "epsilon must be positive");
-    let ((s, t, density, passes), wall) = timed(|| run(g, config));
-    DdsResult { s, t, density, stats: Stats { iterations: passes, wall, ..Stats::default() } }
+    let ((s, t, density, passes, edges), wall) = timed(|| run(g, config));
+    DdsResult {
+        s,
+        t,
+        density,
+        stats: Stats { iterations: passes, wall, edges_result: Some(edges), ..Stats::default() },
+    }
 }
 
 fn ratio_guesses(n: usize, delta: f64) -> Vec<f64> {
@@ -58,26 +63,28 @@ fn ratio_guesses(n: usize, delta: f64) -> Vec<f64> {
     guesses
 }
 
-fn run(g: &DirectedGraph, config: PbdConfig) -> (Vec<u32>, Vec<u32>, f64, usize) {
+fn run(g: &DirectedGraph, config: PbdConfig) -> (Vec<u32>, Vec<u32>, f64, usize, usize) {
     let n = g.num_vertices();
     if n == 0 || g.num_edges() == 0 {
-        return (Vec::new(), Vec::new(), 0.0, 0);
+        return (Vec::new(), Vec::new(), 0.0, 0, 0);
     }
     let mut best_density = 0.0f64;
+    let mut best_edges = 0usize;
     let mut best: (Vec<VertexId>, Vec<VertexId>) = (Vec::new(), Vec::new());
     let mut passes = 0usize;
     for c in ratio_guesses(n, config.delta) {
-        let (s, t, density, p) = peel_guess(g, c, config.epsilon);
+        let (s, t, density, p, e) = peel_guess(g, c, config.epsilon);
         passes += p;
         if density > best_density {
             best_density = density;
+            best_edges = e;
             best = (s, t);
         }
     }
-    (best.0, best.1, best_density, passes)
+    (best.0, best.1, best_density, passes, best_edges)
 }
 
-fn peel_guess(g: &DirectedGraph, c: f64, epsilon: f64) -> (Vec<u32>, Vec<u32>, f64, usize) {
+fn peel_guess(g: &DirectedGraph, c: f64, epsilon: f64) -> (Vec<u32>, Vec<u32>, f64, usize, usize) {
     let n = g.num_vertices();
     let out_deg: Vec<AtomicU32> = g.out_degrees().into_iter().map(AtomicU32::new).collect();
     let in_deg: Vec<AtomicU32> = g.in_degrees().into_iter().map(AtomicU32::new).collect();
@@ -91,12 +98,14 @@ fn peel_guess(g: &DirectedGraph, c: f64, epsilon: f64) -> (Vec<u32>, Vec<u32>, f
     // excluded from the sides but carry no edges anyway).
     let mut edges: usize = g.num_edges();
     let mut best_density = 0.0f64;
+    let mut best_edges = 0usize;
     let mut best: (Vec<VertexId>, Vec<VertexId>) = (Vec::new(), Vec::new());
     let mut passes = 0usize;
     while s_size > 0 && t_size > 0 && edges > 0 {
         let density = edges as f64 / ((s_size as f64) * (t_size as f64)).sqrt();
         if density > best_density {
             best_density = density;
+            best_edges = edges;
             best = (
                 (0..n as VertexId).filter(|&v| in_s[v as usize].load(Ordering::Relaxed)).collect(),
                 (0..n as VertexId).filter(|&v| in_t[v as usize].load(Ordering::Relaxed)).collect(),
@@ -159,7 +168,7 @@ fn peel_guess(g: &DirectedGraph, c: f64, epsilon: f64) -> (Vec<u32>, Vec<u32>, f
             .map(|v| out_deg[v].load(Ordering::Relaxed) as usize)
             .sum();
     }
-    (best.0, best.1, best_density, passes)
+    (best.0, best.1, best_density, passes, best_edges)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use rayon::prelude::*;
 
 use crate::dds::ratio_peel::{geometric_ratios, peel_fixed_ratio};
 use crate::dds::DdsResult;
+use crate::density::st_edges_and_density;
 use crate::stats::{timed, Stats};
 
 /// Configuration for [`pbs_with`].
@@ -31,7 +32,13 @@ pub fn pbs(g: &DirectedGraph) -> DdsResult {
 /// Runs PBS; `stats.iterations` counts peeling rounds.
 pub fn pbs_with(g: &DirectedGraph, config: PbsConfig) -> DdsResult {
     let ((s, t, density, rounds), wall) = timed(|| run(g, config));
-    DdsResult { s, t, density, stats: Stats { iterations: rounds, wall, ..Stats::default() } }
+    let edges = st_edges_and_density(g, &s, &t).0;
+    DdsResult {
+        s,
+        t,
+        density,
+        stats: Stats { iterations: rounds, wall, edges_result: Some(edges), ..Stats::default() },
+    }
 }
 
 fn gcd(a: usize, b: usize) -> usize {

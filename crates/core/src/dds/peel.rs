@@ -50,8 +50,10 @@
 //! kernels and are not part of the contract.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use dsd_graph::{DirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
 use crate::dds::winduced::{WDecomposition, WARM_PEELED};
@@ -256,7 +258,9 @@ impl PeelWorkspace {
     /// one full scan each.
     fn next_threshold(&mut self, g: &DirectedGraph) -> Option<u64> {
         let offsets = g.out_offsets();
+        let mut attempts = 0u32;
         let w_t = loop {
+            attempts += 1;
             let candidate = self.chunk_lb.par_iter().map(|x| x.load(Ordering::Relaxed)).min()?;
             if candidate == u64::MAX {
                 return None;
@@ -265,6 +269,7 @@ impl PeelWorkspace {
                 .into_par_iter()
                 .filter(|&c| self.chunk_lb[c].load(Ordering::Relaxed) == candidate)
                 .map(|c| {
+                    telemetry::counter_add(Counter::ChunkMinRescans, 1);
                     let min = self.chunk_min(g, offsets, c);
                     self.chunk_lb[c].store(min, Ordering::Relaxed);
                     min
@@ -278,6 +283,10 @@ impl PeelWorkspace {
             // Every rescanned chunk's bound strictly rose; retry with the
             // next candidate.
         };
+        if attempts == 1 {
+            // The cached bounds answered without a repair retry.
+            telemetry::counter_add(Counter::CacheBoundHits, 1);
+        }
         // The w_t-weight edges can only live in chunks whose (now exact)
         // minimum is w_t.
         self.frontier = (0..self.chunk_lb.len())
@@ -311,12 +320,17 @@ impl PeelWorkspace {
     /// induce-number `record` (skipped for [`WARM_PEELED`]). The frontier
     /// must already hold every alive edge with weight `< bound` (from
     /// [`prime`](Self::prime) or [`next_threshold`](Self::next_threshold)).
-    /// Returns the number of rounds that removed edges.
-    fn cascade(&mut self, g: &DirectedGraph, bound: u64, record: u64) -> usize {
+    /// Returns the number of rounds that removed edges and the total number
+    /// of frontier slots examined across those rounds (a work proxy; the
+    /// count is schedule-dependent because racy early removals shrink later
+    /// frontiers).
+    fn cascade(&mut self, g: &DirectedGraph, bound: u64, record: u64) -> (usize, u64) {
         let offsets = g.out_offsets();
         let in_offsets = g.in_offsets();
         let mut rounds = 0usize;
+        let mut examined = 0u64;
         loop {
+            examined += self.frontier.len() as u64;
             let removed = AtomicUsize::new(0);
             // Examine pass: claim-and-kill sub-bound edges, collecting the
             // vertices whose degree changed (deduped by the changed
@@ -349,6 +363,10 @@ impl PeelWorkspace {
                                     if claim_set(&self.in_changed, v as usize) {
                                         il.push(v);
                                     }
+                                } else {
+                                    // Another thread won the claim between
+                                    // our liveness test and the CAS.
+                                    telemetry::counter_add(Counter::CasRetries, 1);
                                 }
                             } else {
                                 self.chunk_lb[slot >> CHUNK_BITS].fetch_min(w, Ordering::Relaxed);
@@ -410,33 +428,77 @@ impl PeelWorkspace {
             });
             self.frontier = next;
         }
-        rounds
+        (rounds, examined)
     }
 
     /// Runs the decomposition (Algorithm 3) on `g`. With `warm_start`, all
     /// edges below `d_max` are peeled first without recording
     /// induce-numbers (the paper's Remark; `w*` is unaffected).
+    ///
+    /// While the telemetry recorder is enabled, one
+    /// [`RoundSample`] is pushed per **outer** iteration (one
+    /// `next_threshold` + cascade), with `alive_edges` snapshotted at
+    /// iteration start — so the final sample's `alive_edges` equals
+    /// `Stats::edges_last_iter`. The warm-start pre-peel is not an outer
+    /// iteration and only shows up in the trace's phase totals.
     pub fn decompose(&mut self, g: &DirectedGraph, warm_start: bool) -> WDecomposition {
         let ((induce, w_star, iterations, first, last), wall) = timed(|| {
-            self.bind(g);
+            telemetry::time_phase(Phase::Init, || self.bind(g));
             let mut iterations = 0usize;
             if warm_start {
                 let d_max = g.max_degree() as u64;
-                self.prime(g, d_max);
-                iterations += self.cascade(g, d_max, WARM_PEELED);
+                telemetry::time_phase(Phase::Prime, || self.prime(g, d_max));
+                iterations +=
+                    telemetry::time_phase(Phase::Cascade, || self.cascade(g, d_max, WARM_PEELED)).0;
             } else {
-                self.prime(g, 0);
+                telemetry::time_phase(Phase::Prime, || self.prime(g, 0));
             }
             let mut w_star = 0u64;
             let mut first: Option<usize> = None;
             let mut last: Option<usize> = None;
-            while let Some(w_t) = self.next_threshold(g) {
+            loop {
+                let enabled = telemetry::enabled();
+                let t0 = enabled.then(Instant::now);
+                let next = self.next_threshold(g);
+                let select_time = t0.map(|t| t.elapsed());
+                if let Some(d) = select_time {
+                    telemetry::phase_add(Phase::ThresholdSelect, d);
+                }
+                let Some(w_t) = next else { break };
                 if first.is_none() {
                     first = Some(self.alive_count);
                 }
                 last = Some(self.alive_count);
                 w_star = w_t;
-                iterations += self.cascade(g, w_t + 1, w_t);
+                let alive_at_start = self.alive_count;
+                let frontier_len = self.frontier.len();
+                let t1 = enabled.then(Instant::now);
+                let (rounds, examined) = self.cascade(g, w_t + 1, w_t);
+                iterations += rounds;
+                if enabled {
+                    let mut phase_times = Vec::with_capacity(2);
+                    if let Some(d) = select_time {
+                        phase_times.push(PhaseTime {
+                            phase: Phase::ThresholdSelect.name(),
+                            secs: d.as_secs_f64(),
+                        });
+                    }
+                    if let Some(d) = t1.map(|t| t.elapsed()) {
+                        telemetry::phase_add(Phase::Cascade, d);
+                        phase_times.push(PhaseTime {
+                            phase: Phase::Cascade.name(),
+                            secs: d.as_secs_f64(),
+                        });
+                    }
+                    telemetry::record_round(RoundSample {
+                        round: telemetry::rounds_recorded() as u32,
+                        frontier_len,
+                        edges_examined: examined,
+                        items_removed: alive_at_start - self.alive_count,
+                        alive_edges: Some(alive_at_start),
+                        phase_times,
+                    });
+                }
             }
             let induce: Vec<u64> = self.induce.iter().map(|x| x.load(Ordering::Relaxed)).collect();
             (induce, w_star, iterations, first, last)

@@ -15,12 +15,19 @@ use rayon::prelude::*;
 
 use crate::dds::ratio_peel::{geometric_ratios, peel_fixed_ratio};
 use crate::dds::DdsResult;
+use crate::density::st_edges_and_density;
 use crate::stats::{timed, Stats};
 
 /// Runs PFKS; `stats.iterations` counts peeling rounds (= `n`, deduplicated).
 pub fn pfks(g: &DirectedGraph) -> DdsResult {
     let ((s, t, density, rounds), wall) = timed(|| run(g));
-    DdsResult { s, t, density, stats: Stats { iterations: rounds, wall, ..Stats::default() } }
+    let edges = st_edges_and_density(g, &s, &t).0;
+    DdsResult {
+        s,
+        t,
+        density,
+        stats: Stats { iterations: rounds, wall, edges_result: Some(edges), ..Stats::default() },
+    }
 }
 
 fn run(g: &DirectedGraph) -> (Vec<u32>, Vec<u32>, f64, usize) {

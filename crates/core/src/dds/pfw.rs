@@ -37,20 +37,25 @@ pub fn pfw_directed(g: &DirectedGraph) -> DdsResult {
 
 /// Runs directed PFW.
 pub fn pfw_directed_with(g: &DirectedGraph, config: PfwDirectedConfig) -> DdsResult {
-    let ((s, t, density), wall) = timed(|| run(g, config.iterations));
+    let ((s, t, density, edges), wall) = timed(|| run(g, config.iterations));
     DdsResult {
         s,
         t,
         density,
-        stats: Stats { iterations: config.iterations, wall, ..Stats::default() },
+        stats: Stats {
+            iterations: config.iterations,
+            wall,
+            edges_result: Some(edges),
+            ..Stats::default()
+        },
     }
 }
 
-fn run(g: &DirectedGraph, iterations: usize) -> (Vec<VertexId>, Vec<VertexId>, f64) {
+fn run(g: &DirectedGraph, iterations: usize) -> (Vec<VertexId>, Vec<VertexId>, f64, usize) {
     let n = g.num_vertices();
     let m = g.num_edges();
     if n == 0 || m == 0 {
-        return (Vec::new(), Vec::new(), 0.0);
+        return (Vec::new(), Vec::new(), 0.0, 0);
     }
     let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
     // alpha[e]: mass on the source role of edge e.
@@ -87,12 +92,12 @@ fn recompute(
 }
 
 /// Sweeps the combined (vertex, role) list in descending load order and
-/// returns the densest running `(S, T)` pair.
+/// returns the densest running `(S, T)` pair plus its `S→T` edge count.
 fn extract(
     g: &DirectedGraph,
     out_load: &[f64],
     in_load: &[f64],
-) -> (Vec<VertexId>, Vec<VertexId>, f64) {
+) -> (Vec<VertexId>, Vec<VertexId>, f64, usize) {
     let n = g.num_vertices();
     // (load, vertex, is_source_role); skip roles with no incident edges.
     let mut roles: Vec<(f64, VertexId, bool)> = Vec::with_capacity(2 * n);
@@ -114,6 +119,7 @@ fn extract(
     let mut edges = 0usize;
     let mut best_density = 0.0f64;
     let mut best_step = 0usize;
+    let mut best_edges = 0usize;
     for (step, &(_, v, source_role)) in roles.iter().enumerate() {
         if source_role {
             in_s[v as usize] = true;
@@ -129,6 +135,7 @@ fn extract(
             if density > best_density {
                 best_density = density;
                 best_step = step + 1;
+                best_edges = edges;
             }
         }
     }
@@ -143,7 +150,7 @@ fn extract(
     }
     s.sort_unstable();
     t.sort_unstable();
-    (s, t, best_density)
+    (s, t, best_density, best_edges)
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@
 //! always holds. [`PwcResult::used_fallback`] reports which path ran.
 
 use dsd_graph::{DirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Phase};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::dds::peel::PeelWorkspace;
@@ -105,10 +106,11 @@ fn run(g: &DirectedGraph, ws: &mut PeelWorkspace) -> RunOut {
     debug_assert!(!star_edges.is_empty(), "non-empty graph has a w*-subgraph");
 
     // Step 2: derive [x*, y*] by collapse testing on a scratch copy.
-    let candidates = collapse_order(&star_edges, w_star);
+    let candidates = telemetry::time_phase(Phase::Collapse, || collapse_order(&star_edges, w_star));
 
     // Step 3: extract the [x*, y*]-core from the w*-induced subgraph and
     // validate; fall back across candidate pairs (all share product w*).
+    let _extract = telemetry::span(Phase::Extract);
     let (sub, original) = induce_from_edges(g.num_vertices(), &star_edges);
     // Candidates from the collapse procedure first, then every other
     // divisor pair of w*. Whenever Theorem 2 holds for the input (all of

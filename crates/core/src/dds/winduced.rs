@@ -26,8 +26,10 @@
 //! ablation and as an independent parity oracle.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use dsd_graph::{DirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
 use crate::dds::peel::PeelWorkspace;
@@ -167,15 +169,24 @@ impl<'a> Engine<'a> {
     /// compacted by a parallel filter into `scratch` and swapped, instead
     /// of the seed's serial `retain` per round, and the buffer's capacity
     /// is reused across rounds and outer peeling iterations.
+    /// Also returns the number of adjacency entries examined across the
+    /// rounds (computed only while the telemetry recorder is enabled; 0
+    /// otherwise).
     fn cascade_below(
         &self,
         active: &mut Vec<VertexId>,
         scratch: &mut Vec<VertexId>,
         bound: u64,
         record: u64,
-    ) -> usize {
+    ) -> (usize, u64) {
         let mut rounds = 0usize;
+        let mut examined = 0u64;
         loop {
+            if telemetry::enabled() {
+                // Every round re-walks the full adjacency of every active
+                // vertex — the work profile the engine's frontier removes.
+                examined += active.par_iter().map(|&u| self.g.out_degree(u) as u64).sum::<u64>();
+            }
             let removed = AtomicUsize::new(0);
             active.par_iter().for_each(|&u| {
                 let base = self.g.out_offsets()[u as usize];
@@ -206,42 +217,90 @@ impl<'a> Engine<'a> {
             // Compact the active vertex list (parallel filter into the
             // reused scratch buffer; rayon preserves item order, so the
             // list stays in the same order the serial retain produced).
-            scratch.clear();
-            scratch.par_extend(
-                active
-                    .par_iter()
-                    .copied()
-                    .filter(|&u| self.out_deg[u as usize].load(Ordering::Relaxed) > 0),
-            );
+            {
+                let _compact = telemetry::span(Phase::Compact);
+                scratch.clear();
+                scratch.par_extend(
+                    active
+                        .par_iter()
+                        .copied()
+                        .filter(|&u| self.out_deg[u as usize].load(Ordering::Relaxed) > 0),
+                );
+            }
+            telemetry::counter_add(Counter::CompactionMoves, scratch.len() as u64);
             std::mem::swap(active, scratch);
         }
-        rounds
+        (rounds, examined)
     }
 }
 
+/// Telemetry mirrors the engine's [`PeelWorkspace::decompose`]: one
+/// [`RoundSample`] per outer peeling iteration with `alive_edges` captured
+/// at iteration start (so the final sample matches
+/// `Stats::edges_last_iter`); the warm-start cascade contributes only to
+/// the phase totals.
 fn decompose_legacy(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
     let ((induce, w_star, iterations, first, last), wall) = timed(|| {
-        let engine = Engine::new(g);
-        let mut active: Vec<VertexId> = g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
+        let (engine, mut active) = telemetry::time_phase(Phase::Init, || {
+            let engine = Engine::new(g);
+            let active: Vec<VertexId> = g.vertices().filter(|&v| g.out_degree(v) > 0).collect();
+            (engine, active)
+        });
         // Persistent compaction buffer, reused across every cascade round
         // of every outer iteration (see `cascade_below`).
         let mut scratch: Vec<VertexId> = Vec::with_capacity(active.len());
         let mut iterations = 0usize;
         if warm_start {
             let d_max = g.max_degree() as u64;
-            iterations += engine.cascade_below(&mut active, &mut scratch, d_max, WARM_PEELED);
+            iterations += telemetry::time_phase(Phase::Cascade, || {
+                engine.cascade_below(&mut active, &mut scratch, d_max, WARM_PEELED)
+            })
+            .0;
         }
         let mut w_star = 0u64;
         let mut first: Option<usize> = None;
         let mut last: Option<usize> = None;
-        while let Some(w_t) = engine.min_weight(&active) {
+        loop {
+            let enabled = telemetry::enabled();
+            let t0 = enabled.then(Instant::now);
+            let next = engine.min_weight(&active);
+            let select_time = t0.map(|t| t.elapsed());
+            if let Some(d) = select_time {
+                telemetry::phase_add(Phase::ThresholdSelect, d);
+            }
+            let Some(w_t) = next else { break };
             let alive_now = engine.alive_count.load(Ordering::Relaxed);
             if first.is_none() {
                 first = Some(alive_now);
             }
             last = Some(alive_now);
             w_star = w_t;
-            iterations += engine.cascade_below(&mut active, &mut scratch, w_t + 1, w_t);
+            let frontier_len = active.len();
+            let t1 = enabled.then(Instant::now);
+            let (rounds, examined) = engine.cascade_below(&mut active, &mut scratch, w_t + 1, w_t);
+            iterations += rounds;
+            if enabled {
+                let mut phase_times = Vec::with_capacity(2);
+                if let Some(d) = select_time {
+                    phase_times.push(PhaseTime {
+                        phase: Phase::ThresholdSelect.name(),
+                        secs: d.as_secs_f64(),
+                    });
+                }
+                if let Some(d) = t1.map(|t| t.elapsed()) {
+                    telemetry::phase_add(Phase::Cascade, d);
+                    phase_times
+                        .push(PhaseTime { phase: Phase::Cascade.name(), secs: d.as_secs_f64() });
+                }
+                telemetry::record_round(RoundSample {
+                    round: telemetry::rounds_recorded() as u32,
+                    frontier_len,
+                    edges_examined: examined,
+                    items_removed: alive_now - engine.alive_count.load(Ordering::Relaxed),
+                    alive_edges: Some(alive_now),
+                    phase_times,
+                });
+            }
         }
         let induce: Vec<u64> = engine.induce.into_iter().map(AtomicU64::into_inner).collect();
         (induce, w_star, iterations, first, last)

@@ -6,8 +6,15 @@ use dsd_graph::{DirectedGraph, UndirectedGraph, VertexId};
 /// (Definition 1). Duplicate ids in `set` are not supported; returns 0 for
 /// the empty set.
 pub fn undirected_density(g: &UndirectedGraph, set: &[VertexId]) -> f64 {
+    set_edges_and_density(g, set).1
+}
+
+/// Returns `(|E(S)|, |E(S)| / |S|)` for the subgraph induced by `set`
+/// (the pair version of [`undirected_density`], used by algorithms that
+/// report `Stats::edges_result` alongside the density).
+pub fn set_edges_and_density(g: &UndirectedGraph, set: &[VertexId]) -> (usize, f64) {
     if set.is_empty() {
-        return 0.0;
+        return (0, 0.0);
     }
     let mut member = vec![false; g.num_vertices()];
     for &v in set {
@@ -21,7 +28,7 @@ pub fn undirected_density(g: &UndirectedGraph, set: &[VertexId]) -> f64 {
             }
         }
     }
-    edges as f64 / set.len() as f64
+    (edges, edges as f64 / set.len() as f64)
 }
 
 /// Number of edges of `g` from `s` to `t` plus the density

@@ -16,16 +16,26 @@
 /// assert_eq!(sum, 4950);
 /// ```
 ///
+/// While `f` runs, the telemetry recorder's pool label is set to `threads`,
+/// so any trace begun inside `f` (or already active) is labelled with the
+/// pool size that drove it (`DecompositionTrace::threads`). The previous
+/// label is restored on exit, so nested `with_threads` calls label
+/// correctly.
+///
 /// # Panics
 ///
 /// Panics if `threads` is 0 or the pool cannot be created.
 pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
     assert!(threads > 0, "thread count must be positive");
-    rayon::ThreadPoolBuilder::new()
+    let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
-        .expect("failed to build rayon pool")
-        .install(f)
+        .expect("failed to build rayon pool");
+    let prev = dsd_telemetry::pool_threads();
+    dsd_telemetry::set_pool_threads(Some(threads));
+    let out = pool.install(f);
+    dsd_telemetry::set_pool_threads(prev);
+    out
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use dsd_graph::{UndirectedGraph, VertexId};
 
-use crate::density::undirected_density;
+use crate::density::set_edges_and_density;
 use crate::stats::{timed, Stats};
 use crate::uds::UdsResult;
 
@@ -64,8 +64,12 @@ pub fn bsk(g: &UndirectedGraph) -> UdsResult {
         }
         (best, probes)
     });
-    let density = undirected_density(g, &vertices);
-    UdsResult { vertices, density, stats: Stats { iterations: probes, wall, ..Stats::default() } }
+    let (edges, density) = set_edges_and_density(g, &vertices);
+    UdsResult {
+        vertices,
+        density,
+        stats: Stats { iterations: probes, wall, edges_result: Some(edges), ..Stats::default() },
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use crate::uds::UdsResult;
 
 /// Runs Charikar's greedy peeling and returns the densest subgraph seen.
 pub fn charikar(g: &UndirectedGraph) -> UdsResult {
-    let ((order, best_remaining, best_density), wall) = timed(|| peel(g));
+    let ((order, best_remaining, best_density, best_edges), wall) = timed(|| peel(g));
     // The best subgraph is the set of vertices NOT among the first
     // `n - best_remaining` peeled.
     let n = g.num_vertices();
@@ -24,18 +24,20 @@ pub fn charikar(g: &UndirectedGraph) -> UdsResult {
     UdsResult {
         vertices,
         density: best_density,
-        stats: Stats { iterations: n, wall, ..Stats::default() },
+        stats: Stats { iterations: n, wall, edges_result: Some(best_edges), ..Stats::default() },
     }
 }
 
 /// Peels min-degree vertices; returns the removal order, the remaining
-/// vertex count at the densest prefix, and that density.
-fn peel(g: &UndirectedGraph) -> (Vec<VertexId>, usize, f64) {
+/// vertex count at the densest prefix, that density, and the prefix's
+/// edge count.
+fn peel(g: &UndirectedGraph) -> (Vec<VertexId>, usize, f64, usize) {
     let n = g.num_vertices();
     let mut q = BucketQueue::new(&g.degrees());
     let mut m_remaining = g.num_edges();
     let mut best_density = if n > 0 { g.density() } else { 0.0 };
     let mut best_remaining = n;
+    let mut best_edges = g.num_edges();
     let mut order = Vec::with_capacity(n);
     while let Some((v, k)) = q.pop_min() {
         order.push(v);
@@ -51,11 +53,12 @@ fn peel(g: &UndirectedGraph) -> (Vec<VertexId>, usize, f64) {
             if density > best_density {
                 best_density = density;
                 best_remaining = remaining;
+                best_edges = m_remaining;
             }
         }
     }
     debug_assert_eq!(m_remaining, 0);
-    (order, best_remaining, best_density)
+    (order, best_remaining, best_density, best_edges)
 }
 
 #[cfg(test)]

@@ -30,23 +30,27 @@ use crate::uds::UdsResult;
 /// Runs PBU with parameter `epsilon > 0` (paper default 0.5).
 pub fn pbu(g: &UndirectedGraph, epsilon: f64) -> UdsResult {
     assert!(epsilon > 0.0, "epsilon must be positive");
-    let ((vertices, density, iterations), wall) = timed(|| run(g, epsilon));
-    UdsResult { vertices, density, stats: Stats { iterations, wall, ..Stats::default() } }
+    let ((vertices, density, stats_body), wall) = timed(|| run(g, epsilon));
+    UdsResult { vertices, density, stats: Stats { wall, ..stats_body } }
 }
 
-fn run(g: &UndirectedGraph, epsilon: f64) -> (Vec<VertexId>, f64, usize) {
+fn run(g: &UndirectedGraph, epsilon: f64) -> (Vec<VertexId>, f64, Stats) {
     let n = g.num_vertices();
     if n == 0 || g.num_edges() == 0 {
-        return (Vec::new(), 0.0, 0);
+        return (Vec::new(), 0.0, Stats::default());
     }
     let factor = 2.0 * (1.0 + epsilon);
     // The streaming state is just the surviving edge list.
     let mut edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let edges_first = edges.len();
+    let mut edges_last = edges.len();
     let mut best_density = 0.0f64;
+    let mut best_edges = 0usize;
     let mut best_snapshot: Vec<VertexId> = Vec::new();
     let mut iterations = 0usize;
     let mut records: Vec<(VertexId, VertexId)> = Vec::new();
     while !edges.is_empty() {
+        edges_last = edges.len();
         // map: each edge emits both orientations.
         records.clear();
         records.reserve(2 * edges.len());
@@ -70,6 +74,7 @@ fn run(g: &UndirectedGraph, epsilon: f64) -> (Vec<VertexId>, f64, usize) {
         // Track the densest iterate (the graph BEFORE this round removes).
         if rho > best_density {
             best_density = rho;
+            best_edges = m_cur;
             best_snapshot = degree.iter().map(|&(v, _)| v).collect();
         }
         // Drop every vertex with degree <= 2(1+eps) * rho; rewrite the
@@ -90,7 +95,14 @@ fn run(g: &UndirectedGraph, epsilon: f64) -> (Vec<VertexId>, f64, usize) {
         edges = next;
         iterations += 1;
     }
-    (best_snapshot, best_density, iterations)
+    let stats = Stats {
+        iterations,
+        edges_first_iter: Some(edges_first),
+        edges_last_iter: Some(edges_last),
+        edges_result: Some(best_edges),
+        ..Stats::default()
+    };
+    (best_snapshot, best_density, stats)
 }
 
 #[cfg(test)]

@@ -39,19 +39,24 @@ pub fn pfw(g: &UndirectedGraph) -> UdsResult {
 
 /// Runs PFW with an explicit sweep budget.
 pub fn pfw_with(g: &UndirectedGraph, config: PfwConfig) -> UdsResult {
-    let ((vertices, density), wall) = timed(|| run(g, config.iterations));
+    let ((vertices, density, edges), wall) = timed(|| run(g, config.iterations));
     UdsResult {
         vertices,
         density,
-        stats: Stats { iterations: config.iterations, wall, ..Stats::default() },
+        stats: Stats {
+            iterations: config.iterations,
+            wall,
+            edges_result: Some(edges),
+            ..Stats::default()
+        },
     }
 }
 
-fn run(g: &UndirectedGraph, iterations: usize) -> (Vec<VertexId>, f64) {
+fn run(g: &UndirectedGraph, iterations: usize) -> (Vec<VertexId>, f64, usize) {
     let n = g.num_vertices();
     let m = g.num_edges();
     if n == 0 || m == 0 {
-        return (Vec::new(), 0.0);
+        return (Vec::new(), 0.0, 0);
     }
     let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
     // alpha[e]: fraction of edge e's unit mass assigned to endpoint .0.
@@ -82,8 +87,9 @@ fn recompute_loads(edges: &[(VertexId, VertexId)], alpha: &[f64], load: &mut [f6
     }
 }
 
-/// Sorts vertices by load descending and returns the densest prefix.
-fn extract(g: &UndirectedGraph, load: &[f64]) -> (Vec<VertexId>, f64) {
+/// Sorts vertices by load descending and returns the densest prefix
+/// (vertices, density, and the prefix's edge count).
+fn extract(g: &UndirectedGraph, load: &[f64]) -> (Vec<VertexId>, f64, usize) {
     let n = g.num_vertices();
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.par_sort_unstable_by(|&a, &b| {
@@ -95,6 +101,7 @@ fn extract(g: &UndirectedGraph, load: &[f64]) -> (Vec<VertexId>, f64) {
     }
     let mut best_density = 0.0f64;
     let mut best_len = 0usize;
+    let mut best_edges = 0usize;
     let mut edges_inside = 0usize;
     for (i, &v) in order.iter().enumerate() {
         // Edges from v to earlier-ranked vertices enter the prefix subgraph.
@@ -103,11 +110,12 @@ fn extract(g: &UndirectedGraph, load: &[f64]) -> (Vec<VertexId>, f64) {
         if density > best_density {
             best_density = density;
             best_len = i + 1;
+            best_edges = edges_inside;
         }
     }
     let mut vertices: Vec<VertexId> = order[..best_len].to_vec();
     vertices.sort_unstable();
-    (vertices, best_density)
+    (vertices, best_density, best_edges)
 }
 
 #[cfg(test)]

@@ -16,8 +16,10 @@
 //! once per level.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
 
 use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
 use crate::stats::{timed, Stats};
@@ -53,6 +55,9 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
     let mut candidates: Vec<VertexId> = (0..n as VertexId).collect();
     while remaining > 0 {
         loop {
+            let enabled = telemetry::enabled();
+            let t0 = enabled.then(Instant::now);
+            let frontier_len = candidates.len();
             // Phase 1: claim and kill this round's frontier in place
             // (alive vertices with degree <= k), counting the kills.
             let killed: usize = candidates
@@ -70,6 +75,11 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
                 })
                 .sum();
             if killed == 0 {
+                // The level's final (empty) probe round still scanned the
+                // candidate pool; keep its time in the phase totals.
+                if let Some(d) = t0.map(|t| t.elapsed()) {
+                    telemetry::phase_add(Phase::Cascade, d);
+                }
                 break;
             }
             iterations += 1;
@@ -87,9 +97,32 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
                 }
             });
             remaining -= killed;
+            if enabled {
+                let mut phase_times = Vec::with_capacity(1);
+                if let Some(d) = t0.map(|t| t.elapsed()) {
+                    telemetry::phase_add(Phase::Cascade, d);
+                    phase_times
+                        .push(PhaseTime { phase: Phase::Cascade.name(), secs: d.as_secs_f64() });
+                }
+                // `edges_examined` is the candidate-pool scan size (PKC's
+                // per-round work is dominated by the phase-1 scan), which
+                // is deterministic across thread counts.
+                telemetry::record_round(RoundSample {
+                    round: telemetry::rounds_recorded() as u32,
+                    frontier_len,
+                    edges_examined: frontier_len as u64,
+                    items_removed: killed,
+                    alive_edges: None,
+                    phase_times,
+                });
+            }
         }
         // Drop dead vertices from the candidate pool before the next level.
-        candidates.retain(|&v| alive[v as usize].load(Ordering::Relaxed));
+        {
+            let _compact = telemetry::span(Phase::Compact);
+            candidates.retain(|&v| alive[v as usize].load(Ordering::Relaxed));
+        }
+        telemetry::counter_add(Counter::CompactionMoves, candidates.len() as u64);
         k += 1;
     }
     (core.into_iter().map(AtomicU32::into_inner).collect(), iterations)

@@ -36,9 +36,10 @@
 //! `verify_candidate` (the default) every stop remains certified.
 
 use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Phase};
 use rayon::prelude::*;
 
-use crate::density::undirected_density;
+use crate::density::set_edges_and_density;
 use crate::stats::{timed, Stats};
 use crate::uds::sweep::{SweepMode, SweepWorkspace};
 use crate::uds::UdsResult;
@@ -103,13 +104,13 @@ pub fn pkmc_with(g: &UndirectedGraph, config: PkmcConfig) -> PkmcResult {
 /// (benchmark loops, batch serving) perform no steady-state allocation.
 pub fn pkmc_in(g: &UndirectedGraph, config: PkmcConfig, ws: &mut SweepWorkspace) -> PkmcResult {
     let ((vertices, k_star, iterations, early), wall) = timed(|| run(g, config, ws));
-    let density = undirected_density(g, &vertices);
+    let (edges, density) = set_edges_and_density(g, &vertices);
     PkmcResult {
         vertices,
         k_star,
         density,
         early_stopped: early,
-        stats: Stats { iterations, wall, ..Stats::default() },
+        stats: Stats { iterations, wall, edges_result: Some(edges), ..Stats::default() },
     }
 }
 
@@ -136,29 +137,33 @@ fn run(
     }
     // Lines 1-3: h^(0) = degrees; h_max^(0), s^(0).
     ws.bind(g);
-    let (mut h_max_prev, mut s_prev) = ws.max_and_count();
+    let (mut h_max_prev, mut s_prev) = telemetry::time_phase(Phase::Monitor, || ws.max_and_count());
     let mut iterations = 0usize;
     loop {
         // Lines 7-9: one parallel h-update sweep. Algorithm 2 line 7 is a
         // full "for v in V in parallel" sweep; PKMC's whole point is that
         // only a handful of such sweeps are needed.
+        let examined = if telemetry::enabled() { ws.examined_full(g) } else { 0 };
         let changed = ws.sweep_full(g, config.mode);
+        ws.record_sweep_round(n, examined, changed);
         if changed == 0 {
             // Full convergence: h = core numbers; candidate set IS the
             // k*-core (no early stop needed).
-            let (h_max, _) = ws.max_and_count();
+            let (h_max, _) = telemetry::time_phase(Phase::Monitor, || ws.max_and_count());
             let cand = ws.vertices_with_value(h_max);
             return (cand, h_max, iterations, false);
         }
         iterations += 1;
         // Lines 10-11.
-        let (h_max, s) = ws.max_and_count();
+        let (h_max, s) = telemetry::time_phase(Phase::Monitor, || ws.max_and_count());
         // Line 12 (Proposition 1): the k*-core has >= k* + 1 vertices.
         let guard_ok = s > h_max as usize;
         // Lines 13-14 (Theorem 1): stable h_max and stable count.
         if guard_ok && h_max == h_max_prev && s == s_prev {
             let cand = ws.vertices_with_value(h_max);
-            if !config.verify_candidate || induces_min_degree(g, &cand, h_max) {
+            if !config.verify_candidate
+                || telemetry::time_phase(Phase::Monitor, || induces_min_degree(g, &cand, h_max))
+            {
                 return (cand, h_max, iterations, true);
             }
             // Verification failed: Theorem-1 certificate not yet valid on

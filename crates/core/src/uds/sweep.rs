@@ -41,8 +41,10 @@
 //!   excluded from the cross-thread-count determinism guarantee.
 
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::time::Instant;
 
 use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
 /// Scheduling discipline of an h-index sweep.
@@ -80,6 +82,10 @@ pub struct SweepWorkspace {
     mark: Vec<AtomicBool>,
     /// Number of vertices of the bound graph.
     n: usize,
+    /// Phase breakdown of the most recent sweep. Only populated while the
+    /// telemetry recorder is enabled; cleared (and never allocated) on the
+    /// disabled path.
+    last_phases: Vec<PhaseTime>,
 }
 
 /// Fused, capped h-index kernel: buckets the h-values of `neighbors`
@@ -126,6 +132,7 @@ impl SweepWorkspace {
     /// capacity is reused, so a workspace kept across decompositions
     /// performs no steady-state allocation.
     pub fn bind(&mut self, g: &UndirectedGraph) {
+        let _init = telemetry::span(Phase::Init);
         let n = g.num_vertices();
         self.n = n;
         let offsets = g.offsets();
@@ -182,9 +189,14 @@ impl SweepWorkspace {
             self.staged.clear();
             self.staged.resize(self.n, 0);
         }
+        self.last_phases.clear();
+        let enabled = telemetry::enabled();
+        let mut read_time = None;
+        let mut apply_time = None;
         let h = &self.h;
-        match mode {
+        let changed = match mode {
             SweepMode::Synchronous => {
+                let t0 = enabled.then(Instant::now);
                 // Read pass: stage every new value from the previous
                 // sweep's array.
                 (0..self.n).into_par_iter().zip(self.staged.par_iter_mut()).for_each_init(
@@ -194,8 +206,10 @@ impl SweepWorkspace {
                         *out = recompute_capped(g.neighbors(v as VertexId), cur, h, scratch);
                     },
                 );
+                read_time = t0.map(|t| t.elapsed());
+                let t1 = enabled.then(Instant::now);
                 // Apply pass: disjoint parallel stores, counting changes.
-                (0..self.n)
+                let changed = (0..self.n)
                     .into_par_iter()
                     .zip(self.staged.par_iter())
                     .map(|(v, &new_h)| {
@@ -208,21 +222,48 @@ impl SweepWorkspace {
                             0
                         }
                     })
-                    .sum()
+                    .sum();
+                apply_time = t1.map(|t| t.elapsed());
+                changed
             }
-            SweepMode::Asynchronous => (0..self.n)
-                .into_par_iter()
-                .map_init(Vec::new, |scratch, v| {
-                    let cur = h[v].load(Ordering::Relaxed);
-                    let new_h = recompute_capped(g.neighbors(v as VertexId), cur, h, scratch);
-                    if new_h != cur {
-                        h[v].store(new_h, Ordering::Relaxed);
-                        1usize
-                    } else {
-                        0
-                    }
-                })
-                .sum(),
+            SweepMode::Asynchronous => {
+                let t0 = enabled.then(Instant::now);
+                let changed = (0..self.n)
+                    .into_par_iter()
+                    .map_init(Vec::new, |scratch, v| {
+                        let cur = h[v].load(Ordering::Relaxed);
+                        let new_h = recompute_capped(g.neighbors(v as VertexId), cur, h, scratch);
+                        if new_h != cur {
+                            h[v].store(new_h, Ordering::Relaxed);
+                            1usize
+                        } else {
+                            0
+                        }
+                    })
+                    .sum();
+                read_time = t0.map(|t| t.elapsed());
+                changed
+            }
+        };
+        self.note_phases(read_time, apply_time);
+        telemetry::counter_add(Counter::HUpdatesApplied, changed as u64);
+        changed
+    }
+
+    /// Attributes the measured read/apply durations to the telemetry phase
+    /// buckets and to `last_phases` (for the caller's `RoundSample`).
+    fn note_phases(
+        &mut self,
+        read_time: Option<std::time::Duration>,
+        apply_time: Option<std::time::Duration>,
+    ) {
+        if let Some(d) = read_time {
+            telemetry::phase_add(Phase::Sweep, d);
+            self.last_phases.push(PhaseTime { phase: Phase::Sweep.name(), secs: d.as_secs_f64() });
+        }
+        if let Some(d) = apply_time {
+            telemetry::phase_add(Phase::Apply, d);
+            self.last_phases.push(PhaseTime { phase: Phase::Apply.name(), secs: d.as_secs_f64() });
         }
     }
 
@@ -242,12 +283,17 @@ impl SweepWorkspace {
     /// (for [`advance_frontier`](Self::advance_frontier)). Returns the
     /// number of changed vertices.
     pub fn sweep_frontier(&mut self, g: &UndirectedGraph, mode: SweepMode) -> usize {
+        self.last_phases.clear();
+        let enabled = telemetry::enabled();
+        let mut read_time = None;
+        let mut apply_time = None;
         let h = &self.h;
         match mode {
             SweepMode::Synchronous => {
                 let len = self.active.len();
                 self.staged.clear();
                 self.staged.resize(len, 0);
+                let t0 = enabled.then(Instant::now);
                 self.active.par_iter().zip(self.staged.par_iter_mut()).for_each_init(
                     Vec::new,
                     |scratch, (&v, out)| {
@@ -255,6 +301,8 @@ impl SweepWorkspace {
                         *out = recompute_capped(g.neighbors(v), cur, h, scratch);
                     },
                 );
+                read_time = t0.map(|t| t.elapsed());
+                let t1 = enabled.then(Instant::now);
                 self.changed = self
                     .active
                     .par_iter()
@@ -272,8 +320,10 @@ impl SweepWorkspace {
                         a.append(&mut b);
                         a
                     });
+                apply_time = t1.map(|t| t.elapsed());
             }
             SweepMode::Asynchronous => {
+                let t0 = enabled.then(Instant::now);
                 self.changed = self
                     .active
                     .par_iter()
@@ -294,8 +344,11 @@ impl SweepWorkspace {
                         a.append(&mut b);
                         a
                     });
+                read_time = t0.map(|t| t.elapsed());
             }
         }
+        self.note_phases(read_time, apply_time);
+        telemetry::counter_add(Counter::HUpdatesApplied, self.changed.len() as u64);
         self.changed.len()
     }
 
@@ -305,6 +358,7 @@ impl SweepWorkspace {
     /// instead of the seed's serial scan. The bitmap is reset before
     /// returning, so the workspace is sweep-ready again.
     pub fn advance_frontier(&mut self, g: &UndirectedGraph) {
+        let _frontier = telemetry::span(Phase::Frontier);
         let mark = &self.mark;
         let next: Vec<VertexId> = self
             .changed
@@ -322,7 +376,62 @@ impl SweepWorkspace {
                 a
             });
         next.par_iter().for_each(|&u| mark[u as usize].store(false, Ordering::Relaxed));
+        telemetry::counter_add(Counter::FrontierEnqueues, next.len() as u64);
         self.active = next;
+    }
+
+    /// Adjacency entries the next **full** sweep will examine: the capped
+    /// kernel skips vertices whose current h-value is zero, so only the
+    /// remaining vertices contribute their degree. Deterministic in sync
+    /// mode, where the h-state at every sweep boundary is
+    /// schedule-independent. Only called while tracing.
+    pub(crate) fn examined_full(&self, g: &UndirectedGraph) -> u64 {
+        (0..self.n)
+            .into_par_iter()
+            .map(|v| {
+                if self.h[v].load(Ordering::Relaxed) > 0 {
+                    g.neighbors(v as VertexId).len() as u64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Adjacency entries the next **frontier** sweep will examine (the
+    /// active-list analogue of [`examined_full`](Self::examined_full)).
+    fn examined_active(&self, g: &UndirectedGraph) -> u64 {
+        self.active
+            .par_iter()
+            .map(|&v| {
+                if self.h[v as usize].load(Ordering::Relaxed) > 0 {
+                    g.neighbors(v).len() as u64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Pushes one [`RoundSample`] for a completed sweep onto the active
+    /// trace, carrying the sweep's phase breakdown. No-op when the recorder
+    /// is disabled.
+    pub(crate) fn record_sweep_round(
+        &self,
+        frontier_len: usize,
+        edges_examined: u64,
+        items_removed: usize,
+    ) {
+        if telemetry::enabled() {
+            telemetry::record_round(RoundSample {
+                round: telemetry::rounds_recorded() as u32,
+                frontier_len,
+                edges_examined,
+                items_removed,
+                alive_edges: None,
+                phase_times: self.last_phases.clone(),
+            });
+        }
     }
 
     /// Runs sweeps to the fixpoint with full resweeps (faithful to
@@ -331,7 +440,13 @@ impl SweepWorkspace {
     pub fn run_full(&mut self, g: &UndirectedGraph, mode: SweepMode) -> usize {
         self.bind(g);
         let mut iterations = 0usize;
-        while self.sweep_full(g, mode) > 0 {
+        loop {
+            let examined = if telemetry::enabled() { self.examined_full(g) } else { 0 };
+            let changed = self.sweep_full(g, mode);
+            self.record_sweep_round(self.n, examined, changed);
+            if changed == 0 {
+                break;
+            }
             iterations += 1;
         }
         iterations
@@ -344,7 +459,14 @@ impl SweepWorkspace {
         self.bind(g);
         self.seed_all_active();
         let mut iterations = 0usize;
-        while self.sweep_frontier(g, mode) > 0 {
+        loop {
+            let frontier_len = self.active.len();
+            let examined = if telemetry::enabled() { self.examined_active(g) } else { 0 };
+            let changed = self.sweep_frontier(g, mode);
+            self.record_sweep_round(frontier_len, examined, changed);
+            if changed == 0 {
+                break;
+            }
             iterations += 1;
             self.advance_frontier(g);
         }

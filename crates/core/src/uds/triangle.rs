@@ -62,12 +62,12 @@ fn triangle_counts(g: &UndirectedGraph) -> (Vec<u64>, u64) {
 /// Runs the triangle-densest peel (3-approximation for triangle density).
 pub fn triangle_densest(g: &UndirectedGraph) -> TriangleDensestResult {
     let ((vertices, tri_density, peeled), wall) = timed(|| run(g));
-    let edge_density = crate::density::undirected_density(g, &vertices);
+    let (edges, edge_density) = crate::density::set_edges_and_density(g, &vertices);
     TriangleDensestResult {
         vertices,
         triangle_density: tri_density,
         edge_density,
-        stats: Stats { iterations: peeled, wall, ..Stats::default() },
+        stats: Stats { iterations: peeled, wall, edges_result: Some(edges), ..Stats::default() },
     }
 }
 

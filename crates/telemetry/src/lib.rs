@@ -1,0 +1,682 @@
+//! Dependency-free per-round telemetry for the densest-subgraph engines.
+//!
+//! The paper's evaluation (Luo et al., ICDE 2023) is built on internal
+//! observables — Table 6 compares iteration counts, Table 7 compares
+//! alive-edge sizes per iteration — not just wall-clock. This crate gives the
+//! sweep/peel engines a way to expose those observables without `eprintln`
+//! scaffolding and without perturbing the hot paths they measure:
+//!
+//! * **Runtime switch.** [`set_enabled`] flips a global flag; every probe is
+//!   gated on [`enabled`], a single relaxed atomic load. With the recorder
+//!   off, instrumentation costs one predictable branch per probe site.
+//! * **Sharded counters.** [`counter_add`] writes to a thread-local shard
+//!   (an uncontended cache line per thread); shards are aggregated only when
+//!   a trace is flushed by [`end_trace`]. No shared atomics on hot paths.
+//! * **Span timers.** [`span`] returns a guard that accumulates elapsed time
+//!   into a per-thread phase bucket on drop; [`Phase`] names the buckets.
+//! * **Typed round events.** Engines push one [`RoundSample`] per round via
+//!   [`record_round`]; [`end_trace`] packages the rounds, counter totals and
+//!   phase totals into a [`DecompositionTrace`] that serialises to JSON with
+//!   [`DecompositionTrace::to_json`] (schema `dsd-trace/v1`).
+//!
+//! One trace is active at a time (guarded by a mutex that is only touched at
+//! round granularity, never per edge). [`begin_trace`] resets the shards, so
+//! traces must not overlap; the engines in `dsd-core` only record, they never
+//! begin or end traces — harnesses own the trace lifecycle.
+//!
+//! The crate is deliberately `std`-only (the build container has no crate
+//! registry): JSON emission and parsing are hand-rolled in [`json`], and the
+//! Table 6/7-style text rendering lives in [`report`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Named engine counters, aggregated across threads on flush.
+///
+/// Each variant indexes a fixed slot in the per-thread shard, so adding to a
+/// counter is one relaxed `fetch_add` on a thread-local cache line. The
+/// glossary below states which engine owns each counter and what one unit
+/// means; DESIGN.md §7 carries the same table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// `uds/sweep.rs`: h-values actually rewritten by an apply pass (sync
+    /// mode) or changed in place (async mode). Deterministic in sync mode.
+    HUpdatesApplied,
+    /// `uds/sweep.rs`: vertices enqueued onto the next frontier by
+    /// `advance_frontier`. Deterministic in sync mode.
+    FrontierEnqueues,
+    /// `dds/peel.rs`: chunk-min slots rescanned by the lazy threshold
+    /// scheduler while serving `next_threshold`.
+    ChunkMinRescans,
+    /// `dds/peel.rs`: `next_threshold` calls answered by the cached chunk
+    /// lower bounds on the first scan, without a recompute retry.
+    CacheBoundHits,
+    /// `dds/peel.rs`: bitmap claims that lost the race to another thread
+    /// (a compare-exchange observed the bit already taken).
+    CasRetries,
+    /// `dds/winduced.rs` legacy kernel and `uds/pkc.rs`: entries retained
+    /// (moved) by an in-place candidate/scratch compaction.
+    CompactionMoves,
+}
+
+impl Counter {
+    /// Every counter, in shard-slot order (also the JSON emission order).
+    pub const ALL: [Counter; 6] = [
+        Counter::HUpdatesApplied,
+        Counter::FrontierEnqueues,
+        Counter::ChunkMinRescans,
+        Counter::CacheBoundHits,
+        Counter::CasRetries,
+        Counter::CompactionMoves,
+    ];
+
+    const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::HUpdatesApplied => "h_updates_applied",
+            Counter::FrontierEnqueues => "frontier_enqueues",
+            Counter::ChunkMinRescans => "chunk_min_rescans",
+            Counter::CacheBoundHits => "cache_bound_hits",
+            Counter::CasRetries => "cas_retries",
+            Counter::CompactionMoves => "compaction_moves",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------------
+
+/// Named phases timed by [`span`] guards.
+///
+/// The UDS sweep engine uses `Init`/`Sweep`/`Apply`/`Frontier` (+ `Monitor`
+/// for PKMC's Theorem-1 early-stop checks); the DDS peel engine uses
+/// `Prime`/`ThresholdSelect`/`Cascade`/`Compact`; PWC adds
+/// `Collapse`/`Extract` for its post-decomposition stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Phase {
+    /// Workspace binding / buffer (re)initialisation.
+    Init,
+    /// An h-index recompute pass over the active set.
+    Sweep,
+    /// The staged-write apply pass of a synchronous sweep.
+    Apply,
+    /// Building the next frontier from changed vertices.
+    Frontier,
+    /// Convergence / early-stop monitoring (PKMC Theorem-1 checks).
+    Monitor,
+    /// Priming degrees, bitmaps and chunk bounds before peeling.
+    Prime,
+    /// Selecting the next peel threshold via the chunk-min scheduler.
+    ThresholdSelect,
+    /// The edge-frontier peel cascade below the current threshold.
+    Cascade,
+    /// In-place compaction of candidate / scratch arrays.
+    Compact,
+    /// PWC: collapse-order test over the w-induced decomposition.
+    Collapse,
+    /// PWC: extracting the (x, y)-core answer subgraph.
+    Extract,
+}
+
+impl Phase {
+    /// Every phase, in shard-slot order.
+    pub const ALL: [Phase; 11] = [
+        Phase::Init,
+        Phase::Sweep,
+        Phase::Apply,
+        Phase::Frontier,
+        Phase::Monitor,
+        Phase::Prime,
+        Phase::ThresholdSelect,
+        Phase::Cascade,
+        Phase::Compact,
+        Phase::Collapse,
+        Phase::Extract,
+    ];
+
+    const COUNT: usize = Self::ALL.len();
+
+    /// Stable name used in `phase_times` / `phase_totals` JSON entries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::Sweep => "sweep",
+            Phase::Apply => "apply",
+            Phase::Frontier => "frontier",
+            Phase::Monitor => "monitor",
+            Phase::Prime => "prime",
+            Phase::ThresholdSelect => "threshold-select",
+            Phase::Cascade => "peel-cascade",
+            Phase::Compact => "compact",
+            Phase::Collapse => "collapse",
+            Phase::Extract => "extract",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local shards
+// ---------------------------------------------------------------------------
+
+/// Per-thread slab of counter cells and phase-nanosecond accumulators.
+///
+/// Only the owning thread writes a shard during a trace (relaxed stores on an
+/// otherwise-private cache line); other threads read it only at flush or
+/// reset, which happen while the engines are quiescent.
+struct Shard {
+    counters: [AtomicU64; Counter::COUNT],
+    phase_nanos: [AtomicU64; Phase::COUNT],
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for p in &self.phase_nanos {
+            p.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Shard>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Shard>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static SHARD: Arc<Shard> = {
+        let shard = Arc::new(Shard::new());
+        registry().lock().expect("telemetry registry poisoned").push(Arc::clone(&shard));
+        shard
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Global switch + pool label
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// `0` means "no pool label set"; otherwise the rayon pool size + 1 is not
+/// needed — pool sizes are >= 1 so the raw value can be stored directly.
+static POOL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Turn the recorder on or off. Off is the default; every probe site
+/// short-circuits on [`enabled`] when off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the recorder is on. This is the *entire* disabled-path cost of a
+/// probe: one relaxed load and a branch.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Label the active (and any subsequently begun) trace with the rayon pool
+/// size driving the engines. `None` clears the label. Called by
+/// `dsd_core::runner::with_threads`; harness code rarely needs it directly.
+pub fn set_pool_threads(threads: Option<usize>) {
+    POOL_THREADS.store(threads.unwrap_or(0), Ordering::Relaxed);
+    if enabled() {
+        if let Some(trace) = active().lock().expect("telemetry trace poisoned").as_mut() {
+            trace.threads = threads;
+        }
+    }
+}
+
+/// The current pool label, if one is set.
+pub fn pool_threads() -> Option<usize> {
+    match POOL_THREADS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Probes
+// ---------------------------------------------------------------------------
+
+/// Add `n` to counter `c` on the calling thread's shard. No-op when the
+/// recorder is disabled.
+#[inline]
+pub fn counter_add(c: Counter, n: u64) {
+    if enabled() {
+        SHARD.with(|s| s.counters[c as usize].fetch_add(n, Ordering::Relaxed));
+    }
+}
+
+/// Add `d` to phase `p`'s accumulated time on the calling thread's shard.
+/// No-op when the recorder is disabled. Engines that already measured a
+/// duration (e.g. to attach it to a [`RoundSample`]) use this instead of a
+/// [`span`] guard to avoid timing the same scope twice.
+#[inline]
+pub fn phase_add(p: Phase, d: std::time::Duration) {
+    if enabled() {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        SHARD.with(|s| s.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed));
+    }
+}
+
+/// RAII timer: accumulates the guarded scope's elapsed time into phase `p`
+/// on drop. When the recorder is disabled the guard holds no `Instant` and
+/// drop is a no-op.
+#[must_use = "the span measures until the guard is dropped"]
+pub struct SpanGuard {
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            SHARD.with(|s| s.phase_nanos[self.phase as usize].fetch_add(nanos, Ordering::Relaxed));
+        }
+    }
+}
+
+/// Start timing phase `p`; the elapsed time is recorded when the returned
+/// guard is dropped.
+#[inline]
+pub fn span(p: Phase) -> SpanGuard {
+    SpanGuard { phase: p, start: if enabled() { Some(Instant::now()) } else { None } }
+}
+
+/// Run `f` under a [`span`] for phase `p`.
+#[inline]
+pub fn time_phase<T>(p: Phase, f: impl FnOnce() -> T) -> T {
+    let _guard = span(p);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Round samples and traces
+// ---------------------------------------------------------------------------
+
+/// One `(phase, seconds)` entry inside a round or a trace total.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTime {
+    /// Phase name (one of [`Phase::name`]'s values).
+    pub phase: &'static str,
+    /// Elapsed seconds attributed to the phase.
+    pub secs: f64,
+}
+
+/// One engine round, as observed by the engine's outer loop.
+///
+/// Granularity is engine-defined: the sweep engine records one sample per
+/// h-index sweep, the peel engine one sample per *outer* iteration (one
+/// `next_threshold` + cascade), so the final sample's `alive_edges` equals
+/// `Stats::edges_last_iter`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSample {
+    /// Zero-based round index within the trace.
+    pub round: u32,
+    /// Items on the round's work frontier (vertices for sweeps, edges for
+    /// peels) before the round ran.
+    pub frontier_len: usize,
+    /// Adjacency entries examined by the round (a deterministic work proxy
+    /// in sync sweep mode; schedule-dependent for async/peel rounds).
+    pub edges_examined: u64,
+    /// Items removed or changed by the round (h-updates for sweeps, edges
+    /// peeled for cascades).
+    pub items_removed: usize,
+    /// Edges still alive when the round started (`None` for engines without
+    /// an alive-edge notion, i.e. the UDS sweep).
+    pub alive_edges: Option<usize>,
+    /// Per-phase time breakdown for this round (empty if the engine only
+    /// tracks trace-level phase totals).
+    pub phase_times: Vec<PhaseTime>,
+}
+
+/// A completed trace: the per-round curve plus aggregated counters and phase
+/// totals, carried *alongside* `Stats` (which stays unchanged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompositionTrace {
+    /// Harness-chosen label (algorithm + graph, e.g. `"local_sync/filament"`).
+    pub label: String,
+    /// Rayon pool size the run was driven with, if labelled via
+    /// [`set_pool_threads`].
+    pub threads: Option<usize>,
+    /// Per-round samples in record order.
+    pub rounds: Vec<RoundSample>,
+    /// Aggregated totals for every [`Counter`], in [`Counter::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Aggregated [`span`] time per phase, omitting phases that never ran.
+    pub phase_totals: Vec<PhaseTime>,
+    /// Wall-clock seconds between `begin_trace` and `end_trace`.
+    pub wall_secs: f64,
+}
+
+impl DecompositionTrace {
+    /// Aggregated total for counter `c` (0 if absent).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.iter().find(|(name, _)| *name == c.name()).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Serialise to the `dsd-trace/v1` JSON schema. Hand-rolled (this crate
+    /// is dependency-free); `bench_report` re-parses the string with
+    /// `serde_json` to embed it, and [`report::view_from_json`] validates it.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.rounds.len() * 96);
+        out.push_str("{\"schema\":\"");
+        out.push_str(TRACE_SCHEMA);
+        out.push_str("\",\"label\":");
+        json::write_string(&mut out, &self.label);
+        out.push_str(",\"threads\":");
+        match self.threads {
+            Some(t) => out.push_str(&t.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"wall_secs\":");
+        json::write_f64(&mut out, self.wall_secs);
+        out.push_str(",\"rounds\":[");
+        for (i, r) in self.rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_round(&mut out, r);
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"phase_totals\":[");
+        write_phase_times(&mut out, &self.phase_totals);
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Schema tag emitted by [`DecompositionTrace::to_json`] and required by
+/// [`report::view_from_json`].
+pub const TRACE_SCHEMA: &str = "dsd-trace/v1";
+
+fn write_round(out: &mut String, r: &RoundSample) {
+    out.push_str("{\"round\":");
+    out.push_str(&r.round.to_string());
+    out.push_str(",\"frontier_len\":");
+    out.push_str(&r.frontier_len.to_string());
+    out.push_str(",\"edges_examined\":");
+    out.push_str(&r.edges_examined.to_string());
+    out.push_str(",\"items_removed\":");
+    out.push_str(&r.items_removed.to_string());
+    out.push_str(",\"alive_edges\":");
+    match r.alive_edges {
+        Some(a) => out.push_str(&a.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"phase_times\":[");
+    write_phase_times(out, &r.phase_times);
+    out.push_str("]}");
+}
+
+fn write_phase_times(out: &mut String, times: &[PhaseTime]) {
+    for (i, pt) in times.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"phase\":");
+        json::write_string(out, pt.phase);
+        out.push_str(",\"secs\":");
+        json::write_f64(out, pt.secs);
+        out.push('}');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace lifecycle
+// ---------------------------------------------------------------------------
+
+struct ActiveTrace {
+    label: String,
+    threads: Option<usize>,
+    rounds: Vec<RoundSample>,
+    started: Instant,
+}
+
+fn active() -> &'static Mutex<Option<ActiveTrace>> {
+    static ACTIVE: OnceLock<Mutex<Option<ActiveTrace>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+/// Start a trace labelled `label`: resets every thread shard and replaces any
+/// trace already active (whose partial data is dropped). No-op when the
+/// recorder is disabled, so `begin_trace`/`end_trace` brackets can stay in
+/// harness code unconditionally.
+///
+/// Must only be called while the engines are quiescent — shard resets race
+/// with in-flight probe writes otherwise.
+pub fn begin_trace(label: &str) {
+    if !enabled() {
+        return;
+    }
+    for shard in registry().lock().expect("telemetry registry poisoned").iter() {
+        shard.reset();
+    }
+    *active().lock().expect("telemetry trace poisoned") = Some(ActiveTrace {
+        label: label.to_string(),
+        threads: pool_threads(),
+        rounds: Vec::new(),
+        started: Instant::now(),
+    });
+}
+
+/// Append one round sample to the active trace. No-op when the recorder is
+/// disabled or no trace is active. Called once per engine round (never per
+/// item), so the mutex here is off the hot path.
+pub fn record_round(sample: RoundSample) {
+    if !enabled() {
+        return;
+    }
+    if let Some(trace) = active().lock().expect("telemetry trace poisoned").as_mut() {
+        trace.rounds.push(sample);
+    }
+}
+
+/// Number of rounds recorded so far on the active trace (0 when disabled or
+/// inactive). Engines use this to derive the next round index without
+/// threading their own counters through call layers.
+pub fn rounds_recorded() -> usize {
+    if !enabled() {
+        return 0;
+    }
+    active().lock().expect("telemetry trace poisoned").as_ref().map_or(0, |t| t.rounds.len())
+}
+
+/// Finish the active trace: aggregate every thread shard into counter and
+/// phase totals and return the completed [`DecompositionTrace`]. Returns
+/// `None` when the recorder is disabled or no trace is active.
+pub fn end_trace() -> Option<DecompositionTrace> {
+    if !enabled() {
+        return None;
+    }
+    let trace = active().lock().expect("telemetry trace poisoned").take()?;
+    let mut counter_totals = [0u64; Counter::COUNT];
+    let mut phase_nanos = [0u64; Phase::COUNT];
+    for shard in registry().lock().expect("telemetry registry poisoned").iter() {
+        for (total, cell) in counter_totals.iter_mut().zip(&shard.counters) {
+            *total += cell.load(Ordering::Relaxed);
+        }
+        for (total, cell) in phase_nanos.iter_mut().zip(&shard.phase_nanos) {
+            *total += cell.load(Ordering::Relaxed);
+        }
+    }
+    let counters = Counter::ALL.iter().map(|&c| (c.name(), counter_totals[c as usize])).collect();
+    let phase_totals = Phase::ALL
+        .iter()
+        .filter(|&&p| phase_nanos[p as usize] > 0)
+        .map(|&p| PhaseTime { phase: p.name(), secs: phase_nanos[p as usize] as f64 * 1e-9 })
+        .collect();
+    Some(DecompositionTrace {
+        label: trace.label,
+        threads: trace.threads,
+        rounds: trace.rounds,
+        counters,
+        phase_totals,
+        wall_secs: trace.started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The lifecycle tests share the one global recorder, so they must not
+    /// interleave: a single lock serialises them.
+    fn lifecycle_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn sample(round: u32, removed: usize) -> RoundSample {
+        RoundSample {
+            round,
+            frontier_len: 10,
+            edges_examined: 20,
+            items_removed: removed,
+            alive_edges: Some(100 - removed),
+            phase_times: vec![PhaseTime { phase: Phase::Sweep.name(), secs: 0.25 }],
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _guard = lifecycle_lock();
+        set_enabled(false);
+        begin_trace("ignored");
+        counter_add(Counter::CasRetries, 7);
+        record_round(sample(0, 1));
+        assert_eq!(rounds_recorded(), 0);
+        assert!(end_trace().is_none());
+    }
+
+    #[test]
+    fn trace_collects_rounds_counters_and_cross_thread_shards() {
+        let _guard = lifecycle_lock();
+        set_enabled(true);
+        begin_trace("unit");
+        counter_add(Counter::HUpdatesApplied, 3);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    counter_add(Counter::CasRetries, 5);
+                    time_phase(Phase::Cascade, || std::hint::black_box(1 + 1));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        record_round(sample(0, 2));
+        record_round(sample(1, 3));
+        assert_eq!(rounds_recorded(), 2);
+        let trace = end_trace().expect("trace active");
+        set_enabled(false);
+        assert_eq!(trace.label, "unit");
+        assert_eq!(trace.rounds.len(), 2);
+        assert_eq!(trace.rounds[1].round, 1);
+        assert_eq!(trace.counter(Counter::HUpdatesApplied), 3);
+        assert_eq!(trace.counter(Counter::CasRetries), 20);
+        assert_eq!(trace.counter(Counter::ChunkMinRescans), 0);
+        assert!(trace.phase_totals.iter().any(|pt| pt.phase == Phase::Cascade.name()));
+        assert!(end_trace().is_none(), "trace consumed by first end_trace");
+    }
+
+    #[test]
+    fn begin_trace_resets_shards_from_prior_trace() {
+        let _guard = lifecycle_lock();
+        set_enabled(true);
+        begin_trace("first");
+        counter_add(Counter::CompactionMoves, 99);
+        let first = end_trace().expect("first trace");
+        assert_eq!(first.counter(Counter::CompactionMoves), 99);
+        begin_trace("second");
+        let second = end_trace().expect("second trace");
+        set_enabled(false);
+        assert_eq!(second.counter(Counter::CompactionMoves), 0);
+    }
+
+    #[test]
+    fn pool_threads_label_round_trips() {
+        let _guard = lifecycle_lock();
+        set_enabled(true);
+        set_pool_threads(Some(4));
+        begin_trace("pooled");
+        let trace = end_trace().expect("trace");
+        set_pool_threads(None);
+        set_enabled(false);
+        assert_eq!(trace.threads, Some(4));
+        assert_eq!(pool_threads(), None);
+    }
+
+    #[test]
+    fn to_json_round_trips_through_parser() {
+        let trace = DecompositionTrace {
+            label: "rt \"quoted\"\n".to_string(),
+            threads: Some(2),
+            rounds: vec![RoundSample {
+                round: 0,
+                frontier_len: 5,
+                edges_examined: 12,
+                items_removed: 4,
+                alive_edges: None,
+                phase_times: vec![PhaseTime { phase: Phase::ThresholdSelect.name(), secs: 0.5 }],
+            }],
+            counters: Counter::ALL.iter().map(|&c| (c.name(), c as u64)).collect(),
+            phase_totals: vec![PhaseTime { phase: Phase::Cascade.name(), secs: 1.25 }],
+            wall_secs: 2.5,
+        };
+        let text = trace.to_json();
+        let value = json::parse(&text).expect("trace JSON parses");
+        let obj = value.as_object().expect("trace is an object");
+        assert_eq!(obj.get("schema").and_then(json::Value::as_str), Some(TRACE_SCHEMA));
+        assert_eq!(obj.get("label").and_then(json::Value::as_str), Some("rt \"quoted\"\n"));
+        assert_eq!(obj.get("threads").and_then(json::Value::as_u64), Some(2));
+        let rounds = obj.get("rounds").and_then(json::Value::as_array).expect("rounds array");
+        assert_eq!(rounds.len(), 1);
+        let round = rounds[0].as_object().expect("round object");
+        assert!(round.get("alive_edges").expect("alive_edges").is_null());
+        assert_eq!(round.get("edges_examined").and_then(json::Value::as_u64), Some(12));
+        let counters =
+            obj.get("counters").and_then(json::Value::as_object).expect("counters object");
+        assert_eq!(
+            counters.get(Counter::CasRetries.name()).and_then(json::Value::as_u64),
+            Some(Counter::CasRetries as u64)
+        );
+    }
+}

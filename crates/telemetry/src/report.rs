@@ -1,0 +1,433 @@
+//! Trace views and Table 6/7-style text rendering.
+//!
+//! A [`TraceView`] is the renderer-facing shape of a trace: it can be built
+//! from an in-memory [`DecompositionTrace`](crate::DecompositionTrace) via
+//! [`view`], or from parsed JSON via [`view_from_json`] — the latter doubles
+//! as the `dsd-trace/v1` schema validator used by `bench_report` and CI (a
+//! malformed trace fails with a field-level error instead of rendering
+//! garbage).
+
+use crate::json::{self, Value};
+use crate::{DecompositionTrace, TRACE_SCHEMA};
+
+/// One round of a [`TraceView`] (all counts widened to `u64`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundView {
+    /// Zero-based round index.
+    pub round: u64,
+    /// Work-frontier length at round start.
+    pub frontier_len: u64,
+    /// Adjacency entries examined by the round.
+    pub edges_examined: u64,
+    /// Items removed or changed by the round.
+    pub items_removed: u64,
+    /// Alive edges at round start (`None` for sweep-style engines).
+    pub alive_edges: Option<u64>,
+    /// Per-phase `(name, seconds)` breakdown for the round.
+    pub phase_times: Vec<(String, f64)>,
+}
+
+/// Renderer-facing view of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceView {
+    /// Trace label.
+    pub label: String,
+    /// Rayon pool size, if labelled.
+    pub threads: Option<u64>,
+    /// Wall-clock seconds for the whole trace.
+    pub wall_secs: f64,
+    /// Per-round samples.
+    pub rounds: Vec<RoundView>,
+    /// Aggregated counters in emission order.
+    pub counters: Vec<(String, u64)>,
+    /// Aggregated `(phase, seconds)` totals.
+    pub phase_totals: Vec<(String, f64)>,
+}
+
+impl TraceView {
+    /// Alive edges at the first recorded round, if the engine tracks them.
+    pub fn first_alive(&self) -> Option<u64> {
+        self.rounds.iter().find_map(|r| r.alive_edges)
+    }
+
+    /// Alive edges at the last recorded round, if the engine tracks them.
+    pub fn last_alive(&self) -> Option<u64> {
+        self.rounds.iter().rev().find_map(|r| r.alive_edges)
+    }
+
+    /// Sum of `edges_examined` over all rounds.
+    pub fn total_examined(&self) -> u64 {
+        self.rounds.iter().map(|r| r.edges_examined).sum()
+    }
+
+    /// Sum of `items_removed` over all rounds.
+    pub fn total_removed(&self) -> u64 {
+        self.rounds.iter().map(|r| r.items_removed).sum()
+    }
+}
+
+/// Build a [`TraceView`] from an in-memory trace.
+pub fn view(trace: &DecompositionTrace) -> TraceView {
+    TraceView {
+        label: trace.label.clone(),
+        threads: trace.threads.map(|t| t as u64),
+        wall_secs: trace.wall_secs,
+        rounds: trace
+            .rounds
+            .iter()
+            .map(|r| RoundView {
+                round: u64::from(r.round),
+                frontier_len: r.frontier_len as u64,
+                edges_examined: r.edges_examined,
+                items_removed: r.items_removed as u64,
+                alive_edges: r.alive_edges.map(|a| a as u64),
+                phase_times: r
+                    .phase_times
+                    .iter()
+                    .map(|pt| (pt.phase.to_string(), pt.secs))
+                    .collect(),
+            })
+            .collect(),
+        counters: trace.counters.iter().map(|(name, v)| (name.to_string(), *v)).collect(),
+        phase_totals: trace.phase_totals.iter().map(|pt| (pt.phase.to_string(), pt.secs)).collect(),
+    }
+}
+
+fn field<'a>(obj: &'a json::Object, key: &str, what: &str) -> Result<&'a Value, String> {
+    obj.get(key).ok_or_else(|| format!("{what}: missing '{key}'"))
+}
+
+fn u64_field(obj: &json::Object, key: &str, what: &str) -> Result<u64, String> {
+    field(obj, key, what)?
+        .as_u64()
+        .ok_or_else(|| format!("{what}: '{key}' must be a non-negative integer"))
+}
+
+fn f64_field(obj: &json::Object, key: &str, what: &str) -> Result<f64, String> {
+    field(obj, key, what)?.as_f64().ok_or_else(|| format!("{what}: '{key}' must be a number"))
+}
+
+fn phase_times_field(
+    obj: &json::Object,
+    key: &str,
+    what: &str,
+) -> Result<Vec<(String, f64)>, String> {
+    let arr = field(obj, key, what)?
+        .as_array()
+        .ok_or_else(|| format!("{what}: '{key}' must be an array"))?;
+    arr.iter()
+        .map(|entry| {
+            let o = entry
+                .as_object()
+                .ok_or_else(|| format!("{what}: '{key}' entries must be objects"))?;
+            let phase = o
+                .get("phase")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{what}: phase_times entry missing 'phase' string"))?;
+            let secs = f64_field(o, "secs", what)?;
+            if secs < 0.0 {
+                return Err(format!("{what}: negative phase time for '{phase}'"));
+            }
+            Ok((phase.to_string(), secs))
+        })
+        .collect()
+}
+
+/// Validate a parsed `dsd-trace/v1` document and build its [`TraceView`].
+///
+/// Every field the schema promises is checked for presence and type, so this
+/// is the guard CI uses: a trace that renders must be a trace every consumer
+/// can rely on.
+pub fn view_from_json(value: &Value) -> Result<TraceView, String> {
+    let obj = value.as_object().ok_or("trace: document must be an object")?;
+    let schema =
+        field(obj, "schema", "trace")?.as_str().ok_or("trace: 'schema' must be a string")?;
+    if schema != TRACE_SCHEMA {
+        return Err(format!("trace: schema mismatch: expected '{TRACE_SCHEMA}', got '{schema}'"));
+    }
+    let label = field(obj, "label", "trace")?
+        .as_str()
+        .ok_or("trace: 'label' must be a string")?
+        .to_string();
+    let threads = match field(obj, "threads", "trace")? {
+        Value::Null => None,
+        v => Some(v.as_u64().ok_or("trace: 'threads' must be null or a non-negative integer")?),
+    };
+    let wall_secs = f64_field(obj, "wall_secs", "trace")?;
+    if wall_secs < 0.0 {
+        return Err("trace: 'wall_secs' must be non-negative".to_string());
+    }
+
+    let rounds_value =
+        field(obj, "rounds", "trace")?.as_array().ok_or("trace: 'rounds' must be an array")?;
+    let mut rounds = Vec::with_capacity(rounds_value.len());
+    for (i, entry) in rounds_value.iter().enumerate() {
+        let what = format!("rounds[{i}]");
+        let o = entry.as_object().ok_or_else(|| format!("{what}: must be an object"))?;
+        let alive_edges = match field(o, "alive_edges", &what)? {
+            Value::Null => None,
+            v => Some(
+                v.as_u64()
+                    .ok_or_else(|| format!("{what}: 'alive_edges' must be null or integer"))?,
+            ),
+        };
+        rounds.push(RoundView {
+            round: u64_field(o, "round", &what)?,
+            frontier_len: u64_field(o, "frontier_len", &what)?,
+            edges_examined: u64_field(o, "edges_examined", &what)?,
+            items_removed: u64_field(o, "items_removed", &what)?,
+            alive_edges,
+            phase_times: phase_times_field(o, "phase_times", &what)?,
+        });
+    }
+
+    let counters_obj = field(obj, "counters", "trace")?
+        .as_object()
+        .ok_or("trace: 'counters' must be an object")?;
+    let mut counters = Vec::with_capacity(counters_obj.len());
+    for (name, v) in counters_obj.iter() {
+        let value = v
+            .as_u64()
+            .ok_or_else(|| format!("trace: counter '{name}' must be a non-negative integer"))?;
+        counters.push((name.to_string(), value));
+    }
+
+    let phase_totals = phase_times_field(obj, "phase_totals", "trace")?;
+
+    Ok(TraceView { label, threads, wall_secs, rounds, counters, phase_totals })
+}
+
+fn pad(s: &str, width: usize) -> String {
+    format!("{s:>width$}")
+}
+
+fn pad_left(s: &str, width: usize) -> String {
+    format!("{s:<width$}")
+}
+
+const LABEL_W: usize = 28;
+const NUM_W: usize = 10;
+
+/// Render the phase-breakdown summary table (Table 6-style): one row per
+/// trace with pool size, round count, wall time and the percentage split
+/// across phases.
+pub fn render_phase_table(views: &[TraceView]) -> String {
+    let mut out = String::new();
+    out.push_str(&pad_left("trace", LABEL_W));
+    for h in ["thr", "rounds", "wall_s"] {
+        out.push_str(&pad(h, NUM_W));
+    }
+    out.push_str("  phase breakdown\n");
+    for v in views {
+        out.push_str(&pad_left(&v.label, LABEL_W));
+        out.push_str(&pad(&v.threads.map_or_else(|| "-".to_string(), |t| t.to_string()), NUM_W));
+        out.push_str(&pad(&v.rounds.len().to_string(), NUM_W));
+        out.push_str(&pad(&format!("{:.4}", v.wall_secs), NUM_W));
+        out.push_str("  ");
+        let total: f64 = v.phase_totals.iter().map(|(_, s)| *s).sum();
+        if total <= 0.0 {
+            out.push_str("(no phase spans)");
+        } else {
+            let parts: Vec<String> = v
+                .phase_totals
+                .iter()
+                .map(|(name, secs)| format!("{name} {:.1}%", 100.0 * secs / total))
+                .collect();
+            out.push_str(&parts.join(" | "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the per-round curve of one trace (Table 7-style): frontier size,
+/// work, removals and the alive-edge count per round. At most `max_rows`
+/// rounds are printed; the middle of longer traces is elided.
+pub fn render_round_curve(v: &TraceView, max_rows: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (threads {}, {} rounds, {:.4}s)\n",
+        v.label,
+        v.threads.map_or_else(|| "-".to_string(), |t| t.to_string()),
+        v.rounds.len(),
+        v.wall_secs
+    ));
+    for h in ["round", "frontier", "examined", "removed", "alive"] {
+        out.push_str(&pad(h, NUM_W));
+    }
+    out.push('\n');
+    let n = v.rounds.len();
+    let max_rows = max_rows.max(2);
+    let (head, tail) = if n <= max_rows { (n, 0) } else { (max_rows / 2, max_rows - max_rows / 2) };
+    fn emit(out: &mut String, r: &RoundView) {
+        out.push_str(&pad(&r.round.to_string(), NUM_W));
+        out.push_str(&pad(&r.frontier_len.to_string(), NUM_W));
+        out.push_str(&pad(&r.edges_examined.to_string(), NUM_W));
+        out.push_str(&pad(&r.items_removed.to_string(), NUM_W));
+        out.push_str(&pad(
+            &r.alive_edges.map_or_else(|| "-".to_string(), |a| a.to_string()),
+            NUM_W,
+        ));
+        out.push('\n');
+    }
+    for r in &v.rounds[..head] {
+        emit(&mut out, r);
+    }
+    if tail > 0 {
+        out.push_str(&pad(&format!("... {} rounds elided ...", n - head - tail), NUM_W * 3));
+        out.push('\n');
+        for r in &v.rounds[n - tail..] {
+            emit(&mut out, r);
+        }
+    }
+    out
+}
+
+/// Render the non-zero counters of each trace, one line per trace.
+pub fn render_counters(views: &[TraceView]) -> String {
+    let mut out = String::new();
+    for v in views {
+        let nonzero: Vec<String> = v
+            .counters
+            .iter()
+            .filter(|(_, value)| *value > 0)
+            .map(|(name, value)| format!("{name}={value}"))
+            .collect();
+        out.push_str(&pad_left(&v.label, LABEL_W));
+        out.push_str("  ");
+        if nonzero.is_empty() {
+            out.push_str("(all counters zero)");
+        } else {
+            out.push_str(&nonzero.join(" "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a generic labelled matrix with the repo's experiment-table layout
+/// (first column left-aligned at 12, remaining columns right-aligned at 16 —
+/// the same grid as `dsd-bench`'s `print_row`). Used by the Table 6/7
+/// experiments to print trace-derived iteration counts and sizes.
+pub fn render_matrix(
+    first_header: &str,
+    headers: &[&str],
+    rows: &[(String, Vec<String>)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&pad_left(first_header, 12));
+    for h in headers {
+        out.push_str(&pad(h, 16));
+    }
+    out.push('\n');
+    for (label, cells) in rows {
+        out.push_str(&pad_left(label, 12));
+        for cell in cells {
+            out.push_str(&pad(cell, 16));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, Phase, PhaseTime, RoundSample};
+
+    fn demo_trace() -> DecompositionTrace {
+        DecompositionTrace {
+            label: "demo/peel".to_string(),
+            threads: Some(4),
+            rounds: (0..3)
+                .map(|i| RoundSample {
+                    round: i,
+                    frontier_len: 100 - i as usize,
+                    edges_examined: 1000 + u64::from(i),
+                    items_removed: 10 * (i as usize + 1),
+                    alive_edges: Some(5000 - 100 * i as usize),
+                    phase_times: vec![PhaseTime { phase: Phase::Cascade.name(), secs: 0.01 }],
+                })
+                .collect(),
+            counters: Counter::ALL.iter().map(|&c| (c.name(), 2)).collect(),
+            phase_totals: vec![
+                PhaseTime { phase: Phase::ThresholdSelect.name(), secs: 0.25 },
+                PhaseTime { phase: Phase::Cascade.name(), secs: 0.75 },
+            ],
+            wall_secs: 1.0,
+        }
+    }
+
+    #[test]
+    fn view_and_json_view_agree() {
+        let trace = demo_trace();
+        let direct = view(&trace);
+        let parsed = json::parse(&trace.to_json()).unwrap();
+        let via_json = view_from_json(&parsed).unwrap();
+        assert_eq!(direct, via_json);
+        assert_eq!(direct.first_alive(), Some(5000));
+        assert_eq!(direct.last_alive(), Some(4800));
+        assert_eq!(direct.total_removed(), 60);
+        assert_eq!(direct.total_examined(), 3003);
+    }
+
+    #[test]
+    fn schema_validation_rejects_bad_documents() {
+        let good = demo_trace().to_json();
+        assert!(view_from_json(&json::parse(&good).unwrap()).is_ok());
+
+        let wrong_schema = good.replace("dsd-trace/v1", "dsd-trace/v0");
+        let err = view_from_json(&json::parse(&wrong_schema).unwrap()).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+
+        let missing_rounds = good.replace("\"rounds\"", "\"wrongs\"");
+        assert!(view_from_json(&json::parse(&missing_rounds).unwrap()).is_err());
+
+        let bad_counter = good.replace("\"cas_retries\":2", "\"cas_retries\":-2");
+        assert!(view_from_json(&json::parse(&bad_counter).unwrap()).is_err());
+
+        assert!(view_from_json(&json::parse("[1,2]").unwrap()).is_err());
+    }
+
+    #[test]
+    fn renderers_produce_expected_shapes() {
+        let v = view(&demo_trace());
+        let table = render_phase_table(std::slice::from_ref(&v));
+        assert!(table.contains("demo/peel"));
+        assert!(table.contains("threshold-select 25.0%"));
+        assert!(table.contains("peel-cascade 75.0%"));
+
+        let curve = render_round_curve(&v, 10);
+        assert_eq!(curve.lines().count(), 2 + 3, "header lines + 3 rounds");
+        assert!(curve.contains("5000"));
+
+        let counters = render_counters(std::slice::from_ref(&v));
+        assert!(counters.contains("cas_retries=2"));
+
+        let matrix = render_matrix(
+            "dataset",
+            &["PKC", "Local"],
+            &[("web".to_string(), vec!["5".to_string(), "7".to_string()])],
+        );
+        assert!(matrix.starts_with("dataset"));
+        assert!(matrix.contains("web"));
+    }
+
+    #[test]
+    fn round_curve_elides_long_traces() {
+        let mut trace = demo_trace();
+        trace.rounds = (0..50)
+            .map(|i| RoundSample {
+                round: i,
+                frontier_len: 1,
+                edges_examined: 1,
+                items_removed: 1,
+                alive_edges: None,
+                phase_times: Vec::new(),
+            })
+            .collect();
+        let curve = render_round_curve(&view(&trace), 10);
+        assert!(curve.contains("rounds elided"));
+        assert!(curve.contains("49"), "last round printed");
+    }
+}

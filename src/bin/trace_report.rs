@@ -1,0 +1,118 @@
+//! `trace_report` — render per-round decomposition traces as text tables.
+//!
+//! ```text
+//! trace_report FILE... [--rounds N] [--no-counters]
+//! ```
+//!
+//! Each `FILE` is either a raw `dsd-trace/v1` document (one trace), a
+//! `dsd-telemetry-section/v1` object (`{"traces": [...]}`), or a
+//! `bench_report --trace` output whose `telemetry` key holds such a
+//! section. Every trace is validated against the schema before anything
+//! is rendered — a malformed file exits non-zero with a field-level
+//! error, which is how CI guards the trace JSON contract.
+//!
+//! Output: one phase-breakdown summary table across all traces (the
+//! Table 6-style "where did the time go" view), the non-zero engine
+//! counters, and a per-round curve per trace (the Table 7-style
+//! shrinking-graph view). `--rounds N` caps the curve rows per trace
+//! (default 8, the middle of longer traces is elided; 0 disables the
+//! curves entirely).
+
+use std::process::ExitCode;
+
+use dsd_telemetry::json::{self, Value};
+use dsd_telemetry::report::{
+    render_counters, render_phase_table, render_round_curve, view_from_json, TraceView,
+};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace_report FILE... [--rounds N] [--no-counters]");
+    ExitCode::from(2)
+}
+
+/// Pulls the trace documents out of a parsed file: a raw trace, a
+/// telemetry section, or a bench report wrapping one.
+fn trace_values(doc: &Value) -> Result<Vec<&Value>, String> {
+    let obj = doc.as_object().ok_or("document must be a JSON object")?;
+    let section = match obj.get("telemetry") {
+        // A bench report without --trace has no telemetry key (or null).
+        Some(Value::Null) | None if obj.get("traces").is_none() && obj.get("schema").is_some() => {
+            // Raw trace documents carry "schema": "dsd-trace/v1" and no
+            // "traces" array; let the schema validator decide.
+            return Ok(vec![doc]);
+        }
+        Some(Value::Null) => return Err("report has a null 'telemetry' section".to_string()),
+        Some(v) => v.as_object().ok_or("'telemetry' must be an object")?,
+        None => obj,
+    };
+    let traces = section
+        .get("traces")
+        .ok_or("no 'traces' array found (did bench_report run with --trace?)")?
+        .as_array()
+        .ok_or("'traces' must be an array")?;
+    if traces.is_empty() {
+        return Err("'traces' array is empty".to_string());
+    }
+    Ok(traces.iter().collect())
+}
+
+fn load_views(path: &str) -> Result<Vec<TraceView>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    trace_values(&doc)?.into_iter().map(view_from_json).collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut rounds = 8usize;
+    let mut counters = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                rounds = v;
+                i += 2;
+            }
+            "--no-counters" => {
+                counters = false;
+                i += 1;
+            }
+            a if a.starts_with("--") => return usage(),
+            a => {
+                files.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut views: Vec<TraceView> = Vec::new();
+    for path in &files {
+        match load_views(path) {
+            Ok(vs) => views.extend(vs),
+            Err(e) => {
+                eprintln!("trace_report: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    print!("{}", render_phase_table(&views));
+    if counters {
+        println!();
+        print!("{}", render_counters(&views));
+    }
+    if rounds > 0 {
+        for v in &views {
+            println!();
+            print!("{}", render_round_curve(v, rounds));
+        }
+    }
+    ExitCode::SUCCESS
+}

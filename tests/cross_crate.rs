@@ -153,6 +153,54 @@ fn pkc_deterministic_across_pool_sizes() {
 }
 
 #[test]
+fn telemetry_recorder_parity_with_recorder_disabled() {
+    // PR-3 contract: flipping the recorder on must not change any answer.
+    // Every probe site (round sampling, examined scans, counters, span
+    // timers) runs in the enabled pass, and each decomposition's result is
+    // compared bit-for-bit with the recorder-off pass. Only return values
+    // are asserted — the recorder is process-global and this binary's
+    // tests run concurrently, so trace *contents* could interleave; the
+    // exact per-round and counter assertions live in
+    // `tests/telemetry_trace.rs`, which is its own process.
+    use dsd_core::dds::pwc::pwc;
+    use dsd_core::uds::local::local_decomposition;
+    use dsd_core::uds::pkc::pkc_decomposition;
+    use dsd_core::uds::pkmc::pkmc;
+
+    let base = dsd_graph::gen::chung_lu(900, 7_000, 2.3, 51);
+    let g = dsd_graph::gen::attach_filaments(&base, 3, 70, 52);
+    let d = dsd_graph::gen::chung_lu_directed(350, 2_800, 2.4, 2.1, 53);
+
+    dsd_telemetry::set_enabled(false);
+    let local_off = local_decomposition(&g);
+    let pkmc_off = pkmc(&g);
+    let pkc_off = pkc_decomposition(&g);
+    let pwc_off = pwc(&d);
+
+    dsd_telemetry::set_enabled(true);
+    dsd_telemetry::begin_trace("cross_crate/recorder_parity");
+    let local_on = local_decomposition(&g);
+    let pkmc_on = pkmc(&g);
+    let pkc_on = pkc_decomposition(&g);
+    let pwc_on = pwc(&d);
+    let trace = dsd_telemetry::end_trace().expect("recorder is enabled");
+    dsd_telemetry::set_enabled(false);
+
+    assert_eq!(local_on.core, local_off.core, "local core numbers");
+    assert_eq!(local_on.stats.iterations, local_off.stats.iterations, "local iterations");
+    assert_eq!(pkmc_on.vertices, pkmc_off.vertices, "pkmc vertex set");
+    assert_eq!(pkmc_on.density, pkmc_off.density, "pkmc density");
+    assert_eq!(pkmc_on.stats.iterations, pkmc_off.stats.iterations, "pkmc sweeps");
+    assert_eq!(pkc_on.core, pkc_off.core, "pkc core numbers");
+    assert_eq!(pkc_on.stats.iterations, pkc_off.stats.iterations, "pkc rounds");
+    assert_eq!(pwc_on.result.s, pwc_off.result.s, "pwc S side");
+    assert_eq!(pwc_on.result.t, pwc_off.result.t, "pwc T side");
+    assert_eq!(pwc_on.w_star, pwc_off.w_star, "pwc w*");
+    assert_eq!(pwc_on.result.stats.edges_last_iter, pwc_off.result.stats.edges_last_iter);
+    assert!(!trace.rounds.is_empty(), "instrumented engines recorded rounds");
+}
+
+#[test]
 fn connected_component_of_core_is_valid_answer() {
     // The paper: the k*-core may have several components, any of which is a
     // 2-approximation. Check the density bound holds for the best one.

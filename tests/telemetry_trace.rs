@@ -1,0 +1,166 @@
+//! Telemetry recorder integration tests with exact trace assertions.
+//!
+//! These tests assert exact per-round samples and counter totals, so they
+//! live in their own integration binary: every file under `tests/` is a
+//! separate process, and the recorder is process-global — in a shared
+//! binary, concurrently running tests that drive instrumented engines
+//! would interleave probe writes into whichever trace is active. The
+//! result-parity test (which only asserts on return values and is immune
+//! to that) stays in `tests/cross_crate.rs`. Within this file a lock
+//! serialises the tests, mirroring the crate's own lifecycle tests.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use dsd_core::runner::with_threads;
+use dsd_telemetry::{self as telemetry, Counter, DecompositionTrace};
+
+fn recorder_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Runs `run` under a fresh named trace with the recorder on, restoring the
+/// previous recorder state afterwards.
+fn traced<R>(label: &str, run: impl FnOnce() -> R) -> (R, DecompositionTrace) {
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    telemetry::begin_trace(label);
+    let out = run();
+    let trace = telemetry::end_trace().expect("recorder is enabled");
+    telemetry::set_enabled(was_enabled);
+    (out, trace)
+}
+
+#[test]
+fn uds_sync_rounds_and_counters_stable_across_pool_sizes() {
+    // The sweep engine's synchronous schedule is deterministic: every pool
+    // size must produce the identical trace — same number of sweeps, same
+    // per-round (frontier, examined, removed) triples, same h-update
+    // total — not merely the same core numbers.
+    let _guard = recorder_lock();
+    let base = dsd_graph::gen::chung_lu(800, 6_000, 2.3, 11);
+    let g = dsd_graph::gen::attach_filaments(&base, 3, 60, 12);
+
+    let mut reference: Option<(usize, DecompositionTrace)> = None;
+    for &p in &[1usize, 2, 4] {
+        let (r, t) = traced(&format!("uds_sync/p{p}"), || {
+            with_threads(p, || dsd_core::uds::local::local_decomposition(&g))
+        });
+        assert_eq!(t.threads, Some(p), "pool {p}: trace pool label");
+        // The engine records every sweep including the final fixpoint
+        // check, which changes nothing.
+        assert_eq!(t.rounds.len(), r.stats.iterations + 1, "pool {p}: rounds vs iterations");
+        assert_eq!(t.rounds.last().map(|s| s.items_removed), Some(0), "pool {p}: final sweep");
+        let applied: usize = t.rounds.iter().map(|s| s.items_removed).sum();
+        assert_eq!(
+            t.counter(Counter::HUpdatesApplied),
+            applied as u64,
+            "pool {p}: counter vs per-round removals"
+        );
+        match &reference {
+            None => reference = Some((r.stats.iterations, t)),
+            Some((iters, t1)) => {
+                assert_eq!(r.stats.iterations, *iters, "pool {p}: iteration count");
+                assert_eq!(t.rounds.len(), t1.rounds.len(), "pool {p}: round count");
+                for (a, b) in t.rounds.iter().zip(&t1.rounds) {
+                    assert_eq!(a.round, b.round, "pool {p}: round index");
+                    assert_eq!(a.frontier_len, b.frontier_len, "pool {p}: frontier");
+                    assert_eq!(a.edges_examined, b.edges_examined, "pool {p}: examined");
+                    assert_eq!(a.items_removed, b.items_removed, "pool {p}: removed");
+                }
+                assert_eq!(
+                    t.counter(Counter::HUpdatesApplied),
+                    t1.counter(Counter::HUpdatesApplied),
+                    "pool {p}: h-updates"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dds_peel_alive_curve_matches_stats_across_pool_sizes() {
+    // The peel engine records one sample per outer iteration with the
+    // alive-edge count snapshotted at iteration start. The threshold
+    // sequence is data-determined, so the whole (frontier, removed, alive)
+    // curve is pool-size independent; only `edges_examined` may vary with
+    // scheduling (inner cascade round composition) and is not compared.
+    use dsd_core::dds::peel::PeelWorkspace;
+
+    let _guard = recorder_lock();
+    let base = dsd_graph::gen::chung_lu_directed(400, 3_200, 2.3, 2.1, 13);
+    let g = dsd_graph::gen::attach_filaments_directed(&base, 3, 80, 14);
+
+    let mut reference: Option<DecompositionTrace> = None;
+    for &p in &[1usize, 2, 4] {
+        let (r, t) = traced(&format!("dds_peel/p{p}"), || {
+            with_threads(p, || {
+                dsd_core::dds::winduced::w_decomposition_in(&g, &mut PeelWorkspace::new())
+            })
+        });
+        assert!(!t.rounds.is_empty(), "pool {p}: peel recorded rounds");
+        assert_eq!(
+            t.rounds.first().and_then(|s| s.alive_edges),
+            r.stats.edges_first_iter,
+            "pool {p}: first alive vs Stats::edges_first_iter"
+        );
+        assert_eq!(
+            t.rounds.last().and_then(|s| s.alive_edges),
+            r.stats.edges_last_iter,
+            "pool {p}: final alive vs Stats::edges_last_iter"
+        );
+        let removed: usize = t.rounds.iter().map(|s| s.items_removed).sum();
+        assert_eq!(
+            Some(removed),
+            r.stats.edges_first_iter,
+            "pool {p}: removals must account for every initially-alive edge"
+        );
+        let mut prev = usize::MAX;
+        for s in &t.rounds {
+            let alive = s.alive_edges.expect("peel rounds carry alive_edges");
+            assert!(alive <= prev, "pool {p}: alive curve must be non-increasing");
+            prev = alive;
+        }
+        if p == 1 {
+            assert_eq!(t.counter(Counter::CasRetries), 0, "serial run cannot lose claims");
+        }
+        match &reference {
+            None => reference = Some(t),
+            Some(t1) => {
+                assert_eq!(t.rounds.len(), t1.rounds.len(), "pool {p}: outer rounds");
+                for (a, b) in t.rounds.iter().zip(&t1.rounds) {
+                    assert_eq!(a.frontier_len, b.frontier_len, "pool {p}: threshold frontier");
+                    assert_eq!(a.items_removed, b.items_removed, "pool {p}: peeled per round");
+                    assert_eq!(a.alive_edges, b.alive_edges, "pool {p}: alive curve");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traces_survive_the_json_pipeline() {
+    // A real engine trace must round-trip through to_json -> parse ->
+    // view_from_json, the exact pipeline bench_report --trace and
+    // trace_report run in CI.
+    use dsd_telemetry::json;
+    use dsd_telemetry::report::{view, view_from_json};
+
+    let _guard = recorder_lock();
+    let g = dsd_graph::gen::chung_lu(500, 3_500, 2.4, 31);
+    let (r, t) = traced("json_round_trip", || dsd_core::uds::pkmc::pkmc(&g));
+
+    let doc = json::parse(&t.to_json()).expect("trace JSON parses");
+    let from_json = view_from_json(&doc).expect("trace JSON validates against dsd-trace/v1");
+    let direct = view(&t);
+    assert_eq!(from_json.rounds.len(), direct.rounds.len());
+    assert_eq!(from_json.total_removed(), direct.total_removed());
+    assert_eq!(from_json.total_examined(), direct.total_examined());
+    // PKMC's effective (progress-making) rounds are its Stats iteration
+    // count, the Table 6 contract.
+    let effective = direct.rounds.iter().filter(|s| s.items_removed > 0).count();
+    assert_eq!(effective, r.stats.iterations);
+}
