@@ -3,21 +3,25 @@
 //! Times the h-index sweep engine (legacy collect-per-sweep kernel vs the
 //! workspace-reuse engine in sync and async modes, plus the frontier
 //! schedule), the DDS edge-frontier peeling engine (legacy Algorithm 3
-//! kernel vs `dds::peel::PeelWorkspace`), and the paper's two contributed
-//! algorithms end-to-end (PKMC and PWC) on the seeded stand-in graphs;
-//! verifies the parity contracts (UDS sync mode bit-identical to the seed
-//! kernel; DDS induce-numbers and `w*` bit-identical to the legacy kernel
-//! and PWC identical across rayon pool sizes {1, 2, 4}); and writes a
-//! machine-readable report.
+//! kernel vs `dds::peel::PeelWorkspace`), the graph-ingest engine (PR 4:
+//! counting-sort CSR builders vs the legacy global-sort oracles, the
+//! chunked parallel text parser vs the serial reader, and the direct CSR
+//! reorder vs the builder round-trip, on a million-edge synthetic edge
+//! multiset), and the paper's two contributed algorithms end-to-end (PKMC
+//! and PWC) on the seeded stand-in graphs; verifies the parity contracts
+//! (UDS sync mode bit-identical to the seed kernel; DDS induce-numbers and
+//! `w*` bit-identical to the legacy kernel; every ingest path bit-identical
+//! to its legacy oracle; PWC identical across rayon pool sizes {1, 2, 4});
+//! and writes a machine-readable report.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p dsd-bench --bin bench_report \
-//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR3.json]
+//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR4.json]
 //! ```
 //!
-//! The default output path is `BENCH_PR3.json` in the current directory
+//! The default output path is `BENCH_PR4.json` in the current directory
 //! (run from the repo root to refresh the committed baseline). Scale the
 //! workload with `DSD_BENCH_SCALE` (default 1.0; CI can lower it).
 //! `--smoke` is the CI fast mode: tiny graphs, one rep, output defaulting
@@ -118,6 +122,44 @@ struct DdsSection {
 }
 
 #[derive(Serialize)]
+struct IngestParity {
+    /// Counting-sort `build()` == `build_legacy()` on the raw multiset, at
+    /// every pool size tried.
+    undirected_build_identical: bool,
+    /// Directed counterpart (both CSR directions compared).
+    directed_build_identical: bool,
+    /// Chunked parallel reader == serial reader on the text edge list.
+    parse_identical: bool,
+    /// Direct CSR permutation == legacy builder round-trip reorder.
+    reorder_identical: bool,
+    /// Pool sizes the ingest parity checks ran at.
+    pool_sizes: Vec<usize>,
+}
+
+/// The PR-4 ingest section: counting-sort CSR construction, chunked
+/// parallel parsing, and direct CSR reordering vs their legacy oracles.
+#[derive(Serialize)]
+struct IngestSection {
+    /// The raw synthetic multiset the builder timings consume (duplicates
+    /// and self-loops included, as real edge lists have).
+    raw_edges: usize,
+    /// Vertex-range of the synthetic multiset.
+    raw_vertices: usize,
+    timings: Vec<Timing>,
+    /// `build_legacy / build` on the undirected multiset — the PR-4
+    /// acceptance headline (target >= 1.5).
+    speedup_build_vs_legacy_undirected: f64,
+    /// `build_legacy / build` on the directed multiset.
+    speedup_build_vs_legacy_directed: f64,
+    /// Serial line-at-a-time reader / chunked parallel reader, end to end
+    /// (parse + build on both sides).
+    speedup_parse_vs_serial: f64,
+    /// Legacy builder-round-trip reorder / direct CSR permutation.
+    speedup_reorder_vs_legacy: f64,
+    parity: IngestParity,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: &'static str,
     pr: u32,
@@ -129,6 +171,8 @@ struct Report {
     parity: Parity,
     /// DDS peeling-engine comparison (PR 2).
     dds: DdsSection,
+    /// Graph-ingest engine comparison (PR 4).
+    ingest: IngestSection,
     /// End-to-end contributed algorithms.
     end_to_end: Vec<Timing>,
     /// Per-round decomposition traces (`--trace` only): a
@@ -180,6 +224,139 @@ fn filament_graph(scale: f64) -> UndirectedGraph {
     let base = dsd_graph::gen::chung_lu(n.max(100), m.max(500), 2.3, 42);
     let len = (600.0 * scale.sqrt()) as usize;
     dsd_graph::gen::attach_filaments(&base, 4, len.max(20), 43)
+}
+
+/// Million-edge synthetic raw multiset for the ingest timings: LCG-driven
+/// endpoints over `n = m/5` vertices, so duplicates and the occasional
+/// self-loop occur naturally (the shape real edge-list files have). Kept
+/// deliberately independent of the graph generators — the builders under
+/// test are exactly what the generators themselves use.
+fn raw_edge_multiset(scale: f64) -> (usize, Vec<(u32, u32)>) {
+    let m = ((1_000_000.0 * scale) as usize).max(2_000);
+    // Average degree ~64, matching the paper's headline graphs (TW ~70,
+    // FT ~63) rather than a near-bipartite-sparse shape.
+    let n = (m / 32).max(400);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = ((state >> 16) as usize % n) as u32;
+        let v = ((state >> 40) as usize % n) as u32;
+        edges.push((u, v));
+    }
+    (n, edges)
+}
+
+/// Renders the raw multiset as a text edge list (with comment lines mixed
+/// in, as KONECT/SNAP files have) for the parser timings.
+fn edge_text(edges: &[(u32, u32)]) -> Vec<u8> {
+    use std::io::Write;
+    let mut out = Vec::with_capacity(edges.len() * 14 + 64);
+    writeln!(out, "% synthetic ingest benchmark").expect("vec write");
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if i % 10_000 == 0 {
+            writeln!(out, "# block {}", i / 10_000).expect("vec write");
+        }
+        writeln!(out, "{u} {v}").expect("vec write");
+    }
+    out
+}
+
+/// Times and parity-checks the PR-4 ingest engine against its legacy
+/// oracles. Every parity flag is also asserted here, so a divergence
+/// fails the binary (and the CI smoke run) rather than just flagging JSON.
+fn ingest_section(scale: f64, reps: usize) -> IngestSection {
+    use dsd_graph::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    let (n, edges) = raw_edge_multiset(scale);
+    let text = edge_text(&edges);
+    fn one<T>(_: &T) -> usize {
+        1
+    }
+
+    let build_legacy = timing("build_undirected_legacy", reps, one, || {
+        UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build_legacy().unwrap()
+    });
+    let build_engine = timing("build_undirected_engine", reps, one, || {
+        UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    });
+    let dbuild_legacy = timing("build_directed_legacy", reps, one, || {
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build_legacy().unwrap()
+    });
+    let dbuild_engine = timing("build_directed_engine", reps, one, || {
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    });
+    let parse_serial = timing("read_undirected_serial", reps, one, || {
+        dsd_graph::io::read_undirected_serial(text.as_slice()).unwrap()
+    });
+    let parse_parallel = timing("read_undirected_parallel", reps, one, || {
+        dsd_graph::io::read_undirected(text.as_slice()).unwrap()
+    });
+    let built = UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+    let reorder_legacy = timing("reorder_legacy_roundtrip", reps, one, || {
+        dsd_graph::reorder::by_degree_descending_legacy(&built)
+    });
+    let reorder_engine = timing("reorder_engine_permute", reps, one, || {
+        dsd_graph::reorder::by_degree_descending(&built)
+    });
+
+    let pool_sizes = vec![1usize, 2, 4];
+    let u_reference =
+        UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build_legacy().unwrap();
+    let d_reference =
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build_legacy().unwrap();
+    let parse_reference = dsd_graph::io::read_undirected_serial(text.as_slice()).unwrap();
+    let reorder_reference = dsd_graph::reorder::by_degree_descending_legacy(&built);
+    let mut u_ok = true;
+    let mut d_ok = true;
+    let mut parse_ok = true;
+    let mut reorder_ok = true;
+    for &p in &pool_sizes {
+        u_ok &= with_threads(p, || {
+            UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+        }) == u_reference;
+        d_ok &= with_threads(p, || {
+            DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+        }) == d_reference;
+        parse_ok &= with_threads(p, || dsd_graph::io::read_undirected(text.as_slice()).unwrap())
+            == parse_reference;
+        let r = with_threads(p, || dsd_graph::reorder::by_degree_descending(&built));
+        reorder_ok &= r.graph == reorder_reference.graph
+            && r.original == reorder_reference.original
+            && r.new_id == reorder_reference.new_id;
+    }
+    assert!(u_ok, "ingest parity: undirected build() diverged from build_legacy()");
+    assert!(d_ok, "ingest parity: directed build() diverged from build_legacy()");
+    assert!(parse_ok, "ingest parity: parallel reader diverged from the serial reader");
+    assert!(reorder_ok, "ingest parity: CSR reorder diverged from the legacy round-trip");
+
+    IngestSection {
+        raw_edges: edges.len(),
+        raw_vertices: n,
+        speedup_build_vs_legacy_undirected: build_legacy.best_secs
+            / build_engine.best_secs.max(1e-12),
+        speedup_build_vs_legacy_directed: dbuild_legacy.best_secs
+            / dbuild_engine.best_secs.max(1e-12),
+        speedup_parse_vs_serial: parse_serial.best_secs / parse_parallel.best_secs.max(1e-12),
+        speedup_reorder_vs_legacy: reorder_legacy.best_secs / reorder_engine.best_secs.max(1e-12),
+        timings: vec![
+            build_legacy,
+            build_engine,
+            dbuild_legacy,
+            dbuild_engine,
+            parse_serial,
+            parse_parallel,
+            reorder_legacy,
+            reorder_engine,
+        ],
+        parity: IngestParity {
+            undirected_build_identical: u_ok,
+            directed_build_identical: d_ok,
+            parse_identical: parse_ok,
+            reorder_identical: reorder_ok,
+            pool_sizes,
+        },
+    }
 }
 
 /// Runs one traced UDS sweep decomposition and one traced DDS peel
@@ -236,7 +413,7 @@ fn main() {
             if smoke {
                 "BENCH_SMOKE.json".to_string()
             } else {
-                "BENCH_PR3.json".to_string()
+                "BENCH_PR4.json".to_string()
             }
         });
     let scale: f64 = if smoke {
@@ -351,6 +528,10 @@ fn main() {
         },
     };
 
+    // --- Ingest engine ablation + parity (the PR-4 tentpole measurement;
+    // asserts internally, so a parity failure aborts the run). ---
+    let ingest = ingest_section(scale, reps);
+
     // --- End-to-end contributed algorithms. ---
     let pkmc_t = timing(
         "pkmc_sync",
@@ -375,8 +556,8 @@ fn main() {
     let telemetry = trace.then(|| collect_traces(&g, &d, rayon::current_num_threads()));
 
     let report = Report {
-        schema: "dsd-bench-report/v3",
-        pr: 3,
+        schema: "dsd-bench-report/v4",
+        pr: 4,
         graphs: vec![
             GraphMeta {
                 name: "filament_chung_lu",
@@ -402,6 +583,7 @@ fn main() {
         speedup_engine_vs_legacy: speedup,
         parity,
         dds,
+        ingest,
         end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
         telemetry,
         threads: rayon::current_num_threads(),
@@ -414,7 +596,13 @@ fn main() {
              the PR-2 acceptance headline (target >= 1.3), measured on the full \
              decomposition of the filament directed benchmark — the long-cascade regime \
              the frontier engine targets; the warm-started w* runs bulk-peel everything \
-             below d_max in a few rounds on either kernel and carry no headline; all \
+             below d_max in a few rounds on either kernel and carry no headline; \
+             ingest.speedup_build_vs_legacy_undirected is the PR-4 acceptance headline \
+             (target >= 1.5), counting-sort build() vs the legacy global-sort \
+             build_legacy() on the million-edge synthetic multiset, with directed build, \
+             chunked-parallel-parse-vs-serial, and CSR-reorder-vs-round-trip speedups \
+             reported alongside; every ingest path is asserted bit-identical to its \
+             legacy oracle at pool sizes 1/2/4 before the report is written; all \
              timed runs execute with the telemetry recorder disabled (its hot-path cost \
              is one relaxed atomic load, contract < 2% — see DESIGN.md section 7), so \
              engine-vs-legacy ratios are comparable with the PR-1/PR-2 baselines; \
@@ -429,6 +617,27 @@ fn main() {
     assert!(
         parsed.pointer("/dds/speedup_engine_vs_legacy").is_some_and(|v| v.is_number()),
         "report schema lost the DDS headline field"
+    );
+    assert!(
+        parsed.pointer("/ingest/speedup_build_vs_legacy_undirected").is_some_and(|v| v.is_number()),
+        "report schema lost the ingest headline field"
+    );
+    for flag in [
+        "undirected_build_identical",
+        "directed_build_identical",
+        "parse_identical",
+        "reorder_identical",
+    ] {
+        assert!(
+            parsed
+                .pointer(&format!("/ingest/parity/{flag}"))
+                .is_some_and(|v| v.as_bool() == Some(true)),
+            "ingest parity flag {flag} missing or false"
+        );
+    }
+    assert!(
+        parsed.pointer("/ingest/timings").and_then(|t| t.as_array()).is_some_and(|t| t.len() == 8),
+        "ingest section must carry all eight timings"
     );
     if report.telemetry.is_some() {
         for (i, kind) in ["UDS", "DDS"].iter().enumerate() {
@@ -448,7 +657,8 @@ fn main() {
     std::fs::write(&out_path, format!("{json}\n")).expect("write report");
     println!(
         "bench_report: UDS engine {:.3}s vs legacy {:.3}s -> {:.2}x; DDS engine {:.3}s vs \
-         legacy {:.3}s -> {:.2}x (parity: induce={} w*={} pwc={}); wrote {}",
+         legacy {:.3}s -> {:.2}x (parity: induce={} w*={} pwc={}); ingest build {:.3}s vs \
+         legacy {:.3}s -> {:.2}x (directed {:.2}x, parse {:.2}x, reorder {:.2}x); wrote {}",
         report.sweep_engine[1].best_secs,
         report.sweep_engine[0].best_secs,
         speedup,
@@ -458,6 +668,12 @@ fn main() {
         report.dds.parity.induce_numbers_identical,
         report.dds.parity.w_star_identical,
         report.dds.parity.pwc_identical_across_pools,
+        report.ingest.timings[1].best_secs,
+        report.ingest.timings[0].best_secs,
+        report.ingest.speedup_build_vs_legacy_undirected,
+        report.ingest.speedup_build_vs_legacy_directed,
+        report.ingest.speedup_parse_vs_serial,
+        report.ingest.speedup_reorder_vs_legacy,
         out_path
     );
 }

@@ -16,9 +16,13 @@
 //!
 //! Graphs are re-validated through the builders on load, so a corrupted or
 //! adversarial file fails with a [`GraphError`] instead of producing a
-//! broken CSR.
+//! broken CSR. The edge payload is read in ~1 MiB bulk chunks (not one
+//! `read_exact` per record), the header's declared edge count is checked
+//! against the file size before any payload allocation on the path-based
+//! readers, and stream readers cap the header-trusted pre-allocation so a
+//! lying header cannot trigger a giant up-front allocation.
 
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::{
@@ -30,6 +34,39 @@ const MAGIC: &[u8; 8] = b"DSDGRAPH";
 const VERSION: u8 = 1;
 const KIND_UNDIRECTED: u8 = 0;
 const KIND_DIRECTED: u8 = 1;
+
+/// Fixed header size: magic + kind + version + n + m.
+const HEADER_BYTES: u64 = 8 + 1 + 1 + 8 + 8;
+/// Bytes per edge record (two little-endian `u32`s).
+const EDGE_BYTES: u64 = 8;
+/// Edges per bulk read (1 MiB of payload per `read` call).
+const READ_CHUNK_EDGES: usize = 128 << 10;
+/// Never pre-allocate more than this many edges on the say-so of a header
+/// alone (8 MiB); a genuinely larger payload grows the vec as real bytes
+/// arrive, while a lying header on a short stream fails fast instead of
+/// attempting a giant allocation.
+const PREALLOC_EDGE_CAP: usize = 1 << 20;
+
+/// When the total stream length is known (file readers), rejects headers
+/// whose declared edge count cannot match the actual payload length —
+/// before any edge allocation happens.
+fn validate_declared_len(m: u64, total_len: Option<u64>) -> Result<()> {
+    let Some(len) = total_len else { return Ok(()) };
+    match m.checked_mul(EDGE_BYTES).and_then(|p| p.checked_add(HEADER_BYTES)) {
+        Some(expected) if expected == len => Ok(()),
+        Some(expected) => Err(GraphError::Parse {
+            line: 0,
+            message: format!(
+                "edge count mismatch: header declares {m} edges ({expected} bytes total), \
+                 file is {len} bytes"
+            ),
+        }),
+        None => Err(GraphError::Parse {
+            line: 0,
+            message: format!("declared edge count {m} overflows the format"),
+        }),
+    }
+}
 
 fn write_header<W: Write>(w: &mut W, kind: u8, n: u64, m: u64) -> Result<()> {
     w.write_all(MAGIC)?;
@@ -70,14 +107,40 @@ fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(u64, u64)> {
     Ok((n, m))
 }
 
+/// Reads the `m`-record edge payload in [`READ_CHUNK_EDGES`]-sized bulk
+/// reads (instead of one 8-byte `read_exact` per edge) and decodes records
+/// from the buffered chunk. Early EOF reports how many complete edges the
+/// stream actually held versus what the header declared.
 fn read_edges<R: Read>(r: &mut R, m: usize) -> Result<Vec<(VertexId, VertexId)>> {
-    let mut edges = Vec::with_capacity(m);
-    let mut buf = [0u8; 8];
-    for _ in 0..m {
-        r.read_exact(&mut buf)?;
-        let u = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
-        let v = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
-        edges.push((u, v));
+    let mut edges = Vec::with_capacity(m.min(PREALLOC_EDGE_CAP));
+    let mut buf = vec![0u8; m.min(READ_CHUNK_EDGES) * EDGE_BYTES as usize];
+    let mut remaining = m;
+    while remaining > 0 {
+        let take = remaining.min(READ_CHUNK_EDGES);
+        let bytes = &mut buf[..take * EDGE_BYTES as usize];
+        let mut filled = 0usize;
+        while filled < bytes.len() {
+            match r.read(&mut bytes[filled..]) {
+                Ok(0) => {
+                    let got = m - remaining + filled / EDGE_BYTES as usize;
+                    return Err(GraphError::Parse {
+                        line: 0,
+                        message: format!(
+                            "truncated edge payload: header declares {m} edges, stream holds {got}"
+                        ),
+                    });
+                }
+                Ok(k) => filled += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for rec in bytes.chunks_exact(EDGE_BYTES as usize) {
+            let u = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+            let v = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+            edges.push((u, v));
+        }
+        remaining -= take;
     }
     Ok(edges)
 }
@@ -94,15 +157,20 @@ pub fn write_undirected_binary<W: Write>(g: &UndirectedGraph, writer: W) -> Resu
     Ok(())
 }
 
-/// Reads an undirected graph from the binary format.
-pub fn read_undirected_binary<R: Read>(reader: R) -> Result<UndirectedGraph> {
+fn read_undirected_inner<R: Read>(reader: R, total_len: Option<u64>) -> Result<UndirectedGraph> {
     let mut r = BufReader::new(reader);
     let (n, m) = read_header(&mut r, KIND_UNDIRECTED)?;
     if n > u32::MAX as u64 + 1 {
         return Err(GraphError::Parse { line: 0, message: "vertex count exceeds u32 ids".into() });
     }
+    validate_declared_len(m, total_len)?;
     let edges = read_edges(&mut r, m as usize)?;
     UndirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
+}
+
+/// Reads an undirected graph from the binary format.
+pub fn read_undirected_binary<R: Read>(reader: R) -> Result<UndirectedGraph> {
+    read_undirected_inner(reader, None)
 }
 
 /// Writes a directed graph in the binary format.
@@ -117,15 +185,20 @@ pub fn write_directed_binary<W: Write>(g: &DirectedGraph, writer: W) -> Result<(
     Ok(())
 }
 
-/// Reads a directed graph from the binary format.
-pub fn read_directed_binary<R: Read>(reader: R) -> Result<DirectedGraph> {
+fn read_directed_inner<R: Read>(reader: R, total_len: Option<u64>) -> Result<DirectedGraph> {
     let mut r = BufReader::new(reader);
     let (n, m) = read_header(&mut r, KIND_DIRECTED)?;
     if n > u32::MAX as u64 + 1 {
         return Err(GraphError::Parse { line: 0, message: "vertex count exceeds u32 ids".into() });
     }
+    validate_declared_len(m, total_len)?;
     let edges = read_edges(&mut r, m as usize)?;
     DirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
+}
+
+/// Reads a directed graph from the binary format.
+pub fn read_directed_binary<R: Read>(reader: R) -> Result<DirectedGraph> {
+    read_directed_inner(reader, None)
 }
 
 /// Convenience: writes an undirected graph to a file path.
@@ -133,9 +206,13 @@ pub fn write_undirected_binary_path<P: AsRef<Path>>(g: &UndirectedGraph, path: P
     write_undirected_binary(g, std::fs::File::create(path)?)
 }
 
-/// Convenience: reads an undirected graph from a file path.
+/// Convenience: reads an undirected graph from a file path. The declared
+/// edge count is validated against the file size before any payload
+/// allocation.
 pub fn read_undirected_binary_path<P: AsRef<Path>>(path: P) -> Result<UndirectedGraph> {
-    read_undirected_binary(std::fs::File::open(path)?)
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    read_undirected_inner(file, Some(len))
 }
 
 /// Convenience: writes a directed graph to a file path.
@@ -143,9 +220,12 @@ pub fn write_directed_binary_path<P: AsRef<Path>>(g: &DirectedGraph, path: P) ->
     write_directed_binary(g, std::fs::File::create(path)?)
 }
 
-/// Convenience: reads a directed graph from a file path.
+/// Convenience: reads a directed graph from a file path. The declared edge
+/// count is validated against the file size before any payload allocation.
 pub fn read_directed_binary_path<P: AsRef<Path>>(path: P) -> Result<DirectedGraph> {
-    read_directed_binary(std::fs::File::open(path)?)
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    read_directed_inner(file, Some(len))
 }
 
 #[cfg(test)]
@@ -228,6 +308,71 @@ mod tests {
         buf.extend_from_slice(&0u64.to_le_bytes());
         let err = read_undirected_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncated_reports_declared_vs_actual() {
+        let g = crate::gen::erdos_renyi(10, 20, 2);
+        let mut buf = Vec::new();
+        write_undirected_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 11);
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains(&format!("declares {} edges", g.num_edges())), "{msg}");
+    }
+
+    #[test]
+    fn lying_header_fails_fast_without_huge_allocation() {
+        // Header claims 2^40 edges (8 TiB of payload) over an empty body.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DSDGRAPH");
+        buf.push(0);
+        buf.push(1);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn path_reader_rejects_length_mismatch() {
+        let g = crate::gen::erdos_renyi(30, 80, 6);
+        let dir = std::env::temp_dir().join("dsd_binio_len_test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Trailing garbage after the declared payload.
+        let mut buf = Vec::new();
+        write_undirected_binary(&g, &mut buf).unwrap();
+        buf.extend_from_slice(&[0u8; 5]);
+        let long = dir.join("long.bin");
+        std::fs::write(&long, &buf).unwrap();
+        let err = read_undirected_binary_path(&long).unwrap_err();
+        assert!(err.to_string().contains("edge count mismatch"), "{err}");
+
+        // Truncated payload is caught by the same pre-allocation check.
+        buf.truncate(buf.len() - 5 - 24);
+        let short = dir.join("short.bin");
+        std::fs::write(&short, &buf).unwrap();
+        let err = read_undirected_binary_path(&short).unwrap_err();
+        assert!(err.to_string().contains("edge count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn multi_chunk_payload_round_trips() {
+        // More edges than one bulk read so the chunk loop takes >1 pass.
+        let m = super::READ_CHUNK_EDGES + 1234;
+        let mut b = crate::DirectedGraphBuilder::with_capacity(1 << 17, m);
+        let mut x = 1u32;
+        for _ in 0..m {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            b.push_edge(x & 0x1_ffff, (x >> 12) & 0x1_ffff);
+        }
+        let g = b.build().unwrap();
+        let mut buf = Vec::new();
+        write_directed_binary(&g, &mut buf).unwrap();
+        let g2 = read_directed_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
     }
 
     #[test]

@@ -1,12 +1,18 @@
 //! Builders that turn edge lists into validated CSR graphs.
 //!
 //! Both builders deduplicate edges, drop self-loops, and sort adjacency
-//! lists. Construction is `O(m log m)` (dominated by the edge sort) and is
-//! parallelised with rayon for the million-edge synthetic stand-ins.
+//! lists. [`UndirectedGraphBuilder::build`] / [`DirectedGraphBuilder::build`]
+//! run the parallel counting-sort pipeline in [`crate::ingest`] — `O(n + m)`
+//! plus per-vertex sorts, no global edge sort. The seed `O(m log m)`
+//! sort-and-dedup construction is kept verbatim as
+//! [`UndirectedGraphBuilder::build_legacy`] /
+//! [`DirectedGraphBuilder::build_legacy`]: it is the parity oracle for the
+//! engine (`crates/graph/tests/proptests.rs`, `tests/cross_crate.rs`) and
+//! the baseline for `bench_report`'s ingest section.
 
 use rayon::prelude::*;
 
-use crate::{DirectedGraph, GraphError, Result, UndirectedGraph, VertexId};
+use crate::{ingest, DirectedGraph, GraphError, Result, UndirectedGraph, VertexId};
 
 /// Builder for [`UndirectedGraph`].
 ///
@@ -61,8 +67,20 @@ impl UndirectedGraphBuilder {
     }
 
     /// Validates endpoints, removes self-loops and duplicates, and builds
-    /// the CSR graph.
+    /// the CSR graph through the parallel counting-sort engine
+    /// ([`crate::ingest::undirected_from_parts`]).
+    ///
+    /// Bit-identical to [`build_legacy`](Self::build_legacy) on every
+    /// input, including which `VertexOutOfRange` payload an invalid edge
+    /// list reports (the input-order-earliest offender).
     pub fn build(self) -> Result<UndirectedGraph> {
+        ingest::undirected_from_parts(self.n, &[&self.edges])
+    }
+
+    /// The seed construction: serial `O(m)` validation, canonicalise each
+    /// edge as `(min, max)`, global parallel sort, dedup, then CSR fill.
+    /// `O(m log m)`; kept as the parity oracle and ingest-bench baseline.
+    pub fn build_legacy(self) -> Result<UndirectedGraph> {
         let n = self.n;
         for &(u, v) in &self.edges {
             let bad = if (u as usize) >= n {
@@ -166,8 +184,19 @@ impl DirectedGraphBuilder {
     }
 
     /// Validates endpoints, removes self-loops and duplicate arcs, and
-    /// builds both CSR directions.
+    /// builds both CSR directions through the parallel counting-sort
+    /// engine ([`crate::ingest::directed_from_parts`]).
+    ///
+    /// Bit-identical to [`build_legacy`](Self::build_legacy) on every
+    /// input, including error payloads.
     pub fn build(self) -> Result<DirectedGraph> {
+        ingest::directed_from_parts(self.n, &[&self.edges])
+    }
+
+    /// The seed construction: serial validation, global parallel arc sort,
+    /// dedup, then both CSR fills. `O(m log m)`; kept as the parity oracle
+    /// and ingest-bench baseline.
+    pub fn build_legacy(self) -> Result<DirectedGraph> {
         let n = self.n;
         for &(u, v) in &self.edges {
             let bad = if (u as usize) >= n {
@@ -298,5 +327,42 @@ mod tests {
         let g = UndirectedGraphBuilder::new(10).build().unwrap();
         assert_eq!(g.num_vertices(), 10);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_mixed_input() {
+        let edges: Vec<(u32, u32)> = (0..2_000u32)
+            .map(|i| ((i * 13) % 97, (i * 29 + 5) % 97))
+            .chain([(0, 0), (96, 96), (5, 4), (4, 5), (5, 4)])
+            .collect();
+        let engine =
+            UndirectedGraphBuilder::new(97).add_edges(edges.iter().copied()).build().unwrap();
+        let legacy = UndirectedGraphBuilder::new(97)
+            .add_edges(edges.iter().copied())
+            .build_legacy()
+            .unwrap();
+        assert_eq!(engine, legacy);
+        let engine =
+            DirectedGraphBuilder::new(97).add_edges(edges.iter().copied()).build().unwrap();
+        let legacy =
+            DirectedGraphBuilder::new(97).add_edges(edges.iter().copied()).build_legacy().unwrap();
+        assert_eq!(engine, legacy);
+    }
+
+    #[test]
+    fn engine_and_legacy_report_same_invalid_vertex() {
+        let edges = [(0u32, 1u32), (1, 7), (9, 0)];
+        let engine = UndirectedGraphBuilder::new(5).add_edges(edges).build().unwrap_err();
+        let legacy = UndirectedGraphBuilder::new(5).add_edges(edges).build_legacy().unwrap_err();
+        assert_eq!(engine.to_string(), legacy.to_string());
+        assert!(matches!(engine, GraphError::VertexOutOfRange { vertex: 7, n: 5 }));
+    }
+
+    #[test]
+    fn legacy_out_of_range_rejected() {
+        let err = UndirectedGraphBuilder::new(2).add_edge(0, 5).build_legacy().unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+        let err = DirectedGraphBuilder::new(3).add_edge(3, 0).build_legacy().unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 3, n: 3 }));
     }
 }

@@ -1,0 +1,851 @@
+//! The parallel counting-sort CSR construction engine (PR 4).
+//!
+//! Both graph builders and the chunked text parser funnel into this module,
+//! which turns raw edge parts into a validated CSR with **no global
+//! comparison sort** and **no intermediate deduplicated edge vector** — the
+//! counting-sort / semisort construction the shared-memory reproductions
+//! (Sukprasert et al. 2023; Sarıyüce et al.) use so that end-to-end wall
+//! clock on large graphs measures the algorithms, not the loader:
+//!
+//! ```text
+//! raw edge parts ──► validate  fused parallel range check + self-loop
+//!                              filter + per-chunk bucket histograms
+//!                ──► scatter   chunks pack each arc into its in-bucket
+//!                              sort key and store it in their own
+//!                              contiguous window of the staged key array,
+//!                              grouped by coarse bucket = src >> shift
+//!                ──► sort      per-bucket LSD counting passes: the first
+//!                              gathers the bucket's per-chunk segments
+//!                              (and pre-counts the final digit), the last
+//!                              skips duplicate keys and streams per-vertex
+//!                              degrees + destinations straight into CSR
+//!                              staging, all L2-resident
+//!                ──► count     parallel prefix sum → final offsets
+//!                ──► emit      one contiguous per-bucket copy into the
+//!                              final adjacency array
+//! ```
+//!
+//! An arc `src → dst` is staged directly as its in-bucket sort key
+//! `(src_low_bits << vbits) | dst` — within a bucket the high source bits
+//! are constant, so equal keys ⇔ equal `(src, dst)` and key order is
+//! `(src, dst)` order. The key width is `shift + vbits` bits, and for
+//! every realistically-sized graph (`shift + vbits ≤ 31`) the whole
+//! pipeline runs on **`u32` keys**, halving the memory traffic of the
+//! scatter, every counting pass, and the count/emit scans on exactly the
+//! arrays the single-thread hot path is bound on; wider graphs fall back
+//! to the same code monomorphised over `u64`. After the coarse bucket
+//! split the per-bucket LSD counting passes leave every bucket sorted by
+//! `(source, dest)` — the per-vertex adjacency lists fall out sorted *by
+//! construction* — and the sorted key array never materialises: the final
+//! counting pass drops duplicate keys in-stream (a duplicate's equals
+//! arrive consecutively within its digit bin) while writing each
+//! survivor's degree tally and destination field directly, positioned by
+//! a duplicate-inclusive bin histogram the gather pass tallied for free,
+//! with a near-no-op compaction closing the gaps duplicates leave behind.
+//! Buckets are
+//! sized so a bucket's keys plus its scratch stay L2-resident
+//! (`TARGET_BUCKET_ARCS`), which is what lets the counting passes beat a
+//! global `O(m log m)` comparison sort even on one thread.
+//!
+//! There are deliberately **no atomics**: contended `fetch_add` scatter
+//! cursors measure ~5x slower than plain stores on the bench hosts, so
+//! parallelism comes from ownership instead — chunks own their local
+//! histograms and their contiguous window of the staged key array (split
+//! into per-bucket segments), buckets own disjoint regions of the sorted
+//! key array and (because a bucket is a contiguous vertex range) disjoint
+//! regions of the degree and adjacency arrays, handed out with
+//! `split_at_mut`. Every pass is deterministic for any rayon pool size:
+//! the chunk decomposition depends only on the input length, per-bucket
+//! segments are concatenated in chunk order, counting passes are stable,
+//! and the earliest invalid edge (in input order) is selected by an
+//! index-minimising reduction so error payloads match the serial legacy
+//! builders bit-for-bit.
+//!
+//! Each pass is bracketed by a `dsd-telemetry` span (phases `validate`,
+//! `count`, `scatter`, `sort-dedup`; the parser adds `parse`), so
+//! `bench_report`'s ingest section can attribute wall clock per stage.
+
+use dsd_telemetry::{span, Phase};
+use rayon::prelude::*;
+
+use crate::{DirectedGraph, GraphError, Result, UndirectedGraph, VertexId};
+
+/// Minimum edges per parallel work unit. Parts bigger than this are split
+/// further so a single huge part still parallelises; the effective chunk
+/// size grows with the input (see [`chunk_edges_for`]) so per-chunk bucket
+/// histograms stay a vanishing fraction of the edge data.
+const CHUNK: usize = 1 << 15;
+
+/// Upper bound on the number of chunks, so per-chunk histogram memory is
+/// `O(MAX_CHUNKS * buckets)` regardless of input size.
+const MAX_CHUNKS: usize = 256;
+
+/// Target arcs per radix bucket: 2^15 `u32` keys = 128 KiB, sized (by
+/// measurement) so one bucket plus its scratch buffer stays comfortably
+/// L2-resident during the counting passes.
+const TARGET_BUCKET_ARCS: usize = 1 << 15;
+
+/// Widest radix digit. 16 bits keeps the per-pass histogram at 256 KiB
+/// worst case and means at most four passes over 64-bit keys.
+const MAX_DIGIT_BITS: u32 = 16;
+
+/// Target width of the radix's *final* digit, kept narrow on purpose: the
+/// final pass tracks one last-seen key and one bin-start cursor per bin
+/// (for the fused dedup), so its per-bucket bookkeeping is `3 × 2^fdigit`
+/// words, and the duplicate-gap compaction walks `2^fdigit` bins.
+const FINAL_DIGIT_BITS: u32 = 11;
+
+/// Vertices per block in the parallel prefix sums.
+const PREFIX_BLOCK: usize = 1 << 14;
+
+/// First invalid edge found by a chunk scan: global edge index plus the
+/// offending vertex id, `u` checked before `v` within an edge to match the
+/// legacy serial scan.
+type BadEdge = Option<(usize, u64)>;
+
+fn earlier(a: BadEdge, b: BadEdge) -> BadEdge {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Exclusive prefix sum of `counts` into an `n + 1` offset array, block
+/// parallel: per-block sums, a serial scan over the (few) block totals,
+/// then per-block offset fills.
+fn exclusive_prefix_sum(counts: &[usize]) -> Vec<usize> {
+    let n = counts.len();
+    let mut offsets = vec![0usize; n + 1];
+    if n == 0 {
+        return offsets;
+    }
+    let block_sums: Vec<usize> =
+        counts.par_chunks(PREFIX_BLOCK).map(|block| block.iter().sum()).collect();
+    let mut block_starts = Vec::with_capacity(block_sums.len());
+    let mut acc = 0usize;
+    for &s in &block_sums {
+        block_starts.push(acc);
+        acc += s;
+    }
+    offsets[n] = acc;
+    offsets[..n]
+        .par_chunks_mut(PREFIX_BLOCK)
+        .zip(counts.par_chunks(PREFIX_BLOCK))
+        .zip(block_starts)
+        .for_each(|((offset_block, count_block), start)| {
+            let mut run = start;
+            for (o, c) in offset_block.iter_mut().zip(count_block) {
+                *o = run;
+                run += c;
+            }
+        });
+    offsets
+}
+
+/// Splits `buf` into per-vertex mutable slices according to `offsets`, so a
+/// parallel pass can own each adjacency list without unsafe aliasing.
+pub(crate) fn per_vertex_slices<'a, T>(
+    mut buf: &'a mut [T],
+    offsets: &[usize],
+) -> Vec<&'a mut [T]> {
+    let mut slices = Vec::with_capacity(offsets.len().saturating_sub(1));
+    for w in offsets.windows(2) {
+        let (head, tail) = buf.split_at_mut(w[1] - w[0]);
+        slices.push(head);
+        buf = tail;
+    }
+    slices
+}
+
+/// Which arcs one edge `(u, v)` contributes to the side being built.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Undirected: both `u → v` and `v → u`.
+    Both,
+    /// Directed out-side: `u → v`.
+    Out,
+    /// Directed in-side: `v → u`.
+    In,
+}
+
+/// Radix layout shared by every pass of one [`csr_side`] run.
+#[derive(Clone, Copy)]
+struct Plan {
+    /// Bits needed to hold any vertex id `< n` (the key's low field).
+    vbits: u32,
+    /// Coarse bucket of an arc = `source >> shift`.
+    shift: u32,
+    /// Number of coarse buckets.
+    nb: usize,
+    /// Radix digit width for the non-final per-bucket counting passes
+    /// (zero when a single final pass covers the whole key).
+    digit: u32,
+    /// Digit width of the final (dedup-fused) counting pass.
+    fdigit: u32,
+    /// Number of per-bucket counting passes
+    /// (`(passes - 1) * digit + fdigit ≥ shift + vbits`).
+    passes: u32,
+}
+
+impl Plan {
+    fn new(n: usize, max_arcs: usize) -> Plan {
+        let top = n.saturating_sub(1);
+        let vbits = if n <= 1 { 1 } else { usize::BITS - top.leading_zeros() };
+        let want_buckets = (max_arcs / TARGET_BUCKET_ARCS).max(1);
+        let mut shift = vbits;
+        while shift > 0 && (top >> shift) < want_buckets {
+            shift -= 1;
+        }
+        let nb = (top >> shift) + 1;
+        let key_bits = shift + vbits;
+        // The final pass gets a narrow digit (its per-bin dedup state makes
+        // wide final digits expensive); the remaining low bits are split
+        // evenly across the earlier passes.
+        let (digit, fdigit, passes) = if key_bits <= FINAL_DIGIT_BITS + 1 {
+            (0, key_bits, 1)
+        } else {
+            let rest = key_bits - FINAL_DIGIT_BITS;
+            let low = rest.div_ceil(MAX_DIGIT_BITS);
+            (rest.div_ceil(low), FINAL_DIGIT_BITS, low + 1)
+        };
+        Plan { vbits, shift, nb, digit, fdigit, passes }
+    }
+
+    #[inline]
+    fn bucket(&self, src: VertexId) -> usize {
+        (src >> self.shift) as usize
+    }
+}
+
+/// A [`CHUNK`]-aligned window of one input part, with its global edge index.
+struct ChunkRef<'a> {
+    base: usize,
+    edges: &'a [(VertexId, VertexId)],
+}
+
+/// Chunk size for this input: grows with the edge count so the number of
+/// chunks (and with it the per-chunk histogram memory) stays bounded.
+fn chunk_edges_for(total_edges: usize) -> usize {
+    (total_edges / MAX_CHUNKS).max(CHUNK)
+}
+
+fn chunk_refs<'a>(parts: &[&'a [(VertexId, VertexId)]]) -> Vec<ChunkRef<'a>> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let step = chunk_edges_for(total);
+    let mut chunks = Vec::new();
+    let mut base = 0usize;
+    for part in parts {
+        for (ci, edges) in part.chunks(step).enumerate() {
+            chunks.push(ChunkRef { base: base + ci * step, edges });
+        }
+        base += part.len();
+    }
+    chunks
+}
+
+/// Storage word for staged sort keys. [`csr_side`] picks `u32` whenever
+/// the key width allows (the common case — half the memory traffic on
+/// every key-array pass) and falls back to `u64`. `MAX` doubles as the
+/// dedup scans' "no previous key" sentinel, so the dispatch only selects
+/// a width that no valid key can saturate.
+trait KeyWord: Copy + Eq + Send + Sync {
+    const ZERO: Self;
+    const MAX: Self;
+    fn pack(key: u64) -> Self;
+    fn get(self) -> u64;
+}
+
+impl KeyWord for u32 {
+    const ZERO: Self = 0;
+    const MAX: Self = u32::MAX;
+    #[inline]
+    fn pack(key: u64) -> Self {
+        key as u32
+    }
+    #[inline]
+    fn get(self) -> u64 {
+        self as u64
+    }
+}
+
+impl KeyWord for u64 {
+    const ZERO: Self = 0;
+    const MAX: Self = u64::MAX;
+    #[inline]
+    fn pack(key: u64) -> Self {
+        key
+    }
+    #[inline]
+    fn get(self) -> u64 {
+        self
+    }
+}
+
+/// One stable LSD counting pass over `src`, scattering into `dst` by the
+/// `digit`-wide key field at bit `sh`. `hist` is scratch of len `1 << digit`.
+fn counting_pass<K: KeyWord>(src: &[K], dst: &mut [K], sh: u32, hist: &mut [u32]) {
+    hist.fill(0);
+    let mask = (hist.len() - 1) as u64;
+    for &a in src {
+        hist[((a.get() >> sh) & mask) as usize] += 1;
+    }
+    let mut run = 0u32;
+    for h in hist.iter_mut() {
+        let c = *h;
+        *h = run;
+        run += c;
+    }
+    for &a in src {
+        let d = ((a.get() >> sh) & mask) as usize;
+        dst[hist[d] as usize] = a;
+        hist[d] += 1;
+    }
+}
+
+/// The radix's first counting pass, fused with the bucket gather: reads
+/// the bucket's per-chunk `segs` of the staged array in chunk order (so
+/// the pass stays stable) and scatters into one contiguous buffer by the
+/// low key digit. The same read loop also tallies the *final* digit's
+/// duplicate-inclusive histogram into `hist1` (final digit at bit `fsh`),
+/// sparing [`final_pass`] a counting loop of its own.
+fn gather_pass<K: KeyWord>(
+    segs: &[&[K]],
+    dst: &mut [K],
+    hist: &mut [u32],
+    hist1: &mut [u32],
+    fsh: u32,
+) {
+    hist.fill(0);
+    let mask = (hist.len() - 1) as u64;
+    let mask1 = (hist1.len() - 1) as u64;
+    for seg in segs {
+        for &a in *seg {
+            hist[(a.get() & mask) as usize] += 1;
+            hist1[((a.get() >> fsh) & mask1) as usize] += 1;
+        }
+    }
+    let mut run = 0u32;
+    for h in hist.iter_mut() {
+        let c = *h;
+        *h = run;
+        run += c;
+    }
+    for seg in segs {
+        for &a in *seg {
+            let d = (a.get() & mask) as usize;
+            dst[hist[d] as usize] = a;
+            hist[d] += 1;
+        }
+    }
+}
+
+/// The radix's final counting pass, fused with dedup and CSR staging: the
+/// scatter writes each distinct key's destination field into `out` while
+/// bumping its source's entry in `deg`. Duplicates are dropped in-stream:
+/// a key's equals all land in the same digit bin, and within a bin they
+/// arrive consecutively (earlier passes sorted all lower digits; with a
+/// single pass the whole key *is* the bin index), so comparing against
+/// the bin's last-seen key in `lastkey` suffices. `lastkey` uses `K::MAX`
+/// as its "none yet" sentinel, which [`csr_side`]'s width dispatch keeps
+/// unreachable.
+///
+/// `hist1` arrives holding the final digit's *duplicate-inclusive* bin
+/// counts (tallied for free during [`gather_pass`]'s read loop), so no
+/// counting loop runs here: the scatter positions by the dup-inclusive
+/// prefix and each skipped duplicate leaves a gap at the end of its bin,
+/// closed by a per-bin compaction afterwards. While no duplicate has been
+/// skipped yet the compaction just advances its cursor, so on mostly-
+/// distinct inputs it touches nothing.
+fn final_pass<K: KeyWord>(
+    segs: &[&[K]],
+    out: &mut [VertexId],
+    deg: &mut [usize],
+    fsh: u32,
+    vbits: u32,
+    hist1: &mut [u32],
+    bstart: &mut [u32],
+    lastkey: &mut [K],
+) {
+    let mut run = 0u32;
+    for (h, s) in hist1.iter_mut().zip(bstart.iter_mut()) {
+        let c = *h;
+        *h = run;
+        *s = run;
+        run += c;
+    }
+    lastkey.fill(K::MAX);
+    let mask = (hist1.len() - 1) as u64;
+    let vmask = (1u64 << vbits) - 1;
+    for seg in segs {
+        for &a in *seg {
+            let d = ((a.get() >> fsh) & mask) as usize;
+            if lastkey[d] != a {
+                lastkey[d] = a;
+                deg[(a.get() >> vbits) as usize] += 1;
+                out[hist1[d] as usize] = (a.get() & vmask) as VertexId;
+                hist1[d] += 1;
+            }
+        }
+    }
+    // Close the duplicate gaps: each bin's survivors sit at its start
+    // (`bstart[d] .. hist1[d]`); slide them down over earlier bins' gaps.
+    let mut w = 0usize;
+    for d in 0..hist1.len() {
+        let s = bstart[d] as usize;
+        let e = hist1[d] as usize;
+        if w == s {
+            w = e;
+            continue;
+        }
+        for i in s..e {
+            out[w] = out[i];
+            w += 1;
+        }
+    }
+}
+
+/// Sorts one bucket's staged per-chunk segments and streams the result
+/// straight into the bucket's CSR staging: per-vertex distinct degrees in
+/// `deg` and compacted destinations in `out`. The gather of the segments
+/// is the first counting pass and [`final_pass`] fuses dedup + emission
+/// into the last, so the fully-sorted key array never materialises. The
+/// histograms, `bstart`, `lastkey`, and ping-pong scratch buffers are
+/// caller-owned so consecutive buckets on a worker reuse warm buffers
+/// instead of faulting in fresh zeroed pages per bucket.
+fn sort_bucket<K: KeyWord>(
+    plan: &Plan,
+    segs: &[&[K]],
+    deg: &mut [usize],
+    out: &mut [VertexId],
+    scratch: (&mut Vec<K>, &mut Vec<K>),
+    hist: &mut [u32],
+    hist1: &mut [u32],
+    bstart: &mut [u32],
+    lastkey: &mut [K],
+) {
+    let total: usize = segs.iter().map(|s| s.len()).sum();
+    if total == 0 {
+        return;
+    }
+    let vbits = plan.vbits;
+    let fsh = (plan.passes - 1) * plan.digit;
+    hist1.fill(0);
+    if plan.passes == 1 {
+        let mask1 = (hist1.len() - 1) as u64;
+        for seg in segs {
+            for &a in *seg {
+                hist1[((a.get() >> fsh) & mask1) as usize] += 1;
+            }
+        }
+        final_pass(segs, out, deg, fsh, vbits, hist1, bstart, lastkey);
+        return;
+    }
+    let (s1, s2) = scratch;
+    if s1.len() < total {
+        s1.resize(total, K::ZERO);
+    }
+    gather_pass(segs, &mut s1[..total], hist, hist1, fsh);
+    let mut in_s1 = true;
+    for p in 1..plan.passes - 1 {
+        if s2.len() < total {
+            s2.resize(total, K::ZERO);
+        }
+        let sh = p * plan.digit;
+        if in_s1 {
+            counting_pass(&s1[..total], &mut s2[..total], sh, hist);
+        } else {
+            counting_pass(&s2[..total], &mut s1[..total], sh, hist);
+        }
+        in_s1 = !in_s1;
+    }
+    let last = if in_s1 { &s1[..total] } else { &s2[..total] };
+    final_pass(&[last], out, deg, fsh, vbits, hist1, bstart, lastkey);
+}
+
+/// Builds one CSR side (offsets + sorted, deduplicated adjacency) from raw
+/// edge parts. Validation is fused into the first pass and reports the
+/// input-order-earliest out-of-range endpoint (checking `u` before `v`),
+/// exactly like the legacy serial loop.
+fn csr_side(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+    mode: Mode,
+) -> std::result::Result<(Vec<usize>, Vec<VertexId>), GraphError> {
+    let chunks = chunk_refs(parts);
+    let total_edges: usize = parts.iter().map(|p| p.len()).sum();
+    let arcs_per_edge = if mode == Mode::Both { 2 } else { 1 };
+    let plan = Plan::new(n, total_edges * arcs_per_edge);
+    // Keys are `shift + vbits` bits wide. The `u32` fast path insists on
+    // ≤ 31 (not 32) so `u32::MAX` stays unreachable and can serve as the
+    // dedup sentinel; a `u64` key of all ones would need 32 low source
+    // bits *and* 32 destination bits, which only a dropped self-loop of
+    // the maximal `VertexId` could produce, so `u64::MAX` is safe too.
+    if plan.shift + plan.vbits <= 31 {
+        csr_side_with::<u32>(n, &chunks, mode, &plan)
+    } else {
+        csr_side_with::<u64>(n, &chunks, mode, &plan)
+    }
+}
+
+fn csr_side_with<K: KeyWord>(
+    n: usize,
+    chunks: &[ChunkRef<'_>],
+    mode: Mode,
+    plan: &Plan,
+) -> std::result::Result<(Vec<usize>, Vec<VertexId>), GraphError> {
+    let (shift, vbits) = (plan.shift, plan.vbits);
+
+    // Pass 1 (validate): range-check every endpoint and histogram arcs per
+    // coarse bucket, chunk-parallel.
+    let counted: Vec<(Vec<u32>, BadEdge)> = {
+        let _validate = span(Phase::IngestValidate);
+        chunks
+            .par_iter()
+            .map(|chunk| {
+                let mut counts = vec![0u32; plan.nb];
+                let mut bad: BadEdge = None;
+                for (i, &(u, v)) in chunk.edges.iter().enumerate() {
+                    if (u as usize) >= n {
+                        bad = Some((chunk.base + i, u as u64));
+                        break;
+                    }
+                    if (v as usize) >= n {
+                        bad = Some((chunk.base + i, v as u64));
+                        break;
+                    }
+                    if u != v {
+                        match mode {
+                            Mode::Both => {
+                                counts[plan.bucket(u)] += 1;
+                                counts[plan.bucket(v)] += 1;
+                            }
+                            Mode::Out => counts[plan.bucket(u)] += 1,
+                            Mode::In => counts[plan.bucket(v)] += 1,
+                        }
+                    }
+                }
+                (counts, bad)
+            })
+            .collect()
+    };
+    if let Some((_, vertex)) = counted.iter().fold(None, |acc, (_, bad)| earlier(acc, *bad)) {
+        return Err(GraphError::VertexOutOfRange { vertex, n: n as u64 });
+    }
+
+    // Layout: the staged arc array is partitioned by chunk (in input
+    // order, so the layout is independent of the pool size), and within a
+    // chunk by bucket. `seg_base` is the prefix over the (chunk, bucket)
+    // grid; bucket `b` of chunk `c` lives at
+    // `seg_base[c * nb + b] .. seg_base[c * nb + b + 1]`.
+    let nc = chunks.len();
+    let nb = plan.nb;
+    let mut seg_sizes = vec![0usize; nc * nb];
+    for (c, (counts, _)) in counted.iter().enumerate() {
+        for (b, &count) in counts.iter().enumerate() {
+            seg_sizes[c * nb + b] = count as usize;
+        }
+    }
+    let seg_base = exclusive_prefix_sum(&seg_sizes);
+    let total_arcs = *seg_base.last().expect("seg_base non-empty");
+    let mut staged = vec![K::ZERO; total_arcs];
+
+    // Pass 2 (scatter): every chunk packs its arcs' sort keys straight
+    // into its own contiguous window of the staged array, bucket cursors
+    // resolved from the chunk's own histogram — plain stores, no shared
+    // writes.
+    {
+        let _scatter = span(Phase::IngestScatter);
+        let chunk_base: Vec<usize> = (0..=nc).map(|c| seg_base[c * nb]).collect();
+        let smask = (1u64 << shift) - 1;
+        chunks.par_iter().zip(&counted).zip(per_vertex_slices(&mut staged, &chunk_base)).for_each(
+            |((chunk, (counts, _)), out)| {
+                let mut cur = vec![0usize; nb];
+                let mut run = 0usize;
+                for (c, &count) in cur.iter_mut().zip(counts) {
+                    *c = run;
+                    run += count as usize;
+                }
+                macro_rules! stage {
+                    ($src:expr, $dst:expr) => {{
+                        let b = ($src >> shift) as usize;
+                        out[cur[b]] = K::pack(((($src as u64) & smask) << vbits) | $dst as u64);
+                        cur[b] += 1;
+                    }};
+                }
+                // The mode dispatch stays outside the hot loop.
+                match mode {
+                    Mode::Both => {
+                        for &(u, v) in chunk.edges {
+                            if u != v {
+                                stage!(u, v);
+                                stage!(v, u);
+                            }
+                        }
+                    }
+                    Mode::Out => {
+                        for &(u, v) in chunk.edges {
+                            if u != v {
+                                stage!(u, v);
+                            }
+                        }
+                    }
+                    Mode::In => {
+                        for &(u, v) in chunk.edges {
+                            if u != v {
+                                stage!(v, u);
+                            }
+                        }
+                    }
+                }
+            },
+        );
+    }
+
+    // Pass 3 (sort + dedup): bucket-parallel LSD counting passes. A
+    // bucket is a contiguous vertex range, so each bucket owns disjoint
+    // regions of the degree array and of the compacted-destination
+    // staging buffer; its first pass gathers its per-chunk segments out
+    // of the staged array and its last streams the deduplicated result
+    // straight into those regions.
+    let bucket_totals: Vec<usize> =
+        (0..nb).map(|b| counted.iter().map(|(counts, _)| counts[b] as usize).sum()).collect();
+    let bucket_base = exclusive_prefix_sum(&bucket_totals);
+    let bucket_vertex: Vec<usize> = (0..=nb).map(|b| (b << shift).min(n)).collect();
+    let mut deg = vec![0usize; n];
+    let mut compact: Vec<VertexId> = vec![0; total_arcs];
+    {
+        let _sort = span(Phase::IngestSortDedup);
+        per_vertex_slices(&mut deg, &bucket_vertex)
+            .into_par_iter()
+            .zip(per_vertex_slices(&mut compact, &bucket_base))
+            .enumerate()
+            .for_each_init(
+                || {
+                    let bins = 1usize << plan.digit;
+                    let fbins = 1usize << plan.fdigit;
+                    (
+                        vec![0u32; bins],
+                        vec![0u32; fbins],
+                        vec![0u32; fbins],
+                        vec![K::MAX; fbins],
+                        Vec::new(),
+                        Vec::new(),
+                    )
+                },
+                |(hist, hist1, bstart, lastkey, s1, s2), (b, (deg_slice, out))| {
+                    let segs: Vec<&[K]> = (0..nc)
+                        .map(|c| &staged[seg_base[c * nb + b]..seg_base[c * nb + b + 1]])
+                        .collect();
+                    sort_bucket(
+                        plan,
+                        &segs,
+                        deg_slice,
+                        out,
+                        (s1, s2),
+                        hist,
+                        hist1,
+                        bstart,
+                        lastkey,
+                    );
+                },
+            );
+    }
+    drop(staged);
+
+    // Pass 4 (count): the final offsets are the degree prefix.
+    let offsets = {
+        let _count = span(Phase::IngestCount);
+        exclusive_prefix_sum(&deg)
+    };
+
+    // Pass 5 (emit): the compacted destinations per bucket are exactly the
+    // concatenated adjacency lists; one contiguous copy per bucket.
+    let _dedup = span(Phase::IngestSortDedup);
+    let final_total = *offsets.last().expect("offsets non-empty");
+    let mut adj: Vec<VertexId> = vec![0; final_total];
+    let bucket_adj: Vec<usize> = bucket_vertex.iter().map(|&v| offsets[v]).collect();
+    per_vertex_slices(&mut adj, &bucket_adj).into_par_iter().enumerate().for_each(|(b, dst)| {
+        dst.copy_from_slice(&compact[bucket_base[b]..bucket_base[b] + dst.len()]);
+    });
+    Ok((offsets, adj))
+}
+
+/// Builds an [`UndirectedGraph`] from raw edge parts via the counting-sort
+/// pipeline. Self-loops are dropped, duplicates (in either orientation)
+/// are removed, endpoints are validated against `n`, and per-vertex lists
+/// come out sorted — the exact contract of
+/// [`crate::UndirectedGraphBuilder::build_legacy`], without the global
+/// `O(m log m)` comparison sort.
+pub fn undirected_from_parts(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+) -> Result<UndirectedGraph> {
+    let (offsets, adj) = csr_side(n, parts, Mode::Both)?;
+    Ok(UndirectedGraph::from_csr(offsets, adj))
+}
+
+/// Builds a [`DirectedGraph`] (both CSR directions) from raw edge parts
+/// via the counting-sort pipeline; the directed analogue of
+/// [`undirected_from_parts`].
+pub fn directed_from_parts(n: usize, parts: &[&[(VertexId, VertexId)]]) -> Result<DirectedGraph> {
+    let (out_offsets, out_adj) = csr_side(n, parts, Mode::Out)?;
+    let (in_offsets, in_adj) = csr_side(n, parts, Mode::In)?;
+    debug_assert_eq!(out_adj.len(), in_adj.len(), "arc dedup must agree on both sides");
+    Ok(DirectedGraph::from_csr(out_offsets, out_adj, in_offsets, in_adj))
+}
+
+/// [`undirected_from_parts`] over owned chunk vectors (the shape
+/// [`crate::io`]'s parallel parser produces) — the chunks are borrowed,
+/// never re-concatenated.
+pub fn undirected_from_chunks(
+    n: usize,
+    chunks: &[Vec<(VertexId, VertexId)>],
+) -> Result<UndirectedGraph> {
+    let parts: Vec<&[(VertexId, VertexId)]> = chunks.iter().map(Vec::as_slice).collect();
+    undirected_from_parts(n, &parts)
+}
+
+/// [`directed_from_parts`] over owned chunk vectors.
+pub fn directed_from_chunks(
+    n: usize,
+    chunks: &[Vec<(VertexId, VertexId)>],
+) -> Result<DirectedGraph> {
+    let parts: Vec<&[(VertexId, VertexId)]> = chunks.iter().map(Vec::as_slice).collect();
+    directed_from_parts(n, &parts)
+}
+
+pub(crate) use per_vertex_slices as vertex_slices;
+
+pub(crate) fn prefix_sum(counts: &[usize]) -> Vec<usize> {
+    exclusive_prefix_sum(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_matches_serial() {
+        let counts: Vec<usize> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
+        let offsets = exclusive_prefix_sum(&counts);
+        assert_eq!(offsets.len(), counts.len() + 1);
+        let mut acc = 0usize;
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(offsets[i], acc);
+            acc += c;
+        }
+        assert_eq!(*offsets.last().unwrap(), acc);
+    }
+
+    #[test]
+    fn prefix_sum_empty() {
+        assert_eq!(exclusive_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn per_vertex_slices_partition() {
+        let offsets = vec![0usize, 3, 3, 7, 10];
+        let mut buf: Vec<u32> = (0..10).collect();
+        let slices = per_vertex_slices(&mut buf, &offsets);
+        assert_eq!(slices.len(), 4);
+        assert_eq!(slices[0], &[0, 1, 2]);
+        assert!(slices[1].is_empty());
+        assert_eq!(slices[3], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn plan_covers_key_bits() {
+        for n in [1usize, 2, 5, 400, 70_000, 1 << 20, 1 << 26] {
+            for max_arcs in [0usize, 100, 1 << 16, 1 << 22] {
+                let p = Plan::new(n, max_arcs);
+                assert!(
+                    (p.passes - 1) * p.digit + p.fdigit >= p.shift + p.vbits,
+                    "n={n} arcs={max_arcs}"
+                );
+                assert!(p.digit <= MAX_DIGIT_BITS && p.fdigit <= MAX_DIGIT_BITS);
+                // every valid id maps to a bucket below nb
+                assert!(((n.saturating_sub(1)) >> p.shift) < p.nb);
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_multi_part_equals_single_part() {
+        let edges: Vec<(u32, u32)> = (0..500u32)
+            .map(|i| (i % 40, (i * 7 + 1) % 40))
+            .chain([(3, 3), (1, 0), (0, 1)])
+            .collect();
+        let single = undirected_from_parts(40, &[&edges]).unwrap();
+        let (a, b) = edges.split_at(137);
+        let (b, c) = b.split_at(211);
+        let multi = undirected_from_parts(40, &[a, b, c]).unwrap();
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn directed_multi_part_equals_single_part() {
+        let edges: Vec<(u32, u32)> =
+            (0..500u32).map(|i| ((i * 3) % 31, (i * 11 + 2) % 31)).collect();
+        let single = directed_from_parts(31, &[&edges]).unwrap();
+        let (a, b) = edges.split_at(250);
+        let multi = directed_from_parts(31, &[a, b]).unwrap();
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn earliest_invalid_edge_wins() {
+        // Two bad edges; the part boundary must not change which one is
+        // reported (the input-order-earliest, vertex 77).
+        let head: Vec<(u32, u32)> = (0..300u32).map(|i| (i % 10, (i + 1) % 10)).collect();
+        let mut a = head.clone();
+        a.push((77, 0));
+        let b = vec![(0u32, 1u32), (99, 1)];
+        let err = undirected_from_parts(10, &[&a, &b]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 77, n: 10 }));
+        let err = directed_from_parts(10, &[&a, &b]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 77, n: 10 }));
+    }
+
+    #[test]
+    fn empty_parts_build_isolated_graph() {
+        let g = undirected_from_parts(5, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        let d = directed_from_chunks(4, &[Vec::new(), Vec::new()]).unwrap();
+        assert_eq!(d.num_vertices(), 4);
+        assert_eq!(d.num_edges(), 0);
+    }
+
+    #[test]
+    fn multi_pass_radix_matches_legacy() {
+        // n > 2^16 forces multiple counting passes per bucket; compare
+        // against the legacy sort-based oracle on a duplicate-heavy input.
+        let n = 70_003usize;
+        let mut state = 11u64;
+        let mut edges = Vec::new();
+        for _ in 0..60_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 16) as usize % n) as u32;
+            let v = ((state >> 40) as usize % n) as u32;
+            edges.push((u, v));
+            if state % 5 == 0 {
+                edges.push((v, u)); // duplicate in the other orientation
+            }
+        }
+        let engine = undirected_from_parts(n, &[&edges]).unwrap();
+        let mut b = crate::UndirectedGraphBuilder::with_capacity(n, edges.len());
+        for &(u, v) in &edges {
+            b.push_edge(u, v);
+        }
+        let legacy = b.build_legacy().unwrap();
+        assert_eq!(engine, legacy);
+
+        let dengine = directed_from_parts(n, &[&edges]).unwrap();
+        let mut b = crate::DirectedGraphBuilder::with_capacity(n, edges.len());
+        for &(u, v) in &edges {
+            b.push_edge(u, v);
+        }
+        assert_eq!(dengine, b.build_legacy().unwrap());
+    }
+}

@@ -4,15 +4,38 @@
 //! non-negative integers), `#` or `%` comment lines ignored (matching the
 //! KONECT and SNAP conventions of the paper's data sources). The vertex
 //! count is `1 + max id` unless a larger count is given explicitly.
+//!
+//! [`read_undirected`] / [`read_directed`] parse in parallel: the byte
+//! buffer is split into chunks at line boundaries, each chunk is parsed on
+//! its own rayon task while tracking chunk-local line numbers, and the
+//! parsed chunks feed the counting-sort engine in [`crate::ingest`] without
+//! being re-concatenated. Error reporting is bit-identical to the serial
+//! line-at-a-time parser (kept as [`read_undirected_serial`] /
+//! [`read_directed_serial`], the parity oracles): the globally earliest
+//! offending line wins, with its exact 1-based line number — chunk-local
+//! offsets are rebased by the line counts of all preceding chunks.
 
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use dsd_telemetry::{span, Phase};
+use rayon::prelude::*;
+
 use crate::{
-    DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
+    ingest, DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
     UndirectedGraphBuilder, VertexId,
 };
 
+/// Bounds on the byte size of one parser chunk. The actual size targets
+/// `len / (4 * threads)` so every worker gets a few chunks to balance, but
+/// never shrinks below [`MIN_CHUNK_BYTES`] (tiny chunks are all overhead)
+/// or grows beyond [`MAX_CHUNK_BYTES`] (huge chunks serialise the tail).
+const MIN_CHUNK_BYTES: usize = 64 << 10;
+const MAX_CHUNK_BYTES: usize = 8 << 20;
+
+/// Serial line-at-a-time parse — the oracle the chunked parser is tested
+/// against. Line numbers count every physical line (comments and blanks
+/// included), 1-based.
 fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(VertexId, VertexId)>, usize)> {
     let mut edges = Vec::new();
     let mut max_id: u64 = 0;
@@ -61,16 +84,182 @@ fn parse_edges<R: Read>(reader: R) -> Result<(Vec<(VertexId, VertexId)>, usize)>
     Ok((edges, n))
 }
 
-/// Reads an undirected graph from an edge-list reader.
-pub fn read_undirected<R: Read>(reader: R) -> Result<UndirectedGraph> {
-    let (edges, n) = parse_edges(reader)?;
-    UndirectedGraphBuilder::with_capacity(n, edges.len()).add_edges(edges).build()
+/// The error a chunk-local line produced, before its line number has been
+/// rebased to a global one.
+enum LineError {
+    /// Non-UTF-8 bytes; surfaces as the same `GraphError::Io` the serial
+    /// parser gets from `BufRead::lines`.
+    Utf8,
+    /// A parse failure with the serial parser's exact message.
+    Parse(String),
 }
 
-/// Reads a directed graph from an edge-list reader.
+fn utf8_error() -> GraphError {
+    GraphError::Io(io::Error::new(io::ErrorKind::InvalidData, "stream did not contain valid UTF-8"))
+}
+
+/// One parsed chunk: its edges, id stats, physical line count, and the
+/// first error (if any) with its 1-based chunk-local line number.
+struct ChunkParse {
+    edges: Vec<(VertexId, VertexId)>,
+    max_id: u64,
+    saw_vertex: bool,
+    lines: usize,
+    error: Option<(usize, LineError)>,
+}
+
+fn parse_line_into(text: &str, out: &mut ChunkParse) -> std::result::Result<(), LineError> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+        return Ok(());
+    }
+    let mut it = trimmed.split_whitespace();
+    let u: u64 = it
+        .next()
+        .ok_or_else(|| LineError::Parse("missing source".into()))?
+        .parse()
+        .map_err(|e| LineError::Parse(format!("bad source: {e}")))?;
+    let v: u64 = it
+        .next()
+        .ok_or_else(|| LineError::Parse("missing target".into()))?
+        .parse()
+        .map_err(|e| LineError::Parse(format!("bad target: {e}")))?;
+    if u > u32::MAX as u64 || v > u32::MAX as u64 {
+        return Err(LineError::Parse("vertex id exceeds u32::MAX".into()));
+    }
+    out.max_id = out.max_id.max(u).max(v);
+    out.saw_vertex = true;
+    out.edges.push((u as VertexId, v as VertexId));
+    Ok(())
+}
+
+/// Parses one chunk. Line iteration mirrors `BufRead::lines`: split on
+/// `\n`, strip one trailing `\r`, and no phantom empty line after a final
+/// `\n` — so per-chunk line counts sum exactly to the serial total.
+fn parse_chunk(bytes: &[u8]) -> ChunkParse {
+    let mut out =
+        ChunkParse { edges: Vec::new(), max_id: 0, saw_vertex: false, lines: 0, error: None };
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let end =
+            bytes[pos..].iter().position(|&b| b == b'\n').map(|i| pos + i).unwrap_or(bytes.len());
+        let mut line = &bytes[pos..end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        out.lines += 1;
+        let local = out.lines;
+        match std::str::from_utf8(line) {
+            Err(_) => {
+                out.error = Some((local, LineError::Utf8));
+                return out;
+            }
+            Ok(text) => {
+                if let Err(kind) = parse_line_into(text, &mut out) {
+                    out.error = Some((local, kind));
+                    return out;
+                }
+            }
+        }
+        pos = end + 1;
+    }
+    out
+}
+
+/// Splits `bytes` into `(start, end)` ranges of roughly `size` bytes, each
+/// extended rightwards to the next `\n` so no line spans two chunks.
+fn chunk_ranges(bytes: &[u8], size: usize) -> Vec<(usize, usize)> {
+    let len = bytes.len();
+    let mut ranges = Vec::new();
+    let size = size.max(1);
+    let mut start = 0usize;
+    while start < len {
+        let mut end = (start + size).min(len);
+        if end < len {
+            end = match bytes[end..].iter().position(|&b| b == b'\n') {
+                Some(i) => end + i + 1,
+                None => len,
+            };
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
+}
+
+/// Parallel chunked parse of a whole byte buffer. Returns the per-chunk
+/// edge vectors (ready for [`crate::ingest`]'s `*_from_chunks`) and the
+/// inferred vertex count, or the globally earliest error with the exact
+/// line number / message the serial parser would report.
+fn parse_chunked(
+    bytes: &[u8],
+    chunk_bytes: usize,
+) -> Result<(Vec<Vec<(VertexId, VertexId)>>, usize)> {
+    let ranges = chunk_ranges(bytes, chunk_bytes);
+    let parsed: Vec<ChunkParse> =
+        ranges.par_iter().map(|&(s, e)| parse_chunk(&bytes[s..e])).collect();
+    // Chunks are in input order and each reports its first error, so the
+    // first erroring chunk holds the globally earliest offending line;
+    // rebase its chunk-local number by the full line counts before it.
+    let mut line_base = 0usize;
+    let mut chunks = Vec::with_capacity(parsed.len());
+    let mut max_id = 0u64;
+    let mut saw_vertex = false;
+    for cp in parsed {
+        if let Some((local, kind)) = cp.error {
+            return Err(match kind {
+                LineError::Utf8 => utf8_error(),
+                LineError::Parse(message) => GraphError::Parse { line: line_base + local, message },
+            });
+        }
+        line_base += cp.lines;
+        max_id = max_id.max(cp.max_id);
+        saw_vertex |= cp.saw_vertex;
+        chunks.push(cp.edges);
+    }
+    let n = if saw_vertex { (max_id + 1) as usize } else { 0 };
+    Ok((chunks, n))
+}
+
+fn auto_chunk_bytes(len: usize) -> usize {
+    let target_chunks = rayon::current_num_threads().max(1) * 4;
+    (len / target_chunks.max(1)).clamp(MIN_CHUNK_BYTES, MAX_CHUNK_BYTES)
+}
+
+fn read_chunks<R: Read>(mut reader: R) -> Result<(Vec<Vec<(VertexId, VertexId)>>, usize)> {
+    let _parse = span(Phase::IngestParse);
+    let mut bytes = Vec::new();
+    reader.read_to_end(&mut bytes)?;
+    parse_chunked(&bytes, auto_chunk_bytes(bytes.len()))
+}
+
+/// Reads an undirected graph from an edge-list reader (parallel chunked
+/// parse feeding the counting-sort engine).
+pub fn read_undirected<R: Read>(reader: R) -> Result<UndirectedGraph> {
+    let (chunks, n) = read_chunks(reader)?;
+    ingest::undirected_from_chunks(n, &chunks)
+}
+
+/// Reads a directed graph from an edge-list reader (parallel chunked parse
+/// feeding the counting-sort engine).
 pub fn read_directed<R: Read>(reader: R) -> Result<DirectedGraph> {
+    let (chunks, n) = read_chunks(reader)?;
+    ingest::directed_from_chunks(n, &chunks)
+}
+
+/// Serial reference reader: line-at-a-time parse plus the legacy
+/// `O(m log m)` builder. The full-pipeline oracle for
+/// [`read_undirected`] parity tests.
+pub fn read_undirected_serial<R: Read>(reader: R) -> Result<UndirectedGraph> {
     let (edges, n) = parse_edges(reader)?;
-    DirectedGraphBuilder::with_capacity(n, edges.len()).add_edges(edges).build()
+    UndirectedGraphBuilder::with_capacity(n, edges.len()).add_edges(edges).build_legacy()
+}
+
+/// Serial reference reader for directed graphs; the oracle for
+/// [`read_directed`] parity tests.
+pub fn read_directed_serial<R: Read>(reader: R) -> Result<DirectedGraph> {
+    let (edges, n) = parse_edges(reader)?;
+    DirectedGraphBuilder::with_capacity(n, edges.len()).add_edges(edges).build_legacy()
 }
 
 /// Reads an undirected graph from a file path.
@@ -181,5 +370,79 @@ mod tests {
         write_undirected(&g, std::fs::File::create(&path).unwrap()).unwrap();
         let g2 = read_undirected_path(&path).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_and_split_on_newlines() {
+        let text = b"0 1\n2 3\n4 5\n6 7\n8 9";
+        let ranges = chunk_ranges(text, 5);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, text.len());
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must tile the buffer");
+            assert_eq!(text[w[0].1 - 1], b'\n', "splits only after newlines");
+        }
+    }
+
+    #[test]
+    fn tiny_chunks_match_serial_parse() {
+        let text = "# header\n0 1\n\n1 2\r\n% mid comment\n2 3\n3 0";
+        let (edges, n) = parse_edges(text.as_bytes()).unwrap();
+        for size in [1usize, 3, 7, 64, 1 << 20] {
+            let (chunks, cn) = parse_chunked(text.as_bytes(), size).unwrap();
+            let flat: Vec<_> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, edges, "chunk size {size}");
+            assert_eq!(cn, n, "chunk size {size}");
+        }
+    }
+
+    #[test]
+    fn tiny_chunks_report_serial_error_line() {
+        let text = "0 1\n1 2\n# ok\n2 x\n3 4\nbroken\n";
+        let serial = parse_edges(text.as_bytes()).unwrap_err();
+        let (sline, smsg) = match serial {
+            GraphError::Parse { line, message } => (line, message),
+            other => panic!("expected parse error, got {other}"),
+        };
+        assert_eq!(sline, 4);
+        for size in [1usize, 4, 9, 1 << 20] {
+            match parse_chunked(text.as_bytes(), size).unwrap_err() {
+                GraphError::Parse { line, message } => {
+                    assert_eq!(line, sline, "chunk size {size}");
+                    assert_eq!(message, smsg, "chunk size {size}");
+                }
+                other => panic!("expected parse error, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_matches_serial_error() {
+        let mut bytes = b"0 1\n1 2\n".to_vec();
+        bytes.extend_from_slice(&[0xff, 0xfe, b'\n']);
+        bytes.extend_from_slice(b"2 3\n");
+        let serial = read_undirected_serial(bytes.as_slice()).unwrap_err();
+        for size in [2usize, 1 << 20] {
+            let chunked = parse_chunked(&bytes, size).unwrap_err();
+            assert_eq!(chunked.to_string(), serial.to_string(), "chunk size {size}");
+        }
+    }
+
+    #[test]
+    fn serial_readers_match_parallel_readers() {
+        let g = crate::gen::erdos_renyi(60, 200, 9);
+        let mut buf = Vec::new();
+        write_undirected(&g, &mut buf).unwrap();
+        assert_eq!(
+            read_undirected(buf.as_slice()).unwrap(),
+            read_undirected_serial(buf.as_slice()).unwrap()
+        );
+        let d = crate::gen::erdos_renyi_directed(60, 200, 10);
+        let mut buf = Vec::new();
+        write_directed(&d, &mut buf).unwrap();
+        assert_eq!(
+            read_directed(buf.as_slice()).unwrap(),
+            read_directed_serial(buf.as_slice()).unwrap()
+        );
     }
 }

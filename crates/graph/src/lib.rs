@@ -9,7 +9,8 @@
 //!
 //! * compact CSR representations for undirected ([`UndirectedGraph`]) and
 //!   directed ([`DirectedGraph`]) graphs,
-//! * builders that deduplicate edges and drop self-loops,
+//! * builders that deduplicate edges and drop self-loops, backed by the
+//!   parallel counting-sort CSR construction engine ([`ingest`]),
 //! * plain-text edge-list IO ([`io`]) and a compact binary format
 //!   ([`binio`]),
 //! * seeded synthetic generators matched to the categories of the paper's
@@ -32,6 +33,7 @@ pub mod components;
 pub mod directed;
 pub mod error;
 pub mod gen;
+pub mod ingest;
 pub mod io;
 pub mod reorder;
 pub mod sample;

@@ -4,8 +4,20 @@
 //! vertices every peeling/h-index iteration touches most — into adjacent
 //! cache lines, a standard locality optimisation for CSR graph algorithms
 //! at the paper's scale. `bench_graph` measures the effect on PKMC.
+//!
+//! [`by_degree_descending`] permutes the CSR directly in `O(n + m)` — new
+//! offsets come from a prefix sum over permuted degrees, and each new
+//! adjacency list is remapped and sorted in its own parallel task — instead
+//! of round-tripping `m` edges through a builder (an extra edge vector plus
+//! a full validate/dedup pass over edges that are valid by construction).
+//! The seed round-trip survives as [`by_degree_descending_legacy`], the
+//! parity oracle. [`by_degree_descending_directed`] is the directed
+//! analogue the DDS engines need, permuting both CSR directions under one
+//! total-degree order.
 
-use crate::{UndirectedGraph, UndirectedGraphBuilder, VertexId};
+use rayon::prelude::*;
+
+use crate::{ingest, DirectedGraph, UndirectedGraph, UndirectedGraphBuilder, VertexId};
 
 /// A reordered graph plus the mapping back to original vertex ids.
 #[derive(Clone, Debug)]
@@ -27,9 +39,69 @@ impl Reordered {
     }
 }
 
-/// Renumbers vertices by descending degree (ties by original id, so the
-/// result is deterministic).
+/// A reordered directed graph plus the id mappings; the directed analogue
+/// of [`Reordered`].
+#[derive(Clone, Debug)]
+pub struct ReorderedDirected {
+    /// The renumbered graph (both CSR directions permuted consistently).
+    pub graph: DirectedGraph,
+    /// `original[new_id]` is the vertex's id in the input graph.
+    pub original: Vec<VertexId>,
+    /// `new_id[original]` is the vertex's id in the reordered graph.
+    pub new_id: Vec<VertexId>,
+}
+
+impl ReorderedDirected {
+    /// Maps a set of reordered vertex ids back to original ids (sorted).
+    pub fn to_original(&self, vertices: &[VertexId]) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = vertices.iter().map(|&v| self.original[v as usize]).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Computes `order` (new id → old id) and its inverse `new_id` under
+/// descending `key`, ties broken by ascending original id so the result is
+/// deterministic for any rayon pool size.
+fn degree_order(
+    n: usize,
+    key: impl Fn(VertexId) -> usize + Sync,
+) -> (Vec<VertexId>, Vec<VertexId>) {
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.par_sort_unstable_by(|&a, &b| key(b).cmp(&key(a)).then(a.cmp(&b)));
+    let mut new_id = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_id[old as usize] = new as VertexId;
+    }
+    (order, new_id)
+}
+
+/// Renumbers vertices by descending degree (ties by original id), via a
+/// direct `O(n + m)` CSR permutation — no builder round-trip. Output is
+/// bit-identical to [`by_degree_descending_legacy`].
 pub fn by_degree_descending(g: &UndirectedGraph) -> Reordered {
+    let n = g.num_vertices();
+    let (order, new_id) = degree_order(n, |v| g.degree(v));
+    let deg: Vec<usize> = order.par_iter().map(|&old| g.degree(old)).collect();
+    let offsets = ingest::prefix_sum(&deg);
+    let mut adj = vec![0 as VertexId; *offsets.last().expect("offsets non-empty")];
+    ingest::vertex_slices(&mut adj, &offsets).into_par_iter().enumerate().for_each(
+        |(new, list)| {
+            let old = order[new];
+            for (cell, &w) in list.iter_mut().zip(g.neighbors(old)) {
+                *cell = new_id[w as usize];
+            }
+            list.sort_unstable();
+        },
+    );
+    Reordered { graph: UndirectedGraph::from_csr(offsets, adj), original: order, new_id }
+}
+
+/// The seed implementation: push every remapped edge through a builder and
+/// rebuild from scratch. `O(m)` extra memory plus a redundant
+/// validate+dedup pass; kept as the parity oracle and reorder-bench
+/// baseline.
+pub fn by_degree_descending_legacy(g: &UndirectedGraph) -> Reordered {
     let n = g.num_vertices();
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.sort_unstable_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
@@ -41,13 +113,54 @@ pub fn by_degree_descending(g: &UndirectedGraph) -> Reordered {
     for (u, v) in g.edges() {
         b.push_edge(new_id[u as usize], new_id[v as usize]);
     }
-    Reordered { graph: b.build().expect("renumbered ids are in range"), original: order, new_id }
+    Reordered {
+        graph: b.build_legacy().expect("renumbered ids are in range"),
+        original: order,
+        new_id,
+    }
+}
+
+/// Renumbers a directed graph by descending total degree (out + in, ties
+/// by original id) and permutes both CSR directions in `O(n + m)`. Hubs of
+/// the `(x, y)`-core orientation land in adjacent cache lines for the DDS
+/// peeling engines.
+pub fn by_degree_descending_directed(g: &DirectedGraph) -> ReorderedDirected {
+    let n = g.num_vertices();
+    let (order, new_id) = degree_order(n, |v| g.out_degree(v) + g.in_degree(v));
+    fn permute<'g>(
+        order: &[VertexId],
+        new_id: &[VertexId],
+        list_of: impl Fn(VertexId) -> &'g [VertexId] + Sync,
+        deg_of: impl Fn(VertexId) -> usize + Sync,
+    ) -> (Vec<usize>, Vec<VertexId>) {
+        let deg: Vec<usize> = order.par_iter().map(|&old| deg_of(old)).collect();
+        let offsets = ingest::prefix_sum(&deg);
+        let mut adj = vec![0 as VertexId; *offsets.last().expect("offsets non-empty")];
+        ingest::vertex_slices(&mut adj, &offsets).into_par_iter().enumerate().for_each(
+            |(new, list)| {
+                let old = order[new];
+                for (cell, &w) in list.iter_mut().zip(list_of(old)) {
+                    *cell = new_id[w as usize];
+                }
+                list.sort_unstable();
+            },
+        );
+        (offsets, adj)
+    }
+    let (out_offsets, out_adj) =
+        permute(&order, &new_id, |v| g.out_neighbors(v), |v| g.out_degree(v));
+    let (in_offsets, in_adj) = permute(&order, &new_id, |v| g.in_neighbors(v), |v| g.in_degree(v));
+    ReorderedDirected {
+        graph: DirectedGraph::from_csr(out_offsets, out_adj, in_offsets, in_adj),
+        original: order,
+        new_id,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::UndirectedGraphBuilder;
+    use crate::{DirectedGraphBuilder, UndirectedGraphBuilder};
 
     #[test]
     fn hub_becomes_vertex_zero() {
@@ -93,5 +206,56 @@ mod tests {
         let g = UndirectedGraphBuilder::new(0).build().unwrap();
         let r = by_degree_descending(&g);
         assert_eq!(r.graph.num_vertices(), 0);
+    }
+
+    #[test]
+    fn permutation_matches_legacy() {
+        let g = crate::gen::chung_lu(300, 2500, 2.1, 17);
+        let fast = by_degree_descending(&g);
+        let legacy = by_degree_descending_legacy(&g);
+        assert_eq!(fast.graph, legacy.graph);
+        assert_eq!(fast.original, legacy.original);
+        assert_eq!(fast.new_id, legacy.new_id);
+    }
+
+    #[test]
+    fn directed_hub_becomes_vertex_zero() {
+        // 3 has total degree 4 (3 out + 1 in).
+        let g = DirectedGraphBuilder::new(5)
+            .add_edges([(3, 0), (3, 1), (3, 2), (4, 3)])
+            .build()
+            .unwrap();
+        let r = by_degree_descending_directed(&g);
+        assert_eq!(r.original[0], 3);
+        assert_eq!(r.graph.out_degree(0), 3);
+        assert_eq!(r.graph.in_degree(0), 1);
+    }
+
+    #[test]
+    fn directed_structure_preserved() {
+        let g = crate::gen::erdos_renyi_directed(150, 900, 23);
+        let r = by_degree_descending_directed(&g);
+        assert_eq!(r.graph.num_vertices(), g.num_vertices());
+        assert_eq!(r.graph.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(r.graph.has_edge(r.new_id[u as usize], r.new_id[v as usize]));
+        }
+        for old in 0..150u32 {
+            assert_eq!(r.original[r.new_id[old as usize] as usize], old);
+            assert_eq!(r.graph.out_degree(r.new_id[old as usize]), g.out_degree(old));
+            assert_eq!(r.graph.in_degree(r.new_id[old as usize]), g.in_degree(old));
+        }
+        // Total degrees non-increasing in the new ordering.
+        for v in 1..150u32 {
+            let t = |x: u32| r.graph.out_degree(x) + r.graph.in_degree(x);
+            assert!(t(v) <= t(v - 1));
+        }
+    }
+
+    #[test]
+    fn directed_transpose_consistency() {
+        let g = crate::gen::erdos_renyi_directed(80, 400, 31);
+        let r = by_degree_descending_directed(&g);
+        assert_eq!(r.graph.transpose().transpose(), r.graph);
     }
 }

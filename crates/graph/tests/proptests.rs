@@ -156,4 +156,89 @@ proptest! {
         prop_assert_eq!(g.transpose().num_edges(), g.num_edges());
         prop_assert_eq!(g.transpose().max_out_degree(), g.max_in_degree());
     }
+
+    // PR 4: the counting-sort engine must agree with the legacy sort+dedup
+    // oracle on every input — random multisets with duplicates, self-loops,
+    // and isolated vertices included by construction of `raw_edges`.
+    #[test]
+    fn undirected_engine_matches_legacy((n, edges) in raw_edges()) {
+        let engine = UndirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build().unwrap();
+        let legacy = UndirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build_legacy().unwrap();
+        prop_assert_eq!(engine, legacy);
+    }
+
+    #[test]
+    fn directed_engine_matches_legacy((n, edges) in raw_edges()) {
+        let engine = DirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build().unwrap();
+        let legacy = DirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build_legacy().unwrap();
+        prop_assert_eq!(engine, legacy);
+    }
+
+    // Out-of-range edges must surface the same error payload from both
+    // pipelines: the input-order-earliest offender, `u` before `v`.
+    #[test]
+    fn engine_error_matches_legacy((n, edges) in raw_edges(), at in 0usize..200, bump in 0u32..5) {
+        let mut edges = edges;
+        let at = at % (edges.len() + 1);
+        edges.insert(at, (n as u32 + bump, 0));
+        let engine = UndirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build().unwrap_err();
+        let legacy = UndirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build_legacy().unwrap_err();
+        prop_assert_eq!(engine.to_string(), legacy.to_string());
+        let engine = DirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build().unwrap_err();
+        let legacy = DirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied()).build_legacy().unwrap_err();
+        prop_assert_eq!(engine.to_string(), legacy.to_string());
+    }
+
+    // Splitting the same multiset into arbitrary parts (the parallel
+    // parser's chunk shape) must not change the built graph.
+    #[test]
+    fn engine_part_structure_is_irrelevant((n, edges) in raw_edges(), cut in any::<u64>()) {
+        let whole = dsd_graph::ingest::undirected_from_parts(n, &[&edges]).unwrap();
+        let a = (cut as usize) % (edges.len() + 1);
+        let b = a + ((cut >> 32) as usize) % (edges.len() - a + 1);
+        let parts = [&edges[..a], &edges[a..b], &edges[b..]];
+        let split = dsd_graph::ingest::undirected_from_parts(n, &parts).unwrap();
+        prop_assert_eq!(whole, split);
+        let whole = dsd_graph::ingest::directed_from_parts(n, &[&edges]).unwrap();
+        let split = dsd_graph::ingest::directed_from_parts(n, &parts).unwrap();
+        prop_assert_eq!(whole, split);
+    }
+
+    // Direct CSR permutation must reproduce the legacy builder round-trip.
+    #[test]
+    fn reorder_matches_legacy((n, edges) in raw_edges()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let fast = dsd_graph::reorder::by_degree_descending(&g);
+        let legacy = dsd_graph::reorder::by_degree_descending_legacy(&g);
+        prop_assert_eq!(fast.graph, legacy.graph);
+        prop_assert_eq!(fast.original, legacy.original);
+        prop_assert_eq!(fast.new_id, legacy.new_id);
+    }
+
+    // Parallel chunked parse must agree with the serial reader end to end.
+    #[test]
+    fn parallel_read_matches_serial((n, edges) in raw_edges()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let mut text = Vec::new();
+        dsd_graph::io::write_undirected(&g, &mut text).unwrap();
+        prop_assert_eq!(
+            dsd_graph::io::read_undirected(text.as_slice()).unwrap(),
+            dsd_graph::io::read_undirected_serial(text.as_slice()).unwrap()
+        );
+        let d = DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let mut text = Vec::new();
+        dsd_graph::io::write_directed(&d, &mut text).unwrap();
+        prop_assert_eq!(
+            dsd_graph::io::read_directed(text.as_slice()).unwrap(),
+            dsd_graph::io::read_directed_serial(text.as_slice()).unwrap()
+        );
+    }
 }

@@ -106,7 +106,10 @@ impl Counter {
 /// The UDS sweep engine uses `Init`/`Sweep`/`Apply`/`Frontier` (+ `Monitor`
 /// for PKMC's Theorem-1 early-stop checks); the DDS peel engine uses
 /// `Prime`/`ThresholdSelect`/`Cascade`/`Compact`; PWC adds
-/// `Collapse`/`Extract` for its post-decomposition stages.
+/// `Collapse`/`Extract` for its post-decomposition stages. The graph ingest
+/// engine (`dsd-graph`, PR 4) uses the five `Ingest*` phases to break the
+/// bytes-on-disk → kernel-ready-CSR path into parse / validate / count /
+/// scatter / sort-dedup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Phase {
@@ -132,11 +135,22 @@ pub enum Phase {
     Collapse,
     /// PWC: extracting the (x, y)-core answer subgraph.
     Extract,
+    /// Ingest: chunked text edge-list parsing (`dsd-graph::io`).
+    IngestParse,
+    /// Ingest: fused range validation + canonicalisation + degree
+    /// histogram over the raw edge parts (`dsd-graph::ingest`).
+    IngestValidate,
+    /// Ingest: offset prefix sums and scatter-cursor initialisation.
+    IngestCount,
+    /// Ingest: atomic-cursor scatter of edges into adjacency slots.
+    IngestScatter,
+    /// Ingest: per-vertex adjacency sort, in-place dedup, and compaction.
+    IngestSortDedup,
 }
 
 impl Phase {
     /// Every phase, in shard-slot order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 16] = [
         Phase::Init,
         Phase::Sweep,
         Phase::Apply,
@@ -148,6 +162,11 @@ impl Phase {
         Phase::Compact,
         Phase::Collapse,
         Phase::Extract,
+        Phase::IngestParse,
+        Phase::IngestValidate,
+        Phase::IngestCount,
+        Phase::IngestScatter,
+        Phase::IngestSortDedup,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -166,6 +185,11 @@ impl Phase {
             Phase::Compact => "compact",
             Phase::Collapse => "collapse",
             Phase::Extract => "extract",
+            Phase::IngestParse => "parse",
+            Phase::IngestValidate => "validate",
+            Phase::IngestCount => "count",
+            Phase::IngestScatter => "scatter",
+            Phase::IngestSortDedup => "sort-dedup",
         }
     }
 }
@@ -239,11 +263,14 @@ pub fn enabled() -> bool {
 }
 
 /// Label the active (and any subsequently begun) trace with the rayon pool
-/// size driving the engines. `None` clears the label. Called by
+/// size driving the engines. `None` clears the label for *future* traces
+/// only — an active trace keeps the last real pool size that ran inside
+/// it, so `with_threads`' restore-on-exit (typically back to "no label")
+/// cannot wipe the label before `end_trace` reads it. Called by
 /// `dsd_core::runner::with_threads`; harness code rarely needs it directly.
 pub fn set_pool_threads(threads: Option<usize>) {
     POOL_THREADS.store(threads.unwrap_or(0), Ordering::Relaxed);
-    if enabled() {
+    if threads.is_some() && enabled() {
         if let Some(trace) = active().lock().expect("telemetry trace poisoned").as_mut() {
             trace.threads = threads;
         }

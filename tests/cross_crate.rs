@@ -201,6 +201,121 @@ fn telemetry_recorder_parity_with_recorder_disabled() {
 }
 
 #[test]
+fn ingest_engine_deterministic_across_pool_sizes() {
+    // PR-4 contract: the counting-sort builder, the chunked parallel
+    // parser, and the direct CSR reorder produce bit-identical output at
+    // every pool size. The single-threaded legacy paths are the reference,
+    // so this also re-checks engine-vs-oracle parity end to end.
+    use dsd_core::runner::with_threads;
+
+    let g = dsd_graph::gen::chung_lu(2_000, 18_000, 2.3, 61);
+    let d = dsd_graph::gen::chung_lu_directed(900, 8_000, 2.3, 2.1, 62);
+    let undirected_edges: Vec<(u32, u32)> = g.edges().collect();
+    let directed_edges: Vec<(u32, u32)> = d.edges().collect();
+    let mut text = Vec::new();
+    dsd_graph::io::write_undirected(&g, &mut text).unwrap();
+    let mut dtext = Vec::new();
+    dsd_graph::io::write_directed(&d, &mut dtext).unwrap();
+
+    let built_reference = dsd_graph::UndirectedGraphBuilder::new(2_000)
+        .add_edges(undirected_edges.iter().copied())
+        .build_legacy()
+        .unwrap();
+    let dbuilt_reference = dsd_graph::DirectedGraphBuilder::new(900)
+        .add_edges(directed_edges.iter().copied())
+        .build_legacy()
+        .unwrap();
+    let parsed_reference = dsd_graph::io::read_undirected_serial(text.as_slice()).unwrap();
+    let dparsed_reference = dsd_graph::io::read_directed_serial(dtext.as_slice()).unwrap();
+    let reordered_reference = dsd_graph::reorder::by_degree_descending_legacy(&g);
+
+    for &p in &[1usize, 2, 4] {
+        let built = with_threads(p, || {
+            dsd_graph::UndirectedGraphBuilder::new(2_000)
+                .add_edges(undirected_edges.iter().copied())
+                .build()
+                .unwrap()
+        });
+        assert_eq!(built, built_reference, "pool {p}: undirected build");
+        let dbuilt = with_threads(p, || {
+            dsd_graph::DirectedGraphBuilder::new(900)
+                .add_edges(directed_edges.iter().copied())
+                .build()
+                .unwrap()
+        });
+        assert_eq!(dbuilt, dbuilt_reference, "pool {p}: directed build");
+        let parsed = with_threads(p, || dsd_graph::io::read_undirected(text.as_slice()).unwrap());
+        assert_eq!(parsed, parsed_reference, "pool {p}: undirected parse");
+        let dparsed = with_threads(p, || dsd_graph::io::read_directed(dtext.as_slice()).unwrap());
+        assert_eq!(dparsed, dparsed_reference, "pool {p}: directed parse");
+        let reordered = with_threads(p, || dsd_graph::reorder::by_degree_descending(&g));
+        assert_eq!(reordered.graph, reordered_reference.graph, "pool {p}: reorder graph");
+        assert_eq!(reordered.original, reordered_reference.original, "pool {p}: reorder order");
+        let rd = with_threads(p, || dsd_graph::reorder::by_degree_descending_directed(&d));
+        let rd1 = with_threads(1, || dsd_graph::reorder::by_degree_descending_directed(&d));
+        assert_eq!(rd.graph, rd1.graph, "pool {p}: directed reorder");
+        assert_eq!(rd.original, rd1.original, "pool {p}: directed reorder order");
+    }
+}
+
+#[test]
+fn parallel_parser_reports_exact_error_line_in_deep_chunk() {
+    // A malformed line buried deep inside a non-first parser chunk must
+    // surface with the same 1-based global line number and message the
+    // serial parser reports. ~1.2 MiB of input guarantees several chunks
+    // (MIN_CHUNK_BYTES is 64 KiB), and the bad line lands past the 80%
+    // mark, far from chunk 0.
+    let mut text = String::new();
+    let mut bad_line = 0usize;
+    let mut lineno = 0usize;
+    for i in 0..160_000u32 {
+        lineno += 1;
+        if i % 1_000 == 0 {
+            text.push_str("# synthetic comment to vary line lengths\n");
+            lineno += 1;
+        }
+        if i == 130_000 {
+            text.push_str("4242 not_a_number\n");
+            bad_line = lineno;
+            continue;
+        }
+        text.push_str(&format!("{} {}\n", i % 997, (i * 7 + 1) % 997));
+    }
+    assert!(text.len() > 1 << 20, "input must span several chunks");
+
+    let serial = dsd_graph::io::read_undirected_serial(text.as_bytes()).unwrap_err();
+    let parallel = dsd_graph::io::read_undirected(text.as_bytes()).unwrap_err();
+    let (serial_line, serial_msg) = match serial {
+        dsd_graph::GraphError::Parse { line, message } => (line, message),
+        other => panic!("serial: expected parse error, got {other}"),
+    };
+    assert_eq!(serial_line, bad_line, "serial parser disagrees with the generator");
+    assert!(serial_msg.contains("bad target"), "{serial_msg}");
+    match parallel {
+        dsd_graph::GraphError::Parse { line, message } => {
+            assert_eq!(line, serial_line, "parallel parser line number");
+            assert_eq!(message, serial_msg, "parallel parser message");
+        }
+        other => panic!("parallel: expected parse error, got {other}"),
+    }
+
+    // Same contract under explicit pool sizes (chunk count scales with the
+    // pool, moving the chunk boundaries around the bad line).
+    for &p in &[1usize, 2, 4] {
+        let err = dsd_core::runner::with_threads(p, || {
+            dsd_graph::io::read_undirected(text.as_bytes()).unwrap_err()
+        });
+        match err {
+            dsd_graph::GraphError::Parse { line, message } => {
+                assert_eq!(line, serial_line, "pool {p}: line number");
+                assert_eq!(message, serial_msg, "pool {p}: message");
+            }
+            other => panic!("pool {p}: expected parse error, got {other}"),
+        }
+    }
+}
+
+#[test]
 fn connected_component_of_core_is_valid_answer() {
     // The paper: the k*-core may have several components, any of which is a
     // 2-approximation. Check the density bound holds for the best one.
