@@ -1,36 +1,60 @@
-//! Flow substrate microbenchmarks: Dinic max-flow and the exact oracles.
+//! Flow substrate microbenchmarks: the push-relabel engine vs the Dinic
+//! legacy solver on a raw layered network, and the exact oracles on both
+//! flow backends.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dsd_flow::Dinic;
+use dsd_flow::{Dinic, PushRelabel};
+
+const LAYERS: usize = 30;
+const WIDTH: usize = 20;
+
+/// Arcs of the layered benchmark network (`s = n-2`, `t = n-1`).
+fn layered_arcs() -> (usize, Vec<(usize, usize, u64)>) {
+    let n = LAYERS * WIDTH + 2;
+    let (s, t) = (n - 2, n - 1);
+    let mut arcs = Vec::new();
+    for w in 0..WIDTH {
+        arcs.push((s, w, 3u64));
+        arcs.push(((LAYERS - 1) * WIDTH + w, t, 3));
+    }
+    for l in 0..LAYERS - 1 {
+        for w in 0..WIDTH {
+            arcs.push((l * WIDTH + w, (l + 1) * WIDTH + (w + 7) % WIDTH, 2));
+            arcs.push((l * WIDTH + w, (l + 1) * WIDTH + (w + 3) % WIDTH, 2));
+        }
+    }
+    (n, arcs)
+}
 
 fn bench_flow(c: &mut Criterion) {
     let mut group = c.benchmark_group("flow");
     group.sample_size(10);
-    // A layered flow network.
-    let layers = 30usize;
-    let width = 20usize;
+    let (n, arcs) = layered_arcs();
+    let (s, t) = (n - 2, n - 1);
     group.bench_function("dinic_layered", |b| {
         b.iter(|| {
-            let n = layers * width + 2;
-            let (s, t) = (n - 2, n - 1);
             let mut d = Dinic::new(n);
-            for w in 0..width {
-                d.add_edge(s, w, 3.0);
-                d.add_edge((layers - 1) * width + w, t, 3.0);
-            }
-            for l in 0..layers - 1 {
-                for w in 0..width {
-                    d.add_edge(l * width + w, (l + 1) * width + (w + 7) % width, 2.0);
-                    d.add_edge(l * width + w, (l + 1) * width + (w + 3) % width, 2.0);
-                }
+            for &(u, v, cap) in &arcs {
+                d.add_edge(u, v, cap as f64);
             }
             d.max_flow(s, t)
         })
     });
+    group.bench_function("push_relabel_layered", |b| {
+        b.iter(|| {
+            let mut pr = PushRelabel::new(n);
+            for &(u, v, cap) in &arcs {
+                pr.add_edge(u, v, cap);
+            }
+            pr.max_flow(s, t)
+        })
+    });
     let g = dsd_graph::gen::erdos_renyi(150, 700, 3);
     group.bench_function("uds_exact_150v", |b| b.iter(|| dsd_flow::uds_exact(&g)));
+    group.bench_function("uds_exact_legacy_150v", |b| b.iter(|| dsd_flow::uds_exact_legacy(&g)));
     let dg = dsd_graph::gen::erdos_renyi_directed(16, 70, 4);
     group.bench_function("dds_exact_16v", |b| b.iter(|| dsd_flow::dds_exact(&dg)));
+    group.bench_function("dds_exact_legacy_16v", |b| b.iter(|| dsd_flow::dds_exact_legacy(&dg)));
     group.finish();
 }
 

@@ -1,9 +1,31 @@
-//! Brute-force exact DDS for tiny graphs — the independent oracle used to
-//! validate the flow-based exact algorithm and approximation bounds.
+//! Exact DDS entry points for the core crate:
+//!
+//! * [`dds_exact_certified`] — the production exact path. Runs PWC first
+//!   and hands its 2-approximate `(S, T)` pair to the push-relabel engine
+//!   in `dsd-flow` as the starting incumbent, which lets the
+//!   shared-incumbent test prune whole size ratios with one flow each.
+//!   The returned pair is an exact density certificate.
+//! * [`dds_brute_force`] — `(S, T)` enumeration for tiny graphs, the
+//!   independent oracle used to validate the flow-based exact algorithm
+//!   and approximation bounds.
 
+use dsd_flow::DdsExactResult;
 use dsd_graph::{DirectedGraph, VertexId};
 
 use crate::density::directed_density;
+
+/// Computes the exact directed densest subgraph with the `dsd-flow`
+/// push-relabel engine, warm-started from a PWC 2-approximation.
+///
+/// The PWC density satisfies `ρ* / 2 ≤ ρ̂ ≤ ρ*` (Theorem 2 + erratum
+/// fallback), so the incumbent opens at least half-optimal and most of the
+/// `O(n²)` ratio enumeration is dismissed by the per-ratio incumbent test.
+/// The result is identical to `dsd_flow::dds_exact` — the seed only
+/// accelerates.
+pub fn dds_exact_certified(g: &DirectedGraph) -> DdsExactResult {
+    let approx = crate::dds::pwc::pwc(g);
+    dsd_flow::dds_exact_seeded(g, Some((&approx.result.s, &approx.result.t)))
+}
 
 /// Maximum vertex count accepted by [`dds_brute_force`] (`4^n` pairs).
 pub const BRUTE_FORCE_LIMIT: usize = 10;
@@ -63,6 +85,28 @@ mod tests {
                 (brute - flow.density).abs() < 1e-6,
                 "seed {seed}: brute {brute} flow {}",
                 flow.density
+            );
+        }
+    }
+
+    #[test]
+    fn certified_matches_brute_force_and_induces_its_density() {
+        for seed in 0..5 {
+            let g = dsd_graph::gen::erdos_renyi_directed(7, 18, seed + 300);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let (_, _, brute) = dds_brute_force(&g);
+            let cert = dds_exact_certified(&g);
+            assert!(
+                (brute - cert.density).abs() < 1e-6,
+                "seed {seed}: brute {brute} certified {}",
+                cert.density
+            );
+            let induced = directed_density(&g, &cert.s, &cert.t);
+            assert!(
+                (induced - cert.density).abs() < 1e-12,
+                "seed {seed}: certificate density mismatch"
             );
         }
     }

@@ -1,10 +1,31 @@
-//! Brute-force exact UDS for tiny graphs — a second, independent oracle
-//! used by property tests to validate the flow-based exact algorithm and
-//! the approximation bounds.
+//! Exact UDS entry points for the core crate:
+//!
+//! * [`uds_exact_certified`] — the production exact path. Runs PKMC first
+//!   and hands its 2-approximation to the push-relabel engine in
+//!   `dsd-flow` as a warm-start seed, so the flow binary search opens with
+//!   a tight window and the Fang-et-al core pruning bites immediately. The
+//!   returned vertex set is an exact density certificate.
+//! * [`uds_brute_force`] — subset enumeration for tiny graphs, a second,
+//!   independent oracle used by property tests to validate the flow-based
+//!   exact algorithm and the approximation bounds.
 
+use dsd_flow::UdsExactResult;
 use dsd_graph::{UndirectedGraph, VertexId};
 
 use crate::density::undirected_density;
+
+/// Computes the exact densest subgraph with the `dsd-flow` push-relabel
+/// engine, warm-started from a PKMC 2-approximation.
+///
+/// The PKMC density `ρ̂` satisfies `ρ* / 2 ≤ ρ̂ ≤ ρ*` (Theorem 1), so
+/// seeding the flow search with the PKMC vertex set halves the binary
+/// search window up front and raises the core-pruning threshold for every
+/// guess. The result is identical to `dsd_flow::uds_exact` — the seed only
+/// accelerates.
+pub fn uds_exact_certified(g: &UndirectedGraph) -> UdsExactResult {
+    let approx = crate::uds::pkmc::pkmc(g);
+    dsd_flow::uds_exact_seeded(g, Some(&approx.vertices))
+}
 
 /// Maximum vertex count accepted by [`uds_brute_force`].
 pub const BRUTE_FORCE_LIMIT: usize = 24;
@@ -59,6 +80,25 @@ mod tests {
                 (brute - flow.density).abs() < 1e-9,
                 "seed {seed}: brute {brute} flow {}",
                 flow.density
+            );
+        }
+    }
+
+    #[test]
+    fn certified_matches_brute_force_and_induces_its_density() {
+        for seed in 0..6 {
+            let g = dsd_graph::gen::erdos_renyi(12, 30, seed + 50);
+            let (_, brute) = uds_brute_force(&g);
+            let cert = uds_exact_certified(&g);
+            assert!(
+                (brute - cert.density).abs() < 1e-9,
+                "seed {seed}: brute {brute} certified {}",
+                cert.density
+            );
+            let induced = undirected_density(&g, &cert.vertices);
+            assert!(
+                (induced - cert.density).abs() < 1e-12,
+                "seed {seed}: certificate density mismatch"
             );
         }
     }

@@ -8,12 +8,32 @@
 //! has true density `> g`, and at the optimal ratio the linearisation is
 //! tight, so scanning all ratios returns the exact optimum.
 //!
+//! Two implementations share this module:
+//!
+//! * [`dds_exact`] / [`dds_exact_seeded`] — the engine path on the parallel
+//!   [`crate::push_relabel::PushRelabel`] solver. The `√a` costs are
+//!   irrational, so capacities are fixed-point scaled by `2^40`; the
+//!   feasibility slack `8(n+1)` dominates every rounding error, making the
+//!   decision at least as sharp as the legacy `1e-7` epsilon. Before each
+//!   flow, a mutual peel (drop `u` from the `S` side while its surviving
+//!   out-degree is at most `g/(2√a)`, symmetrically for `T`) shrinks the
+//!   network: dropping such a vertex is weakly profit-improving, so a
+//!   maximum-profit witness always survives. An optional seed pair (e.g. a
+//!   PWC 2-approximation from `dsd-core`) warm-starts the incumbent, which
+//!   prunes whole ratios.
+//! * [`dds_exact_legacy`] — the original serial float/Dinic implementation,
+//!   kept verbatim as the differential-testing oracle.
+//!
 //! Cost is `O(n² · log(1/ε) · maxflow)` — strictly a validation oracle for
 //! small graphs (tests, EXPERIMENTS.md approximation-ratio checks).
 
 use dsd_graph::{DirectedGraph, VertexId};
 
 use crate::dinic::Dinic;
+use crate::push_relabel::PushRelabel;
+
+/// Fixed-point scale for the irrational `√a` cost capacities.
+const SCALE: u64 = 1 << 40;
 
 /// Result of the exact directed densest subgraph computation.
 #[derive(Clone, Debug)]
@@ -46,9 +66,252 @@ pub(crate) fn st_density(g: &DirectedGraph, s: &[VertexId], t: &[VertexId]) -> f
     edges as f64 / ((s.len() as f64) * (t.len() as f64)).sqrt()
 }
 
-/// Decision network for ratio `a` and guess `g`: returns `Some((S, T))`
-/// witnessing density `> g` if one exists.
+/// Mutual peel for ratio costs `(cost_s, cost_t)`: drops `u` from the
+/// `S`-candidate set while its out-degree into surviving `T`-candidates is
+/// at most `cost_s` (symmetrically for the `T` side). Each drop is weakly
+/// profit-improving for every witness, so a maximum-profit `(S, T)` with
+/// positive profit survives inside the returned candidate sets.
+fn mutual_peel(graph: &DirectedGraph, cost_s: f64, cost_t: f64) -> (Vec<bool>, Vec<bool>) {
+    let n = graph.num_vertices();
+    let mut s_alive = vec![true; n];
+    let mut t_alive = vec![true; n];
+    let mut d_out: Vec<u32> = (0..n as VertexId).map(|v| graph.out_degree(v) as u32).collect();
+    let mut d_in: Vec<u32> = (0..n as VertexId).map(|v| graph.in_degree(v) as u32).collect();
+    // Work items: (vertex, true = S-side removal, false = T-side removal).
+    let mut stack: Vec<(u32, bool)> = Vec::new();
+    for v in 0..n {
+        if d_out[v] as f64 <= cost_s {
+            stack.push((v as u32, true));
+        }
+        if d_in[v] as f64 <= cost_t {
+            stack.push((v as u32, false));
+        }
+    }
+    while let Some((v, s_side)) = stack.pop() {
+        let v = v as usize;
+        if s_side {
+            if !s_alive[v] {
+                continue;
+            }
+            s_alive[v] = false;
+            for &w in graph.out_neighbors(v as VertexId) {
+                let w = w as usize;
+                if t_alive[w] {
+                    d_in[w] -= 1;
+                    if d_in[w] as f64 <= cost_t {
+                        stack.push((w as u32, false));
+                    }
+                }
+            }
+        } else {
+            if !t_alive[v] {
+                continue;
+            }
+            t_alive[v] = false;
+            for &w in graph.in_neighbors(v as VertexId) {
+                let w = w as usize;
+                if s_alive[w] {
+                    d_out[w] -= 1;
+                    if d_out[w] as f64 <= cost_s {
+                        stack.push((w as u32, true));
+                    }
+                }
+            }
+        }
+    }
+    (s_alive, t_alive)
+}
+
+/// Engine decision network for ratio `a` and guess `g` on the peel-pruned
+/// candidate sets: returns `Some((S, T))` witnessing density `> g` if one
+/// exists. Capacities are fixed-point integers on the parallel push-relabel
+/// solver; feasibility is `flow + 8(n+1) < m'·2^40`, which both absorbs the
+/// rounding of the `√a` costs and the (bounded) profit loss of the peel.
 fn ratio_cut(
+    graph: &DirectedGraph,
+    sqrt_a: f64,
+    guess: f64,
+) -> Option<(Vec<VertexId>, Vec<VertexId>)> {
+    let n = graph.num_vertices();
+    let cost_s = guess / (2.0 * sqrt_a);
+    let cost_t = guess * sqrt_a / 2.0;
+    let (s_alive, t_alive) = mutual_peel(graph, cost_s, cost_t);
+    // Surviving edges and compact ids for the two sides.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for u in 0..n as VertexId {
+        if s_alive[u as usize] {
+            for &v in graph.out_neighbors(u) {
+                if t_alive[v as usize] {
+                    edges.push((u, v));
+                }
+            }
+        }
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    let s_ids: Vec<u32> = (0..n as u32).filter(|&v| s_alive[v as usize]).collect();
+    let t_ids: Vec<u32> = (0..n as u32).filter(|&v| t_alive[v as usize]).collect();
+    let mut s_pos = vec![u32::MAX; n];
+    for (i, &v) in s_ids.iter().enumerate() {
+        s_pos[v as usize] = i as u32;
+    }
+    let mut t_pos = vec![u32::MAX; n];
+    for (i, &v) in t_ids.iter().enumerate() {
+        t_pos[v as usize] = i as u32;
+    }
+    let me = edges.len();
+    // Node layout: [0, me): edge nodes; then S side, T side, source, sink.
+    let s_base = me;
+    let t_base = s_base + s_ids.len();
+    let src = t_base + t_ids.len();
+    let snk = src + 1;
+    let mut pr = PushRelabel::new(snk + 1);
+    let cs = (cost_s * SCALE as f64).round() as u64;
+    let ct = (cost_t * SCALE as f64).round() as u64;
+    for i in 0..s_ids.len() {
+        pr.add_edge(s_base + i, snk, cs);
+    }
+    for i in 0..t_ids.len() {
+        pr.add_edge(t_base + i, snk, ct);
+    }
+    let inf = (me as u64 + 1).checked_mul(SCALE).expect("graph too large for the exact DDS oracle");
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        pr.add_edge(src, i, SCALE);
+        pr.add_edge(i, s_base + s_pos[u as usize] as usize, inf);
+        pr.add_edge(i, t_base + t_pos[v as usize] as usize, inf);
+    }
+    let flow = pr.max_flow(src, snk);
+    // Positive profit iff some edges stay unsaturated: cut < m' (scaled),
+    // with slack for the fixed-point rounding.
+    let slack = 8 * (n as u64 + 1);
+    if flow + slack >= me as u64 * SCALE {
+        return None;
+    }
+    let side = pr.min_cut_source_side(src, snk);
+    let s: Vec<VertexId> =
+        s_ids.iter().enumerate().filter(|&(i, _)| side[s_base + i]).map(|(_, &v)| v).collect();
+    let t: Vec<VertexId> =
+        t_ids.iter().enumerate().filter(|&(i, _)| side[t_base + i]).map(|(_, &v)| v).collect();
+    if s.is_empty() || t.is_empty() {
+        None
+    } else {
+        Some((s, t))
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Computes the exact directed densest subgraph of `graph` with the
+/// push-relabel engine. Equivalent to [`dds_exact_seeded`] without a seed.
+///
+/// Returns empty sets with density 0 for edgeless graphs.
+///
+/// # Panics
+///
+/// Does not panic, but the `O(n²)` ratio enumeration makes this impractical
+/// beyond a few dozen vertices; it exists as ground truth for tests.
+pub fn dds_exact(graph: &DirectedGraph) -> DdsExactResult {
+    dds_exact_seeded(graph, None)
+}
+
+/// [`dds_exact`] with an optional warm-start certificate: a `(S, T)` seed
+/// pair (e.g. a PWC 2-approximation from `dsd-core`) initialises the
+/// incumbent density, letting the shared-incumbent test prune whole size
+/// ratios with a single flow each.
+pub fn dds_exact_seeded(
+    graph: &DirectedGraph,
+    seed: Option<(&[VertexId], &[VertexId])>,
+) -> DdsExactResult {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    if n == 0 || m == 0 {
+        return DdsExactResult { s: Vec::new(), t: Vec::new(), density: 0.0 };
+    }
+    // Enumerate distinct ratios a = i / j in lowest terms.
+    let mut ratios: Vec<(usize, usize)> = Vec::new();
+    for i in 1..=n {
+        for j in 1..=n {
+            if gcd(i, j) == 1 {
+                ratios.push((i, j));
+            }
+        }
+    }
+    // Incumbent: best single (u, N+(u)) star, optionally beaten by the seed.
+    let mut best_s: Vec<VertexId> = Vec::new();
+    let mut best_t: Vec<VertexId> = Vec::new();
+    let mut best = 0.0f64;
+    for u in 0..n as VertexId {
+        let outs = graph.out_neighbors(u);
+        if !outs.is_empty() {
+            let dens = st_density(graph, &[u], outs);
+            if dens > best {
+                best = dens;
+                best_s = vec![u];
+                best_t = outs.to_vec();
+            }
+        }
+    }
+    if let Some((seed_s, seed_t)) = seed {
+        let dens = st_density(graph, seed_s, seed_t);
+        if dens > best {
+            best = dens;
+            best_s = seed_s.to_vec();
+            best_t = seed_t.to_vec();
+        }
+    }
+    let hi_global = (m as f64).sqrt() + 1.0;
+    for (i, j) in ratios {
+        let sqrt_a = ((i as f64) / (j as f64)).sqrt();
+        // Shared-incumbent pruning: first test whether this ratio can beat
+        // the best density found so far at all — one flow per pruned
+        // ratio instead of a full binary search.
+        match ratio_cut(graph, sqrt_a, best) {
+            None => continue,
+            Some((s, t)) => {
+                let dens = st_density(graph, &s, &t);
+                if dens > best {
+                    best = dens;
+                    best_s = s;
+                    best_t = t;
+                }
+            }
+        }
+        let mut lo = best;
+        let mut hi = hi_global;
+        // Terminate on absolute precision; extracted sets carry exact densities.
+        while hi - lo > 1e-9 {
+            let guess = (lo + hi) / 2.0;
+            match ratio_cut(graph, sqrt_a, guess) {
+                Some((s, t)) => {
+                    let dens = st_density(graph, &s, &t);
+                    if dens > best {
+                        best = dens;
+                        best_s = s;
+                        best_t = t;
+                    }
+                    // Any witness has true density > guess.
+                    lo = lo.max(dens).max(guess + 1e-12);
+                }
+                None => hi = guess,
+            }
+        }
+    }
+    best_s.sort_unstable();
+    best_t.sort_unstable();
+    DdsExactResult { s: best_s, t: best_t, density: best }
+}
+
+/// Legacy decision network for ratio `a` and guess `g` on the float Dinic
+/// substrate: returns `Some((S, T))` witnessing density `> g` if one
+/// exists. Kept verbatim as the differential-testing oracle.
+fn ratio_cut_legacy(
     graph: &DirectedGraph,
     sqrt_a: f64,
     guess: f64,
@@ -89,29 +352,15 @@ fn ratio_cut(
     }
 }
 
-fn gcd(a: usize, b: usize) -> usize {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-/// Computes the exact directed densest subgraph of `graph`.
-///
-/// Returns empty sets with density 0 for edgeless graphs.
-///
-/// # Panics
-///
-/// Does not panic, but the `O(n²)` ratio enumeration makes this impractical
-/// beyond a few dozen vertices; it exists as ground truth for tests.
-pub fn dds_exact(graph: &DirectedGraph) -> DdsExactResult {
+/// The original serial exact algorithm (float ratio enumeration over Dinic
+/// min-cuts, no pruning), kept as the differential-testing oracle for
+/// [`dds_exact`].
+pub fn dds_exact_legacy(graph: &DirectedGraph) -> DdsExactResult {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     if n == 0 || m == 0 {
         return DdsExactResult { s: Vec::new(), t: Vec::new(), density: 0.0 };
     }
-    // Enumerate distinct ratios a = i / j in lowest terms.
     let mut ratios: Vec<(usize, usize)> = Vec::new();
     for i in 1..=n {
         for j in 1..=n {
@@ -138,10 +387,7 @@ pub fn dds_exact(graph: &DirectedGraph) -> DdsExactResult {
     let hi_global = (m as f64).sqrt() + 1.0;
     for (i, j) in ratios {
         let sqrt_a = ((i as f64) / (j as f64)).sqrt();
-        // Shared-incumbent pruning: first test whether this ratio can beat
-        // the best density found so far at all — one flow per pruned
-        // ratio instead of a full binary search.
-        match ratio_cut(graph, sqrt_a, best) {
+        match ratio_cut_legacy(graph, sqrt_a, best) {
             None => continue,
             Some((s, t)) => {
                 let dens = st_density(graph, &s, &t);
@@ -154,10 +400,9 @@ pub fn dds_exact(graph: &DirectedGraph) -> DdsExactResult {
         }
         let mut lo = best;
         let mut hi = hi_global;
-        // Terminate on absolute precision; extracted sets carry exact densities.
         while hi - lo > 1e-9 {
             let guess = (lo + hi) / 2.0;
-            match ratio_cut(graph, sqrt_a, guess) {
+            match ratio_cut_legacy(graph, sqrt_a, guess) {
                 Some((s, t)) => {
                     let dens = st_density(graph, &s, &t);
                     if dens > best {
@@ -165,7 +410,6 @@ pub fn dds_exact(graph: &DirectedGraph) -> DdsExactResult {
                         best_s = s;
                         best_t = t;
                     }
-                    // Any witness has true density > guess.
                     lo = lo.max(dens).max(guess + 1e-12);
                 }
                 None => hi = guess,
@@ -238,6 +482,52 @@ mod tests {
         let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
         let r = dds_exact(&g);
         assert!((r.density - 1.0).abs() < 1e-6, "density {}", r.density);
+    }
+
+    #[test]
+    fn seed_does_not_change_the_optimum() {
+        let g = graph(6, &[(4, 2), (4, 3), (5, 2), (5, 3), (0, 1)]);
+        let plain = dds_exact(&g);
+        let bad = dds_exact_seeded(&g, Some(([0].as_slice(), [1].as_slice())));
+        let good = dds_exact_seeded(&g, Some(([4, 5].as_slice(), [2, 3].as_slice())));
+        assert!((plain.density - bad.density).abs() < 1e-9);
+        assert!((plain.density - good.density).abs() < 1e-9);
+        assert_eq!(good.s, vec![4, 5]);
+        assert_eq!(good.t, vec![2, 3]);
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for trial in 0..8 {
+            let n = 5 + (trial % 2);
+            let mut b = DirectedGraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in 0..n as u32 {
+                    if u != v && rng.gen_bool(0.35) {
+                        b.push_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let engine = dds_exact(&g);
+            let legacy = dds_exact_legacy(&g);
+            assert!(
+                (engine.density - legacy.density).abs() < 1e-6,
+                "trial {trial}: engine {} vs legacy {}",
+                engine.density,
+                legacy.density
+            );
+            // The certificate must induce the reported density.
+            assert!(
+                (st_density(&g, &engine.s, &engine.t) - engine.density).abs() < 1e-12,
+                "trial {trial}: certificate does not match its density"
+            );
+        }
     }
 
     #[test]

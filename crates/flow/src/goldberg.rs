@@ -4,17 +4,34 @@
 //! classic Goldberg network decides whether some subgraph has density
 //! greater than `g` and, if so, yields one. Distinct subgraph densities
 //! `|E(S)|/|S|` differ by at least `1/(n(n-1))`, so the search terminates
-//! with the exact optimum. `O(log n · maxflow(n, m))` — ground truth for
-//! validating Lemma 1's 2-approximation bound, not a competitor at scale.
+//! with the exact optimum — and the final incumbent cut is an exact
+//! **density certificate** (the optimum vertex set, not just its value).
+//!
+//! Two implementations share this module:
+//!
+//! * [`uds_exact`] / [`uds_exact_seeded`] — the engine path. Density
+//!   guesses are exact rationals `p / q` with `q = n(n-1)`; all network
+//!   capacities are scaled by `q` into integers and solved with the
+//!   parallel [`crate::push_relabel::PushRelabel`] engine, so feasibility
+//!   is an exact integer comparison (`maxflow < n·m·q`) with no epsilon.
+//!   Each guess first shrinks the network to the `(⌊g⌋ + 1)`-core
+//!   ([`crate::prune`], after Fang et al. VLDB 2019) — any witness denser
+//!   than `g` survives there — and an optional seed set (e.g. a PKMC
+//!   2-approximation from `dsd-core`) tightens the initial search window.
+//! * [`uds_exact_legacy`] — the original serial float/Dinic implementation,
+//!   kept verbatim as the differential-testing oracle.
 
-use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_graph::{subgraph, UndirectedGraph, VertexId};
 
 use crate::dinic::Dinic;
+use crate::prune::core_numbers;
+use crate::push_relabel::PushRelabel;
 
 /// Result of the exact undirected densest subgraph computation.
 #[derive(Clone, Debug)]
 pub struct UdsExactResult {
-    /// Vertices of an exactly densest subgraph (original ids, sorted).
+    /// Vertices of an exactly densest subgraph (original ids, sorted) —
+    /// the density certificate extracted from the final min cut.
     pub vertices: Vec<VertexId>,
     /// Its density `|E(S)| / |S|` — the optimum ρ*.
     pub density: f64,
@@ -22,14 +39,24 @@ pub struct UdsExactResult {
 
 /// Density of the subgraph of `g` induced by `set` (sorted vertex ids).
 fn induced_density(g: &UndirectedGraph, set: &[VertexId]) -> f64 {
+    let (e, s) = rational_density(g, set);
+    if s == 0 {
+        0.0
+    } else {
+        e as f64 / s as f64
+    }
+}
+
+/// Exact rational density `(edges, vertices)` of the induced subgraph.
+fn rational_density(g: &UndirectedGraph, set: &[VertexId]) -> (u64, u64) {
     if set.is_empty() {
-        return 0.0;
+        return (0, 0);
     }
     let mut member = vec![false; g.num_vertices()];
     for &v in set {
         member[v as usize] = true;
     }
-    let mut edges = 0usize;
+    let mut edges = 0u64;
     for &v in set {
         for &u in g.neighbors(v) {
             if u > v && member[u as usize] {
@@ -37,12 +64,135 @@ fn induced_density(g: &UndirectedGraph, set: &[VertexId]) -> f64 {
             }
         }
     }
-    edges as f64 / set.len() as f64
+    (edges, set.len() as u64)
 }
 
-/// Builds the Goldberg network for density guess `g` and returns the
+/// `a/b > c/d` for non-negative rationals with `b, d > 0`.
+fn rational_gt(a: u64, b: u64, c: u64, d: u64) -> bool {
+    (a as u128) * (d as u128) > (c as u128) * (b as u128)
+}
+
+/// Integer-scaled Goldberg decision network on `h` for the guess `p / q`:
+/// returns the source-side vertex set of a minimum cut if some subgraph of
+/// `h` has density `> p / q`, `None` otherwise. All capacities carry the
+/// factor `q`, so the feasibility test `maxflow < n·m·q` is exact.
+fn scaled_cut(h: &UndirectedGraph, p: u64, q: u64) -> Option<Vec<VertexId>> {
+    let n = h.num_vertices() as u64;
+    let m = h.num_edges() as u64;
+    if m == 0 {
+        return None;
+    }
+    let src = n as usize;
+    let snk = src + 1;
+    let cap_src = m.checked_mul(q).expect("graph too large for the exact UDS oracle");
+    let total = cap_src.checked_mul(n).expect("graph too large for the exact UDS oracle");
+    let mut pr = PushRelabel::new(src + 2);
+    for v in 0..n as usize {
+        pr.add_edge(src, v, cap_src);
+        // m·q + 2p − deg(v)·q >= 0 because deg(v) <= m.
+        let deg_q = h.degree(v as VertexId) as u64 * q;
+        pr.add_edge(v, snk, cap_src - deg_q + 2 * p);
+    }
+    for (u, v) in h.edges() {
+        pr.add_edge(u as usize, v as usize, q);
+        pr.add_edge(v as usize, u as usize, q);
+    }
+    let flow = pr.max_flow(src, snk);
+    // cut(A) = n·m·q + 2(p·|A| − q·E(A)), so a cut below the trivial
+    // all-source cut exists iff some A has E(A)/|A| > p/q.
+    if flow >= total {
+        return None;
+    }
+    let side = pr.min_cut_source_side(src, snk);
+    let set: Vec<VertexId> = (0..n as usize).filter(|&v| side[v]).map(|v| v as u32).collect();
+    debug_assert!(!set.is_empty(), "feasible guess must yield a non-empty cut side");
+    Some(set)
+}
+
+/// Computes the exact undirected densest subgraph with the push-relabel
+/// engine. Equivalent to [`uds_exact_seeded`] without a seed.
+///
+/// Returns the empty set with density 0 for edgeless graphs.
+///
+/// # Complexity
+///
+/// `O(log(n) · maxflow)` on the core-pruned graph — practical well beyond
+/// the legacy oracle. The returned density is deterministic for any rayon
+/// pool size (all arithmetic is integral); the certificate set is one
+/// optimum witness and may differ between schedules when several exist.
+pub fn uds_exact(graph: &UndirectedGraph) -> UdsExactResult {
+    uds_exact_seeded(graph, None)
+}
+
+/// [`uds_exact`] with an optional warm-start certificate: `seed` (any
+/// vertex set, e.g. a PKMC 2-approximation) tightens the lower end of the
+/// binary-search window, which both shortens the search and strengthens
+/// the per-guess core pruning.
+pub fn uds_exact_seeded(graph: &UndirectedGraph, seed: Option<&[VertexId]>) -> UdsExactResult {
+    let n = graph.num_vertices();
+    let m = graph.num_edges();
+    if n == 0 || m == 0 {
+        return UdsExactResult { vertices: Vec::new(), density: 0.0 };
+    }
+    let q = n as u64 * (n as u64 - 1).max(1);
+    let core = core_numbers(graph);
+    let kmax = *core.iter().max().expect("non-empty graph");
+    // Incumbent: the densest of (whole graph | k_max-core | seed).
+    let mut best: Vec<VertexId> = (0..n as VertexId).collect();
+    let (mut best_e, mut best_s) = (m as u64, n as u64);
+    let kmax_core: Vec<VertexId> =
+        (0..n as VertexId).filter(|&v| core[v as usize] >= kmax).collect();
+    for cand in [Some(kmax_core), seed.map(<[VertexId]>::to_vec)].into_iter().flatten() {
+        let mut cand = cand;
+        cand.sort_unstable();
+        cand.dedup();
+        let (e, s) = rational_density(graph, &cand);
+        if s > 0 && rational_gt(e, s, best_e, best_s) {
+            best = cand;
+            best_e = e;
+            best_s = s;
+        }
+    }
+    // Window invariant: ρ(best)·q > lo_p and ρ*·q <= hi_p. ρ* <= k_max
+    // (the optimum has min degree >= ρ*) and ρ* <= d_max / 2.
+    let mut lo_p = (best_e * q).div_ceil(best_s) - 1;
+    let mut hi_p = (kmax as u64 * q).min((graph.max_degree() as u64 * q).div_ceil(2));
+    while lo_p + 1 < hi_p {
+        let mid = lo_p + (hi_p - lo_p) / 2;
+        // Any witness denser than mid/q lives in the (⌊mid/q⌋ + 1)-core.
+        let k_req = (mid / q) as u32 + 1;
+        let keep: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| core[v as usize] >= k_req).collect();
+        if keep.len() < 2 {
+            hi_p = mid;
+            continue;
+        }
+        let sub = subgraph::induce_undirected(graph, &keep);
+        match scaled_cut(&sub.graph, mid, q) {
+            None => hi_p = mid,
+            Some(set) => {
+                let (e, s) = rational_density(&sub.graph, &set);
+                let orig: Vec<VertexId> = set.iter().map(|&v| sub.original[v as usize]).collect();
+                debug_assert!(rational_gt(e, s, mid, q), "cut density must exceed the guess");
+                if rational_gt(e, s, best_e, best_s) {
+                    best = orig;
+                    best_e = e;
+                    best_s = s;
+                }
+                // The witness certifies a strictly higher feasible floor.
+                lo_p = lo_p.max(mid).max((e * q).div_ceil(s) - 1);
+            }
+        }
+    }
+    // hi_p - lo_p == 1: both ρ(best) and ρ* lie in (lo_p/q, hi_p/q], and
+    // distinct densities differ by at least 1/q, so ρ(best) = ρ*.
+    best.sort_unstable();
+    UdsExactResult { density: best_e as f64 / best_s as f64, vertices: best }
+}
+
+/// Builds the float Goldberg network for density guess `g` and returns the
 /// source-side vertex set of a minimum cut (empty if no subgraph has
-/// density `> g`).
+/// density `> g`). Legacy-oracle construction on the Dinic substrate.
 fn goldberg_cut(graph: &UndirectedGraph, guess: f64) -> Vec<VertexId> {
     let n = graph.num_vertices();
     let m = graph.num_edges() as f64;
@@ -63,15 +213,10 @@ fn goldberg_cut(graph: &UndirectedGraph, guess: f64) -> Vec<VertexId> {
     (0..n as VertexId).filter(|&v| side[v as usize]).collect()
 }
 
-/// Computes the exact undirected densest subgraph.
-///
-/// Returns the empty set with density 0 for edgeless graphs.
-///
-/// # Complexity
-///
-/// `O(log(n) · maxflow)` — practical up to a few thousand vertices.
-/// For larger graphs, use the approximation algorithms in `dsd-core`.
-pub fn uds_exact(graph: &UndirectedGraph) -> UdsExactResult {
+/// The original serial exact algorithm (float binary search over Dinic
+/// min-cuts, no pruning), kept as the differential-testing oracle for
+/// [`uds_exact`].
+pub fn uds_exact_legacy(graph: &UndirectedGraph) -> UdsExactResult {
     let n = graph.num_vertices();
     let m = graph.num_edges();
     if n == 0 || m == 0 {
@@ -165,6 +310,53 @@ mod tests {
         let g = graph(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
         let r = uds_exact(&g);
         assert!((r.density - 5.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_does_not_change_the_optimum() {
+        let g = graph(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+        );
+        // Bad seed (sparse path) and good seed (the optimum itself) must
+        // both converge to the same exact density.
+        let plain = uds_exact(&g);
+        let bad = uds_exact_seeded(&g, Some(&[5, 6, 7]));
+        let good = uds_exact_seeded(&g, Some(&[0, 1, 2, 3]));
+        assert_eq!(plain.density, bad.density);
+        assert_eq!(plain.density, good.density);
+        assert_eq!(good.vertices, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn engine_matches_legacy_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for trial in 0..15 {
+            let n = 8 + (trial % 5);
+            let mut b = UndirectedGraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.gen_bool(0.4) {
+                        b.push_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            let engine = uds_exact(&g);
+            let legacy = uds_exact_legacy(&g);
+            assert!(
+                (engine.density - legacy.density).abs() < 1e-9,
+                "trial {trial}: engine {} vs legacy {}",
+                engine.density,
+                legacy.density
+            );
+            // The certificate must actually induce the reported density.
+            assert!(
+                (induced_density(&g, &engine.vertices) - engine.density).abs() < 1e-12,
+                "trial {trial}: certificate does not match its density"
+            );
+        }
     }
 
     #[test]

@@ -6,16 +6,27 @@
 //! but its correctness claims are stated relative to the exact optima ρ*
 //! (Lemmas 1 and 3). This crate provides those optima for validation:
 //!
-//! * [`dinic`] — Dinic's max-flow algorithm on an explicit arc list,
+//! * [`push_relabel`] — the parallel push-relabel max-flow engine (integer
+//!   capacities, round-synchronous discharge, gap heuristic, parallel
+//!   global relabeling) powering the exact oracles,
+//! * [`dinic`] — Dinic's serial max-flow algorithm, kept as the
+//!   differential-testing oracle for the engine,
 //! * [`goldberg`] — Goldberg's exact undirected densest subgraph via binary
-//!   search over density guesses with a min-cut test,
+//!   search over density guesses with a min-cut test (engine path with
+//!   core pruning + `uds_exact_legacy`),
 //! * [`mod@dds_exact`] — exact directed densest subgraph via `|S|/|T|`-ratio
 //!   enumeration with a per-ratio flow test (Khuller–Saha / Ma et al.
-//!   construction).
+//!   construction; engine path with mutual-peel pruning +
+//!   `dds_exact_legacy`),
+//! * [`prune`] — the serial core decomposition backing the Fang et al.
+//!   (VLDB 2019) core-based network pruning.
 //!
-//! These are deliberately serial: they are ground truth for tests and for
-//! the approximation-ratio checks in EXPERIMENTS.md, not competitors in the
-//! scalability experiments.
+//! The exact calls return **density certificates**: the optimum vertex
+//! set(s) extracted from the final min cut, not just the optimum value.
+//! Engine results are deterministic in value for any rayon pool size (all
+//! flow arithmetic is integral); the `*_legacy` variants remain the serial
+//! ground truth for differential tests and for the approximation-ratio
+//! checks in EXPERIMENTS.md.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,7 +34,10 @@
 pub mod dds_exact;
 pub mod dinic;
 pub mod goldberg;
+pub mod prune;
+pub mod push_relabel;
 
-pub use dds_exact::{dds_exact, DdsExactResult};
+pub use dds_exact::{dds_exact, dds_exact_legacy, dds_exact_seeded, DdsExactResult};
 pub use dinic::Dinic;
-pub use goldberg::{uds_exact, UdsExactResult};
+pub use goldberg::{uds_exact, uds_exact_legacy, uds_exact_seeded, UdsExactResult};
+pub use push_relabel::PushRelabel;

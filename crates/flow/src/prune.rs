@@ -1,0 +1,153 @@
+//! Core-based pruning for the exact flow oracles.
+//!
+//! Fang et al. (VLDB 2019, "Efficient Algorithms for Densest Subgraph
+//! Discovery") observe that any vertex set `S` with density `ρ(S) > g` can
+//! be shrunk — by repeatedly dropping a vertex of induced degree `<= g`,
+//! which strictly increases density past `g` again — to a witness whose
+//! minimum induced degree exceeds `g`. Such a witness lives entirely inside
+//! the `(⌊g⌋ + 1)`-core of the graph, so the Goldberg decision network for
+//! guess `g` only needs the vertices of that core.
+//!
+//! This module provides the serial `O(m)` core decomposition the flow crate
+//! needs for that pruning. (`dsd-core` has its own parallel decomposition,
+//! but the dependency points the other way: `dsd-core` builds on
+//! `dsd-flow`.)
+
+use dsd_graph::UndirectedGraph;
+
+/// Computes the core number of every vertex with the standard `O(m)`
+/// bucket-peel (Batagelj–Zaveršnik).
+pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as u32) as u32).collect();
+    let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0u32; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize] += 1;
+    }
+    let mut start = 0u32;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0u32; n];
+    let mut order = vec![0u32; n];
+    for v in 0..n {
+        let d = deg[v] as usize;
+        pos[v] = bin[d];
+        order[bin[d] as usize] = v as u32;
+        bin[d] += 1;
+    }
+    // Restore bucket starts (bin[d] = first index of degree-d vertices).
+    for d in (1..bin.len()).rev() {
+        bin[d] = bin[d - 1];
+    }
+    bin[0] = 0;
+    // Peel in nondecreasing degree order; deg[] becomes the core number.
+    for i in 0..n {
+        let v = order[i] as usize;
+        for &u in g.neighbors(v as u32) {
+            let u = u as usize;
+            if deg[u] > deg[v] {
+                let du = deg[u] as usize;
+                let pu = pos[u] as usize;
+                let pw = bin[du] as usize;
+                let w = order[pw] as usize;
+                if u != w {
+                    order.swap(pu, pw);
+                    pos[u] = pw as u32;
+                    pos[w] = pu as u32;
+                }
+                bin[du] += 1;
+                deg[u] -= 1;
+            }
+        }
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::UndirectedGraphBuilder;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> UndirectedGraph {
+        UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
+    }
+
+    /// Naive reference: k-core membership by repeated peeling.
+    fn core_numbers_naive(g: &UndirectedGraph) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut core = vec![0u32; n];
+        for k in 1..=n as u32 {
+            let mut alive = vec![true; n];
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for v in 0..n {
+                    if alive[v] {
+                        let d = g.neighbors(v as u32).iter().filter(|&&u| alive[u as usize]).count()
+                            as u32;
+                        if d < k {
+                            alive[v] = false;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                if alive[v] {
+                    core[v] = k;
+                }
+            }
+        }
+        core
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = graph(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn clique_core_is_size_minus_one() {
+        let g = graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(core_numbers(&g), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_core_zero() {
+        let g = graph(3, &[(0, 1)]);
+        assert_eq!(core_numbers(&g), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_graphs() {
+        let mut state = 0xdeadbeefcafef00du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..25 {
+            let n = 6 + (trial % 7);
+            let mut b = UndirectedGraphBuilder::new(n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if next() % 10 < 4 {
+                        b.push_edge(u, v);
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            assert_eq!(core_numbers(&g), core_numbers_naive(&g), "trial {trial}");
+        }
+    }
+}

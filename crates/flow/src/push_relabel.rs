@@ -1,0 +1,489 @@
+//! Parallel push-relabel maximum flow on integer capacities.
+//!
+//! This is the engine behind the exact densest-subgraph oracles in this
+//! crate ([`crate::goldberg`] and [`crate::dds_exact`]). It replaces the
+//! serial [`crate::dinic::Dinic`] substrate on the hot path; Dinic stays as
+//! the `*_legacy` oracle for differential testing.
+//!
+//! # Algorithm
+//!
+//! Phase-one push-relabel (maximum preflow) with the classic accelerators:
+//!
+//! * **Round-synchronous FIFO discharge.** Each round collects the active
+//!   set (`excess > 0`, `label < n`) and discharges all of it in parallel.
+//!   A round has two barriers: phase A pushes with labels frozen, phase B
+//!   applies the pending relabels. Within phase A an arc's residual
+//!   capacity is only ever *decreased* by the vertex that owns the arc and
+//!   only *increased* by reverse pushes, so a `fetch_sub`/`fetch_add` pair
+//!   on atomic capacities needs no locks; excess moves through `fetch_add`
+//!   on atomic counters. Two endpoints of an arc can never push across it
+//!   in the same round (that would need `label[u] == label[v] + 1` in both
+//!   directions), so owner-exclusive capacity decrease holds.
+//! * **Gap heuristic.** Per-level occupancy counts are maintained from the
+//!   relabel deltas of each round; when a level between 1 and `n - 1`
+//!   empties, every vertex above the gap is lifted out of phase one.
+//! * **Periodic parallel global relabeling.** Every `O(n + m)` units of
+//!   discharge work, labels are recomputed as exact residual distances to
+//!   the sink with a frontier-parallel reverse BFS (claims via
+//!   compare-exchange, so each vertex joins exactly one level).
+//!
+//! Excess that cannot reach the sink is left trapped at vertices whose
+//! label reaches `n` (they simply leave the active set); the preflow value
+//! at the sink then equals the maximum-flow value, and a minimum cut can be
+//! read off the residual graph without converting the preflow into a flow.
+//!
+//! # Determinism
+//!
+//! Capacities are `u64`. All arithmetic on capacities and excess is exact
+//! and commutative, and every feasibility decision made by callers compares
+//! integers, so the returned **flow value is identical for any thread-pool
+//! size** — there is no float accumulation order to perturb. The *residual
+//! graph* (and therefore the extracted min-cut side) may differ between
+//! schedules when multiple minimum cuts exist; callers that need
+//! schedule-independent answers must compare cut *values* (or densities),
+//! which are unique, rather than cut membership.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use dsd_telemetry::{span, Phase};
+use rayon::prelude::*;
+
+/// Relaxed is enough everywhere: rounds are separated by rayon barriers
+/// (which synchronise), and within a round each location is either owned by
+/// one thread or only touched through commutative atomic read-modify-writes.
+const RLX: Ordering = Ordering::Relaxed;
+
+/// A max-flow problem instance over `u64` capacities. Arcs are added in
+/// pairs (forward + residual), so the reverse arc of arc `i` is `i ^ 1`,
+/// mirroring [`crate::dinic::Dinic`].
+pub struct PushRelabel {
+    arc_to: Vec<u32>,
+    arc_cap: Vec<u64>,
+    head: Vec<Vec<u32>>, // arc indices leaving each node
+    // Solve-time state (rebuilt by `max_flow`).
+    first: Vec<u32>,
+    arc_ids: Vec<u32>,
+    res: Vec<AtomicU64>,
+    excess: Vec<AtomicU64>,
+    label: Vec<AtomicU32>,
+    cur: Vec<AtomicU32>,
+    solved: bool,
+}
+
+impl PushRelabel {
+    /// Creates an instance with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        Self {
+            arc_to: Vec::new(),
+            arc_cap: Vec::new(),
+            head: vec![Vec::new(); n],
+            first: Vec::new(),
+            arc_ids: Vec::new(),
+            res: Vec::new(),
+            excess: Vec::new(),
+            label: Vec::new(),
+            cur: Vec::new(),
+            solved: false,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Adds a directed arc `u → v` with capacity `cap` (and a zero-capacity
+    /// residual arc). Returns the forward-arc index.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u64) -> usize {
+        let idx = self.arc_to.len();
+        self.arc_to.push(v as u32);
+        self.arc_cap.push(cap);
+        self.arc_to.push(u as u32);
+        self.arc_cap.push(0);
+        self.head[u].push(idx as u32);
+        self.head[v].push(idx as u32 + 1);
+        idx
+    }
+
+    /// Residual capacity of arc `i` after [`max_flow`](Self::max_flow).
+    pub fn residual(&self, i: usize) -> u64 {
+        self.res[i].load(RLX)
+    }
+
+    /// Computes the maximum flow from `s` to `t`. May be called again after
+    /// further `add_edge` calls; each call solves from scratch.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.head.len();
+        let n32 = n as u32;
+        // Flatten the adjacency into CSR for cheap parallel scans.
+        let mut first = vec![0u32; n + 1];
+        for v in 0..n {
+            first[v + 1] = first[v] + self.head[v].len() as u32;
+        }
+        self.arc_ids = self.head.iter().flatten().copied().collect();
+        self.first = first;
+        self.res = self.arc_cap.iter().map(|&c| AtomicU64::new(c)).collect();
+        self.excess = (0..n).map(|_| AtomicU64::new(0)).collect();
+        self.label = (0..n).map(|_| AtomicU32::new(0)).collect();
+        self.cur = (0..n).map(|_| AtomicU32::new(0)).collect();
+        self.solved = true;
+        if self.arc_to.is_empty() {
+            return 0;
+        }
+        self.global_relabel(s, t);
+        // Saturate every source arc to seed the preflow.
+        for i in self.first[s]..self.first[s + 1] {
+            let a = self.arc_ids[i as usize] as usize;
+            let d = self.res[a].load(RLX);
+            if d > 0 {
+                self.res[a].store(0, RLX);
+                self.res[a ^ 1].fetch_add(d, RLX);
+                self.excess[self.arc_to[a] as usize].fetch_add(d, RLX);
+            }
+        }
+        let mut counts = self.rebuild_counts();
+        // Global-relabel cadence, in arc-scan units of discharge work.
+        let relabel_interval = (8 * n + 2 * self.arc_to.len()) as u64;
+        let mut work_since = 0u64;
+        loop {
+            if work_since >= relabel_interval {
+                self.global_relabel(s, t);
+                counts = self.rebuild_counts();
+                work_since = 0;
+            }
+            let active: Vec<u32> = (0..n)
+                .into_par_iter()
+                .filter(|&v| {
+                    v != s
+                        && v != t
+                        && self.label[v].load(RLX) < n32
+                        && self.excess[v].load(RLX) > 0
+                })
+                .map(|v| v as u32)
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let _d = span(Phase::FlowDischarge);
+            // Phase A: parallel pushes with labels frozen.
+            let results: Vec<(bool, u64)> =
+                active.par_iter().map(|&u| self.push_from(u as usize)).collect();
+            work_since += results.iter().map(|r| r.1).sum::<u64>();
+            let need: Vec<u32> =
+                active.iter().zip(&results).filter(|(_, r)| r.0).map(|(&u, _)| u).collect();
+            if need.is_empty() {
+                continue;
+            }
+            // Phase B: staged relabels. Valid under concurrency because
+            // labels only increase and residual capacities are quiescent.
+            let relabeled: Vec<(u32, u32, u32)> =
+                need.par_iter().map(|&u| self.relabel(u as usize)).collect();
+            for &(u, old, new) in &relabeled {
+                let u = u as usize;
+                work_since += (self.first[u + 1] - self.first[u]) as u64;
+                if old < n32 {
+                    counts[old as usize] -= 1;
+                }
+                if new < n32 {
+                    counts[new as usize] += 1;
+                }
+            }
+            // Gap heuristic: an emptied level strictly below n disconnects
+            // everything above it from the sink.
+            let mut gap = u32::MAX;
+            for &(_, old, _) in &relabeled {
+                if old > 0 && old < n32 && counts[old as usize] == 0 {
+                    gap = gap.min(old);
+                }
+            }
+            if gap != u32::MAX {
+                (0..n).into_par_iter().for_each(|v| {
+                    let l = self.label[v].load(RLX);
+                    if l > gap && l < n32 {
+                        self.label[v].store(n32 + 1, RLX);
+                    }
+                });
+                for c in counts[(gap + 1) as usize..n].iter_mut() {
+                    *c = 0;
+                }
+            }
+        }
+        self.excess[t].load(RLX)
+    }
+
+    /// Phase-A discharge of `u`: pushes excess along admissible arcs from
+    /// the current-arc pointer. Returns (needs relabel, arcs scanned).
+    fn push_from(&self, u: usize) -> (bool, u64) {
+        let lu = self.label[u].load(RLX);
+        let mut e = self.excess[u].load(RLX);
+        if e == 0 {
+            return (false, 1);
+        }
+        let begin = self.first[u] as usize;
+        let end = self.first[u + 1] as usize;
+        let mut c = begin + self.cur[u].load(RLX) as usize;
+        let mut pushed = 0u64;
+        let mut work = 0u64;
+        while e > 0 && c < end {
+            work += 1;
+            let a = self.arc_ids[c] as usize;
+            let v = self.arc_to[a] as usize;
+            if self.label[v].load(RLX) + 1 == lu {
+                let r = self.res[a].load(RLX);
+                if r > 0 {
+                    let d = r.min(e);
+                    self.res[a].fetch_sub(d, RLX);
+                    self.res[a ^ 1].fetch_add(d, RLX);
+                    self.excess[v].fetch_add(d, RLX);
+                    e -= d;
+                    pushed += d;
+                    if e > 0 {
+                        c += 1; // arc saturated, keep scanning
+                    }
+                    continue;
+                }
+            }
+            c += 1;
+        }
+        self.cur[u].store((c - begin) as u32, RLX);
+        if pushed > 0 {
+            // Concurrent incoming pushes may have raised the stored excess
+            // past our snapshot; subtracting only what we pushed keeps it
+            // consistent (leftovers are picked up next round).
+            self.excess[u].fetch_sub(pushed, RLX);
+        }
+        (e > 0, work)
+    }
+
+    /// Phase-B relabel of `u`: one plus the minimum label over residual
+    /// arcs. Reading a concurrently-raised neighbour label only makes the
+    /// result larger, which stays valid because labels never decrease.
+    fn relabel(&self, u: usize) -> (u32, u32, u32) {
+        let n32 = self.head.len() as u32;
+        let old = self.label[u].load(RLX);
+        let mut min_l = u32::MAX;
+        for i in self.first[u]..self.first[u + 1] {
+            let a = self.arc_ids[i as usize] as usize;
+            if self.res[a].load(RLX) > 0 {
+                min_l = min_l.min(self.label[self.arc_to[a] as usize].load(RLX));
+            }
+        }
+        let new = if min_l == u32::MAX { n32 + 1 } else { min_l + 1 };
+        debug_assert!(new > old, "relabel must raise {old} -> {new}");
+        self.label[u].store(new, RLX);
+        self.cur[u].store(0, RLX);
+        (u as u32, old, new)
+    }
+
+    /// Recomputes labels as exact residual distances to `t` with a
+    /// frontier-parallel reverse BFS; unreachable vertices (and `s`) get
+    /// label `n`, leaving phase one.
+    fn global_relabel(&self, s: usize, t: usize) {
+        let _g = span(Phase::FlowRelabel);
+        let n = self.head.len();
+        let n32 = n as u32;
+        const UNSET: u32 = u32::MAX;
+        (0..n).into_par_iter().for_each(|v| self.label[v].store(UNSET, RLX));
+        self.label[t].store(0, RLX);
+        let mut frontier: Vec<u32> = vec![t as u32];
+        let mut dist = 0u32;
+        while !frontier.is_empty() {
+            dist += 1;
+            let d = dist;
+            frontier = frontier
+                .par_iter()
+                .flat_map_iter(|&v| {
+                    let vu = v as usize;
+                    let lo = self.first[vu] as usize;
+                    let hi = self.first[vu + 1] as usize;
+                    self.arc_ids[lo..hi].iter().filter_map(move |&a| {
+                        // Arc `a` leaves v towards w; w is one level farther
+                        // from t when the reverse arc w → v has residual.
+                        let w = self.arc_to[a as usize] as usize;
+                        if w != s
+                            && self.res[(a ^ 1) as usize].load(RLX) > 0
+                            && self.label[w].compare_exchange(UNSET, d, RLX, RLX).is_ok()
+                        {
+                            Some(w as u32)
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .collect();
+        }
+        (0..n).into_par_iter().for_each(|v| {
+            if self.label[v].load(RLX) == UNSET {
+                self.label[v].store(n32, RLX);
+            }
+            self.cur[v].store(0, RLX);
+        });
+        self.label[s].store(n32, RLX);
+    }
+
+    /// Histogram of labels strictly below `n` (gap-heuristic occupancy).
+    fn rebuild_counts(&self) -> Vec<u32> {
+        let n = self.head.len();
+        let mut counts = vec![0u32; n];
+        for l in &self.label {
+            let l = l.load(RLX) as usize;
+            if l < n {
+                counts[l] += 1;
+            }
+        }
+        counts
+    }
+
+    /// After [`max_flow`](Self::max_flow), returns the source side of a
+    /// minimum cut: `true` for every node that **cannot** reach `t` in the
+    /// residual graph. This is a minimum cut even though the solver stops
+    /// at a maximum preflow: every vertex still holding excess has label
+    /// `>= n` and is therefore residual-disconnected from `t`, so the flow
+    /// across the returned cut equals the preflow value at the sink.
+    pub fn min_cut_source_side(&self, s: usize, t: usize) -> Vec<bool> {
+        assert!(self.solved, "min_cut_source_side requires a prior max_flow");
+        let _g = span(Phase::FlowCutExtract);
+        let n = self.head.len();
+        let mut reaches_t = vec![false; n];
+        reaches_t[t] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(t);
+        while let Some(v) = queue.pop_front() {
+            for i in self.first[v]..self.first[v + 1] {
+                let a = self.arc_ids[i as usize] as usize;
+                let w = self.arc_to[a] as usize;
+                if !reaches_t[w] && self.res[a ^ 1].load(RLX) > 0 {
+                    reaches_t[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        debug_assert!(!reaches_t[s], "source must be separated from sink");
+        reaches_t.iter().map(|&r| !r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut pr = PushRelabel::new(2);
+        pr.add_edge(0, 1, 5);
+        assert_eq!(pr.max_flow(0, 1), 5);
+    }
+
+    #[test]
+    fn series_bottleneck() {
+        let mut pr = PushRelabel::new(3);
+        pr.add_edge(0, 1, 10);
+        pr.add_edge(1, 2, 3);
+        assert_eq!(pr.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths_sum() {
+        let mut pr = PushRelabel::new(4);
+        pr.add_edge(0, 1, 2);
+        pr.add_edge(1, 3, 2);
+        pr.add_edge(0, 2, 3);
+        pr.add_edge(2, 3, 3);
+        assert_eq!(pr.max_flow(0, 3), 5);
+    }
+
+    #[test]
+    fn classic_augmenting_path_example() {
+        let mut pr = PushRelabel::new(4);
+        pr.add_edge(0, 1, 1);
+        pr.add_edge(0, 2, 1);
+        pr.add_edge(1, 2, 1);
+        pr.add_edge(1, 3, 1);
+        pr.add_edge(2, 3, 1);
+        assert_eq!(pr.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn disconnected_zero_flow() {
+        let mut pr = PushRelabel::new(4);
+        pr.add_edge(0, 1, 4);
+        pr.add_edge(2, 3, 4);
+        assert_eq!(pr.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn trapped_excess_does_not_inflate_flow() {
+        // Source pushes 7 into node 1 but only 3 can continue; the rest is
+        // trapped (never returned to s in phase one) and must not count.
+        let mut pr = PushRelabel::new(3);
+        pr.add_edge(0, 1, 7);
+        pr.add_edge(1, 2, 3);
+        assert_eq!(pr.max_flow(0, 2), 3);
+        let side = pr.min_cut_source_side(0, 2);
+        assert_eq!(side, vec![true, true, false]);
+    }
+
+    #[test]
+    fn min_cut_capacity_equals_flow() {
+        let edges = [
+            (0usize, 1usize, 3u64),
+            (0, 2, 2),
+            (1, 2, 5),
+            (1, 3, 2),
+            (2, 4, 3),
+            (3, 5, 4),
+            (4, 5, 2),
+            (4, 3, 1),
+        ];
+        let mut pr = PushRelabel::new(6);
+        for &(u, v, c) in &edges {
+            pr.add_edge(u, v, c);
+        }
+        let flow = pr.max_flow(0, 5);
+        let side = pr.min_cut_source_side(0, 5);
+        assert!(side[0] && !side[5]);
+        let cut: u64 =
+            edges.iter().filter(|&&(u, v, _)| side[u] && !side[v]).map(|&(_, _, c)| c).sum();
+        assert_eq!(flow, cut, "cut capacity must equal the max-flow value");
+    }
+
+    #[test]
+    fn matches_dinic_on_a_dense_instance() {
+        // Deterministic pseudo-random dense network, cross-checked against
+        // the legacy Dinic oracle.
+        let n = 24;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut pr = PushRelabel::new(n);
+        let mut di = crate::dinic::Dinic::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && next() % 3 == 0 {
+                    let c = next() % 50;
+                    pr.add_edge(u, v, c);
+                    di.add_edge(u, v, c as f64);
+                }
+            }
+        }
+        let f_pr = pr.max_flow(0, n - 1);
+        let f_di = di.max_flow(0, n - 1);
+        assert_eq!(f_pr as f64, f_di);
+    }
+
+    #[test]
+    fn resolve_after_adding_arcs() {
+        let mut pr = PushRelabel::new(3);
+        pr.add_edge(0, 1, 4);
+        pr.add_edge(1, 2, 4);
+        assert_eq!(pr.max_flow(0, 2), 4);
+        pr.add_edge(0, 2, 5);
+        assert_eq!(pr.max_flow(0, 2), 9);
+    }
+}

@@ -1,10 +1,10 @@
-//! Property tests for the flow substrate: Dinic vs an independent
-//! Edmonds–Karp reference, max-flow/min-cut duality, and oracle
-//! cross-checks.
+//! Property tests for the flow substrate: the push-relabel engine vs the
+//! Dinic legacy oracle, Dinic vs an independent Edmonds–Karp reference,
+//! max-flow/min-cut duality, and oracle cross-checks.
 
 use proptest::prelude::*;
 
-use dsd_flow::Dinic;
+use dsd_flow::{Dinic, PushRelabel};
 
 /// Reference max-flow: Edmonds–Karp on an adjacency-matrix residual.
 fn edmonds_karp(n: usize, edges: &[(usize, usize, f64)], s: usize, t: usize) -> f64 {
@@ -97,6 +97,72 @@ proptest! {
             .map(|&(_, _, c)| c)
             .sum();
         prop_assert!((flow - cut).abs() < 1e-6, "flow {flow} vs cut {cut}");
+    }
+
+    #[test]
+    fn push_relabel_matches_dinic((n, edges) in flow_instance()) {
+        let s = 0;
+        let t = n - 1;
+        let clean: Vec<(usize, usize, f64)> =
+            edges.into_iter().filter(|&(u, v, _)| u != v).collect();
+        let mut pr = PushRelabel::new(n);
+        let mut d = Dinic::new(n);
+        for &(u, v, c) in &clean {
+            pr.add_edge(u, v, c as u64);
+            d.add_edge(u, v, c);
+        }
+        let engine = pr.max_flow(s, t);
+        let legacy = d.max_flow(s, t);
+        // Integer capacities: both solvers must agree exactly.
+        prop_assert_eq!(engine as f64, legacy,
+            "push-relabel {} vs dinic {}", engine, legacy);
+    }
+
+    #[test]
+    fn push_relabel_cut_capacity_equals_flow((n, edges) in flow_instance()) {
+        let s = 0;
+        let t = n - 1;
+        let clean: Vec<(usize, usize, u64)> =
+            edges.into_iter().filter(|&(u, v, _)| u != v)
+                .map(|(u, v, c)| (u, v, c as u64)).collect();
+        let mut pr = PushRelabel::new(n);
+        for &(u, v, c) in &clean {
+            pr.add_edge(u, v, c);
+        }
+        let flow = pr.max_flow(s, t);
+        let side = pr.min_cut_source_side(s, t);
+        prop_assert!(side[s]);
+        prop_assert!(!side[t]);
+        let cut: u64 = clean
+            .iter()
+            .filter(|&&(u, v, _)| side[u] && !side[v])
+            .map(|&(_, _, c)| c)
+            .sum();
+        prop_assert_eq!(flow, cut, "flow {} vs extracted cut {}", flow, cut);
+    }
+
+    #[test]
+    fn uds_engine_matches_legacy_oracle(
+        (n, m, seed) in (4usize..24, 4usize..70, any::<u64>())
+    ) {
+        let g = dsd_graph::gen::erdos_renyi(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let engine = dsd_flow::uds_exact(&g);
+        let legacy = dsd_flow::uds_exact_legacy(&g);
+        prop_assert!((engine.density - legacy.density).abs() < 1e-9,
+            "engine {} vs legacy {}", engine.density, legacy.density);
+    }
+
+    #[test]
+    fn dds_engine_matches_legacy_oracle(
+        (n, m, seed) in (3usize..8, 2usize..20, any::<u64>())
+    ) {
+        let g = dsd_graph::gen::erdos_renyi_directed(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let engine = dsd_flow::dds_exact(&g);
+        let legacy = dsd_flow::dds_exact_legacy(&g);
+        prop_assert!((engine.density - legacy.density).abs() < 1e-6,
+            "engine {} vs legacy {}", engine.density, legacy.density);
     }
 
     #[test]

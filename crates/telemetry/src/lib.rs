@@ -109,7 +109,9 @@ impl Counter {
 /// `Collapse`/`Extract` for its post-decomposition stages. The graph ingest
 /// engine (`dsd-graph`, PR 4) uses the five `Ingest*` phases to break the
 /// bytes-on-disk → kernel-ready-CSR path into parse / validate / count /
-/// scatter / sort-dedup.
+/// scatter / sort-dedup. The push-relabel exact-flow engine (`dsd-flow`,
+/// PR 5) uses the three `Flow*` phases to split a max-flow solve into
+/// global relabeling / discharge rounds / cut extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(usize)]
 pub enum Phase {
@@ -146,11 +148,18 @@ pub enum Phase {
     IngestScatter,
     /// Ingest: per-vertex adjacency sort, in-place dedup, and compaction.
     IngestSortDedup,
+    /// Flow: global relabeling (reverse BFS from the sink) in the
+    /// push-relabel engine (`dsd-flow::push_relabel`).
+    FlowRelabel,
+    /// Flow: round-synchronous parallel discharge (push + staged relabel).
+    FlowDischarge,
+    /// Flow: min-cut s-side extraction and certificate set construction.
+    FlowCutExtract,
 }
 
 impl Phase {
     /// Every phase, in shard-slot order.
-    pub const ALL: [Phase; 16] = [
+    pub const ALL: [Phase; 19] = [
         Phase::Init,
         Phase::Sweep,
         Phase::Apply,
@@ -167,6 +176,9 @@ impl Phase {
         Phase::IngestCount,
         Phase::IngestScatter,
         Phase::IngestSortDedup,
+        Phase::FlowRelabel,
+        Phase::FlowDischarge,
+        Phase::FlowCutExtract,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -190,6 +202,9 @@ impl Phase {
             Phase::IngestCount => "count",
             Phase::IngestScatter => "scatter",
             Phase::IngestSortDedup => "sort-dedup",
+            Phase::FlowRelabel => "flow/relabel",
+            Phase::FlowDischarge => "flow/discharge",
+            Phase::FlowCutExtract => "flow/cut-extract",
         }
     }
 }

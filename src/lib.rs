@@ -127,7 +127,9 @@ pub fn run_uds(g: &UndirectedGraph, algorithm: UdsAlgorithm) -> UdsResult {
         }
         UdsAlgorithm::Bsk => dsd_core::uds::bsk::bsk(g),
         UdsAlgorithm::Exact => {
-            let (r, wall) = dsd_core::stats::timed(|| dsd_flow::uds_exact(g));
+            // PKMC-seeded push-relabel engine: same optimum as
+            // `dsd_flow::uds_exact`, warm-started and core-pruned.
+            let (r, wall) = dsd_core::stats::timed(|| dsd_core::uds::exact::uds_exact_certified(g));
             UdsResult { vertices: r.vertices, density: r.density, stats: Stats::new(0, wall) }
         }
     }
@@ -181,7 +183,9 @@ pub fn run_dds(g: &DirectedGraph, algorithm: DdsAlgorithm) -> DdsResult {
             dsd_core::dds::pfw::PfwDirectedConfig { iterations },
         ),
         DdsAlgorithm::Exact => {
-            let (r, wall) = dsd_core::stats::timed(|| dsd_flow::dds_exact(g));
+            // PWC-seeded push-relabel engine: same optimum as
+            // `dsd_flow::dds_exact`, with incumbent-based ratio pruning.
+            let (r, wall) = dsd_core::stats::timed(|| dsd_core::dds::exact::dds_exact_certified(g));
             DdsResult { s: r.s, t: r.t, density: r.density, stats: Stats::new(0, wall) }
         }
     }

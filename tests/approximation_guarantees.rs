@@ -22,6 +22,50 @@ fn directed_graph() -> impl Strategy<Value = dsd_graph::DirectedGraph> {
     })
 }
 
+/// Triage of the one counterexample proptest ever shrank for this suite
+/// (stored in `approximation_guarantees.proptest-regressions`, which
+/// proptest also replays automatically before generating novel cases): an
+/// 18-vertex, 100-edge directed graph that once tripped the
+/// `dds_two_approximation` bracket. Pinned here as a deterministic test so
+/// the case runs even if the regressions file is ever pruned, and so the
+/// push-relabel engine is checked against the Dinic legacy oracle on the
+/// exact instance that was historically hardest.
+#[test]
+fn triaged_regression_b469ef_directed_two_approximation() {
+    // Out-CSR of the stored shrink, copied verbatim from the regressions
+    // file; the builder re-derives the in-CSR.
+    const OUT_OFFSETS: [usize; 19] =
+        [0, 7, 17, 19, 25, 31, 38, 43, 49, 53, 55, 60, 62, 66, 71, 80, 86, 89, 100];
+    const OUT_ADJ: [u32; 100] = [
+        4, 6, 7, 8, 11, 13, 16, 0, 2, 3, 7, 9, 10, 12, 13, 14, 16, 7, 8, 4, 9, 13, 14, 15, 17, 3,
+        7, 8, 9, 14, 15, 0, 4, 10, 11, 12, 14, 15, 3, 5, 8, 15, 17, 1, 2, 3, 9, 11, 16, 2, 6, 14,
+        17, 0, 7, 3, 8, 9, 16, 17, 7, 14, 1, 3, 14, 17, 3, 5, 9, 10, 16, 0, 2, 3, 6, 8, 9, 11, 13,
+        15, 2, 3, 4, 8, 9, 11, 6, 13, 14, 0, 1, 2, 3, 4, 5, 6, 9, 11, 13, 14,
+    ];
+    let mut b = dsd_graph::DirectedGraphBuilder::new(18);
+    for u in 0..18u32 {
+        for &v in &OUT_ADJ[OUT_OFFSETS[u as usize]..OUT_OFFSETS[u as usize + 1]] {
+            b.push_edge(u, v);
+        }
+    }
+    let g = b.build().unwrap();
+    assert_eq!(g.num_edges(), 100, "reconstruction must match the stored shrink");
+
+    let exact = run_dds(&g, DdsAlgorithm::Exact);
+    let legacy = dsd_flow::dds_exact_legacy(&g);
+    assert!(
+        (legacy.density - exact.density).abs() < 1e-6,
+        "engine {} vs legacy oracle {} on the historical counterexample",
+        exact.density,
+        legacy.density
+    );
+    for algo in [DdsAlgorithm::Pwc, DdsAlgorithm::Pxy, DdsAlgorithm::Pbs { max_rounds: None }] {
+        let d = run_dds(&g, algo).density;
+        assert!(d * 2.0 + 1e-6 >= exact.density, "{algo:?}: {d} vs exact {}", exact.density);
+        assert!(d <= exact.density + 1e-6, "{algo:?} beat the optimum");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -1,0 +1,128 @@
+//! Differential test harness around the certificate-returning exact engine
+//! (PR 5 tentpole): on random small graphs the exact optimum must bracket
+//! the paper's 2-approximations — `exact >= pkmc >= exact / 2` for UDS
+//! (Theorem 1) and `exact >= pwc >= exact / 2` for DDS (Theorem 2) — at
+//! every thread-pool size in {1, 2, 4}, with the exact density itself
+//! pool-size invariant and the returned certificate actually inducing it.
+//!
+//! The default case counts are kept small so `cargo test` stays fast; the
+//! dedicated CI proptest job raises them through `PROPTEST_CASES`.
+
+use dsd_core::density::{directed_density, undirected_density};
+use dsd_core::runner::with_threads;
+use proptest::prelude::*;
+
+const POOLS: [usize; 3] = [1, 2, 4];
+
+/// Case count honouring `PROPTEST_CASES` (the CI proptest job raises it).
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(default_cases)
+}
+
+fn undirected_graph() -> impl Strategy<Value = dsd_graph::UndirectedGraph> {
+    (2usize..28, 0.05f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        let m = ((n * (n - 1) / 2) as f64 * p).ceil() as usize;
+        dsd_graph::gen::erdos_renyi(n, m.max(1), seed)
+    })
+}
+
+fn directed_graph() -> impl Strategy<Value = dsd_graph::DirectedGraph> {
+    (2usize..10, 0.08f64..0.5, any::<u64>()).prop_map(|(n, p, seed)| {
+        let m = ((n * (n - 1)) as f64 * p).ceil() as usize;
+        dsd_graph::gen::erdos_renyi_directed(n, m.max(1), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(12)))]
+
+    #[test]
+    fn uds_oracle_brackets_pkmc_at_every_pool_size(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let mut densities = Vec::new();
+        for &pool in &POOLS {
+            let (exact, approx) = with_threads(pool, || {
+                (
+                    dsd_core::uds::exact::uds_exact_certified(&g),
+                    dsd_core::uds::pkmc::pkmc(&g),
+                )
+            });
+            // Theorem 1 bracket: exact >= pkmc >= exact / 2.
+            prop_assert!(
+                approx.density <= exact.density + 1e-9,
+                "pool {pool}: pkmc {} beat the optimum {}", approx.density, exact.density
+            );
+            prop_assert!(
+                2.0 * approx.density + 1e-9 >= exact.density,
+                "pool {pool}: pkmc {} below half of {}", approx.density, exact.density
+            );
+            // The certificate must induce exactly the reported density.
+            let induced = undirected_density(&g, &exact.vertices);
+            prop_assert!(
+                (induced - exact.density).abs() < 1e-12,
+                "pool {pool}: certificate induces {induced}, reported {}", exact.density
+            );
+            densities.push(exact.density);
+        }
+        // Integer flow arithmetic: the optimum is bitwise pool-invariant.
+        prop_assert!(densities.windows(2).all(|w| w[0] == w[1]),
+            "exact density varies across pools: {densities:?}");
+    }
+
+    #[test]
+    fn dds_oracle_brackets_pwc_at_every_pool_size(g in directed_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let mut densities = Vec::new();
+        for &pool in &POOLS {
+            let (exact, approx) = with_threads(pool, || {
+                (
+                    dsd_core::dds::exact::dds_exact_certified(&g),
+                    dsd_core::dds::pwc::pwc(&g),
+                )
+            });
+            // Theorem 2 bracket: exact >= pwc >= exact / 2.
+            prop_assert!(
+                approx.result.density <= exact.density + 1e-6,
+                "pool {pool}: pwc {} beat the optimum {}", approx.result.density, exact.density
+            );
+            prop_assert!(
+                2.0 * approx.result.density + 1e-6 >= exact.density,
+                "pool {pool}: pwc {} below half of {}", approx.result.density, exact.density
+            );
+            let induced = directed_density(&g, &exact.s, &exact.t);
+            prop_assert!(
+                (induced - exact.density).abs() < 1e-12,
+                "pool {pool}: certificate induces {induced}, reported {}", exact.density
+            );
+            densities.push(exact.density);
+        }
+        // The optimum value is pool-invariant (certificate sets may differ
+        // between schedules when several optima exist, densities may not).
+        prop_assert!(densities.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+            "exact density varies across pools: {densities:?}");
+    }
+
+    #[test]
+    fn uds_engine_and_brute_force_agree(
+        (n, m, seed) in (4usize..14, 3usize..40, any::<u64>())
+    ) {
+        let g = dsd_graph::gen::erdos_renyi(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let (_, brute) = dsd_core::uds::exact::uds_brute_force(&g);
+        let cert = dsd_core::uds::exact::uds_exact_certified(&g);
+        prop_assert!((brute - cert.density).abs() < 1e-9,
+            "brute {brute} vs certified {}", cert.density);
+    }
+
+    #[test]
+    fn dds_engine_and_brute_force_agree(
+        (n, m, seed) in (3usize..9, 2usize..24, any::<u64>())
+    ) {
+        let g = dsd_graph::gen::erdos_renyi_directed(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let (_, _, brute) = dsd_core::dds::exact::dds_brute_force(&g);
+        let cert = dsd_core::dds::exact::dds_exact_certified(&g);
+        prop_assert!((brute - cert.density).abs() < 1e-6,
+            "brute {brute} vs certified {}", cert.density);
+    }
+}

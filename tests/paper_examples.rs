@@ -171,6 +171,141 @@ fn density_generalisation_on_doubled_clique() {
     assert!((dds.density - 2.0 * uds.density).abs() < 1e-6);
 }
 
+/// Golden pins for Fig. 1(a): `k* = 2`, the exact optimum is the unique
+/// five-edge subgraph {v1..v4} at density 5/4, and the engine, the Dinic
+/// legacy oracle, and PKMC all agree on the value end to end.
+#[test]
+fn golden_figure_1a_exact_certificate_and_k_star() {
+    let g = UndirectedGraphBuilder::new(6)
+        .add_edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (3, 4), (4, 5)])
+        .build()
+        .unwrap();
+    let pkmc = dsd_core::uds::pkmc::pkmc(&g);
+    assert_eq!(pkmc.k_star, 2);
+    let exact = dsd_core::uds::exact::uds_exact_certified(&g);
+    let mut cert = exact.vertices.clone();
+    cert.sort_unstable();
+    assert_eq!(cert, vec![0, 1, 2, 3], "unique optimum is the 5-edge subgraph");
+    assert!((exact.density - 1.25).abs() < 1e-12);
+    let legacy = dsd_flow::uds_exact_legacy(&g);
+    assert!((legacy.density - exact.density).abs() < 1e-9);
+    // Theorem 1 bracket, tight on this instance: k*/2 <= rho_hat <= rho*.
+    assert!(pkmc.density <= exact.density + 1e-12);
+    assert!(2.0 * pkmc.density + 1e-12 >= exact.density);
+}
+
+/// Golden pins for Fig. 2: `k* = 3`, the exact optimum is the K4 at
+/// density 3/2, and PKMC's k*-core IS the exact answer on this instance.
+#[test]
+fn golden_figure_2_exact_matches_pkmc_core() {
+    let g = UndirectedGraphBuilder::new(8)
+        .add_edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (4, 6),
+        ])
+        .build()
+        .unwrap();
+    let pkmc = dsd_core::uds::pkmc::pkmc(&g);
+    assert_eq!(pkmc.k_star, 3);
+    let exact = run_uds(&g, UdsAlgorithm::Exact);
+    let mut cert = exact.vertices.clone();
+    cert.sort_unstable();
+    assert_eq!(cert, vec![0, 1, 2, 3], "unique optimum is the K4");
+    assert!((exact.density - 1.5).abs() < 1e-12);
+    // End-to-end agreement: the 2-approximation is exact here.
+    assert_eq!(pkmc.vertices, cert);
+    assert!((pkmc.density - exact.density).abs() < 1e-12);
+    let legacy = dsd_flow::uds_exact_legacy(&g);
+    assert!((legacy.density - exact.density).abs() < 1e-9);
+}
+
+/// Golden pins for Fig. 3: `w* = 6`, and the exact DDS optimum is
+/// S = {u1, u2, u3}, T = {v1..v4} at density 9/sqrt(12) = 3*sqrt(3)/2 —
+/// strictly denser than the w*-induced subgraph (6/sqrt(6)), which shows
+/// the decomposition certificate and the densest pair are different
+/// objects on the same instance.
+#[test]
+fn golden_figure_3_exact_beats_w_star_subgraph() {
+    let g = DirectedGraphBuilder::new(9)
+        .add_edges([
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (1, 4),
+            (1, 5),
+            (1, 6),
+            (1, 7),
+            (1, 8),
+            (2, 6),
+            (2, 7),
+            (3, 7),
+        ])
+        .build()
+        .unwrap();
+    let d = dsd_core::dds::winduced::w_decomposition(&g);
+    assert_eq!(d.w_star, 6);
+    let exact = dsd_core::dds::exact::dds_exact_certified(&g);
+    let optimum = 3.0 * 3.0f64.sqrt() / 2.0; // 9 edges over sqrt(3 * 4)
+    assert!((exact.density - optimum).abs() < 1e-9, "exact {} != 3*sqrt(3)/2", exact.density);
+    let (mut s, mut t) = (exact.s.clone(), exact.t.clone());
+    s.sort_unstable();
+    t.sort_unstable();
+    assert_eq!(s, vec![0, 1, 2]);
+    assert_eq!(t, vec![4, 5, 6, 7]);
+    // The w*-subgraph {u1, u2} x {v1, v2, v3} is a weaker candidate.
+    let w_star_density = 6.0 / 6.0f64.sqrt();
+    assert!(exact.density > w_star_density + 0.1);
+    // Brute force (n = 9) and the legacy Dinic oracle agree.
+    let (_, _, brute) = dsd_core::dds::exact::dds_brute_force(&g);
+    assert!((brute - exact.density).abs() < 1e-9);
+    let legacy = dsd_flow::dds_exact_legacy(&g);
+    assert!((legacy.density - exact.density).abs() < 1e-6);
+    // Theorem 2 bracket for PWC, end to end.
+    let pwc = run_dds(&g, DdsAlgorithm::Pwc);
+    assert!(pwc.density <= exact.density + 1e-9);
+    assert!(2.0 * pwc.density + 1e-9 >= exact.density);
+}
+
+/// Golden pins for Fig. 4: `[x*, y*] = [3, 4]` (pinned as product and sum
+/// to stay orientation-agnostic), and the exact optimum is the 3x4
+/// biclique at density 12/sqrt(12) = 2*sqrt(3) — PWC's core IS the exact
+/// answer, so the approximation and the engine agree set-for-set.
+#[test]
+fn golden_figure_4_exact_matches_xy_core() {
+    let mut b = DirectedGraphBuilder::new(9);
+    for u in 0..3u32 {
+        for v in 3..7u32 {
+            b.push_edge(u, v);
+        }
+    }
+    b.push_edge(0, 7);
+    b.push_edge(0, 8);
+    let g = b.build().unwrap();
+    let pwc = dsd_core::dds::pwc::pwc(&g);
+    assert_eq!(pwc.cn_pair.0 * pwc.cn_pair.1, 12);
+    assert_eq!(pwc.cn_pair.0 + pwc.cn_pair.1, 7, "cn-pair is [3, 4]");
+    let exact = dsd_core::dds::exact::dds_exact_certified(&g);
+    let optimum = 2.0 * 3.0f64.sqrt(); // 12 edges over sqrt(3 * 4)
+    assert!((exact.density - optimum).abs() < 1e-9, "exact {} != 2*sqrt(3)", exact.density);
+    let (mut s, mut t) = (exact.s.clone(), exact.t.clone());
+    s.sort_unstable();
+    t.sort_unstable();
+    assert_eq!(s, pwc.result.s);
+    assert_eq!(t, pwc.result.t);
+    assert!((pwc.result.density - exact.density).abs() < 1e-9);
+    let legacy = dsd_flow::dds_exact_legacy(&g);
+    assert!((legacy.density - exact.density).abs() < 1e-6);
+}
+
 /// The paper's remark that the k*-core may split into components, any of
 /// which is a valid answer: two disjoint K4s share k* = 3 and PKMC
 /// returns both; each component alone still satisfies the guarantee.
