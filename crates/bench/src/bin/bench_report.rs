@@ -9,7 +9,11 @@
 //! reorder vs the builder round-trip, on a million-edge synthetic edge
 //! multiset), the exact-flow engine (PR 5: the parallel push-relabel
 //! solver vs Dinic raw on a layered network, and the seeded, core-pruned
-//! exact UDS/DDS oracles vs their float/Dinic legacy binary searches), and
+//! exact UDS/DDS oracles vs their float/Dinic legacy binary searches), the
+//! compressed substrate (PR 6: achieved bytes/arc with and without the
+//! degree reorder, fused-decode sweep/peel vs their plain-CSR twins, the
+//! binio v2 mmap round-trip, and the spill-mode bounded-RSS ingest vs both
+//! in-memory builders), and
 //! the paper's two contributed algorithms end-to-end (PKMC and PWC) on the
 //! seeded stand-in graphs; verifies the parity contracts (UDS sync mode
 //! bit-identical to the seed kernel; DDS induce-numbers and `w*`
@@ -23,10 +27,10 @@
 //!
 //! ```text
 //! cargo run --release -p dsd-bench --bin bench_report \
-//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR5.json]
+//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR6.json]
 //! ```
 //!
-//! The default output path is `BENCH_PR5.json` in the current directory
+//! The default output path is `BENCH_PR6.json` in the current directory
 //! (run from the repo root to refresh the committed baseline). Scale the
 //! workload with `DSD_BENCH_SCALE` (default 1.0; CI can lower it).
 //! `--smoke` is the CI fast mode: tiny graphs, one rep, output defaulting
@@ -204,6 +208,232 @@ struct FlowSection {
     parity: FlowParity,
 }
 
+#[derive(Serialize)]
+struct CompressionParity {
+    /// Fused-decode full sweep h-values bit-identical to the plain-CSR
+    /// engine at every pool size tried.
+    sweep_fused_identical: bool,
+    /// Fused-decode peel induce-numbers and `w*` bit-identical to the
+    /// plain-CSR engine at every pool size tried.
+    peel_fused_identical: bool,
+    /// `CompressedCsr`/`CompressedDigraph::decompress()` equal the input
+    /// graphs.
+    decompress_roundtrip_identical: bool,
+    /// `write binio v2 -> load (mmap) -> decompress` equals the input
+    /// graphs for both kinds.
+    binio_v2_roundtrip_identical: bool,
+    /// `build_spill == build == build_legacy` on the raw multiset
+    /// (undirected and directed), at every pool size tried.
+    spill_build_identical: bool,
+    /// Pool sizes the compression parity checks ran at.
+    pool_sizes: Vec<usize>,
+}
+
+/// The PR-6 compression section: delta-varint substrate space figures,
+/// fused-decode kernel costs vs plain CSR, and the spill-mode ingest.
+#[derive(Serialize)]
+struct CompressionSection {
+    /// Encoded bytes per stored arc (degree + offset + chunk tables
+    /// included) on the degree-reordered filament graph. Plain CSR spends
+    /// 4.0 on the adjacency array alone, so < 4.0 is a genuine win.
+    bytes_per_arc_undirected: f64,
+    /// Same figure without the degree reorder (the `--no-reorder` path).
+    bytes_per_arc_undirected_no_reorder: f64,
+    /// Both sides of the degree-reordered directed benchmark.
+    bytes_per_arc_directed: f64,
+    /// The plain-CSR adjacency baseline the figures above compare against.
+    plain_csr_bytes_per_arc: f64,
+    /// Encode throughput on the undirected graph (arcs / best encode sec).
+    encode_arcs_per_sec_undirected: f64,
+    /// Shard cap the spill builds ran with (forced small so the smoke run
+    /// streams multiple shards).
+    spill_shard_arcs: usize,
+    /// Shards each undirected spill build streamed
+    /// (`ceil(arcs / shard_arcs)`, exact by the flush arithmetic).
+    spill_shards: usize,
+    timings: Vec<Timing>,
+    /// `sweep_plain_best / sweep_fused_best` — a cost ratio, not a target:
+    /// fused decode trades cycles for the space win above.
+    ratio_fused_sweep_vs_plain: f64,
+    /// `peel_plain_best / peel_fused_best` (same convention).
+    ratio_fused_peel_vs_plain: f64,
+    parity: CompressionParity,
+}
+
+/// Times and parity-checks the PR-6 compressed substrate: encode cost and
+/// achieved bytes/arc, the fused-decode sweep/peel kernels against their
+/// plain-CSR twins, the binio v2 round-trip, and the spill-mode ingest
+/// against both in-memory builders. Every parity flag is asserted, so a
+/// divergence aborts the run.
+fn compression_section(
+    g: &UndirectedGraph,
+    d: &dsd_graph::DirectedGraph,
+    scale: f64,
+    reps: usize,
+) -> CompressionSection {
+    use dsd_graph::{
+        CompressedCsr, CompressedDigraph, DirectedGraphBuilder, DirectedStorage,
+        UndirectedGraphBuilder, UndirectedStorage,
+    };
+    fn one<T>(_: &T) -> usize {
+        1
+    }
+
+    // Degree reorder first — the CLI `pack` default — then compress; the
+    // unreordered figure quantifies what the reorder buys.
+    let rg = dsd_graph::reorder::by_degree_descending(g).graph;
+    let rd = dsd_graph::reorder::by_degree_descending_directed(d).graph;
+    let encode_u =
+        timing("compress_encode_undirected", reps, one, || CompressedCsr::from_graph(&rg));
+    let encode_d =
+        timing("compress_encode_directed", reps, one, || CompressedDigraph::from_graph(&rd));
+    let cu = CompressedCsr::from_graph(&rg);
+    let cu_no_reorder = CompressedCsr::from_graph(g);
+    let cd = CompressedDigraph::from_graph(&rd);
+    let arcs_u = 2 * rg.num_edges();
+
+    // Fused-decode kernels vs their plain-CSR twins on identical inputs.
+    let mut ws = SweepWorkspace::new();
+    let iters = |&it: &usize| it;
+    let sweep_plain = timing("sweep_full_plain_csr", reps, iters, || {
+        ws.run_full_storage(&UndirectedStorage::Plain(&rg), SweepMode::Synchronous)
+    });
+    let sweep_fused = timing("sweep_full_fused_decode", reps, iters, || {
+        ws.run_full_storage(&UndirectedStorage::Compressed(&cu), SweepMode::Synchronous)
+    });
+    let mut pws = PeelWorkspace::new();
+    let wd_iters = |r: &WDecomposition| r.stats.iterations;
+    let peel_plain = timing("peel_w_star_plain_csr", reps, wd_iters, || {
+        pws.decompose_storage(&DirectedStorage::Plain(&rd), true)
+    });
+    let peel_fused = timing("peel_w_star_fused_decode", reps, wd_iters, || {
+        pws.decompose_storage(&DirectedStorage::Compressed(&cd), true)
+    });
+
+    // Spill-mode ingest on the raw multiset, shard cap forced low enough
+    // that even the smoke run streams several shards.
+    let (n, edges) = raw_edge_multiset(scale);
+    let shard_arcs = (edges.len() / 4).max(1024);
+    let valid_edges = edges.iter().filter(|&&(u, v)| u != v).count();
+    // Mode::Both pushes two arcs per non-loop edge; windows flush at the
+    // cap, so the shard count is exact.
+    let spill_shards = (2 * valid_edges).div_ceil(shard_arcs).max(1);
+    assert!(spill_shards >= 2, "compression: spill run must stream at least two shards");
+    let spill_u = timing("build_undirected_spill", reps, one, || {
+        UndirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied())
+            .build_spill(shard_arcs)
+            .unwrap()
+    });
+    let spill_d = timing("build_directed_spill", reps, one, || {
+        DirectedGraphBuilder::new(n)
+            .add_edges(edges.iter().copied())
+            .build_spill(shard_arcs)
+            .unwrap()
+    });
+
+    // --- Parity: fused kernels vs plain CSR at pool sizes {1, 2, 4}. ---
+    let pool_sizes = vec![1usize, 2, 4];
+    let sweep_ref = {
+        let mut w = SweepWorkspace::new();
+        w.run_full(&rg, SweepMode::Synchronous);
+        w.h_values()
+    };
+    let peel_ref = PeelWorkspace::new().decompose_storage(&DirectedStorage::Plain(&rd), false);
+    let mut sweep_ok = true;
+    let mut peel_ok = true;
+    for &p in &pool_sizes {
+        let h = with_threads(p, || {
+            let mut w = SweepWorkspace::new();
+            w.run_full_storage(&UndirectedStorage::Compressed(&cu), SweepMode::Synchronous);
+            w.h_values()
+        });
+        sweep_ok &= h == sweep_ref;
+        let wd = with_threads(p, || {
+            PeelWorkspace::new().decompose_storage(&DirectedStorage::Compressed(&cd), false)
+        });
+        peel_ok &= wd.induce_number == peel_ref.induce_number && wd.w_star == peel_ref.w_star;
+    }
+
+    // --- Decompress + binio v2 (mmap) round-trips. ---
+    let roundtrip_ok = cu.decompress() == rg && cd.decompress() == rd;
+    let stamp = std::process::id();
+    let tmp_u = std::env::temp_dir().join(format!("dsd-bench-pack-u-{stamp}.bin"));
+    let tmp_d = std::env::temp_dir().join(format!("dsd-bench-pack-d-{stamp}.bin"));
+    dsd_graph::binio::write_compressed_undirected_path(&cu, &tmp_u).unwrap();
+    dsd_graph::binio::write_compressed_directed_path(&cd, &tmp_d).unwrap();
+    let binio_ok = dsd_graph::binio::load_compressed_undirected_path(&tmp_u).unwrap().decompress()
+        == rg
+        && dsd_graph::binio::load_compressed_directed_path(&tmp_d).unwrap().decompress() == rd;
+    let _ = std::fs::remove_file(&tmp_u);
+    let _ = std::fs::remove_file(&tmp_d);
+
+    // --- Spill parity: build_spill == build == build_legacy, all pools. ---
+    let u_built = UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+    let u_legacy =
+        UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build_legacy().unwrap();
+    let d_built = DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+    let d_legacy =
+        DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build_legacy().unwrap();
+    let mut spill_ok = u_built == u_legacy && d_built == d_legacy;
+    for &p in &pool_sizes {
+        let (us, ds) = with_threads(p, || {
+            (
+                UndirectedGraphBuilder::new(n)
+                    .add_edges(edges.iter().copied())
+                    .build_spill(shard_arcs)
+                    .unwrap(),
+                DirectedGraphBuilder::new(n)
+                    .add_edges(edges.iter().copied())
+                    .build_spill(shard_arcs)
+                    .unwrap(),
+            )
+        });
+        spill_ok &= us == u_built && ds == d_built;
+    }
+
+    assert!(sweep_ok, "compression parity: fused-decode sweep diverged from plain CSR");
+    assert!(peel_ok, "compression parity: fused-decode peel diverged from plain CSR");
+    assert!(roundtrip_ok, "compression parity: decompress() round-trip diverged");
+    assert!(binio_ok, "compression parity: binio v2 mmap round-trip diverged");
+    assert!(spill_ok, "compression parity: build_spill diverged from build()/build_legacy()");
+    let bytes_per_arc = cu.bytes_per_arc();
+    assert!(
+        bytes_per_arc < 4.0,
+        "compression: {bytes_per_arc:.3} bytes/arc does not beat the 4-byte plain CSR entry"
+    );
+
+    CompressionSection {
+        bytes_per_arc_undirected: bytes_per_arc,
+        bytes_per_arc_undirected_no_reorder: cu_no_reorder.bytes_per_arc(),
+        bytes_per_arc_directed: cd.bytes_per_arc(),
+        plain_csr_bytes_per_arc: 4.0,
+        encode_arcs_per_sec_undirected: arcs_u as f64 / encode_u.best_secs.max(1e-12),
+        spill_shard_arcs: shard_arcs,
+        spill_shards,
+        ratio_fused_sweep_vs_plain: sweep_plain.best_secs / sweep_fused.best_secs.max(1e-12),
+        ratio_fused_peel_vs_plain: peel_plain.best_secs / peel_fused.best_secs.max(1e-12),
+        timings: vec![
+            encode_u,
+            encode_d,
+            sweep_plain,
+            sweep_fused,
+            peel_plain,
+            peel_fused,
+            spill_u,
+            spill_d,
+        ],
+        parity: CompressionParity {
+            sweep_fused_identical: sweep_ok,
+            peel_fused_identical: peel_ok,
+            decompress_roundtrip_identical: roundtrip_ok,
+            binio_v2_roundtrip_identical: binio_ok,
+            spill_build_identical: spill_ok,
+            pool_sizes,
+        },
+    }
+}
+
 /// Layered flow network for the raw solver timings (`s = n-2`, `t = n-1`):
 /// `layers x width` grid with two forward arcs per node.
 fn layered_network(layers: usize, width: usize) -> (usize, Vec<(usize, usize, u64)>) {
@@ -361,6 +591,8 @@ struct Report {
     ingest: IngestSection,
     /// Exact-flow engine comparison (PR 5).
     flow: FlowSection,
+    /// Compressed substrate figures (PR 6).
+    compression: CompressionSection,
     /// End-to-end contributed algorithms.
     end_to_end: Vec<Timing>,
     /// Per-round decomposition traces (`--trace` only): a
@@ -601,7 +833,7 @@ fn main() {
             if smoke {
                 "BENCH_SMOKE.json".to_string()
             } else {
-                "BENCH_PR5.json".to_string()
+                "BENCH_PR6.json".to_string()
             }
         });
     let scale: f64 = if smoke {
@@ -724,6 +956,10 @@ fn main() {
     // measurement; asserts internally). ---
     let flow = flow_section(scale, reps);
 
+    // --- Compressed substrate ablation + parity (the PR-6 tentpole
+    // measurement; asserts internally). ---
+    let compression = compression_section(&g, &d, scale, reps);
+
     // --- End-to-end contributed algorithms. ---
     let pkmc_t = timing(
         "pkmc_sync",
@@ -748,8 +984,8 @@ fn main() {
     let telemetry = trace.then(|| collect_traces(&g, &d, rayon::current_num_threads()));
 
     let report = Report {
-        schema: "dsd-bench-report/v5",
-        pr: 5,
+        schema: "dsd-bench-report/v6",
+        pr: 6,
         graphs: vec![
             GraphMeta {
                 name: "filament_chung_lu",
@@ -777,6 +1013,7 @@ fn main() {
         dds,
         ingest,
         flow,
+        compression,
         end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
         telemetry,
         threads: rayon::current_num_threads(),
@@ -806,7 +1043,19 @@ fn main() {
              certificate and its ratio is below 1 by design); push-relabel \
              values are asserted equal to Dinic on pseudorandom networks, extracted \
              min-cut capacity equal to the flow value, and engine exact densities \
-             invariant across pool sizes 1/2/4 before the report is written; all \
+             invariant across pool sizes 1/2/4 before the report is written; \
+             compression.bytes_per_arc_undirected is the PR-6 acceptance headline \
+             (asserted < 4.0, the plain-CSR adjacency entry), measured on the \
+             degree-reordered filament graph with the table overhead included, \
+             with the no-reorder and directed figures, encode throughput, and the \
+             fused-decode sweep/peel cost ratios alongside (fused decode trades \
+             cycles for space, so those ratios carry no target); fused-decode \
+             sweep h-values and peel induce-numbers are asserted bit-identical to \
+             the plain-CSR engines at pool sizes 1/2/4, decompress() and the \
+             binio v2 mmap round-trip asserted equal to the inputs, and the \
+             spill-mode builders (shard cap forced low enough that even the smoke \
+             run streams >= 2 shards) asserted equal to build() and build_legacy() \
+             at pool sizes 1/2/4 before the report is written; all \
              timed runs execute with the telemetry recorder disabled (its hot-path cost \
              is one relaxed atomic load, contract < 2% — see DESIGN.md section 7), so \
              engine-vs-legacy ratios are comparable with the PR-1/PR-2 baselines; \
@@ -866,6 +1115,41 @@ fn main() {
         parsed.pointer("/flow/timings").and_then(|t| t.as_array()).is_some_and(|t| t.len() == 6),
         "flow section must carry all six timings"
     );
+    assert!(
+        parsed
+            .pointer("/compression/bytes_per_arc_undirected")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|b| b > 0.0 && b < 4.0),
+        "report schema lost the compression headline field (or bytes/arc regressed past plain CSR)"
+    );
+    for flag in [
+        "sweep_fused_identical",
+        "peel_fused_identical",
+        "decompress_roundtrip_identical",
+        "binio_v2_roundtrip_identical",
+        "spill_build_identical",
+    ] {
+        assert!(
+            parsed
+                .pointer(&format!("/compression/parity/{flag}"))
+                .is_some_and(|v| v.as_bool() == Some(true)),
+            "compression parity flag {flag} missing or false"
+        );
+    }
+    assert!(
+        parsed
+            .pointer("/compression/timings")
+            .and_then(|t| t.as_array())
+            .is_some_and(|t| t.len() == 8),
+        "compression section must carry all eight timings"
+    );
+    assert!(
+        parsed
+            .pointer("/compression/spill_shards")
+            .and_then(|v| v.as_u64())
+            .is_some_and(|s| s >= 2),
+        "compression spill run must stream at least two shards"
+    );
     if report.telemetry.is_some() {
         for (i, kind) in ["UDS", "DDS"].iter().enumerate() {
             let rounds = parsed.pointer(&format!("/telemetry/traces/{i}/rounds"));
@@ -887,7 +1171,9 @@ fn main() {
          legacy {:.3}s -> {:.2}x (parity: induce={} w*={} pwc={}); ingest build {:.3}s vs \
          legacy {:.3}s -> {:.2}x (directed {:.2}x, parse {:.2}x, reorder {:.2}x); \
          exact flow: uds engine {:.3}s vs legacy {:.3}s -> {:.2}x, dds -> {:.2}x, \
-         raw push-relabel vs dinic {:.2}x; wrote {}",
+         raw push-relabel vs dinic {:.2}x; compression {:.3} bytes/arc (no-reorder \
+         {:.3}, directed {:.3}, plain 4.0; spill {} shards, parity spill={} sweep={} \
+         peel={}); wrote {}",
         report.sweep_engine[1].best_secs,
         report.sweep_engine[0].best_secs,
         speedup,
@@ -908,6 +1194,13 @@ fn main() {
         report.flow.speedup_uds_exact_vs_legacy,
         report.flow.speedup_dds_exact_vs_legacy,
         report.flow.speedup_push_relabel_vs_dinic,
+        report.compression.bytes_per_arc_undirected,
+        report.compression.bytes_per_arc_undirected_no_reorder,
+        report.compression.bytes_per_arc_directed,
+        report.compression.spill_shards,
+        report.compression.parity.spill_build_identical,
+        report.compression.parity.sweep_fused_identical,
+        report.compression.parity.peel_fused_identical,
         out_path
     );
 }

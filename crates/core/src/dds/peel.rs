@@ -52,7 +52,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use dsd_graph::{DirectedGraph, VertexId};
+use dsd_graph::{DirectedNeighborAccess, DirectedStorage, VertexId};
 use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
@@ -96,6 +96,14 @@ pub struct PeelWorkspace {
     /// Out-CSR slot of each in-CSR arc position, so a vertex whose
     /// in-degree changed can enqueue its in-edges without a graph walk.
     in_slot: Vec<u32>,
+    /// Workspace-owned out-slot offsets (`n + 1` prefix sums of the bound
+    /// graph's out-degrees). The engine is generic over
+    /// [`DirectedNeighborAccess`], and the compressed substrate has no
+    /// materialised `usize` offset slice to borrow — so the slot arithmetic
+    /// runs against these arrays for both representations.
+    out_start: Vec<usize>,
+    /// Workspace-owned in-arc-position offsets (prefix sums of in-degrees).
+    in_start: Vec<usize>,
     /// Packed edge-liveness bitmap.
     alive: Vec<AtomicU64>,
     /// Packed frontier-membership bitmap (dedups enqueues).
@@ -123,32 +131,50 @@ impl PeelWorkspace {
 
     /// Points the workspace at `g`: bitmaps are filled, degrees reset, the
     /// slot maps rebuilt (in parallel), and the scheduler cleared.
-    fn bind(&mut self, g: &DirectedGraph) {
-        let n = g.num_vertices();
-        let m = g.num_edges();
+    fn bind<D: DirectedNeighborAccess>(&mut self, g: &D) {
+        let n = g.vertex_count();
+        let m = g.edge_count();
         assert!(m < u32::MAX as usize, "peel engine indexes edge slots with u32");
         self.n = n;
         self.m = m;
-        let offsets = g.out_offsets();
+        // Workspace-owned slot offsets (prefix sums of both degree
+        // sequences); the generic access trait exposes degrees, not offset
+        // slices.
+        let mut out_start = std::mem::take(&mut self.out_start);
+        let mut in_start = std::mem::take(&mut self.in_start);
+        out_start.clear();
+        in_start.clear();
+        out_start.reserve(n + 1);
+        in_start.reserve(n + 1);
+        let (mut out_acc, mut in_acc) = (0usize, 0usize);
+        out_start.push(0);
+        in_start.push(0);
+        for v in 0..n {
+            out_acc += g.out_degree_of(v as VertexId);
+            in_acc += g.in_degree_of(v as VertexId);
+            out_start.push(out_acc);
+            in_start.push(in_acc);
+        }
         // Slot -> source vertex. par_extend preserves item order.
         self.edge_src.clear();
-        self.edge_src.par_extend(
-            (0..n).into_par_iter().flat_map_iter(|u| {
-                std::iter::repeat(u as VertexId).take(offsets[u + 1] - offsets[u])
-            }),
-        );
-        // In-arc position -> out-slot, via binary search in the (sorted)
-        // out-neighbour list of the arc's source.
+        self.edge_src.par_extend((0..n).into_par_iter().flat_map_iter(|u| {
+            std::iter::repeat(u as VertexId).take(out_start[u + 1] - out_start[u])
+        }));
+        // In-arc position -> out-slot, via rank lookup in the (sorted)
+        // out-neighbour list of the arc's source (binary search on plain
+        // CSR; chunk-table seek on the compressed substrate).
         self.in_slot.clear();
         self.in_slot.par_extend((0..n).into_par_iter().flat_map_iter(|v| {
-            g.in_neighbors(v as VertexId).iter().map(move |&u| {
+            let out_start = &out_start;
+            g.in_neighbors_of(v as VertexId).map(move |u| {
                 let pos = g
-                    .out_neighbors(u)
-                    .binary_search(&(v as VertexId))
-                    .expect("in/out CSR arrays mirror each other");
-                (offsets[u as usize] + pos) as u32
+                    .out_rank_of(u, v as VertexId)
+                    .expect("in/out adjacency arrays mirror each other");
+                (out_start[u as usize] + pos) as u32
             })
         }));
+        self.out_start = out_start;
+        self.in_start = in_start;
         let edge_words = m.div_ceil(64);
         self.alive.clear();
         self.alive.extend((0..edge_words).map(|_| AtomicU64::new(u64::MAX)));
@@ -167,9 +193,9 @@ impl PeelWorkspace {
         self.in_changed.clear();
         self.in_changed.extend((0..vertex_words).map(|_| AtomicU64::new(0)));
         self.out_deg.clear();
-        self.out_deg.extend((0..n).map(|v| AtomicU32::new(g.out_degree(v as VertexId) as u32)));
+        self.out_deg.extend((0..n).map(|v| AtomicU32::new(g.out_degree_of(v as VertexId) as u32)));
         self.in_deg.clear();
-        self.in_deg.extend((0..n).map(|v| AtomicU32::new(g.in_degree(v as VertexId) as u32)));
+        self.in_deg.extend((0..n).map(|v| AtomicU32::new(g.in_degree_of(v as VertexId) as u32)));
         self.induce.clear();
         self.induce.extend((0..m).map(|_| AtomicU64::new(WARM_PEELED)));
         self.chunk_lb.clear();
@@ -186,23 +212,20 @@ impl PeelWorkspace {
     }
 
     /// Target vertex of the edge in `slot` (the source is `edge_src`).
+    /// Plain CSR indexes the adjacency slice; the compressed substrate
+    /// seeks to the slot's chunk and decodes at most [`dsd_graph`]'s chunk
+    /// length of deltas.
     #[inline]
-    fn slot_target(
-        &self,
-        g: &DirectedGraph,
-        offsets: &[usize],
-        slot: usize,
-    ) -> (VertexId, VertexId) {
+    fn slot_target<D: DirectedNeighborAccess>(&self, g: &D, slot: usize) -> (VertexId, VertexId) {
         let u = self.edge_src[slot];
-        (u, g.out_neighbors(u)[slot - offsets[u as usize]])
+        (u, g.out_neighbor_at(u, slot - self.out_start[u as usize]))
     }
 
     /// One full pass over all (still all-alive) edges: computes every
     /// chunk's exact minimum weight and seeds the frontier with the edges
     /// whose weight is `< collect_below` (pass 0 to seed nothing). This is
     /// the only whole-graph scan the engine ever performs.
-    fn prime(&mut self, g: &DirectedGraph, collect_below: u64) {
-        let offsets = g.out_offsets();
+    fn prime<D: DirectedNeighborAccess>(&mut self, g: &D, collect_below: u64) {
         let m = self.m;
         let frontier = (0..self.chunk_lb.len())
             .into_par_iter()
@@ -211,7 +234,7 @@ impl PeelWorkspace {
                 let hi = ((c + 1) << CHUNK_BITS).min(m);
                 let mut lb = u64::MAX;
                 for slot in lo..hi {
-                    let (u, v) = self.slot_target(g, offsets, slot);
+                    let (u, v) = self.slot_target(g, slot);
                     let w = self.weight(u, v);
                     lb = lb.min(w);
                     if w < collect_below {
@@ -230,7 +253,7 @@ impl PeelWorkspace {
 
     /// Exact minimum alive weight inside chunk `c` (`u64::MAX` if empty),
     /// iterating only the set bits of the liveness words the chunk owns.
-    fn chunk_min(&self, g: &DirectedGraph, offsets: &[usize], c: usize) -> u64 {
+    fn chunk_min<D: DirectedNeighborAccess>(&self, g: &D, c: usize) -> u64 {
         let lo = c << CHUNK_BITS;
         let hi = ((c + 1) << CHUNK_BITS).min(self.m);
         let mut min = u64::MAX;
@@ -239,7 +262,7 @@ impl PeelWorkspace {
             while bits != 0 {
                 let slot = (wi << 6) + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                let (u, v) = self.slot_target(g, offsets, slot);
+                let (u, v) = self.slot_target(g, slot);
                 min = min.min(self.weight(u, v));
             }
         }
@@ -256,8 +279,7 @@ impl PeelWorkspace {
     /// chunks far above the threshold are never touched — across
     /// *consecutive* thresholds too, which is where the legacy kernel paid
     /// one full scan each.
-    fn next_threshold(&mut self, g: &DirectedGraph) -> Option<u64> {
-        let offsets = g.out_offsets();
+    fn next_threshold<D: DirectedNeighborAccess>(&mut self, g: &D) -> Option<u64> {
         let mut attempts = 0u32;
         let w_t = loop {
             attempts += 1;
@@ -270,7 +292,7 @@ impl PeelWorkspace {
                 .filter(|&c| self.chunk_lb[c].load(Ordering::Relaxed) == candidate)
                 .map(|c| {
                     telemetry::counter_add(Counter::ChunkMinRescans, 1);
-                    let min = self.chunk_min(g, offsets, c);
+                    let min = self.chunk_min(g, c);
                     self.chunk_lb[c].store(min, Ordering::Relaxed);
                     min
                 })
@@ -300,7 +322,7 @@ impl PeelWorkspace {
                     while bits != 0 {
                         let slot = (wi << 6) + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
-                        let (u, v) = self.slot_target(g, offsets, slot);
+                        let (u, v) = self.slot_target(g, slot);
                         if self.weight(u, v) == w_t {
                             acc.push(slot as u32);
                         }
@@ -324,9 +346,12 @@ impl PeelWorkspace {
     /// of frontier slots examined across those rounds (a work proxy; the
     /// count is schedule-dependent because racy early removals shrink later
     /// frontiers).
-    fn cascade(&mut self, g: &DirectedGraph, bound: u64, record: u64) -> (usize, u64) {
-        let offsets = g.out_offsets();
-        let in_offsets = g.in_offsets();
+    fn cascade<D: DirectedNeighborAccess>(
+        &mut self,
+        g: &D,
+        bound: u64,
+        record: u64,
+    ) -> (usize, u64) {
         let mut rounds = 0usize;
         let mut examined = 0u64;
         loop {
@@ -347,7 +372,7 @@ impl PeelWorkspace {
                         // Leave the frontier so later rounds can re-enqueue.
                         claim_clear(&self.queued, slot);
                         if bit_test(&self.alive, slot) {
-                            let (u, v) = self.slot_target(g, offsets, slot);
+                            let (u, v) = self.slot_target(g, slot);
                             let w = self.weight(u, v);
                             if w < bound {
                                 if claim_clear(&self.alive, slot) {
@@ -400,13 +425,13 @@ impl PeelWorkspace {
                 .fold(Vec::new, |mut acc, (x, out_side)| {
                     let xi = x as usize;
                     if out_side {
-                        for slot in offsets[xi]..offsets[xi + 1] {
+                        for slot in self.out_start[xi]..self.out_start[xi + 1] {
                             if bit_test(&self.alive, slot) && claim_set(&self.queued, slot) {
                                 acc.push(slot as u32);
                             }
                         }
                     } else {
-                        for pos in in_offsets[xi]..in_offsets[xi + 1] {
+                        for pos in self.in_start[xi]..self.in_start[xi + 1] {
                             let slot = self.in_slot[pos] as usize;
                             if bit_test(&self.alive, slot) && claim_set(&self.queued, slot) {
                                 acc.push(slot as u32);
@@ -441,12 +466,25 @@ impl PeelWorkspace {
     /// iteration start — so the final sample's `alive_edges` equals
     /// `Stats::edges_last_iter`. The warm-start pre-peel is not an outer
     /// iteration and only shows up in the trace's phase totals.
-    pub fn decompose(&mut self, g: &DirectedGraph, warm_start: bool) -> WDecomposition {
+    pub fn decompose<D: DirectedNeighborAccess>(
+        &mut self,
+        g: &D,
+        warm_start: bool,
+    ) -> WDecomposition {
         let ((induce, w_star, iterations, first, last), wall) = timed(|| {
             telemetry::time_phase(Phase::Init, || self.bind(g));
             let mut iterations = 0usize;
             if warm_start {
-                let d_max = g.max_degree() as u64;
+                // `d_max` of the paper's Remark, computed from the freshly
+                // bound degree arrays so it needs no representation-specific
+                // graph method.
+                let d_max = self
+                    .out_deg
+                    .par_iter()
+                    .chain(self.in_deg.par_iter())
+                    .map(|x| x.load(Ordering::Relaxed))
+                    .max()
+                    .unwrap_or(0) as u64;
                 telemetry::time_phase(Phase::Prime, || self.prime(g, d_max));
                 iterations +=
                     telemetry::time_phase(Phase::Cascade, || self.cascade(g, d_max, WARM_PEELED)).0;
@@ -515,6 +553,20 @@ impl PeelWorkspace {
             },
         }
     }
+
+    /// [`decompose`](Self::decompose) behind runtime storage selection:
+    /// the enum is matched once, then the whole peel runs in the
+    /// monomorphised kernel for the chosen representation.
+    pub fn decompose_storage(
+        &mut self,
+        storage: &DirectedStorage<'_>,
+        warm_start: bool,
+    ) -> WDecomposition {
+        match storage {
+            DirectedStorage::Plain(g) => self.decompose(*g, warm_start),
+            DirectedStorage::Compressed(c) => self.decompose(*c, warm_start),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +575,7 @@ mod tests {
     use crate::dds::winduced::{
         edge_endpoints, w_decomposition_legacy, w_star_decomposition_legacy,
     };
+    use dsd_graph::DirectedGraph;
 
     fn parity(g: &DirectedGraph) {
         let mut ws = PeelWorkspace::new();
@@ -595,6 +648,23 @@ mod tests {
         let d = ws.decompose(&single, false);
         assert_eq!(d.w_star, 1);
         assert_eq!(d.induce_number, vec![1]);
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain_bit_for_bit() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::chung_lu_directed(200, 1300, 2.4, 2.1, seed + 90);
+            let c = dsd_graph::CompressedDigraph::from_graph(&g);
+            let mut ws = PeelWorkspace::new();
+            for warm in [false, true] {
+                let plain = ws.decompose(&g, warm);
+                let fused = ws.decompose_storage(&DirectedStorage::Compressed(&c), warm);
+                assert_eq!(fused.induce_number, plain.induce_number, "seed {seed} warm {warm}");
+                assert_eq!(fused.w_star, plain.w_star, "seed {seed} warm {warm}");
+                let dispatched = ws.decompose_storage(&DirectedStorage::Plain(&g), warm);
+                assert_eq!(dispatched.induce_number, plain.induce_number);
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-use dsd_graph::{DirectedGraph, VertexId};
+use dsd_graph::{DirectedGraph, DirectedStorage, VertexId};
 use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
@@ -98,6 +98,28 @@ pub fn w_star_decomposition(g: &DirectedGraph) -> WDecomposition {
 /// [`w_star_decomposition`] with a caller-owned workspace.
 pub fn w_star_decomposition_in(g: &DirectedGraph, ws: &mut PeelWorkspace) -> WDecomposition {
     ws.decompose(g, true)
+}
+
+/// [`w_decomposition`] behind runtime storage selection: the enum is
+/// matched once, then the full peel runs in the engine kernel
+/// monomorphised for the chosen representation (plain CSR or fused
+/// delta-varint decode). Induce-numbers are reported in the same CSR
+/// out-edge order for both representations, so results are comparable
+/// bit-for-bit.
+pub fn w_decomposition_storage(
+    storage: &DirectedStorage<'_>,
+    ws: &mut PeelWorkspace,
+) -> WDecomposition {
+    ws.decompose_storage(storage, false)
+}
+
+/// Storage-routed counterpart of [`w_star_decomposition`] (see
+/// [`w_decomposition_storage`]).
+pub fn w_star_decomposition_storage(
+    storage: &DirectedStorage<'_>,
+    ws: &mut PeelWorkspace,
+) -> WDecomposition {
+    ws.decompose_storage(storage, true)
 }
 
 /// The seed kernel (full `min_weight` scan per outer iteration, all-edge
@@ -475,6 +497,23 @@ mod tests {
             remaining -= 1;
         }
         induce
+    }
+
+    #[test]
+    fn storage_wrappers_match_direct_calls() {
+        let g = dsd_graph::gen::chung_lu_directed(150, 900, 2.4, 2.2, 11);
+        let c = dsd_graph::CompressedDigraph::from_graph(&g);
+        let mut ws = PeelWorkspace::new();
+        let full = w_decomposition(&g);
+        let warm = w_star_decomposition(&g);
+        for storage in [DirectedStorage::Plain(&g), DirectedStorage::Compressed(&c)] {
+            let f = w_decomposition_storage(&storage, &mut ws);
+            assert_eq!(f.induce_number, full.induce_number);
+            assert_eq!(f.w_star, full.w_star);
+            let w = w_star_decomposition_storage(&storage, &mut ws);
+            assert_eq!(w.induce_number, warm.induce_number);
+            assert_eq!(w.w_star, warm.w_star);
+        }
     }
 
     #[test]

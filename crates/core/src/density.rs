@@ -1,28 +1,29 @@
 //! Density computations (Definitions 1 and 3 of the paper).
 
-use dsd_graph::{DirectedGraph, UndirectedGraph, VertexId};
+use dsd_graph::{DirectedGraph, NeighborAccess, VertexId};
 
 /// Density `|E(S)| / |S|` of the subgraph of `g` induced by `set`
 /// (Definition 1). Duplicate ids in `set` are not supported; returns 0 for
-/// the empty set.
-pub fn undirected_density(g: &UndirectedGraph, set: &[VertexId]) -> f64 {
+/// the empty set. Generic over [`NeighborAccess`], so it serves plain and
+/// compressed storage alike.
+pub fn undirected_density<G: NeighborAccess>(g: &G, set: &[VertexId]) -> f64 {
     set_edges_and_density(g, set).1
 }
 
 /// Returns `(|E(S)|, |E(S)| / |S|)` for the subgraph induced by `set`
 /// (the pair version of [`undirected_density`], used by algorithms that
 /// report `Stats::edges_result` alongside the density).
-pub fn set_edges_and_density(g: &UndirectedGraph, set: &[VertexId]) -> (usize, f64) {
+pub fn set_edges_and_density<G: NeighborAccess>(g: &G, set: &[VertexId]) -> (usize, f64) {
     if set.is_empty() {
         return (0, 0.0);
     }
-    let mut member = vec![false; g.num_vertices()];
+    let mut member = vec![false; g.vertex_count()];
     for &v in set {
         member[v as usize] = true;
     }
     let mut edges = 0usize;
     for &v in set {
-        for &u in g.neighbors(v) {
+        for u in g.neighbors_of(v) {
             if u > v && member[u as usize] {
                 edges += 1;
             }

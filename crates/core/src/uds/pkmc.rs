@@ -35,7 +35,7 @@
 //! stabilise. The h-iteration stays monotone in async mode, so with
 //! `verify_candidate` (the default) every stop remains certified.
 
-use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_graph::{NeighborAccess, UndirectedGraph, UndirectedStorage, VertexId};
 use dsd_telemetry::{self as telemetry, Phase};
 use rayon::prelude::*;
 
@@ -100,9 +100,24 @@ pub fn pkmc_with(g: &UndirectedGraph, config: PkmcConfig) -> PkmcResult {
     pkmc_in(g, config, &mut SweepWorkspace::new())
 }
 
+/// [`pkmc_with`] behind runtime storage selection: the enum is matched
+/// once, then the whole run — sweeps, monitors, candidate verification and
+/// the density report — executes in the kernel monomorphised for the
+/// chosen representation (plain CSR or fused delta-varint decode).
+pub fn pkmc_storage(storage: &UndirectedStorage<'_>, config: PkmcConfig) -> PkmcResult {
+    match storage {
+        UndirectedStorage::Plain(g) => pkmc_in(*g, config, &mut SweepWorkspace::new()),
+        UndirectedStorage::Compressed(c) => pkmc_in(*c, config, &mut SweepWorkspace::new()),
+    }
+}
+
 /// [`pkmc_with`] with a caller-provided sweep workspace, so repeated runs
 /// (benchmark loops, batch serving) perform no steady-state allocation.
-pub fn pkmc_in(g: &UndirectedGraph, config: PkmcConfig, ws: &mut SweepWorkspace) -> PkmcResult {
+pub fn pkmc_in<G: NeighborAccess>(
+    g: &G,
+    config: PkmcConfig,
+    ws: &mut SweepWorkspace,
+) -> PkmcResult {
     let ((vertices, k_star, iterations, early), wall) = timed(|| run(g, config, ws));
     let (edges, density) = set_edges_and_density(g, &vertices);
     PkmcResult {
@@ -115,24 +130,24 @@ pub fn pkmc_in(g: &UndirectedGraph, config: PkmcConfig, ws: &mut SweepWorkspace)
 }
 
 /// Checks that the subgraph induced by `set` has minimum degree ≥ `k`.
-fn induces_min_degree(g: &UndirectedGraph, set: &[VertexId], k: u32) -> bool {
-    let mut member = vec![false; g.num_vertices()];
+fn induces_min_degree<G: NeighborAccess>(g: &G, set: &[VertexId], k: u32) -> bool {
+    let mut member = vec![false; g.vertex_count()];
     for &v in set {
         member[v as usize] = true;
     }
     set.par_iter().all(|&v| {
-        let deg_in = g.neighbors(v).iter().filter(|&&u| member[u as usize]).count();
+        let deg_in = g.neighbors_of(v).filter(|&u| member[u as usize]).count();
         deg_in >= k as usize
     })
 }
 
-fn run(
-    g: &UndirectedGraph,
+fn run<G: NeighborAccess>(
+    g: &G,
     config: PkmcConfig,
     ws: &mut SweepWorkspace,
 ) -> (Vec<VertexId>, u32, usize, bool) {
-    let n = g.num_vertices();
-    if n == 0 || g.num_edges() == 0 {
+    let n = g.vertex_count();
+    if n == 0 || g.arc_count() == 0 {
         return (Vec::new(), 0, 0, false);
     }
     // Lines 1-3: h^(0) = degrees; h_max^(0), s^(0).
@@ -303,6 +318,22 @@ mod tests {
         let b = pkmc(&g);
         assert_eq!(a.vertices, b.vertices);
         assert_eq!(a.stats.iterations, b.stats.iterations);
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::chung_lu(400, 2600, 2.2, seed + 300);
+            let plain = pkmc(&g);
+            let c = dsd_graph::CompressedCsr::from_graph(&g);
+            let fused = pkmc_storage(&UndirectedStorage::Compressed(&c), PkmcConfig::new());
+            let routed = pkmc_storage(&UndirectedStorage::Plain(&g), PkmcConfig::new());
+            assert_eq!(fused.vertices, plain.vertices, "seed {seed}");
+            assert_eq!(fused.k_star, plain.k_star, "seed {seed}");
+            assert_eq!(fused.stats.iterations, plain.stats.iterations, "seed {seed}");
+            assert!((fused.density - plain.density).abs() < 1e-12, "seed {seed}");
+            assert_eq!(routed.vertices, plain.vertices, "seed {seed}");
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::time::Instant;
 
-use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_graph::{NeighborAccess, UndirectedStorage, VertexId};
 use dsd_telemetry::{self as telemetry, Counter, Phase, PhaseTime, RoundSample};
 use rayon::prelude::*;
 
@@ -93,20 +93,25 @@ pub struct SweepWorkspace {
 /// and scans down from `cur`. Returns `min(H, cur)` where `H` is the exact
 /// h-index of the neighbour values; under the monotone h-iteration
 /// (`H ≤ cur` always — Lemma 2) this equals `H` exactly.
+///
+/// Generic over the neighbour iterator so the compressed substrate's
+/// delta-varint decode fuses straight into the bucketing loop — neighbours
+/// are consumed as they decode, never materialised into a slice.
 #[inline]
-fn recompute_capped(
-    neighbors: &[VertexId],
+fn recompute_capped<I: Iterator<Item = VertexId>>(
+    neighbors: I,
+    deg: usize,
     cur: u32,
     h: &[AtomicU32],
     scratch: &mut Vec<u32>,
 ) -> u32 {
-    let cap = (cur as usize).min(neighbors.len());
+    let cap = (cur as usize).min(deg);
     if cap == 0 {
         return 0;
     }
     scratch.clear();
     scratch.resize(cap + 1, 0);
-    for &u in neighbors {
+    for u in neighbors {
         let hu = h[u as usize].load(Ordering::Relaxed) as usize;
         scratch[hu.min(cap)] += 1;
     }
@@ -131,13 +136,12 @@ impl SweepWorkspace {
     /// vector, scratch buffers are cleared and resized. Previously grown
     /// capacity is reused, so a workspace kept across decompositions
     /// performs no steady-state allocation.
-    pub fn bind(&mut self, g: &UndirectedGraph) {
+    pub fn bind<G: NeighborAccess>(&mut self, g: &G) {
         let _init = telemetry::span(Phase::Init);
-        let n = g.num_vertices();
+        let n = g.vertex_count();
         self.n = n;
-        let offsets = g.offsets();
         self.h.clear();
-        self.h.extend((0..n).map(|v| AtomicU32::new((offsets[v + 1] - offsets[v]) as u32)));
+        self.h.extend((0..n).map(|v| AtomicU32::new(g.degree_of(v as VertexId) as u32)));
         self.staged.clear();
         self.staged.resize(n, 0);
         self.mark.clear();
@@ -183,7 +187,7 @@ impl SweepWorkspace {
     /// One sweep recomputing **every** vertex (Algorithm 1's literal
     /// `for v ∈ V in parallel`; no active list is materialised). Returns
     /// the number of vertices whose h-value changed.
-    pub fn sweep_full(&mut self, g: &UndirectedGraph, mode: SweepMode) -> usize {
+    pub fn sweep_full<G: NeighborAccess>(&mut self, g: &G, mode: SweepMode) -> usize {
         if self.staged.len() != self.n {
             // A frontier sweep may have re-sized the staging buffer.
             self.staged.clear();
@@ -191,7 +195,7 @@ impl SweepWorkspace {
         }
         self.last_phases.clear();
         let enabled = telemetry::enabled();
-        let mut read_time = None;
+        let read_time;
         let mut apply_time = None;
         let h = &self.h;
         let changed = match mode {
@@ -203,7 +207,8 @@ impl SweepWorkspace {
                     Vec::new,
                     |scratch, (v, out)| {
                         let cur = h[v].load(Ordering::Relaxed);
-                        *out = recompute_capped(g.neighbors(v as VertexId), cur, h, scratch);
+                        let v = v as VertexId;
+                        *out = recompute_capped(g.neighbors_of(v), g.degree_of(v), cur, h, scratch);
                     },
                 );
                 read_time = t0.map(|t| t.elapsed());
@@ -232,7 +237,9 @@ impl SweepWorkspace {
                     .into_par_iter()
                     .map_init(Vec::new, |scratch, v| {
                         let cur = h[v].load(Ordering::Relaxed);
-                        let new_h = recompute_capped(g.neighbors(v as VertexId), cur, h, scratch);
+                        let vid = v as VertexId;
+                        let deg = g.degree_of(vid);
+                        let new_h = recompute_capped(g.neighbors_of(vid), deg, cur, h, scratch);
                         if new_h != cur {
                             h[v].store(new_h, Ordering::Relaxed);
                             1usize
@@ -282,10 +289,10 @@ impl SweepWorkspace {
     /// One sweep over the current frontier, recording the changed vertices
     /// (for [`advance_frontier`](Self::advance_frontier)). Returns the
     /// number of changed vertices.
-    pub fn sweep_frontier(&mut self, g: &UndirectedGraph, mode: SweepMode) -> usize {
+    pub fn sweep_frontier<G: NeighborAccess>(&mut self, g: &G, mode: SweepMode) -> usize {
         self.last_phases.clear();
         let enabled = telemetry::enabled();
-        let mut read_time = None;
+        let read_time;
         let mut apply_time = None;
         let h = &self.h;
         match mode {
@@ -298,7 +305,7 @@ impl SweepWorkspace {
                     Vec::new,
                     |scratch, (&v, out)| {
                         let cur = h[v as usize].load(Ordering::Relaxed);
-                        *out = recompute_capped(g.neighbors(v), cur, h, scratch);
+                        *out = recompute_capped(g.neighbors_of(v), g.degree_of(v), cur, h, scratch);
                     },
                 );
                 read_time = t0.map(|t| t.elapsed());
@@ -331,7 +338,13 @@ impl SweepWorkspace {
                         || (Vec::new(), Vec::new()),
                         |(mut acc, mut scratch), &v| {
                             let cur = h[v as usize].load(Ordering::Relaxed);
-                            let new_h = recompute_capped(g.neighbors(v), cur, h, &mut scratch);
+                            let new_h = recompute_capped(
+                                g.neighbors_of(v),
+                                g.degree_of(v),
+                                cur,
+                                h,
+                                &mut scratch,
+                            );
                             if new_h != cur {
                                 h[v as usize].store(new_h, Ordering::Relaxed);
                                 acc.push(v);
@@ -357,14 +370,14 @@ impl SweepWorkspace {
     /// built in parallel (rayon fold/reduce with an atomic claim bitmap)
     /// instead of the seed's serial scan. The bitmap is reset before
     /// returning, so the workspace is sweep-ready again.
-    pub fn advance_frontier(&mut self, g: &UndirectedGraph) {
+    pub fn advance_frontier<G: NeighborAccess>(&mut self, g: &G) {
         let _frontier = telemetry::span(Phase::Frontier);
         let mark = &self.mark;
         let next: Vec<VertexId> = self
             .changed
             .par_iter()
             .fold(Vec::new, |mut acc, &v| {
-                for &u in g.neighbors(v) {
+                for u in g.neighbors_of(v) {
                     if !mark[u as usize].swap(true, Ordering::Relaxed) {
                         acc.push(u);
                     }
@@ -385,12 +398,12 @@ impl SweepWorkspace {
     /// remaining vertices contribute their degree. Deterministic in sync
     /// mode, where the h-state at every sweep boundary is
     /// schedule-independent. Only called while tracing.
-    pub(crate) fn examined_full(&self, g: &UndirectedGraph) -> u64 {
+    pub(crate) fn examined_full<G: NeighborAccess>(&self, g: &G) -> u64 {
         (0..self.n)
             .into_par_iter()
             .map(|v| {
                 if self.h[v].load(Ordering::Relaxed) > 0 {
-                    g.neighbors(v as VertexId).len() as u64
+                    g.degree_of(v as VertexId) as u64
                 } else {
                     0
                 }
@@ -400,12 +413,12 @@ impl SweepWorkspace {
 
     /// Adjacency entries the next **frontier** sweep will examine (the
     /// active-list analogue of [`examined_full`](Self::examined_full)).
-    fn examined_active(&self, g: &UndirectedGraph) -> u64 {
+    fn examined_active<G: NeighborAccess>(&self, g: &G) -> u64 {
         self.active
             .par_iter()
             .map(|&v| {
                 if self.h[v as usize].load(Ordering::Relaxed) > 0 {
-                    g.neighbors(v).len() as u64
+                    g.degree_of(v) as u64
                 } else {
                     0
                 }
@@ -437,7 +450,7 @@ impl SweepWorkspace {
     /// Runs sweeps to the fixpoint with full resweeps (faithful to
     /// Algorithm 1: every vertex recomputed every sweep — see DESIGN.md
     /// §2a), returning the number of sweeps in which a value changed.
-    pub fn run_full(&mut self, g: &UndirectedGraph, mode: SweepMode) -> usize {
+    pub fn run_full<G: NeighborAccess>(&mut self, g: &G, mode: SweepMode) -> usize {
         self.bind(g);
         let mut iterations = 0usize;
         loop {
@@ -455,7 +468,7 @@ impl SweepWorkspace {
     /// Runs sweeps to the fixpoint with frontier-driven resweeps (this
     /// reproduction's extension: after the first sweep only vertices with
     /// a changed neighbour are recomputed), returning the sweep count.
-    pub fn run_frontier(&mut self, g: &UndirectedGraph, mode: SweepMode) -> usize {
+    pub fn run_frontier<G: NeighborAccess>(&mut self, g: &G, mode: SweepMode) -> usize {
         self.bind(g);
         self.seed_all_active();
         let mut iterations = 0usize;
@@ -472,13 +485,37 @@ impl SweepWorkspace {
         }
         iterations
     }
+
+    /// [`run_full`](Self::run_full) behind runtime storage selection: the
+    /// enum is matched **once** here, then the whole sweep loop runs in the
+    /// monomorphised kernel for the chosen representation (plain CSR or
+    /// fused delta-varint decode).
+    pub fn run_full_storage(&mut self, storage: &UndirectedStorage<'_>, mode: SweepMode) -> usize {
+        match storage {
+            UndirectedStorage::Plain(g) => self.run_full(*g, mode),
+            UndirectedStorage::Compressed(c) => self.run_full(*c, mode),
+        }
+    }
+
+    /// [`run_frontier`](Self::run_frontier) behind runtime storage
+    /// selection; see [`run_full_storage`](Self::run_full_storage).
+    pub fn run_frontier_storage(
+        &mut self,
+        storage: &UndirectedStorage<'_>,
+        mode: SweepMode,
+    ) -> usize {
+        match storage {
+            UndirectedStorage::Plain(g) => self.run_frontier(*g, mode),
+            UndirectedStorage::Compressed(c) => self.run_frontier(*c, mode),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::uds::bz::bz_decomposition;
-    use dsd_graph::UndirectedGraphBuilder;
+    use dsd_graph::{UndirectedGraph, UndirectedGraphBuilder};
 
     fn filament_graph(seed: u64) -> UndirectedGraph {
         let base = dsd_graph::gen::chung_lu(300, 1500, 2.3, seed);
@@ -576,7 +613,9 @@ mod tests {
                 .chain(std::iter::once(AtomicU32::new(len as u32)))
                 .collect();
             // cur = deg upper-bounds the h-index, so capping is exact.
-            let capped = recompute_capped(g.neighbors(len as u32), len as u32, &h, &mut scratch);
+            let nbrs = g.neighbors(len as u32);
+            let capped =
+                recompute_capped(nbrs.iter().copied(), nbrs.len(), len as u32, &h, &mut scratch);
             assert_eq!(capped, exact, "values {vals:?}");
         }
     }
@@ -587,5 +626,24 @@ mod tests {
         let mut ws = SweepWorkspace::new();
         assert_eq!(ws.run_full(&g, SweepMode::Synchronous), 0);
         assert!(ws.h_values().is_empty());
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain_bit_for_bit() {
+        for seed in 0..3 {
+            let g = filament_graph(seed + 60);
+            let c = dsd_graph::CompressedCsr::from_graph(&g);
+            let mut ws = SweepWorkspace::new();
+            let plain_iters = ws.run_full(&g, SweepMode::Synchronous);
+            let plain = ws.h_values();
+            let fused_iters =
+                ws.run_full_storage(&UndirectedStorage::Compressed(&c), SweepMode::Synchronous);
+            assert_eq!(ws.h_values(), plain, "seed {seed}");
+            assert_eq!(fused_iters, plain_iters, "seed {seed}");
+            ws.run_frontier_storage(&UndirectedStorage::Compressed(&c), SweepMode::Synchronous);
+            assert_eq!(ws.h_values(), plain, "frontier seed {seed}");
+            ws.run_full_storage(&UndirectedStorage::Plain(&g), SweepMode::Synchronous);
+            assert_eq!(ws.h_values(), plain, "plain storage seed {seed}");
+        }
     }
 }

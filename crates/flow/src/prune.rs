@@ -13,16 +13,20 @@
 //! but the dependency points the other way: `dsd-core` builds on
 //! `dsd-flow`.)
 
-use dsd_graph::UndirectedGraph;
+use dsd_graph::{NeighborAccess, UndirectedStorage};
 
 /// Computes the core number of every vertex with the standard `O(m)`
 /// bucket-peel (Batagelj–Zaveršnik).
-pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
-    let n = g.num_vertices();
+///
+/// Generic over [`NeighborAccess`], so the peel loop consumes the
+/// compressed substrate's delta-varint cursor directly (one sequential
+/// decode per vertex at removal time) with no decompressed copy.
+pub fn core_numbers<G: NeighborAccess>(g: &G) -> Vec<u32> {
+    let n = g.vertex_count();
     if n == 0 {
         return Vec::new();
     }
-    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as u32) as u32).collect();
+    let mut deg: Vec<u32> = (0..n).map(|v| g.degree_of(v as u32) as u32).collect();
     let max_deg = deg.iter().copied().max().unwrap_or(0) as usize;
     // Bucket sort vertices by degree.
     let mut bin = vec![0u32; max_deg + 2];
@@ -51,7 +55,7 @@ pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
     // Peel in nondecreasing degree order; deg[] becomes the core number.
     for i in 0..n {
         let v = order[i] as usize;
-        for &u in g.neighbors(v as u32) {
+        for u in g.neighbors_of(v as u32) {
             let u = u as usize;
             if deg[u] > deg[v] {
                 let du = deg[u] as usize;
@@ -71,10 +75,19 @@ pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
     deg
 }
 
+/// [`core_numbers`] behind runtime storage selection — the enum is matched
+/// once, the whole peel runs monomorphised for that representation.
+pub fn core_numbers_storage(storage: &UndirectedStorage<'_>) -> Vec<u32> {
+    match storage {
+        UndirectedStorage::Plain(g) => core_numbers(*g),
+        UndirectedStorage::Compressed(c) => core_numbers(*c),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsd_graph::UndirectedGraphBuilder;
+    use dsd_graph::{UndirectedGraph, UndirectedGraphBuilder};
 
     fn graph(n: usize, edges: &[(u32, u32)]) -> UndirectedGraph {
         UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap()
@@ -149,5 +162,15 @@ mod tests {
             let g = b.build().unwrap();
             assert_eq!(core_numbers(&g), core_numbers_naive(&g), "trial {trial}");
         }
+    }
+
+    #[test]
+    fn compressed_storage_matches_plain() {
+        let g = graph(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (2, 4), (1, 5)]);
+        let c = dsd_graph::CompressedCsr::from_graph(&g);
+        let plain = core_numbers_storage(&UndirectedStorage::Plain(&g));
+        let fused = core_numbers_storage(&UndirectedStorage::Compressed(&c));
+        assert_eq!(plain, core_numbers(&g));
+        assert_eq!(fused, plain);
     }
 }

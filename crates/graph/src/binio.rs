@@ -21,19 +21,60 @@
 //! against the file size before any payload allocation on the path-based
 //! readers, and stream readers cap the header-trusted pre-allocation so a
 //! lying header cannot trigger a giant up-front allocation.
+//!
+//! ## Version 2: zero-copy compressed sections
+//!
+//! Version 2 stores the delta-varint compressed substrate
+//! ([`crate::compress`]) instead of an edge list, behind the same magic and
+//! kind bytes so loaders dispatch on the version field (v1 files keep
+//! loading through the legacy path):
+//!
+//! ```text
+//! magic    8 bytes    b"DSDGRAPH"
+//! kind     1 byte     0 = undirected, 1 = directed
+//! version  1 byte     2
+//! flags    2 bytes    reserved, zero
+//! pad      4 bytes    zero (aligns the u64 fields)
+//! n        8 bytes    u64 vertex count
+//! arcs     8 bytes    u64 stored arcs per adjacency side
+//! nsec     8 bytes    u64 section count (3 undirected / 6 directed)
+//! table    nsec×16    (offset u64, length u64) per section, offsets
+//!                     relative to the payload start
+//! payload  ...        sections, each 8-byte aligned
+//! ```
+//!
+//! The fixed prefix is 40 bytes and the table is a multiple of 16, so the
+//! payload start — and therefore every section — stays 8-byte aligned in
+//! the file. Loading `mmap`s the file read-only and builds
+//! [`CompressedCsr`] / [`CompressedDigraph`] views directly over the
+//! mapping (pointer fixup only — no materialisation pass); platforms
+//! without `mmap` fall back to one buffered read of the file. Every count
+//! and section bound is validated with checked `u64` arithmetic against
+//! the real file length *before* any allocation, and rejected with a
+//! structured [`GraphError::Format`] rather than a capacity panic.
 
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
+use crate::compress::{align8, ByteBuf, CompressedAdj, CompressedCsr, CompressedDigraph};
 use crate::{
     DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
     UndirectedGraphBuilder, VertexId,
 };
 
+pub(crate) use mapping::MapBacking;
+
 const MAGIC: &[u8; 8] = b"DSDGRAPH";
 const VERSION: u8 = 1;
+const VERSION2: u8 = 2;
 const KIND_UNDIRECTED: u8 = 0;
 const KIND_DIRECTED: u8 = 1;
+
+/// Fixed v2 prefix: magic + kind + version + flags + pad + n + arcs + nsec.
+const V2_PREFIX_BYTES: usize = 8 + 1 + 1 + 2 + 4 + 8 + 8 + 8;
+/// Sections per compressed adjacency side (degrees, offsets, data).
+const SECTIONS_PER_SIDE: usize = 3;
 
 /// Fixed header size: magic + kind + version + n + m.
 const HEADER_BYTES: u64 = 8 + 1 + 1 + 8 + 8;
@@ -76,7 +117,9 @@ fn write_header<W: Write>(w: &mut W, kind: u8, n: u64, m: u64) -> Result<()> {
     Ok(())
 }
 
-fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(u64, u64)> {
+/// Reads and checks the 10-byte magic/kind/version prefix shared by every
+/// format version, returning the version byte for dispatch.
+fn read_prefix<R: Read>(r: &mut R, expected_kind: u8) -> Result<u8> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -93,12 +136,17 @@ fn read_header<R: Read>(r: &mut R, expected_kind: u8) -> Result<(u64, u64)> {
             message: format!("graph kind mismatch: file has {}, expected {expected_kind}", kv[0]),
         });
     }
-    if kv[1] != VERSION {
+    if kv[1] != VERSION && kv[1] != VERSION2 {
         return Err(GraphError::Parse {
             line: 0,
             message: format!("unsupported format version {}", kv[1]),
         });
     }
+    Ok(kv[1])
+}
+
+/// Reads the v1 `(n, m)` fields that follow the prefix.
+fn read_v1_counts<R: Read>(r: &mut R) -> Result<(u64, u64)> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     let n = u64::from_le_bytes(buf);
@@ -159,13 +207,24 @@ pub fn write_undirected_binary<W: Write>(g: &UndirectedGraph, writer: W) -> Resu
 
 fn read_undirected_inner<R: Read>(reader: R, total_len: Option<u64>) -> Result<UndirectedGraph> {
     let mut r = BufReader::new(reader);
-    let (n, m) = read_header(&mut r, KIND_UNDIRECTED)?;
-    if n > u32::MAX as u64 + 1 {
-        return Err(GraphError::Parse { line: 0, message: "vertex count exceeds u32 ids".into() });
+    match read_prefix(&mut r, KIND_UNDIRECTED)? {
+        VERSION2 => {
+            let buf = slurp_v2_rest(&mut r, KIND_UNDIRECTED)?;
+            Ok(v2_undirected_from_buf(Arc::new(ByteBuf::Owned(buf)))?.decompress())
+        }
+        _ => {
+            let (n, m) = read_v1_counts(&mut r)?;
+            if n > u32::MAX as u64 + 1 {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: "vertex count exceeds u32 ids".into(),
+                });
+            }
+            validate_declared_len(m, total_len)?;
+            let edges = read_edges(&mut r, m as usize)?;
+            UndirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
+        }
     }
-    validate_declared_len(m, total_len)?;
-    let edges = read_edges(&mut r, m as usize)?;
-    UndirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
 }
 
 /// Reads an undirected graph from the binary format.
@@ -187,13 +246,24 @@ pub fn write_directed_binary<W: Write>(g: &DirectedGraph, writer: W) -> Result<(
 
 fn read_directed_inner<R: Read>(reader: R, total_len: Option<u64>) -> Result<DirectedGraph> {
     let mut r = BufReader::new(reader);
-    let (n, m) = read_header(&mut r, KIND_DIRECTED)?;
-    if n > u32::MAX as u64 + 1 {
-        return Err(GraphError::Parse { line: 0, message: "vertex count exceeds u32 ids".into() });
+    match read_prefix(&mut r, KIND_DIRECTED)? {
+        VERSION2 => {
+            let buf = slurp_v2_rest(&mut r, KIND_DIRECTED)?;
+            Ok(v2_directed_from_buf(Arc::new(ByteBuf::Owned(buf)))?.decompress())
+        }
+        _ => {
+            let (n, m) = read_v1_counts(&mut r)?;
+            if n > u32::MAX as u64 + 1 {
+                return Err(GraphError::Parse {
+                    line: 0,
+                    message: "vertex count exceeds u32 ids".into(),
+                });
+            }
+            validate_declared_len(m, total_len)?;
+            let edges = read_edges(&mut r, m as usize)?;
+            DirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
+        }
     }
-    validate_declared_len(m, total_len)?;
-    let edges = read_edges(&mut r, m as usize)?;
-    DirectedGraphBuilder::with_capacity(n as usize, edges.len()).add_edges(edges).build()
 }
 
 /// Reads a directed graph from the binary format.
@@ -226,6 +296,336 @@ pub fn read_directed_binary_path<P: AsRef<Path>>(path: P) -> Result<DirectedGrap
     let file = std::fs::File::open(path)?;
     let len = file.metadata()?.len();
     read_directed_inner(file, Some(len))
+}
+
+// ---------------------------------------------------------------------------
+// Version 2: compressed sections, zero-copy load
+// ---------------------------------------------------------------------------
+
+fn format_err(message: impl Into<String>) -> GraphError {
+    GraphError::Format { message: message.into() }
+}
+
+/// Re-assembles the full file bytes on a stream reader that has already
+/// consumed the 10-byte prefix (the buffered fallback path; the `mmap`
+/// loaders never copy).
+fn slurp_v2_rest<R: Read>(r: &mut R, kind: u8) -> Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(V2_PREFIX_BYTES);
+    buf.extend_from_slice(MAGIC);
+    buf.push(kind);
+    buf.push(VERSION2);
+    r.read_to_end(&mut buf)?;
+    Ok(buf)
+}
+
+struct V2Header {
+    n: usize,
+    arcs: u64,
+    /// Absolute `(start, len)` byte ranges of each section in the file.
+    sections: Vec<(usize, usize)>,
+}
+
+#[inline]
+fn le_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// Parses and validates a v2 header from the full file bytes. All bounds
+/// are checked with u64 arithmetic against the real length before any
+/// section view is handed out.
+fn parse_v2_header(bytes: &[u8], expected_kind: u8, expected_sections: usize) -> Result<V2Header> {
+    if bytes.len() < V2_PREFIX_BYTES {
+        return Err(format_err(format!(
+            "file too short for a v2 header: {} bytes, need {V2_PREFIX_BYTES}",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(format_err("bad magic; not a DSDGRAPH file"));
+    }
+    if bytes[8] != expected_kind {
+        return Err(format_err(format!(
+            "graph kind mismatch: file has {}, expected {expected_kind}",
+            bytes[8]
+        )));
+    }
+    if bytes[9] != VERSION2 {
+        return Err(format_err(format!("expected format version 2, file has {}", bytes[9])));
+    }
+    let n = le_u64(bytes, 16);
+    let arcs = le_u64(bytes, 24);
+    let nsec = le_u64(bytes, 32);
+    if n > u32::MAX as u64 + 1 {
+        return Err(format_err(format!("vertex count {n} exceeds u32 ids")));
+    }
+    if nsec as usize != expected_sections {
+        return Err(format_err(format!(
+            "section count mismatch: file declares {nsec}, format needs {expected_sections}"
+        )));
+    }
+    let table_bytes = (nsec as usize)
+        .checked_mul(16)
+        .ok_or_else(|| format_err("section table size overflows"))?;
+    let payload_start = V2_PREFIX_BYTES
+        .checked_add(table_bytes)
+        .ok_or_else(|| format_err("section table size overflows"))?;
+    if payload_start > bytes.len() {
+        return Err(format_err(format!(
+            "section table past end of file: need {payload_start} bytes, have {}",
+            bytes.len()
+        )));
+    }
+    let payload_len = (bytes.len() - payload_start) as u64;
+    let mut sections = Vec::with_capacity(nsec as usize);
+    for s in 0..nsec as usize {
+        let off = le_u64(bytes, V2_PREFIX_BYTES + s * 16);
+        let len = le_u64(bytes, V2_PREFIX_BYTES + s * 16 + 8);
+        let end = off
+            .checked_add(len)
+            .ok_or_else(|| format_err(format!("section {s} extent overflows u64")))?;
+        if end > payload_len {
+            return Err(format_err(format!(
+                "section {s} ({off}+{len} bytes) exceeds payload of {payload_len} bytes"
+            )));
+        }
+        if off % 8 != 0 {
+            return Err(format_err(format!("section {s} misaligned (offset {off})")));
+        }
+        sections.push((payload_start + off as usize, len as usize));
+    }
+    Ok(V2Header { n: n as usize, arcs, sections })
+}
+
+fn adj_from_sections(buf: &Arc<ByteBuf>, h: &V2Header, side: usize) -> Result<CompressedAdj> {
+    let base = side * SECTIONS_PER_SIDE;
+    let (d0, d1) = h.sections[base];
+    let (o0, o1) = h.sections[base + 1];
+    let (a0, a1) = h.sections[base + 2];
+    CompressedAdj::from_sections(buf.clone(), h.n, h.arcs, d0..d0 + d1, o0..o0 + o1, a0..a0 + a1)
+}
+
+fn v2_undirected_from_buf(buf: Arc<ByteBuf>) -> Result<CompressedCsr> {
+    let h = parse_v2_header(buf.as_slice(), KIND_UNDIRECTED, SECTIONS_PER_SIDE)?;
+    if h.arcs % 2 != 0 {
+        return Err(format_err(format!("undirected arc count {} is odd", h.arcs)));
+    }
+    Ok(CompressedCsr::from_adj(adj_from_sections(&buf, &h, 0)?))
+}
+
+fn v2_directed_from_buf(buf: Arc<ByteBuf>) -> Result<CompressedDigraph> {
+    let h = parse_v2_header(buf.as_slice(), KIND_DIRECTED, 2 * SECTIONS_PER_SIDE)?;
+    let out = adj_from_sections(&buf, &h, 0)?;
+    let inc = adj_from_sections(&buf, &h, 1)?;
+    CompressedDigraph::from_sides(out, inc)
+}
+
+/// Writes the v2 prefix, section table and 8-aligned section payloads.
+fn write_v2<W: Write>(writer: W, kind: u8, n: u64, arcs: u64, sections: &[&[u8]]) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&[kind, VERSION2, 0, 0])?;
+    w.write_all(&[0u8; 4])?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&arcs.to_le_bytes())?;
+    w.write_all(&(sections.len() as u64).to_le_bytes())?;
+    let mut off = 0usize;
+    let mut table = Vec::with_capacity(sections.len());
+    for s in sections {
+        let start = align8(off);
+        table.push((start as u64, s.len() as u64));
+        off = start + s.len();
+    }
+    for &(start, len) in &table {
+        w.write_all(&start.to_le_bytes())?;
+        w.write_all(&len.to_le_bytes())?;
+    }
+    let mut written = 0usize;
+    for (s, &(start, _)) in sections.iter().zip(&table) {
+        let pad = start as usize - written;
+        w.write_all(&[0u8; 8][..pad])?;
+        w.write_all(s)?;
+        written = start as usize + s.len();
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn side_slices<'a>(adj: &'a CompressedAdj) -> [&'a [u8]; 3] {
+    let bytes = adj.backing().as_slice();
+    let [d, o, a] = adj.section_ranges();
+    [&bytes[d], &bytes[o], &bytes[a]]
+}
+
+/// Writes a compressed undirected graph as a binio v2 stream.
+pub fn write_compressed_undirected<W: Write>(c: &CompressedCsr, writer: W) -> Result<()> {
+    let s = side_slices(c.adj());
+    write_v2(writer, KIND_UNDIRECTED, c.num_vertices() as u64, c.adj().num_arcs(), &s)
+}
+
+/// Writes a compressed directed graph as a binio v2 stream.
+pub fn write_compressed_directed<W: Write>(c: &CompressedDigraph, writer: W) -> Result<()> {
+    let out = side_slices(c.out_adj());
+    let inc = side_slices(c.in_adj());
+    let all = [out[0], out[1], out[2], inc[0], inc[1], inc[2]];
+    write_v2(writer, KIND_DIRECTED, c.num_vertices() as u64, c.out_adj().num_arcs(), &all)
+}
+
+/// Convenience: writes a compressed undirected graph to a v2 file.
+pub fn write_compressed_undirected_path<P: AsRef<Path>>(c: &CompressedCsr, path: P) -> Result<()> {
+    write_compressed_undirected(c, std::fs::File::create(path)?)
+}
+
+/// Convenience: writes a compressed directed graph to a v2 file.
+pub fn write_compressed_directed_path<P: AsRef<Path>>(
+    c: &CompressedDigraph,
+    path: P,
+) -> Result<()> {
+    write_compressed_directed(c, std::fs::File::create(path)?)
+}
+
+/// Maps (or, where `mmap` is unavailable, buffer-reads) a v2 file into a
+/// shared byte backing. The mapped variant is the zero-copy fast path: the
+/// section views point straight into the page cache.
+fn v2_backing<P: AsRef<Path>>(path: P) -> Result<Arc<ByteBuf>> {
+    let file = std::fs::File::open(path)?;
+    match MapBacking::map(&file) {
+        Ok(m) => Ok(Arc::new(ByteBuf::Mapped(m))),
+        Err(_) => {
+            let mut buf = Vec::new();
+            BufReader::new(file).read_to_end(&mut buf)?;
+            Ok(Arc::new(ByteBuf::Owned(buf)))
+        }
+    }
+}
+
+/// Loads a compressed undirected graph from a v2 file, zero-copy via
+/// `mmap` where available (buffered read otherwise). Section bounds,
+/// offsets monotonicity and degree/arc agreement are validated before the
+/// view is returned; the neighbour payload itself is only touched as
+/// cursors decode it.
+pub fn load_compressed_undirected_path<P: AsRef<Path>>(path: P) -> Result<CompressedCsr> {
+    v2_undirected_from_buf(v2_backing(path)?)
+}
+
+/// Loads a compressed directed graph from a v2 file; see
+/// [`load_compressed_undirected_path`].
+pub fn load_compressed_directed_path<P: AsRef<Path>>(path: P) -> Result<CompressedDigraph> {
+    v2_directed_from_buf(v2_backing(path)?)
+}
+
+/// The workspace's one `unsafe` island: a read-only whole-file `mmap`.
+///
+/// Everything else in the crate is `#![deny(unsafe_code)]`-clean; this
+/// module wraps the two raw syscalls (`mmap`/`munmap`, reached through the
+/// libc symbols the Rust standard library already links on unix) behind a
+/// bounds-owning RAII handle whose only exposure is `as_slice`. On
+/// non-unix targets `map` reports unsupported and callers take the
+/// buffered-read fallback.
+#[allow(unsafe_code)]
+pub(crate) mod mapping {
+    use std::fs::File;
+    use std::io;
+
+    /// A read-only mapping of an entire file (unix), or an uninhabited
+    /// placeholder on targets without `mmap`.
+    #[derive(Debug)]
+    pub(crate) struct MapBacking {
+        #[cfg(unix)]
+        ptr: *const u8,
+        #[cfg(unix)]
+        len: usize,
+        #[cfg(not(unix))]
+        never: std::convert::Infallible,
+    }
+
+    #[cfg(unix)]
+    mod ffi {
+        use std::os::raw::{c_int, c_void};
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: c_int,
+                flags: c_int,
+                fd: c_int,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        }
+
+        pub const PROT_READ: c_int = 1;
+        pub const MAP_PRIVATE: c_int = 2;
+    }
+
+    impl MapBacking {
+        /// Maps `file` read-only in full. Fails (cleanly, so callers can
+        /// fall back to a buffered read) on zero-length files, mapping
+        /// errors, or non-unix targets.
+        #[cfg(unix)]
+        pub(crate) fn map(file: &File) -> io::Result<Self> {
+            use std::os::unix::io::AsRawFd;
+            let len = file.metadata()?.len();
+            if len == 0 || len > usize::MAX as u64 {
+                return Err(io::Error::new(io::ErrorKind::InvalidInput, "unmappable length"));
+            }
+            let len = len as usize;
+            // SAFETY: a fresh PROT_READ/MAP_PRIVATE mapping of `len` bytes
+            // over a valid fd; the kernel either returns MAP_FAILED (−1)
+            // or a page-aligned region of exactly `len` readable bytes
+            // that stays valid until `munmap` in `Drop`. The region is
+            // never written through and never aliased mutably.
+            let ptr = unsafe {
+                ffi::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    ffi::PROT_READ,
+                    ffi::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr: ptr as *const u8, len })
+        }
+
+        #[cfg(not(unix))]
+        pub(crate) fn map(_file: &File) -> io::Result<Self> {
+            Err(io::Error::new(io::ErrorKind::Unsupported, "mmap unavailable on this target"))
+        }
+
+        /// The mapped bytes.
+        #[inline]
+        pub(crate) fn as_slice(&self) -> &[u8] {
+            #[cfg(unix)]
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes (established in `map`, released only in `Drop`).
+            unsafe {
+                std::slice::from_raw_parts(self.ptr, self.len)
+            }
+            #[cfg(not(unix))]
+            match self.never {}
+        }
+    }
+
+    #[cfg(unix)]
+    impl Drop for MapBacking {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the exact region returned by `mmap`.
+            unsafe {
+                ffi::munmap(self.ptr as *mut _, self.len);
+            }
+        }
+    }
+
+    // SAFETY: the mapping is read-only for its entire lifetime; shared
+    // references across threads observe immutable bytes.
+    #[cfg(unix)]
+    unsafe impl Send for MapBacking {}
+    #[cfg(unix)]
+    unsafe impl Sync for MapBacking {}
 }
 
 #[cfg(test)]
@@ -384,6 +784,103 @@ mod tests {
         write_undirected_binary_path(&g, &path).unwrap();
         let g2 = read_undirected_binary_path(&path).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn v2_undirected_mmap_round_trip() {
+        let g = crate::gen::chung_lu(400, 2000, 2.3, 11);
+        let c = CompressedCsr::from_graph(&g);
+        let dir = std::env::temp_dir().join("dsd_binio_v2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("u.bin2");
+        write_compressed_undirected_path(&c, &path).unwrap();
+        let loaded = load_compressed_undirected_path(&path).unwrap();
+        assert_eq!(loaded.decompress(), g);
+        // Cursors decode straight off the mapping.
+        for v in g.vertices() {
+            let got: Vec<VertexId> = loaded.cursor(v).collect();
+            assert_eq!(got, g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn v2_directed_mmap_round_trip() {
+        let g = crate::gen::erdos_renyi_directed(200, 900, 13);
+        let c = CompressedDigraph::from_graph(&g);
+        let dir = std::env::temp_dir().join("dsd_binio_v2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.bin2");
+        write_compressed_directed_path(&c, &path).unwrap();
+        let loaded = load_compressed_directed_path(&path).unwrap();
+        assert_eq!(loaded.decompress(), g);
+    }
+
+    #[test]
+    fn v2_loads_through_version_dispatching_v1_reader() {
+        // A v2 stream fed to the legacy edge-list entry point decompresses
+        // transparently — old call sites keep working on new files.
+        let g = crate::gen::chung_lu(120, 600, 2.3, 3);
+        let c = CompressedCsr::from_graph(&g);
+        let mut buf = Vec::new();
+        write_compressed_undirected(&c, &mut buf).unwrap();
+        let g2 = read_undirected_binary(buf.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn v1_files_still_load_after_v2() {
+        // Explicit freeze of the v1 on-disk bytes: hand-built header+payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DSDGRAPH");
+        buf.push(0);
+        buf.push(1); // version 1
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        for (u, v) in [(0u32, 1u32), (1, 2)] {
+            buf.extend_from_slice(&u.to_le_bytes());
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let g = read_undirected_binary(buf.as_slice()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn v2_lying_section_table_rejected_without_allocation() {
+        let g = crate::gen::erdos_renyi(40, 100, 5);
+        let c = CompressedCsr::from_graph(&g);
+        let mut buf = Vec::new();
+        write_compressed_undirected(&c, &mut buf).unwrap();
+        // Claim a section far beyond the payload.
+        let table_at = super::V2_PREFIX_BYTES;
+        buf[table_at + 8..table_at + 16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Format { .. }), "{err}");
+        assert!(err.to_string().contains("exceeds payload"), "{err}");
+    }
+
+    #[test]
+    fn v2_truncated_rejected() {
+        let g = crate::gen::erdos_renyi(40, 100, 5);
+        let c = CompressedCsr::from_graph(&g);
+        let mut buf = Vec::new();
+        write_compressed_undirected(&c, &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, GraphError::Format { .. }), "{err}");
+    }
+
+    #[test]
+    fn v2_degree_sum_mismatch_rejected() {
+        let g = crate::gen::erdos_renyi(40, 100, 5);
+        let c = CompressedCsr::from_graph(&g);
+        let mut buf = Vec::new();
+        write_compressed_undirected(&c, &mut buf).unwrap();
+        // Corrupt the declared arc count: header-level counts must agree
+        // with the degree table.
+        buf[24..32].copy_from_slice(&(g.adjacency().len() as u64 + 2).to_le_bytes());
+        let err = read_undirected_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("arc count"), "{err}");
     }
 
     #[test]

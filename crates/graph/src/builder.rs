@@ -77,6 +77,23 @@ impl UndirectedGraphBuilder {
         ingest::undirected_from_parts(self.n, &[&self.edges])
     }
 
+    /// Like [`build`](Self::build), but routes construction through the
+    /// spill-mode shard pipeline ([`crate::ingest::undirected_from_parts_spill`])
+    /// so peak ingest RSS is bounded by `shard_arcs` instead of the total
+    /// arc count. Result and error behaviour are bit-identical to `build`.
+    pub fn build_spill(self, shard_arcs: usize) -> Result<UndirectedGraph> {
+        let cfg = ingest::SpillConfig::with_shard_arcs(shard_arcs);
+        ingest::undirected_from_parts_spill(self.n, &[&self.edges], &cfg)
+    }
+
+    /// Like [`build_spill`](Self::build_spill), but streams the merged
+    /// shards straight into the delta-varint encoder, never materialising
+    /// the plain adjacency array.
+    pub fn build_spill_compressed(self, shard_arcs: usize) -> Result<crate::CompressedCsr> {
+        let cfg = ingest::SpillConfig::with_shard_arcs(shard_arcs);
+        ingest::undirected_compressed_from_parts_spill(self.n, &[&self.edges], &cfg)
+    }
+
     /// The seed construction: serial `O(m)` validation, canonicalise each
     /// edge as `(min, max)`, global parallel sort, dedup, then CSR fill.
     /// `O(m log m)`; kept as the parity oracle and ingest-bench baseline.
@@ -191,6 +208,22 @@ impl DirectedGraphBuilder {
     /// input, including error payloads.
     pub fn build(self) -> Result<DirectedGraph> {
         ingest::directed_from_parts(self.n, &[&self.edges])
+    }
+
+    /// Like [`build`](Self::build), but routes construction through the
+    /// spill-mode shard pipeline ([`crate::ingest::directed_from_parts_spill`])
+    /// with peak ingest RSS bounded by `shard_arcs`. Bit-identical results
+    /// and errors.
+    pub fn build_spill(self, shard_arcs: usize) -> Result<DirectedGraph> {
+        let cfg = ingest::SpillConfig::with_shard_arcs(shard_arcs);
+        ingest::directed_from_parts_spill(self.n, &[&self.edges], &cfg)
+    }
+
+    /// Like [`build_spill`](Self::build_spill), but encodes both compressed
+    /// adjacency sides directly from the merged shard streams.
+    pub fn build_spill_compressed(self, shard_arcs: usize) -> Result<crate::CompressedDigraph> {
+        let cfg = ingest::SpillConfig::with_shard_arcs(shard_arcs);
+        ingest::directed_compressed_from_parts_spill(self.n, &[&self.edges], &cfg)
     }
 
     /// The seed construction: serial validation, global parallel arc sort,
@@ -356,6 +389,26 @@ mod tests {
         let legacy = UndirectedGraphBuilder::new(5).add_edges(edges).build_legacy().unwrap_err();
         assert_eq!(engine.to_string(), legacy.to_string());
         assert!(matches!(engine, GraphError::VertexOutOfRange { vertex: 7, n: 5 }));
+    }
+
+    #[test]
+    fn spill_build_matches_build_and_legacy() {
+        let edges: Vec<(u32, u32)> = (0..3_000u32)
+            .map(|i| ((i * 13) % 97, (i * 29 + 5) % 97))
+            .chain([(0, 0), (96, 96), (5, 4), (4, 5), (5, 4)])
+            .collect();
+        let mk = || UndirectedGraphBuilder::new(97).add_edges(edges.iter().copied());
+        let spill = mk().build_spill(0).unwrap(); // clamps to the 1024-arc floor → many shards
+        assert_eq!(spill, mk().build().unwrap());
+        assert_eq!(spill, mk().build_legacy().unwrap());
+        let mkd = || DirectedGraphBuilder::new(97).add_edges(edges.iter().copied());
+        let dspill = mkd().build_spill(0).unwrap();
+        assert_eq!(dspill, mkd().build().unwrap());
+        assert_eq!(dspill, mkd().build_legacy().unwrap());
+        let compressed = mk().build_spill_compressed(0).unwrap();
+        assert_eq!(compressed.decompress(), spill);
+        let dcompressed = mkd().build_spill_compressed(0).unwrap();
+        assert_eq!(dcompressed.decompress(), dspill);
     }
 
     #[test]

@@ -1,0 +1,1279 @@
+//! Delta-encoded varint compressed CSR substrate (ROADMAP item 1).
+//!
+//! The plain [`UndirectedGraph`] / [`DirectedGraph`] substrate stores every
+//! neighbour as a raw 4-byte [`VertexId`]. The paper's headline datasets are
+//! billion-edge graphs, and both follow-up lines of work in PAPERS.md
+//! (Sukprasert et al.'s near-optimal densest-subgraph study on GBBS, and
+//! De Zoysa et al.'s shared-memory parallel DSD) observe that the peel/sweep
+//! hot paths are memory-bandwidth-bound, so shrinking bytes-per-edge is a
+//! direct speedup lever as well as a capacity one.
+//!
+//! This module provides the GBBS/Ligra-style compressed adjacency:
+//!
+//! * **Encoding.** Per vertex, neighbours (already strictly sorted by the
+//!   builder) are split into chunks of [`CHUNK`] (= 64). Each chunk is
+//!   self-contained: its first neighbour is a zigzag LEB128 varint of the
+//!   *signed* delta from the source vertex id, and the remaining neighbours
+//!   are gap values (`w_i - w_{i-1} - 1`) packed as k-byte **group varints**
+//!   — groups of four gaps share one tag byte whose 2-bit fields give each
+//!   gap's byte length (1–4), followed by the gaps' little-endian bytes with
+//!   high zero bytes truncated; a trailing partial group (< 4 gaps) falls
+//!   back to plain LEB128. Chunks after the first are located by a small
+//!   per-vertex chunk table (u32 byte offsets), so decoding is seekable:
+//!   random access to the `i`-th neighbour touches at most one chunk.
+//! * **Sections.** A compressed adjacency is three byte sections over one
+//!   backing buffer: `degrees` (n × u32 LE), `offsets` ((n+1) × u64 LE byte
+//!   offsets into the data section), and `data` (the per-vertex blocks).
+//!   Sections are 8-byte aligned; all multi-byte reads go through
+//!   `from_le_bytes`, so the same layout is served zero-copy from an owned
+//!   build buffer or from an `mmap`ed [`crate::binio`] v2 file.
+//! * **Fused decode.** Consumers do not materialise neighbour `Vec`s: the
+//!   sweep/peel/core-peeling kernels iterate a [`NeighborCursor`] whose
+//!   decode loop is monomorphised into the caller via the
+//!   [`NeighborAccess`] / [`DirectedNeighborAccess`] traits, with the
+//!   [`UndirectedStorage`] / [`DirectedStorage`] enums selecting plain CSR
+//!   (the parity oracle) or compressed storage at the entry point.
+//!
+//! Degree-descending relabelling ([`crate::reorder`]) before compression
+//! concentrates the id space so deltas stay small — the CLI does this by
+//! default (`--no-reorder` opts out).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use dsd_telemetry::{counter_add, enabled, span, Counter, Phase};
+use rayon::prelude::*;
+
+use crate::binio::MapBacking;
+use crate::directed::DirectedGraph;
+use crate::undirected::UndirectedGraph;
+use crate::{GraphError, VertexId};
+
+/// Neighbours per decode chunk. 64 keeps random access cheap (decode ≤ 63
+/// gaps past the seek point) while amortising the chunk-table entry and the
+/// per-chunk absolute first value.
+pub const CHUNK: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Backing buffer: owned build output or a zero-copy file mapping
+// ---------------------------------------------------------------------------
+
+/// Byte storage behind a compressed adjacency: an owned build buffer or a
+/// shared read-only file mapping (see [`crate::binio`] v2).
+#[derive(Debug)]
+pub(crate) enum ByteBuf {
+    /// Bytes produced by the in-process encoder (or a buffered file read).
+    Owned(Vec<u8>),
+    /// A zero-copy `mmap` of a binio v2 file.
+    Mapped(MapBacking),
+}
+
+impl ByteBuf {
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        match self {
+            ByteBuf::Owned(v) => v.as_slice(),
+            ByteBuf::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn align8(x: usize) -> usize {
+    (x + 7) & !7
+}
+
+// ---------------------------------------------------------------------------
+// Varint primitives
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+#[inline]
+fn read_varint(data: &[u8], pos: &mut usize) -> u64 {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        x |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// Bytes needed for a group-varint value (1–4).
+#[inline]
+fn group_bytes(x: u32) -> usize {
+    if x < 1 << 8 {
+        1
+    } else if x < 1 << 16 {
+        2
+    } else if x < 1 << 24 {
+        3
+    } else {
+        4
+    }
+}
+
+#[inline]
+fn read_group_value(data: &[u8], pos: &mut usize, len: usize) -> u32 {
+    let mut val = 0u32;
+    for t in 0..len {
+        val |= u32::from(data[*pos + t]) << (8 * t);
+    }
+    *pos += len;
+    val
+}
+
+// ---------------------------------------------------------------------------
+// Block encoder
+// ---------------------------------------------------------------------------
+
+/// Encodes one vertex's sorted neighbour list as `[chunk table][chunks...]`
+/// and appends it to `out`. `scratch`/`boundaries` are reusable buffers.
+fn encode_block(v: VertexId, nbrs: &[VertexId], scratch: &mut Vec<u8>, out: &mut Vec<u8>) {
+    if nbrs.is_empty() {
+        return;
+    }
+    scratch.clear();
+    let nchunks = nbrs.len().div_ceil(CHUNK);
+    let mut boundaries: Vec<u32> = Vec::with_capacity(nchunks - 1);
+    let mut gaps = [0u32; CHUNK];
+    for (ci, chunk) in nbrs.chunks(CHUNK).enumerate() {
+        if ci > 0 {
+            // Chunk 0 starts at offset 0 and is not recorded in the table.
+            boundaries.push(scratch.len() as u32);
+        }
+        write_varint(scratch, zigzag(chunk[0] as i64 - v as i64));
+        let ng = chunk.len() - 1;
+        for k in 0..ng {
+            gaps[k] = chunk[k + 1] - chunk[k] - 1;
+        }
+        let mut i = 0;
+        while i + 4 <= ng {
+            let lens = [
+                group_bytes(gaps[i]),
+                group_bytes(gaps[i + 1]),
+                group_bytes(gaps[i + 2]),
+                group_bytes(gaps[i + 3]),
+            ];
+            let tag =
+                (lens[0] - 1) | ((lens[1] - 1) << 2) | ((lens[2] - 1) << 4) | ((lens[3] - 1) << 6);
+            scratch.push(tag as u8);
+            for k in 0..4 {
+                scratch.extend_from_slice(&gaps[i + k].to_le_bytes()[..lens[k]]);
+            }
+            i += 4;
+        }
+        while i < ng {
+            write_varint(scratch, u64::from(gaps[i]));
+            i += 1;
+        }
+    }
+    debug_assert_eq!(boundaries.len(), nchunks - 1);
+    for b in &boundaries {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(scratch);
+}
+
+/// Byte length of the chunk table for a vertex of degree `d`.
+#[inline]
+fn table_bytes(d: usize) -> usize {
+    if d == 0 {
+        0
+    } else {
+        (d.div_ceil(CHUNK) - 1) * 4
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoded adjacency (build output, not yet section-assembled)
+// ---------------------------------------------------------------------------
+
+/// One encoded adjacency direction as raw little-endian section bytes.
+pub(crate) struct EncodedAdj {
+    pub(crate) n: usize,
+    pub(crate) arcs: u64,
+    pub(crate) deg_bytes: Vec<u8>,
+    pub(crate) offs_bytes: Vec<u8>,
+    pub(crate) data: Vec<u8>,
+}
+
+/// Splits `0..n` into contiguous vertex ranges of roughly equal arc mass,
+/// one per worker, so parallel encode/decode stays balanced on skewed
+/// degree distributions.
+fn partition_by_arcs(offsets: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let n = offsets.len() - 1;
+    let total = offsets[n];
+    let parts = parts.clamp(1, n.max(1));
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..=parts {
+        let target = total * p / parts;
+        // First vertex boundary whose prefix reaches the target.
+        let mut end = offsets.partition_point(|&o| o < target).max(start + 1);
+        if p == parts {
+            end = n;
+        }
+        let end = end.min(n);
+        if start < end {
+            ranges.push(start..end);
+            start = end;
+        }
+    }
+    if ranges.is_empty() && n > 0 {
+        ranges.push(0..n);
+    }
+    ranges
+}
+
+/// Encodes a plain CSR side into delta-varint blocks, vertex-parallel.
+fn encode_adj(offsets: &[usize], adj: &[VertexId]) -> EncodedAdj {
+    let _encode = span(Phase::CompressEncode);
+    let n = offsets.len() - 1;
+    let arcs = adj.len() as u64;
+    let workers = rayon::current_num_threads().max(1);
+    let ranges = partition_by_arcs(offsets, workers * 4);
+    let parts: Vec<(Vec<u8>, Vec<u64>)> = ranges
+        .par_iter()
+        .map(|r| {
+            let mut data = Vec::new();
+            let mut local_offs = Vec::with_capacity(r.len());
+            let mut scratch = Vec::new();
+            for v in r.clone() {
+                local_offs.push(data.len() as u64);
+                let nbrs = &adj[offsets[v]..offsets[v + 1]];
+                encode_block(v as VertexId, nbrs, &mut scratch, &mut data);
+            }
+            (data, local_offs)
+        })
+        .collect();
+    let mut deg_bytes = Vec::with_capacity(n * 4);
+    for v in 0..n {
+        deg_bytes.extend_from_slice(&((offsets[v + 1] - offsets[v]) as u32).to_le_bytes());
+    }
+    let total_data: usize = parts.iter().map(|(d, _)| d.len()).sum();
+    let mut offs_bytes = Vec::with_capacity((n + 1) * 8);
+    let mut data = Vec::with_capacity(total_data);
+    for (part_data, local_offs) in &parts {
+        let base = data.len() as u64;
+        for &o in local_offs {
+            offs_bytes.extend_from_slice(&(base + o).to_le_bytes());
+        }
+        data.extend_from_slice(part_data);
+    }
+    offs_bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    counter_add(Counter::EncodeBytes, data.len() as u64);
+    EncodedAdj { n, arcs, deg_bytes, offs_bytes, data }
+}
+
+/// Encodes an adjacency from a `(src, dst)` stream sorted by `(src, dst)`
+/// with duplicates already removed — the shape the spill-mode k-way merge
+/// produces. Memory high-water is the output sections plus one max-degree
+/// scratch list; the full plain CSR is never materialised.
+pub(crate) fn encode_adj_from_sorted(
+    n: usize,
+    stream: impl Iterator<Item = (VertexId, VertexId)>,
+) -> EncodedAdj {
+    let _encode = span(Phase::CompressEncode);
+    let mut deg_bytes = vec![0u8; n * 4];
+    let mut offs_bytes = Vec::with_capacity((n + 1) * 8);
+    let mut data = Vec::new();
+    let mut scratch = Vec::new();
+    let mut nbrs: Vec<VertexId> = Vec::new();
+    let mut cur: usize = 0;
+    let mut arcs = 0u64;
+    offs_bytes.extend_from_slice(&0u64.to_le_bytes());
+    let mut flush =
+        |cur: usize, nbrs: &mut Vec<VertexId>, data: &mut Vec<u8>, deg_bytes: &mut Vec<u8>| {
+            deg_bytes[cur * 4..cur * 4 + 4].copy_from_slice(&(nbrs.len() as u32).to_le_bytes());
+            encode_block(cur as VertexId, nbrs, &mut scratch, data);
+            nbrs.clear();
+        };
+    for (src, dst) in stream {
+        let src = src as usize;
+        debug_assert!(src >= cur, "spill merge stream must be sorted by source");
+        while cur < src {
+            flush(cur, &mut nbrs, &mut data, &mut deg_bytes);
+            offs_bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+            cur += 1;
+        }
+        nbrs.push(dst);
+        arcs += 1;
+    }
+    while cur < n {
+        flush(cur, &mut nbrs, &mut data, &mut deg_bytes);
+        offs_bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        cur += 1;
+    }
+    counter_add(Counter::EncodeBytes, data.len() as u64);
+    EncodedAdj { n, arcs, deg_bytes, offs_bytes, data }
+}
+
+// ---------------------------------------------------------------------------
+// Compressed adjacency view
+// ---------------------------------------------------------------------------
+
+/// One direction of compressed adjacency: three byte sections (degrees,
+/// offsets, data) over a shared backing buffer.
+#[derive(Clone, Debug)]
+pub struct CompressedAdj {
+    buf: Arc<ByteBuf>,
+    n: usize,
+    arcs: u64,
+    deg: Range<usize>,
+    offs: Range<usize>,
+    data: Range<usize>,
+}
+
+impl CompressedAdj {
+    /// Validates section shapes against `n`/`arcs` and builds the view.
+    /// Used both after an in-process encode and by the binio v2 loader, so
+    /// a malformed file yields a structured error, never a panic.
+    pub(crate) fn from_sections(
+        buf: Arc<ByteBuf>,
+        n: usize,
+        arcs: u64,
+        deg: Range<usize>,
+        offs: Range<usize>,
+        data: Range<usize>,
+    ) -> crate::Result<Self> {
+        let bytes = buf.as_slice();
+        let invalid =
+            |msg: &str| GraphError::InvalidArgument(format!("compressed adjacency: {msg}"));
+        if deg.end > bytes.len() || offs.end > bytes.len() || data.end > bytes.len() {
+            return Err(invalid("section out of buffer bounds"));
+        }
+        if deg.len() != n.checked_mul(4).ok_or_else(|| invalid("degree section overflow"))? {
+            return Err(invalid("degree section length mismatch"));
+        }
+        let want_offs = (n as u64)
+            .checked_add(1)
+            .and_then(|x| x.checked_mul(8))
+            .ok_or_else(|| invalid("offset section overflow"))?;
+        if deg.start % 4 != 0 || offs.start % 8 != 0 {
+            return Err(invalid("misaligned section"));
+        }
+        if offs.len() as u64 != want_offs {
+            return Err(invalid("offset section length mismatch"));
+        }
+        let view = Self { buf, n, arcs, deg, offs, data };
+        let mut prev = 0u64;
+        let mut degs = 0u64;
+        for v in 0..=n {
+            let o = view.byte_offset(v);
+            if o < prev {
+                return Err(invalid("offsets not monotone"));
+            }
+            prev = o;
+            if v < n {
+                degs += view.degree(v as VertexId) as u64;
+            }
+        }
+        if prev != view.data.len() as u64 {
+            return Err(invalid("last offset does not match data length"));
+        }
+        if degs != arcs {
+            return Err(invalid("degree sum does not match declared arc count"));
+        }
+        Ok(view)
+    }
+
+    /// Assembles owned encoded sections into a fresh backing buffer.
+    pub(crate) fn from_encoded(e: EncodedAdj) -> Self {
+        let (buf, ranges) = assemble(&[&e.deg_bytes, &e.offs_bytes, &e.data]);
+        Self {
+            buf: Arc::new(ByteBuf::Owned(buf)),
+            n: e.n,
+            arcs: e.arcs,
+            deg: ranges[0].clone(),
+            offs: ranges[1].clone(),
+            data: ranges[2].clone(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored arcs (neighbour entries).
+    #[inline]
+    pub fn num_arcs(&self) -> u64 {
+        self.arcs
+    }
+
+    /// Degree of vertex `v` (O(1) table read).
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let base = self.deg.start + (v as usize) * 4;
+        let b = &self.buf.as_slice()[base..base + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
+    }
+
+    #[inline]
+    fn byte_offset(&self, v: usize) -> u64 {
+        let base = self.offs.start + v * 8;
+        let b = &self.buf.as_slice()[base..base + 8];
+        u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The encoded block for vertex `v` (chunk table + chunk data).
+    #[inline]
+    fn block(&self, v: VertexId) -> &[u8] {
+        let v = v as usize;
+        let start = self.data.start + self.byte_offset(v) as usize;
+        let end = self.data.start + self.byte_offset(v + 1) as usize;
+        &self.buf.as_slice()[start..end]
+    }
+
+    /// A fused-decode cursor over `N(v)`, in sorted order.
+    #[inline]
+    pub fn cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        let deg = self.degree(v) as u32;
+        let block = self.block(v);
+        if enabled() {
+            counter_add(Counter::DecodeBytes, block.len() as u64);
+        }
+        NeighborCursor::new(block, v, deg, 0)
+    }
+
+    /// Random access to the `i`-th neighbour of `v` via the chunk table:
+    /// decodes at most one chunk past the seek point.
+    pub fn neighbor_at(&self, v: VertexId, i: usize) -> VertexId {
+        let deg = self.degree(v) as u32;
+        debug_assert!(i < deg as usize);
+        let block = self.block(v);
+        let chunk = i / CHUNK;
+        let mut cur = NeighborCursor::new(block, v, deg, chunk);
+        let mut val = 0;
+        for _ in 0..(i % CHUNK) + 1 {
+            val = cur.next().expect("neighbor index within degree");
+        }
+        val
+    }
+
+    /// Position of `w` in `N(v)`, if present: binary search over chunk
+    /// first-values, then a ≤ 64-entry scan inside one chunk.
+    pub fn position_of(&self, v: VertexId, w: VertexId) -> Option<usize> {
+        let deg = self.degree(v) as u32;
+        if deg == 0 {
+            return None;
+        }
+        let block = self.block(v);
+        let nchunks = (deg as usize).div_ceil(CHUNK);
+        // Find the last chunk whose first value is <= w.
+        let mut lo = 0usize;
+        let mut hi = nchunks;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if chunk_first(block, v, deg, mid) <= w {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut cur = NeighborCursor::new(block, v, deg, lo);
+        let base = lo * CHUNK;
+        for (k, x) in cur.by_ref().take(CHUNK).enumerate() {
+            if x == w {
+                return Some(base + k);
+            }
+            if x > w {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Bytes of encoded neighbour data (the `data` section only).
+    #[inline]
+    pub fn data_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total bytes across all three sections.
+    #[inline]
+    pub fn total_bytes(&self) -> usize {
+        self.deg.len() + self.offs.len() + self.data.len()
+    }
+
+    pub(crate) fn section_ranges(&self) -> [Range<usize>; 3] {
+        [self.deg.clone(), self.offs.clone(), self.data.clone()]
+    }
+
+    pub(crate) fn backing(&self) -> &Arc<ByteBuf> {
+        &self.buf
+    }
+
+    /// Decompresses back to plain CSR arrays (used by the parity oracle
+    /// paths and [`CompressedCsr::decompress`]).
+    fn to_csr(&self) -> (Vec<usize>, Vec<VertexId>) {
+        let n = self.n;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut run = 0usize;
+        offsets.push(0);
+        for v in 0..n {
+            run += self.degree(v as VertexId);
+            offsets.push(run);
+        }
+        let mut adj: Vec<VertexId> = vec![0; run];
+        let workers = rayon::current_num_threads().max(1);
+        let ranges = partition_by_arcs(&offsets, workers * 4);
+        let bounds: Vec<usize> = {
+            let mut b: Vec<usize> = ranges.iter().map(|r| offsets[r.start]).collect();
+            b.push(run);
+            b
+        };
+        crate::ingest::vertex_slices(&mut adj, &bounds).into_par_iter().zip(&ranges).for_each(
+            |(out, r)| {
+                let mut pos = 0usize;
+                for v in r.clone() {
+                    for x in self.cursor(v as VertexId) {
+                        out[pos] = x;
+                        pos += 1;
+                    }
+                }
+            },
+        );
+        (offsets, adj)
+    }
+}
+
+/// Decodes the first neighbour of chunk `j` without touching the rest of
+/// the chunk (chunk firsts are absolute, so chunks seek independently).
+#[inline]
+fn chunk_first(block: &[u8], v: VertexId, deg: u32, j: usize) -> VertexId {
+    let tbytes = table_bytes(deg as usize);
+    let mut pos = if j == 0 {
+        tbytes
+    } else {
+        let e = (j - 1) * 4;
+        tbytes + u32::from_le_bytes([block[e], block[e + 1], block[e + 2], block[e + 3]]) as usize
+    };
+    let delta = unzigzag(read_varint(block, &mut pos));
+    (v as i64 + delta) as VertexId
+}
+
+fn assemble(sections: &[&[u8]]) -> (Vec<u8>, Vec<Range<usize>>) {
+    let total: usize = sections.iter().map(|s| align8(s.len())).sum();
+    let mut buf = Vec::with_capacity(total);
+    let mut ranges = Vec::with_capacity(sections.len());
+    for s in sections {
+        let start = align8(buf.len());
+        buf.resize(start, 0);
+        ranges.push(start..start + s.len());
+        buf.extend_from_slice(s);
+    }
+    (buf, ranges)
+}
+
+// ---------------------------------------------------------------------------
+// Fused-decode cursor
+// ---------------------------------------------------------------------------
+
+/// Streaming decoder over one vertex's compressed neighbour list.
+///
+/// The decode state lives entirely in registers/stack: callers iterate it
+/// like a slice, and the group-varint refill amortises to ~¼ tag-dispatch
+/// per neighbour. Constructed by [`CompressedAdj::cursor`] (sequential) or
+/// internally at a chunk boundary (seek paths).
+#[derive(Clone, Debug)]
+pub struct NeighborCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    v: VertexId,
+    deg: u32,
+    idx: u32,
+    prev: VertexId,
+    /// Gaps of the current chunk not yet decoded into the group buffer.
+    chunk_gaps: u32,
+    group: [u32; 4],
+    gpos: u8,
+    glen: u8,
+}
+
+impl<'a> NeighborCursor<'a> {
+    /// Positions a cursor at the start of chunk `start_chunk` of `block`.
+    #[inline]
+    fn new(block: &'a [u8], v: VertexId, deg: u32, start_chunk: usize) -> Self {
+        let tbytes = table_bytes(deg as usize);
+        let pos = if start_chunk == 0 {
+            tbytes
+        } else {
+            let e = (start_chunk - 1) * 4;
+            tbytes
+                + u32::from_le_bytes([block[e], block[e + 1], block[e + 2], block[e + 3]]) as usize
+        };
+        Self {
+            data: block,
+            pos,
+            v,
+            deg,
+            idx: (start_chunk * CHUNK) as u32,
+            prev: 0,
+            chunk_gaps: 0,
+            group: [0; 4],
+            gpos: 0,
+            glen: 0,
+        }
+    }
+
+    /// Neighbours remaining.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        (self.deg - self.idx) as usize
+    }
+}
+
+impl Iterator for NeighborCursor<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        if self.idx == self.deg {
+            return None;
+        }
+        let val = if self.idx as usize % CHUNK == 0 {
+            let delta = unzigzag(read_varint(self.data, &mut self.pos));
+            let clen = (CHUNK as u32).min(self.deg - self.idx);
+            self.chunk_gaps = clen - 1;
+            self.gpos = 0;
+            self.glen = 0;
+            (self.v as i64 + delta) as VertexId
+        } else if self.gpos < self.glen {
+            let g = self.group[self.gpos as usize];
+            self.gpos += 1;
+            self.prev + 1 + g
+        } else {
+            if self.chunk_gaps >= 4 {
+                let tag = self.data[self.pos];
+                self.pos += 1;
+                for k in 0..4 {
+                    let len = (((tag >> (2 * k)) & 3) + 1) as usize;
+                    self.group[k] = read_group_value(self.data, &mut self.pos, len);
+                }
+                self.glen = 4;
+                self.chunk_gaps -= 4;
+            } else {
+                self.group[0] = read_varint(self.data, &mut self.pos) as u32;
+                self.glen = 1;
+                self.chunk_gaps -= 1;
+            }
+            self.gpos = 1;
+            self.prev + 1 + self.group[0]
+        };
+        self.prev = val;
+        self.idx += 1;
+        Some(val)
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining();
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for NeighborCursor<'_> {}
+
+// ---------------------------------------------------------------------------
+// Whole-graph wrappers
+// ---------------------------------------------------------------------------
+
+/// A compressed undirected graph: one [`CompressedAdj`] holding both
+/// directions of every edge (the same doubled-arc convention as
+/// [`UndirectedGraph`]).
+#[derive(Clone, Debug)]
+pub struct CompressedCsr {
+    adj: CompressedAdj,
+}
+
+impl CompressedCsr {
+    /// Compresses a plain graph (vertex-parallel encode).
+    pub fn from_graph(g: &UndirectedGraph) -> Self {
+        Self { adj: CompressedAdj::from_encoded(encode_adj(g.offsets(), g.adjacency())) }
+    }
+
+    pub(crate) fn from_adj(adj: CompressedAdj) -> Self {
+        Self { adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.num_vertices()
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        (self.adj.num_arcs() / 2) as usize
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj.degree(v)
+    }
+
+    /// Fused-decode cursor over `N(v)` in sorted order.
+    #[inline]
+    pub fn cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        self.adj.cursor(v)
+    }
+
+    /// Random access to the `i`-th neighbour of `v`.
+    #[inline]
+    pub fn neighbor_at(&self, v: VertexId, i: usize) -> VertexId {
+        self.adj.neighbor_at(v, i)
+    }
+
+    /// The underlying adjacency (binio and bench accounting).
+    #[inline]
+    pub fn adj(&self) -> &CompressedAdj {
+        &self.adj
+    }
+
+    /// Total bytes across sections.
+    #[inline]
+    pub fn total_bytes(&self) -> usize {
+        self.adj.total_bytes()
+    }
+
+    /// Mean encoded bytes per stored arc (2m arcs), including the degree
+    /// and offset tables — the honest space figure reported by bench.
+    pub fn bytes_per_arc(&self) -> f64 {
+        if self.adj.num_arcs() == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.adj.num_arcs() as f64
+        }
+    }
+
+    /// Decompresses back to the plain parity-oracle representation.
+    pub fn decompress(&self) -> UndirectedGraph {
+        let (offsets, adj) = self.adj.to_csr();
+        UndirectedGraph::from_csr(offsets, adj)
+    }
+}
+
+/// A compressed directed graph: out- and in-adjacency sides over one
+/// backing buffer (when built in-process) or one mapped file.
+#[derive(Clone, Debug)]
+pub struct CompressedDigraph {
+    out: CompressedAdj,
+    inc: CompressedAdj,
+}
+
+impl CompressedDigraph {
+    /// Compresses a plain directed graph.
+    pub fn from_graph(g: &DirectedGraph) -> Self {
+        let out = encode_adj(g.out_offsets(), g.out_adjacency());
+        let inc = encode_adj(g.in_offsets(), g.in_adjacency());
+        Self { out: CompressedAdj::from_encoded(out), inc: CompressedAdj::from_encoded(inc) }
+    }
+
+    pub(crate) fn from_sides(out: CompressedAdj, inc: CompressedAdj) -> crate::Result<Self> {
+        if out.num_vertices() != inc.num_vertices() || out.num_arcs() != inc.num_arcs() {
+            return Err(GraphError::InvalidArgument(
+                "compressed digraph: out/in sides disagree on vertex or arc count".into(),
+            ));
+        }
+        Ok(Self { out, inc })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out.num_vertices()
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_arcs() as usize
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inc.degree(v)
+    }
+
+    /// Cursor over `N⁺(v)`.
+    #[inline]
+    pub fn out_cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        self.out.cursor(v)
+    }
+
+    /// Cursor over `N⁻(v)`.
+    #[inline]
+    pub fn in_cursor(&self, v: VertexId) -> NeighborCursor<'_> {
+        self.inc.cursor(v)
+    }
+
+    /// The out-adjacency side.
+    #[inline]
+    pub fn out_adj(&self) -> &CompressedAdj {
+        &self.out
+    }
+
+    /// The in-adjacency side.
+    #[inline]
+    pub fn in_adj(&self) -> &CompressedAdj {
+        &self.inc
+    }
+
+    /// Total bytes across both sides' sections.
+    #[inline]
+    pub fn total_bytes(&self) -> usize {
+        self.out.total_bytes() + self.inc.total_bytes()
+    }
+
+    /// Mean bytes per stored arc across both sides (2m arcs total).
+    pub fn bytes_per_arc(&self) -> f64 {
+        let arcs = self.out.num_arcs() + self.inc.num_arcs();
+        if arcs == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / arcs as f64
+        }
+    }
+
+    /// Decompresses back to the plain parity-oracle representation.
+    pub fn decompress(&self) -> DirectedGraph {
+        let (oo, oa) = self.out.to_csr();
+        let (io, ia) = self.inc.to_csr();
+        DirectedGraph::from_csr(oo, oa, io, ia)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage selection: traits + enums
+// ---------------------------------------------------------------------------
+
+/// Monomorphised neighbour access for undirected consumers (sweep engine,
+/// core peeling). Implemented by plain CSR (the parity oracle) and by the
+/// compressed substrate; kernels are generic over this trait so the decode
+/// loop inlines into the hot path with no materialised neighbour `Vec`.
+pub trait NeighborAccess: Sync {
+    /// The per-vertex neighbour iterator.
+    type Cursor<'s>: Iterator<Item = VertexId> + 's
+    where
+        Self: 's;
+
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+    /// Number of stored arcs (2m for undirected graphs).
+    fn arc_count(&self) -> u64;
+    /// Degree of `v` (O(1)).
+    fn degree_of(&self, v: VertexId) -> usize;
+    /// Iterator over `N(v)` in sorted order.
+    fn neighbors_of(&self, v: VertexId) -> Self::Cursor<'_>;
+}
+
+impl NeighborAccess for UndirectedGraph {
+    type Cursor<'s> = std::iter::Copied<std::slice::Iter<'s, VertexId>>;
+
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn arc_count(&self) -> u64 {
+        self.adjacency().len() as u64
+    }
+
+    #[inline]
+    fn degree_of(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, v: VertexId) -> Self::Cursor<'_> {
+        self.neighbors(v).iter().copied()
+    }
+}
+
+impl NeighborAccess for CompressedCsr {
+    type Cursor<'s> = NeighborCursor<'s>;
+
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn arc_count(&self) -> u64 {
+        self.adj.num_arcs()
+    }
+
+    #[inline]
+    fn degree_of(&self, v: VertexId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn neighbors_of(&self, v: VertexId) -> Self::Cursor<'_> {
+        self.cursor(v)
+    }
+}
+
+/// Monomorphised neighbour access for directed consumers (the peel engine's
+/// edge-frontier cascade and the w-induced decomposition). Adds the two
+/// seek operations the peel engine needs: slot→target resolution
+/// ([`Self::out_neighbor_at`]) and target→slot resolution
+/// ([`Self::out_rank_of`]); the compressed implementation serves both from
+/// the per-vertex chunk table without decoding the whole list.
+pub trait DirectedNeighborAccess: Sync {
+    /// Out-neighbour iterator.
+    type OutCursor<'s>: Iterator<Item = VertexId> + 's
+    where
+        Self: 's;
+    /// In-neighbour iterator.
+    type InCursor<'s>: Iterator<Item = VertexId> + 's
+    where
+        Self: 's;
+
+    /// Number of vertices.
+    fn vertex_count(&self) -> usize;
+    /// Number of directed edges `m`.
+    fn edge_count(&self) -> usize;
+    /// Out-degree of `v`.
+    fn out_degree_of(&self, v: VertexId) -> usize;
+    /// In-degree of `v`.
+    fn in_degree_of(&self, v: VertexId) -> usize;
+    /// Iterator over `N⁺(v)` in sorted order.
+    fn out_neighbors_of(&self, v: VertexId) -> Self::OutCursor<'_>;
+    /// Iterator over `N⁻(v)` in sorted order.
+    fn in_neighbors_of(&self, v: VertexId) -> Self::InCursor<'_>;
+    /// The `i`-th out-neighbour of `v`.
+    fn out_neighbor_at(&self, v: VertexId, i: usize) -> VertexId;
+    /// Position of `w` in `N⁺(v)`, if the arc exists.
+    fn out_rank_of(&self, v: VertexId, w: VertexId) -> Option<usize>;
+}
+
+impl DirectedNeighborAccess for DirectedGraph {
+    type OutCursor<'s> = std::iter::Copied<std::slice::Iter<'s, VertexId>>;
+    type InCursor<'s> = std::iter::Copied<std::slice::Iter<'s, VertexId>>;
+
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.num_edges()
+    }
+
+    #[inline]
+    fn out_degree_of(&self, v: VertexId) -> usize {
+        self.out_degree(v)
+    }
+
+    #[inline]
+    fn in_degree_of(&self, v: VertexId) -> usize {
+        self.in_degree(v)
+    }
+
+    #[inline]
+    fn out_neighbors_of(&self, v: VertexId) -> Self::OutCursor<'_> {
+        self.out_neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn in_neighbors_of(&self, v: VertexId) -> Self::InCursor<'_> {
+        self.in_neighbors(v).iter().copied()
+    }
+
+    #[inline]
+    fn out_neighbor_at(&self, v: VertexId, i: usize) -> VertexId {
+        self.out_neighbors(v)[i]
+    }
+
+    #[inline]
+    fn out_rank_of(&self, v: VertexId, w: VertexId) -> Option<usize> {
+        self.out_neighbors(v).binary_search(&w).ok()
+    }
+}
+
+impl DirectedNeighborAccess for CompressedDigraph {
+    type OutCursor<'s> = NeighborCursor<'s>;
+    type InCursor<'s> = NeighborCursor<'s>;
+
+    #[inline]
+    fn vertex_count(&self) -> usize {
+        self.num_vertices()
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.num_edges()
+    }
+
+    #[inline]
+    fn out_degree_of(&self, v: VertexId) -> usize {
+        self.out_degree(v)
+    }
+
+    #[inline]
+    fn in_degree_of(&self, v: VertexId) -> usize {
+        self.in_degree(v)
+    }
+
+    #[inline]
+    fn out_neighbors_of(&self, v: VertexId) -> Self::OutCursor<'_> {
+        self.out_cursor(v)
+    }
+
+    #[inline]
+    fn in_neighbors_of(&self, v: VertexId) -> Self::InCursor<'_> {
+        self.in_cursor(v)
+    }
+
+    #[inline]
+    fn out_neighbor_at(&self, v: VertexId, i: usize) -> VertexId {
+        self.out.neighbor_at(v, i)
+    }
+
+    #[inline]
+    fn out_rank_of(&self, v: VertexId, w: VertexId) -> Option<usize> {
+        self.out.position_of(v, w)
+    }
+}
+
+/// Undirected storage selector: consumers dispatch once at the entry point
+/// and run a kernel monomorphised for the chosen representation.
+#[derive(Clone, Copy, Debug)]
+pub enum UndirectedStorage<'a> {
+    /// Plain CSR — the parity oracle.
+    Plain(&'a UndirectedGraph),
+    /// Delta-varint compressed CSR with fused decode.
+    Compressed(&'a CompressedCsr),
+}
+
+impl UndirectedStorage<'_> {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        match self {
+            UndirectedStorage::Plain(g) => g.num_vertices(),
+            UndirectedStorage::Compressed(c) => c.num_vertices(),
+        }
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        match self {
+            UndirectedStorage::Plain(g) => g.num_edges(),
+            UndirectedStorage::Compressed(c) => c.num_edges(),
+        }
+    }
+}
+
+/// Directed storage selector; see [`UndirectedStorage`].
+#[derive(Clone, Copy, Debug)]
+pub enum DirectedStorage<'a> {
+    /// Plain CSR — the parity oracle.
+    Plain(&'a DirectedGraph),
+    /// Delta-varint compressed CSR with fused decode.
+    Compressed(&'a CompressedDigraph),
+}
+
+impl DirectedStorage<'_> {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        match self {
+            DirectedStorage::Plain(g) => g.num_vertices(),
+            DirectedStorage::Compressed(c) => c.num_vertices(),
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        match self {
+            DirectedStorage::Plain(g) => g.num_edges(),
+            DirectedStorage::Compressed(c) => c.num_edges(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    fn check_roundtrip(g: &UndirectedGraph) {
+        let c = CompressedCsr::from_graph(g);
+        assert_eq!(c.num_vertices(), g.num_vertices());
+        assert_eq!(c.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(c.degree(v), g.degree(v), "degree of {v}");
+            let got: Vec<VertexId> = c.cursor(v).collect();
+            assert_eq!(got, g.neighbors(v), "neighbors of {v}");
+        }
+        assert_eq!(&c.decompress(), g);
+    }
+
+    #[test]
+    fn triangle_with_pendant_roundtrips() {
+        let g = UndirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+            .build()
+            .unwrap();
+        check_roundtrip(&g);
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        check_roundtrip(&UndirectedGraph::empty(0));
+        check_roundtrip(&UndirectedGraph::empty(7));
+        // isolated vertices interleaved with real ones
+        let g = UndirectedGraphBuilder::new(10).add_edges([(1, 8), (3, 8)]).build().unwrap();
+        check_roundtrip(&g);
+    }
+
+    #[test]
+    fn high_degree_vertex_crosses_chunks() {
+        // vertex 0 adjacent to all of 1..=200 → 4 chunks (64+64+64+8).
+        let n = 201;
+        let edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (0, v)).collect();
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        check_roundtrip(&g);
+        let c = CompressedCsr::from_graph(&g);
+        for i in 0..200 {
+            assert_eq!(c.neighbor_at(0, i), (i + 1) as VertexId);
+        }
+        for v in 1..n as VertexId {
+            assert_eq!(c.adj().position_of(0, v), Some((v - 1) as usize));
+        }
+        assert_eq!(c.adj().position_of(0, 0), None);
+    }
+
+    #[test]
+    fn large_ids_need_multibyte_deltas() {
+        // Wide deltas exercise multi-byte group values, LEB128 trailers
+        // and negative first-deltas (low-id neighbours of a high-id
+        // vertex).
+        let n = 1 << 21;
+        let top = (n - 1) as VertexId;
+        let g = UndirectedGraphBuilder::new(n)
+            .add_edges([(0, top), (0, top - 1), (top, 5), (top - 7, 6), (3, top - 2)])
+            .build()
+            .unwrap();
+        let c = CompressedCsr::from_graph(&g);
+        for v in [0, 3, 5, 6, top - 7, top - 2, top - 1, top] {
+            let got: Vec<VertexId> = c.cursor(v).collect();
+            assert_eq!(got, g.neighbors(v), "neighbors of {v}");
+        }
+        assert_eq!(&c.decompress(), &g);
+    }
+
+    #[test]
+    fn directed_roundtrip_and_seek() {
+        let g = DirectedGraphBuilder::new(6)
+            .add_edges([(0, 1), (0, 2), (1, 2), (2, 0), (3, 4), (4, 3), (5, 0), (0, 5)])
+            .build()
+            .unwrap();
+        let c = CompressedDigraph::from_graph(&g);
+        for v in g.vertices() {
+            let out: Vec<VertexId> = c.out_cursor(v).collect();
+            let inc: Vec<VertexId> = c.in_cursor(v).collect();
+            assert_eq!(out, g.out_neighbors(v));
+            assert_eq!(inc, g.in_neighbors(v));
+            for (i, &w) in g.out_neighbors(v).iter().enumerate() {
+                assert_eq!(c.out_neighbor_at(v, i), w);
+                assert_eq!(c.out_rank_of(v, w), Some(i));
+            }
+        }
+        assert_eq!(&c.decompress(), &g);
+    }
+
+    #[test]
+    fn streaming_encode_matches_parallel_encode() {
+        let g = UndirectedGraphBuilder::new(30)
+            .add_edges((0..29).map(|v| (v as VertexId, (v + 1) as VertexId)))
+            .build()
+            .unwrap();
+        let arcs: Vec<(VertexId, VertexId)> =
+            g.vertices().flat_map(|u| g.neighbors(u).iter().map(move |&w| (u, w))).collect();
+        let streamed = CompressedCsr::from_adj(CompressedAdj::from_encoded(
+            encode_adj_from_sorted(30, arcs.into_iter()),
+        ));
+        assert_eq!(&streamed.decompress(), &g);
+    }
+
+    #[test]
+    fn compressed_beats_plain_on_degree_ordered_graph() {
+        // A dense-ish graph with clustered ids: gaps are tiny, so the
+        // encoded arcs must come out well under 4 bytes each.
+        let n = 512;
+        let mut edges = Vec::new();
+        for u in 0..n as VertexId {
+            for d in 1..=6u32 {
+                if u + d < n as VertexId {
+                    edges.push((u, u + d));
+                }
+            }
+        }
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges).build().unwrap();
+        let c = CompressedCsr::from_graph(&g);
+        let plain_bytes = (g.adjacency().len() * 4 + (n + 1) * 8) as f64;
+        assert!(
+            (c.total_bytes() as f64) < plain_bytes,
+            "compressed {} >= plain {plain_bytes}",
+            c.total_bytes()
+        );
+        // The data stream itself should be close to 1 byte/arc here.
+        assert!(c.adj().data_bytes() < g.adjacency().len() * 2);
+    }
+
+    #[test]
+    fn position_of_absent_neighbors() {
+        let g = UndirectedGraphBuilder::new(300)
+            .add_edges((1..250).step_by(2).map(|v| (0, v as VertexId)))
+            .build()
+            .unwrap();
+        let c = CompressedCsr::from_graph(&g);
+        for v in (2..250).step_by(2) {
+            assert_eq!(c.adj().position_of(0, v as VertexId), None);
+        }
+        for (i, &w) in g.neighbors(0).iter().enumerate() {
+            assert_eq!(c.adj().position_of(0, w), Some(i));
+        }
+    }
+}

@@ -91,6 +91,19 @@ impl DirectedGraph {
         &self.in_offsets
     }
 
+    /// Raw flat out-adjacency array (concatenated sorted `N⁺` lists), for
+    /// zero-copy consumers like the compressed-substrate encoder.
+    #[inline]
+    pub fn out_adjacency(&self) -> &[VertexId] {
+        &self.out_adj
+    }
+
+    /// Raw flat in-adjacency array (concatenated sorted `N⁻` lists).
+    #[inline]
+    pub fn in_adjacency(&self) -> &[VertexId] {
+        &self.in_adj
+    }
+
     /// Sorted in-neighbours `N⁻(v)`.
     #[inline]
     pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {

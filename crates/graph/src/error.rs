@@ -21,6 +21,15 @@ pub enum GraphError {
     },
     /// Underlying IO failure while reading or writing a graph file.
     Io(std::io::Error),
+    /// A binary graph file was structurally malformed: bad magic, unknown
+    /// version, a section table whose declared offsets/lengths do not fit
+    /// the actual payload, or counts whose byte sizes overflow `u64`.
+    /// Raised by [`crate::binio`] *before* any payload-sized allocation,
+    /// so a lying header can never trigger a capacity panic.
+    Format {
+        /// Description of the structural violation.
+        message: String,
+    },
     /// A request was structurally invalid (e.g. sampling fraction outside
     /// `(0, 1]`).
     InvalidArgument(String),
@@ -36,6 +45,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::Format { message } => {
+                write!(f, "malformed graph file: {message}")
+            }
             GraphError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -78,6 +90,12 @@ mod tests {
         let e: GraphError = io.into();
         assert!(e.to_string().contains("gone"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn format_display() {
+        let e = GraphError::Format { message: "section table past end of file".into() };
+        assert_eq!(e.to_string(), "malformed graph file: section table past end of file");
     }
 
     #[test]

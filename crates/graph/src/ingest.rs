@@ -721,6 +721,385 @@ pub(crate) fn prefix_sum(counts: &[usize]) -> Vec<usize> {
     exclusive_prefix_sum(counts)
 }
 
+// ---------------------------------------------------------------------------
+// Spill mode: bounded-RSS shard ingest (PR 6)
+// ---------------------------------------------------------------------------
+//
+// The in-memory pipeline above stages every arc at once (the staged key
+// array is `O(total arcs)`), which is exactly what must not happen when the
+// edge set dwarfs RAM. Spill mode trades one round trip through the
+// filesystem for a working set bounded by the shard size: arcs are packed
+// into `(src << 32) | dst` keys a *window* at a time, each full window is
+// sorted, deduplicated and written to a temporary shard file
+// (`ingest/spill` phase), and the shards are k-way merged — with global
+// dedup falling out of the merge order — straight into the CSR or the
+// delta-varint compressed builder (`ingest/merge` phase). Validation runs
+// first over the same chunk decomposition as the in-memory pipeline, with
+// the same earliest-invalid-edge reduction, so error payloads and success
+// results are bit-identical to `build`/`build_legacy` at every pool size:
+// window boundaries depend only on the input order, window sorts are
+// value-deterministic, and the merge is serial.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufWriter as IoBufWriter, Read as IoRead, Write as IoWrite};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::compress::{encode_adj_from_sorted, CompressedAdj, CompressedCsr, CompressedDigraph};
+
+/// Default arcs per spill window: 4M packed keys = 32 MiB of sort buffer.
+pub const DEFAULT_SHARD_ARCS: usize = 1 << 22;
+
+/// u64 records per merge read block (64 KiB per shard stream).
+const MERGE_BLOCK: usize = 8 << 10;
+
+/// Tuning for spill-mode ingest.
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// Maximum arcs held in the in-memory window before a shard is
+    /// spilled. Peak ingest RSS is `O(shard_arcs)` plus the output arrays.
+    pub shard_arcs: usize,
+    /// Directory for shard files; the system temp dir when `None`. A
+    /// fresh uniquely-named subdirectory is created and removed per run.
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for SpillConfig {
+    fn default() -> Self {
+        Self { shard_arcs: DEFAULT_SHARD_ARCS, dir: None }
+    }
+}
+
+impl SpillConfig {
+    /// A config with the given window size (clamped to ≥ 1024 arcs so
+    /// degenerate settings cannot produce one shard per edge).
+    pub fn with_shard_arcs(shard_arcs: usize) -> Self {
+        Self { shard_arcs: shard_arcs.max(1024), ..Self::default() }
+    }
+}
+
+static SPILL_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// RAII guard for the per-run shard directory (removed best-effort on
+/// drop, so early error returns never leak shards).
+struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    fn create(cfg: &SpillConfig) -> Result<Self> {
+        let base = cfg.dir.clone().unwrap_or_else(std::env::temp_dir);
+        let path = base.join(format!(
+            "dsd-spill-{}-{}",
+            std::process::id(),
+            SPILL_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    fn shard_path(&self, i: usize) -> PathBuf {
+        self.path.join(format!("shard-{i}.arcs"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Range-checks every endpoint with the same chunk decomposition and
+/// earliest-invalid-edge reduction as the in-memory pipeline, so spill
+/// mode reports identical errors.
+fn validate_parts(n: usize, chunks: &[ChunkRef<'_>]) -> Result<()> {
+    let _validate = span(Phase::IngestValidate);
+    let bad = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut bad: BadEdge = None;
+            for (i, &(u, v)) in chunk.edges.iter().enumerate() {
+                if (u as usize) >= n {
+                    bad = Some((chunk.base + i, u as u64));
+                    break;
+                }
+                if (v as usize) >= n {
+                    bad = Some((chunk.base + i, v as u64));
+                    break;
+                }
+            }
+            bad
+        })
+        .reduce(|| None, earlier);
+    if let Some((_, vertex)) = bad {
+        return Err(GraphError::VertexOutOfRange { vertex, n: n as u64 });
+    }
+    Ok(())
+}
+
+#[inline]
+fn pack_arc(src: VertexId, dst: VertexId) -> u64 {
+    (u64::from(src) << 32) | u64::from(dst)
+}
+
+/// Sorts, dedups and writes one window as a shard file of u64 LE records.
+fn flush_window(window: &mut Vec<u64>, dir: &SpillDir, idx: usize) -> Result<()> {
+    let _spill = span(Phase::IngestSpill);
+    window.par_sort_unstable();
+    window.dedup();
+    let mut w = IoBufWriter::new(File::create(dir.shard_path(idx))?);
+    for &key in window.iter() {
+        w.write_all(&key.to_le_bytes())?;
+    }
+    w.flush()?;
+    window.clear();
+    Ok(())
+}
+
+/// Writes sorted deduplicated arc shards for one adjacency side and
+/// returns how many shards were spilled.
+fn spill_shards(
+    parts: &[&[(VertexId, VertexId)]],
+    mode: Mode,
+    cfg: &SpillConfig,
+    dir: &SpillDir,
+) -> Result<usize> {
+    let cap = cfg.shard_arcs.max(1024);
+    let mut window: Vec<u64> = Vec::with_capacity(cap.min(1 << 26));
+    let mut shards = 0usize;
+    let push = |window: &mut Vec<u64>, key: u64, shards: &mut usize| -> Result<()> {
+        window.push(key);
+        if window.len() >= cap {
+            flush_window(window, dir, *shards)?;
+            *shards += 1;
+        }
+        Ok(())
+    };
+    for part in parts {
+        for &(u, v) in *part {
+            if u == v {
+                continue;
+            }
+            match mode {
+                Mode::Both => {
+                    push(&mut window, pack_arc(u, v), &mut shards)?;
+                    push(&mut window, pack_arc(v, u), &mut shards)?;
+                }
+                Mode::Out => push(&mut window, pack_arc(u, v), &mut shards)?,
+                Mode::In => push(&mut window, pack_arc(v, u), &mut shards)?,
+            }
+        }
+    }
+    if !window.is_empty() {
+        flush_window(&mut window, dir, shards)?;
+        shards += 1;
+    }
+    Ok(shards)
+}
+
+/// Buffered u64-record reader over one shard file.
+struct ShardStream {
+    file: File,
+    buf: Vec<u64>,
+    pos: usize,
+}
+
+impl ShardStream {
+    fn open(path: &PathBuf) -> Result<Self> {
+        Ok(Self { file: File::open(path)?, buf: Vec::new(), pos: 0 })
+    }
+
+    fn next_key(&mut self) -> Result<Option<u64>> {
+        if self.pos == self.buf.len() {
+            let mut bytes = vec![0u8; MERGE_BLOCK * 8];
+            let mut filled = 0usize;
+            loop {
+                match self.file.read(&mut bytes[filled..]) {
+                    Ok(0) => break,
+                    Ok(k) => {
+                        filled += k;
+                        if filled == bytes.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if filled % 8 != 0 {
+                return Err(GraphError::Format {
+                    message: "spill shard truncated mid-record".into(),
+                });
+            }
+            self.buf.clear();
+            for rec in bytes[..filled].chunks_exact(8) {
+                self.buf.push(u64::from_le_bytes(rec.try_into().expect("8 bytes")));
+            }
+            self.pos = 0;
+            if self.buf.is_empty() {
+                return Ok(None);
+            }
+        }
+        let k = self.buf[self.pos];
+        self.pos += 1;
+        Ok(Some(k))
+    }
+}
+
+/// K-way merge over sorted shard files with on-the-fly global dedup.
+/// Yields strictly increasing `(src, dst)` arcs.
+struct ShardMerge {
+    streams: Vec<ShardStream>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    last: Option<u64>,
+    error: Option<GraphError>,
+}
+
+impl ShardMerge {
+    fn new(dir: &SpillDir, shards: usize) -> Result<Self> {
+        let mut streams = Vec::with_capacity(shards);
+        let mut heap = BinaryHeap::with_capacity(shards);
+        for i in 0..shards {
+            let mut s = ShardStream::open(&dir.shard_path(i))?;
+            if let Some(k) = s.next_key()? {
+                heap.push(Reverse((k, i)));
+            }
+            streams.push(s);
+        }
+        Ok(Self { streams, heap, last: None, error: None })
+    }
+
+    fn take_error(self) -> Result<()> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Iterator for &mut ShardMerge {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<(VertexId, VertexId)> {
+        if self.error.is_some() {
+            return None;
+        }
+        loop {
+            let Reverse((key, i)) = self.heap.pop()?;
+            match self.streams[i].next_key() {
+                Ok(Some(k)) => self.heap.push(Reverse((k, i))),
+                Ok(None) => {}
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+            if self.last != Some(key) {
+                self.last = Some(key);
+                return Some(((key >> 32) as VertexId, key as VertexId));
+            }
+        }
+    }
+}
+
+/// Builds one plain CSR side by streaming the merged shards.
+fn csr_side_spill(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+    mode: Mode,
+    cfg: &SpillConfig,
+) -> Result<(Vec<usize>, Vec<VertexId>)> {
+    let dir = SpillDir::create(cfg)?;
+    let shards = spill_shards(parts, mode, cfg, &dir)?;
+    let _merge = span(Phase::IngestMerge);
+    let mut merge = ShardMerge::new(&dir, shards)?;
+    let mut offsets = vec![0usize; n + 1];
+    let mut adj: Vec<VertexId> = Vec::new();
+    for (src, dst) in &mut merge {
+        offsets[src as usize + 1] += 1;
+        adj.push(dst);
+    }
+    merge.take_error()?;
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    debug_assert_eq!(*offsets.last().expect("offsets non-empty"), adj.len());
+    Ok((offsets, adj))
+}
+
+/// Spill-mode analogue of [`undirected_from_parts`]: identical result and
+/// error behaviour, peak ingest working set bounded by
+/// [`SpillConfig::shard_arcs`] instead of the total arc count.
+pub fn undirected_from_parts_spill(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+    cfg: &SpillConfig,
+) -> Result<UndirectedGraph> {
+    validate_parts(n, &chunk_refs(parts))?;
+    let (offsets, adj) = csr_side_spill(n, parts, Mode::Both, cfg)?;
+    Ok(UndirectedGraph::from_csr(offsets, adj))
+}
+
+/// Spill-mode analogue of [`directed_from_parts`].
+pub fn directed_from_parts_spill(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+    cfg: &SpillConfig,
+) -> Result<DirectedGraph> {
+    validate_parts(n, &chunk_refs(parts))?;
+    let (out_offsets, out_adj) = csr_side_spill(n, parts, Mode::Out, cfg)?;
+    let (in_offsets, in_adj) = csr_side_spill(n, parts, Mode::In, cfg)?;
+    debug_assert_eq!(out_adj.len(), in_adj.len(), "arc dedup must agree on both sides");
+    Ok(DirectedGraph::from_csr(out_offsets, out_adj, in_offsets, in_adj))
+}
+
+/// Spill ingest fused with the delta-varint encoder: the merged arc
+/// stream feeds [`crate::compress`]'s streaming builder directly, so the
+/// plain `O(m)` adjacency array is never materialised — peak RSS is the
+/// spill window plus the *compressed* output.
+pub fn undirected_compressed_from_parts_spill(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+    cfg: &SpillConfig,
+) -> Result<CompressedCsr> {
+    validate_parts(n, &chunk_refs(parts))?;
+    let dir = SpillDir::create(cfg)?;
+    let shards = spill_shards(parts, Mode::Both, cfg, &dir)?;
+    let _merge = span(Phase::IngestMerge);
+    let mut merge = ShardMerge::new(&dir, shards)?;
+    let encoded = encode_adj_from_sorted(n, &mut merge);
+    merge.take_error()?;
+    Ok(CompressedCsr::from_adj(CompressedAdj::from_encoded(encoded)))
+}
+
+/// Directed spill ingest fused with the delta-varint encoder; see
+/// [`undirected_compressed_from_parts_spill`].
+pub fn directed_compressed_from_parts_spill(
+    n: usize,
+    parts: &[&[(VertexId, VertexId)]],
+    cfg: &SpillConfig,
+) -> Result<CompressedDigraph> {
+    validate_parts(n, &chunk_refs(parts))?;
+    let mut sides = Vec::with_capacity(2);
+    for mode in [Mode::Out, Mode::In] {
+        let dir = SpillDir::create(cfg)?;
+        let shards = spill_shards(parts, mode, cfg, &dir)?;
+        let _merge = span(Phase::IngestMerge);
+        let mut merge = ShardMerge::new(&dir, shards)?;
+        let encoded = encode_adj_from_sorted(n, &mut merge);
+        merge.take_error()?;
+        sides.push(encoded);
+    }
+    let inc = sides.pop().expect("two sides");
+    let out = sides.pop().expect("two sides");
+    CompressedDigraph::from_sides(
+        CompressedAdj::from_encoded(out),
+        CompressedAdj::from_encoded(inc),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -847,5 +1226,97 @@ mod tests {
             b.push_edge(u, v);
         }
         assert_eq!(dengine, b.build_legacy().unwrap());
+    }
+
+    /// A duplicate- and self-loop-heavy edge soup for the spill tests.
+    fn spill_edges(n: usize, count: usize) -> Vec<(u32, u32)> {
+        let mut state = 7u64;
+        let mut edges = Vec::with_capacity(count + count / 3);
+        for _ in 0..count {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 16) as usize % n) as u32;
+            let v = ((state >> 40) as usize % n) as u32;
+            edges.push((u, v));
+            if state % 3 == 0 {
+                edges.push((u, v)); // exact duplicate crossing shard boundaries
+            }
+            if state % 7 == 0 {
+                edges.push((u, u)); // self-loop to drop
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn spill_matches_in_memory_with_multiple_shards() {
+        let n = 1500usize;
+        let edges = spill_edges(n, 12_000);
+        // Tiny window (clamped floor is 1024) forces many shards.
+        let cfg = SpillConfig::with_shard_arcs(0);
+        assert_eq!(cfg.shard_arcs, 1024);
+        let (a, b) = edges.split_at(edges.len() / 3);
+        let spilled = undirected_from_parts_spill(n, &[a, b], &cfg).unwrap();
+        assert_eq!(spilled, undirected_from_parts(n, &[a, b]).unwrap());
+        let dspilled = directed_from_parts_spill(n, &[a, b], &cfg).unwrap();
+        assert_eq!(dspilled, directed_from_parts(n, &[a, b]).unwrap());
+    }
+
+    #[test]
+    fn spill_single_shard_and_empty_inputs() {
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 0), (1, 0)];
+        let cfg = SpillConfig::default();
+        let g = undirected_from_parts_spill(3, &[&edges], &cfg).unwrap();
+        assert_eq!(g, undirected_from_parts(3, &[&edges]).unwrap());
+        let empty = undirected_from_parts_spill(4, &[], &cfg).unwrap();
+        assert_eq!(empty.num_vertices(), 4);
+        assert_eq!(empty.num_edges(), 0);
+        let dempty = directed_from_parts_spill(4, &[], &cfg).unwrap();
+        assert_eq!(dempty.num_edges(), 0);
+    }
+
+    #[test]
+    fn spill_reports_earliest_invalid_edge_like_in_memory() {
+        let head: Vec<(u32, u32)> = (0..300u32).map(|i| (i % 10, (i + 1) % 10)).collect();
+        let mut a = head.clone();
+        a.push((77, 0));
+        let b = vec![(0u32, 1u32), (99, 1)];
+        let cfg = SpillConfig::with_shard_arcs(0);
+        let err = undirected_from_parts_spill(10, &[&a, &b], &cfg).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 77, n: 10 }));
+        let err = directed_from_parts_spill(10, &[&a, &b], &cfg).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 77, n: 10 }));
+    }
+
+    #[test]
+    fn compressed_spill_matches_direct_compression() {
+        let n = 900usize;
+        let edges = spill_edges(n, 8_000);
+        let cfg = SpillConfig::with_shard_arcs(0);
+        let plain = undirected_from_parts(n, &[&edges]).unwrap();
+        let c = undirected_compressed_from_parts_spill(n, &[&edges], &cfg).unwrap();
+        assert_eq!(c.decompress(), plain);
+        let dplain = directed_from_parts(n, &[&edges]).unwrap();
+        let dc = directed_compressed_from_parts_spill(n, &[&edges], &cfg).unwrap();
+        assert_eq!(dc.decompress(), dplain);
+    }
+
+    #[test]
+    fn spill_deterministic_across_pool_sizes() {
+        let n = 1200usize;
+        let edges = spill_edges(n, 10_000);
+        let cfg = SpillConfig::with_shard_arcs(0);
+        let reference = undirected_from_parts_spill(n, &[&edges], &cfg).unwrap();
+        let dreference = directed_from_parts_spill(n, &[&edges], &cfg).unwrap();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let (g, d) = pool.install(|| {
+                (
+                    undirected_from_parts_spill(n, &[&edges], &cfg).unwrap(),
+                    directed_from_parts_spill(n, &[&edges], &cfg).unwrap(),
+                )
+            });
+            assert_eq!(g, reference, "pool size {threads}");
+            assert_eq!(d, dreference, "pool size {threads}");
+        }
     }
 }

@@ -247,6 +247,42 @@ pub fn read_directed<R: Read>(reader: R) -> Result<DirectedGraph> {
     ingest::directed_from_chunks(n, &chunks)
 }
 
+/// Reads an undirected graph with spill-mode construction: the chunked
+/// parse is unchanged, but CSR assembly goes through the bounded-RSS shard
+/// pipeline ([`crate::ingest::undirected_from_parts_spill`]). Result and
+/// error behaviour are bit-identical to [`read_undirected`].
+pub fn read_undirected_spill<R: Read>(
+    reader: R,
+    cfg: &ingest::SpillConfig,
+) -> Result<UndirectedGraph> {
+    let (chunks, n) = read_chunks(reader)?;
+    let parts: Vec<&[(VertexId, VertexId)]> = chunks.iter().map(|c| c.as_slice()).collect();
+    ingest::undirected_from_parts_spill(n, &parts, cfg)
+}
+
+/// Spill-mode directed reader; see [`read_undirected_spill`].
+pub fn read_directed_spill<R: Read>(reader: R, cfg: &ingest::SpillConfig) -> Result<DirectedGraph> {
+    let (chunks, n) = read_chunks(reader)?;
+    let parts: Vec<&[(VertexId, VertexId)]> = chunks.iter().map(|c| c.as_slice()).collect();
+    ingest::directed_from_parts_spill(n, &parts, cfg)
+}
+
+/// Spill-mode undirected reader from a file path.
+pub fn read_undirected_path_spill<P: AsRef<Path>>(
+    path: P,
+    cfg: &ingest::SpillConfig,
+) -> Result<UndirectedGraph> {
+    read_undirected_spill(std::fs::File::open(path)?, cfg)
+}
+
+/// Spill-mode directed reader from a file path.
+pub fn read_directed_path_spill<P: AsRef<Path>>(
+    path: P,
+    cfg: &ingest::SpillConfig,
+) -> Result<DirectedGraph> {
+    read_directed_spill(std::fs::File::open(path)?, cfg)
+}
+
 /// Serial reference reader: line-at-a-time parse plus the legacy
 /// `O(m log m)` builder. The full-pipeline oracle for
 /// [`read_undirected`] parity tests.
@@ -426,6 +462,25 @@ mod tests {
             let chunked = parse_chunked(&bytes, size).unwrap_err();
             assert_eq!(chunked.to_string(), serial.to_string(), "chunk size {size}");
         }
+    }
+
+    #[test]
+    fn spill_readers_match_in_memory_readers() {
+        let g = crate::gen::erdos_renyi(80, 400, 21);
+        let mut buf = Vec::new();
+        write_undirected(&g, &mut buf).unwrap();
+        let cfg = ingest::SpillConfig::with_shard_arcs(0); // 1024-arc floor → ≥1 spill
+        assert_eq!(
+            read_undirected_spill(buf.as_slice(), &cfg).unwrap(),
+            read_undirected(buf.as_slice()).unwrap()
+        );
+        let d = crate::gen::erdos_renyi_directed(80, 400, 22);
+        let mut buf = Vec::new();
+        write_directed(&d, &mut buf).unwrap();
+        assert_eq!(
+            read_directed_spill(buf.as_slice(), &cfg).unwrap(),
+            read_directed(buf.as_slice()).unwrap()
+        );
     }
 
     #[test]

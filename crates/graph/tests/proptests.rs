@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 
-use dsd_graph::{DirectedGraphBuilder, UndirectedGraphBuilder};
+use dsd_graph::{
+    CompressedCsr, CompressedDigraph, DirectedGraphBuilder, DirectedNeighborAccess, NeighborAccess,
+    UndirectedGraphBuilder,
+};
 
 /// Arbitrary raw edge list (may contain self-loops and duplicates) over a
 /// small vertex range.
@@ -221,6 +224,84 @@ proptest! {
         prop_assert_eq!(fast.graph, legacy.graph);
         prop_assert_eq!(fast.original, legacy.original);
         prop_assert_eq!(fast.new_id, legacy.new_id);
+    }
+
+    // PR 6: compressed neighbor iteration must be bit-identical to plain
+    // CSR on every input — isolated vertices and (canonicalised-away)
+    // self-loops included by construction of `raw_edges`.
+    #[test]
+    fn compressed_iteration_matches_plain((n, edges) in raw_edges()) {
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let c = CompressedCsr::from_graph(&g);
+        prop_assert_eq!(c.vertex_count(), g.num_vertices());
+        prop_assert_eq!(c.arc_count(), 2 * g.num_edges() as u64);
+        for v in 0..n as u32 {
+            prop_assert_eq!(c.degree_of(v), g.degree(v), "degree at {}", v);
+            let decoded: Vec<u32> = c.neighbors_of(v).collect();
+            prop_assert_eq!(decoded.as_slice(), g.neighbors(v), "neighbors at {}", v);
+        }
+        prop_assert_eq!(&c.decompress(), &g);
+
+        let d = DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let cd = CompressedDigraph::from_graph(&d);
+        prop_assert_eq!(cd.edge_count(), d.num_edges());
+        for v in 0..n as u32 {
+            let outs: Vec<u32> = cd.out_neighbors_of(v).collect();
+            let ins: Vec<u32> = cd.in_neighbors_of(v).collect();
+            prop_assert_eq!(outs.as_slice(), d.out_neighbors(v), "out at {}", v);
+            prop_assert_eq!(ins.as_slice(), d.in_neighbors(v), "in at {}", v);
+            for (i, &w) in d.out_neighbors(v).iter().enumerate() {
+                prop_assert_eq!(cd.out_neighbor_at(v, i), w);
+                prop_assert_eq!(cd.out_rank_of(v, w), Some(i));
+            }
+        }
+        prop_assert_eq!(&cd.decompress(), &d);
+    }
+
+    // PR 6: spill-mode ingest must match the in-memory builders and be
+    // deterministic across rayon pool sizes.
+    #[test]
+    fn spill_build_matches_and_is_pool_invariant((n, edges) in raw_edges()) {
+        let cfg = dsd_graph::SpillConfig::with_shard_arcs(0); // clamps to the 1024 floor
+        let u_ref =
+            UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let d_ref = DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let (us, ds) = pool.install(|| {
+                (
+                    dsd_graph::ingest::undirected_from_parts_spill(n, &[&edges], &cfg).unwrap(),
+                    dsd_graph::ingest::directed_from_parts_spill(n, &[&edges], &cfg).unwrap(),
+                )
+            });
+            prop_assert_eq!(&us, &u_ref, "undirected spill at {} threads", threads);
+            prop_assert_eq!(&ds, &d_ref, "directed spill at {} threads", threads);
+        }
+    }
+
+    // PR 6: build -> binio v2 write -> (mmap) load -> decompress must
+    // reproduce the original graph exactly, for both kinds.
+    #[test]
+    fn binio_v2_mmap_round_trip((n, edges) in raw_edges()) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tag = format!("{}-{}", std::process::id(), SEQ.fetch_add(1, Ordering::Relaxed));
+
+        let g = UndirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let c = CompressedCsr::from_graph(&g);
+        let path = std::env::temp_dir().join(format!("dsd-prop-u-{tag}.bin"));
+        dsd_graph::binio::write_compressed_undirected_path(&c, &path).unwrap();
+        let loaded = dsd_graph::binio::load_compressed_undirected_path(&path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(&loaded.unwrap().decompress(), &g);
+
+        let d = DirectedGraphBuilder::new(n).add_edges(edges.iter().copied()).build().unwrap();
+        let cd = CompressedDigraph::from_graph(&d);
+        let path = std::env::temp_dir().join(format!("dsd-prop-d-{tag}.bin"));
+        dsd_graph::binio::write_compressed_directed_path(&cd, &path).unwrap();
+        let loaded = dsd_graph::binio::load_compressed_directed_path(&path);
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(&loaded.unwrap().decompress(), &d);
     }
 
     // Parallel chunked parse must agree with the serial reader end to end.

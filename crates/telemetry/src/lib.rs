@@ -69,17 +69,27 @@ pub enum Counter {
     /// `dds/winduced.rs` legacy kernel and `uds/pkc.rs`: entries retained
     /// (moved) by an in-place candidate/scratch compaction.
     CompactionMoves,
+    /// `dsd-graph::compress`: bytes of delta-varint neighbour stream read
+    /// by fused-decode cursors (one unit = one encoded adjacency byte
+    /// handed to a `NeighborCursor`).
+    DecodeBytes,
+    /// `dsd-graph::compress`: bytes of delta-varint neighbour stream
+    /// produced by the encoder (adjacency data sections only, excluding
+    /// the degree and offset tables).
+    EncodeBytes,
 }
 
 impl Counter {
     /// Every counter, in shard-slot order (also the JSON emission order).
-    pub const ALL: [Counter; 6] = [
+    pub const ALL: [Counter; 8] = [
         Counter::HUpdatesApplied,
         Counter::FrontierEnqueues,
         Counter::ChunkMinRescans,
         Counter::CacheBoundHits,
         Counter::CasRetries,
         Counter::CompactionMoves,
+        Counter::DecodeBytes,
+        Counter::EncodeBytes,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -93,6 +103,8 @@ impl Counter {
             Counter::CacheBoundHits => "cache_bound_hits",
             Counter::CasRetries => "cas_retries",
             Counter::CompactionMoves => "compaction_moves",
+            Counter::DecodeBytes => "decode_bytes",
+            Counter::EncodeBytes => "encode_bytes",
         }
     }
 }
@@ -155,11 +167,20 @@ pub enum Phase {
     FlowDischarge,
     /// Flow: min-cut s-side extraction and certificate set construction.
     FlowCutExtract,
+    /// Compress: delta-varint encoding of an adjacency structure into the
+    /// chunked compressed CSR payload (`dsd-graph::compress`).
+    CompressEncode,
+    /// Ingest spill mode: sorting an arc window and writing it to a
+    /// temporary shard file (`dsd-graph::ingest::spill`).
+    IngestSpill,
+    /// Ingest spill mode: k-way merge of sorted shard files into the
+    /// final CSR / compressed builder.
+    IngestMerge,
 }
 
 impl Phase {
     /// Every phase, in shard-slot order.
-    pub const ALL: [Phase; 19] = [
+    pub const ALL: [Phase; 22] = [
         Phase::Init,
         Phase::Sweep,
         Phase::Apply,
@@ -179,6 +200,9 @@ impl Phase {
         Phase::FlowRelabel,
         Phase::FlowDischarge,
         Phase::FlowCutExtract,
+        Phase::CompressEncode,
+        Phase::IngestSpill,
+        Phase::IngestMerge,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -205,6 +229,9 @@ impl Phase {
             Phase::FlowRelabel => "flow/relabel",
             Phase::FlowDischarge => "flow/discharge",
             Phase::FlowCutExtract => "flow/cut-extract",
+            Phase::CompressEncode => "compress/encode",
+            Phase::IngestSpill => "ingest/spill",
+            Phase::IngestMerge => "ingest/merge",
         }
     }
 }

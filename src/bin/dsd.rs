@@ -5,6 +5,7 @@
 //! dsd dds   --input graph.txt [--algo pwc]  [--threads 4] [--print-vertices]
 //! dsd gen   --model chung-lu --n 10000 --m 80000 [--seed 7] [--directed] --out graph.txt
 //! dsd stats --input graph.txt [--directed]
+//! dsd pack  --input graph.txt --out graph.dsdz [--directed] [--no-reorder] [--spill-arcs N]
 //! ```
 //!
 //! Graphs are whitespace edge lists (`u v` per line; `#`/`%` comments).
@@ -16,7 +17,7 @@ use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dsd uds   --input FILE [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--print-vertices]\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|exact]\n            [--threads N] [--print-vertices]\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)"
+        "usage:\n  dsd uds   --input FILE [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--print-vertices]\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|exact]\n            [--threads N] [--print-vertices]\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)"
     );
     ExitCode::from(2)
 }
@@ -30,7 +31,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a}"));
         };
         // Boolean flags take no value.
-        if matches!(name, "directed" | "print-vertices") {
+        if matches!(name, "directed" | "print-vertices" | "no-reorder") {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -71,6 +72,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "decompose" => cmd_decompose(&flags),
+        "pack" => cmd_pack(&flags),
         _ => return usage(),
     };
     match result {
@@ -261,5 +263,58 @@ fn cmd_decompose(flags: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown decomposition {other}")),
     }
     out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Compresses an edge-list graph into the delta-varint binary v2 format.
+///
+/// Vertices are renumbered by descending degree first (compression works on
+/// gaps between sorted neighbor ids, and degree clustering shrinks the gaps
+/// around the hubs) unless `--no-reorder` is given; the achieved bytes/edge
+/// is printed and, with `--trace FILE`, recorded alongside the encode phase
+/// timings in a `dsd-trace/v1` JSON file.
+fn cmd_pack(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let out = flags.get("out").ok_or("--out is required")?;
+    let reorder = !flags.contains_key("no-reorder");
+    let spill_arcs: usize = get_parsed(flags, "spill-arcs", 0)?;
+    let spill = (spill_arcs > 0).then(|| dsd_graph::SpillConfig::with_shard_arcs(spill_arcs));
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() {
+        dsd_telemetry::set_enabled(true);
+        dsd_telemetry::begin_trace(&format!("pack/{input}"));
+    }
+    let (arcs, raw_bytes, packed_bytes, bytes_per_arc) = if flags.contains_key("directed") {
+        let g = match &spill {
+            Some(cfg) => dsd_graph::io::read_directed_path_spill(input, cfg),
+            None => dsd_graph::io::read_directed_path(input),
+        }
+        .map_err(|e| e.to_string())?;
+        let g =
+            if reorder { dsd_graph::reorder::by_degree_descending_directed(&g).graph } else { g };
+        let c = dsd_graph::CompressedDigraph::from_graph(&g);
+        dsd_graph::binio::write_compressed_directed_path(&c, out).map_err(|e| e.to_string())?;
+        // Plain CSR stores each edge twice (out + in adjacency) at 4 bytes.
+        (g.num_edges() as u64, 8 * g.num_edges() as u64, c.total_bytes(), c.bytes_per_arc())
+    } else {
+        let g = match &spill {
+            Some(cfg) => dsd_graph::io::read_undirected_path_spill(input, cfg),
+            None => dsd_graph::io::read_undirected_path(input),
+        }
+        .map_err(|e| e.to_string())?;
+        let g = if reorder { dsd_graph::reorder::by_degree_descending(&g).graph } else { g };
+        let c = dsd_graph::CompressedCsr::from_graph(&g);
+        dsd_graph::binio::write_compressed_undirected_path(&c, out).map_err(|e| e.to_string())?;
+        // Plain CSR stores each undirected edge in both endpoint lists.
+        (g.num_edges() as u64, 8 * g.num_edges() as u64, c.total_bytes(), c.bytes_per_arc())
+    };
+    println!(
+        "packed {input} -> {out}\nedges: {arcs}\nreorder: {reorder}\nadjacency bytes: {packed_bytes} (plain CSR: {raw_bytes})\nbytes/arc: {bytes_per_arc:.3}"
+    );
+    if let Some(path) = trace_path {
+        let trace = dsd_telemetry::end_trace().ok_or("telemetry trace unavailable")?;
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {path}");
+    }
     Ok(())
 }
