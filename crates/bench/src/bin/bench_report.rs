@@ -13,7 +13,10 @@
 //! compressed substrate (PR 6: achieved bytes/arc with and without the
 //! degree reorder, fused-decode sweep/peel vs their plain-CSR twins, the
 //! binio v2 mmap round-trip, and the spill-mode bounded-RSS ingest vs both
-//! in-memory builders), and
+//! in-memory builders), the iterative near-optimal engine (PR 7:
+//! exact-certified Greedy++/FISTA vs the full exact oracle on a seeded
+//! power-law benchmark, iterations-to-ε off the dual-gap trajectory, and
+//! plain/compressed bit-parity at pool sizes 1/2/4), and
 //! the paper's two contributed algorithms end-to-end (PKMC and PWC) on the
 //! seeded stand-in graphs; verifies the parity contracts (UDS sync mode
 //! bit-identical to the seed kernel; DDS induce-numbers and `w*`
@@ -27,10 +30,10 @@
 //!
 //! ```text
 //! cargo run --release -p dsd-bench --bin bench_report \
-//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR6.json]
+//!     [-- --smoke] [-- --trace] [-- --out BENCH_PR7.json]
 //! ```
 //!
-//! The default output path is `BENCH_PR6.json` in the current directory
+//! The default output path is `BENCH_PR7.json` in the current directory
 //! (run from the repo root to refresh the committed baseline). Scale the
 //! workload with `DSD_BENCH_SCALE` (default 1.0; CI can lower it).
 //! `--smoke` is the CI fast mode: tiny graphs, one rep, output defaulting
@@ -434,6 +437,161 @@ fn compression_section(
     }
 }
 
+#[derive(Serialize)]
+struct IterativeParity {
+    /// Greedy++ density / vertex set / dual bound / round count identical
+    /// on plain and compressed storage at every pool size tried.
+    greedypp_identical: bool,
+    /// Same for FISTA.
+    fista_identical: bool,
+    /// Pool sizes the iterative parity checks ran at.
+    pool_sizes: Vec<usize>,
+}
+
+/// Rounds until the certified gap `density·(1+ε) ≥ dual bound` closes.
+#[derive(Serialize)]
+struct EpsilonPoint {
+    epsilon: f64,
+    /// `None` means the budget ran out before the gap closed.
+    greedypp_rounds: Option<usize>,
+    fista_rounds: Option<usize>,
+}
+
+/// The PR-7 iterative section: certified Greedy++/FISTA near-optimal
+/// engine vs the exact oracle.
+#[derive(Serialize)]
+struct IterativeSection {
+    timings: Vec<Timing>,
+    /// Iterations-to-ε read off the dual-gap trajectory of an
+    /// uncapped budget run.
+    iterations_to_epsilon: Vec<EpsilonPoint>,
+    /// `uds_exact_certified_best / greedypp_certify_exact_best` — the PR-7
+    /// acceptance headline (target > 1: near-optimal incumbent + 1-2 flow
+    /// probes vs the oracle's full guess ladder).
+    speedup_greedypp_vs_exact: f64,
+    /// FISTA counterpart of the headline.
+    speedup_fista_vs_exact: f64,
+    greedypp_density: f64,
+    fista_density: f64,
+    exact_density: f64,
+    /// Both `--certify exact` runs landed exactly on the oracle density.
+    reached_exact: bool,
+    parity: IterativeParity,
+}
+
+/// Times and parity-checks the PR-7 iterative near-optimal engine:
+/// exact-certified Greedy++/FISTA vs the full `uds_exact_certified`
+/// oracle on the seeded power-law benchmark, iterations-to-ε off the
+/// dual-gap trajectory, and plain/compressed bit-parity at pool sizes
+/// {1, 2, 4}. Density agreement and parity are asserted; the speedup
+/// headline is asserted only in full (non-smoke) runs, where timing
+/// noise cannot dominate.
+fn iterative_section(scale: f64, reps: usize, smoke: bool) -> IterativeSection {
+    use dsd_core::uds::iterate::{
+        fista_storage, greedy_pp_storage, CertifyMode, IterateConfig, IterativeResult, RoundPoint,
+    };
+    use dsd_graph::{CompressedCsr, UndirectedStorage};
+    fn one<T>(_: &T) -> usize {
+        1
+    }
+
+    // The satellite generator: seeded configuration-model power law with a
+    // configurable exponent — the iterative engine's benchmark substrate.
+    let n = ((800.0 * scale) as usize).max(60);
+    let g = dsd_graph::gen::power_law_configuration(n, n * 5, 2.5, 11);
+    let plain = UndirectedStorage::Plain(&g);
+    let certify_cfg = IterateConfig { iterations: 200, epsilon: 0.01, certify: CertifyMode::Exact };
+    let rounds_of = |r: &IterativeResult| r.rounds;
+
+    let exact_t = timing("uds_exact_certified_baseline", reps, one, || {
+        dsd_core::uds::exact::uds_exact_certified(&g)
+    });
+    let gpp_t = timing("greedypp_certify_exact", reps, rounds_of, || {
+        greedy_pp_storage(&plain, &certify_cfg)
+    });
+    let fista_t =
+        timing("fista_certify_exact", reps, rounds_of, || fista_storage(&plain, &certify_cfg));
+
+    let exact = dsd_core::uds::exact::uds_exact_certified(&g);
+    let gpp = greedy_pp_storage(&plain, &certify_cfg);
+    let fst = fista_storage(&plain, &certify_cfg);
+    let reached = (gpp.result.density - exact.density).abs() < 1e-9
+        && (fst.result.density - exact.density).abs() < 1e-9;
+    assert!(
+        reached,
+        "iterative: certified runs missed the optimum (greedypp {}, fista {}, exact {})",
+        gpp.result.density, fst.result.density, exact.density
+    );
+
+    // Iterations-to-ε off an uncapped dual-gap trajectory (no early stop).
+    let budget = if smoke { 40 } else { 400 };
+    let free_cfg = IterateConfig { iterations: budget, epsilon: 0.0, certify: CertifyMode::None };
+    let gpp_hist = greedy_pp_storage(&plain, &free_cfg).history;
+    let fst_hist = fista_storage(&plain, &free_cfg).history;
+    let to_eps = |hist: &[RoundPoint], eps: f64| {
+        hist.iter().position(|p| p.density * (1.0 + eps) >= p.upper_bound).map(|i| i + 1)
+    };
+    let iterations_to_epsilon = [0.1, 0.01, 0.001]
+        .iter()
+        .map(|&epsilon| EpsilonPoint {
+            epsilon,
+            greedypp_rounds: to_eps(&gpp_hist, epsilon),
+            fista_rounds: to_eps(&fst_hist, epsilon),
+        })
+        .collect();
+
+    // Parity: both engines bit-identical on plain and compressed storage
+    // at every pool size.
+    let c = CompressedCsr::from_graph(&g);
+    let parity_cfg = IterateConfig { iterations: 10, epsilon: 0.01, certify: CertifyMode::Dual };
+    let same = |a: &IterativeResult, b: &IterativeResult| {
+        a.result.density == b.result.density
+            && a.result.vertices == b.result.vertices
+            && a.upper_bound == b.upper_bound
+            && a.rounds == b.rounds
+    };
+    let gpp_ref = greedy_pp_storage(&plain, &parity_cfg);
+    let fst_ref = fista_storage(&plain, &parity_cfg);
+    let pool_sizes = vec![1usize, 2, 4];
+    let mut gpp_ok = true;
+    let mut fst_ok = true;
+    for &p in &pool_sizes {
+        let (gp, gc, fp, fc) = with_threads(p, || {
+            let packed = UndirectedStorage::Compressed(&c);
+            (
+                greedy_pp_storage(&plain, &parity_cfg),
+                greedy_pp_storage(&packed, &parity_cfg),
+                fista_storage(&plain, &parity_cfg),
+                fista_storage(&packed, &parity_cfg),
+            )
+        });
+        gpp_ok &= same(&gp, &gpp_ref) && same(&gc, &gpp_ref);
+        fst_ok &= same(&fp, &fst_ref) && same(&fc, &fst_ref);
+    }
+    assert!(gpp_ok, "iterative parity: greedypp diverged across storage/pool");
+    assert!(fst_ok, "iterative parity: fista diverged across storage/pool");
+
+    let speedup_g = exact_t.best_secs / gpp_t.best_secs.max(1e-12);
+    let speedup_f = exact_t.best_secs / fista_t.best_secs.max(1e-12);
+    assert!(
+        smoke || speedup_g > 1.0 || speedup_f > 1.0,
+        "iterative: certified engine slower than the exact oracle \
+         (greedypp {speedup_g:.2}x, fista {speedup_f:.2}x)"
+    );
+
+    IterativeSection {
+        speedup_greedypp_vs_exact: speedup_g,
+        speedup_fista_vs_exact: speedup_f,
+        greedypp_density: gpp.result.density,
+        fista_density: fst.result.density,
+        exact_density: exact.density,
+        reached_exact: reached,
+        timings: vec![exact_t, gpp_t, fista_t],
+        iterations_to_epsilon,
+        parity: IterativeParity { greedypp_identical: gpp_ok, fista_identical: fst_ok, pool_sizes },
+    }
+}
+
 /// Layered flow network for the raw solver timings (`s = n-2`, `t = n-1`):
 /// `layers x width` grid with two forward arcs per node.
 fn layered_network(layers: usize, width: usize) -> (usize, Vec<(usize, usize, u64)>) {
@@ -593,6 +751,8 @@ struct Report {
     flow: FlowSection,
     /// Compressed substrate figures (PR 6).
     compression: CompressionSection,
+    /// Iterative near-optimal engine figures (PR 7).
+    iterative: IterativeSection,
     /// End-to-end contributed algorithms.
     end_to_end: Vec<Timing>,
     /// Per-round decomposition traces (`--trace` only): a
@@ -833,7 +993,7 @@ fn main() {
             if smoke {
                 "BENCH_SMOKE.json".to_string()
             } else {
-                "BENCH_PR6.json".to_string()
+                "BENCH_PR7.json".to_string()
             }
         });
     let scale: f64 = if smoke {
@@ -960,6 +1120,10 @@ fn main() {
     // measurement; asserts internally). ---
     let compression = compression_section(&g, &d, scale, reps);
 
+    // --- Iterative near-optimal engine ablation + parity (the PR-7
+    // tentpole measurement; asserts internally). ---
+    let iterative = iterative_section(scale, reps, smoke);
+
     // --- End-to-end contributed algorithms. ---
     let pkmc_t = timing(
         "pkmc_sync",
@@ -984,8 +1148,8 @@ fn main() {
     let telemetry = trace.then(|| collect_traces(&g, &d, rayon::current_num_threads()));
 
     let report = Report {
-        schema: "dsd-bench-report/v6",
-        pr: 6,
+        schema: "dsd-bench-report/v7",
+        pr: 7,
         graphs: vec![
             GraphMeta {
                 name: "filament_chung_lu",
@@ -1014,6 +1178,7 @@ fn main() {
         ingest,
         flow,
         compression,
+        iterative,
         end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
         telemetry,
         threads: rayon::current_num_threads(),
@@ -1055,6 +1220,15 @@ fn main() {
              binio v2 mmap round-trip asserted equal to the inputs, and the \
              spill-mode builders (shard cap forced low enough that even the smoke \
              run streams >= 2 shards) asserted equal to build() and build_legacy() \
+             at pool sizes 1/2/4 before the report is written; \
+             iterative.speedup_greedypp_vs_exact is the PR-7 acceptance headline \
+             (target > 1 in full runs): Greedy++ with --certify exact (dual-gap \
+             early stop at epsilon 0.01, then 1-2 incumbent-probing flow calls) vs \
+             the full uds_exact_certified guess ladder on the seeded power-law \
+             configuration benchmark, with the FISTA counterpart, \
+             iterations-to-epsilon at 0.1/0.01/0.001 off an uncapped dual-gap \
+             trajectory, and certified densities asserted equal to the oracle; \
+             both engines asserted bit-identical on plain and compressed storage \
              at pool sizes 1/2/4 before the report is written; all \
              timed runs execute with the telemetry recorder disabled (its hot-path cost \
              is one relaxed atomic load, contract < 2% — see DESIGN.md section 7), so \
@@ -1150,6 +1324,29 @@ fn main() {
             .is_some_and(|s| s >= 2),
         "compression spill run must stream at least two shards"
     );
+    assert!(
+        parsed.pointer("/iterative/speedup_greedypp_vs_exact").is_some_and(|v| v.is_number()),
+        "report schema lost the iterative headline field"
+    );
+    assert!(
+        parsed.pointer("/iterative/reached_exact").is_some_and(|v| v.as_bool() == Some(true)),
+        "iterative certified runs must land on the exact optimum"
+    );
+    for flag in ["greedypp_identical", "fista_identical"] {
+        assert!(
+            parsed
+                .pointer(&format!("/iterative/parity/{flag}"))
+                .is_some_and(|v| v.as_bool() == Some(true)),
+            "iterative parity flag {flag} missing or false"
+        );
+    }
+    assert!(
+        parsed
+            .pointer("/iterative/iterations_to_epsilon")
+            .and_then(|t| t.as_array())
+            .is_some_and(|t| t.len() == 3),
+        "iterative section must carry the three iterations-to-epsilon points"
+    );
     if report.telemetry.is_some() {
         for (i, kind) in ["UDS", "DDS"].iter().enumerate() {
             let rounds = parsed.pointer(&format!("/telemetry/traces/{i}/rounds"));
@@ -1173,7 +1370,8 @@ fn main() {
          exact flow: uds engine {:.3}s vs legacy {:.3}s -> {:.2}x, dds -> {:.2}x, \
          raw push-relabel vs dinic {:.2}x; compression {:.3} bytes/arc (no-reorder \
          {:.3}, directed {:.3}, plain 4.0; spill {} shards, parity spill={} sweep={} \
-         peel={}); wrote {}",
+         peel={}); iterative: greedypp {:.2}x, fista {:.2}x vs exact (reached \
+         exact={}, parity greedypp={} fista={}); wrote {}",
         report.sweep_engine[1].best_secs,
         report.sweep_engine[0].best_secs,
         speedup,
@@ -1201,6 +1399,11 @@ fn main() {
         report.compression.parity.spill_build_identical,
         report.compression.parity.sweep_fused_identical,
         report.compression.parity.peel_fused_identical,
+        report.iterative.speedup_greedypp_vs_exact,
+        report.iterative.speedup_fista_vs_exact,
+        report.iterative.reached_exact,
+        report.iterative.parity.greedypp_identical,
+        report.iterative.parity.fista_identical,
         out_path
     );
 }

@@ -1,0 +1,297 @@
+//! DDS-side hook of the iterative near-optimal engine: directed Greedy++.
+//!
+//! The directed analogue of `uds::iterate`'s Greedy++: repeated
+//! load-augmented fixed-ratio peels. A peel at ratio `c` removes, per
+//! step, the minimum `load + degree` vertex from whichever side is
+//! oversized (Charikar's directed rule), and charges the removed vertex
+//! the edges its removal kills — so, per round, every surviving edge is
+//! charged to exactly one endpoint role, mirroring the undirected load
+//! update. The first round sweeps a geometric ratio grid to locate the
+//! incumbent's ratio; later rounds re-peel at the incumbent's own
+//! `|S|/|T|` with accumulated loads, and the best `(S, T)` seen is
+//! monotone across rounds.
+//!
+//! The undirected engine's load-vector dual bound has no directed
+//! counterpart here (the DDS LP dual is ratio-coupled), so there is no
+//! `(1+ε)` early stop: the hook runs its budget and can optionally hand
+//! the incumbent to the exact oracle ([`dsd_flow::dds_exact_seeded`]) as
+//! a warm start — the incumbent's density prunes whole size ratios with
+//! a single flow each.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsd_graph::{DirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase, RoundSample};
+
+use crate::dds::ratio_peel::geometric_ratios;
+use crate::dds::DdsResult;
+use crate::density::st_edges_and_density;
+use crate::stats::{timed, Stats};
+
+/// Configuration for [`greedy_pp_dds`].
+#[derive(Clone, Copy, Debug)]
+pub struct DdsIterateConfig {
+    /// Number of load-augmented rounds (default 20).
+    pub iterations: usize,
+    /// Hand the final incumbent to the exact oracle and return the exact
+    /// optimum (practical only on small graphs — the oracle enumerates
+    /// `O(n²)` ratios).
+    pub certify_exact: bool,
+}
+
+impl Default for DdsIterateConfig {
+    fn default() -> Self {
+        Self { iterations: 20, certify_exact: false }
+    }
+}
+
+/// Result of the directed Greedy++ hook.
+#[derive(Clone, Debug)]
+pub struct DdsIterativeResult {
+    /// The answer pair (best-so-far across rounds, or the exact optimum
+    /// when certification ran).
+    pub result: DdsResult,
+    /// Rounds actually run.
+    pub rounds: usize,
+    /// Whether `result` is the flow-certified exact optimum.
+    pub exact_certified: bool,
+}
+
+/// Directed Greedy++: iterated load-augmented fixed-ratio peeling with an
+/// optional exact-certification handshake.
+pub fn greedy_pp_dds(g: &DirectedGraph, cfg: &DdsIterateConfig) -> DdsIterativeResult {
+    let ((s, t, density, rounds, exact_certified), wall) = timed(|| run(g, cfg));
+    let edges = st_edges_and_density(g, &s, &t).0;
+    DdsIterativeResult {
+        result: DdsResult {
+            s,
+            t,
+            density,
+            stats: Stats {
+                iterations: rounds,
+                wall,
+                edges_result: Some(edges),
+                ..Stats::default()
+            },
+        },
+        rounds,
+        exact_certified,
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn run(
+    g: &DirectedGraph,
+    cfg: &DdsIterateConfig,
+) -> (Vec<VertexId>, Vec<VertexId>, f64, usize, bool) {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    if n == 0 || m == 0 {
+        return (Vec::new(), Vec::new(), 0.0, 0, false);
+    }
+    let mut s_loads = vec![0u64; n];
+    let mut t_loads = vec![0u64; n];
+    let mut best_s: Vec<VertexId> = Vec::new();
+    let mut best_t: Vec<VertexId> = Vec::new();
+    let mut best_density = 0.0f64;
+    // Round 1: locate the incumbent ratio on a coarse geometric grid
+    // (PBD-style O(log n) candidates), with the first peel accumulating
+    // loads at ratio 1 so every round charges the loads exactly once.
+    let log2n = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
+    let grid = geometric_ratios(n, 2 * log2n.max(1));
+    let mut rounds = 0usize;
+    for round in 1..=cfg.iterations.max(1) {
+        let _peel = telemetry::span(Phase::IteratePeel);
+        let ratio = if best_t.is_empty() { 1.0 } else { best_s.len() as f64 / best_t.len() as f64 };
+        let r = peel_ratio_augmented(g, ratio, &mut s_loads, &mut t_loads);
+        rounds = round;
+        if r.2 > best_density {
+            best_s = r.0;
+            best_t = r.1;
+            best_density = r.2;
+        }
+        if round == 1 {
+            // Grid sweep without load charging: pure ratio scouting.
+            for &c in &grid {
+                let cand = crate::dds::ratio_peel::peel_fixed_ratio(g, c);
+                if cand.density > best_density {
+                    best_s = cand.s;
+                    best_t = cand.t;
+                    best_density = cand.density;
+                }
+            }
+        }
+        if telemetry::enabled() {
+            telemetry::counter_add(Counter::LoadsUpdated, n as u64);
+            telemetry::record_round(RoundSample {
+                round: telemetry::rounds_recorded() as u32,
+                frontier_len: n,
+                edges_examined: 2 * m as u64,
+                items_removed: n,
+                alive_edges: Some(m),
+                density: Some(best_density),
+                dual_bound: None,
+                phase_times: Vec::new(),
+            });
+        }
+    }
+    if cfg.certify_exact {
+        let _certify = telemetry::span(Phase::IterateCertify);
+        let exact = dsd_flow::dds_exact_seeded(g, Some((&best_s, &best_t)));
+        return (exact.s, exact.t, exact.density, rounds, true);
+    }
+    (best_s, best_t, best_density, rounds, false)
+}
+
+/// One load-augmented peel at ratio `c`: like
+/// [`crate::dds::ratio_peel::peel_fixed_ratio`], but ordered by
+/// `load + degree` per side, charging each removed vertex the edges its
+/// removal kills.
+#[allow(clippy::type_complexity)]
+fn peel_ratio_augmented(
+    g: &DirectedGraph,
+    c: f64,
+    s_loads: &mut [u64],
+    t_loads: &mut [u64],
+) -> (Vec<VertexId>, Vec<VertexId>, f64) {
+    let n = g.num_vertices();
+    let mut out_deg = g.out_degrees();
+    let mut in_deg = g.in_degrees();
+    let mut in_s: Vec<bool> = out_deg.iter().map(|&d| d > 0).collect();
+    let mut in_t: Vec<bool> = in_deg.iter().map(|&d| d > 0).collect();
+    let mut s_size = in_s.iter().filter(|&&b| b).count();
+    let mut t_size = in_t.iter().filter(|&&b| b).count();
+    let mut edges = g.num_edges();
+    let s_key = |v: usize, d: u32, loads: &[u64]| loads[v] + d as u64;
+    let mut s_heap: BinaryHeap<Reverse<(u64, VertexId)>> = (0..n as VertexId)
+        .filter(|&v| in_s[v as usize])
+        .map(|v| Reverse((s_key(v as usize, out_deg[v as usize], s_loads), v)))
+        .collect();
+    let mut t_heap: BinaryHeap<Reverse<(u64, VertexId)>> = (0..n as VertexId)
+        .filter(|&v| in_t[v as usize])
+        .map(|v| Reverse((s_key(v as usize, in_deg[v as usize], t_loads), v)))
+        .collect();
+
+    let mut log: Vec<(VertexId, bool)> = Vec::with_capacity(s_size + t_size);
+    let mut best_density = 0.0f64;
+    let mut best_step = 0usize;
+    let initial_s = in_s.clone();
+    let initial_t = in_t.clone();
+
+    while s_size > 0 && t_size > 0 && edges > 0 {
+        let density = edges as f64 / ((s_size as f64) * (t_size as f64)).sqrt();
+        if density > best_density {
+            best_density = density;
+            best_step = log.len();
+        }
+        if (s_size as f64) >= c * (t_size as f64) {
+            let u = loop {
+                let Reverse((k, u)) = s_heap.pop().expect("s_size > 0 implies heap entry");
+                if in_s[u as usize] && s_key(u as usize, out_deg[u as usize], s_loads) == k {
+                    break u;
+                }
+            };
+            in_s[u as usize] = false;
+            s_size -= 1;
+            log.push((u, true));
+            let mut killed = 0u64;
+            for &v in g.out_neighbors(u) {
+                if in_t[v as usize] {
+                    edges -= 1;
+                    killed += 1;
+                    in_deg[v as usize] -= 1;
+                    t_heap.push(Reverse((s_key(v as usize, in_deg[v as usize], t_loads), v)));
+                }
+            }
+            s_loads[u as usize] += killed;
+        } else {
+            let v = loop {
+                let Reverse((k, v)) = t_heap.pop().expect("t_size > 0 implies heap entry");
+                if in_t[v as usize] && s_key(v as usize, in_deg[v as usize], t_loads) == k {
+                    break v;
+                }
+            };
+            in_t[v as usize] = false;
+            t_size -= 1;
+            log.push((v, false));
+            let mut killed = 0u64;
+            for &u in g.in_neighbors(v) {
+                if in_s[u as usize] {
+                    edges -= 1;
+                    killed += 1;
+                    out_deg[u as usize] -= 1;
+                    s_heap.push(Reverse((s_key(u as usize, out_deg[u as usize], s_loads), u)));
+                }
+            }
+            t_loads[v as usize] += killed;
+        }
+    }
+
+    let mut s_mask = initial_s;
+    let mut t_mask = initial_t;
+    for &(v, source_side) in &log[..best_step] {
+        if source_side {
+            s_mask[v as usize] = false;
+        } else {
+            t_mask[v as usize] = false;
+        }
+    }
+    let s: Vec<VertexId> = (0..n as VertexId).filter(|&v| s_mask[v as usize]).collect();
+    let t: Vec<VertexId> = (0..n as VertexId).filter(|&v| t_mask[v as usize]).collect();
+    (s, t, best_density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::directed_density;
+
+    #[test]
+    fn never_worse_than_pfks_family_on_planted_block() {
+        let g = dsd_graph::gen::planted_st_block(200, 350, 12, 8, 1.0, 33);
+        let r = greedy_pp_dds(&g, &DdsIterateConfig::default());
+        // Planted block density: 96 / sqrt(96) ≈ 9.8.
+        assert!(r.result.density >= 6.0, "density {}", r.result.density);
+        assert_eq!(r.rounds, 20);
+        assert!(!r.exact_certified);
+    }
+
+    #[test]
+    fn reported_density_matches_sets() {
+        let g = dsd_graph::gen::chung_lu_directed(150, 900, 2.4, 2.3, 19);
+        let r = greedy_pp_dds(&g, &DdsIterateConfig { iterations: 8, certify_exact: false });
+        let actual = directed_density(&g, &r.result.s, &r.result.t);
+        assert!((actual - r.result.density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_certification_reaches_optimum() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::erdos_renyi_directed(18, 70, seed + 40);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::dds_exact(&g);
+            let r = greedy_pp_dds(&g, &DdsIterateConfig { iterations: 5, certify_exact: true });
+            assert!((r.result.density - exact.density).abs() < 1e-9);
+            assert!(r.exact_certified);
+        }
+    }
+
+    #[test]
+    fn more_rounds_never_decrease_density() {
+        let g = dsd_graph::gen::chung_lu_directed(120, 700, 2.5, 2.2, 9);
+        let short = greedy_pp_dds(&g, &DdsIterateConfig { iterations: 2, certify_exact: false });
+        let long = greedy_pp_dds(&g, &DdsIterateConfig { iterations: 15, certify_exact: false });
+        assert!(long.result.density + 1e-12 >= short.result.density);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = dsd_graph::DirectedGraphBuilder::new(4).build().unwrap();
+        let r = greedy_pp_dds(&g, &DdsIterateConfig::default());
+        assert_eq!(r.result.density, 0.0);
+        assert_eq!(r.rounds, 0);
+    }
+}

@@ -10,6 +10,7 @@
 //! (Frank–Wolfe); [`exact`] holds a brute-force oracle.
 
 pub mod exact;
+pub mod iterate;
 pub mod pbd;
 pub mod pbs;
 pub mod peel;

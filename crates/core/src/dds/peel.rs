@@ -535,6 +535,7 @@ impl PeelWorkspace {
                         items_removed: alive_at_start - self.alive_count,
                         alive_edges: Some(alive_at_start),
                         phase_times,
+                        ..RoundSample::default()
                     });
                 }
             }

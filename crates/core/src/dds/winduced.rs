@@ -321,6 +321,7 @@ fn decompose_legacy(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
                     items_removed: alive_now - engine.alive_count.load(Ordering::Relaxed),
                     alive_edges: Some(alive_now),
                     phase_times,
+                    ..RoundSample::default()
                 });
             }
         }

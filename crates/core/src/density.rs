@@ -1,6 +1,9 @@
 //! Density computations (Definitions 1 and 3 of the paper).
 
-use dsd_graph::{DirectedGraph, NeighborAccess, VertexId};
+use dsd_graph::{
+    DirectedGraph, DirectedNeighborAccess, DirectedStorage, NeighborAccess, UndirectedStorage,
+    VertexId,
+};
 
 /// Density `|E(S)| / |S|` of the subgraph of `g` induced by `set`
 /// (Definition 1). Duplicate ids in `set` are not supported; returns 0 for
@@ -30,6 +33,46 @@ pub fn set_edges_and_density<G: NeighborAccess>(g: &G, set: &[VertexId]) -> (usi
         }
     }
     (edges, edges as f64 / set.len() as f64)
+}
+
+/// Density of the subgraph induced by an arbitrary vertex set over either
+/// storage representation — the storage-enum front door to
+/// [`undirected_density`], used by the certified iterative driver's
+/// incumbent tracking (and later by the serve layer).
+pub fn density_of(storage: &UndirectedStorage<'_>, set: &[VertexId]) -> f64 {
+    match storage {
+        UndirectedStorage::Plain(g) => undirected_density(*g, set),
+        UndirectedStorage::Compressed(c) => undirected_density(*c, set),
+    }
+}
+
+/// Directed counterpart of [`density_of`]: `ρ(S, T)` for arbitrary vertex
+/// sets over either directed storage representation.
+pub fn directed_density_of(storage: &DirectedStorage<'_>, s: &[VertexId], t: &[VertexId]) -> f64 {
+    match storage {
+        DirectedStorage::Plain(g) => directed_density(g, s, t),
+        DirectedStorage::Compressed(c) => st_density_generic(*c, s, t),
+    }
+}
+
+/// `ρ(S, T)` over any [`DirectedNeighborAccess`] implementation.
+fn st_density_generic<G: DirectedNeighborAccess>(g: &G, s: &[VertexId], t: &[VertexId]) -> f64 {
+    if s.is_empty() || t.is_empty() {
+        return 0.0;
+    }
+    let mut in_t = vec![false; g.vertex_count()];
+    for &v in t {
+        in_t[v as usize] = true;
+    }
+    let mut edges = 0usize;
+    for &u in s {
+        for v in g.out_neighbors_of(u) {
+            if in_t[v as usize] {
+                edges += 1;
+            }
+        }
+    }
+    edges as f64 / ((s.len() as f64) * (t.len() as f64)).sqrt()
 }
 
 /// Number of edges of `g` from `s` to `t` plus the density
@@ -102,6 +145,31 @@ mod tests {
         let (e, d) = st_edges_and_density(&dg, &s, &s);
         assert_eq!(e, 6);
         assert!((d - 2.0 * undirected_density(&ug, &s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_agrees_across_storage() {
+        let g = dsd_graph::gen::chung_lu(80, 320, 2.3, 7);
+        let c = dsd_graph::CompressedCsr::from_graph(&g);
+        let set: Vec<u32> = (0..40).collect();
+        let plain = density_of(&UndirectedStorage::Plain(&g), &set);
+        let packed = density_of(&UndirectedStorage::Compressed(&c), &set);
+        assert_eq!(plain.to_bits(), packed.to_bits());
+        assert!((plain - undirected_density(&g, &set)).abs() < 1e-15);
+        assert_eq!(density_of(&UndirectedStorage::Plain(&g), &[]), 0.0);
+    }
+
+    #[test]
+    fn directed_density_of_agrees_across_storage() {
+        let g = dsd_graph::gen::chung_lu_directed(60, 400, 2.5, 2.4, 11);
+        let c = dsd_graph::CompressedDigraph::from_graph(&g);
+        let s: Vec<u32> = (0..25).collect();
+        let t: Vec<u32> = (20..60).collect();
+        let plain = directed_density_of(&DirectedStorage::Plain(&g), &s, &t);
+        let packed = directed_density_of(&DirectedStorage::Compressed(&c), &s, &t);
+        assert_eq!(plain.to_bits(), packed.to_bits());
+        assert!((plain - directed_density(&g, &s, &t)).abs() < 1e-15);
+        assert_eq!(directed_density_of(&DirectedStorage::Plain(&g), &s, &[]), 0.0);
     }
 
     #[test]

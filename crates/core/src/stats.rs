@@ -30,6 +30,8 @@ use serde::Serialize;
 /// | PXY | cascade rounds | alive edges at first/last outer round | edges of the result |
 /// | PWC / w-decomposition | cascade rounds | alive edges at first/last outer round (Table 7) | PWC: `S→T` edges of the result |
 /// | truss / triangle peel | edges / vertices peeled | — | triangle: edges of the result |
+/// | Greedy++ (both) | load-augmented peel rounds | — | edges of the best prefix |
+/// | FISTA | accelerated gradient rounds | — | edges of the best prefix |
 ///
 /// Core decompositions (Local, BZ, PKC) return vertex labellings rather
 /// than a subgraph, so no edge field applies.

@@ -1,64 +1,203 @@
 //! Charikar's serial peeling 2-approximation (the classic UDS baseline,
-//! reference \[3\] of the paper).
+//! reference \[3\] of the paper) and the reusable load-augmented peel it is
+//! built on.
 //!
 //! Iteratively removes the minimum-degree vertex and returns the densest
 //! prefix of the peeling order. `O(m + n)` with the binsort bucket queue.
 //! This is the "strong dependency in their steps" algorithm the paper's
 //! introduction cites as hard to parallelise — kept serial here, both as a
 //! correctness oracle and as the natural single-thread baseline.
+//!
+//! The peel itself is exposed as [`peel_augmented`] over a caller-owned
+//! [`PeelScratch`]: generic over [`NeighborAccess`] (plain and compressed
+//! CSR), with optional Greedy++ load augmentation — keys are
+//! `load[v] + degree(v)` in `u64`, and popping `v` charges its current
+//! degree to `load[v]`. All working arrays live in the scratch and are
+//! reused across invocations, so the iterative engine
+//! ([`crate::uds::iterate`]) can run hundreds of peels with no per-round
+//! allocation.
 
-use dsd_graph::{UndirectedGraph, VertexId};
+use dsd_graph::{NeighborAccess, UndirectedGraph, VertexId};
 
 use crate::stats::{timed, Stats};
-use crate::uds::bucket::BucketQueue;
 use crate::uds::UdsResult;
 
-/// Runs Charikar's greedy peeling and returns the densest subgraph seen.
-pub fn charikar(g: &UndirectedGraph) -> UdsResult {
-    let ((order, best_remaining, best_density, best_edges), wall) = timed(|| peel(g));
-    // The best subgraph is the set of vertices NOT among the first
-    // `n - best_remaining` peeled.
-    let n = g.num_vertices();
-    let mut vertices: Vec<VertexId> = order[(n - best_remaining)..].to_vec();
-    vertices.sort_unstable();
-    UdsResult {
-        vertices,
-        density: best_density,
-        stats: Stats { iterations: n, wall, edges_result: Some(best_edges), ..Stats::default() },
+/// Caller-owned scratch for [`peel_augmented`]: a u64-keyed binsort bucket
+/// queue (key / vert / pos / bin arrays) whose buffers are reused across
+/// peels. After a peel completes, [`Self::order`] holds the full removal
+/// order.
+#[derive(Debug, Default)]
+pub struct PeelScratch {
+    /// Current key of each vertex, relative to the round's base offset.
+    key: Vec<u64>,
+    /// Vertices sorted by key; becomes the pop order as the cursor advances.
+    vert: Vec<VertexId>,
+    /// `pos[v]` is the index of `v` in `vert`.
+    pos: Vec<usize>,
+    /// `bin[k]` is the index in `vert` where relative-key-`k` vertices start.
+    bin: Vec<usize>,
+    /// Index of the next unextracted vertex in `vert`.
+    cursor: usize,
+    /// Key offset for this round: `min(load)` (0 for plain peels), so
+    /// relative keys stay small even as Greedy++ loads grow.
+    base: u64,
+}
+
+/// Densest prefix found by one peel: the best remaining-set size, its
+/// density, and its edge count.
+#[derive(Clone, Copy, Debug)]
+pub struct PeelOutcome {
+    /// Number of vertices in the densest remaining set.
+    pub best_len: usize,
+    /// Density of that set.
+    pub best_density: f64,
+    /// Edge count of that set.
+    pub best_edges: usize,
+}
+
+impl PeelScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first peel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full removal order of the last completed peel. The densest set of a
+    /// [`PeelOutcome`] is the suffix `order()[n - best_len..]`.
+    pub fn order(&self) -> &[VertexId] {
+        &self.vert
+    }
+
+    /// (Re)initialises the bucket queue for keys `load[v] + degree(v)`.
+    fn prime<G: NeighborAccess>(&mut self, g: &G, loads: Option<&[u64]>) {
+        let n = g.vertex_count();
+        self.base = loads.map_or(0, |l| l.iter().copied().min().unwrap_or(0));
+        self.key.clear();
+        self.key.extend((0..n).map(|v| {
+            let load = loads.map_or(0, |l| l[v]);
+            load - self.base + g.degree_of(v as VertexId) as u64
+        }));
+        let max_key = self.key.iter().copied().max().unwrap_or(0) as usize;
+        self.bin.clear();
+        self.bin.resize(max_key + 2, 0);
+        for &k in &self.key {
+            self.bin[k as usize + 1] += 1;
+        }
+        for k in 1..self.bin.len() {
+            self.bin[k] += self.bin[k - 1];
+        }
+        self.vert.clear();
+        self.vert.resize(n, 0);
+        self.pos.clear();
+        self.pos.resize(n, 0);
+        // `bin` is the exclusive prefix (start of each bucket); place
+        // vertices by walking a cursor copy, then restore the starts.
+        let mut cursors = std::mem::take(&mut self.bin);
+        for (v, &k) in self.key.iter().enumerate() {
+            let p = cursors[k as usize];
+            self.vert[p] = v as VertexId;
+            self.pos[v] = p;
+            cursors[k as usize] += 1;
+        }
+        for k in (1..cursors.len()).rev() {
+            cursors[k] = cursors[k - 1];
+        }
+        cursors[0] = 0;
+        self.bin = cursors;
+        self.cursor = 0;
+    }
+
+    fn pop_min(&mut self) -> Option<(VertexId, u64)> {
+        if self.cursor >= self.vert.len() {
+            return None;
+        }
+        let v = self.vert[self.cursor];
+        self.cursor += 1;
+        Some((v, self.key[v as usize]))
+    }
+
+    fn is_extracted(&self, v: VertexId) -> bool {
+        self.pos[v as usize] < self.cursor
+    }
+
+    fn decrease_key(&mut self, v: VertexId) {
+        let vi = v as usize;
+        if self.pos[vi] < self.cursor || self.key[vi] == 0 {
+            return;
+        }
+        let k = self.key[vi] as usize;
+        let bucket_start = self.bin[k].max(self.cursor);
+        let pv = self.pos[vi];
+        let w = self.vert[bucket_start];
+        if w != v {
+            self.vert.swap(pv, bucket_start);
+            self.pos[w as usize] = pv;
+            self.pos[vi] = bucket_start;
+        }
+        self.bin[k] = bucket_start + 1;
+        self.key[vi] -= 1;
     }
 }
 
-/// Peels min-degree vertices; returns the removal order, the remaining
-/// vertex count at the densest prefix, that density, and the prefix's
-/// edge count.
-fn peel(g: &UndirectedGraph) -> (Vec<VertexId>, usize, f64, usize) {
-    let n = g.num_vertices();
-    let mut q = BucketQueue::new(&g.degrees());
-    let mut m_remaining = g.num_edges();
-    let mut best_density = if n > 0 { g.density() } else { 0.0 };
-    let mut best_remaining = n;
-    let mut best_edges = g.num_edges();
-    let mut order = Vec::with_capacity(n);
-    while let Some((v, k)) = q.pop_min() {
-        order.push(v);
-        m_remaining -= k as usize;
-        for &u in g.neighbors(v) {
-            if !q.is_extracted(u) {
-                q.decrease_key(u);
+/// One min-`(load + degree)` peel over `g`, tracking the densest remaining
+/// set. With `loads = Some(..)` this is one Greedy++ round: popping `v`
+/// adds its current (remaining) degree to `loads[v]`. With `loads = None`
+/// it is exactly Charikar's peel. Allocation-free after the first call on
+/// a same-sized graph.
+pub fn peel_augmented<G: NeighborAccess>(
+    g: &G,
+    mut loads: Option<&mut [u64]>,
+    scratch: &mut PeelScratch,
+) -> PeelOutcome {
+    let n = g.vertex_count();
+    let m = (g.arc_count() / 2) as usize;
+    scratch.prime(g, loads.as_deref());
+    let mut m_remaining = m;
+    let mut best_density = if n > 0 { m as f64 / n as f64 } else { 0.0 };
+    let mut best_len = n;
+    let mut best_edges = m;
+    while let Some((v, rel_key)) = scratch.pop_min() {
+        let load = loads.as_deref().map_or(0, |l| l[v as usize]);
+        let cur_deg = rel_key + scratch.base - load;
+        if let Some(l) = loads.as_deref_mut() {
+            l[v as usize] += cur_deg;
+        }
+        m_remaining -= cur_deg as usize;
+        for u in g.neighbors_of(v) {
+            if !scratch.is_extracted(u) {
+                scratch.decrease_key(u);
             }
         }
-        let remaining = q.remaining();
+        let remaining = n - scratch.cursor;
         if remaining > 0 {
             let density = m_remaining as f64 / remaining as f64;
             if density > best_density {
                 best_density = density;
-                best_remaining = remaining;
+                best_len = remaining;
                 best_edges = m_remaining;
             }
         }
     }
     debug_assert_eq!(m_remaining, 0);
-    (order, best_remaining, best_density, best_edges)
+    PeelOutcome { best_len, best_density, best_edges }
+}
+
+/// Runs Charikar's greedy peeling and returns the densest subgraph seen.
+pub fn charikar(g: &UndirectedGraph) -> UdsResult {
+    let mut scratch = PeelScratch::new();
+    let (outcome, wall) = timed(|| peel_augmented(g, None, &mut scratch));
+    let n = g.num_vertices();
+    let mut vertices: Vec<VertexId> = scratch.order()[(n - outcome.best_len)..].to_vec();
+    vertices.sort_unstable();
+    UdsResult {
+        vertices,
+        density: outcome.best_density,
+        stats: Stats {
+            iterations: n,
+            wall,
+            edges_result: Some(outcome.best_edges),
+            ..Stats::default()
+        },
+    }
 }
 
 #[cfg(test)]
@@ -123,5 +262,65 @@ mod tests {
         let r = charikar(&g);
         assert_eq!(r.vertices.len(), 5);
         assert!((r.density - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peel_matches_legacy_bucket_queue_order() {
+        // The u64-keyed scratch must reproduce the u32 BucketQueue peel
+        // exactly when loads are absent (same counting sort, same
+        // swap-to-boundary decrease), so `charikar` is unchanged.
+        let g = dsd_graph::gen::chung_lu(120, 600, 2.4, 17);
+        let mut q = crate::uds::bucket::BucketQueue::new(&g.degrees());
+        let mut legacy_order = Vec::new();
+        while let Some((v, _)) = q.pop_min() {
+            legacy_order.push(v);
+            for &u in g.neighbors(v) {
+                if !q.is_extracted(u) {
+                    q.decrease_key(u);
+                }
+            }
+        }
+        let mut scratch = PeelScratch::new();
+        peel_augmented(&g, None, &mut scratch);
+        assert_eq!(scratch.order(), legacy_order.as_slice());
+    }
+
+    #[test]
+    fn augmented_peel_charges_each_edge_once() {
+        let g = dsd_graph::gen::erdos_renyi(40, 160, 9);
+        let mut loads = vec![0u64; g.num_vertices()];
+        let mut scratch = PeelScratch::new();
+        for round in 1..=5u64 {
+            peel_augmented(&g, Some(&mut loads), &mut scratch);
+            let total: u64 = loads.iter().sum();
+            assert_eq!(total, round * g.num_edges() as u64);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh() {
+        let a = dsd_graph::gen::chung_lu(80, 300, 2.3, 3);
+        let b = dsd_graph::gen::erdos_renyi(50, 200, 4);
+        let mut shared = PeelScratch::new();
+        peel_augmented(&a, None, &mut shared);
+        let reused = peel_augmented(&b, None, &mut shared);
+        let mut fresh = PeelScratch::new();
+        let direct = peel_augmented(&b, None, &mut fresh);
+        assert_eq!(reused.best_len, direct.best_len);
+        assert_eq!(reused.best_edges, direct.best_edges);
+        assert_eq!(shared.order(), fresh.order());
+    }
+
+    #[test]
+    fn compressed_storage_peels_identically() {
+        let g = dsd_graph::gen::chung_lu(150, 900, 2.2, 21);
+        let c = dsd_graph::compress::CompressedCsr::from_graph(&g);
+        let mut s1 = PeelScratch::new();
+        let mut s2 = PeelScratch::new();
+        let plain = peel_augmented(&g, None, &mut s1);
+        let packed = peel_augmented(&c, None, &mut s2);
+        assert_eq!(plain.best_len, packed.best_len);
+        assert_eq!(plain.best_edges, packed.best_edges);
+        assert_eq!(s1.order(), s2.order());
     }
 }

@@ -1,0 +1,681 @@
+//! Iterative near-optimal UDS engine: Greedy++ and FISTA with certified
+//! `(1+ε)` early stopping.
+//!
+//! Both algorithms work the densest-subgraph LP dual: each edge carries one
+//! unit of mass split between its endpoints, and minimising the maximum
+//! vertex load is dual to maximising the density. For **any** feasible
+//! split with load vector `b`, every set `S` satisfies
+//! `Σ_{v∈S} b_v ≥ |E(S)|` (each inside edge contributes its whole unit),
+//! so `max_v b_v ≥ ρ(S)` — a certified upper bound on the optimum ρ*.
+//!
+//! * **Greedy++** (Boob et al. WWW 2020): repeated load-augmented peels on
+//!   the reusable [`charikar`](crate::uds::charikar) bucket machinery —
+//!   round `t` peels by `load + degree` and charges each popped vertex its
+//!   current degree, so `loads / t` is the average of `t` integral edge
+//!   orientations and `max_v loads_v / t` is the dual bound above. The
+//!   loads are one persistent `u64` array; no per-round allocation.
+//! * **FISTA** (Harb et al. NeurIPS 2022): parallel projected gradient on
+//!   `f(x) = Σ_v b_v(x)²` over per-edge orientation fractions
+//!   `x_e ∈ [0,1]`, with Nesterov momentum
+//!   `t_{k+1} = (1 + √(1+4t_k²))/2` and step `1/L`,
+//!   `L = 2·max_e (deg u + deg v)` (a Gershgorin bound on `2AᵀA`). The
+//!   clamped iterate is always feasible, so its max load is again a valid
+//!   dual bound; the answer set is the densest prefix of the
+//!   load-descending order (standard fractional peeling).
+//!
+//! The certified driver stops as soon as
+//! `best_density · (1+ε) ≥ upper_bound`; with [`CertifyMode::Exact`] it
+//! then hands the incumbent to the push-relabel oracle
+//! ([`dsd_flow::uds_certify_incumbent`]), which probes the decision
+//! network at the incumbent's exact rational density — one or two min-cut
+//! calls instead of the full binary search.
+//!
+//! Everything is generic over [`NeighborAccess`], so plain and compressed
+//! CSR run the same fused-decode kernels with bit-identical results at any
+//! rayon pool size (Greedy++ is a serial peel per round; FISTA's parallel
+//! stages keep a fixed per-vertex summation order).
+
+use dsd_graph::{NeighborAccess, UndirectedGraph, UndirectedStorage, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase, RoundSample};
+use rayon::prelude::*;
+
+use crate::stats::{timed, Stats};
+use crate::uds::charikar::{peel_augmented, PeelScratch};
+use crate::uds::UdsResult;
+
+/// How the driver should certify the answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertifyMode {
+    /// Run the full iteration budget; report the dual bound but never stop
+    /// early and attach no certificate.
+    None,
+    /// Stop as soon as `best · (1+ε) ≥ upper_bound`; the certificate is
+    /// the load-vector dual bound.
+    Dual,
+    /// As [`CertifyMode::Dual`], then certify (or improve to) the exact
+    /// optimum with the push-relabel oracle seeded by the incumbent.
+    Exact,
+}
+
+/// Configuration for [`greedy_pp`] / [`fista`].
+#[derive(Clone, Copy, Debug)]
+pub struct IterateConfig {
+    /// Maximum number of rounds (default 100).
+    pub iterations: usize,
+    /// Target approximation slack ε in the stop rule
+    /// `best · (1+ε) ≥ upper_bound` (default 0.01).
+    pub epsilon: f64,
+    /// Certification mode (default [`CertifyMode::Dual`]).
+    pub certify: CertifyMode,
+}
+
+impl Default for IterateConfig {
+    fn default() -> Self {
+        Self { iterations: 100, epsilon: 0.01, certify: CertifyMode::Dual }
+    }
+}
+
+/// What the driver can promise about the returned density.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Certificate {
+    /// Iteration budget exhausted before the dual gap closed (or
+    /// certification was off); `upper_bound` still brackets ρ*.
+    Uncertified,
+    /// `ρ* ≤ upper_bound ≤ density · (1+ε)` by the load-vector dual.
+    DualGap {
+        /// The certified dual upper bound on ρ*.
+        upper_bound: f64,
+        /// The ε the bound was closed against.
+        epsilon: f64,
+    },
+    /// The returned set is exactly optimal, certified by min-cut probes.
+    Exact {
+        /// Number of flow probes certification cost.
+        flow_probes: usize,
+        /// Whether the oracle improved on the iterative incumbent (false
+        /// means the incumbent was already exactly optimal).
+        improved: bool,
+    },
+}
+
+/// One `(best-so-far density, dual upper bound)` observation per round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoundPoint {
+    /// Best density seen up to and including this round.
+    pub density: f64,
+    /// Tightest dual upper bound seen up to and including this round.
+    pub upper_bound: f64,
+}
+
+/// Result of an iterative near-optimal run.
+#[derive(Clone, Debug)]
+pub struct IterativeResult {
+    /// The answer subgraph (vertices, density, stats; `stats.iterations`
+    /// is the number of rounds actually run).
+    pub result: UdsResult,
+    /// Tightest load-vector dual upper bound on ρ* observed.
+    pub upper_bound: f64,
+    /// Rounds actually run (≤ `config.iterations` under early stopping).
+    pub rounds: usize,
+    /// What the run certifies about `result.density`.
+    pub certificate: Certificate,
+    /// Per-round `(best density, dual bound)` trajectory, for
+    /// iterations-to-ε accounting.
+    pub history: Vec<RoundPoint>,
+}
+
+/// Kernel-agnostic per-run accumulator shared by both algorithms.
+struct Progress {
+    best_set: Vec<VertexId>,
+    best_density: f64,
+    best_edges: usize,
+    upper: f64,
+    history: Vec<RoundPoint>,
+    gap_certified: bool,
+}
+
+impl Progress {
+    fn new(iterations: usize) -> Self {
+        Self {
+            best_set: Vec::new(),
+            best_density: 0.0,
+            best_edges: 0,
+            upper: f64::INFINITY,
+            history: Vec::with_capacity(iterations),
+            gap_certified: false,
+        }
+    }
+
+    /// Folds one round in: keeps the best-so-far answer monotone, tightens
+    /// the dual bound, records telemetry, and answers whether the
+    /// `(1+ε)` stop rule fires.
+    fn absorb_round(
+        &mut self,
+        density: f64,
+        edges: usize,
+        set: &[VertexId],
+        round_upper: f64,
+        cfg: &IterateConfig,
+        work: RoundWork,
+    ) -> bool {
+        if density > self.best_density || self.best_set.is_empty() {
+            self.best_density = density;
+            self.best_edges = edges;
+            self.best_set.clear();
+            self.best_set.extend_from_slice(set);
+        }
+        if round_upper < self.upper {
+            self.upper = round_upper;
+        }
+        self.history.push(RoundPoint { density: self.best_density, upper_bound: self.upper });
+        if telemetry::enabled() {
+            telemetry::counter_add(Counter::LoadsUpdated, work.loads_updated);
+            telemetry::record_round(RoundSample {
+                round: telemetry::rounds_recorded() as u32,
+                frontier_len: work.frontier_len,
+                edges_examined: work.edges_examined,
+                items_removed: work.items_removed,
+                alive_edges: None,
+                density: Some(self.best_density),
+                dual_bound: Some(self.upper),
+                phase_times: Vec::new(),
+            });
+        }
+        if cfg.certify != CertifyMode::None && self.best_density * (1.0 + cfg.epsilon) >= self.upper
+        {
+            self.gap_certified = true;
+            return true;
+        }
+        false
+    }
+}
+
+/// Per-round work figures handed to telemetry.
+struct RoundWork {
+    loads_updated: u64,
+    frontier_len: usize,
+    edges_examined: u64,
+    items_removed: usize,
+}
+
+struct RawOutcome {
+    vertices: Vec<VertexId>,
+    density: f64,
+    edges: usize,
+    upper_bound: f64,
+    rounds: usize,
+    gap_certified: bool,
+    history: Vec<RoundPoint>,
+}
+
+impl RawOutcome {
+    fn trivial() -> Self {
+        Self {
+            vertices: Vec::new(),
+            density: 0.0,
+            edges: 0,
+            upper_bound: 0.0,
+            rounds: 0,
+            gap_certified: true,
+            history: Vec::new(),
+        }
+    }
+
+    fn from_progress(p: Progress, rounds: usize) -> Self {
+        let mut vertices = p.best_set;
+        vertices.sort_unstable();
+        Self {
+            vertices,
+            density: p.best_density,
+            edges: p.best_edges,
+            upper_bound: p.upper,
+            rounds,
+            gap_certified: p.gap_certified,
+            history: p.history,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Greedy++
+// ---------------------------------------------------------------------------
+
+fn run_greedy_pp<G: NeighborAccess>(g: &G, cfg: &IterateConfig) -> RawOutcome {
+    let n = g.vertex_count();
+    let m = (g.arc_count() / 2) as usize;
+    if n == 0 || m == 0 {
+        return RawOutcome::trivial();
+    }
+    let mut loads = vec![0u64; n];
+    let mut scratch = PeelScratch::new();
+    let mut progress = Progress::new(cfg.iterations);
+    let mut rounds = 0usize;
+    for t in 1..=cfg.iterations.max(1) {
+        let outcome = {
+            let _peel = telemetry::span(Phase::IteratePeel);
+            peel_augmented(g, Some(&mut loads), &mut scratch)
+        };
+        rounds = t;
+        // loads / t averages t integral orientations — feasible, so its
+        // max entry bounds ρ* from above.
+        let max_load = loads.iter().copied().max().unwrap_or(0);
+        let upper = max_load as f64 / t as f64;
+        let set = &scratch.order()[n - outcome.best_len..];
+        let stop = progress.absorb_round(
+            outcome.best_density,
+            outcome.best_edges,
+            set,
+            upper,
+            cfg,
+            RoundWork {
+                loads_updated: n as u64,
+                frontier_len: n,
+                edges_examined: g.arc_count(),
+                items_removed: n,
+            },
+        );
+        if stop {
+            break;
+        }
+    }
+    RawOutcome::from_progress(progress, rounds)
+}
+
+// ---------------------------------------------------------------------------
+// FISTA
+// ---------------------------------------------------------------------------
+
+/// Edge list plus per-vertex incidence CSR, built once per run. The
+/// incidence order is fixed by construction, so the parallel per-vertex
+/// load recompute sums in a deterministic order for any pool size.
+struct EdgeSpace {
+    edges: Vec<(VertexId, VertexId)>,
+    inc_off: Vec<usize>,
+    inc: Vec<u32>,
+}
+
+impl EdgeSpace {
+    fn build<G: NeighborAccess>(g: &G) -> Self {
+        let n = g.vertex_count();
+        let mut edges = Vec::with_capacity((g.arc_count() / 2) as usize);
+        for v in 0..n as VertexId {
+            for u in g.neighbors_of(v) {
+                if u > v {
+                    edges.push((v, u));
+                }
+            }
+        }
+        assert!(edges.len() <= u32::MAX as usize, "FISTA incidence index is u32");
+        let mut inc_off = vec![0usize; n + 1];
+        for &(u, v) in &edges {
+            inc_off[u as usize + 1] += 1;
+            inc_off[v as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            inc_off[i] += inc_off[i - 1];
+        }
+        let mut cursor = inc_off.clone();
+        let mut inc = vec![0u32; edges.len() * 2];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            inc[cursor[u as usize]] = e as u32;
+            cursor[u as usize] += 1;
+            inc[cursor[v as usize]] = e as u32;
+            cursor[v as usize] += 1;
+        }
+        Self { edges, inc_off, inc }
+    }
+
+    /// `load[v] = Σ_{e ∋ v} mass of e assigned to v` — parallel over
+    /// vertices, serial (deterministic) within each vertex.
+    fn loads(&self, x: &[f64], load: &mut [f64]) {
+        load.par_iter_mut().enumerate().for_each(|(v, l)| {
+            let mut acc = 0.0f64;
+            for &ei in &self.inc[self.inc_off[v]..self.inc_off[v + 1]] {
+                let e = ei as usize;
+                let (u, _) = self.edges[e];
+                acc += if u as usize == v { x[e] } else { 1.0 - x[e] };
+            }
+            *l = acc;
+        });
+    }
+}
+
+/// Densest prefix of the load-descending vertex order (fractional
+/// peeling) — the generic-storage version of `pfw::extract`.
+fn extract_prefix<G: NeighborAccess>(
+    g: &G,
+    load: &[f64],
+    order: &mut Vec<VertexId>,
+    rank: &mut Vec<usize>,
+) -> (usize, f64, usize) {
+    let n = g.vertex_count();
+    order.clear();
+    order.extend(0..n as VertexId);
+    order.par_sort_unstable_by(|&a, &b| {
+        load[b as usize].partial_cmp(&load[a as usize]).expect("loads are finite").then(a.cmp(&b))
+    });
+    rank.clear();
+    rank.resize(n, usize::MAX);
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    let mut best_density = 0.0f64;
+    let mut best_len = 0usize;
+    let mut best_edges = 0usize;
+    let mut edges_inside = 0usize;
+    for (i, &v) in order.iter().enumerate() {
+        edges_inside += g.neighbors_of(v).filter(|&u| rank[u as usize] < i).count();
+        let density = edges_inside as f64 / (i + 1) as f64;
+        if density > best_density {
+            best_density = density;
+            best_len = i + 1;
+            best_edges = edges_inside;
+        }
+    }
+    (best_len, best_density, best_edges)
+}
+
+fn run_fista<G: NeighborAccess>(g: &G, cfg: &IterateConfig) -> RawOutcome {
+    let n = g.vertex_count();
+    let m = (g.arc_count() / 2) as usize;
+    if n == 0 || m == 0 {
+        return RawOutcome::trivial();
+    }
+    let space = EdgeSpace::build(g);
+    let l_max = space
+        .edges
+        .iter()
+        .map(|&(u, v)| g.degree_of(u) as u64 + g.degree_of(v) as u64)
+        .max()
+        .expect("non-empty edge list");
+    let eta = 1.0 / (2.0 * l_max as f64);
+    let mut x = vec![0.5f64; m];
+    let mut x_prev = x.clone();
+    let mut y = x.clone();
+    let mut load_y = vec![0.0f64; n];
+    let mut load_x = vec![0.0f64; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut rank: Vec<usize> = Vec::with_capacity(n);
+    let mut tk = 1.0f64;
+    let mut progress = Progress::new(cfg.iterations);
+    let mut rounds = 0usize;
+    for t in 1..=cfg.iterations.max(1) {
+        {
+            let _grad = telemetry::span(Phase::IterateGradient);
+            space.loads(&y, &mut load_y);
+            std::mem::swap(&mut x, &mut x_prev);
+            let edges = &space.edges;
+            let ly = &load_y;
+            let yv = &y;
+            x.par_iter_mut().enumerate().for_each(|(e, xe)| {
+                let (u, v) = edges[e];
+                let grad = 2.0 * (ly[u as usize] - ly[v as usize]);
+                *xe = (yv[e] - eta * grad).clamp(0.0, 1.0);
+            });
+            let tk1 = 0.5 * (1.0 + (1.0 + 4.0 * tk * tk).sqrt());
+            let momentum = (tk - 1.0) / tk1;
+            let xc = &x;
+            let xp = &x_prev;
+            y.par_iter_mut().enumerate().for_each(|(e, ye)| {
+                *ye = xc[e] + momentum * (xc[e] - xp[e]);
+            });
+            tk = tk1;
+        }
+        rounds = t;
+        let (best_len, density, edges) = {
+            let _extract = telemetry::span(Phase::IterateExtract);
+            space.loads(&x, &mut load_x);
+            extract_prefix(g, &load_x, &mut order, &mut rank)
+        };
+        // x is clamped to [0,1], hence feasible: its max load bounds ρ*.
+        let upper = load_x.iter().copied().fold(0.0f64, f64::max);
+        let stop = progress.absorb_round(
+            density,
+            edges,
+            &order[..best_len],
+            upper,
+            cfg,
+            RoundWork {
+                loads_updated: m as u64,
+                frontier_len: m,
+                edges_examined: 2 * m as u64,
+                items_removed: best_len,
+            },
+        );
+        if stop {
+            break;
+        }
+    }
+    RawOutcome::from_progress(progress, rounds)
+}
+
+// ---------------------------------------------------------------------------
+// Certified driver
+// ---------------------------------------------------------------------------
+
+fn finish(
+    storage: &UndirectedStorage<'_>,
+    cfg: &IterateConfig,
+    raw: RawOutcome,
+) -> IterativeResult {
+    let mut vertices = raw.vertices;
+    let mut density = raw.density;
+    let mut edges = raw.edges;
+    let certificate = match cfg.certify {
+        CertifyMode::None => Certificate::Uncertified,
+        CertifyMode::Dual if raw.gap_certified => {
+            Certificate::DualGap { upper_bound: raw.upper_bound, epsilon: cfg.epsilon }
+        }
+        CertifyMode::Dual => Certificate::Uncertified,
+        CertifyMode::Exact => {
+            let _certify = telemetry::span(Phase::IterateCertify);
+            let owned;
+            let plain: &UndirectedGraph = match storage {
+                UndirectedStorage::Plain(g) => g,
+                UndirectedStorage::Compressed(c) => {
+                    owned = c.decompress();
+                    &owned
+                }
+            };
+            let cert = dsd_flow::uds_certify_incumbent(plain, &vertices);
+            vertices = cert.result.vertices;
+            density = cert.result.density;
+            edges = crate::density::set_edges_and_density(plain, &vertices).0;
+            Certificate::Exact { flow_probes: cert.flow_probes, improved: cert.improved }
+        }
+    };
+    IterativeResult {
+        result: UdsResult {
+            vertices,
+            density,
+            stats: Stats { iterations: raw.rounds, edges_result: Some(edges), ..Stats::default() },
+        },
+        upper_bound: raw.upper_bound,
+        rounds: raw.rounds,
+        certificate,
+        history: raw.history,
+    }
+}
+
+/// Greedy++ over either storage representation.
+pub fn greedy_pp_storage(storage: &UndirectedStorage<'_>, cfg: &IterateConfig) -> IterativeResult {
+    let (mut out, wall) = timed(|| {
+        let raw = match storage {
+            UndirectedStorage::Plain(g) => run_greedy_pp(*g, cfg),
+            UndirectedStorage::Compressed(c) => run_greedy_pp(*c, cfg),
+        };
+        finish(storage, cfg, raw)
+    });
+    out.result.stats.wall = wall;
+    out
+}
+
+/// Greedy++ on a plain graph (thin wrapper over [`greedy_pp_storage`]).
+pub fn greedy_pp(g: &UndirectedGraph, cfg: &IterateConfig) -> IterativeResult {
+    greedy_pp_storage(&UndirectedStorage::Plain(g), cfg)
+}
+
+/// FISTA over either storage representation.
+pub fn fista_storage(storage: &UndirectedStorage<'_>, cfg: &IterateConfig) -> IterativeResult {
+    let (mut out, wall) = timed(|| {
+        let raw = match storage {
+            UndirectedStorage::Plain(g) => run_fista(*g, cfg),
+            UndirectedStorage::Compressed(c) => run_fista(*c, cfg),
+        };
+        finish(storage, cfg, raw)
+    });
+    out.result.stats.wall = wall;
+    out
+}
+
+/// FISTA on a plain graph (thin wrapper over [`fista_storage`]).
+pub fn fista(g: &UndirectedGraph, cfg: &IterateConfig) -> IterativeResult {
+    fista_storage(&UndirectedStorage::Plain(g), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::undirected_density;
+
+    fn cfg(iterations: usize, epsilon: f64, certify: CertifyMode) -> IterateConfig {
+        IterateConfig { iterations, epsilon, certify }
+    }
+
+    #[test]
+    fn greedy_pp_first_round_matches_charikar() {
+        let g = dsd_graph::gen::chung_lu(200, 1000, 2.3, 5);
+        let one = greedy_pp(&g, &cfg(1, 0.0, CertifyMode::None));
+        let ch = crate::uds::charikar::charikar(&g);
+        assert_eq!(one.result.vertices, ch.vertices);
+        assert_eq!(one.result.density.to_bits(), ch.density.to_bits());
+    }
+
+    #[test]
+    fn greedy_pp_dual_bound_brackets_exact() {
+        for seed in 0..4 {
+            let g = dsd_graph::gen::erdos_renyi(60, 240, seed + 30);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::uds_exact(&g);
+            let r = greedy_pp(&g, &cfg(30, 0.001, CertifyMode::Dual));
+            assert!(r.result.density <= exact.density + 1e-9);
+            let (ub, opt) = (r.upper_bound, exact.density);
+            assert!(ub + 1e-9 >= opt, "ub {ub} < ρ* {opt}");
+        }
+    }
+
+    #[test]
+    fn fista_dual_bound_brackets_exact() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::erdos_renyi(50, 220, seed + 60);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::uds_exact(&g);
+            let r = fista(&g, &cfg(200, 0.01, CertifyMode::Dual));
+            assert!(r.result.density <= exact.density + 1e-9);
+            let (ub, opt) = (r.upper_bound, exact.density);
+            assert!(ub + 1e-9 >= opt, "ub {ub} < ρ* {opt}");
+        }
+    }
+
+    #[test]
+    fn dual_gap_certificate_is_sound() {
+        let g = dsd_graph::gen::planted_dense(300, 500, 18, 1.0, 42);
+        let eps = 0.05;
+        let r = greedy_pp(&g, &cfg(200, eps, CertifyMode::Dual));
+        if let Certificate::DualGap { upper_bound, epsilon } = r.certificate {
+            let exact = dsd_flow::uds_exact(&g);
+            assert!(exact.density <= (1.0 + epsilon) * r.result.density + 1e-9);
+            assert!(upper_bound + 1e-9 >= exact.density);
+        } else {
+            panic!("expected a dual-gap certificate, got {:?}", r.certificate);
+        }
+    }
+
+    #[test]
+    fn exact_certification_reaches_the_optimum() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::erdos_renyi(70, 300, seed + 90);
+            if g.num_edges() == 0 {
+                continue;
+            }
+            let exact = dsd_flow::uds_exact(&g);
+            for r in [
+                greedy_pp(&g, &cfg(50, 0.1, CertifyMode::Exact)),
+                fista(&g, &cfg(150, 0.1, CertifyMode::Exact)),
+            ] {
+                assert!((r.result.density - exact.density).abs() < 1e-12);
+                assert!(matches!(r.certificate, Certificate::Exact { .. }));
+                let actual = undirected_density(&g, &r.result.vertices);
+                assert!((actual - r.result.density).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let g = dsd_graph::gen::chung_lu(150, 700, 2.2, 8);
+        for r in [
+            greedy_pp(&g, &cfg(25, 0.0, CertifyMode::None)),
+            fista(&g, &cfg(60, 0.0, CertifyMode::None)),
+        ] {
+            for w in r.history.windows(2) {
+                assert!(w[1].density + 1e-15 >= w[0].density);
+                assert!(w[1].upper_bound <= w[0].upper_bound + 1e-15);
+            }
+            assert_eq!(r.history.len(), r.rounds);
+        }
+    }
+
+    #[test]
+    fn compressed_storage_is_bit_identical() {
+        let g = dsd_graph::gen::chung_lu(180, 900, 2.4, 12);
+        let c = dsd_graph::CompressedCsr::from_graph(&g);
+        let config = cfg(20, 0.01, CertifyMode::Dual);
+        let gp = greedy_pp_storage(&UndirectedStorage::Plain(&g), &config);
+        let gc = greedy_pp_storage(&UndirectedStorage::Compressed(&c), &config);
+        assert_eq!(gp.result.vertices, gc.result.vertices);
+        assert_eq!(gp.result.density.to_bits(), gc.result.density.to_bits());
+        assert_eq!(gp.upper_bound.to_bits(), gc.upper_bound.to_bits());
+        let fp = fista_storage(&UndirectedStorage::Plain(&g), &config);
+        let fc = fista_storage(&UndirectedStorage::Compressed(&c), &config);
+        assert_eq!(fp.result.vertices, fc.result.vertices);
+        assert_eq!(fp.result.density.to_bits(), fc.result.density.to_bits());
+        assert_eq!(fp.upper_bound.to_bits(), fc.upper_bound.to_bits());
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = dsd_graph::UndirectedGraphBuilder::new(4).build().unwrap();
+        for r in [greedy_pp(&g, &IterateConfig::default()), fista(&g, &IterateConfig::default())] {
+            assert_eq!(r.result.density, 0.0);
+            assert!(r.result.vertices.is_empty());
+            assert_eq!(r.rounds, 0);
+        }
+    }
+
+    #[test]
+    fn clique_certifies_in_one_round() {
+        let mut b = dsd_graph::UndirectedGraphBuilder::new(6);
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b.push_edge(u, v);
+            }
+        }
+        let g = b.build().unwrap();
+        // K6: ρ* = 15/6 = 2.5; round 1 already achieves it and the dual
+        // bound (degeneracy 5... loads/1) needs a few rounds to tighten,
+        // so run with exact certification and check the probe count.
+        let r = greedy_pp(&g, &cfg(50, 0.01, CertifyMode::Exact));
+        assert!((r.result.density - 2.5).abs() < 1e-12);
+        if let Certificate::Exact { flow_probes, improved } = r.certificate {
+            assert!(flow_probes <= 2, "expected 1-2 probes, got {flow_probes}");
+            assert!(!improved);
+        } else {
+            panic!("expected exact certificate");
+        }
+    }
+}

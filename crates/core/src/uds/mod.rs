@@ -14,6 +14,7 @@ pub mod bucket;
 pub mod bz;
 pub mod charikar;
 pub mod exact;
+pub mod iterate;
 pub mod local;
 pub mod pbu;
 pub mod pfw;

@@ -114,6 +114,7 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
                     items_removed: killed,
                     alive_edges: None,
                     phase_times,
+                    ..RoundSample::default()
                 });
             }
         }

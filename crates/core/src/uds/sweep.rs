@@ -443,6 +443,7 @@ impl SweepWorkspace {
                 items_removed,
                 alive_edges: None,
                 phase_times: self.last_phases.clone(),
+                ..RoundSample::default()
             });
         }
     }

@@ -39,5 +39,8 @@ pub mod push_relabel;
 
 pub use dds_exact::{dds_exact, dds_exact_legacy, dds_exact_seeded, DdsExactResult};
 pub use dinic::Dinic;
-pub use goldberg::{uds_exact, uds_exact_legacy, uds_exact_seeded, UdsExactResult};
+pub use goldberg::{
+    uds_certify_incumbent, uds_exact, uds_exact_legacy, uds_exact_seeded, UdsCertifyResult,
+    UdsExactResult,
+};
 pub use push_relabel::PushRelabel;

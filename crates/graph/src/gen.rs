@@ -148,6 +148,45 @@ pub fn chung_lu_directed(
     b.build().expect("generated ids are in range")
 }
 
+/// Seeded configuration-model power-law graph with a configurable
+/// exponent: every vertex gets a **realised** target degree
+/// `d_i ∝ (i+1)^(-1/(γ-1))` (scaled to `2m` stubs, floor 1), the stub list
+/// is shuffled and paired. Unlike [`chung_lu`], whose degrees are only
+/// power-law *in expectation*, the tail here is pinned — vertex 0 really
+/// is a hub — which is what the iterative-engine benchmark wants when it
+/// measures iterations-to-ε on a skewed-degree input (Greedy++/FISTA
+/// convergence is driven by the load imbalance the hubs create).
+/// Self-loops and duplicate pairs are dropped by the builder, so the
+/// realised edge count can land slightly under `m`.
+pub fn power_law_configuration(n: usize, m: usize, gamma: f64, seed: u64) -> UndirectedGraph {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = UndirectedGraphBuilder::with_capacity(n, m);
+    if n < 2 || m == 0 {
+        return b.build().expect("empty edge set is always valid");
+    }
+    let weights = power_law_weights(n, gamma);
+    let total: f64 = weights.iter().sum();
+    let scale = (2 * m) as f64 / total;
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(2 * m + n);
+    for (i, &w) in weights.iter().enumerate() {
+        let d = ((w * scale).round() as usize).max(1);
+        stubs.extend(std::iter::repeat(i as VertexId).take(d));
+    }
+    if stubs.len() % 2 == 1 {
+        stubs.pop();
+    }
+    // Fisher–Yates, then pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    for pair in stubs.chunks_exact(2) {
+        b.push_edge(pair[0], pair[1]);
+    }
+    b.build().expect("generated ids are in range")
+}
+
 /// Barabási–Albert preferential attachment: each new vertex attaches to
 /// `k` existing vertices chosen proportionally to degree (realised with the
 /// classic repeated-endpoint trick: sample uniformly from the edge-endpoint
@@ -480,6 +519,30 @@ mod tests {
         assert_eq!(g.num_edges(), 0);
         let g = erdos_renyi(0, 10, 7);
         assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn power_law_configuration_deterministic_and_skewed() {
+        let g1 = power_law_configuration(2000, 10_000, 2.1, 11);
+        let g2 = power_law_configuration(2000, 10_000, 2.1, 11);
+        assert_eq!(g1, g2);
+        assert_ne!(g1, power_law_configuration(2000, 10_000, 2.1, 12));
+        // Realised edge count near target; at γ=2.1 the hub absorbs so
+        // many stubs that duplicate-pair losses run to ~20%.
+        assert!(g1.num_edges() > 7_500, "edges {}", g1.num_edges());
+        // Pinned tail: vertex 0 is a genuine hub.
+        let avg = 2.0 * g1.num_edges() as f64 / g1.num_vertices() as f64;
+        assert!(g1.degree(0) as f64 > 10.0 * avg, "hub degree {}", g1.degree(0));
+        // Steeper exponents flatten the tail.
+        let flat = power_law_configuration(2000, 10_000, 3.5, 11);
+        assert!(flat.max_degree() < g1.max_degree());
+    }
+
+    #[test]
+    fn power_law_configuration_tiny_inputs() {
+        assert_eq!(power_law_configuration(0, 10, 2.5, 1).num_vertices(), 0);
+        assert_eq!(power_law_configuration(1, 10, 2.5, 1).num_edges(), 0);
+        assert_eq!(power_law_configuration(50, 0, 2.5, 1).num_edges(), 0);
     }
 
     #[test]

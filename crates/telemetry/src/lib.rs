@@ -77,11 +77,15 @@ pub enum Counter {
     /// produced by the encoder (adjacency data sections only, excluding
     /// the degree and offset tables).
     EncodeBytes,
+    /// `uds/iterate.rs`: load cells updated by the iterative near-optimal
+    /// engine — one per popped vertex per Greedy++ round, one per edge
+    /// orientation variable per FISTA step.
+    LoadsUpdated,
 }
 
 impl Counter {
     /// Every counter, in shard-slot order (also the JSON emission order).
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 9] = [
         Counter::HUpdatesApplied,
         Counter::FrontierEnqueues,
         Counter::ChunkMinRescans,
@@ -90,6 +94,7 @@ impl Counter {
         Counter::CompactionMoves,
         Counter::DecodeBytes,
         Counter::EncodeBytes,
+        Counter::LoadsUpdated,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -105,6 +110,7 @@ impl Counter {
             Counter::CompactionMoves => "compaction_moves",
             Counter::DecodeBytes => "decode_bytes",
             Counter::EncodeBytes => "encode_bytes",
+            Counter::LoadsUpdated => "loads_updated",
         }
     }
 }
@@ -176,11 +182,23 @@ pub enum Phase {
     /// Ingest spill mode: k-way merge of sorted shard files into the
     /// final CSR / compressed builder.
     IngestMerge,
+    /// Iterative engine: one load-augmented Greedy++ peel round
+    /// (`dsd-core::uds::iterate`).
+    IteratePeel,
+    /// Iterative engine: one FISTA projected-gradient step over the edge
+    /// orientation variables (momentum update + clamp + load recompute).
+    IterateGradient,
+    /// Iterative engine: fractional-peeling extraction of the densest
+    /// prefix from the current load vector.
+    IterateExtract,
+    /// Iterative engine: flow certification of the incumbent against the
+    /// push-relabel oracle (`--certify exact`).
+    IterateCertify,
 }
 
 impl Phase {
     /// Every phase, in shard-slot order.
-    pub const ALL: [Phase; 22] = [
+    pub const ALL: [Phase; 26] = [
         Phase::Init,
         Phase::Sweep,
         Phase::Apply,
@@ -203,6 +221,10 @@ impl Phase {
         Phase::CompressEncode,
         Phase::IngestSpill,
         Phase::IngestMerge,
+        Phase::IteratePeel,
+        Phase::IterateGradient,
+        Phase::IterateExtract,
+        Phase::IterateCertify,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -232,6 +254,10 @@ impl Phase {
             Phase::CompressEncode => "compress/encode",
             Phase::IngestSpill => "ingest/spill",
             Phase::IngestMerge => "ingest/merge",
+            Phase::IteratePeel => "iterate/peel",
+            Phase::IterateGradient => "iterate/gradient",
+            Phase::IterateExtract => "iterate/extract",
+            Phase::IterateCertify => "iterate/certify",
         }
     }
 }
@@ -403,7 +429,7 @@ pub struct PhaseTime {
 /// h-index sweep, the peel engine one sample per *outer* iteration (one
 /// `next_threshold` + cascade), so the final sample's `alive_edges` equals
 /// `Stats::edges_last_iter`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RoundSample {
     /// Zero-based round index within the trace.
     pub round: u32,
@@ -419,6 +445,12 @@ pub struct RoundSample {
     /// Edges still alive when the round started (`None` for engines without
     /// an alive-edge notion, i.e. the UDS sweep).
     pub alive_edges: Option<usize>,
+    /// Best-so-far density after this round (iterative near-optimal
+    /// engines only; omitted from JSON when `None`).
+    pub density: Option<f64>,
+    /// Load-vector dual upper bound after this round (iterative engines
+    /// only; the dual gap is `dual_bound - density`).
+    pub dual_bound: Option<f64>,
     /// Per-phase time breakdown for this round (empty if the engine only
     /// tracks trace-level phase totals).
     pub phase_times: Vec<PhaseTime>,
@@ -505,6 +537,14 @@ fn write_round(out: &mut String, r: &RoundSample) {
     match r.alive_edges {
         Some(a) => out.push_str(&a.to_string()),
         None => out.push_str("null"),
+    }
+    if let Some(d) = r.density {
+        out.push_str(",\"density\":");
+        json::write_f64(out, d);
+    }
+    if let Some(b) = r.dual_bound {
+        out.push_str(",\"dual_bound\":");
+        json::write_f64(out, b);
     }
     out.push_str(",\"phase_times\":[");
     write_phase_times(out, &r.phase_times);
@@ -640,6 +680,7 @@ mod tests {
             items_removed: removed,
             alive_edges: Some(100 - removed),
             phase_times: vec![PhaseTime { phase: Phase::Sweep.name(), secs: 0.25 }],
+            ..RoundSample::default()
         }
     }
 
@@ -724,6 +765,8 @@ mod tests {
                 edges_examined: 12,
                 items_removed: 4,
                 alive_edges: None,
+                density: Some(1.25),
+                dual_bound: Some(1.5),
                 phase_times: vec![PhaseTime { phase: Phase::ThresholdSelect.name(), secs: 0.5 }],
             }],
             counters: Counter::ALL.iter().map(|&c| (c.name(), c as u64)).collect(),
@@ -741,6 +784,8 @@ mod tests {
         let round = rounds[0].as_object().expect("round object");
         assert!(round.get("alive_edges").expect("alive_edges").is_null());
         assert_eq!(round.get("edges_examined").and_then(json::Value::as_u64), Some(12));
+        assert_eq!(round.get("density").and_then(json::Value::as_f64), Some(1.25));
+        assert_eq!(round.get("dual_bound").and_then(json::Value::as_f64), Some(1.5));
         let counters =
             obj.get("counters").and_then(json::Value::as_object).expect("counters object");
         assert_eq!(

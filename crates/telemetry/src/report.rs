@@ -23,6 +23,11 @@ pub struct RoundView {
     pub items_removed: u64,
     /// Alive edges at round start (`None` for sweep-style engines).
     pub alive_edges: Option<u64>,
+    /// Best-so-far density after the round (iterative engines only).
+    pub density: Option<f64>,
+    /// Load-vector dual upper bound after the round (iterative engines
+    /// only).
+    pub dual_bound: Option<f64>,
     /// Per-phase `(name, seconds)` breakdown for the round.
     pub phase_times: Vec<(String, f64)>,
 }
@@ -81,6 +86,8 @@ pub fn view(trace: &DecompositionTrace) -> TraceView {
                 edges_examined: r.edges_examined,
                 items_removed: r.items_removed as u64,
                 alive_edges: r.alive_edges.map(|a| a as u64),
+                density: r.density,
+                dual_bound: r.dual_bound,
                 phase_times: r
                     .phase_times
                     .iter()
@@ -171,12 +178,23 @@ pub fn view_from_json(value: &Value) -> Result<TraceView, String> {
                     .ok_or_else(|| format!("{what}: 'alive_edges' must be null or integer"))?,
             ),
         };
+        // Optional iterative-engine fields: absent on non-iterative traces.
+        let optional_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match o.get(key) {
+                None | Some(Value::Null) => Ok(None),
+                Some(v) => {
+                    v.as_f64().map(Some).ok_or_else(|| format!("{what}: '{key}' must be a number"))
+                }
+            }
+        };
         rounds.push(RoundView {
             round: u64_field(o, "round", &what)?,
             frontier_len: u64_field(o, "frontier_len", &what)?,
             edges_examined: u64_field(o, "edges_examined", &what)?,
             items_removed: u64_field(o, "items_removed", &what)?,
             alive_edges,
+            density: optional_f64("density")?,
+            dual_bound: optional_f64("dual_bound")?,
             phase_times: phase_times_field(o, "phase_times", &what)?,
         });
     }
@@ -346,6 +364,8 @@ mod tests {
                     edges_examined: 1000 + u64::from(i),
                     items_removed: 10 * (i as usize + 1),
                     alive_edges: Some(5000 - 100 * i as usize),
+                    density: Some(1.0 + f64::from(i)),
+                    dual_bound: Some(2.0 + f64::from(i)),
                     phase_times: vec![PhaseTime { phase: Phase::Cascade.name(), secs: 0.01 }],
                 })
                 .collect(),
@@ -424,6 +444,7 @@ mod tests {
                 items_removed: 1,
                 alive_edges: None,
                 phase_times: Vec::new(),
+                ..RoundSample::default()
             })
             .collect();
         let curve = render_round_curve(&view(&trace), 10);

@@ -13,11 +13,12 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use dsd_core::uds::iterate::CertifyMode;
 use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dsd uds   --input FILE [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--print-vertices]\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|exact]\n            [--threads N] [--print-vertices]\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)"
+        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)"
     );
     ExitCode::from(2)
 }
@@ -96,11 +97,41 @@ fn with_threads<T: Send>(
     }
 }
 
+/// Parses `--certify none|dual|exact` (default `dual`).
+fn parse_certify(flags: &HashMap<String, String>) -> Result<CertifyMode, String> {
+    match flags.get("certify").map(String::as_str).unwrap_or("dual") {
+        "none" => Ok(CertifyMode::None),
+        "dual" => Ok(CertifyMode::Dual),
+        "exact" => Ok(CertifyMode::Exact),
+        other => Err(format!("unknown certify mode {other} (use none|dual|exact)")),
+    }
+}
+
+fn certificate_line(c: &dsd_core::uds::iterate::Certificate) -> String {
+    use dsd_core::uds::iterate::Certificate;
+    match c {
+        Certificate::Uncertified => "uncertified".to_string(),
+        Certificate::DualGap { upper_bound, epsilon } => {
+            format!("dual-gap (upper bound {upper_bound:.6}, epsilon {epsilon})")
+        }
+        Certificate::Exact { flow_probes, improved } => {
+            format!("exact (flow probes {flow_probes}, improved {improved})")
+        }
+    }
+}
+
 fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("--input is required")?;
     let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
     let epsilon: f64 = get_parsed(flags, "epsilon", 0.5)?;
-    let iterations: usize = get_parsed(flags, "iterations", 100)?;
+    // `--iters` is the iterative-engine spelling; it wins over `--iterations`.
+    let iterations: usize = match flags.contains_key("iters") {
+        true => get_parsed(flags, "iters", 100)?,
+        false => get_parsed(flags, "iterations", 100)?,
+    };
+    let certify = parse_certify(flags)?;
+    // The iterative engine's ε defaults to the certified 1% gap, not PBU's 0.5.
+    let gap_epsilon: f64 = get_parsed(flags, "epsilon", 0.01)?;
     let algo = match flags.get("algo").map(String::as_str).unwrap_or("pkmc") {
         "pkmc" => UdsAlgorithm::Pkmc,
         "local" => UdsAlgorithm::Local,
@@ -109,10 +140,30 @@ fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
         "pbu" => UdsAlgorithm::Pbu { epsilon },
         "pfw" => UdsAlgorithm::Pfw { iterations },
         "bsk" => UdsAlgorithm::Bsk,
+        "greedypp" => UdsAlgorithm::GreedyPP { iterations, epsilon: gap_epsilon, certify },
+        "fista" => UdsAlgorithm::Fista { iterations, epsilon: gap_epsilon, certify },
         "exact" => UdsAlgorithm::Exact,
         other => return Err(format!("unknown UDS algorithm {other}")),
     };
-    let r = with_threads(flags, || run_uds(&g, algo))?;
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() {
+        dsd_telemetry::set_enabled(true);
+        dsd_telemetry::begin_trace(&format!("uds/{input}"));
+    }
+    // The iterative engines run outside `run_uds` so the certificate and
+    // dual bound survive to the report; the enum arms stay the library path.
+    let cfg = dsd_core::uds::iterate::IterateConfig { iterations, epsilon: gap_epsilon, certify };
+    let (r, iterative) = match algo {
+        UdsAlgorithm::GreedyPP { .. } => {
+            let it = with_threads(flags, || dsd_core::uds::iterate::greedy_pp(&g, &cfg))?;
+            (it.result.clone(), Some(it))
+        }
+        UdsAlgorithm::Fista { .. } => {
+            let it = with_threads(flags, || dsd_core::uds::iterate::fista(&g, &cfg))?;
+            (it.result.clone(), Some(it))
+        }
+        _ => (with_threads(flags, || run_uds(&g, algo))?, None),
+    };
     println!(
         "graph: |V|={} |E|={}\nalgorithm: {algo:?}\ndensity: {:.6}\nsubgraph size: {} vertices\niterations: {}\ntime: {:.3?}",
         g.num_vertices(),
@@ -122,8 +173,21 @@ fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
         r.stats.iterations,
         r.stats.wall
     );
+    if let Some(it) = &iterative {
+        println!(
+            "rounds: {}\nupper bound: {:.6}\ncertificate: {}",
+            it.rounds,
+            it.upper_bound,
+            certificate_line(&it.certificate)
+        );
+    }
     if flags.contains_key("print-vertices") {
         println!("vertices: {:?}", r.vertices);
+    }
+    if let Some(path) = trace_path {
+        let trace = dsd_telemetry::end_trace().ok_or("telemetry trace unavailable")?;
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {path}");
     }
     Ok(())
 }
@@ -139,6 +203,10 @@ fn cmd_dds(flags: &HashMap<String, String>) -> Result<(), String> {
         "pfks" => DdsAlgorithm::Pfks,
         "pbs" => DdsAlgorithm::Pbs { max_rounds: Some(10_000) },
         "pfw" => DdsAlgorithm::Pfw { iterations },
+        "greedypp" => DdsAlgorithm::GreedyPP {
+            iterations,
+            certify_exact: flags.get("certify").map(String::as_str) == Some("exact"),
+        },
         "exact" => DdsAlgorithm::Exact,
         other => return Err(format!("unknown DDS algorithm {other}")),
     };

@@ -57,6 +57,7 @@ pub mod prelude {
         densest_subgraph, densest_subgraph_directed, run_dds, run_uds, DdsAlgorithm, UdsAlgorithm,
     };
     pub use dsd_core::dds::DdsResult;
+    pub use dsd_core::uds::iterate::CertifyMode;
     pub use dsd_core::uds::UdsResult;
     pub use dsd_graph::{
         DirectedGraph, DirectedGraphBuilder, UndirectedGraph, UndirectedGraphBuilder, VertexId,
@@ -99,6 +100,26 @@ pub enum UdsAlgorithm {
     /// Binary-search `k*`-core (the Section IV-B "simple method",
     /// implemented as an ablation baseline).
     Bsk,
+    /// Greedy++ (Boob et al.): iterated load-augmented peeling with a
+    /// load-vector dual bound and optional flow certification.
+    GreedyPP {
+        /// Maximum number of peel rounds.
+        iterations: usize,
+        /// Approximation slack ε for the certified early stop.
+        epsilon: f64,
+        /// How to certify the answer.
+        certify: dsd_core::uds::iterate::CertifyMode,
+    },
+    /// FISTA (Harb et al.): accelerated projected gradient over fractional
+    /// edge orientations, same certified driver as [`UdsAlgorithm::GreedyPP`].
+    Fista {
+        /// Maximum number of gradient rounds.
+        iterations: usize,
+        /// Approximation slack ε for the certified early stop.
+        epsilon: f64,
+        /// How to certify the answer.
+        certify: dsd_core::uds::iterate::CertifyMode,
+    },
     /// Exact flow-based optimum (small graphs only).
     Exact,
 }
@@ -126,6 +147,14 @@ pub fn run_uds(g: &UndirectedGraph, algorithm: UdsAlgorithm) -> UdsResult {
             dsd_core::uds::pfw::pfw_with(g, dsd_core::uds::pfw::PfwConfig { iterations })
         }
         UdsAlgorithm::Bsk => dsd_core::uds::bsk::bsk(g),
+        UdsAlgorithm::GreedyPP { iterations, epsilon, certify } => {
+            let cfg = dsd_core::uds::iterate::IterateConfig { iterations, epsilon, certify };
+            dsd_core::uds::iterate::greedy_pp(g, &cfg).result
+        }
+        UdsAlgorithm::Fista { iterations, epsilon, certify } => {
+            let cfg = dsd_core::uds::iterate::IterateConfig { iterations, epsilon, certify };
+            dsd_core::uds::iterate::fista(g, &cfg).result
+        }
         UdsAlgorithm::Exact => {
             // PKMC-seeded push-relabel engine: same optimum as
             // `dsd_flow::uds_exact`, warm-started and core-pruned.
@@ -161,6 +190,14 @@ pub enum DdsAlgorithm {
         /// Number of sweeps.
         iterations: usize,
     },
+    /// Directed Greedy++: iterated load-augmented ratio peeling with an
+    /// optional exact-certification handshake.
+    GreedyPP {
+        /// Number of load-augmented rounds.
+        iterations: usize,
+        /// Hand the incumbent to the exact oracle (small graphs only).
+        certify_exact: bool,
+    },
     /// Exact flow-based optimum (small graphs only).
     Exact,
 }
@@ -182,6 +219,10 @@ pub fn run_dds(g: &DirectedGraph, algorithm: DdsAlgorithm) -> DdsResult {
             g,
             dsd_core::dds::pfw::PfwDirectedConfig { iterations },
         ),
+        DdsAlgorithm::GreedyPP { iterations, certify_exact } => {
+            let cfg = dsd_core::dds::iterate::DdsIterateConfig { iterations, certify_exact };
+            dsd_core::dds::iterate::greedy_pp_dds(g, &cfg).result
+        }
         DdsAlgorithm::Exact => {
             // PWC-seeded push-relabel engine: same optimum as
             // `dsd_flow::dds_exact`, with incumbent-based ratio pruning.
@@ -208,6 +249,16 @@ mod tests {
             UdsAlgorithm::Pbu { epsilon: 0.5 },
             UdsAlgorithm::Pfw { iterations: 50 },
             UdsAlgorithm::Bsk,
+            UdsAlgorithm::GreedyPP {
+                iterations: 20,
+                epsilon: 0.1,
+                certify: algo::uds::iterate::CertifyMode::Dual,
+            },
+            UdsAlgorithm::Fista {
+                iterations: 40,
+                epsilon: 0.1,
+                certify: algo::uds::iterate::CertifyMode::Exact,
+            },
         ] {
             let r = run_uds(&g, algo);
             assert!(r.density > 0.0, "{algo:?} returned zero density");
@@ -226,6 +277,7 @@ mod tests {
             DdsAlgorithm::Pfks,
             DdsAlgorithm::Pbs { max_rounds: Some(200) },
             DdsAlgorithm::Pfw { iterations: 50 },
+            DdsAlgorithm::GreedyPP { iterations: 5, certify_exact: true },
         ] {
             let r = run_dds(&g, algo);
             assert!(r.density > 0.0, "{algo:?} returned zero density");

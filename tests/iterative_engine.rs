@@ -1,0 +1,122 @@
+//! Property tests for the iterative near-optimal engine (PR 7 tentpole):
+//! on random graphs, Greedy++ and FISTA must (a) keep the best-so-far
+//! density monotone while the dual bound tightens, (b) honour the
+//! certified `(1+ε)` gap against the flow oracle's exact optimum, and
+//! (c) return bit-identical answers at every thread-pool size in
+//! {1, 2, 4} on both plain and compressed storage.
+//!
+//! The default case counts are kept small so `cargo test` stays fast; the
+//! dedicated CI proptest job raises them through `PROPTEST_CASES`.
+
+use dsd_core::runner::with_threads;
+use dsd_core::uds::iterate::{fista_storage, greedy_pp_storage, CertifyMode, IterateConfig};
+use dsd_graph::UndirectedStorage;
+use proptest::prelude::*;
+
+const POOLS: [usize; 3] = [1, 2, 4];
+
+/// Case count honouring `PROPTEST_CASES` (the CI proptest job raises it).
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(default_cases)
+}
+
+fn undirected_graph() -> impl Strategy<Value = dsd_graph::UndirectedGraph> {
+    (2usize..26, 0.05f64..0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        let m = ((n * (n - 1) / 2) as f64 * p).ceil() as usize;
+        dsd_graph::gen::erdos_renyi(n, m.max(1), seed)
+    })
+}
+
+/// Both engines over plain storage, as `(name, result)` pairs.
+fn run_both(
+    g: &dsd_graph::UndirectedGraph,
+    cfg: &IterateConfig,
+) -> Vec<(&'static str, dsd_core::uds::iterate::IterativeResult)> {
+    let storage = UndirectedStorage::Plain(g);
+    vec![("greedypp", greedy_pp_storage(&storage, cfg)), ("fista", fista_storage(&storage, cfg))]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(10)))]
+
+    #[test]
+    fn best_so_far_is_monotone_and_bracketed(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let cfg = IterateConfig { iterations: 12, epsilon: 0.01, certify: CertifyMode::None };
+        for (name, r) in run_both(&g, &cfg) {
+            for w in r.history.windows(2) {
+                prop_assert!(w[1].density + 1e-12 >= w[0].density,
+                    "{name}: best-so-far decreased: {} -> {}", w[0].density, w[1].density);
+                prop_assert!(w[1].upper_bound <= w[0].upper_bound + 1e-12,
+                    "{name}: dual bound loosened: {} -> {}", w[0].upper_bound, w[1].upper_bound);
+            }
+            for p in &r.history {
+                prop_assert!(p.density <= p.upper_bound + 1e-9,
+                    "{name}: primal {} above dual bound {}", p.density, p.upper_bound);
+            }
+        }
+    }
+
+    #[test]
+    fn certified_gap_brackets_the_exact_optimum(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let exact = dsd_core::uds::exact::uds_exact_certified(&g);
+        let cfg = IterateConfig { iterations: 400, epsilon: 0.1, certify: CertifyMode::Dual };
+        for (name, r) in run_both(&g, &cfg) {
+            // The dual bound always brackets ρ* ...
+            prop_assert!(r.upper_bound + 1e-9 >= exact.density,
+                "{name}: dual bound {} below the optimum {}", r.upper_bound, exact.density);
+            prop_assert!(r.result.density <= exact.density + 1e-9,
+                "{name}: achieved {} beats the optimum {}", r.result.density, exact.density);
+            // ... and once the gap certificate fires, exact <= (1+ε)·achieved.
+            if let dsd_core::uds::iterate::Certificate::DualGap { epsilon, .. } = r.certificate {
+                prop_assert!(exact.density <= r.result.density * (1.0 + epsilon) + 1e-9,
+                    "{name}: certificate violated: exact {} > (1+{epsilon})·{}",
+                    exact.density, r.result.density);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_certification_matches_the_oracle(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let exact = dsd_core::uds::exact::uds_exact_certified(&g);
+        let cfg = IterateConfig { iterations: 8, epsilon: 0.01, certify: CertifyMode::Exact };
+        for (name, r) in run_both(&g, &cfg) {
+            prop_assert!((r.result.density - exact.density).abs() < 1e-9,
+                "{name}: certified {} vs oracle {}", r.result.density, exact.density);
+            prop_assert!(
+                matches!(r.certificate, dsd_core::uds::iterate::Certificate::Exact { .. }),
+                "{name}: expected an exact certificate, got {:?}", r.certificate);
+        }
+    }
+
+    #[test]
+    fn pool_size_and_storage_do_not_change_the_answer(g in undirected_graph()) {
+        prop_assume!(g.num_edges() > 0);
+        let c = dsd_graph::CompressedCsr::from_graph(&g);
+        let cfg = IterateConfig { iterations: 10, epsilon: 0.01, certify: CertifyMode::Dual };
+        let reference = run_both(&g, &cfg);
+        for &pool in &POOLS {
+            let (plain, compressed) = with_threads(pool, || {
+                let packed = UndirectedStorage::Compressed(&c);
+                (run_both(&g, &cfg), vec![
+                    ("greedypp", greedy_pp_storage(&packed, &cfg)),
+                    ("fista", fista_storage(&packed, &cfg)),
+                ])
+            });
+            for (i, (name, r0)) in reference.iter().enumerate() {
+                for r in [&plain[i].1, &compressed[i].1] {
+                    prop_assert!(r.result.density == r0.result.density,
+                        "{name}: density differs at pool {pool}");
+                    prop_assert!(r.result.vertices == r0.result.vertices,
+                        "{name}: vertex set differs at pool {pool}");
+                    prop_assert!(r.upper_bound == r0.upper_bound,
+                        "{name}: dual bound differs at pool {pool}");
+                    prop_assert!(r.rounds == r0.rounds,
+                        "{name}: round count differs at pool {pool}");
+                }
+            }
+        }
+    }
+}
