@@ -1,0 +1,109 @@
+//! `bench_gate` — perf-regression gate over the committed bench reports.
+//!
+//! ```text
+//! bench_gate FILE... [--band F]          gate the newest report (highest
+//!                                        `pr`) against all earlier ones
+//! bench_gate --check FILE... [--band F]  walk the whole series: every
+//!                                        report gated against its past
+//! ```
+//!
+//! Only machine-independent ratios are gated (speedups, bytes/arc); see
+//! `dsd_bench::gate` for the metric set and the worst-prior-value
+//! baseline rationale. Exits non-zero, printing a readable table with
+//! `FAIL` rows, when any gated metric regresses beyond the band
+//! (default 30%).
+
+use std::process::ExitCode;
+
+use dsd_bench::gate::{check_series, gate, render, Report, DEFAULT_BAND};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_gate [--check] [--band F] FILE...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut band = DEFAULT_BAND;
+    let mut check = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--band" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if !(0.0..1.0).contains(&v) {
+                    eprintln!("bench_gate: --band must be in [0, 1)");
+                    return ExitCode::from(2);
+                }
+                band = v;
+                i += 2;
+            }
+            a if a.starts_with("--") => return usage(),
+            a => {
+                files.push(a.to_string());
+                i += 1;
+            }
+        }
+    }
+    if files.len() < 2 {
+        eprintln!("bench_gate: need at least two reports (a candidate and its history)");
+        return usage();
+    }
+
+    let mut reports: Vec<Report> = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_gate: {path}: read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match Report::parse(&text) {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                eprintln!("bench_gate: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if check {
+        let (out, pass) = check_series(&reports, band);
+        print!("{out}");
+        if pass {
+            println!(
+                "bench_gate: series of {} reports self-validates (band {band})",
+                reports.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("bench_gate: series contains a regression beyond the {band} band");
+            ExitCode::FAILURE
+        }
+    } else {
+        reports.sort_by_key(|r| r.pr);
+        let candidate = reports.last().expect("len >= 2 checked above");
+        let history: Vec<&Report> = reports[..reports.len() - 1].iter().collect();
+        let checks = gate(&history, candidate, band);
+        print!("{}", render(candidate.pr, &checks));
+        if checks.iter().all(|c| c.pass) {
+            println!(
+                "bench_gate: PR {} within the {band} band of {} prior reports",
+                candidate.pr,
+                history.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("bench_gate: PR {} regresses beyond the {band} band", candidate.pr);
+            ExitCode::FAILURE
+        }
+    }
+}

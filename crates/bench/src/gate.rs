@@ -1,0 +1,300 @@
+//! Perf-regression gate over the committed `BENCH_PR*.json` series.
+//!
+//! Every PR commits a bench report; the series is the repo's only perf
+//! history. The gate extracts the *machine-independent* metrics — engine
+//! vs legacy speedup ratios, compressed bytes/arc, certified-engine
+//! speedups — and fails when the newest report falls beyond a noise band
+//! below the worst value the series has ever legitimately held.
+//!
+//! Raw wall-times are deliberately **not** gated: the series spans
+//! different machines and container generations, so only within-report
+//! ratios are comparable across it. Ratios still wobble (thread
+//! scheduling moves the DDS engine speedup between 8.3x and 13.9x in the
+//! real history), which is why the baseline is the *worst prior* value
+//! per metric rather than the median — the gate asks "is this worse than
+//! the series has ever been, beyond noise?", not "is this below
+//! average?". The default band (30%) passes the PR1–7 history; a 2x
+//! regression on any gated metric fails it.
+
+use dsd_telemetry::json::Value;
+
+/// Direction of improvement for a gated metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (speedup ratios).
+    HigherIsBetter,
+    /// Smaller values are better (bytes/arc, fused-vs-plain time ratios).
+    LowerIsBetter,
+}
+
+/// A metric the gate tracks: a dotted path into the report JSON plus the
+/// direction of improvement.
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// Dotted key path into the bench report (e.g. `dds.speedup_engine_vs_legacy`).
+    pub path: &'static str,
+    /// Which way is better.
+    pub direction: Direction,
+}
+
+/// The gated metric set. Metrics appear in the series over time (ingest
+/// from PR4, flow from PR5, ...); a metric is only compared when both the
+/// candidate and at least one prior report carry it.
+pub const METRICS: &[Metric] = &[
+    Metric { path: "speedup_engine_vs_legacy", direction: Direction::HigherIsBetter },
+    Metric { path: "dds.speedup_engine_vs_legacy", direction: Direction::HigherIsBetter },
+    Metric {
+        path: "ingest.speedup_build_vs_legacy_directed",
+        direction: Direction::HigherIsBetter,
+    },
+    Metric {
+        path: "ingest.speedup_build_vs_legacy_undirected",
+        direction: Direction::HigherIsBetter,
+    },
+    Metric { path: "ingest.speedup_parse_vs_serial", direction: Direction::HigherIsBetter },
+    Metric { path: "ingest.speedup_reorder_vs_legacy", direction: Direction::HigherIsBetter },
+    Metric { path: "flow.speedup_uds_exact_vs_legacy", direction: Direction::HigherIsBetter },
+    Metric { path: "flow.speedup_dds_exact_vs_legacy", direction: Direction::HigherIsBetter },
+    Metric { path: "flow.speedup_push_relabel_vs_dinic", direction: Direction::HigherIsBetter },
+    Metric { path: "compression.bytes_per_arc_undirected", direction: Direction::LowerIsBetter },
+    Metric { path: "compression.bytes_per_arc_directed", direction: Direction::LowerIsBetter },
+    Metric { path: "compression.ratio_fused_sweep_vs_plain", direction: Direction::LowerIsBetter },
+    Metric { path: "compression.ratio_fused_peel_vs_plain", direction: Direction::LowerIsBetter },
+    Metric { path: "iterative.speedup_greedypp_vs_exact", direction: Direction::HigherIsBetter },
+    Metric { path: "iterative.speedup_fista_vs_exact", direction: Direction::HigherIsBetter },
+];
+
+/// Default fractional noise band (0.30 = a metric may be up to 30% worse
+/// than the worst prior value before the gate fails).
+pub const DEFAULT_BAND: f64 = 0.30;
+
+/// One bench report: its PR number and parsed document.
+pub struct Report {
+    /// PR number (from the report's `pr` field).
+    pub pr: u64,
+    /// The parsed JSON document.
+    pub doc: Value,
+}
+
+impl Report {
+    /// Parses a report from JSON text, requiring `pr` and a
+    /// `dsd-bench-report/v*` schema string.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let doc = dsd_telemetry::json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let obj = doc.as_object().ok_or("report must be a JSON object")?;
+        let schema = obj.get("schema").and_then(Value::as_str).ok_or("missing 'schema' string")?;
+        if !schema.starts_with("dsd-bench-report/v") {
+            return Err(format!("schema '{schema}' is not a dsd-bench-report"));
+        }
+        let pr = obj.get("pr").and_then(Value::as_u64).ok_or("missing 'pr' number")?;
+        Ok(Report { pr, doc })
+    }
+}
+
+/// Looks up a dotted path in a report document, returning the value only
+/// if it is a finite number.
+pub fn lookup(doc: &Value, path: &str) -> Option<f64> {
+    let mut v = doc;
+    for part in path.split('.') {
+        v = v.as_object()?.get(part)?;
+    }
+    v.as_f64().filter(|x| x.is_finite())
+}
+
+/// Outcome of gating one metric of one candidate report.
+pub struct Check {
+    /// The metric path.
+    pub path: &'static str,
+    /// Worst prior value (the baseline floor/ceiling before the band).
+    pub baseline: f64,
+    /// The candidate's value.
+    pub value: f64,
+    /// The pass/fail limit after applying the band.
+    pub limit: f64,
+    /// Whether the candidate is within the band.
+    pub pass: bool,
+}
+
+/// Gates `candidate` against `history` (any order, candidate excluded):
+/// for each metric present in the candidate and in at least one prior
+/// report, the candidate must not be worse than the worst prior value by
+/// more than `band`. Metrics absent from either side are skipped — the
+/// series grows sections over time.
+pub fn gate(history: &[&Report], candidate: &Report, band: f64) -> Vec<Check> {
+    let mut checks = Vec::new();
+    for m in METRICS {
+        let Some(value) = lookup(&candidate.doc, m.path) else { continue };
+        let prior: Vec<f64> = history.iter().filter_map(|r| lookup(&r.doc, m.path)).collect();
+        if prior.is_empty() {
+            continue;
+        }
+        let (baseline, limit, pass) = match m.direction {
+            Direction::HigherIsBetter => {
+                let worst = prior.iter().copied().fold(f64::INFINITY, f64::min);
+                let limit = worst * (1.0 - band);
+                (worst, limit, value >= limit)
+            }
+            Direction::LowerIsBetter => {
+                let worst = prior.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let limit = worst * (1.0 + band);
+                (worst, limit, value <= limit)
+            }
+        };
+        checks.push(Check { path: m.path, baseline, value, limit, pass });
+    }
+    checks
+}
+
+/// Renders gate results as the readable table the bin prints; one row per
+/// compared metric, `FAIL` rows marked.
+pub fn render(pr: u64, checks: &[Check]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<42}{:>10}{:>10}{:>10}  {}\n",
+        format!("PR {pr} vs series"),
+        "worst",
+        "value",
+        "limit",
+        "status"
+    ));
+    for c in checks {
+        out.push_str(&format!(
+            "{:<42}{:>10.4}{:>10.4}{:>10.4}  {}\n",
+            c.path,
+            c.baseline,
+            c.value,
+            c.limit,
+            if c.pass { "ok" } else { "FAIL" }
+        ));
+    }
+    if checks.is_empty() {
+        out.push_str("  (no comparable metrics)\n");
+    }
+    out
+}
+
+/// Walks the whole series in PR order, gating each report against all
+/// earlier ones; returns `(rendered tables, all passed)`. This is
+/// `bench_gate --check`: the committed history must self-validate.
+pub fn check_series(reports: &[Report], band: f64) -> (String, bool) {
+    let mut order: Vec<&Report> = reports.iter().collect();
+    order.sort_by_key(|r| r.pr);
+    let mut out = String::new();
+    let mut all_pass = true;
+    for i in 1..order.len() {
+        let checks = gate(&order[..i], order[i], band);
+        all_pass &= checks.iter().all(|c| c.pass);
+        out.push_str(&render(order[i].pr, &checks));
+        out.push('\n');
+    }
+    (out, all_pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pr: u64, body: &str) -> Report {
+        Report::parse(&format!("{{\"schema\":\"dsd-bench-report/v7\",\"pr\":{pr},{body}}}"))
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_non_bench_documents() {
+        assert!(Report::parse("{\"schema\":\"dsd-trace/v2\",\"pr\":1}").is_err());
+        assert!(Report::parse("{\"schema\":\"dsd-bench-report/v1\"}").is_err());
+        assert!(Report::parse("not json").is_err());
+    }
+
+    #[test]
+    fn lookup_follows_dotted_paths_and_skips_non_finite() {
+        let r = report(
+            1,
+            "\"speedup_engine_vs_legacy\":1.5,\"dds\":{\"speedup_engine_vs_legacy\":10.0}",
+        );
+        assert_eq!(lookup(&r.doc, "speedup_engine_vs_legacy"), Some(1.5));
+        assert_eq!(lookup(&r.doc, "dds.speedup_engine_vs_legacy"), Some(10.0));
+        assert_eq!(lookup(&r.doc, "dds.missing"), None);
+        let nan = report(2, "\"speedup_engine_vs_legacy\":null");
+        assert_eq!(lookup(&nan.doc, "speedup_engine_vs_legacy"), None);
+    }
+
+    #[test]
+    fn in_band_wobble_passes() {
+        let a = report(1, "\"speedup_engine_vs_legacy\":1.9");
+        let b = report(2, "\"speedup_engine_vs_legacy\":1.5"); // 21% down: inside 30%
+        let checks = gate(&[&a], &b, DEFAULT_BAND);
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].pass, "21% dip must stay inside the 30% band");
+    }
+
+    #[test]
+    fn synthetic_2x_regression_fails() {
+        // A history resembling the real series, then a candidate with
+        // every gated ratio regressed 2x (speedups halved, bytes/arc
+        // doubled). The gate must fail every compared metric.
+        let h1 = report(
+            6,
+            "\"speedup_engine_vs_legacy\":1.899,\
+             \"dds\":{\"speedup_engine_vs_legacy\":8.257},\
+             \"compression\":{\"bytes_per_arc_undirected\":2.877}",
+        );
+        let h2 = report(
+            7,
+            "\"speedup_engine_vs_legacy\":1.941,\
+             \"dds\":{\"speedup_engine_vs_legacy\":9.466},\
+             \"compression\":{\"bytes_per_arc_undirected\":2.877}",
+        );
+        let bad = report(
+            8,
+            "\"speedup_engine_vs_legacy\":0.97,\
+             \"dds\":{\"speedup_engine_vs_legacy\":4.73},\
+             \"compression\":{\"bytes_per_arc_undirected\":5.75}",
+        );
+        let checks = gate(&[&h1, &h2], &bad, DEFAULT_BAND);
+        assert_eq!(checks.len(), 3);
+        assert!(checks.iter().all(|c| !c.pass), "every 2x-regressed metric must fail");
+        let table = render(8, &checks);
+        assert!(table.contains("FAIL"));
+        assert!(table.contains("compression.bytes_per_arc_undirected"));
+    }
+
+    #[test]
+    fn lower_is_better_direction_is_respected() {
+        let a = report(1, "\"compression\":{\"bytes_per_arc_undirected\":2.9}");
+        let better = report(2, "\"compression\":{\"bytes_per_arc_undirected\":2.0}");
+        let worse = report(3, "\"compression\":{\"bytes_per_arc_undirected\":4.0}");
+        assert!(gate(&[&a], &better, DEFAULT_BAND)[0].pass);
+        assert!(!gate(&[&a], &worse, DEFAULT_BAND)[0].pass);
+    }
+
+    #[test]
+    fn missing_metrics_are_skipped_not_failed() {
+        // Candidate gains a section the history never had, and the
+        // history has one the candidate dropped: neither is compared.
+        let old = report(1, "\"speedup_engine_vs_legacy\":1.9");
+        let new = report(2, "\"dds\":{\"speedup_engine_vs_legacy\":10.0}");
+        assert!(gate(&[&old], &new, DEFAULT_BAND).is_empty());
+    }
+
+    #[test]
+    fn check_series_walks_in_pr_order() {
+        // Passed out of order; the walk must still gate 2 against 1 and
+        // 3 against {1, 2}. PR3's dip is within band of the worst prior.
+        let reports = vec![
+            report(3, "\"speedup_engine_vs_legacy\":1.5"),
+            report(1, "\"speedup_engine_vs_legacy\":1.9"),
+            report(2, "\"speedup_engine_vs_legacy\":1.85"),
+        ];
+        let (out, pass) = check_series(&reports, DEFAULT_BAND);
+        assert!(pass, "wobble series must pass:\n{out}");
+        assert!(out.contains("PR 2 vs series"));
+        assert!(out.contains("PR 3 vs series"));
+        let regressed = vec![
+            report(1, "\"speedup_engine_vs_legacy\":1.9"),
+            report(2, "\"speedup_engine_vs_legacy\":0.9"),
+        ];
+        let (_, pass) = check_series(&regressed, DEFAULT_BAND);
+        assert!(!pass);
+    }
+}

@@ -9,4 +9,5 @@
 
 pub mod datasets;
 pub mod experiments;
+pub mod gate;
 pub mod harness;

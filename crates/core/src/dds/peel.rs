@@ -498,10 +498,7 @@ impl PeelWorkspace {
                 let enabled = telemetry::enabled();
                 let t0 = enabled.then(Instant::now);
                 let next = self.next_threshold(g);
-                let select_time = t0.map(|t| t.elapsed());
-                if let Some(d) = select_time {
-                    telemetry::phase_add(Phase::ThresholdSelect, d);
-                }
+                let select_time = t0.map(|t| telemetry::record_span(Phase::ThresholdSelect, t));
                 let Some(w_t) = next else { break };
                 if first.is_none() {
                     first = Some(self.alive_count);
@@ -521,8 +518,7 @@ impl PeelWorkspace {
                             secs: d.as_secs_f64(),
                         });
                     }
-                    if let Some(d) = t1.map(|t| t.elapsed()) {
-                        telemetry::phase_add(Phase::Cascade, d);
+                    if let Some(d) = t1.map(|t| telemetry::record_span(Phase::Cascade, t)) {
                         phase_times.push(PhaseTime {
                             phase: Phase::Cascade.name(),
                             secs: d.as_secs_f64(),

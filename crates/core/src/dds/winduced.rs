@@ -286,10 +286,7 @@ fn decompose_legacy(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
             let enabled = telemetry::enabled();
             let t0 = enabled.then(Instant::now);
             let next = engine.min_weight(&active);
-            let select_time = t0.map(|t| t.elapsed());
-            if let Some(d) = select_time {
-                telemetry::phase_add(Phase::ThresholdSelect, d);
-            }
+            let select_time = t0.map(|t| telemetry::record_span(Phase::ThresholdSelect, t));
             let Some(w_t) = next else { break };
             let alive_now = engine.alive_count.load(Ordering::Relaxed);
             if first.is_none() {
@@ -309,8 +306,7 @@ fn decompose_legacy(g: &DirectedGraph, warm_start: bool) -> WDecomposition {
                         secs: d.as_secs_f64(),
                     });
                 }
-                if let Some(d) = t1.map(|t| t.elapsed()) {
-                    telemetry::phase_add(Phase::Cascade, d);
+                if let Some(d) = t1.map(|t| telemetry::record_span(Phase::Cascade, t)) {
                     phase_times
                         .push(PhaseTime { phase: Phase::Cascade.name(), secs: d.as_secs_f64() });
                 }

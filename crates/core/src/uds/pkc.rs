@@ -77,8 +77,8 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
             if killed == 0 {
                 // The level's final (empty) probe round still scanned the
                 // candidate pool; keep its time in the phase totals.
-                if let Some(d) = t0.map(|t| t.elapsed()) {
-                    telemetry::phase_add(Phase::Cascade, d);
+                if let Some(t) = t0 {
+                    telemetry::record_span(Phase::Cascade, t);
                 }
                 break;
             }
@@ -99,8 +99,7 @@ fn decompose(g: &UndirectedGraph) -> (Vec<u32>, usize) {
             remaining -= killed;
             if enabled {
                 let mut phase_times = Vec::with_capacity(1);
-                if let Some(d) = t0.map(|t| t.elapsed()) {
-                    telemetry::phase_add(Phase::Cascade, d);
+                if let Some(d) = t0.map(|t| telemetry::record_span(Phase::Cascade, t)) {
                     phase_times
                         .push(PhaseTime { phase: Phase::Cascade.name(), secs: d.as_secs_f64() });
                 }

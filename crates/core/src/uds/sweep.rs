@@ -211,7 +211,7 @@ impl SweepWorkspace {
                         *out = recompute_capped(g.neighbors_of(v), g.degree_of(v), cur, h, scratch);
                     },
                 );
-                read_time = t0.map(|t| t.elapsed());
+                read_time = t0.map(|t| telemetry::record_span(Phase::Sweep, t));
                 let t1 = enabled.then(Instant::now);
                 // Apply pass: disjoint parallel stores, counting changes.
                 let changed = (0..self.n)
@@ -228,7 +228,7 @@ impl SweepWorkspace {
                         }
                     })
                     .sum();
-                apply_time = t1.map(|t| t.elapsed());
+                apply_time = t1.map(|t| telemetry::record_span(Phase::Apply, t));
                 changed
             }
             SweepMode::Asynchronous => {
@@ -248,7 +248,7 @@ impl SweepWorkspace {
                         }
                     })
                     .sum();
-                read_time = t0.map(|t| t.elapsed());
+                read_time = t0.map(|t| telemetry::record_span(Phase::Sweep, t));
                 changed
             }
         };
@@ -257,19 +257,18 @@ impl SweepWorkspace {
         changed
     }
 
-    /// Attributes the measured read/apply durations to the telemetry phase
-    /// buckets and to `last_phases` (for the caller's `RoundSample`).
+    /// Attributes the measured read/apply durations to `last_phases` (for
+    /// the caller's `RoundSample`). The telemetry phase buckets and span
+    /// tree were already fed by `record_span` where each pass ended.
     fn note_phases(
         &mut self,
         read_time: Option<std::time::Duration>,
         apply_time: Option<std::time::Duration>,
     ) {
         if let Some(d) = read_time {
-            telemetry::phase_add(Phase::Sweep, d);
             self.last_phases.push(PhaseTime { phase: Phase::Sweep.name(), secs: d.as_secs_f64() });
         }
         if let Some(d) = apply_time {
-            telemetry::phase_add(Phase::Apply, d);
             self.last_phases.push(PhaseTime { phase: Phase::Apply.name(), secs: d.as_secs_f64() });
         }
     }
@@ -308,7 +307,7 @@ impl SweepWorkspace {
                         *out = recompute_capped(g.neighbors_of(v), g.degree_of(v), cur, h, scratch);
                     },
                 );
-                read_time = t0.map(|t| t.elapsed());
+                read_time = t0.map(|t| telemetry::record_span(Phase::Sweep, t));
                 let t1 = enabled.then(Instant::now);
                 self.changed = self
                     .active
@@ -327,7 +326,7 @@ impl SweepWorkspace {
                         a.append(&mut b);
                         a
                     });
-                apply_time = t1.map(|t| t.elapsed());
+                apply_time = t1.map(|t| telemetry::record_span(Phase::Apply, t));
             }
             SweepMode::Asynchronous => {
                 let t0 = enabled.then(Instant::now);
@@ -357,7 +356,7 @@ impl SweepWorkspace {
                         a.append(&mut b);
                         a
                     });
-                read_time = t0.map(|t| t.elapsed());
+                read_time = t0.map(|t| telemetry::record_span(Phase::Sweep, t));
             }
         }
         self.note_phases(read_time, apply_time);

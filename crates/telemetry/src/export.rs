@@ -1,0 +1,195 @@
+//! Trace exporters: chrome://tracing trace-event JSON and folded stacks.
+//!
+//! Both exporters read only the flushed [`DecompositionTrace`], so they work
+//! on freshly recorded traces and on traces re-loaded from `dsd-trace/v2`
+//! JSON alike. The chrome exporter emits the trace-event "JSON object
+//! format" (a `traceEvents` array of complete `"X"` events, timestamps in
+//! microseconds) which chrome://tracing and Perfetto load directly; the
+//! folded exporter emits one `path;to;span weight` line per distinct stack,
+//! weighted by *self* time in nanoseconds, ready for `flamegraph.pl` or
+//! speedscope.
+
+use crate::json;
+use crate::span_tree::{self_times, TraceSpan};
+use crate::DecompositionTrace;
+use std::collections::BTreeMap;
+
+fn push_us(out: &mut String, nanos: u64) {
+    // Microseconds with nanosecond precision; trailing zeros are harmless.
+    json::write_f64(out, nanos as f64 / 1000.0);
+}
+
+/// Render `trace` as chrome://tracing trace-event JSON.
+///
+/// One `"X"` (complete) event per span, `tid` = recording shard index,
+/// metadata events naming the process after the trace label. Traces with no
+/// spans still produce a loadable document with an empty event list.
+pub fn chrome_trace_json(trace: &DecompositionTrace) -> String {
+    let mut out = String::with_capacity(128 + trace.spans.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    out.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":");
+    json::write_string(&mut out, &trace.label);
+    out.push_str("}}");
+    let mut threads: Vec<u32> = trace.spans.iter().map(|s| s.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in &threads {
+        out.push_str(",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":");
+        out.push_str(&t.to_string());
+        out.push_str(",\"args\":{\"name\":\"shard ");
+        out.push_str(&t.to_string());
+        out.push_str("\"}}");
+    }
+    for s in &trace.spans {
+        out.push_str(",{\"name\":");
+        json::write_string(&mut out, s.phase);
+        out.push_str(",\"cat\":\"dsd\",\"ph\":\"X\",\"ts\":");
+        push_us(&mut out, s.start_nanos);
+        out.push_str(",\"dur\":");
+        push_us(&mut out, s.dur_nanos);
+        out.push_str(",\"pid\":0,\"tid\":");
+        out.push_str(&s.thread.to_string());
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":");
+    json::write_string(&mut out, crate::TRACE_SCHEMA);
+    out.push_str(",\"label\":");
+    json::write_string(&mut out, &trace.label);
+    out.push_str(",\"wall_secs\":");
+    json::write_f64(&mut out, trace.wall_secs);
+    out.push_str("}}");
+    out
+}
+
+fn stack_path(spans: &[TraceSpan], mut idx: usize) -> String {
+    let mut parts = vec![spans[idx].phase];
+    while let Some(p) = spans[idx].parent {
+        idx = p as usize;
+        parts.push(spans[idx].phase);
+    }
+    parts.reverse();
+    parts.join(";")
+}
+
+/// Render `trace`'s span forest as folded stacks: one
+/// `root;child;leaf <self-nanos>` line per distinct path, aggregated across
+/// threads and sorted lexicographically (deterministic output for
+/// deterministic span multisets). Zero-self-time paths are kept — a span
+/// fully covered by children is still part of the call structure.
+pub fn folded_stacks(trace: &DecompositionTrace) -> String {
+    let own = self_times(&trace.spans);
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, _) in trace.spans.iter().enumerate() {
+        let path = stack_path(&trace.spans, i);
+        *agg.entry(path).or_insert(0) += own[i];
+    }
+    let mut out = String::new();
+    for (path, nanos) in agg {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&nanos.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Phase, TRACE_SCHEMA};
+
+    fn demo_trace() -> DecompositionTrace {
+        DecompositionTrace {
+            label: "export/demo".to_string(),
+            threads: Some(2),
+            rounds: Vec::new(),
+            counters: Vec::new(),
+            phase_totals: Vec::new(),
+            spans: vec![
+                TraceSpan {
+                    thread: 0,
+                    phase: Phase::Init.name(),
+                    parent: None,
+                    start_nanos: 0,
+                    dur_nanos: 1_000_000,
+                },
+                TraceSpan {
+                    thread: 0,
+                    phase: Phase::Sweep.name(),
+                    parent: Some(0),
+                    start_nanos: 100_000,
+                    dur_nanos: 600_000,
+                },
+                TraceSpan {
+                    thread: 1,
+                    phase: Phase::Sweep.name(),
+                    parent: None,
+                    start_nanos: 50_000,
+                    dur_nanos: 400_000,
+                },
+            ],
+            spans_dropped: 0,
+            histograms: Vec::new(),
+            alloc: None,
+            wall_secs: 0.002,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let text = chrome_trace_json(&demo_trace());
+        let doc = json::parse(&text).expect("chrome trace parses");
+        let obj = doc.as_object().expect("object");
+        let events = obj.get("traceEvents").and_then(json::Value::as_array).expect("events");
+        // 1 process_name + 2 thread_name + 3 spans.
+        assert_eq!(events.len(), 6);
+        let span_events: Vec<_> = events
+            .iter()
+            .filter_map(json::Value::as_object)
+            .filter(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(span_events.len(), 3);
+        for e in &span_events {
+            for key in ["name", "ts", "dur", "pid", "tid"] {
+                assert!(e.get(key).is_some(), "span event missing {key}");
+            }
+        }
+        assert_eq!(span_events[0].get("ts").and_then(json::Value::as_f64), Some(0.0));
+        assert_eq!(span_events[0].get("dur").and_then(json::Value::as_f64), Some(1000.0));
+        let other = obj.get("otherData").and_then(json::Value::as_object).expect("otherData");
+        assert_eq!(other.get("schema").and_then(json::Value::as_str), Some(TRACE_SCHEMA));
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_self_time_by_path() {
+        let text = folded_stacks(&demo_trace());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "init 400000",       // 1_000_000 - 600_000 child
+                "init;sweep 600000", // leaf keeps its full time
+                "sweep 400000",      // thread-1 root
+            ]
+        );
+        for line in lines {
+            let (path, weight) = line.rsplit_once(' ').expect("weighted line");
+            assert!(!path.is_empty());
+            weight.parse::<u64>().expect("integer weight");
+        }
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let mut t = demo_trace();
+        t.spans.clear();
+        let doc = json::parse(&chrome_trace_json(&t)).expect("parses");
+        let events = doc
+            .as_object()
+            .and_then(|o| o.get("traceEvents"))
+            .and_then(json::Value::as_array)
+            .expect("events");
+        assert_eq!(events.len(), 1, "metadata only");
+        assert_eq!(folded_stacks(&t), "");
+    }
+}

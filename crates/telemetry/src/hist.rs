@@ -1,0 +1,311 @@
+//! Log-bucketed (HDR-style) histograms for the flight recorder.
+//!
+//! A [`LogHistogram`] covers the full `u64` range with power-of-2 octaves,
+//! each split into `2^SUB_BITS = 16` linear sub-buckets, giving a worst-case
+//! relative bucket width of `2^-SUB_BITS ≈ 6%` — the classic HdrHistogram
+//! layout, sized for nanosecond durations and per-round work quantities
+//! alike. Values below `2^SUB_BITS` are recorded exactly (one bucket per
+//! integer), so small deterministic quantities (frontier lengths, items
+//! removed) land in stable buckets.
+//!
+//! Recording is a counter increment on a lazily grown dense `Vec<u64>`;
+//! merging is element-wise addition, which is associative and commutative —
+//! the property the shard-merge determinism tests lean on: however a fixed
+//! multiset of samples is split across thread shards, the merged bucket
+//! counts are bit-identical.
+
+/// Number of linear sub-bucket bits per power-of-2 octave.
+pub const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Largest bucket index any `u64` value can map to (inclusive).
+///
+/// The top octave has `top = 63`, so the last index is
+/// `(63 - SUB_BITS) * SUB_BUCKETS + (SUB_BUCKETS * 2 - 1)`.
+pub const MAX_BUCKET_INDEX: usize =
+    ((63 - SUB_BITS as usize) << SUB_BITS) + (SUB_BUCKETS as usize * 2 - 1);
+
+/// Map a value to its bucket index.
+///
+/// Values `< SUB_BUCKETS` map to themselves; larger values map to
+/// `(top - SUB_BITS) * SUB_BUCKETS + (v >> (top - SUB_BITS))` where `top` is
+/// the position of the highest set bit. Indices are contiguous across octave
+/// boundaries.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros();
+        let shift = top - SUB_BITS;
+        ((shift as usize) << SUB_BITS) + (v >> shift) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `idx` (the smallest value mapping to it).
+pub fn bucket_low(idx: usize) -> u64 {
+    if idx < (SUB_BUCKETS * 2) as usize {
+        idx as u64
+    } else {
+        let octave = idx >> SUB_BITS; // >= 2 here
+        let sub = (idx & (SUB_BUCKETS as usize - 1)) as u64;
+        (SUB_BUCKETS + sub) << (octave - 1)
+    }
+}
+
+/// Exclusive upper bound of bucket `idx` (`u64::MAX` for the last bucket).
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx >= MAX_BUCKET_INDEX {
+        u64::MAX
+    } else {
+        bucket_low(idx + 1)
+    }
+}
+
+/// A log-bucketed histogram over `u64` samples.
+///
+/// The bucket vector is grown on demand to the highest recorded index, so an
+/// idle histogram owns no heap memory and a nanosecond-scale one stays a few
+/// hundred entries long.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Fold `other` into `self` by element-wise bucket addition.
+    ///
+    /// Merging is order-independent: any partition of a sample multiset
+    /// across shards merges to the same bucket counts.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the *exclusive upper bound* of
+    /// the first bucket at which the cumulative count reaches `ceil(q *
+    /// count)`, clamped to the recorded max. Worst-case relative error is the
+    /// bucket width (`2^-SUB_BITS`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_high(idx).saturating_sub(1).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty `(bucket_index, count)` pairs in index order — the sparse
+    /// form emitted into trace JSON.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_bucket_exactly() {
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_low(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous_and_ordered() {
+        let mut prev_high = 0u64;
+        for idx in 0..2048.min(MAX_BUCKET_INDEX) {
+            let low = bucket_low(idx);
+            let high = bucket_high(idx);
+            assert!(low < high, "bucket {idx}: low {low} >= high {high}");
+            if idx > 0 {
+                assert_eq!(low, prev_high, "gap before bucket {idx}");
+            }
+            prev_high = high;
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        let probes: [u64; 12] = [
+            0,
+            1,
+            15,
+            16,
+            17,
+            255,
+            256,
+            1_000_000,
+            u32::MAX as u64,
+            1 << 40,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx <= MAX_BUCKET_INDEX);
+            assert!(bucket_low(idx) <= v, "v={v} idx={idx} low={}", bucket_low(idx));
+            if idx < MAX_BUCKET_INDEX {
+                assert!(v < bucket_high(idx), "v={v} idx={idx} high={}", bucket_high(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for &v in &[100u64, 10_000, 123_456_789, 1 << 50] {
+            let idx = bucket_index(v);
+            let width = bucket_high(idx) - bucket_low(idx);
+            let rel = width as f64 / bucket_low(idx) as f64;
+            assert!(rel <= 1.0 / (SUB_BUCKETS as f64 / 2.0) + 1e-12, "v={v} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn record_merge_and_quantiles() {
+        let samples: Vec<u64> = (0..1000u64).map(|i| i * i % 77_777).collect();
+        let mut whole = LogHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        assert_eq!(whole.count(), 1000);
+        assert_eq!(whole.sum(), samples.iter().sum::<u64>());
+        assert_eq!(whole.min(), *samples.iter().min().unwrap());
+        assert_eq!(whole.max(), *samples.iter().max().unwrap());
+        let p50 = whole.quantile(0.5);
+        let below = samples.iter().filter(|&&s| s <= p50).count();
+        assert!(below >= 500, "p50={p50} covers only {below} samples");
+        assert!(whole.quantile(1.0) == whole.max());
+        assert!(whole.quantile(0.0) >= whole.min());
+    }
+
+    #[test]
+    fn merge_is_partition_independent() {
+        let samples: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % 1_000_003).collect();
+        let mut whole = LogHistogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        for parts in [1usize, 2, 4] {
+            let mut shards = vec![LogHistogram::new(); parts];
+            for (i, &s) in samples.iter().enumerate() {
+                shards[i % parts].record(s);
+            }
+            let mut merged = LogHistogram::new();
+            // Merge in reverse order to exercise order-independence too.
+            for shard in shards.iter().rev() {
+                merged.merge(shard);
+            }
+            assert_eq!(merged, whole, "merge of {parts} shards diverged");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+}

@@ -17,22 +17,55 @@
 //! * **Typed round events.** Engines push one [`RoundSample`] per round via
 //!   [`record_round`]; [`end_trace`] packages the rounds, counter totals and
 //!   phase totals into a [`DecompositionTrace`] that serialises to JSON with
-//!   [`DecompositionTrace::to_json`] (schema `dsd-trace/v1`).
+//!   [`DecompositionTrace::to_json`] (schema `dsd-trace/v2`; v1 documents
+//!   are still parsed by [`report::view_from_json`]).
+//!
+//! PR 8 grows the recorder into a flight recorder:
+//!
+//! * **Hierarchical spans.** Nested [`span`] guards (and explicit
+//!   [`record_span`] calls) build a per-thread span *tree* — parent/child
+//!   links, start offsets and durations — flushed into the trace as a
+//!   [`span_tree::TraceSpan`] forest alongside the flat phase totals.
+//! * **Log-bucketed histograms.** Every span/`phase_add` duration also
+//!   lands in an HDR-style histogram per phase ([`hist::LogHistogram`]),
+//!   and [`record_round`] feeds per-round work-shape histograms
+//!   (`round/frontier_len`, `round/items_removed`, `round/edges_examined`)
+//!   whose bucket counts are bit-identical across pool sizes for
+//!   deterministic engines. Shard histograms merge by element-wise bucket
+//!   addition, so the merged counts are independent of thread scheduling.
+//! * **Memory accounting.** When a binary installs
+//!   [`alloc::CountingAlloc`], traces carry allocation count, allocated
+//!   bytes, the live-byte high-water mark reached during the trace, and the
+//!   kernel-reported peak RSS.
+//! * **Exporters.** [`export`] renders a flushed trace as chrome://tracing
+//!   trace-event JSON and as folded (flamegraph) stacks.
 //!
 //! One trace is active at a time (guarded by a mutex that is only touched at
 //! round granularity, never per edge). [`begin_trace`] resets the shards, so
 //! traces must not overlap; the engines in `dsd-core` only record, they never
 //! begin or end traces — harnesses own the trace lifecycle.
 //!
+//! The recorder-off contract is unchanged: every probe — including the new
+//! span-tree and histogram paths — short-circuits on one relaxed load of the
+//! enabled flag, and the enabled-path locks (span log, histograms) are
+//! per-thread and uncontended.
+//!
 //! The crate is deliberately `std`-only (the build container has no crate
 //! registry): JSON emission and parsing are hand-rolled in [`json`], and the
 //! Table 6/7-style text rendering lives in [`report`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // one scoped allow lives in `alloc` (the GlobalAlloc impl)
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod export;
+pub mod hist;
 pub mod json;
 pub mod report;
+pub mod span_tree;
+
+use span_tree::{LocalSpan, SpanLog, TraceSpan, OPEN_SENTINEL};
+use std::cell::RefCell;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -274,6 +307,12 @@ impl Phase {
 struct Shard {
     counters: [AtomicU64; Counter::COUNT],
     phase_nanos: [AtomicU64; Phase::COUNT],
+    /// Span-tree nodes recorded by the owning thread. The mutex is
+    /// uncontended during a trace (only the owner locks it); flush and reset
+    /// lock it from the harness thread while the engines are quiescent.
+    spans: Mutex<SpanLog>,
+    /// Per-phase duration histograms, same ownership discipline.
+    hists: Mutex<Vec<hist::LogHistogram>>,
 }
 
 impl Shard {
@@ -281,6 +320,8 @@ impl Shard {
         Shard {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            spans: Mutex::new(SpanLog::default()),
+            hists: Mutex::new(vec![hist::LogHistogram::new(); Phase::COUNT]),
         }
     }
 
@@ -291,6 +332,14 @@ impl Shard {
         for p in &self.phase_nanos {
             p.store(0, Ordering::Relaxed);
         }
+        self.spans.lock().expect("telemetry span log poisoned").reset();
+        for h in self.hists.lock().expect("telemetry histograms poisoned").iter_mut() {
+            *h = hist::LogHistogram::new();
+        }
+    }
+
+    fn hist_record(&self, p: Phase, nanos: u64) {
+        self.hists.lock().expect("telemetry histograms poisoned")[p as usize].record(nanos);
     }
 }
 
@@ -305,6 +354,56 @@ thread_local! {
         registry().lock().expect("telemetry registry poisoned").push(Arc::clone(&shard));
         shard
     };
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree bookkeeping (process epoch, trace generation, open-span stacks)
+// ---------------------------------------------------------------------------
+
+/// Process-wide monotonic epoch; all span timestamps are offsets from it.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_nanos() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Bumped by every `begin_trace`. Thread-local open-span stacks lazily reset
+/// when they observe a new generation, so a stale stack from a previous
+/// trace can never donate parent indices into a cleared span log.
+static TRACE_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// `begin_trace` time as nanoseconds since [`epoch`].
+static TRACE_START_NANOS: AtomicU64 = AtomicU64::new(0);
+
+struct OpenSpans {
+    gen: u64,
+    stack: Vec<u32>,
+}
+
+thread_local! {
+    static OPEN_SPANS: RefCell<OpenSpans> = const { RefCell::new(OpenSpans { gen: 0, stack: Vec::new() }) };
+}
+
+/// Innermost span currently open on this thread (its local log index),
+/// clearing the stack first if it belongs to an earlier trace.
+fn current_parent(gen: u64) -> Option<u32> {
+    OPEN_SPANS.with(|os| {
+        let mut os = os.borrow_mut();
+        if os.gen != gen {
+            os.stack.clear();
+            os.gen = gen;
+        }
+        os.stack.last().copied()
+    })
+}
+
+#[inline]
+fn trace_rel_nanos(abs_nanos: u64) -> u64 {
+    abs_nanos.saturating_sub(TRACE_START_NANOS.load(Ordering::Relaxed))
 }
 
 // ---------------------------------------------------------------------------
@@ -366,41 +465,152 @@ pub fn counter_add(c: Counter, n: u64) {
     }
 }
 
-/// Add `d` to phase `p`'s accumulated time on the calling thread's shard.
-/// No-op when the recorder is disabled. Engines that already measured a
-/// duration (e.g. to attach it to a [`RoundSample`]) use this instead of a
-/// [`span`] guard to avoid timing the same scope twice.
+/// Add `d` to phase `p`'s accumulated time on the calling thread's shard and
+/// record it in the phase's duration histogram. No-op when the recorder is
+/// disabled. Engines that already measured a duration (e.g. to attach it to
+/// a [`RoundSample`]) use this — or [`record_span`], which also grows the
+/// span tree — instead of a [`span`] guard to avoid timing the same scope
+/// twice.
 #[inline]
 pub fn phase_add(p: Phase, d: std::time::Duration) {
     if enabled() {
         let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
-        SHARD.with(|s| s.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed));
+        SHARD.with(|s| {
+            s.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed);
+            s.hist_record(p, nanos);
+        });
     }
 }
 
 /// RAII timer: accumulates the guarded scope's elapsed time into phase `p`
-/// on drop. When the recorder is disabled the guard holds no `Instant` and
-/// drop is a no-op.
+/// (flat total + histogram) on drop, and closes the span-tree node opened
+/// when the guard was created. When the recorder is disabled the guard holds
+/// no `Instant` and drop is a no-op.
+///
+/// The guard is `!Send`: span-tree nodes live in the creating thread's
+/// shard, so a guard must be dropped on the thread that opened it.
 #[must_use = "the span measures until the guard is dropped"]
 pub struct SpanGuard {
     phase: Phase,
     start: Option<Instant>,
+    /// Local span-log index of the node this guard opened, if the tree had
+    /// room; flat timing still works when `None`.
+    node: Option<u32>,
+    gen: u64,
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            SHARD.with(|s| s.phase_nanos[self.phase as usize].fetch_add(nanos, Ordering::Relaxed));
+            let nanos = u64::try_from(start.elapsed().as_nanos())
+                .unwrap_or(OPEN_SENTINEL - 1)
+                .min(OPEN_SENTINEL - 1);
+            SHARD.with(|s| {
+                s.phase_nanos[self.phase as usize].fetch_add(nanos, Ordering::Relaxed);
+                s.hist_record(self.phase, nanos);
+                if let Some(idx) = self.node {
+                    if TRACE_GEN.load(Ordering::Relaxed) == self.gen {
+                        let mut log = s.spans.lock().expect("telemetry span log poisoned");
+                        if let Some(n) = log.nodes.get_mut(idx as usize) {
+                            n.dur_nanos = nanos;
+                        }
+                    }
+                }
+            });
+            if let Some(idx) = self.node {
+                OPEN_SPANS.with(|os| {
+                    let mut os = os.borrow_mut();
+                    if os.gen == self.gen {
+                        // Guards normally drop LIFO; tolerate out-of-order
+                        // drops by removing the exact entry.
+                        if let Some(pos) = os.stack.iter().rposition(|&v| v == idx) {
+                            os.stack.remove(pos);
+                        }
+                    }
+                });
+            }
         }
     }
 }
 
 /// Start timing phase `p`; the elapsed time is recorded when the returned
-/// guard is dropped.
+/// guard is dropped. When the recorder is on this also opens a span-tree
+/// node whose parent is the innermost span already open on this thread.
 #[inline]
 pub fn span(p: Phase) -> SpanGuard {
-    SpanGuard { phase: p, start: if enabled() { Some(Instant::now()) } else { None } }
+    if !enabled() {
+        return SpanGuard {
+            phase: p,
+            start: None,
+            node: None,
+            gen: 0,
+            _not_send: std::marker::PhantomData,
+        };
+    }
+    let gen = TRACE_GEN.load(Ordering::Relaxed);
+    let start_rel = trace_rel_nanos(now_nanos());
+    let parent = current_parent(gen);
+    let node = SHARD.with(|s| {
+        let mut log = s.spans.lock().expect("telemetry span log poisoned");
+        if log.nodes.len() >= span_tree::MAX_SPANS_PER_THREAD {
+            log.dropped += 1;
+            None
+        } else {
+            let idx = log.nodes.len() as u32;
+            log.nodes.push(LocalSpan {
+                phase: p,
+                parent,
+                start_nanos: start_rel,
+                dur_nanos: OPEN_SENTINEL,
+            });
+            Some(idx)
+        }
+    });
+    if let Some(idx) = node {
+        OPEN_SPANS.with(|os| os.borrow_mut().stack.push(idx));
+    }
+    SpanGuard {
+        phase: p,
+        start: Some(Instant::now()),
+        node,
+        gen,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Record a *completed* scope that started at `start` as phase `p`: flat
+/// phase total, duration histogram, and a closed span-tree node (parented
+/// under the innermost open span, like a [`span`] guard opened at `start`
+/// and dropped now). Returns the measured duration so callers can reuse it
+/// for [`RoundSample::phase_times`] without timing the scope twice.
+///
+/// No-op (beyond the `elapsed` call) when the recorder is disabled.
+pub fn record_span(p: Phase, start: Instant) -> std::time::Duration {
+    let d = start.elapsed();
+    if !enabled() {
+        return d;
+    }
+    let nanos = u64::try_from(d.as_nanos()).unwrap_or(OPEN_SENTINEL - 1).min(OPEN_SENTINEL - 1);
+    let gen = TRACE_GEN.load(Ordering::Relaxed);
+    let start_rel = trace_rel_nanos(now_nanos().saturating_sub(nanos));
+    let parent = current_parent(gen);
+    SHARD.with(|s| {
+        s.phase_nanos[p as usize].fetch_add(nanos, Ordering::Relaxed);
+        s.hist_record(p, nanos);
+        let mut log = s.spans.lock().expect("telemetry span log poisoned");
+        if log.nodes.len() >= span_tree::MAX_SPANS_PER_THREAD {
+            log.dropped += 1;
+        } else {
+            log.nodes.push(LocalSpan {
+                phase: p,
+                parent,
+                start_nanos: start_rel,
+                dur_nanos: nanos,
+            });
+        }
+    });
+    d
 }
 
 /// Run `f` under a [`span`] for phase `p`.
@@ -456,8 +666,39 @@ pub struct RoundSample {
     pub phase_times: Vec<PhaseTime>,
 }
 
-/// A completed trace: the per-round curve plus aggregated counters and phase
-/// totals, carried *alongside* `Stats` (which stays unchanged).
+/// One named histogram attached to a trace: per-phase durations (unit
+/// `"nanos"`) or per-round work shapes (unit `"count"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHistogram {
+    /// Histogram key: a [`Phase::name`] for duration histograms, or one of
+    /// the `round/*` keys fed by [`record_round`].
+    pub key: &'static str,
+    /// Sample unit: `"nanos"` or `"count"`.
+    pub unit: &'static str,
+    /// The merged histogram.
+    pub hist: hist::LogHistogram,
+}
+
+/// Allocator accounting for one trace (present only when the process runs
+/// under [`alloc::CountingAlloc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations performed between `begin_trace` and `end_trace`.
+    pub allocs: u64,
+    /// Bytes handed out between `begin_trace` and `end_trace`.
+    pub bytes_allocated: u64,
+    /// Live-byte high-water mark reached during the trace.
+    pub peak_live_bytes: u64,
+    /// Bytes live when the trace ended.
+    pub live_bytes_end: u64,
+    /// Kernel-reported peak RSS in bytes (Linux only; process-lifetime, not
+    /// trace-scoped — the kernel high-water mark cannot be reset).
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// A completed trace: the per-round curve plus aggregated counters, phase
+/// totals, the span forest, histograms and (optional) memory accounting,
+/// carried *alongside* `Stats` (which stays unchanged).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecompositionTrace {
     /// Harness-chosen label (algorithm + graph, e.g. `"local_sync/filament"`).
@@ -471,6 +712,16 @@ pub struct DecompositionTrace {
     pub counters: Vec<(&'static str, u64)>,
     /// Aggregated [`span`] time per phase, omitting phases that never ran.
     pub phase_totals: Vec<PhaseTime>,
+    /// The flattened span forest (parents precede children; spans from the
+    /// same thread are contiguous).
+    pub spans: Vec<TraceSpan>,
+    /// Span-tree nodes lost to the per-thread cap or left open at flush.
+    pub spans_dropped: u64,
+    /// Per-phase duration histograms and per-round shape histograms, in
+    /// [`Phase::ALL`]-then-`round/*` order, empty ones omitted.
+    pub histograms: Vec<TraceHistogram>,
+    /// Allocator accounting, when [`alloc::CountingAlloc`] is installed.
+    pub alloc: Option<AllocStats>,
     /// Wall-clock seconds between `begin_trace` and `end_trace`.
     pub wall_secs: f64,
 }
@@ -481,11 +732,11 @@ impl DecompositionTrace {
         self.counters.iter().find(|(name, _)| *name == c.name()).map(|(_, v)| *v).unwrap_or(0)
     }
 
-    /// Serialise to the `dsd-trace/v1` JSON schema. Hand-rolled (this crate
+    /// Serialise to the `dsd-trace/v2` JSON schema. Hand-rolled (this crate
     /// is dependency-free); `bench_report` re-parses the string with
     /// `serde_json` to embed it, and [`report::view_from_json`] validates it.
     pub fn to_json(&self) -> String {
-        let mut out = String::with_capacity(256 + self.rounds.len() * 96);
+        let mut out = String::with_capacity(256 + self.rounds.len() * 96 + self.spans.len() * 80);
         out.push_str("{\"schema\":\"");
         out.push_str(TRACE_SCHEMA);
         out.push_str("\",\"label\":");
@@ -515,14 +766,91 @@ impl DecompositionTrace {
         }
         out.push_str("},\"phase_totals\":[");
         write_phase_times(&mut out, &self.phase_totals);
-        out.push_str("]}");
+        out.push_str("],\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"thread\":");
+            out.push_str(&s.thread.to_string());
+            out.push_str(",\"phase\":");
+            json::write_string(&mut out, s.phase);
+            out.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => out.push_str(&p.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"start_nanos\":");
+            out.push_str(&s.start_nanos.to_string());
+            out.push_str(",\"dur_nanos\":");
+            out.push_str(&s.dur_nanos.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"spans_dropped\":");
+        out.push_str(&self.spans_dropped.to_string());
+        out.push_str(",\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"key\":");
+            json::write_string(&mut out, h.key);
+            out.push_str(",\"unit\":");
+            json::write_string(&mut out, h.unit);
+            out.push_str(",\"count\":");
+            out.push_str(&h.hist.count().to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&h.hist.sum().to_string());
+            out.push_str(",\"min\":");
+            out.push_str(&h.hist.min().to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&h.hist.max().to_string());
+            out.push_str(",\"buckets\":[");
+            for (j, (idx, count)) in h.hist.nonzero_buckets().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('[');
+                out.push_str(&idx.to_string());
+                out.push(',');
+                out.push_str(&count.to_string());
+                out.push(']');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"alloc\":");
+        match &self.alloc {
+            None => out.push_str("null"),
+            Some(a) => {
+                out.push_str("{\"allocs\":");
+                out.push_str(&a.allocs.to_string());
+                out.push_str(",\"bytes_allocated\":");
+                out.push_str(&a.bytes_allocated.to_string());
+                out.push_str(",\"peak_live_bytes\":");
+                out.push_str(&a.peak_live_bytes.to_string());
+                out.push_str(",\"live_bytes_end\":");
+                out.push_str(&a.live_bytes_end.to_string());
+                out.push_str(",\"peak_rss_bytes\":");
+                match a.peak_rss_bytes {
+                    Some(r) => out.push_str(&r.to_string()),
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+        }
+        out.push('}');
         out
     }
 }
 
-/// Schema tag emitted by [`DecompositionTrace::to_json`] and required by
-/// [`report::view_from_json`].
-pub const TRACE_SCHEMA: &str = "dsd-trace/v1";
+/// Schema tag emitted by [`DecompositionTrace::to_json`] and accepted by
+/// [`report::view_from_json`] (which also still accepts [`TRACE_SCHEMA_V1`]).
+pub const TRACE_SCHEMA: &str = "dsd-trace/v2";
+
+/// The PR 3–7 trace schema: flat phase totals, no spans/histograms/alloc.
+/// Still parsed by [`report::view_from_json`] so committed v1 documents and
+/// older bench reports stay renderable.
+pub const TRACE_SCHEMA_V1: &str = "dsd-trace/v1";
 
 fn write_round(out: &mut String, r: &RoundSample) {
     out.push_str("{\"round\":");
@@ -538,6 +866,10 @@ fn write_round(out: &mut String, r: &RoundSample) {
         Some(a) => out.push_str(&a.to_string()),
         None => out.push_str("null"),
     }
+    // A NaN/inf density or dual bound (e.g. a 0/0 ratio from an empty
+    // incumbent) must serialise as `null`, never as a bare `NaN` token;
+    // `write_f64` enforces that, and the parser maps the `null` back to
+    // `None` on the way in.
     if let Some(d) = r.density {
         out.push_str(",\"density\":");
         json::write_f64(out, d);
@@ -573,6 +905,15 @@ struct ActiveTrace {
     threads: Option<usize>,
     rounds: Vec<RoundSample>,
     started: Instant,
+    /// Per-round work-shape histograms, fed by `record_round` (single
+    /// writer under the active-trace mutex, so trivially deterministic for
+    /// deterministic round curves).
+    round_frontier: hist::LogHistogram,
+    round_items: hist::LogHistogram,
+    round_edges: hist::LogHistogram,
+    /// Allocator counters at `begin_trace`, when the counting allocator is
+    /// installed.
+    alloc_base: Option<alloc::AllocSnapshot>,
 }
 
 fn active() -> &'static Mutex<Option<ActiveTrace>> {
@@ -594,11 +935,23 @@ pub fn begin_trace(label: &str) {
     for shard in registry().lock().expect("telemetry registry poisoned").iter() {
         shard.reset();
     }
+    // New generation: thread-local open-span stacks from any earlier trace
+    // invalidate themselves lazily, and the trace clock restarts.
+    TRACE_GEN.fetch_add(1, Ordering::Relaxed);
+    TRACE_START_NANOS.store(now_nanos(), Ordering::Relaxed);
+    let alloc_base = alloc::snapshot();
+    if alloc_base.is_some() {
+        alloc::reset_peak_to_live();
+    }
     *active().lock().expect("telemetry trace poisoned") = Some(ActiveTrace {
         label: label.to_string(),
         threads: pool_threads(),
         rounds: Vec::new(),
         started: Instant::now(),
+        round_frontier: hist::LogHistogram::new(),
+        round_items: hist::LogHistogram::new(),
+        round_edges: hist::LogHistogram::new(),
+        alloc_base,
     });
 }
 
@@ -610,6 +963,9 @@ pub fn record_round(sample: RoundSample) {
         return;
     }
     if let Some(trace) = active().lock().expect("telemetry trace poisoned").as_mut() {
+        trace.round_frontier.record(sample.frontier_len as u64);
+        trace.round_items.record(sample.items_removed as u64);
+        trace.round_edges.record(sample.edges_examined);
         trace.rounds.push(sample);
     }
 }
@@ -634,26 +990,71 @@ pub fn end_trace() -> Option<DecompositionTrace> {
     let trace = active().lock().expect("telemetry trace poisoned").take()?;
     let mut counter_totals = [0u64; Counter::COUNT];
     let mut phase_nanos = [0u64; Phase::COUNT];
-    for shard in registry().lock().expect("telemetry registry poisoned").iter() {
+    let mut phase_hists = vec![hist::LogHistogram::new(); Phase::COUNT];
+    let registry = registry().lock().expect("telemetry registry poisoned");
+    for shard in registry.iter() {
         for (total, cell) in counter_totals.iter_mut().zip(&shard.counters) {
             *total += cell.load(Ordering::Relaxed);
         }
         for (total, cell) in phase_nanos.iter_mut().zip(&shard.phase_nanos) {
             *total += cell.load(Ordering::Relaxed);
         }
+        // Element-wise bucket addition is order-independent, so the merged
+        // histograms do not depend on shard registration order.
+        let shard_hists = shard.hists.lock().expect("telemetry histograms poisoned");
+        for (merged, h) in phase_hists.iter_mut().zip(shard_hists.iter()) {
+            merged.merge(h);
+        }
     }
+    let span_logs: Vec<_> =
+        registry.iter().map(|s| s.spans.lock().expect("telemetry span log poisoned")).collect();
+    let (spans, spans_dropped) = span_tree::flatten(span_logs.iter().map(|g| &**g));
+    drop(span_logs);
+    drop(registry);
     let counters = Counter::ALL.iter().map(|&c| (c.name(), counter_totals[c as usize])).collect();
     let phase_totals = Phase::ALL
         .iter()
         .filter(|&&p| phase_nanos[p as usize] > 0)
         .map(|&p| PhaseTime { phase: p.name(), secs: phase_nanos[p as usize] as f64 * 1e-9 })
         .collect();
+    let mut histograms: Vec<TraceHistogram> = Phase::ALL
+        .iter()
+        .filter(|&&p| !phase_hists[p as usize].is_empty())
+        .map(|&p| TraceHistogram {
+            key: p.name(),
+            unit: "nanos",
+            hist: phase_hists[p as usize].clone(),
+        })
+        .collect();
+    for (key, h) in [
+        ("round/frontier_len", &trace.round_frontier),
+        ("round/items_removed", &trace.round_items),
+        ("round/edges_examined", &trace.round_edges),
+    ] {
+        if !h.is_empty() {
+            histograms.push(TraceHistogram { key, unit: "count", hist: h.clone() });
+        }
+    }
+    let alloc = match (trace.alloc_base, alloc::snapshot()) {
+        (Some(base), Some(end)) => Some(AllocStats {
+            allocs: end.allocs.saturating_sub(base.allocs),
+            bytes_allocated: end.bytes_allocated.saturating_sub(base.bytes_allocated),
+            peak_live_bytes: end.peak_live_bytes,
+            live_bytes_end: end.live_bytes,
+            peak_rss_bytes: alloc::peak_rss_bytes(),
+        }),
+        _ => None,
+    };
     Some(DecompositionTrace {
         label: trace.label,
         threads: trace.threads,
         rounds: trace.rounds,
         counters,
         phase_totals,
+        spans,
+        spans_dropped,
+        histograms,
+        alloc,
         wall_secs: trace.started.elapsed().as_secs_f64(),
     })
 }
@@ -771,6 +1172,40 @@ mod tests {
             }],
             counters: Counter::ALL.iter().map(|&c| (c.name(), c as u64)).collect(),
             phase_totals: vec![PhaseTime { phase: Phase::Cascade.name(), secs: 1.25 }],
+            spans: vec![
+                TraceSpan {
+                    thread: 0,
+                    phase: Phase::Cascade.name(),
+                    parent: None,
+                    start_nanos: 100,
+                    dur_nanos: 2000,
+                },
+                TraceSpan {
+                    thread: 0,
+                    phase: Phase::Compact.name(),
+                    parent: Some(0),
+                    start_nanos: 300,
+                    dur_nanos: 500,
+                },
+            ],
+            spans_dropped: 1,
+            histograms: vec![TraceHistogram {
+                key: Phase::Cascade.name(),
+                unit: "nanos",
+                hist: {
+                    let mut h = hist::LogHistogram::new();
+                    h.record(2000);
+                    h.record(500);
+                    h
+                },
+            }],
+            alloc: Some(AllocStats {
+                allocs: 10,
+                bytes_allocated: 4096,
+                peak_live_bytes: 2048,
+                live_bytes_end: 1024,
+                peak_rss_bytes: None,
+            }),
             wall_secs: 2.5,
         };
         let text = trace.to_json();
@@ -792,5 +1227,105 @@ mod tests {
             counters.get(Counter::CasRetries.name()).and_then(json::Value::as_u64),
             Some(Counter::CasRetries as u64)
         );
+        let spans = obj.get("spans").and_then(json::Value::as_array).expect("spans array");
+        assert_eq!(spans.len(), 2);
+        let child = spans[1].as_object().expect("span object");
+        assert_eq!(child.get("parent").and_then(json::Value::as_u64), Some(0));
+        assert_eq!(child.get("dur_nanos").and_then(json::Value::as_u64), Some(500));
+        assert_eq!(obj.get("spans_dropped").and_then(json::Value::as_u64), Some(1));
+        let hists = obj.get("histograms").and_then(json::Value::as_array).expect("histograms");
+        let h0 = hists[0].as_object().expect("histogram object");
+        assert_eq!(h0.get("unit").and_then(json::Value::as_str), Some("nanos"));
+        assert_eq!(h0.get("count").and_then(json::Value::as_u64), Some(2));
+        let buckets = h0.get("buckets").and_then(json::Value::as_array).expect("buckets");
+        assert_eq!(buckets.len(), 2, "two samples in distinct buckets");
+        let alloc = obj.get("alloc").and_then(json::Value::as_object).expect("alloc object");
+        assert_eq!(alloc.get("bytes_allocated").and_then(json::Value::as_u64), Some(4096));
+        assert!(alloc.get("peak_rss_bytes").expect("rss key").is_null());
+    }
+
+    #[test]
+    fn non_finite_density_and_dual_bound_serialise_as_null() {
+        let trace = DecompositionTrace {
+            label: "nan".to_string(),
+            threads: None,
+            rounds: vec![RoundSample {
+                round: 0,
+                density: Some(f64::NAN),
+                dual_bound: Some(f64::INFINITY),
+                ..RoundSample::default()
+            }],
+            counters: Vec::new(),
+            phase_totals: Vec::new(),
+            spans: Vec::new(),
+            spans_dropped: 0,
+            histograms: Vec::new(),
+            alloc: None,
+            wall_secs: 0.0,
+        };
+        let text = trace.to_json();
+        assert!(!text.contains("NaN") && !text.contains("inf"), "bare non-finite token in {text}");
+        let value = json::parse(&text).expect("NaN/inf trace still parses as JSON");
+        let round = value
+            .as_object()
+            .and_then(|o| o.get("rounds"))
+            .and_then(json::Value::as_array)
+            .and_then(|r| r[0].as_object())
+            .expect("round object");
+        assert!(round.get("density").expect("density emitted").is_null());
+        assert!(round.get("dual_bound").expect("dual_bound emitted").is_null());
+    }
+
+    #[test]
+    fn nested_spans_build_a_parent_child_tree() {
+        let _guard = lifecycle_lock();
+        set_enabled(true);
+        begin_trace("spans");
+        {
+            let _outer = span(Phase::Init);
+            {
+                let _inner = span(Phase::Sweep);
+                std::hint::black_box(1 + 1);
+            }
+            let d = record_span(Phase::Apply, Instant::now());
+            assert!(d.as_nanos() < 1_000_000_000);
+        }
+        let trace = end_trace().expect("trace");
+        set_enabled(false);
+        assert_eq!(trace.spans_dropped, 0);
+        assert_eq!(trace.spans.len(), 3);
+        let outer = trace.spans.iter().position(|s| s.phase == Phase::Init.name()).unwrap();
+        let inner = trace.spans.iter().position(|s| s.phase == Phase::Sweep.name()).unwrap();
+        let explicit = trace.spans.iter().position(|s| s.phase == Phase::Apply.name()).unwrap();
+        assert_eq!(trace.spans[outer].parent, None);
+        assert_eq!(trace.spans[inner].parent, Some(outer as u32));
+        assert_eq!(trace.spans[explicit].parent, Some(outer as u32));
+        assert!(trace.spans[inner].start_nanos >= trace.spans[outer].start_nanos);
+        assert!(trace.spans[outer].dur_nanos >= trace.spans[inner].dur_nanos);
+        // Duration histograms picked the same three samples up.
+        let init_hist = trace.histograms.iter().find(|h| h.key == Phase::Init.name());
+        assert_eq!(init_hist.map(|h| h.hist.count()), Some(1));
+        assert!(trace.histograms.iter().all(|h| !h.hist.is_empty()));
+    }
+
+    #[test]
+    fn round_shape_histograms_follow_recorded_rounds() {
+        let _guard = lifecycle_lock();
+        set_enabled(true);
+        begin_trace("rounds");
+        record_round(sample(0, 2));
+        record_round(sample(1, 3));
+        let trace = end_trace().expect("trace");
+        set_enabled(false);
+        let items =
+            trace.histograms.iter().find(|h| h.key == "round/items_removed").expect("items hist");
+        assert_eq!(items.unit, "count");
+        assert_eq!(items.hist.count(), 2);
+        assert_eq!(items.hist.min(), 2);
+        assert_eq!(items.hist.max(), 3);
+        let frontier =
+            trace.histograms.iter().find(|h| h.key == "round/frontier_len").expect("frontier hist");
+        assert_eq!(frontier.hist.count(), 2);
+        assert_eq!(frontier.hist.min(), 10);
     }
 }

@@ -3,12 +3,15 @@
 //! A [`TraceView`] is the renderer-facing shape of a trace: it can be built
 //! from an in-memory [`DecompositionTrace`](crate::DecompositionTrace) via
 //! [`view`], or from parsed JSON via [`view_from_json`] — the latter doubles
-//! as the `dsd-trace/v1` schema validator used by `bench_report` and CI (a
-//! malformed trace fails with a field-level error instead of rendering
-//! garbage).
+//! as the trace schema validator used by `bench_report` and CI (a malformed
+//! trace fails with a field-level error instead of rendering garbage).
+//! `view_from_json` dispatches on the schema tag: `dsd-trace/v2` documents
+//! carry spans, histograms and allocator stats; older `dsd-trace/v1`
+//! documents (committed bench reports, archived traces) still parse, with
+//! the flight-recorder sections empty.
 
 use crate::json::{self, Value};
-use crate::{DecompositionTrace, TRACE_SCHEMA};
+use crate::{hist, DecompositionTrace, TRACE_SCHEMA, TRACE_SCHEMA_V1};
 
 /// One round of a [`TraceView`] (all counts widened to `u64`).
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +35,79 @@ pub struct RoundView {
     pub phase_times: Vec<(String, f64)>,
 }
 
+/// One span of a [`TraceView`]'s flattened span forest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanView {
+    /// Recording shard index.
+    pub thread: u64,
+    /// Phase name.
+    pub phase: String,
+    /// Global index of the parent span, `None` for roots.
+    pub parent: Option<u64>,
+    /// Nanoseconds from trace begin to span open.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub dur_nanos: u64,
+}
+
+/// One histogram of a [`TraceView`], in the sparse bucket form the trace
+/// JSON carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramView {
+    /// Histogram key (phase name or `round/*`).
+    pub key: String,
+    /// Sample unit (`"nanos"` or `"count"`).
+    pub unit: String,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Saturating sample sum.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty `(bucket_index, count)` pairs in index order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramView {
+    /// Approximate quantile over the sparse buckets (same contract as
+    /// [`hist::LogHistogram::quantile`]).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen >= target {
+                return hist::bucket_high(idx as usize)
+                    .saturating_sub(1)
+                    .min(self.max)
+                    .max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+/// Allocator accounting of a [`TraceView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocView {
+    /// Allocations during the trace.
+    pub allocs: u64,
+    /// Bytes handed out during the trace.
+    pub bytes_allocated: u64,
+    /// Live-byte high-water mark during the trace.
+    pub peak_live_bytes: u64,
+    /// Bytes live at trace end.
+    pub live_bytes_end: u64,
+    /// Kernel peak RSS, if sampled.
+    pub peak_rss_bytes: Option<u64>,
+}
+
 /// Renderer-facing view of one trace.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceView {
@@ -47,6 +123,15 @@ pub struct TraceView {
     pub counters: Vec<(String, u64)>,
     /// Aggregated `(phase, seconds)` totals.
     pub phase_totals: Vec<(String, f64)>,
+    /// Flattened span forest (empty for v1 documents).
+    pub spans: Vec<SpanView>,
+    /// Spans lost to the per-thread cap or left open at flush.
+    pub spans_dropped: u64,
+    /// Duration and round-shape histograms (empty for v1 documents).
+    pub histograms: Vec<HistogramView>,
+    /// Allocator accounting (absent for v1 documents and processes without
+    /// the counting allocator).
+    pub alloc: Option<AllocView>,
 }
 
 impl TraceView {
@@ -72,7 +157,12 @@ impl TraceView {
 }
 
 /// Build a [`TraceView`] from an in-memory trace.
+///
+/// Non-finite `density`/`dual_bound` values are normalised to `None` here,
+/// matching what the JSON round trip does (they serialise as `null`), so a
+/// direct view and a view re-parsed from `to_json` always agree.
 pub fn view(trace: &DecompositionTrace) -> TraceView {
+    let finite = |v: Option<f64>| v.filter(|x| x.is_finite());
     TraceView {
         label: trace.label.clone(),
         threads: trace.threads.map(|t| t as u64),
@@ -86,8 +176,8 @@ pub fn view(trace: &DecompositionTrace) -> TraceView {
                 edges_examined: r.edges_examined,
                 items_removed: r.items_removed as u64,
                 alive_edges: r.alive_edges.map(|a| a as u64),
-                density: r.density,
-                dual_bound: r.dual_bound,
+                density: finite(r.density),
+                dual_bound: finite(r.dual_bound),
                 phase_times: r
                     .phase_times
                     .iter()
@@ -97,6 +187,38 @@ pub fn view(trace: &DecompositionTrace) -> TraceView {
             .collect(),
         counters: trace.counters.iter().map(|(name, v)| (name.to_string(), *v)).collect(),
         phase_totals: trace.phase_totals.iter().map(|pt| (pt.phase.to_string(), pt.secs)).collect(),
+        spans: trace
+            .spans
+            .iter()
+            .map(|s| SpanView {
+                thread: u64::from(s.thread),
+                phase: s.phase.to_string(),
+                parent: s.parent.map(u64::from),
+                start_nanos: s.start_nanos,
+                dur_nanos: s.dur_nanos,
+            })
+            .collect(),
+        spans_dropped: trace.spans_dropped,
+        histograms: trace
+            .histograms
+            .iter()
+            .map(|h| HistogramView {
+                key: h.key.to_string(),
+                unit: h.unit.to_string(),
+                count: h.hist.count(),
+                sum: h.hist.sum(),
+                min: h.hist.min(),
+                max: h.hist.max(),
+                buckets: h.hist.nonzero_buckets().map(|(i, c)| (i as u64, c)).collect(),
+            })
+            .collect(),
+        alloc: trace.alloc.map(|a| AllocView {
+            allocs: a.allocs,
+            bytes_allocated: a.bytes_allocated,
+            peak_live_bytes: a.peak_live_bytes,
+            live_bytes_end: a.live_bytes_end,
+            peak_rss_bytes: a.peak_rss_bytes,
+        }),
     }
 }
 
@@ -140,18 +262,26 @@ fn phase_times_field(
         .collect()
 }
 
-/// Validate a parsed `dsd-trace/v1` document and build its [`TraceView`].
+/// Validate a parsed `dsd-trace/v2` (or legacy `dsd-trace/v1`) document and
+/// build its [`TraceView`].
 ///
 /// Every field the schema promises is checked for presence and type, so this
 /// is the guard CI uses: a trace that renders must be a trace every consumer
-/// can rely on.
+/// can rely on. v1 documents must *not* carry the v2 sections; v2 documents
+/// must carry all of them (`alloc` may be `null`).
 pub fn view_from_json(value: &Value) -> Result<TraceView, String> {
     let obj = value.as_object().ok_or("trace: document must be an object")?;
     let schema =
         field(obj, "schema", "trace")?.as_str().ok_or("trace: 'schema' must be a string")?;
-    if schema != TRACE_SCHEMA {
-        return Err(format!("trace: schema mismatch: expected '{TRACE_SCHEMA}', got '{schema}'"));
-    }
+    let v2 = match schema {
+        s if s == TRACE_SCHEMA => true,
+        s if s == TRACE_SCHEMA_V1 => false,
+        got => {
+            return Err(format!(
+                "trace: schema mismatch: expected '{TRACE_SCHEMA}' or '{TRACE_SCHEMA_V1}', got '{got}'"
+            ));
+        }
+    };
     let label = field(obj, "label", "trace")?
         .as_str()
         .ok_or("trace: 'label' must be a string")?
@@ -212,7 +342,143 @@ pub fn view_from_json(value: &Value) -> Result<TraceView, String> {
 
     let phase_totals = phase_times_field(obj, "phase_totals", "trace")?;
 
-    Ok(TraceView { label, threads, wall_secs, rounds, counters, phase_totals })
+    let (spans, spans_dropped, histograms, alloc) = if v2 {
+        (
+            spans_field(obj)?,
+            u64_field(obj, "spans_dropped", "trace")?,
+            histograms_field(obj)?,
+            alloc_field(obj)?,
+        )
+    } else {
+        for key in ["spans", "spans_dropped", "histograms", "alloc"] {
+            if obj.get(key).is_some() {
+                return Err(format!("trace: v1 document carries v2 field '{key}'"));
+            }
+        }
+        (Vec::new(), 0, Vec::new(), None)
+    };
+
+    Ok(TraceView {
+        label,
+        threads,
+        wall_secs,
+        rounds,
+        counters,
+        phase_totals,
+        spans,
+        spans_dropped,
+        histograms,
+        alloc,
+    })
+}
+
+fn spans_field(obj: &json::Object) -> Result<Vec<SpanView>, String> {
+    let arr = field(obj, "spans", "trace")?.as_array().ok_or("trace: 'spans' must be an array")?;
+    let mut spans = Vec::with_capacity(arr.len());
+    for (i, entry) in arr.iter().enumerate() {
+        let what = format!("spans[{i}]");
+        let o = entry.as_object().ok_or_else(|| format!("{what}: must be an object"))?;
+        let parent = match field(o, "parent", &what)? {
+            Value::Null => None,
+            v => {
+                let p = v
+                    .as_u64()
+                    .ok_or_else(|| format!("{what}: 'parent' must be null or an index"))?;
+                if p >= i as u64 {
+                    return Err(format!("{what}: parent {p} does not precede the span"));
+                }
+                Some(p)
+            }
+        };
+        spans.push(SpanView {
+            thread: u64_field(o, "thread", &what)?,
+            phase: field(o, "phase", &what)?
+                .as_str()
+                .ok_or_else(|| format!("{what}: 'phase' must be a string"))?
+                .to_string(),
+            parent,
+            start_nanos: u64_field(o, "start_nanos", &what)?,
+            dur_nanos: u64_field(o, "dur_nanos", &what)?,
+        });
+    }
+    Ok(spans)
+}
+
+fn histograms_field(obj: &json::Object) -> Result<Vec<HistogramView>, String> {
+    let arr = field(obj, "histograms", "trace")?
+        .as_array()
+        .ok_or("trace: 'histograms' must be an array")?;
+    let mut hists = Vec::with_capacity(arr.len());
+    for (i, entry) in arr.iter().enumerate() {
+        let what = format!("histograms[{i}]");
+        let o = entry.as_object().ok_or_else(|| format!("{what}: must be an object"))?;
+        let buckets_arr = field(o, "buckets", &what)?
+            .as_array()
+            .ok_or_else(|| format!("{what}: 'buckets' must be an array"))?;
+        let mut buckets = Vec::with_capacity(buckets_arr.len());
+        let mut total = 0u64;
+        let mut prev_idx: Option<u64> = None;
+        for pair in buckets_arr {
+            let p = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("{what}: buckets entries must be [index, count] pairs"))?;
+            let idx = p[0]
+                .as_u64()
+                .filter(|&x| x <= hist::MAX_BUCKET_INDEX as u64)
+                .ok_or_else(|| format!("{what}: bucket index out of range"))?;
+            if prev_idx.is_some_and(|prev| idx <= prev) {
+                return Err(format!("{what}: bucket indices must be strictly increasing"));
+            }
+            prev_idx = Some(idx);
+            let count = p[1]
+                .as_u64()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| format!("{what}: bucket counts must be positive integers"))?;
+            total += count;
+            buckets.push((idx, count));
+        }
+        let count = u64_field(o, "count", &what)?;
+        if count != total {
+            return Err(format!("{what}: count {count} != bucket sum {total}"));
+        }
+        hists.push(HistogramView {
+            key: field(o, "key", &what)?
+                .as_str()
+                .ok_or_else(|| format!("{what}: 'key' must be a string"))?
+                .to_string(),
+            unit: field(o, "unit", &what)?
+                .as_str()
+                .ok_or_else(|| format!("{what}: 'unit' must be a string"))?
+                .to_string(),
+            count,
+            sum: u64_field(o, "sum", &what)?,
+            min: u64_field(o, "min", &what)?,
+            max: u64_field(o, "max", &what)?,
+            buckets,
+        });
+    }
+    Ok(hists)
+}
+
+fn alloc_field(obj: &json::Object) -> Result<Option<AllocView>, String> {
+    match field(obj, "alloc", "trace")? {
+        Value::Null => Ok(None),
+        v => {
+            let o = v.as_object().ok_or("trace: 'alloc' must be null or an object")?;
+            let peak_rss_bytes = match field(o, "peak_rss_bytes", "alloc")? {
+                Value::Null => None,
+                v => Some(v.as_u64().ok_or("alloc: 'peak_rss_bytes' must be null or an integer")?),
+            };
+            Ok(Some(AllocView {
+                allocs: u64_field(o, "allocs", "alloc")?,
+                bytes_allocated: u64_field(o, "bytes_allocated", "alloc")?,
+                peak_live_bytes: u64_field(o, "peak_live_bytes", "alloc")?,
+                live_bytes_end: u64_field(o, "live_bytes_end", "alloc")?,
+                peak_rss_bytes,
+            }))
+        }
+    }
 }
 
 fn pad(s: &str, width: usize) -> String {
@@ -323,6 +589,108 @@ pub fn render_counters(views: &[TraceView]) -> String {
     out
 }
 
+fn fmt_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Render a flight-recorder span summary: span/dropped counts, tree depth,
+/// and the top phases by summed span time. Empty string when the trace has
+/// no spans (v1 documents).
+pub fn render_span_summary(v: &TraceView) -> String {
+    if v.spans.is_empty() && v.spans_dropped == 0 {
+        return String::new();
+    }
+    let mut depth = vec![0u32; v.spans.len()];
+    let mut max_depth = 0u32;
+    let mut by_phase: Vec<(String, u64, u64)> = Vec::new(); // (phase, nanos, count)
+    for (i, s) in v.spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            depth[i] = depth[p as usize] + 1;
+            max_depth = max_depth.max(depth[i]);
+        }
+        match by_phase.iter_mut().find(|(name, _, _)| *name == s.phase) {
+            Some((_, nanos, count)) => {
+                *nanos = nanos.saturating_add(s.dur_nanos);
+                *count += 1;
+            }
+            None => by_phase.push((s.phase.clone(), s.dur_nanos, 1)),
+        }
+    }
+    by_phase.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut out = format!(
+        "spans: {} recorded, {} dropped, max depth {}\n",
+        v.spans.len(),
+        v.spans_dropped,
+        max_depth
+    );
+    for (phase, nanos, count) in by_phase.iter().take(8) {
+        out.push_str(&pad_left(phase, LABEL_W));
+        out.push_str(&pad(&count.to_string(), NUM_W));
+        out.push_str(&pad(&format!("{:.4}s", *nanos as f64 * 1e-9), NUM_W + 2));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the histogram table: one row per histogram with count, mean, p50,
+/// p99 and max (durations shown in microseconds, counts raw). Empty string
+/// when the trace carries no histograms.
+pub fn render_histograms(v: &TraceView) -> String {
+    if v.histograms.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&pad_left("histogram", LABEL_W));
+    for h in ["unit", "count", "mean", "p50", "p99", "max"] {
+        out.push_str(&pad(h, NUM_W));
+    }
+    out.push('\n');
+    for h in &v.histograms {
+        let scale = if h.unit == "nanos" { 1e-3 } else { 1.0 };
+        let unit = if h.unit == "nanos" { "us" } else { &h.unit };
+        let mean = if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 };
+        out.push_str(&pad_left(&h.key, LABEL_W));
+        out.push_str(&pad(unit, NUM_W));
+        out.push_str(&pad(&h.count.to_string(), NUM_W));
+        out.push_str(&pad(&format!("{:.1}", mean * scale), NUM_W));
+        out.push_str(&pad(&format!("{:.1}", h.quantile(0.5) as f64 * scale), NUM_W));
+        out.push_str(&pad(&format!("{:.1}", h.quantile(0.99) as f64 * scale), NUM_W));
+        out.push_str(&pad(&format!("{:.1}", h.max as f64 * scale), NUM_W));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the allocator accounting line, or an empty string when the trace
+/// has none.
+pub fn render_alloc(v: &TraceView) -> String {
+    match &v.alloc {
+        None => String::new(),
+        Some(a) => {
+            let rss = a.peak_rss_bytes.map_or_else(|| "-".to_string(), fmt_bytes);
+            format!(
+                "alloc: {} allocations, {} allocated, peak live {}, live at end {}, peak RSS {}\n",
+                a.allocs,
+                fmt_bytes(a.bytes_allocated),
+                fmt_bytes(a.peak_live_bytes),
+                fmt_bytes(a.live_bytes_end),
+                rss
+            )
+        }
+    }
+}
+
 /// Render a generic labelled matrix with the repo's experiment-table layout
 /// (first column left-aligned at 12, remaining columns right-aligned at 16 —
 /// the same grid as `dsd-bench`'s `print_row`). Used by the Table 6/7
@@ -351,9 +719,13 @@ pub fn render_matrix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Counter, Phase, PhaseTime, RoundSample};
+    use crate::span_tree::TraceSpan;
+    use crate::{AllocStats, Counter, Phase, PhaseTime, RoundSample, TraceHistogram};
 
     fn demo_trace() -> DecompositionTrace {
+        let mut cascade_hist = hist::LogHistogram::new();
+        cascade_hist.record(10_000_000);
+        cascade_hist.record(20_000_000);
         DecompositionTrace {
             label: "demo/peel".to_string(),
             threads: Some(4),
@@ -374,6 +746,35 @@ mod tests {
                 PhaseTime { phase: Phase::ThresholdSelect.name(), secs: 0.25 },
                 PhaseTime { phase: Phase::Cascade.name(), secs: 0.75 },
             ],
+            spans: vec![
+                TraceSpan {
+                    thread: 0,
+                    phase: Phase::Cascade.name(),
+                    parent: None,
+                    start_nanos: 0,
+                    dur_nanos: 30_000_000,
+                },
+                TraceSpan {
+                    thread: 0,
+                    phase: Phase::Compact.name(),
+                    parent: Some(0),
+                    start_nanos: 1_000_000,
+                    dur_nanos: 5_000_000,
+                },
+            ],
+            spans_dropped: 0,
+            histograms: vec![TraceHistogram {
+                key: Phase::Cascade.name(),
+                unit: "nanos",
+                hist: cascade_hist,
+            }],
+            alloc: Some(AllocStats {
+                allocs: 1234,
+                bytes_allocated: 1 << 20,
+                peak_live_bytes: 1 << 19,
+                live_bytes_end: 1 << 18,
+                peak_rss_bytes: Some(1 << 22),
+            }),
             wall_secs: 1.0,
         }
     }
@@ -389,6 +790,46 @@ mod tests {
         assert_eq!(direct.last_alive(), Some(4800));
         assert_eq!(direct.total_removed(), 60);
         assert_eq!(direct.total_examined(), 3003);
+        assert_eq!(direct.spans.len(), 2);
+        assert_eq!(direct.histograms[0].count, 2);
+        assert_eq!(direct.alloc.map(|a| a.allocs), Some(1234));
+    }
+
+    #[test]
+    fn view_and_json_view_agree_on_non_finite_fields() {
+        // Satellite: a NaN density must become `None` both directly and
+        // through the JSON round trip (where it serialises as `null`).
+        let mut trace = demo_trace();
+        trace.rounds[0].density = Some(f64::NAN);
+        trace.rounds[1].dual_bound = Some(f64::NEG_INFINITY);
+        let direct = view(&trace);
+        assert_eq!(direct.rounds[0].density, None);
+        assert_eq!(direct.rounds[1].dual_bound, None);
+        let via_json = view_from_json(&json::parse(&trace.to_json()).unwrap()).unwrap();
+        assert_eq!(direct, via_json);
+    }
+
+    #[test]
+    fn v1_documents_still_parse_with_empty_recorder_sections() {
+        let v1 = format!(
+            "{{\"schema\":\"{}\",\"label\":\"legacy\",\"threads\":2,\"wall_secs\":0.5,\
+             \"rounds\":[{{\"round\":0,\"frontier_len\":3,\"edges_examined\":7,\
+             \"items_removed\":1,\"alive_edges\":null,\"phase_times\":[]}}],\
+             \"counters\":{{\"cas_retries\":4}},\"phase_totals\":[]}}",
+            crate::TRACE_SCHEMA_V1
+        );
+        let view = view_from_json(&json::parse(&v1).unwrap()).expect("v1 parses");
+        assert_eq!(view.label, "legacy");
+        assert_eq!(view.rounds.len(), 1);
+        assert!(view.spans.is_empty());
+        assert!(view.histograms.is_empty());
+        assert!(view.alloc.is_none());
+        assert_eq!(view.spans_dropped, 0);
+
+        // A v1 document smuggling v2 sections is rejected.
+        let smuggled = v1.replace("\"phase_totals\":[]", "\"phase_totals\":[],\"spans\":[]");
+        let err = view_from_json(&json::parse(&smuggled).unwrap()).unwrap_err();
+        assert!(err.contains("v1 document carries v2 field"), "{err}");
     }
 
     #[test]
@@ -396,7 +837,7 @@ mod tests {
         let good = demo_trace().to_json();
         assert!(view_from_json(&json::parse(&good).unwrap()).is_ok());
 
-        let wrong_schema = good.replace("dsd-trace/v1", "dsd-trace/v0");
+        let wrong_schema = good.replace("dsd-trace/v2", "dsd-trace/v0");
         let err = view_from_json(&json::parse(&wrong_schema).unwrap()).unwrap_err();
         assert!(err.contains("schema mismatch"), "{err}");
 
@@ -406,7 +847,58 @@ mod tests {
         let bad_counter = good.replace("\"cas_retries\":2", "\"cas_retries\":-2");
         assert!(view_from_json(&json::parse(&bad_counter).unwrap()).is_err());
 
+        // v2-specific structure errors.
+        let missing_spans = good.replace("\"spans\"", "\"not_spans\"");
+        assert!(view_from_json(&json::parse(&missing_spans).unwrap()).is_err());
+
+        let forward_parent = good.replace("\"parent\":0", "\"parent\":7");
+        let err = view_from_json(&json::parse(&forward_parent).unwrap()).unwrap_err();
+        assert!(err.contains("does not precede"), "{err}");
+
+        let bad_hist_count =
+            good.replace("\"unit\":\"nanos\",\"count\":2", "\"unit\":\"nanos\",\"count\":3");
+        let err = view_from_json(&json::parse(&bad_hist_count).unwrap()).unwrap_err();
+        assert!(err.contains("bucket sum"), "{err}");
+
         assert!(view_from_json(&json::parse("[1,2]").unwrap()).is_err());
+    }
+
+    /// Doc-drift guard: every [`Counter`] variant must be renderable by this
+    /// module and documented in the DESIGN.md §7 glossary. The `match` below
+    /// is the compile-time half — adding a variant without extending it is a
+    /// build error, and the loop is the content half.
+    #[test]
+    fn every_counter_is_rendered_and_documented() {
+        // Compile-checked exhaustiveness: no wildcard arm. Extend this match
+        // (and DESIGN.md §7) when adding a counter.
+        fn glossaried(c: Counter) -> &'static str {
+            match c {
+                Counter::HUpdatesApplied => "h_updates_applied",
+                Counter::FrontierEnqueues => "frontier_enqueues",
+                Counter::ChunkMinRescans => "chunk_min_rescans",
+                Counter::CacheBoundHits => "cache_bound_hits",
+                Counter::CasRetries => "cas_retries",
+                Counter::CompactionMoves => "compaction_moves",
+                Counter::DecodeBytes => "decode_bytes",
+                Counter::EncodeBytes => "encode_bytes",
+                Counter::LoadsUpdated => "loads_updated",
+            }
+        }
+        let design = include_str!("../../../DESIGN.md");
+        let rendered = render_counters(std::slice::from_ref(&view(&demo_trace())));
+        for &c in &Counter::ALL {
+            assert_eq!(glossaried(c), c.name(), "test table drifted from Counter::name");
+            assert!(
+                rendered.contains(&format!("{}=", c.name())),
+                "counter '{}' missing from render_counters output",
+                c.name()
+            );
+            assert!(
+                design.contains(&format!("`{}`", c.name())),
+                "counter '{}' missing from the DESIGN.md §7 glossary",
+                c.name()
+            );
+        }
     }
 
     #[test]
@@ -423,6 +915,30 @@ mod tests {
 
         let counters = render_counters(std::slice::from_ref(&v));
         assert!(counters.contains("cas_retries=2"));
+
+        let spans = render_span_summary(&v);
+        assert!(spans.starts_with("spans: 2 recorded, 0 dropped, max depth 1"), "{spans}");
+        assert!(spans.contains("peel-cascade"));
+
+        let hists = render_histograms(&v);
+        assert!(hists.contains("histogram"));
+        assert!(hists.contains("peel-cascade"));
+        assert!(hists.contains("us"), "nanos shown as microseconds");
+
+        let alloc = render_alloc(&v);
+        assert!(alloc.contains("1234 allocations"), "{alloc}");
+        assert!(alloc.contains("1.00 MiB"), "{alloc}");
+
+        let empty = TraceView {
+            spans: Vec::new(),
+            spans_dropped: 0,
+            histograms: Vec::new(),
+            alloc: None,
+            ..v.clone()
+        };
+        assert_eq!(render_span_summary(&empty), "");
+        assert_eq!(render_histograms(&empty), "");
+        assert_eq!(render_alloc(&empty), "");
 
         let matrix = render_matrix(
             "dataset",

@@ -1,0 +1,184 @@
+//! Hierarchical span trees for the flight recorder.
+//!
+//! Every [`crate::span`] guard (and every explicit [`crate::record_span`])
+//! appends one node to the calling thread's span log: phase, parent (the
+//! innermost span open on the same thread at open time), start offset from
+//! `begin_trace`, and duration. Nodes from all threads are flattened into a
+//! single [`TraceSpan`] vector at flush, with parent links remapped to global
+//! indices — a forest, one tree per outermost span per thread.
+//!
+//! The log is bounded ([`MAX_SPANS_PER_THREAD`]); past the cap, spans still
+//! time their flat phase buckets but stop growing the tree, and the dropped
+//! count is carried into the trace so truncation is visible, never silent.
+
+/// Hard cap on tree nodes per thread per trace (~48 MiB worst case across a
+/// 16-thread pool). Flat phase totals keep accumulating past the cap.
+pub const MAX_SPANS_PER_THREAD: usize = 1 << 20;
+
+/// Sentinel duration marking a span that has been opened but not yet closed.
+pub(crate) const OPEN_SENTINEL: u64 = u64::MAX;
+
+/// One node recorded in a thread-local span log. Parent indices are local to
+/// the owning thread's log until [`flatten`] remaps them.
+#[derive(Debug, Clone)]
+pub(crate) struct LocalSpan {
+    pub(crate) phase: crate::Phase,
+    pub(crate) parent: Option<u32>,
+    pub(crate) start_nanos: u64,
+    pub(crate) dur_nanos: u64,
+}
+
+/// A thread's span log for the current trace, plus its truncation count.
+#[derive(Debug, Default)]
+pub(crate) struct SpanLog {
+    pub(crate) nodes: Vec<LocalSpan>,
+    pub(crate) dropped: u64,
+}
+
+impl SpanLog {
+    pub(crate) fn reset(&mut self) {
+        self.nodes.clear();
+        self.dropped = 0;
+    }
+}
+
+/// One completed span in a flushed trace. `parent` is a global index into the
+/// trace's span vector; spans from the same thread are contiguous and
+/// parents always precede children.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Flush-order index of the recording thread's shard (not an OS tid).
+    pub thread: u32,
+    /// Phase name (one of [`crate::Phase::name`]'s values).
+    pub phase: &'static str,
+    /// Global index of the enclosing span, `None` for roots.
+    pub parent: Option<u32>,
+    /// Nanoseconds from `begin_trace` to span open.
+    pub start_nanos: u64,
+    /// Nanoseconds from span open to span close.
+    pub dur_nanos: u64,
+}
+
+/// Flatten per-thread span logs into one global vector, remapping local
+/// parent indices by each thread's base offset. Unclosed spans (duration
+/// still [`OPEN_SENTINEL`]) are skipped; because children close before their
+/// parents, skipping an open span never orphans a closed child.
+pub(crate) fn flatten<'a>(logs: impl Iterator<Item = &'a SpanLog>) -> (Vec<TraceSpan>, u64) {
+    let mut out = Vec::new();
+    let mut dropped = 0u64;
+    for (thread, log) in logs.enumerate() {
+        dropped += log.dropped;
+        // Remap: local index -> global index (u32::MAX for skipped/open).
+        let mut remap = vec![u32::MAX; log.nodes.len()];
+        for (local, node) in log.nodes.iter().enumerate() {
+            if node.dur_nanos == OPEN_SENTINEL {
+                dropped += 1;
+                continue;
+            }
+            let parent = node.parent.and_then(|p| {
+                let g = remap[p as usize];
+                (g != u32::MAX).then_some(g)
+            });
+            remap[local] = out.len() as u32;
+            out.push(TraceSpan {
+                thread: thread as u32,
+                phase: node.phase.name(),
+                parent,
+                start_nanos: node.start_nanos,
+                dur_nanos: node.dur_nanos,
+            });
+        }
+    }
+    (out, dropped)
+}
+
+/// Self time per span: duration minus the summed durations of direct
+/// children (clamped at zero in case of clock-granularity overshoot). Works
+/// on any span slice whose parents precede children, which [`flatten`]
+/// guarantees.
+pub fn self_times(spans: &[TraceSpan]) -> Vec<u64> {
+    let mut child_nanos = vec![0u64; spans.len()];
+    for s in spans {
+        if let Some(p) = s.parent {
+            child_nanos[p as usize] = child_nanos[p as usize].saturating_add(s.dur_nanos);
+        }
+    }
+    spans.iter().zip(&child_nanos).map(|(s, &c)| s.dur_nanos.saturating_sub(c)).collect()
+}
+
+/// Depth of each span (roots are depth 0), plus the maximum depth.
+pub fn depths(spans: &[TraceSpan]) -> (Vec<u32>, u32) {
+    let mut depth = vec![0u32; spans.len()];
+    let mut max = 0u32;
+    for (i, s) in spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            depth[i] = depth[p as usize] + 1;
+            max = max.max(depth[i]);
+        }
+    }
+    (depth, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Phase;
+
+    fn local(phase: Phase, parent: Option<u32>, start: u64, dur: u64) -> LocalSpan {
+        LocalSpan { phase, parent, start_nanos: start, dur_nanos: dur }
+    }
+
+    #[test]
+    fn flatten_remaps_parents_across_threads() {
+        let t0 = SpanLog {
+            nodes: vec![local(Phase::Init, None, 0, 100), local(Phase::Sweep, Some(0), 10, 50)],
+            dropped: 0,
+        };
+        let t1 = SpanLog {
+            nodes: vec![local(Phase::Cascade, None, 5, 80), local(Phase::Compact, Some(0), 20, 30)],
+            dropped: 2,
+        };
+        let (spans, dropped) = flatten([&t0, &t1].into_iter());
+        assert_eq!(dropped, 2);
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].thread, 1);
+        assert_eq!(spans[2].parent, None);
+        assert_eq!(spans[3].parent, Some(2), "thread-1 parent remapped by base offset");
+    }
+
+    #[test]
+    fn flatten_skips_open_spans_and_counts_them() {
+        let t0 = SpanLog {
+            nodes: vec![
+                local(Phase::Init, None, 0, OPEN_SENTINEL),
+                local(Phase::Sweep, Some(0), 10, 50),
+            ],
+            dropped: 0,
+        };
+        let (spans, dropped) = flatten([&t0].into_iter());
+        assert_eq!(dropped, 1);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].phase, Phase::Sweep.name());
+        assert_eq!(spans[0].parent, None, "open parent link severed, child kept as root");
+    }
+
+    #[test]
+    fn self_times_subtract_direct_children() {
+        let t0 = SpanLog {
+            nodes: vec![
+                local(Phase::Init, None, 0, 100),
+                local(Phase::Sweep, Some(0), 10, 30),
+                local(Phase::Apply, Some(0), 50, 40),
+                local(Phase::Frontier, Some(2), 60, 25),
+            ],
+            dropped: 0,
+        };
+        let (spans, _) = flatten([&t0].into_iter());
+        let own = self_times(&spans);
+        assert_eq!(own, vec![30, 30, 15, 25]);
+        let (depth, max) = depths(&spans);
+        assert_eq!(depth, vec![0, 1, 1, 2]);
+        assert_eq!(max, 2);
+    }
+}

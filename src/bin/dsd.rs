@@ -16,9 +16,16 @@ use std::process::ExitCode;
 use dsd_core::uds::iterate::CertifyMode;
 use scalable_dsd::{run_dds, run_uds, DdsAlgorithm, UdsAlgorithm};
 
+// The CLI is where allocation accounting lives: traces produced by `dsd`
+// (notably `dsd profile`) carry real alloc/peak-live numbers, while the
+// benchmark binaries keep the system allocator so committed timing ratios
+// stay free of accounting overhead.
+#[global_allocator]
+static ALLOC: dsd_telemetry::alloc::CountingAlloc = dsd_telemetry::alloc::CountingAlloc::new();
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)"
+        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd profile --input FILE [--algo ALGO] [--directed] [--threads N]\n            [--trace FILE] [--chrome FILE] [--folded FILE]\n            (runs one engine under the flight recorder: prints the phase /\n             span / histogram / allocation summary, and optionally writes\n             the dsd-trace/v2 JSON, a chrome://tracing trace-event file,\n             and flamegraph-ready folded stacks)\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)"
     );
     ExitCode::from(2)
 }
@@ -70,6 +77,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "uds" => cmd_uds(&flags),
         "dds" => cmd_dds(&flags),
+        "profile" => cmd_profile(&flags),
         "gen" => cmd_gen(&flags),
         "stats" => cmd_stats(&flags),
         "decompose" => cmd_decompose(&flags),
@@ -120,9 +128,9 @@ fn certificate_line(c: &dsd_core::uds::iterate::Certificate) -> String {
     }
 }
 
-fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
-    let input = flags.get("input").ok_or("--input is required")?;
-    let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+/// Parses the UDS algorithm selection plus its tuning flags (`--epsilon`,
+/// `--iterations`/`--iters`, `--certify`), shared by `uds` and `profile`.
+fn parse_uds_algo(flags: &HashMap<String, String>) -> Result<UdsAlgorithm, String> {
     let epsilon: f64 = get_parsed(flags, "epsilon", 0.5)?;
     // `--iters` is the iterative-engine spelling; it wins over `--iterations`.
     let iterations: usize = match flags.contains_key("iters") {
@@ -132,19 +140,50 @@ fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
     let certify = parse_certify(flags)?;
     // The iterative engine's ε defaults to the certified 1% gap, not PBU's 0.5.
     let gap_epsilon: f64 = get_parsed(flags, "epsilon", 0.01)?;
-    let algo = match flags.get("algo").map(String::as_str).unwrap_or("pkmc") {
-        "pkmc" => UdsAlgorithm::Pkmc,
-        "local" => UdsAlgorithm::Local,
-        "pkc" => UdsAlgorithm::Pkc,
-        "charikar" => UdsAlgorithm::Charikar,
-        "pbu" => UdsAlgorithm::Pbu { epsilon },
-        "pfw" => UdsAlgorithm::Pfw { iterations },
-        "bsk" => UdsAlgorithm::Bsk,
-        "greedypp" => UdsAlgorithm::GreedyPP { iterations, epsilon: gap_epsilon, certify },
-        "fista" => UdsAlgorithm::Fista { iterations, epsilon: gap_epsilon, certify },
-        "exact" => UdsAlgorithm::Exact,
-        other => return Err(format!("unknown UDS algorithm {other}")),
+    match flags.get("algo").map(String::as_str).unwrap_or("pkmc") {
+        "pkmc" => Ok(UdsAlgorithm::Pkmc),
+        "local" => Ok(UdsAlgorithm::Local),
+        "pkc" => Ok(UdsAlgorithm::Pkc),
+        "charikar" => Ok(UdsAlgorithm::Charikar),
+        "pbu" => Ok(UdsAlgorithm::Pbu { epsilon }),
+        "pfw" => Ok(UdsAlgorithm::Pfw { iterations }),
+        "bsk" => Ok(UdsAlgorithm::Bsk),
+        "greedypp" => Ok(UdsAlgorithm::GreedyPP { iterations, epsilon: gap_epsilon, certify }),
+        "fista" => Ok(UdsAlgorithm::Fista { iterations, epsilon: gap_epsilon, certify }),
+        "exact" => Ok(UdsAlgorithm::Exact),
+        other => Err(format!("unknown UDS algorithm {other}")),
+    }
+}
+
+/// Parses the DDS algorithm selection, shared by `dds` and `profile`.
+fn parse_dds_algo(flags: &HashMap<String, String>) -> Result<DdsAlgorithm, String> {
+    let iterations: usize = get_parsed(flags, "iterations", 100)?;
+    match flags.get("algo").map(String::as_str).unwrap_or("pwc") {
+        "pwc" => Ok(DdsAlgorithm::Pwc),
+        "pxy" => Ok(DdsAlgorithm::Pxy),
+        "pbd" => Ok(DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 }),
+        "pfks" => Ok(DdsAlgorithm::Pfks),
+        "pbs" => Ok(DdsAlgorithm::Pbs { max_rounds: Some(10_000) }),
+        "pfw" => Ok(DdsAlgorithm::Pfw { iterations }),
+        "greedypp" => Ok(DdsAlgorithm::GreedyPP {
+            iterations,
+            certify_exact: flags.get("certify").map(String::as_str) == Some("exact"),
+        }),
+        "exact" => Ok(DdsAlgorithm::Exact),
+        other => Err(format!("unknown DDS algorithm {other}")),
+    }
+}
+
+fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+    let iterations: usize = match flags.contains_key("iters") {
+        true => get_parsed(flags, "iters", 100)?,
+        false => get_parsed(flags, "iterations", 100)?,
     };
+    let certify = parse_certify(flags)?;
+    let gap_epsilon: f64 = get_parsed(flags, "epsilon", 0.01)?;
+    let algo = parse_uds_algo(flags)?;
     let trace_path = flags.get("trace");
     if trace_path.is_some() {
         dsd_telemetry::set_enabled(true);
@@ -195,21 +234,7 @@ fn cmd_uds(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_dds(flags: &HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("--input is required")?;
     let g = dsd_graph::io::read_directed_path(input).map_err(|e| e.to_string())?;
-    let iterations: usize = get_parsed(flags, "iterations", 100)?;
-    let algo = match flags.get("algo").map(String::as_str).unwrap_or("pwc") {
-        "pwc" => DdsAlgorithm::Pwc,
-        "pxy" => DdsAlgorithm::Pxy,
-        "pbd" => DdsAlgorithm::Pbd { delta: 2.0, epsilon: 1.0 },
-        "pfks" => DdsAlgorithm::Pfks,
-        "pbs" => DdsAlgorithm::Pbs { max_rounds: Some(10_000) },
-        "pfw" => DdsAlgorithm::Pfw { iterations },
-        "greedypp" => DdsAlgorithm::GreedyPP {
-            iterations,
-            certify_exact: flags.get("certify").map(String::as_str) == Some("exact"),
-        },
-        "exact" => DdsAlgorithm::Exact,
-        other => return Err(format!("unknown DDS algorithm {other}")),
-    };
+    let algo = parse_dds_algo(flags)?;
     let r = with_threads(flags, || run_dds(&g, algo))?;
     println!(
         "graph: |V|={} |E|={}\nalgorithm: {algo:?}\ndensity: {:.6}\n|S|={} |T|={}\niterations: {}\ntime: {:.3?}",
@@ -223,6 +248,68 @@ fn cmd_dds(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     if flags.contains_key("print-vertices") {
         println!("S: {:?}\nT: {:?}", r.s, r.t);
+    }
+    Ok(())
+}
+
+/// Runs one engine under the full flight recorder — spans, histograms, and
+/// allocation accounting — then prints the summary and optionally exports
+/// the `dsd-trace/v2` JSON, a chrome://tracing trace-event file, and
+/// flamegraph-ready folded stacks.
+///
+/// Graph ingest happens *inside* the trace so the IO/ingest spans are part
+/// of the recorded tree, unlike `dsd uds --trace` which only traces the
+/// decomposition itself.
+fn cmd_profile(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let directed = flags.contains_key("directed");
+    dsd_telemetry::set_enabled(true);
+    dsd_telemetry::begin_trace(&format!("profile/{input}"));
+    let (density, size) = if directed {
+        let algo = parse_dds_algo(flags)?;
+        let g = dsd_graph::io::read_directed_path(input).map_err(|e| e.to_string())?;
+        let r = with_threads(flags, || run_dds(&g, algo))?;
+        println!("graph: |V|={} |E|={}\nalgorithm: {algo:?}", g.num_vertices(), g.num_edges());
+        (r.density, r.s.len() + r.t.len())
+    } else {
+        let algo = parse_uds_algo(flags)?;
+        let g = dsd_graph::io::read_undirected_path(input).map_err(|e| e.to_string())?;
+        let r = with_threads(flags, || run_uds(&g, algo))?;
+        println!("graph: |V|={} |E|={}\nalgorithm: {algo:?}", g.num_vertices(), g.num_edges());
+        (r.density, r.vertices.len())
+    };
+    let trace = dsd_telemetry::end_trace().ok_or("telemetry trace unavailable")?;
+    println!("density: {density:.6}\nsubgraph size: {size} vertices");
+
+    let views = vec![dsd_telemetry::report::view(&trace)];
+    println!();
+    print!("{}", dsd_telemetry::report::render_phase_table(&views));
+    println!();
+    print!("{}", dsd_telemetry::report::render_span_summary(&views[0]));
+    let hists = dsd_telemetry::report::render_histograms(&views[0]);
+    if !hists.is_empty() {
+        println!();
+        print!("{hists}");
+    }
+    let alloc = dsd_telemetry::report::render_alloc(&views[0]);
+    if !alloc.is_empty() {
+        println!();
+        print!("{alloc}");
+    }
+
+    if let Some(path) = flags.get("trace") {
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {path}");
+    }
+    if let Some(path) = flags.get("chrome") {
+        std::fs::write(path, dsd_telemetry::export::chrome_trace_json(&trace))
+            .map_err(|e| e.to_string())?;
+        println!("chrome trace: {path} (load via chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = flags.get("folded") {
+        std::fs::write(path, dsd_telemetry::export::folded_stacks(&trace))
+            .map_err(|e| e.to_string())?;
+        println!("folded stacks: {path} (feed to flamegraph.pl)");
     }
     Ok(())
 }
@@ -340,7 +427,7 @@ fn cmd_decompose(flags: &HashMap<String, String>) -> Result<(), String> {
 /// gaps between sorted neighbor ids, and degree clustering shrinks the gaps
 /// around the hubs) unless `--no-reorder` is given; the achieved bytes/edge
 /// is printed and, with `--trace FILE`, recorded alongside the encode phase
-/// timings in a `dsd-trace/v1` JSON file.
+/// timings in a `dsd-trace/v2` JSON file.
 fn cmd_pack(flags: &HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("--input is required")?;
     let out = flags.get("out").ok_or("--out is required")?;

@@ -4,17 +4,20 @@
 //! trace_report FILE... [--rounds N] [--no-counters]
 //! ```
 //!
-//! Each `FILE` is either a raw `dsd-trace/v1` document (one trace), a
-//! `dsd-telemetry-section/v1` object (`{"traces": [...]}`), or a
-//! `bench_report --trace` output whose `telemetry` key holds such a
-//! section. Every trace is validated against the schema before anything
-//! is rendered — a malformed file exits non-zero with a field-level
-//! error, which is how CI guards the trace JSON contract.
+//! Each `FILE` is either a raw `dsd-trace/v2` (or legacy `dsd-trace/v1`)
+//! document (one trace), a `dsd-telemetry-section/v1` object
+//! (`{"traces": [...]}`), or a `bench_report --trace` output whose
+//! `telemetry` key holds such a section. Every trace is validated against
+//! the schema before anything is rendered — a malformed file exits
+//! non-zero with a field-level error, which is how CI guards the trace
+//! JSON contract.
 //!
 //! Output: one phase-breakdown summary table across all traces (the
 //! Table 6-style "where did the time go" view), the non-zero engine
-//! counters, and a per-round curve per trace (the Table 7-style
-//! shrinking-graph view). `--rounds N` caps the curve rows per trace
+//! counters, a per-round curve per trace (the Table 7-style
+//! shrinking-graph view), and — for v2 traces that carry them — the span
+//! tree summary, log-bucketed histograms, and allocation accounting of
+//! the flight recorder. `--rounds N` caps the curve rows per trace
 //! (default 8, the middle of longer traces is elided; 0 disables the
 //! curves entirely).
 
@@ -22,7 +25,8 @@ use std::process::ExitCode;
 
 use dsd_telemetry::json::{self, Value};
 use dsd_telemetry::report::{
-    render_counters, render_phase_table, render_round_curve, view_from_json, TraceView,
+    render_alloc, render_counters, render_histograms, render_phase_table, render_round_curve,
+    render_span_summary, view_from_json, TraceView,
 };
 
 fn usage() -> ExitCode {
@@ -37,7 +41,8 @@ fn trace_values(doc: &Value) -> Result<Vec<&Value>, String> {
     let section = match obj.get("telemetry") {
         // A bench report without --trace has no telemetry key (or null).
         Some(Value::Null) | None if obj.get("traces").is_none() && obj.get("schema").is_some() => {
-            // Raw trace documents carry "schema": "dsd-trace/v1" and no
+            // Raw trace documents carry "schema": "dsd-trace/v2" (or the
+            // legacy "dsd-trace/v1") and no
             // "traces" array; let the schema validator decide.
             return Ok(vec![doc]);
         }
@@ -112,6 +117,15 @@ fn main() -> ExitCode {
         for v in &views {
             println!();
             print!("{}", render_round_curve(v, rounds));
+        }
+    }
+    // Flight-recorder sections (empty strings for v1 traces without them).
+    for v in &views {
+        for section in [render_span_summary(v), render_histograms(v), render_alloc(v)] {
+            if !section.is_empty() {
+                println!();
+                print!("{section}");
+            }
         }
     }
     ExitCode::SUCCESS

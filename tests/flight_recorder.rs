@@ -1,0 +1,267 @@
+//! Flight-recorder integration tests: span trees, histogram determinism,
+//! allocation accounting, exporter well-formedness, v1/v2 schema
+//! dispatch, and the `trace_report` malformed-input contract.
+//!
+//! This binary installs the counting global allocator, so traces recorded
+//! here carry real allocation numbers — the same configuration the `dsd`
+//! CLI ships with. Like `tests/telemetry_trace.rs`, the recorder is
+//! process-global, so a lock serialises the tests.
+
+use std::io::Write;
+use std::process::Command;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use dsd_core::runner::with_threads;
+use dsd_telemetry::{self as telemetry, DecompositionTrace, Phase};
+
+#[global_allocator]
+static ALLOC: dsd_telemetry::alloc::CountingAlloc = dsd_telemetry::alloc::CountingAlloc::new();
+
+fn recorder_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn traced<R>(label: &str, run: impl FnOnce() -> R) -> (R, DecompositionTrace) {
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+    telemetry::begin_trace(label);
+    let out = run();
+    let trace = telemetry::end_trace().expect("recorder is enabled");
+    telemetry::set_enabled(was_enabled);
+    (out, trace)
+}
+
+#[test]
+fn engine_spans_nest_under_an_enclosing_guard() {
+    // Spans opened while another span is live on the same thread must be
+    // recorded as its children; a real engine run inside a guard hangs
+    // its same-thread spans off that root.
+    let _guard = recorder_lock();
+    let g = dsd_graph::gen::chung_lu(400, 2_500, 2.3, 19);
+    let (_, t) = traced("nesting", || {
+        let _outer = telemetry::span(Phase::Init);
+        dsd_core::uds::pkmc::pkmc(&g)
+    });
+    assert!(t.spans_dropped == 0, "no spans may be dropped at this scale");
+    let roots = t.spans.iter().filter(|s| s.parent.is_none()).count();
+    let children = t.spans.iter().filter(|s| s.parent.is_some()).count();
+    assert!(roots >= 1, "the enclosing guard must be a root span");
+    assert!(children > 0, "engine spans on the guard's thread must be its children");
+    // Parent indices precede their children (the flatten contract the
+    // schema validator enforces on the JSON side).
+    for (i, s) in t.spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            assert!((p as usize) < i, "span {i} has a forward parent {p}");
+            assert!(
+                t.spans[p as usize].start_nanos <= s.start_nanos,
+                "child {i} starts before its parent"
+            );
+        }
+    }
+}
+
+#[test]
+fn round_shape_histograms_identical_at_pools_1_2_4() {
+    // The acceptance datum: on a deterministic engine, the round-shape
+    // histograms (`round/*`, unit "count") must be bit-identical —
+    // same keys, same bucket vectors, same sums — across pool sizes.
+    let _guard = recorder_lock();
+    let base = dsd_graph::gen::chung_lu(700, 5_000, 2.3, 23);
+    let g = dsd_graph::gen::attach_filaments(&base, 3, 50, 24);
+
+    let mut reference: Option<Vec<(String, u64, u64, Vec<(usize, u64)>)>> = None;
+    for &p in &[1usize, 2, 4] {
+        let (_, t) = traced(&format!("hist_parity/p{p}"), || {
+            with_threads(p, || dsd_core::uds::local::local_decomposition(&g))
+        });
+        let shape: Vec<(String, u64, u64, Vec<(usize, u64)>)> = t
+            .histograms
+            .iter()
+            .filter(|h| h.unit == "count")
+            .map(|h| {
+                (
+                    h.key.to_string(),
+                    h.hist.count(),
+                    h.hist.sum(),
+                    h.hist.nonzero_buckets().collect(),
+                )
+            })
+            .collect();
+        assert!(!shape.is_empty(), "pool {p}: sweep run must record round-shape histograms");
+        match &reference {
+            None => reference = Some(shape),
+            Some(r) => assert_eq!(&shape, r, "pool {p}: round-shape histograms diverged"),
+        }
+    }
+}
+
+#[test]
+fn alloc_accounting_is_live_in_this_binary() {
+    // The global counting allocator is installed above, so traces must
+    // carry an alloc section with non-trivial numbers: building a graph
+    // inside the trace forces heap traffic.
+    let _guard = recorder_lock();
+    let (_, t) = traced("alloc", || {
+        let g = dsd_graph::gen::chung_lu(600, 4_000, 2.4, 29);
+        dsd_core::uds::pkmc::pkmc(&g)
+    });
+    let a = t.alloc.as_ref().expect("counting allocator is installed in this test binary");
+    assert!(a.allocs > 0, "graph build inside the trace must allocate");
+    assert!(a.bytes_allocated > 0);
+    assert!(a.peak_live_bytes > 0, "peak live high-water must be tracked");
+    #[cfg(target_os = "linux")]
+    assert!(
+        a.peak_rss_bytes.is_some_and(|r| r >= 1 << 20),
+        "peak RSS sampling must read VmHWM on Linux"
+    );
+}
+
+#[test]
+fn exporters_emit_wellformed_chrome_and_folded_output() {
+    use dsd_telemetry::export::{chrome_trace_json, folded_stacks};
+    use dsd_telemetry::json::{self, Value};
+
+    let _guard = recorder_lock();
+    let g = dsd_graph::gen::chung_lu(400, 2_500, 2.5, 37);
+    let (_, t) = traced("export", || dsd_core::uds::pkmc::pkmc(&g));
+
+    // chrome://tracing: a JSON object with a non-empty traceEvents array
+    // whose complete events carry name/ph/ts/dur/pid/tid.
+    let chrome = json::parse(&chrome_trace_json(&t)).expect("chrome trace must be valid JSON");
+    let events = chrome
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.as_object().and_then(|o| o.get("ph")).and_then(Value::as_str) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), t.spans.len(), "one X event per span");
+    for e in &complete {
+        let o = e.as_object().expect("event object");
+        for key in ["name", "ts", "dur", "pid", "tid"] {
+            assert!(o.get(key).is_some(), "X event missing {key}");
+        }
+    }
+
+    // Folded stacks: `path weight` per line, total weight bounded by the
+    // summed span durations (self-time never exceeds wall).
+    let folded = folded_stacks(&t);
+    assert!(!folded.is_empty());
+    let mut total: u64 = 0;
+    for line in folded.lines() {
+        let (path, weight) = line.rsplit_once(' ').expect("folded line has a weight");
+        assert!(!path.is_empty());
+        total += weight.parse::<u64>().expect("weight parses as u64");
+    }
+    let dur_sum: u64 = t.spans.iter().map(|s| s.dur_nanos).sum();
+    assert!(total <= dur_sum, "folded self-time {total} exceeds span time {dur_sum}");
+}
+
+#[test]
+fn v1_and_v2_documents_dispatch_through_one_parser() {
+    use dsd_telemetry::json;
+    use dsd_telemetry::report::view_from_json;
+
+    let _guard = recorder_lock();
+    // A real v2 trace round-trips with its recorder sections intact.
+    let g = dsd_graph::gen::chung_lu(300, 1_800, 2.4, 41);
+    let (_, t) = traced("dispatch", || dsd_core::uds::pkmc::pkmc(&g));
+    let doc = json::parse(&t.to_json()).expect("trace JSON parses");
+    let v2 = view_from_json(&doc).expect("v2 document validates");
+    assert!(!v2.spans.is_empty());
+    assert!(!v2.histograms.is_empty());
+    assert!(v2.alloc.is_some(), "allocator is installed, so v2 carries alloc stats");
+
+    // A handcrafted v1 document still parses, with empty recorder fields.
+    let v1_text = format!(
+        "{{\"schema\":\"{}\",\"label\":\"legacy\",\"threads\":1,\"wall_secs\":0.5,\
+         \"rounds\":[],\"counters\":{{}},\"phase_totals\":[]}}",
+        dsd_telemetry::TRACE_SCHEMA_V1
+    );
+    let v1 = view_from_json(&json::parse(&v1_text).expect("v1 JSON parses"))
+        .expect("v1 document validates");
+    assert!(v1.spans.is_empty() && v1.histograms.is_empty() && v1.alloc.is_none());
+
+    // An unknown schema is rejected with the schema named.
+    let bad = v1_text.replace("dsd-trace/v1", "dsd-trace/v9");
+    let err = view_from_json(&json::parse(&bad).expect("parses")).unwrap_err();
+    assert!(err.contains("dsd-trace/v9"), "error must name the offending schema: {err}");
+}
+
+fn trace_report_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_report"))
+}
+
+#[test]
+fn trace_report_rejects_malformed_input_with_a_diagnostic() {
+    // Satellite contract: truncated or garbage input exits non-zero with
+    // a one-line diagnostic on stderr — never a panic (no backtrace).
+    let dir = std::env::temp_dir();
+    let stamp = std::process::id();
+
+    // A truncated (mid-document) trace file.
+    let truncated = dir.join(format!("dsd-fr-truncated-{stamp}.json"));
+    let full = format!(
+        "{{\"schema\":\"{}\",\"label\":\"cut\",\"threads\":1,\"wall_secs\":0.1,\"rounds\":[",
+        dsd_telemetry::TRACE_SCHEMA
+    );
+    std::fs::write(&truncated, &full[..full.len() - 4]).unwrap();
+
+    // Non-UTF8 binary garbage.
+    let garbage = dir.join(format!("dsd-fr-garbage-{stamp}.bin"));
+    let mut f = std::fs::File::create(&garbage).unwrap();
+    f.write_all(&[0xFF, 0xFE, 0x00, 0x80, 0xC3, 0x28, 0x01, 0x02]).unwrap();
+    drop(f);
+
+    // A structurally-valid document with a broken v2 section.
+    let bad_field = dir.join(format!("dsd-fr-badfield-{stamp}.json"));
+    std::fs::write(
+        &bad_field,
+        format!(
+            "{{\"schema\":\"{}\",\"label\":\"x\",\"threads\":1,\"wall_secs\":0.1,\
+             \"rounds\":[],\"counters\":{{}},\"phase_totals\":[],\
+             \"spans\":[{{\"thread\":0,\"phase\":\"init\",\"parent\":7,\
+             \"start_nanos\":0,\"dur_nanos\":1}}],\"spans_dropped\":0,\
+             \"histograms\":[],\"alloc\":null}}",
+            dsd_telemetry::TRACE_SCHEMA
+        ),
+    )
+    .unwrap();
+
+    for path in [&truncated, &garbage, &bad_field] {
+        let out = trace_report_bin().arg(path).output().expect("trace_report runs");
+        assert!(!out.status.success(), "{} must exit non-zero", path.display());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.starts_with("trace_report:"),
+            "{}: diagnostic must be a one-line trace_report error, got: {stderr}",
+            path.display()
+        );
+        assert!(!stderr.contains("panicked"), "{}: must not panic: {stderr}", path.display());
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn trace_report_renders_v2_recorder_sections() {
+    // End to end through the CLI: a v2 trace written by the recorder is
+    // accepted and its span/histogram sections appear in the output.
+    let _guard = recorder_lock();
+    let g = dsd_graph::gen::chung_lu(300, 1_800, 2.3, 43);
+    let (_, t) = traced("cli_render", || dsd_core::uds::pkmc::pkmc(&g));
+    let path = std::env::temp_dir().join(format!("dsd-fr-v2-{}.json", std::process::id()));
+    std::fs::write(&path, t.to_json()).unwrap();
+    let out = trace_report_bin().arg(&path).output().expect("trace_report runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("spans:"), "span summary missing:\n{stdout}");
+    assert!(stdout.contains("histogram"), "histogram table missing:\n{stdout}");
+    assert!(stdout.contains("alloc:"), "alloc line missing:\n{stdout}");
+}

@@ -154,7 +154,7 @@ fn traces_survive_the_json_pipeline() {
     let (r, t) = traced("json_round_trip", || dsd_core::uds::pkmc::pkmc(&g));
 
     let doc = json::parse(&t.to_json()).expect("trace JSON parses");
-    let from_json = view_from_json(&doc).expect("trace JSON validates against dsd-trace/v1");
+    let from_json = view_from_json(&doc).expect("trace JSON validates against dsd-trace/v2");
     let direct = view(&t);
     assert_eq!(from_json.rounds.len(), direct.rounds.len());
     assert_eq!(from_json.total_removed(), direct.total_removed());
