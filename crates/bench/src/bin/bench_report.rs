@@ -58,6 +58,9 @@ use dsd_core::dds::winduced::{
     w_decomposition_in, w_decomposition_legacy, w_star_decomposition_in,
     w_star_decomposition_legacy, WDecomposition,
 };
+use dsd_core::dynamic::{
+    scratch_directed, scratch_undirected, DynamicDirectedState, DynamicUndirectedState,
+};
 use dsd_core::runner::with_threads;
 use dsd_core::uds::local::{
     local_decomposition_async_in, local_decomposition_frontier_in, local_decomposition_in,
@@ -65,7 +68,8 @@ use dsd_core::uds::local::{
 };
 use dsd_core::uds::pkmc::{pkmc_in, PkmcConfig};
 use dsd_core::uds::sweep::{SweepMode, SweepWorkspace};
-use dsd_graph::UndirectedGraph;
+use dsd_graph::delta::{apply_directed, apply_undirected, DeltaBatch};
+use dsd_graph::{DirectedGraph, UndirectedGraph, VertexId};
 use serde::Serialize;
 
 /// One timed kernel/algorithm entry.
@@ -858,6 +862,244 @@ fn flow_section(scale: f64, reps: usize) -> FlowSection {
     }
 }
 
+/// One batch-size measurement of the incremental engine: the timed
+/// `apply_batch` vs the from-scratch decomposition of the updated graph.
+#[derive(Serialize)]
+struct DynamicPoint {
+    graph: &'static str,
+    directed: bool,
+    /// Requested batch size (`inserts`/`removes` record what the churn
+    /// sampler actually found room for on small smoke graphs).
+    batch: usize,
+    inserts: usize,
+    removes: usize,
+    update_best_secs: f64,
+    scratch_best_secs: f64,
+    /// `scratch_best / update_best` for this point.
+    speedup: f64,
+    /// Maintenance frontier of the update: seeded vertices (undirected)
+    /// or re-peeled edges (directed).
+    frontier: usize,
+}
+
+#[derive(Serialize)]
+struct DynamicParity {
+    /// Batched core vectors bit-identical to from-scratch recomputation
+    /// at every pool size tried, on both undirected benchmarks.
+    undirected_identical_across_pools: bool,
+    /// Batched induce-numbers and `w*` bit-identical to from-scratch at
+    /// every pool size tried, on both directed benchmarks.
+    directed_identical_across_pools: bool,
+    pool_sizes: Vec<usize>,
+}
+
+/// The PR-9 dynamic section: frontier-bounded batch updates vs
+/// from-scratch recomputation across batch sizes.
+#[derive(Serialize)]
+struct DynamicSection {
+    batch_sizes: Vec<usize>,
+    points: Vec<DynamicPoint>,
+    /// `scratch_best / update_best` at batch=10 on the undirected
+    /// filament graph — the PR-9 acceptance headline (target >= 3).
+    speedup_batch10_filament: f64,
+    parity: DynamicParity,
+}
+
+/// Deterministic churn batch for the dynamic benchmarks: `size` removes
+/// sampled from existing edges plus `size` inserts sampled from absent
+/// pairs (both capped by what the graph has room for). `directed` keeps
+/// arc orientation; undirected pairs are canonical `u < v`.
+fn churn_batch(
+    edges: &[(VertexId, VertexId)],
+    n: usize,
+    has_edge: impl Fn(VertexId, VertexId) -> bool,
+    directed: bool,
+    size: usize,
+    seed: u64,
+) -> DeltaBatch {
+    let mut x = seed | 1;
+    let mut next = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 11
+    };
+    let mut removes = Vec::new();
+    if !edges.is_empty() {
+        // Cap removals at a quarter of the graph so the biggest batches
+        // still leave a recognisable benchmark behind.
+        let want = size.min(edges.len() / 4).max(1);
+        let mut i = next() as usize % edges.len();
+        let mut steps = 0;
+        while removes.len() < want && steps < 4 * edges.len() + size {
+            steps += 1;
+            let e = edges[i % edges.len()];
+            if !removes.contains(&e) {
+                removes.push(e);
+            }
+            i += 1;
+        }
+    }
+    let mut inserts = Vec::new();
+    let mut tries = 0;
+    while inserts.len() < size && tries < 50 * size + 200 {
+        tries += 1;
+        let u = (next() % n as u64) as VertexId;
+        let v = (next() % n as u64) as VertexId;
+        let (a, b) = if directed || u < v { (u, v) } else { (v, u) };
+        if a == b || has_edge(a, b) || inserts.contains(&(a, b)) {
+            continue;
+        }
+        inserts.push((a, b));
+    }
+    DeltaBatch::new(inserts, removes).expect("churn batch is non-empty and valid")
+}
+
+/// Times and parity-checks the PR-9 incremental engine: `apply_batch`
+/// latency (state pre-built, each rep restored by applying the inverse
+/// batch untimed) against the from-scratch decomposition of the updated
+/// graph, across batch sizes, on the filament and plain power-law
+/// benchmarks in both orientations. Parity (batched == scratch at pool
+/// sizes 1/2/4) is asserted, so a divergence aborts the run.
+fn dynamic_section(
+    g: &UndirectedGraph,
+    power: &UndirectedGraph,
+    d: &DirectedGraph,
+    df: &DirectedGraph,
+    reps: usize,
+) -> DynamicSection {
+    let batch_sizes = vec![1usize, 10, 100, 1000];
+    let mut points = Vec::new();
+    let mut headline = 0.0f64;
+
+    for (name, base) in [("filament_chung_lu", g), ("power_law_chung_lu", power)] {
+        let edges: Vec<_> = base.edges().collect();
+        let mut state = DynamicUndirectedState::new(base.clone());
+        for &b in &batch_sizes {
+            let batch = churn_batch(
+                &edges,
+                base.num_vertices(),
+                |u, v| base.has_edge(u, v),
+                false,
+                b,
+                0x9e37 ^ b as u64,
+            );
+            let inverse =
+                DeltaBatch::new(batch.removes().to_vec(), batch.inserts().to_vec()).unwrap();
+            let mut update_best = f64::MAX;
+            let mut frontier = 0;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let out = state.apply_batch(&batch).expect("churn batch applies");
+                update_best = update_best.min(t0.elapsed().as_secs_f64());
+                frontier = out.frontier_size;
+                state.apply_batch(&inverse).expect("inverse batch applies");
+            }
+            let updated = apply_undirected(base, &batch).unwrap();
+            let (scratch_best, _, _) = time_reps(reps, || scratch_undirected(&updated));
+            let speedup = scratch_best.as_secs_f64() / update_best.max(1e-12);
+            if name == "filament_chung_lu" && b == 10 {
+                headline = speedup;
+            }
+            points.push(DynamicPoint {
+                graph: name,
+                directed: false,
+                batch: b,
+                inserts: batch.inserts().len(),
+                removes: batch.removes().len(),
+                update_best_secs: update_best,
+                scratch_best_secs: scratch_best.as_secs_f64(),
+                speedup,
+                frontier,
+            });
+        }
+    }
+
+    for (name, base) in [("directed_chung_lu", d), ("directed_filament_chung_lu", df)] {
+        let edges: Vec<_> = base.edges().collect();
+        let mut state = DynamicDirectedState::new(base.clone());
+        for &b in &batch_sizes {
+            let batch = churn_batch(
+                &edges,
+                base.num_vertices(),
+                |u, v| base.has_edge(u, v),
+                true,
+                b,
+                0x7f4a ^ b as u64,
+            );
+            let inverse =
+                DeltaBatch::new(batch.removes().to_vec(), batch.inserts().to_vec()).unwrap();
+            let mut update_best = f64::MAX;
+            let mut frontier = 0;
+            for _ in 0..reps {
+                let t0 = Instant::now();
+                let out = state.apply_batch(&batch).expect("churn batch applies");
+                update_best = update_best.min(t0.elapsed().as_secs_f64());
+                frontier = out.frontier_size;
+                state.apply_batch(&inverse).expect("inverse batch applies");
+            }
+            let updated = apply_directed(base, &batch).unwrap();
+            let (scratch_best, _, _) = time_reps(reps, || scratch_directed(&updated));
+            points.push(DynamicPoint {
+                graph: name,
+                directed: true,
+                batch: b,
+                inserts: batch.inserts().len(),
+                removes: batch.removes().len(),
+                update_best_secs: update_best,
+                scratch_best_secs: scratch_best.as_secs_f64(),
+                speedup: scratch_best.as_secs_f64() / update_best.max(1e-12),
+                frontier,
+            });
+        }
+    }
+
+    // --- Parity: batched result bit-identical to scratch at every pool
+    // size, batch=10 churn on all four benchmarks. ---
+    let pool_sizes = vec![1usize, 2, 4];
+    let mut undirected_ok = true;
+    let mut directed_ok = true;
+    for base in [g, power] {
+        let edges: Vec<_> = base.edges().collect();
+        let batch =
+            churn_batch(&edges, base.num_vertices(), |u, v| base.has_edge(u, v), false, 10, 0x51);
+        let oracle = scratch_undirected(&apply_undirected(base, &batch).unwrap());
+        for &p in &pool_sizes {
+            let core = with_threads(p, || {
+                let mut st = DynamicUndirectedState::new(base.clone());
+                st.apply_batch(&batch).expect("parity batch applies");
+                st.core_numbers().to_vec()
+            });
+            undirected_ok &= core == oracle;
+        }
+    }
+    for base in [d, df] {
+        let edges: Vec<_> = base.edges().collect();
+        let batch =
+            churn_batch(&edges, base.num_vertices(), |u, v| base.has_edge(u, v), true, 10, 0x52);
+        let oracle = scratch_directed(&apply_directed(base, &batch).unwrap());
+        for &p in &pool_sizes {
+            let (induce, w_star) = with_threads(p, || {
+                let mut st = DynamicDirectedState::new(base.clone());
+                st.apply_batch(&batch).expect("parity batch applies");
+                (st.induce_numbers().to_vec(), st.w_star())
+            });
+            directed_ok &= induce == oracle.induce_number && w_star == oracle.w_star;
+        }
+    }
+    assert!(undirected_ok, "dynamic parity: batched core vector diverged from scratch");
+    assert!(directed_ok, "dynamic parity: batched induce-numbers diverged from scratch");
+
+    DynamicSection {
+        batch_sizes,
+        points,
+        speedup_batch10_filament: headline,
+        parity: DynamicParity {
+            undirected_identical_across_pools: undirected_ok,
+            directed_identical_across_pools: directed_ok,
+            pool_sizes,
+        },
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: &'static str,
@@ -880,6 +1122,8 @@ struct Report {
     iterative: IterativeSection,
     /// Flight-recorder cost disclosure (PR 8).
     observability: ObservabilitySection,
+    /// Incremental decomposition engine figures (PR 9).
+    dynamic: DynamicSection,
     /// End-to-end contributed algorithms.
     end_to_end: Vec<Timing>,
     /// Per-round decomposition traces (`--trace` only): a
@@ -932,6 +1176,15 @@ fn filament_graph(scale: f64) -> UndirectedGraph {
     let base = dsd_graph::gen::chung_lu(n.max(100), m.max(500), 2.3, 42);
     let len = (600.0 * scale.sqrt()) as usize;
     dsd_graph::gen::attach_filaments(&base, 4, len.max(20), 43)
+}
+
+/// Plain power-law benchmark (same body shape as [`filament_graph`] but
+/// without the appended tails) for the dynamic-engine comparison: churn
+/// on the heavy-tailed core without filament artifacts.
+fn power_law_graph(scale: f64) -> UndirectedGraph {
+    let n = (12_000.0 * scale) as usize;
+    let m = (72_000.0 * scale) as usize;
+    dsd_graph::gen::chung_lu(n.max(100), m.max(500), 2.3, 47)
 }
 
 /// Million-edge synthetic raw multiset for the ingest timings: LCG-driven
@@ -1132,7 +1385,7 @@ fn main() {
             if smoke {
                 "BENCH_SMOKE.json".to_string()
             } else {
-                "BENCH_PR8.json".to_string()
+                "BENCH_PR9.json".to_string()
             }
         });
     let scale: f64 = if smoke {
@@ -1144,6 +1397,7 @@ fn main() {
     };
 
     let g = filament_graph(scale);
+    let power = power_law_graph(scale);
     let d = directed_chung_lu_bench(scale);
     let df = directed_filament_bench(scale);
     eprintln!(
@@ -1267,6 +1521,10 @@ fn main() {
     // asserts the < 2% contract and histogram pool invariance). ---
     let observability = observability_section(&g, reps, smoke);
 
+    // --- Incremental decomposition engine (the PR-9 tentpole
+    // measurement; asserts batched == scratch parity internally). ---
+    let dynamic = dynamic_section(&g, &power, &d, &df, reps);
+
     // --- End-to-end contributed algorithms. ---
     let pkmc_t = timing(
         "pkmc_sync",
@@ -1291,14 +1549,20 @@ fn main() {
     let telemetry = trace.then(|| collect_traces(&g, &d, rayon::current_num_threads()));
 
     let report = Report {
-        schema: "dsd-bench-report/v8",
-        pr: 8,
+        schema: "dsd-bench-report/v9",
+        pr: 9,
         graphs: vec![
             GraphMeta {
                 name: "filament_chung_lu",
                 vertices: g.num_vertices(),
                 edges: g.num_edges(),
                 description: "Chung-Lu gamma=2.3 body with 4 long filaments (Table-6 regime)",
+            },
+            GraphMeta {
+                name: "power_law_chung_lu",
+                vertices: power.num_vertices(),
+                edges: power.num_edges(),
+                description: "plain Chung-Lu gamma=2.3 body (dynamic-engine churn target)",
             },
             GraphMeta {
                 name: "directed_chung_lu",
@@ -1323,6 +1587,7 @@ fn main() {
         compression,
         iterative,
         observability,
+        dynamic,
         end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
         telemetry,
         threads: rayon::current_num_threads(),
@@ -1383,6 +1648,17 @@ fn main() {
              ratio (full span/histogram/alloc recording, no contract) alongside, and \
              the round-shape `round/*` histograms asserted bit-identical across pool \
              sizes 1/2/4 on the deterministic sweep engine; \
+             dynamic.speedup_batch10_filament is the PR-9 acceptance headline \
+             (target >= 3): one frontier-bounded batch update (10 inserts + 10 \
+             removes) on the maintained k*-core state of the filament graph vs a \
+             from-scratch synchronous sweep of the updated graph, best-of-{reps} with \
+             the state restored between reps by applying the inverse batch untimed; \
+             batch sizes 1/10/100/1000 on the filament, plain power-law, and both \
+             directed benchmarks reported alongside (directed maintenance freezes \
+             edges above the W* cutoff and re-peels the rest, so hub-heavy churn \
+             can approach a full re-peel by design); batched core vectors and \
+             induce-numbers/w* are asserted bit-identical to from-scratch \
+             recomputation at pool sizes 1/2/4 before the report is written; \
              --trace appends recorder-on runs under the `telemetry` key without \
              touching the timings (dsd-trace/v2 documents, span trees truncated to \
              256 nodes)"
@@ -1511,6 +1787,32 @@ fn main() {
             .is_some_and(|v| v.as_bool() == Some(true)),
         "observability parity flag round_histograms_pool_invariant missing or false"
     );
+    assert!(
+        parsed
+            .pointer("/dynamic/speedup_batch10_filament")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|s| s.is_finite() && s > 0.0),
+        "report schema lost the dynamic headline field"
+    );
+    for flag in ["undirected_identical_across_pools", "directed_identical_across_pools"] {
+        assert!(
+            parsed
+                .pointer(&format!("/dynamic/parity/{flag}"))
+                .is_some_and(|v| v.as_bool() == Some(true)),
+            "dynamic parity flag {flag} missing or false"
+        );
+    }
+    assert!(
+        parsed
+            .pointer("/dynamic/batch_sizes")
+            .and_then(|t| t.as_array())
+            .is_some_and(|t| t.len() == 4),
+        "dynamic section must carry the four batch sizes"
+    );
+    assert!(
+        parsed.pointer("/dynamic/points").and_then(|t| t.as_array()).is_some_and(|t| t.len() == 16),
+        "dynamic section must carry 4 batch sizes x 4 benchmarks"
+    );
     if report.telemetry.is_some() {
         for (i, kind) in ["UDS", "DDS"].iter().enumerate() {
             let rounds = parsed.pointer(&format!("/telemetry/traces/{i}/rounds"));
@@ -1546,7 +1848,8 @@ fn main() {
          {:.3}, directed {:.3}, plain 4.0; spill {} shards, parity spill={} sweep={} \
          peel={}); iterative: greedypp {:.2}x, fista {:.2}x vs exact (reached \
          exact={}, parity greedypp={} fista={}); recorder: probe {:.1}ns disabled, \
-         est overhead {:.3}%, on/off {:.2}x, hist pool-invariant={}; wrote {}",
+         est overhead {:.3}%, on/off {:.2}x, hist pool-invariant={}; dynamic: batch=10 \
+         filament update {:.2}x vs scratch (parity undirected={} directed={}); wrote {}",
         report.sweep_engine[1].best_secs,
         report.sweep_engine[0].best_secs,
         speedup,
@@ -1583,6 +1886,9 @@ fn main() {
         report.observability.recorder_off_overhead_pct,
         report.observability.ratio_recorder_on_vs_off,
         report.observability.parity.round_histograms_pool_invariant,
+        report.dynamic.speedup_batch10_filament,
+        report.dynamic.parity.undirected_identical_across_pools,
+        report.dynamic.parity.directed_identical_across_pools,
         out_path
     );
 }

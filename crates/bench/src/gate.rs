@@ -62,6 +62,7 @@ pub const METRICS: &[Metric] = &[
     Metric { path: "compression.ratio_fused_peel_vs_plain", direction: Direction::LowerIsBetter },
     Metric { path: "iterative.speedup_greedypp_vs_exact", direction: Direction::HigherIsBetter },
     Metric { path: "iterative.speedup_fista_vs_exact", direction: Direction::HigherIsBetter },
+    Metric { path: "dynamic.speedup_batch10_filament", direction: Direction::HigherIsBetter },
 ];
 
 /// Default fractional noise band (0.30 = a metric may be up to 30% worse

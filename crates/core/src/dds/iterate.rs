@@ -58,6 +58,21 @@ pub struct DdsIterativeResult {
     pub exact_certified: bool,
 }
 
+impl DdsIterativeResult {
+    /// Certification label for CLI and trace output. The directed engine
+    /// has no load-vector dual bound (the DDS LP dual is ratio-coupled),
+    /// so a run that stops on its iteration budget reports
+    /// `budget-exhausted` explicitly instead of silently implying the
+    /// answer converged.
+    pub fn certificate_label(&self) -> String {
+        if self.exact_certified {
+            "exact (flow-certified)".to_string()
+        } else {
+            format!("budget-exhausted ({} rounds, no dual bound available)", self.rounds)
+        }
+    }
+}
+
 /// Directed Greedy++: iterated load-augmented fixed-ratio peeling with an
 /// optional exact-certification handshake.
 pub fn greedy_pp_dds(g: &DirectedGraph, cfg: &DdsIterateConfig) -> DdsIterativeResult {
@@ -255,6 +270,8 @@ mod tests {
         assert!(r.result.density >= 6.0, "density {}", r.result.density);
         assert_eq!(r.rounds, 20);
         assert!(!r.exact_certified);
+        // A budget-bounded run must say so — not imply convergence.
+        assert_eq!(r.certificate_label(), "budget-exhausted (20 rounds, no dual bound available)");
     }
 
     #[test]

@@ -251,6 +251,18 @@ impl PeelWorkspace {
         self.frontier = frontier;
     }
 
+    /// [`prime`](Self::prime) for a workspace whose liveness bitmap is no
+    /// longer all-set (the restricted decompose clears frozen edges right
+    /// after binding): computes every chunk's exact minimum over its
+    /// **alive** slots only, seeding no frontier. One alive-bit scan
+    /// instead of the all-slots walk `prime` is allowed to assume.
+    fn prime_alive<D: DirectedNeighborAccess>(&mut self, g: &D) {
+        (0..self.chunk_lb.len()).into_par_iter().for_each(|c| {
+            self.chunk_lb[c].store(self.chunk_min(g, c), Ordering::Relaxed);
+        });
+        self.frontier.clear();
+    }
+
     /// Exact minimum alive weight inside chunk `c` (`u64::MAX` if empty),
     /// iterating only the set bits of the liveness words the chunk owns.
     fn chunk_min<D: DirectedNeighborAccess>(&self, g: &D, c: usize) -> u64 {
@@ -456,6 +468,61 @@ impl PeelWorkspace {
         (rounds, examined)
     }
 
+    /// The outer threshold loop shared by [`decompose`](Self::decompose)
+    /// and [`decompose_restricted`](Self::decompose_restricted): repeats
+    /// `next_threshold` → cascade until no edge is alive, recording one
+    /// [`RoundSample`] per outer iteration while tracing. Returns
+    /// `(w_star, cascade_rounds, edges_first_iter, edges_last_iter)`.
+    fn run_thresholds<D: DirectedNeighborAccess>(
+        &mut self,
+        g: &D,
+    ) -> (u64, usize, Option<usize>, Option<usize>) {
+        let mut w_star = 0u64;
+        let mut iterations = 0usize;
+        let mut first: Option<usize> = None;
+        let mut last: Option<usize> = None;
+        loop {
+            let enabled = telemetry::enabled();
+            let t0 = enabled.then(Instant::now);
+            let next = self.next_threshold(g);
+            let select_time = t0.map(|t| telemetry::record_span(Phase::ThresholdSelect, t));
+            let Some(w_t) = next else { break };
+            if first.is_none() {
+                first = Some(self.alive_count);
+            }
+            last = Some(self.alive_count);
+            w_star = w_t;
+            let alive_at_start = self.alive_count;
+            let frontier_len = self.frontier.len();
+            let t1 = enabled.then(Instant::now);
+            let (rounds, examined) = self.cascade(g, w_t + 1, w_t);
+            iterations += rounds;
+            if enabled {
+                let mut phase_times = Vec::with_capacity(2);
+                if let Some(d) = select_time {
+                    phase_times.push(PhaseTime {
+                        phase: Phase::ThresholdSelect.name(),
+                        secs: d.as_secs_f64(),
+                    });
+                }
+                if let Some(d) = t1.map(|t| telemetry::record_span(Phase::Cascade, t)) {
+                    phase_times
+                        .push(PhaseTime { phase: Phase::Cascade.name(), secs: d.as_secs_f64() });
+                }
+                telemetry::record_round(RoundSample {
+                    round: telemetry::rounds_recorded() as u32,
+                    frontier_len,
+                    edges_examined: examined,
+                    items_removed: alive_at_start - self.alive_count,
+                    alive_edges: Some(alive_at_start),
+                    phase_times,
+                    ..RoundSample::default()
+                });
+            }
+        }
+        (w_star, iterations, first, last)
+    }
+
     /// Runs the decomposition (Algorithm 3) on `g`. With `warm_start`, all
     /// edges below `d_max` are peeled first without recording
     /// induce-numbers (the paper's Remark; `w*` is unaffected).
@@ -491,52 +558,60 @@ impl PeelWorkspace {
             } else {
                 telemetry::time_phase(Phase::Prime, || self.prime(g, 0));
             }
-            let mut w_star = 0u64;
-            let mut first: Option<usize> = None;
-            let mut last: Option<usize> = None;
-            loop {
-                let enabled = telemetry::enabled();
-                let t0 = enabled.then(Instant::now);
-                let next = self.next_threshold(g);
-                let select_time = t0.map(|t| telemetry::record_span(Phase::ThresholdSelect, t));
-                let Some(w_t) = next else { break };
-                if first.is_none() {
-                    first = Some(self.alive_count);
-                }
-                last = Some(self.alive_count);
-                w_star = w_t;
-                let alive_at_start = self.alive_count;
-                let frontier_len = self.frontier.len();
-                let t1 = enabled.then(Instant::now);
-                let (rounds, examined) = self.cascade(g, w_t + 1, w_t);
-                iterations += rounds;
-                if enabled {
-                    let mut phase_times = Vec::with_capacity(2);
-                    if let Some(d) = select_time {
-                        phase_times.push(PhaseTime {
-                            phase: Phase::ThresholdSelect.name(),
-                            secs: d.as_secs_f64(),
-                        });
-                    }
-                    if let Some(d) = t1.map(|t| telemetry::record_span(Phase::Cascade, t)) {
-                        phase_times.push(PhaseTime {
-                            phase: Phase::Cascade.name(),
-                            secs: d.as_secs_f64(),
-                        });
-                    }
-                    telemetry::record_round(RoundSample {
-                        round: telemetry::rounds_recorded() as u32,
-                        frontier_len,
-                        edges_examined: examined,
-                        items_removed: alive_at_start - self.alive_count,
-                        alive_edges: Some(alive_at_start),
-                        phase_times,
-                        ..RoundSample::default()
-                    });
-                }
-            }
+            let (w_star, loop_iters, first, last) = self.run_thresholds(g);
+            iterations += loop_iters;
             let induce: Vec<u64> = self.induce.iter().map(|x| x.load(Ordering::Relaxed)).collect();
             (induce, w_star, iterations, first, last)
+        });
+        WDecomposition {
+            induce_number: induce,
+            w_star,
+            stats: Stats {
+                iterations,
+                wall,
+                edges_first_iter: first,
+                edges_last_iter: last,
+                ..Stats::default()
+            },
+        }
+    }
+
+    /// Dynamic maintenance entry point: recomputes the w-induced
+    /// decomposition with a set of **frozen** edges excluded from peeling.
+    ///
+    /// `frozen` holds `(slot, induce)` pairs — edges whose induce-number is
+    /// already known to be unchanged from the previous graph version
+    /// (those with old induce above the batch's changed-weight cutoff
+    /// `W*`; see `dsd-core::dynamic`). Frozen edges are "peeled without a
+    /// degree decrement": their liveness bits are cleared right after
+    /// binding, so the chunk-min scheduler and cascades never touch them,
+    /// while the degree arrays keep counting them — exactly their state
+    /// during the ≤ `W*` prefix of a full run, where they survive every
+    /// threshold. The threshold loop therefore reproduces the full run's
+    /// ≤ `W*` prefix bit-for-bit on the active edges, and the frozen
+    /// induce-numbers (its > `W*` suffix) are carried over verbatim;
+    /// `w*` is the max over both parts.
+    ///
+    /// With an empty `frozen` set this is exactly `decompose(g, false)`.
+    pub fn decompose_restricted<D: DirectedNeighborAccess>(
+        &mut self,
+        g: &D,
+        frozen: &[(u32, u64)],
+    ) -> WDecomposition {
+        let ((induce, w_star, iterations, first, last), wall) = timed(|| {
+            telemetry::time_phase(Phase::Init, || self.bind(g));
+            let mut frozen_max = 0u64;
+            for &(slot, ind) in frozen {
+                let flipped = claim_clear(&self.alive, slot as usize);
+                debug_assert!(flipped, "frozen slot {slot} listed twice");
+                self.induce[slot as usize].store(ind, Ordering::Relaxed);
+                frozen_max = frozen_max.max(ind);
+            }
+            self.alive_count -= frozen.len();
+            telemetry::time_phase(Phase::Prime, || self.prime_alive(g));
+            let (active_w_star, iterations, first, last) = self.run_thresholds(g);
+            let induce: Vec<u64> = self.induce.iter().map(|x| x.load(Ordering::Relaxed)).collect();
+            (induce, active_w_star.max(frozen_max), iterations, first, last)
         });
         WDecomposition {
             induce_number: induce,
@@ -660,6 +735,45 @@ mod tests {
                 assert_eq!(fused.w_star, plain.w_star, "seed {seed} warm {warm}");
                 let dispatched = ws.decompose_storage(&DirectedStorage::Plain(&g), warm);
                 assert_eq!(dispatched.induce_number, plain.induce_number);
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_with_empty_frozen_set_matches_full() {
+        for seed in 0..3 {
+            let g = dsd_graph::gen::erdos_renyi_directed(60, 400, seed + 30);
+            let mut ws = PeelWorkspace::new();
+            let full = ws.decompose(&g, false);
+            let restricted = ws.decompose_restricted(&g, &[]);
+            assert_eq!(restricted.induce_number, full.induce_number, "seed {seed}");
+            assert_eq!(restricted.w_star, full.w_star, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn restricted_reproduces_full_run_below_any_cutoff() {
+        // Freezing the > W* suffix of a known decomposition must leave the
+        // ≤ W* prefix bit-identical — the identity-batch case of the
+        // dynamic engine's cutoff argument, for several cutoffs.
+        for seed in 0..3 {
+            let g = dsd_graph::gen::chung_lu_directed(200, 1300, 2.4, 2.1, seed + 40);
+            let mut ws = PeelWorkspace::new();
+            let full = ws.decompose(&g, false);
+            let mut cuts: Vec<u64> = full.induce_number.clone();
+            cuts.sort_unstable();
+            cuts.dedup();
+            for cut in [cuts[cuts.len() / 2], cuts[cuts.len() - 1], 0] {
+                let frozen: Vec<(u32, u64)> = full
+                    .induce_number
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &ind)| ind > cut)
+                    .map(|(slot, &ind)| (slot as u32, ind))
+                    .collect();
+                let restricted = ws.decompose_restricted(&g, &frozen);
+                assert_eq!(restricted.induce_number, full.induce_number, "seed {seed} cut {cut}");
+                assert_eq!(restricted.w_star, full.w_star, "seed {seed} cut {cut}");
             }
         }
     }

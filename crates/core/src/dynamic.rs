@@ -1,0 +1,461 @@
+//! Incremental decomposition engine: frontier-bounded batch updates.
+//!
+//! Both decompositions this crate certifies — the k\*-core h-index vector
+//! ([`uds::sweep`](crate::uds::sweep)) and the w-induced edge
+//! decomposition ([`dds::peel`](crate::dds::peel)) — are fixed points of
+//! monotone operators, and a batch of edge edits perturbs those fixed
+//! points only locally. This module maintains both under
+//! [`DeltaBatch`] edge updates without re-running the from-scratch
+//! algorithms over the whole graph:
+//!
+//! * **Undirected** ([`DynamicUndirectedState`]): the converged core
+//!   vector of the previous graph version seeds the h-index sweep of the
+//!   next one. Deletions can only lower core numbers, so the old vector
+//!   is a valid over-seed and the capped kernel re-converges from the
+//!   deletion endpoints alone (the Tarski squeeze: any quiescent vector
+//!   between `core(g)` and a pointwise over-seed *is* `core(g)`).
+//!   Insertions are revealed one at a time; the riser-component theorem
+//!   (DESIGN.md §13) shows every vertex whose core number rises is
+//!   reachable from an endpoint of the new edge through vertices of the
+//!   same core value `K = min(core(u), core(v))`, so a BFS over the
+//!   `core == K` layer collects a sound candidate set, those candidates
+//!   are bumped to `min(deg, K + 1)`, and the sweep re-converges from
+//!   them.
+//! * **Directed** ([`DynamicDirectedState`]): a cutoff weight `W*` is
+//!   computed from the batch (the largest old induce-number among deleted
+//!   edges, and the largest `d⁺(u)·d⁻(v)` among inserted pairs in the
+//!   new graph). Every surviving edge with old induce-number above `W*`
+//!   keeps it exactly; those edges are frozen and
+//!   [`PeelWorkspace::decompose_restricted`] re-peels only the active
+//!   remainder, reproducing the ≤ `W*` prefix of a full run bit-for-bit.
+//!
+//! Batched results are **bit-identical** to from-scratch recomputation at
+//! any thread-pool size — the sweeps run in [`SweepMode::Synchronous`]
+//! and the peel inherits the deterministic chunk-min scheduler — which is
+//! what the differential proptests in `tests/dynamic_engine.rs` pin.
+
+use dsd_graph::compress::{DirectedStorage, UndirectedStorage};
+use dsd_graph::delta::{apply_directed, apply_undirected, slot_map_directed, UndirectedOverlay};
+use dsd_graph::{DeltaBatch, DirectedGraph, GraphError, NeighborAccess, UndirectedGraph, VertexId};
+use dsd_telemetry::{self as telemetry, Counter, Phase};
+use rustc_hash::FxHashSet;
+
+use crate::dds::peel::PeelWorkspace;
+use crate::dds::winduced::WDecomposition;
+use crate::uds::sweep::{SweepMode, SweepWorkspace};
+
+/// Per-batch accounting returned by the `apply_batch` methods.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateOutcome {
+    /// Vertices seeded into the maintenance frontier (undirected: deletion
+    /// endpoints plus insertion candidates; directed: edges re-peeled,
+    /// i.e. not frozen).
+    pub frontier_size: usize,
+    /// Convergence work: sweep rounds (undirected) or threshold
+    /// iterations (directed).
+    pub rounds: usize,
+    /// Directed only: surviving edges whose induce-number was carried
+    /// over without re-peeling. Always zero for undirected updates.
+    pub frozen: usize,
+}
+
+/// Maintains the undirected k\*-core (h-index) decomposition across
+/// [`DeltaBatch`] updates.
+pub struct DynamicUndirectedState {
+    graph: UndirectedGraph,
+    sweep: SweepWorkspace,
+    core: Vec<u32>,
+    mode: SweepMode,
+}
+
+impl DynamicUndirectedState {
+    /// Builds the state with a from-scratch frontier sweep over `graph`.
+    pub fn new(graph: UndirectedGraph) -> Self {
+        let mut sweep = SweepWorkspace::new();
+        sweep.run_frontier(&graph, SweepMode::Synchronous);
+        let core = sweep.h_values();
+        Self { graph, sweep, core, mode: SweepMode::Synchronous }
+    }
+
+    /// Builds the state from runtime-selected storage (compressed graphs
+    /// are decompressed once; the engine mutates plain CSR thereafter).
+    pub fn from_storage(storage: &UndirectedStorage<'_>) -> Self {
+        match storage {
+            UndirectedStorage::Plain(g) => Self::new((*g).clone()),
+            UndirectedStorage::Compressed(c) => Self::new(c.decompress()),
+        }
+    }
+
+    /// Current graph version.
+    pub fn graph(&self) -> &UndirectedGraph {
+        &self.graph
+    }
+
+    /// Converged core numbers of the current graph version.
+    pub fn core_numbers(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// `k*` — the largest core number (0 on an empty graph).
+    pub fn k_star(&self) -> u32 {
+        self.core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Applies one validated batch and re-converges the core vector from
+    /// the affected frontier only. Returns the batch accounting; on error
+    /// the state is unchanged.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<UpdateOutcome, GraphError> {
+        // Full validation (range / remove-exists / insert-not-present)
+        // happens here, against the *current* version; the rebuilt graph
+        // becomes the next version only after the sweep converges.
+        let rebuilt = apply_undirected(&self.graph, batch)?;
+        let (inserts, removes) = batch.canonical_undirected()?;
+
+        let mut frontier_total = 0usize;
+        let mut rounds = 0usize;
+        {
+            let mut overlay = UndirectedOverlay::new(&self.graph, &inserts, &removes);
+            self.sweep.bind_seeded(&overlay, &self.core);
+
+            if !removes.is_empty() {
+                {
+                    let _g = telemetry::span(Phase::DynamicFrontier);
+                    self.sweep.set_active(removes.iter().flat_map(|&(u, v)| [u, v]));
+                    frontier_total += self.sweep.active_len();
+                }
+                let _g = telemetry::span(Phase::DynamicSweep);
+                rounds += self.sweep.run_to_quiescence(&overlay, self.mode);
+            }
+
+            // Insertions are revealed one at a time: the riser theorem
+            // holds for a single new edge against an otherwise-converged
+            // vector, so each reveal must re-converge before the next.
+            while let Some((u, v)) = overlay.reveal_insert() {
+                let candidates = {
+                    let _g = telemetry::span(Phase::DynamicFrontier);
+                    insertion_candidates(&overlay, &self.sweep, u, v)
+                };
+                let _g = telemetry::span(Phase::DynamicSweep);
+                let k = self.sweep.h_value(u).min(self.sweep.h_value(v));
+                for &w in &candidates {
+                    let cap = (overlay.degree_of(w) as u32).min(k + 1);
+                    self.sweep.set_h(w, cap.max(self.sweep.h_value(w)));
+                }
+                self.sweep.set_active(candidates.iter().copied());
+                frontier_total += self.sweep.active_len();
+                rounds += self.sweep.run_to_quiescence(&overlay, self.mode);
+            }
+        }
+
+        self.core = self.sweep.h_values();
+        self.graph = rebuilt;
+        telemetry::counter_add(Counter::FrontierSize, frontier_total as u64);
+        Ok(UpdateOutcome { frontier_size: frontier_total, rounds, frozen: 0 })
+    }
+}
+
+/// BFS over the `core == K` layer from both endpoints of the freshly
+/// revealed edge `(u, v)`, where `K = min(h(u), h(v))`. By the
+/// riser-component theorem every vertex whose core number can rise lies
+/// in this set; vertices with `h != K` act as walls.
+fn insertion_candidates<G: NeighborAccess>(
+    overlay: &G,
+    sweep: &SweepWorkspace,
+    u: VertexId,
+    v: VertexId,
+) -> Vec<VertexId> {
+    let k = sweep.h_value(u).min(sweep.h_value(v));
+    let mut seen = FxHashSet::default();
+    let mut queue = Vec::new();
+    for root in [u, v] {
+        if sweep.h_value(root) == k && seen.insert(root) {
+            queue.push(root);
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let w = queue[head];
+        head += 1;
+        for x in overlay.neighbors_of(w) {
+            if sweep.h_value(x) == k && seen.insert(x) {
+                queue.push(x);
+            }
+        }
+    }
+    queue
+}
+
+/// Maintains the directed w-induced edge decomposition across
+/// [`DeltaBatch`] updates.
+pub struct DynamicDirectedState {
+    graph: DirectedGraph,
+    peel: PeelWorkspace,
+    induce: Vec<u64>,
+    w_star: u64,
+}
+
+impl DynamicDirectedState {
+    /// Builds the state with a from-scratch peel over `graph`.
+    pub fn new(graph: DirectedGraph) -> Self {
+        let mut peel = PeelWorkspace::new();
+        let d = peel.decompose(&graph, false);
+        Self { graph, peel, induce: d.induce_number, w_star: d.w_star }
+    }
+
+    /// Builds the state from runtime-selected storage.
+    pub fn from_storage(storage: &DirectedStorage<'_>) -> Self {
+        match storage {
+            DirectedStorage::Plain(g) => Self::new((*g).clone()),
+            DirectedStorage::Compressed(c) => Self::new(c.decompress()),
+        }
+    }
+
+    /// Current graph version.
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+
+    /// Induce-numbers of the current version, in CSR out-slot order.
+    pub fn induce_numbers(&self) -> &[u64] {
+        &self.induce
+    }
+
+    /// `w*` — the largest weight whose w-induced subgraph is non-empty.
+    pub fn w_star(&self) -> u64 {
+        self.w_star
+    }
+
+    /// Applies one validated batch: computes the cutoff `W*`, freezes
+    /// every surviving edge whose induce-number exceeds it, and re-peels
+    /// only the active remainder. Returns the batch accounting; on error
+    /// the state is unchanged.
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<UpdateOutcome, GraphError> {
+        let new_graph = apply_directed(&self.graph, batch)?;
+
+        let (frozen, active) = {
+            let _g = telemetry::span(Phase::DynamicFrontier);
+
+            // Cutoff: the largest weight at which the batch can still be
+            // seen. Above it, deleted edges no longer participate and
+            // inserted edges cannot (their weight upper bound
+            // d⁺(u)·d⁻(v) already falls short), so D_w is unchanged.
+            let mut w_cut = 0u64;
+            for &(s, t) in batch.removes() {
+                let slot = self.out_slot(s, t).expect("apply_directed validated remove targets");
+                w_cut = w_cut.max(self.induce[slot]);
+            }
+            for &(s, t) in batch.inserts() {
+                let weight = new_graph.out_degree(s) as u64 * new_graph.in_degree(t) as u64;
+                w_cut = w_cut.max(weight);
+            }
+
+            let map = slot_map_directed(&self.graph, &new_graph);
+            let mut frozen = Vec::new();
+            for (old_slot, &new_slot) in map.iter().enumerate() {
+                if new_slot != u32::MAX && self.induce[old_slot] > w_cut {
+                    frozen.push((new_slot, self.induce[old_slot]));
+                }
+            }
+            let active = new_graph.num_edges() - frozen.len();
+            (frozen, active)
+        };
+
+        let d = {
+            let _g = telemetry::span(Phase::DynamicPeel);
+            self.peel.decompose_restricted(&new_graph, &frozen)
+        };
+
+        telemetry::counter_add(Counter::FrontierSize, active as u64);
+        let rounds = d.stats.iterations;
+        let frozen_count = frozen.len();
+        self.induce = d.induce_number;
+        self.w_star = d.w_star;
+        self.graph = new_graph;
+        Ok(UpdateOutcome { frontier_size: active, rounds, frozen: frozen_count })
+    }
+
+    /// CSR out-slot of edge `(u, v)` in the current graph version.
+    fn out_slot(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let pos = self.graph.out_neighbors(u).binary_search(&v).ok()?;
+        Some(self.graph.out_offsets()[u as usize] + pos)
+    }
+}
+
+/// From-scratch w-decomposition of `g` — the oracle the dynamic directed
+/// engine is differentially tested against.
+pub fn scratch_directed(g: &DirectedGraph) -> WDecomposition {
+    PeelWorkspace::new().decompose(g, false)
+}
+
+/// From-scratch core vector of `g` — the oracle the dynamic undirected
+/// engine is differentially tested against.
+pub fn scratch_undirected(g: &UndirectedGraph) -> Vec<u32> {
+    let mut sweep = SweepWorkspace::new();
+    sweep.run_frontier(g, SweepMode::Synchronous);
+    sweep.h_values()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::gen::{chung_lu, erdos_renyi, erdos_renyi_directed};
+
+    fn batch_from(g: &UndirectedGraph, seed: u64, n_ins: usize, n_rem: usize) -> DeltaBatch {
+        // Deterministic churn: remove the first n_rem edges by a seeded
+        // stride, insert the first n_ins absent pairs by another.
+        let edges: Vec<_> = g.edges().collect();
+        let n = g.num_vertices() as u64;
+        let mut removes = Vec::new();
+        let mut i = seed as usize % edges.len().max(1);
+        while removes.len() < n_rem && removes.len() < edges.len() {
+            let e = edges[i % edges.len()];
+            if !removes.contains(&e) {
+                removes.push(e);
+            }
+            i += 1;
+        }
+        let mut inserts = Vec::new();
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        while inserts.len() < n_ins {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % n) as VertexId;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % n) as VertexId;
+            let (a, b) = (u.min(v), u.max(v));
+            if a == b || g.has_edge(a, b) || inserts.contains(&(a, b)) {
+                continue;
+            }
+            if removes.contains(&(a, b)) {
+                continue;
+            }
+            inserts.push((a, b));
+        }
+        DeltaBatch::new(inserts, removes).expect("valid churn batch")
+    }
+
+    #[test]
+    fn undirected_batch_matches_scratch() {
+        for seed in [3u64, 17, 51] {
+            let g = erdos_renyi(120, 420, seed);
+            let batch = batch_from(&g, seed, 6, 6);
+            let mut state = DynamicUndirectedState::new(g.clone());
+            let out = state.apply_batch(&batch).expect("batch applies");
+            assert!(out.frontier_size > 0);
+            let oracle = apply_undirected(&g, &batch).unwrap();
+            assert_eq!(state.core_numbers(), scratch_undirected(&oracle).as_slice());
+            assert_eq!(state.graph().num_edges(), oracle.num_edges());
+        }
+    }
+
+    #[test]
+    fn undirected_sequential_batches_stay_exact() {
+        let mut g = chung_lu(150, 500, 2.3, 5);
+        let mut state = DynamicUndirectedState::new(g.clone());
+        for seed in 0..4u64 {
+            let batch = batch_from(&g, seed + 100, 4, 4);
+            state.apply_batch(&batch).expect("batch applies");
+            g = apply_undirected(&g, &batch).unwrap();
+            assert_eq!(state.core_numbers(), scratch_undirected(&g).as_slice());
+        }
+    }
+
+    #[test]
+    fn undirected_insert_only_and_delete_only() {
+        let g = erdos_renyi(80, 250, 9);
+        let ins = batch_from(&g, 5, 5, 0);
+        let mut state = DynamicUndirectedState::new(g.clone());
+        state.apply_batch(&ins).unwrap();
+        let g2 = apply_undirected(&g, &ins).unwrap();
+        assert_eq!(state.core_numbers(), scratch_undirected(&g2).as_slice());
+
+        let del = batch_from(&g2, 6, 0, 5);
+        state.apply_batch(&del).unwrap();
+        let g3 = apply_undirected(&g2, &del).unwrap();
+        assert_eq!(state.core_numbers(), scratch_undirected(&g3).as_slice());
+        assert_eq!(state.k_star(), scratch_undirected(&g3).iter().copied().max().unwrap());
+    }
+
+    #[test]
+    fn undirected_failed_batch_leaves_state_untouched() {
+        let g = erdos_renyi(40, 80, 2);
+        let mut state = DynamicUndirectedState::new(g.clone());
+        let before = state.core_numbers().to_vec();
+        let (u, v) = g.edges().next().expect("graph has edges");
+        let bad = DeltaBatch::new(vec![(u, v)], vec![]).unwrap();
+        assert!(state.apply_batch(&bad).is_err());
+        assert_eq!(state.core_numbers(), before.as_slice());
+        assert_eq!(state.graph().num_edges(), g.num_edges());
+    }
+
+    fn directed_batch(g: &DirectedGraph, seed: u64, n_ins: usize, n_rem: usize) -> DeltaBatch {
+        let edges: Vec<_> = g.edges().collect();
+        let n = g.num_vertices() as u64;
+        let mut removes = Vec::new();
+        let mut i = seed as usize % edges.len().max(1);
+        while removes.len() < n_rem && removes.len() < edges.len() {
+            let e = edges[i % edges.len()];
+            if !removes.contains(&e) {
+                removes.push(e);
+            }
+            i += 1;
+        }
+        let mut inserts = Vec::new();
+        let mut x = seed ^ 0x9e3779b97f4a7c15;
+        while inserts.len() < n_ins {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((x >> 33) % n) as VertexId;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((x >> 33) % n) as VertexId;
+            if u == v || g.has_edge(u, v) || inserts.contains(&(u, v)) {
+                continue;
+            }
+            if removes.contains(&(u, v)) {
+                continue;
+            }
+            inserts.push((u, v));
+        }
+        DeltaBatch::new(inserts, removes).expect("valid directed churn batch")
+    }
+
+    #[test]
+    fn directed_batch_matches_scratch() {
+        for seed in [4u64, 23, 61] {
+            let g = erdos_renyi_directed(90, 400, seed);
+            let batch = directed_batch(&g, seed, 5, 5);
+            let mut state = DynamicDirectedState::new(g.clone());
+            let out = state.apply_batch(&batch).expect("batch applies");
+            let oracle_graph = apply_directed(&g, &batch).unwrap();
+            let oracle = scratch_directed(&oracle_graph);
+            assert_eq!(state.induce_numbers(), oracle.induce_number.as_slice());
+            assert_eq!(state.w_star(), oracle.w_star);
+            assert_eq!(out.frozen + out.frontier_size, oracle_graph.num_edges());
+        }
+    }
+
+    #[test]
+    fn directed_sequential_batches_stay_exact() {
+        let mut g = erdos_renyi_directed(70, 300, 8);
+        let mut state = DynamicDirectedState::new(g.clone());
+        for seed in 0..3u64 {
+            let batch = directed_batch(&g, seed + 40, 3, 3);
+            state.apply_batch(&batch).expect("batch applies");
+            g = apply_directed(&g, &batch).unwrap();
+            let oracle = scratch_directed(&g);
+            assert_eq!(state.induce_numbers(), oracle.induce_number.as_slice());
+            assert_eq!(state.w_star(), oracle.w_star);
+        }
+    }
+
+    #[test]
+    fn directed_failed_batch_leaves_state_untouched() {
+        let g = erdos_renyi_directed(30, 90, 3);
+        let mut state = DynamicDirectedState::new(g.clone());
+        let before = state.induce_numbers().to_vec();
+        let bad = DeltaBatch::new(vec![], vec![(0, 0)]);
+        assert!(bad.is_err()); // self-loop rejected at construction
+        let (u, v) = g.edges().next().expect("graph has edges");
+        let dup = DeltaBatch::new(vec![(u, v)], vec![]).unwrap();
+        assert!(state.apply_batch(&dup).is_err()); // insert of existing edge
+        assert_eq!(state.induce_numbers(), before.as_slice());
+    }
+}

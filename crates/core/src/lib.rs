@@ -14,6 +14,7 @@
 
 pub mod dds;
 pub mod density;
+pub mod dynamic;
 pub mod refine;
 pub mod runner;
 pub mod stats;

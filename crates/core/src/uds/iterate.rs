@@ -122,6 +122,12 @@ pub struct IterativeResult {
     /// Per-round `(best density, dual bound)` trajectory, for
     /// iterations-to-ε accounting.
     pub history: Vec<RoundPoint>,
+    /// Greedy++ per-vertex load accumulator at exit (empty for FISTA and
+    /// trivial runs). Feed it back as the `prior` of
+    /// [`greedy_pp_warm`] to warm-start on an updated graph version: the
+    /// peel reuses the accumulated bias while the dual bound is taken
+    /// over `loads − prior` only, so it stays valid for the new graph.
+    pub loads: Vec<u64>,
 }
 
 /// Kernel-agnostic per-run accumulator shared by both algorithms.
@@ -206,6 +212,7 @@ struct RawOutcome {
     rounds: usize,
     gap_certified: bool,
     history: Vec<RoundPoint>,
+    loads: Vec<u64>,
 }
 
 impl RawOutcome {
@@ -218,6 +225,7 @@ impl RawOutcome {
             rounds: 0,
             gap_certified: true,
             history: Vec::new(),
+            loads: Vec::new(),
         }
     }
 
@@ -232,6 +240,7 @@ impl RawOutcome {
             rounds,
             gap_certified: p.gap_certified,
             history: p.history,
+            loads: Vec::new(),
         }
     }
 }
@@ -240,13 +249,28 @@ impl RawOutcome {
 // Greedy++
 // ---------------------------------------------------------------------------
 
-fn run_greedy_pp<G: NeighborAccess>(g: &G, cfg: &IterateConfig) -> RawOutcome {
+fn run_greedy_pp<G: NeighborAccess>(
+    g: &G,
+    cfg: &IterateConfig,
+    prior: Option<&[u64]>,
+) -> RawOutcome {
     let n = g.vertex_count();
     let m = (g.arc_count() / 2) as usize;
     if n == 0 || m == 0 {
         return RawOutcome::trivial();
     }
-    let mut loads = vec![0u64; n];
+    // Warm start: the accumulated loads of a previous graph version bias
+    // the peel order from round one, but they are *not* orientations of
+    // the current graph — the dual bound below must therefore be taken
+    // over the load mass added here (`loads − prior`), which is a sum of
+    // `t` valid orientations of the current graph.
+    let mut loads = match prior {
+        Some(p) => {
+            assert_eq!(p.len(), n, "prior load vector length must match the vertex count");
+            p.to_vec()
+        }
+        None => vec![0u64; n],
+    };
     let mut scratch = PeelScratch::new();
     let mut progress = Progress::new(cfg.iterations);
     let mut rounds = 0usize;
@@ -256,9 +280,12 @@ fn run_greedy_pp<G: NeighborAccess>(g: &G, cfg: &IterateConfig) -> RawOutcome {
             peel_augmented(g, Some(&mut loads), &mut scratch)
         };
         rounds = t;
-        // loads / t averages t integral orientations — feasible, so its
-        // max entry bounds ρ* from above.
-        let max_load = loads.iter().copied().max().unwrap_or(0);
+        // (loads − prior) / t averages t integral orientations — feasible,
+        // so its max entry bounds ρ* from above.
+        let max_load = match prior {
+            Some(p) => loads.iter().zip(p).map(|(&l, &b)| l - b).max().unwrap_or(0),
+            None => loads.iter().copied().max().unwrap_or(0),
+        };
         let upper = max_load as f64 / t as f64;
         let set = &scratch.order()[n - outcome.best_len..];
         let stop = progress.absorb_round(
@@ -278,7 +305,9 @@ fn run_greedy_pp<G: NeighborAccess>(g: &G, cfg: &IterateConfig) -> RawOutcome {
             break;
         }
     }
-    RawOutcome::from_progress(progress, rounds)
+    let mut raw = RawOutcome::from_progress(progress, rounds);
+    raw.loads = loads;
+    raw
 }
 
 // ---------------------------------------------------------------------------
@@ -494,15 +523,30 @@ fn finish(
         rounds: raw.rounds,
         certificate,
         history: raw.history,
+        loads: raw.loads,
     }
 }
 
 /// Greedy++ over either storage representation.
 pub fn greedy_pp_storage(storage: &UndirectedStorage<'_>, cfg: &IterateConfig) -> IterativeResult {
+    greedy_pp_warm_storage(storage, cfg, None)
+}
+
+/// Greedy++ with an optional warm-start load vector — typically the
+/// [`IterativeResult::loads`] of a run on a previous version of the same
+/// graph (same vertex count). The prior biases the peel order from round
+/// one; the dual upper bound is computed over the load mass added by
+/// *this* run only, so it remains a valid bound on the current graph's
+/// ρ* (see `run_greedy_pp`).
+pub fn greedy_pp_warm_storage(
+    storage: &UndirectedStorage<'_>,
+    cfg: &IterateConfig,
+    prior: Option<&[u64]>,
+) -> IterativeResult {
     let (mut out, wall) = timed(|| {
         let raw = match storage {
-            UndirectedStorage::Plain(g) => run_greedy_pp(*g, cfg),
-            UndirectedStorage::Compressed(c) => run_greedy_pp(*c, cfg),
+            UndirectedStorage::Plain(g) => run_greedy_pp(*g, cfg, prior),
+            UndirectedStorage::Compressed(c) => run_greedy_pp(*c, cfg, prior),
         };
         finish(storage, cfg, raw)
     });
@@ -513,6 +557,15 @@ pub fn greedy_pp_storage(storage: &UndirectedStorage<'_>, cfg: &IterateConfig) -
 /// Greedy++ on a plain graph (thin wrapper over [`greedy_pp_storage`]).
 pub fn greedy_pp(g: &UndirectedGraph, cfg: &IterateConfig) -> IterativeResult {
     greedy_pp_storage(&UndirectedStorage::Plain(g), cfg)
+}
+
+/// [`greedy_pp_warm_storage`] on a plain graph.
+pub fn greedy_pp_warm(
+    g: &UndirectedGraph,
+    cfg: &IterateConfig,
+    prior: Option<&[u64]>,
+) -> IterativeResult {
+    greedy_pp_warm_storage(&UndirectedStorage::Plain(g), cfg, prior)
 }
 
 /// FISTA over either storage representation.
@@ -677,5 +730,47 @@ mod tests {
         } else {
             panic!("expected exact certificate");
         }
+    }
+
+    #[test]
+    fn warm_start_dual_bound_stays_valid_across_versions() {
+        use dsd_graph::delta::{apply_undirected, DeltaBatch};
+        let g = dsd_graph::gen::chung_lu(150, 600, 2.3, 7);
+        let cold = greedy_pp(&g, &cfg(30, 0.001, CertifyMode::Dual));
+        assert_eq!(cold.loads.len(), g.num_vertices());
+
+        // Churn: drop five edges, add five non-edges.
+        let removes: Vec<_> = g.edges().take(5).collect();
+        let mut inserts = Vec::new();
+        'outer: for u in 0..g.num_vertices() as u32 {
+            for v in (u + 1)..g.num_vertices() as u32 {
+                if !g.has_edge(u, v) {
+                    inserts.push((u, v));
+                    if inserts.len() == 5 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let batch = DeltaBatch::new(inserts, removes).unwrap();
+        let g2 = apply_undirected(&g, &batch).unwrap();
+
+        let warm = greedy_pp_warm(&g2, &cfg(30, 0.001, CertifyMode::Dual), Some(&cold.loads));
+        // The reseeded run's dual bound must still bracket the *new*
+        // graph's optimum: compare against the flow-certified density.
+        let exact = greedy_pp(&g2, &cfg(60, 0.0, CertifyMode::Exact));
+        assert!(
+            warm.upper_bound >= exact.result.density - 1e-9,
+            "warm dual bound {} fell below the exact optimum {}",
+            warm.upper_bound,
+            exact.result.density
+        );
+        assert!(warm.result.density <= warm.upper_bound + 1e-9);
+        // Loads carry the prior mass forward (monotone accumulation).
+        assert!(warm.loads.iter().zip(&cold.loads).all(|(w, c)| w >= c));
+        // Cold restart on the same graph must also stay bracketed — the
+        // two runs agree on validity, not necessarily on the bound value.
+        let cold2 = greedy_pp(&g2, &cfg(30, 0.001, CertifyMode::Dual));
+        assert!(cold2.upper_bound >= exact.result.density - 1e-9);
     }
 }

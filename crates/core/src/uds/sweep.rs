@@ -150,6 +150,41 @@ impl SweepWorkspace {
         self.changed.clear();
     }
 
+    /// [`bind`](Self::bind), but with the h-array seeded from `seed`
+    /// instead of the degree vector — the dynamic maintenance entry point:
+    /// a converged core vector of a previous graph version carries over and
+    /// only the affected frontier re-converges. The capped kernel only ever
+    /// *lowers* values, so the caller must guarantee `seed ≥ core(g)`
+    /// pointwise (converged values of a supergraph, or values bumped per
+    /// the insertion theorem) — quiescence from any such over-seed is
+    /// exactly the core vector.
+    pub fn bind_seeded<G: NeighborAccess>(&mut self, g: &G, seed: &[u32]) {
+        self.bind(g);
+        assert_eq!(seed.len(), self.n, "seed length must match the vertex count");
+        for (x, &s) in self.h.iter().zip(seed) {
+            x.store(s, Ordering::Relaxed);
+        }
+    }
+
+    /// Overwrites one h-value (the dynamic engine's insertion bump).
+    pub fn set_h(&mut self, v: VertexId, value: u32) {
+        self.h[v as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Replaces the frontier with the given vertices, deduplicated through
+    /// the claim bitmap (which is reset before returning).
+    pub fn set_active<I: IntoIterator<Item = VertexId>>(&mut self, vertices: I) {
+        self.active.clear();
+        for v in vertices {
+            if !self.mark[v as usize].swap(true, Ordering::Relaxed) {
+                self.active.push(v);
+            }
+        }
+        for &v in &self.active {
+            self.mark[v as usize].store(false, Ordering::Relaxed);
+        }
+    }
+
     /// Number of vertices the workspace is bound to.
     pub fn num_vertices(&self) -> usize {
         self.n
@@ -471,6 +506,16 @@ impl SweepWorkspace {
     pub fn run_frontier<G: NeighborAccess>(&mut self, g: &G, mode: SweepMode) -> usize {
         self.bind(g);
         self.seed_all_active();
+        self.run_to_quiescence(g, mode)
+    }
+
+    /// Frontier sweeps to the fixpoint from the workspace's **current**
+    /// h-state and frontier — no rebind, no reseed. The dynamic engine's
+    /// inner loop: seed values with [`bind_seeded`](Self::bind_seeded) /
+    /// [`set_h`](Self::set_h), pick the frontier with
+    /// [`set_active`](Self::set_active), then converge. Returns the number
+    /// of sweeps in which a value changed.
+    pub fn run_to_quiescence<G: NeighborAccess>(&mut self, g: &G, mode: SweepMode) -> usize {
         let mut iterations = 0usize;
         loop {
             let frontier_len = self.active.len();

@@ -58,6 +58,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use crate::compress::{align8, ByteBuf, CompressedAdj, CompressedCsr, CompressedDigraph};
+use crate::delta::DeltaBatch;
 use crate::{
     DirectedGraph, DirectedGraphBuilder, GraphError, Result, UndirectedGraph,
     UndirectedGraphBuilder, VertexId,
@@ -296,6 +297,94 @@ pub fn read_directed_binary_path<P: AsRef<Path>>(path: P) -> Result<DirectedGrap
     let file = std::fs::File::open(path)?;
     let len = file.metadata()?.len();
     read_directed_inner(file, Some(len))
+}
+
+// ---------------------------------------------------------------------------
+// Edge-delta batches
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of the binary edge-delta format ([`crate::delta`]):
+///
+/// ```text
+/// magic    8 bytes   b"DSDDELTA"
+/// version  1 byte    1
+/// reserved 1 byte    0
+/// n_ins    8 bytes   u64 insert count
+/// n_rem    8 bytes   u64 remove count
+/// records  (n_ins + n_rem) × 8 bytes   u32 u, u32 v — inserts then removes
+/// ```
+///
+/// Structural violations (bad magic/version, truncated payload) surface as
+/// [`GraphError::Format`]; the decoded pair lists then pass through
+/// [`DeltaBatch::new`], so every *semantic* violation (empty batch,
+/// self-loop, duplicate, insert∩remove overlap) produces exactly the same
+/// error string as the text parser — the parity the round-trip tests pin.
+pub const DELTA_MAGIC: &[u8; 8] = b"DSDDELTA";
+const DELTA_VERSION: u8 = 1;
+const DELTA_HEADER_BYTES: u64 = 8 + 1 + 1 + 8 + 8;
+
+/// Writes a delta batch in the `DSDDELTA` binary format.
+pub fn write_delta<W: Write>(batch: &DeltaBatch, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(DELTA_MAGIC)?;
+    w.write_all(&[DELTA_VERSION, 0])?;
+    w.write_all(&(batch.inserts().len() as u64).to_le_bytes())?;
+    w.write_all(&(batch.removes().len() as u64).to_le_bytes())?;
+    for &(u, v) in batch.inserts().iter().chain(batch.removes().iter()) {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a delta batch from the `DSDDELTA` binary format, re-validating it
+/// through [`DeltaBatch::new`].
+pub fn read_delta<R: Read>(reader: R) -> Result<DeltaBatch> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != DELTA_MAGIC {
+        return Err(format_err("bad magic; not a DSDDELTA file"));
+    }
+    let mut vr = [0u8; 2];
+    r.read_exact(&mut vr)?;
+    if vr[0] != DELTA_VERSION {
+        return Err(format_err(format!("unsupported delta format version {}", vr[0])));
+    }
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let n_ins = u64::from_le_bytes(buf);
+    r.read_exact(&mut buf)?;
+    let n_rem = u64::from_le_bytes(buf);
+    n_ins
+        .checked_add(n_rem)
+        .and_then(|t| t.checked_mul(EDGE_BYTES))
+        .and_then(|t| t.checked_add(DELTA_HEADER_BYTES))
+        .ok_or_else(|| format_err("declared delta record counts overflow the format"))?;
+    let read_pairs = |r: &mut BufReader<R>, count: u64| -> Result<Vec<(VertexId, VertexId)>> {
+        let mut pairs = Vec::with_capacity((count as usize).min(PREALLOC_EDGE_CAP));
+        let mut rec = [0u8; 8];
+        for i in 0..count {
+            r.read_exact(&mut rec).map_err(|_| {
+                format_err(format!(
+                    "truncated delta payload: header declares {count} records, stream ends at {i}"
+                ))
+            })?;
+            let u = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+            let v = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+            pairs.push((u, v));
+        }
+        Ok(pairs)
+    };
+    let inserts = read_pairs(&mut r, n_ins)?;
+    let removes = read_pairs(&mut r, n_rem)?;
+    DeltaBatch::new(inserts, removes)
+}
+
+/// Convenience: writes a delta batch to a file path.
+pub fn write_delta_path<P: AsRef<Path>>(batch: &DeltaBatch, path: P) -> Result<()> {
+    write_delta(batch, std::fs::File::create(path)?)
 }
 
 // ---------------------------------------------------------------------------
@@ -881,6 +970,88 @@ mod tests {
         buf[24..32].copy_from_slice(&(g.adjacency().len() as u64 + 2).to_le_bytes());
         let err = read_undirected_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("arc count"), "{err}");
+    }
+
+    #[test]
+    fn delta_round_trips_through_binary() {
+        let batch =
+            DeltaBatch::new(vec![(0, 3), (7, 2)], vec![(1, 2), (4, 4_000_000_000)]).unwrap();
+        let mut buf = Vec::new();
+        write_delta(&batch, &mut buf).unwrap();
+        assert!(buf.starts_with(DELTA_MAGIC));
+        let back = read_delta(buf.as_slice()).unwrap();
+        assert_eq!(back, batch);
+        // And through the sniffing loader, against the text form of the
+        // same batch.
+        let dir = std::env::temp_dir().join(format!("dsd_delta_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bin_path = dir.join("batch.delta");
+        write_delta_path(&batch, &bin_path).unwrap();
+        let text_path = dir.join("batch.txt");
+        std::fs::write(&text_path, "# churn\n+ 0 3\n+ 7 2\n- 1 2\n- 4 4000000000\n").unwrap();
+        assert_eq!(DeltaBatch::load(&bin_path).unwrap(), batch);
+        assert_eq!(DeltaBatch::load(&text_path).unwrap(), batch);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn delta_empty_batch_parity_between_text_and_binary() {
+        // A structurally valid file declaring zero operations fails with
+        // the exact error string the text parser produces for a
+        // comment-only file.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.extend_from_slice(&[1, 0]);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let bin_err = read_delta(buf.as_slice()).unwrap_err();
+        let text_err = DeltaBatch::parse("# nothing here\n".as_bytes()).unwrap_err();
+        assert_eq!(bin_err.to_string(), text_err.to_string());
+        assert_eq!(
+            bin_err.to_string(),
+            "invalid argument: empty delta batch: no insertions or removals"
+        );
+    }
+
+    #[test]
+    fn delta_remove_nonexistent_parity_between_text_and_binary() {
+        // Apply-time semantic errors carry no source-format context, so a
+        // batch that removes a missing edge fails with one shared string
+        // whether it came from text or binary.
+        let g = crate::gen::erdos_renyi(10, 0, 1);
+        let batch = DeltaBatch::new(vec![], vec![(2, 6)]).unwrap();
+        let mut buf = Vec::new();
+        write_delta(&batch, &mut buf).unwrap();
+        let from_binary = read_delta(buf.as_slice()).unwrap();
+        let from_text = DeltaBatch::parse("- 2 6\n".as_bytes()).unwrap();
+        assert_eq!(from_binary, from_text);
+        let bin_err = crate::delta::apply_undirected(&g, &from_binary).unwrap_err();
+        let text_err = crate::delta::apply_undirected(&g, &from_text).unwrap_err();
+        assert_eq!(bin_err.to_string(), text_err.to_string());
+        assert_eq!(
+            bin_err.to_string(),
+            "invalid argument: delta removes edge (2, 6) not present in the base graph"
+        );
+    }
+
+    #[test]
+    fn delta_structural_errors_are_format_errors() {
+        assert!(matches!(read_delta(&b"NOTDELTA\x01\x00"[..]), Err(GraphError::Format { .. })));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.extend_from_slice(&[9, 0]);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_delta(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unsupported delta format version 9"), "{err}");
+        // Truncated payload: declares one insert, holds none.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(DELTA_MAGIC);
+        buf.extend_from_slice(&[1, 0]);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = read_delta(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated delta payload"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! Edge-delta batches: validated sets of edge insertions/deletions that the
+//! dynamic maintenance engine (`dsd-core`'s `dynamic` module) applies to a
+//! base graph.
+//!
+//! A [`DeltaBatch`] is representation-agnostic — the same batch applies to
+//! an undirected or a directed base graph, with kind-specific
+//! canonicalisation happening at apply time (undirected pairs collapse to
+//! `(min, max)`). Semantic validation against the base graph — an insert
+//! must not already exist, a remove must — produces **identical error
+//! strings** whether the batch was parsed from the text format or decoded
+//! from the `DSDDELTA` binary format ([`crate::binio`]), so callers and
+//! tests can assert exact parity across sources.
+//!
+//! Text format: one operation per line, `+ u v` (insert) or `- u v`
+//! (remove), with `#`/`%` comment lines and blanks ignored and errors
+//! reported with the same 1-based *physical* line numbers as the edge-list
+//! parser in [`crate::io`].
+//!
+//! The module also provides [`UndirectedOverlay`], a zero-copy view of
+//! "base graph minus removed edges plus *revealed* inserted edges" that
+//! implements [`NeighborAccess`], so the h-index sweep engine can run on
+//! the updated graph without rebuilding its CSR. Insertions start hidden
+//! and are revealed one at a time ([`UndirectedOverlay::reveal_insert`]):
+//! the incremental core-maintenance proof requires exact convergence on
+//! each intermediate graph `G_i = base − removes + first i inserts`, and a
+//! view of the *final* graph would leave stale-high h-values between
+//! insertions.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+use crate::{DirectedGraph, GraphError, NeighborAccess, Result, UndirectedGraph, VertexId};
+
+/// A validated batch of edge insertions and removals.
+///
+/// Structural invariants enforced at construction ([`DeltaBatch::new`]):
+/// the batch is non-empty, contains no self-loops, no duplicate operations,
+/// and no edge that is both inserted and removed. Pairs are stored exactly
+/// as given; undirected canonicalisation happens at apply time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaBatch {
+    inserts: Vec<(VertexId, VertexId)>,
+    removes: Vec<(VertexId, VertexId)>,
+}
+
+/// Shared error text for an empty batch — identical from the text parser,
+/// the binary decoder, and direct construction, for exact parity.
+pub(crate) fn empty_batch_error() -> GraphError {
+    GraphError::InvalidArgument("empty delta batch: no insertions or removals".into())
+}
+
+fn self_loop_error(u: VertexId) -> GraphError {
+    GraphError::InvalidArgument(format!("delta contains a self-loop at vertex {u}"))
+}
+
+fn duplicate_error(op: char, u: VertexId, v: VertexId) -> GraphError {
+    GraphError::InvalidArgument(format!("duplicate delta operation '{op} {u} {v}'"))
+}
+
+fn overlap_error(u: VertexId, v: VertexId) -> GraphError {
+    GraphError::InvalidArgument(format!("edge ({u}, {v}) is both inserted and removed"))
+}
+
+impl DeltaBatch {
+    /// Builds a batch from raw insert/remove pairs, checking the structural
+    /// invariants. Duplicate and overlap detection treats `(u, v)` and
+    /// `(v, u)` as distinct — a directed batch may legitimately contain
+    /// both; undirected apply collapses them and re-checks.
+    pub fn new(
+        inserts: Vec<(VertexId, VertexId)>,
+        removes: Vec<(VertexId, VertexId)>,
+    ) -> Result<Self> {
+        if inserts.is_empty() && removes.is_empty() {
+            return Err(empty_batch_error());
+        }
+        let mut seen = HashSet::with_capacity(inserts.len() + removes.len());
+        for &(u, v) in &inserts {
+            if u == v {
+                return Err(self_loop_error(u));
+            }
+            if !seen.insert((u, v)) {
+                return Err(duplicate_error('+', u, v));
+            }
+        }
+        let insert_set: HashSet<(VertexId, VertexId)> = inserts.iter().copied().collect();
+        seen.clear();
+        for &(u, v) in &removes {
+            if u == v {
+                return Err(self_loop_error(u));
+            }
+            if !seen.insert((u, v)) {
+                return Err(duplicate_error('-', u, v));
+            }
+            if insert_set.contains(&(u, v)) {
+                return Err(overlap_error(u, v));
+            }
+        }
+        Ok(Self { inserts, removes })
+    }
+
+    /// Edge insertions, in batch order.
+    pub fn inserts(&self) -> &[(VertexId, VertexId)] {
+        &self.inserts
+    }
+
+    /// Edge removals, in batch order.
+    pub fn removes(&self) -> &[(VertexId, VertexId)] {
+        &self.removes
+    }
+
+    /// Total number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.removes.len()
+    }
+
+    /// `true` iff the batch holds no operations (unreachable through
+    /// [`DeltaBatch::new`], which rejects empty batches).
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.removes.is_empty()
+    }
+
+    /// Parses the text delta format (`+ u v` / `- u v` lines) from a
+    /// reader. Errors follow the [`crate::io`] convention: 1-based physical
+    /// line numbers counting comments and blanks.
+    pub fn parse<R: Read>(reader: R) -> Result<Self> {
+        let mut inserts = Vec::new();
+        let mut removes = Vec::new();
+        let reader = BufReader::new(reader);
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+                continue;
+            }
+            let mut it = trimmed.split_whitespace();
+            let op = it.next().expect("non-empty trimmed line has a first token");
+            let parse_err = |message: String| GraphError::Parse { line: lineno + 1, message };
+            if op != "+" && op != "-" {
+                return Err(parse_err(format!("bad op: expected '+' or '-', got '{op}'")));
+            }
+            let u: u64 = it
+                .next()
+                .ok_or_else(|| parse_err("missing source".into()))?
+                .parse()
+                .map_err(|e| parse_err(format!("bad source: {e}")))?;
+            let v: u64 = it
+                .next()
+                .ok_or_else(|| parse_err("missing target".into()))?
+                .parse()
+                .map_err(|e| parse_err(format!("bad target: {e}")))?;
+            if u > u32::MAX as u64 || v > u32::MAX as u64 {
+                return Err(parse_err("vertex id exceeds u32::MAX".into()));
+            }
+            if op == "+" {
+                inserts.push((u as VertexId, v as VertexId));
+            } else {
+                removes.push((u as VertexId, v as VertexId));
+            }
+        }
+        Self::new(inserts, removes)
+    }
+
+    /// Reads a delta file, sniffing the format: files starting with the
+    /// `DSDDELTA` magic decode through [`crate::binio::read_delta`],
+    /// anything else parses as text.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        if bytes.starts_with(crate::binio::DELTA_MAGIC) {
+            crate::binio::read_delta(&bytes[..])
+        } else {
+            Self::parse(&bytes[..])
+        }
+    }
+
+    /// Canonical undirected view: every pair collapsed to `(min, max)`,
+    /// with the duplicate/overlap invariants re-checked post-collapse
+    /// (a batch holding `+ 1 2` and `+ 2 1` is valid directed but a
+    /// duplicate undirected).
+    pub fn canonical_undirected(
+        &self,
+    ) -> Result<(Vec<(VertexId, VertexId)>, Vec<(VertexId, VertexId)>)> {
+        let canon = |&(u, v): &(VertexId, VertexId)| (u.min(v), u.max(v));
+        let inserts: Vec<_> = self.inserts.iter().map(canon).collect();
+        let removes: Vec<_> = self.removes.iter().map(canon).collect();
+        let mut seen = HashSet::with_capacity(inserts.len() + removes.len());
+        for &(u, v) in &inserts {
+            if !seen.insert((u, v)) {
+                return Err(duplicate_error('+', u, v));
+            }
+        }
+        let insert_set: HashSet<(VertexId, VertexId)> = inserts.iter().copied().collect();
+        seen.clear();
+        for &(u, v) in &removes {
+            if !seen.insert((u, v)) {
+                return Err(duplicate_error('-', u, v));
+            }
+            if insert_set.contains(&(u, v)) {
+                return Err(overlap_error(u, v));
+            }
+        }
+        Ok((inserts, removes))
+    }
+}
+
+fn range_check(u: VertexId, n: usize) -> Result<()> {
+    if (u as usize) < n {
+        Ok(())
+    } else {
+        Err(GraphError::VertexOutOfRange { vertex: u as u64, n: n as u64 })
+    }
+}
+
+/// Shared error text for removing an edge the base graph does not contain.
+fn remove_missing_error(u: VertexId, v: VertexId) -> GraphError {
+    GraphError::InvalidArgument(format!(
+        "delta removes edge ({u}, {v}) not present in the base graph"
+    ))
+}
+
+/// Shared error text for inserting an edge the base graph already contains.
+fn insert_existing_error(u: VertexId, v: VertexId) -> GraphError {
+    GraphError::InvalidArgument(format!(
+        "delta inserts edge ({u}, {v}) already present in the base graph"
+    ))
+}
+
+/// Patches one CSR direction in `O(n + m + b log b)` for a `b`-operation
+/// batch: adjacency lists of untouched vertices are copied wholesale
+/// (memcpy), only the `O(b)` touched lists are merge-rewritten. `add` and
+/// `del` hold `(owner, neighbour)` entries; both are sorted in place.
+/// Callers guarantee entries are valid (adds absent from the base list,
+/// dels present, no duplicates) — exactly what delta validation checks.
+fn patch_csr(
+    offsets: &[usize],
+    adj: &[VertexId],
+    add: &mut Vec<(VertexId, VertexId)>,
+    del: &mut Vec<(VertexId, VertexId)>,
+) -> (Vec<usize>, Vec<VertexId>) {
+    add.sort_unstable();
+    del.sort_unstable();
+    let n = offsets.len() - 1;
+    let mut new_offsets = Vec::with_capacity(n + 1);
+    let mut new_adj = Vec::with_capacity(adj.len() + add.len() - del.len());
+    new_offsets.push(0usize);
+    let (mut ai, mut di) = (0usize, 0usize);
+    for v in 0..n as VertexId {
+        let base = &adj[offsets[v as usize]..offsets[v as usize + 1]];
+        let a0 = ai;
+        while ai < add.len() && add[ai].0 == v {
+            ai += 1;
+        }
+        let d0 = di;
+        while di < del.len() && del[di].0 == v {
+            di += 1;
+        }
+        if a0 == ai && d0 == di {
+            new_adj.extend_from_slice(base);
+        } else {
+            // Both patch runs are sorted by neighbour (lexicographic tuple
+            // sort with equal owners), so a single merge pass keeps the
+            // rebuilt list sorted.
+            let adds = &add[a0..ai];
+            let dels = &del[d0..di];
+            let mut k = 0;
+            for &w in base {
+                if dels.binary_search_by_key(&w, |e| e.1).is_ok() {
+                    continue;
+                }
+                while k < adds.len() && adds[k].1 < w {
+                    new_adj.push(adds[k].1);
+                    k += 1;
+                }
+                new_adj.push(w);
+            }
+            while k < adds.len() {
+                new_adj.push(adds[k].1);
+                k += 1;
+            }
+        }
+        new_offsets.push(new_adj.len());
+    }
+    (new_offsets, new_adj)
+}
+
+/// Applies `batch` to an undirected base graph, returning the rebuilt
+/// graph. Validates range, remove-exists, and insert-does-not-exist; the
+/// vertex count is preserved. The rebuild is a surgical CSR patch
+/// ([`patch_csr`]), not a full re-ingest — `O(n + m)` dominated by one
+/// adjacency-array copy, so batch application stays far below the
+/// counting-sort build the maintenance speedup is measured against.
+pub fn apply_undirected(g: &UndirectedGraph, batch: &DeltaBatch) -> Result<UndirectedGraph> {
+    let n = g.num_vertices();
+    let (inserts, removes) = batch.canonical_undirected()?;
+    for &(u, v) in inserts.iter().chain(removes.iter()) {
+        range_check(u, n)?;
+        range_check(v, n)?;
+    }
+    for &(u, v) in &removes {
+        if !g.has_edge(u, v) {
+            return Err(remove_missing_error(u, v));
+        }
+    }
+    for &(u, v) in &inserts {
+        if g.has_edge(u, v) {
+            return Err(insert_existing_error(u, v));
+        }
+    }
+    let mut add = Vec::with_capacity(inserts.len() * 2);
+    let mut del = Vec::with_capacity(removes.len() * 2);
+    for &(u, v) in &inserts {
+        add.push((u, v));
+        add.push((v, u));
+    }
+    for &(u, v) in &removes {
+        del.push((u, v));
+        del.push((v, u));
+    }
+    let (offsets, adj) = patch_csr(g.offsets(), g.adjacency(), &mut add, &mut del);
+    Ok(UndirectedGraph::from_csr(offsets, adj))
+}
+
+/// Applies `batch` to a directed base graph; see [`apply_undirected`].
+/// Both the out- and in-CSR are surgically patched.
+pub fn apply_directed(g: &DirectedGraph, batch: &DeltaBatch) -> Result<DirectedGraph> {
+    let n = g.num_vertices();
+    for &(u, v) in batch.inserts().iter().chain(batch.removes().iter()) {
+        range_check(u, n)?;
+        range_check(v, n)?;
+    }
+    for &(u, v) in batch.removes() {
+        if !g.has_edge(u, v) {
+            return Err(remove_missing_error(u, v));
+        }
+    }
+    for &(u, v) in batch.inserts() {
+        if g.has_edge(u, v) {
+            return Err(insert_existing_error(u, v));
+        }
+    }
+    let mut out_add = Vec::with_capacity(batch.inserts().len());
+    let mut out_del = Vec::with_capacity(batch.removes().len());
+    let mut in_add = Vec::with_capacity(batch.inserts().len());
+    let mut in_del = Vec::with_capacity(batch.removes().len());
+    for &(u, v) in batch.inserts() {
+        out_add.push((u, v));
+        in_add.push((v, u));
+    }
+    for &(u, v) in batch.removes() {
+        out_del.push((u, v));
+        in_del.push((v, u));
+    }
+    let (out_offsets, out_adj) =
+        patch_csr(g.out_offsets(), g.out_adjacency(), &mut out_add, &mut out_del);
+    let (in_offsets, in_adj) =
+        patch_csr(g.in_offsets(), g.in_adjacency(), &mut in_add, &mut in_del);
+    Ok(DirectedGraph::from_csr(out_offsets, out_adj, in_offsets, in_adj))
+}
+
+/// A zero-copy "base − removes + revealed inserts" view of an undirected
+/// graph, implementing [`NeighborAccess`] so sweep kernels run on the
+/// updated topology without a CSR rebuild.
+///
+/// Construction applies every removal immediately; insertions start
+/// *hidden* and join the view one at a time through
+/// [`reveal_insert`](Self::reveal_insert) (see the module docs for why).
+/// Per-vertex patch lists are tiny in the intended regime (a batch touches
+/// few edges per vertex), so membership tests are linear scans.
+#[derive(Debug)]
+pub struct UndirectedOverlay<'g, G: NeighborAccess> {
+    base: &'g G,
+    /// Revealed inserted neighbours, per vertex.
+    extra: Vec<Vec<VertexId>>,
+    /// Removed neighbours, per vertex.
+    hidden: Vec<Vec<VertexId>>,
+    /// Maintained current degree, per vertex.
+    degree: Vec<u32>,
+    /// Canonical `(min, max)` insert pairs not yet revealed, in batch
+    /// order; `next_reveal` indexes the first pending one.
+    pending: Vec<(VertexId, VertexId)>,
+    next_reveal: usize,
+}
+
+impl<'g, G: NeighborAccess> UndirectedOverlay<'g, G> {
+    /// Builds the overlay from already-validated canonical pair lists (as
+    /// produced by [`DeltaBatch::canonical_undirected`] after the checks in
+    /// [`apply_undirected`]). All removes take effect now; all inserts are
+    /// pending.
+    pub fn new(
+        base: &'g G,
+        inserts: &[(VertexId, VertexId)],
+        removes: &[(VertexId, VertexId)],
+    ) -> Self {
+        let n = base.vertex_count();
+        let mut hidden = vec![Vec::new(); n];
+        let mut degree: Vec<u32> = (0..n).map(|v| base.degree_of(v as VertexId) as u32).collect();
+        for &(u, v) in removes {
+            hidden[u as usize].push(v);
+            hidden[v as usize].push(u);
+            degree[u as usize] -= 1;
+            degree[v as usize] -= 1;
+        }
+        Self {
+            base,
+            extra: vec![Vec::new(); n],
+            hidden,
+            degree,
+            pending: inserts.to_vec(),
+            next_reveal: 0,
+        }
+    }
+
+    /// Number of insertions not yet revealed.
+    pub fn pending_inserts(&self) -> usize {
+        self.pending.len() - self.next_reveal
+    }
+
+    /// Reveals the next pending insertion, returning its endpoints, or
+    /// `None` when all insertions are live.
+    pub fn reveal_insert(&mut self) -> Option<(VertexId, VertexId)> {
+        let &(u, v) = self.pending.get(self.next_reveal)?;
+        self.next_reveal += 1;
+        self.extra[u as usize].push(v);
+        self.extra[v as usize].push(u);
+        self.degree[u as usize] += 1;
+        self.degree[v as usize] += 1;
+        Some((u, v))
+    }
+}
+
+/// Neighbour cursor of [`UndirectedOverlay`]: base neighbours with the
+/// hidden ones filtered out, then the revealed extras.
+pub struct OverlayCursor<'s, C: Iterator<Item = VertexId>> {
+    base: C,
+    hidden: &'s [VertexId],
+    extra: std::slice::Iter<'s, VertexId>,
+}
+
+impl<C: Iterator<Item = VertexId>> Iterator for OverlayCursor<'_, C> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        for u in self.base.by_ref() {
+            if !self.hidden.contains(&u) {
+                return Some(u);
+            }
+        }
+        self.extra.next().copied()
+    }
+}
+
+impl<G: NeighborAccess> NeighborAccess for UndirectedOverlay<'_, G> {
+    type Cursor<'s>
+        = OverlayCursor<'s, G::Cursor<'s>>
+    where
+        Self: 's;
+
+    fn vertex_count(&self) -> usize {
+        self.base.vertex_count()
+    }
+
+    fn arc_count(&self) -> u64 {
+        self.degree.iter().map(|&d| d as u64).sum()
+    }
+
+    #[inline]
+    fn degree_of(&self, v: VertexId) -> usize {
+        self.degree[v as usize] as usize
+    }
+
+    #[inline]
+    fn neighbors_of(&self, v: VertexId) -> Self::Cursor<'_> {
+        OverlayCursor {
+            base: self.base.neighbors_of(v),
+            hidden: &self.hidden[v as usize],
+            extra: self.extra[v as usize].iter(),
+        }
+    }
+}
+
+/// Maps every out-CSR edge slot of `old` to its slot in `new` (`u32::MAX`
+/// for slots whose edge was removed), via a per-vertex merge walk of the
+/// two sorted out-neighbour lists. `new` slots not covered by the map are
+/// the inserted edges. Both graphs must have the same vertex count.
+pub fn slot_map_directed(old: &DirectedGraph, new: &DirectedGraph) -> Vec<u32> {
+    assert_eq!(old.num_vertices(), new.num_vertices(), "slot map requires equal vertex counts");
+    let mut map = vec![u32::MAX; old.num_edges()];
+    let mut old_slot = 0usize;
+    let mut new_slot = 0usize;
+    for v in old.vertices() {
+        let old_nbrs = old.out_neighbors(v);
+        let new_nbrs = new.out_neighbors(v);
+        let mut j = 0usize;
+        for (i, &w) in old_nbrs.iter().enumerate() {
+            while j < new_nbrs.len() && new_nbrs[j] < w {
+                j += 1;
+            }
+            if j < new_nbrs.len() && new_nbrs[j] == w {
+                map[old_slot + i] = (new_slot + j) as u32;
+                j += 1;
+            }
+        }
+        old_slot += old_nbrs.len();
+        new_slot += new_nbrs.len();
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    fn path_graph(n: usize) -> UndirectedGraph {
+        let mut b = UndirectedGraphBuilder::new(n);
+        for v in 1..n as VertexId {
+            b.push_edge(v - 1, v);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn new_rejects_empty_and_structural_violations() {
+        assert!(DeltaBatch::new(vec![], vec![]).is_err());
+        assert!(DeltaBatch::new(vec![(1, 1)], vec![]).is_err());
+        assert!(DeltaBatch::new(vec![(1, 2), (1, 2)], vec![]).is_err());
+        assert!(DeltaBatch::new(vec![(1, 2)], vec![(1, 2)]).is_err());
+        // Directed batches may hold both orientations.
+        assert!(DeltaBatch::new(vec![(1, 2), (2, 1)], vec![]).is_ok());
+    }
+
+    #[test]
+    fn canonical_undirected_collapses_orientations() {
+        let b = DeltaBatch::new(vec![(2, 1)], vec![(5, 3)]).unwrap();
+        let (ins, rem) = b.canonical_undirected().unwrap();
+        assert_eq!(ins, vec![(1, 2)]);
+        assert_eq!(rem, vec![(3, 5)]);
+        let dup = DeltaBatch::new(vec![(1, 2), (2, 1)], vec![]).unwrap();
+        assert!(dup.canonical_undirected().is_err());
+    }
+
+    #[test]
+    fn text_parse_round_trip_and_errors() {
+        let batch =
+            DeltaBatch::parse("# churn\n+ 0 3\n- 1 2\n\n% tail\n+ 4 5\n".as_bytes()).unwrap();
+        assert_eq!(batch.inserts(), &[(0, 3), (4, 5)]);
+        assert_eq!(batch.removes(), &[(1, 2)]);
+        let err = DeltaBatch::parse("+ 0 1\n* 2 3\n".as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "parse error on line 2: bad op: expected '+' or '-', got '*'");
+        let err = DeltaBatch::parse("# lead\n\n+ 7\n".as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "parse error on line 3: missing target");
+        let err = DeltaBatch::parse("- x 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().starts_with("parse error on line 1: bad source:"));
+        let err = DeltaBatch::parse("+ 0 4294967296\n".as_bytes()).unwrap_err();
+        assert_eq!(err.to_string(), "parse error on line 1: vertex id exceeds u32::MAX");
+        assert_eq!(
+            DeltaBatch::parse("# only comments\n".as_bytes()).unwrap_err().to_string(),
+            empty_batch_error().to_string()
+        );
+    }
+
+    #[test]
+    fn apply_undirected_validates_and_rebuilds() {
+        let g = path_graph(5);
+        let batch = DeltaBatch::new(vec![(0, 4)], vec![(2, 1)]).unwrap();
+        let updated = apply_undirected(&g, &batch).unwrap();
+        assert_eq!(updated.num_vertices(), 5);
+        assert!(updated.has_edge(0, 4));
+        assert!(!updated.has_edge(1, 2));
+        assert_eq!(updated.num_edges(), g.num_edges());
+
+        let missing = DeltaBatch::new(vec![], vec![(0, 3)]).unwrap();
+        assert_eq!(
+            apply_undirected(&g, &missing).unwrap_err().to_string(),
+            "invalid argument: delta removes edge (0, 3) not present in the base graph"
+        );
+        let existing = DeltaBatch::new(vec![(1, 0)], vec![]).unwrap();
+        assert_eq!(
+            apply_undirected(&g, &existing).unwrap_err().to_string(),
+            "invalid argument: delta inserts edge (0, 1) already present in the base graph"
+        );
+        let out_of_range = DeltaBatch::new(vec![(0, 9)], vec![]).unwrap();
+        assert!(matches!(
+            apply_undirected(&g, &out_of_range),
+            Err(GraphError::VertexOutOfRange { vertex: 9, n: 5 })
+        ));
+    }
+
+    #[test]
+    fn apply_directed_respects_orientation() {
+        let g = DirectedGraphBuilder::new(3).add_edges([(0, 1), (1, 2)]).build().unwrap();
+        // (1, 0) does not exist even though (0, 1) does.
+        let rev = DeltaBatch::new(vec![], vec![(1, 0)]).unwrap();
+        assert!(apply_directed(&g, &rev).is_err());
+        let ok = DeltaBatch::new(vec![(1, 0), (2, 0)], vec![(0, 1)]).unwrap();
+        let updated = apply_directed(&g, &ok).unwrap();
+        assert!(updated.has_edge(1, 0) && updated.has_edge(2, 0) && !updated.has_edge(0, 1));
+        assert_eq!(updated.num_edges(), 3);
+    }
+
+    #[test]
+    fn overlay_tracks_reveals_and_matches_rebuild() {
+        let g = path_graph(6);
+        let batch = DeltaBatch::new(vec![(0, 3), (2, 5)], vec![(1, 2), (4, 5)]).unwrap();
+        let (ins, rem) = batch.canonical_undirected().unwrap();
+        let mut ov = UndirectedOverlay::new(&g, &ins, &rem);
+        assert_eq!(ov.pending_inserts(), 2);
+        assert_eq!(ov.degree_of(1), 1); // lost edge to 2
+        assert_eq!(ov.degree_of(5), 0); // lost edge to 4, (2,5) still hidden
+        assert_eq!(ov.reveal_insert(), Some((0, 3)));
+        assert_eq!(ov.reveal_insert(), Some((2, 5)));
+        assert_eq!(ov.reveal_insert(), None);
+        let rebuilt = apply_undirected(&g, &batch).unwrap();
+        for v in rebuilt.vertices() {
+            assert_eq!(ov.degree_of(v), rebuilt.degree(v), "degree of {v}");
+            let mut from_overlay: Vec<VertexId> = ov.neighbors_of(v).collect();
+            from_overlay.sort_unstable();
+            assert_eq!(from_overlay, rebuilt.neighbors(v), "neighbours of {v}");
+        }
+        assert_eq!(ov.arc_count(), 2 * rebuilt.num_edges() as u64);
+    }
+
+    #[test]
+    fn slot_map_tracks_surviving_edges() {
+        let old = DirectedGraphBuilder::new(4)
+            .add_edges([(0, 1), (0, 2), (1, 3), (2, 0), (2, 3)])
+            .build()
+            .unwrap();
+        let batch = DeltaBatch::new(vec![(0, 3), (3, 1)], vec![(0, 2), (2, 3)]).unwrap();
+        let new = apply_directed(&old, &batch).unwrap();
+        let map = slot_map_directed(&old, &new);
+        let old_edges: Vec<_> = old.edges().collect();
+        let new_edges: Vec<_> = new.edges().collect();
+        for (slot, &(u, v)) in old_edges.iter().enumerate() {
+            if batch.removes().contains(&(u, v)) {
+                assert_eq!(map[slot], u32::MAX, "removed edge ({u}, {v})");
+            } else {
+                assert_eq!(new_edges[map[slot] as usize], (u, v), "surviving edge ({u}, {v})");
+            }
+        }
+    }
+}

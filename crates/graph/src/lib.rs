@@ -35,6 +35,7 @@ pub mod binio;
 pub mod builder;
 pub mod components;
 pub mod compress;
+pub mod delta;
 pub mod directed;
 pub mod error;
 pub mod gen;
@@ -51,6 +52,7 @@ pub use compress::{
     CompressedCsr, CompressedDigraph, DirectedNeighborAccess, DirectedStorage, NeighborAccess,
     NeighborCursor, UndirectedStorage,
 };
+pub use delta::{apply_directed, apply_undirected, DeltaBatch, UndirectedOverlay};
 pub use directed::DirectedGraph;
 pub use error::GraphError;
 pub use ingest::SpillConfig;

@@ -114,11 +114,16 @@ pub enum Counter {
     /// engine — one per popped vertex per Greedy++ round, one per edge
     /// orientation variable per FISTA step.
     LoadsUpdated,
+    /// `dsd-core::dynamic`: vertices seeded into the maintenance frontier
+    /// for one update batch — deletion endpoints plus insertion-candidate
+    /// vertices (the `core == K` BFS regions). One unit = one seeded
+    /// vertex; the batch's from-scratch alternative would seed `n`.
+    FrontierSize,
 }
 
 impl Counter {
     /// Every counter, in shard-slot order (also the JSON emission order).
-    pub const ALL: [Counter; 9] = [
+    pub const ALL: [Counter; 10] = [
         Counter::HUpdatesApplied,
         Counter::FrontierEnqueues,
         Counter::ChunkMinRescans,
@@ -128,6 +133,7 @@ impl Counter {
         Counter::DecodeBytes,
         Counter::EncodeBytes,
         Counter::LoadsUpdated,
+        Counter::FrontierSize,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -144,6 +150,7 @@ impl Counter {
             Counter::DecodeBytes => "decode_bytes",
             Counter::EncodeBytes => "encode_bytes",
             Counter::LoadsUpdated => "loads_updated",
+            Counter::FrontierSize => "frontier_size",
         }
     }
 }
@@ -227,11 +234,21 @@ pub enum Phase {
     /// Iterative engine: flow certification of the incumbent against the
     /// push-relabel oracle (`--certify exact`).
     IterateCertify,
+    /// Dynamic engine: computing the affected frontier of an update batch
+    /// (deletion endpoints, insertion-candidate BFS) in
+    /// `dsd-core::dynamic`.
+    DynamicFrontier,
+    /// Dynamic engine: frontier-bounded h-index sweeps re-converging the
+    /// k*-core decomposition after a batch.
+    DynamicSweep,
+    /// Dynamic engine: the restricted chunk-min peel re-deriving the
+    /// w-induced decomposition below the changed-weight cutoff `W*`.
+    DynamicPeel,
 }
 
 impl Phase {
     /// Every phase, in shard-slot order.
-    pub const ALL: [Phase; 26] = [
+    pub const ALL: [Phase; 29] = [
         Phase::Init,
         Phase::Sweep,
         Phase::Apply,
@@ -258,6 +275,9 @@ impl Phase {
         Phase::IterateGradient,
         Phase::IterateExtract,
         Phase::IterateCertify,
+        Phase::DynamicFrontier,
+        Phase::DynamicSweep,
+        Phase::DynamicPeel,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -291,6 +311,9 @@ impl Phase {
             Phase::IterateGradient => "iterate/gradient",
             Phase::IterateExtract => "iterate/extract",
             Phase::IterateCertify => "iterate/certify",
+            Phase::DynamicFrontier => "dynamic/frontier",
+            Phase::DynamicSweep => "dynamic/sweep",
+            Phase::DynamicPeel => "dynamic/peel",
         }
     }
 }

@@ -882,6 +882,7 @@ mod tests {
                 Counter::DecodeBytes => "decode_bytes",
                 Counter::EncodeBytes => "encode_bytes",
                 Counter::LoadsUpdated => "loads_updated",
+                Counter::FrontierSize => "frontier_size",
             }
         }
         let design = include_str!("../../../DESIGN.md");

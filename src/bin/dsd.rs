@@ -25,7 +25,7 @@ static ALLOC: dsd_telemetry::alloc::CountingAlloc = dsd_telemetry::alloc::Counti
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd profile --input FILE [--algo ALGO] [--directed] [--threads N]\n            [--trace FILE] [--chrome FILE] [--folded FILE]\n            (runs one engine under the flight recorder: prints the phase /\n             span / histogram / allocation summary, and optionally writes\n             the dsd-trace/v2 JSON, a chrome://tracing trace-event file,\n             and flamegraph-ready folded stacks)\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)"
+        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd profile --input FILE [--algo ALGO] [--directed] [--threads N]\n            [--trace FILE] [--chrome FILE] [--folded FILE]\n            (runs one engine under the flight recorder: prints the phase /\n             span / histogram / allocation summary, and optionally writes\n             the dsd-trace/v2 JSON, a chrome://tracing trace-event file,\n             and flamegraph-ready folded stacks)\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)\n  dsd update --input FILE --delta FILE [--directed] [--threads N]\n            [--trace FILE] [--out FILE]\n            (applies an edge-delta file — text `+ u v`/`- u v` lines or\n             the DSDDELTA binary — to a base graph in any format and\n             maintains the k*-core / w-induced certificate incrementally\n             from the previous fixed point; --out writes the updated\n             graph as a text edge list)"
     );
     ExitCode::from(2)
 }
@@ -82,6 +82,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "decompose" => cmd_decompose(&flags),
         "pack" => cmd_pack(&flags),
+        "update" => cmd_update(&flags),
         _ => return usage(),
     };
     match result {
@@ -235,7 +236,23 @@ fn cmd_dds(flags: &HashMap<String, String>) -> Result<(), String> {
     let input = flags.get("input").ok_or("--input is required")?;
     let g = dsd_graph::io::read_directed_path(input).map_err(|e| e.to_string())?;
     let algo = parse_dds_algo(flags)?;
-    let r = with_threads(flags, || run_dds(&g, algo))?;
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() {
+        dsd_telemetry::set_enabled(true);
+        dsd_telemetry::begin_trace(&format!("dds/{input}"));
+    }
+    // The iterative engine runs outside `run_dds` so the certificate
+    // survives to the report: the directed Greedy++ has no dual bound, so
+    // a budget-bounded run must say `budget-exhausted` rather than let
+    // the fixed-budget stop read as convergence.
+    let (r, iterative) = match algo {
+        DdsAlgorithm::GreedyPP { iterations, certify_exact } => {
+            let cfg = dsd_core::dds::iterate::DdsIterateConfig { iterations, certify_exact };
+            let it = with_threads(flags, || dsd_core::dds::iterate::greedy_pp_dds(&g, &cfg))?;
+            (it.result.clone(), Some(it))
+        }
+        _ => (with_threads(flags, || run_dds(&g, algo))?, None),
+    };
     println!(
         "graph: |V|={} |E|={}\nalgorithm: {algo:?}\ndensity: {:.6}\n|S|={} |T|={}\niterations: {}\ntime: {:.3?}",
         g.num_vertices(),
@@ -246,8 +263,16 @@ fn cmd_dds(flags: &HashMap<String, String>) -> Result<(), String> {
         r.stats.iterations,
         r.stats.wall
     );
+    if let Some(it) = &iterative {
+        println!("rounds: {}\ncertificate: {}", it.rounds, it.certificate_label());
+    }
     if flags.contains_key("print-vertices") {
         println!("S: {:?}\nT: {:?}", r.s, r.t);
+    }
+    if let Some(path) = trace_path {
+        let trace = dsd_telemetry::end_trace().ok_or("telemetry trace unavailable")?;
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {path}");
     }
     Ok(())
 }
@@ -418,6 +443,117 @@ fn cmd_decompose(flags: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown decomposition {other}")),
     }
     out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Loads an undirected base graph from any on-disk format: text edge
+/// list, binary v1, or packed v2 (decompressed once to plain CSR — the
+/// dynamic engine mutates plain CSR between versions).
+fn load_undirected_any(path: &str) -> Result<dsd_graph::UndirectedGraph, String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    if bytes.len() >= 10 && &bytes[..8] == b"DSDGRAPH" {
+        if bytes[9] >= 2 {
+            Ok(dsd_graph::binio::load_compressed_undirected_path(path)
+                .map_err(|e| e.to_string())?
+                .decompress())
+        } else {
+            dsd_graph::binio::read_undirected_binary(&bytes[..]).map_err(|e| e.to_string())
+        }
+    } else {
+        dsd_graph::io::read_undirected(&bytes[..]).map_err(|e| e.to_string())
+    }
+}
+
+/// Directed counterpart of [`load_undirected_any`].
+fn load_directed_any(path: &str) -> Result<dsd_graph::DirectedGraph, String> {
+    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+    if bytes.len() >= 10 && &bytes[..8] == b"DSDGRAPH" {
+        if bytes[9] >= 2 {
+            Ok(dsd_graph::binio::load_compressed_directed_path(path)
+                .map_err(|e| e.to_string())?
+                .decompress())
+        } else {
+            dsd_graph::binio::read_directed_binary(&bytes[..]).map_err(|e| e.to_string())
+        }
+    } else {
+        dsd_graph::io::read_directed(&bytes[..]).map_err(|e| e.to_string())
+    }
+}
+
+/// Applies an edge-delta file to a base graph and maintains the
+/// decomposition certificate incrementally from the previous version's
+/// fixed point (`dsd_core::dynamic`): the k*-core vector re-converges
+/// from the affected frontier only, and the w-induced peel re-runs only
+/// below the batch's cutoff weight with everything above it frozen.
+fn cmd_update(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::Write as _;
+    let input = flags.get("input").ok_or("--input is required")?;
+    let delta_path = flags.get("delta").ok_or("--delta is required")?;
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() {
+        dsd_telemetry::set_enabled(true);
+        dsd_telemetry::begin_trace(&format!("update/{input}"));
+    }
+    let batch = dsd_graph::DeltaBatch::load(delta_path).map_err(|e| e.to_string())?;
+    println!(
+        "delta: {} inserts, {} removes ({delta_path})",
+        batch.inserts().len(),
+        batch.removes().len()
+    );
+    if flags.contains_key("directed") {
+        let g = load_directed_any(input)?;
+        let (n0, m0) = (g.num_vertices(), g.num_edges());
+        let (state, outcome) = with_threads(flags, || {
+            let mut state = dsd_core::dynamic::DynamicDirectedState::new(g);
+            let outcome = state.apply_batch(&batch);
+            (state, outcome)
+        })?;
+        let outcome = outcome.map_err(|e| e.to_string())?;
+        println!(
+            "graph: |V|={} |E|={} -> |E|={}\nw* = {}\nfrontier: {} active edges, {} frozen\nthreshold rounds: {}",
+            n0,
+            m0,
+            state.graph().num_edges(),
+            state.w_star(),
+            outcome.frontier_size,
+            outcome.frozen,
+            outcome.rounds
+        );
+        if let Some(out) = flags.get("out") {
+            let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+            dsd_graph::io::write_directed(state.graph(), f).map_err(|e| e.to_string())?;
+            println!("updated graph: {out}");
+        }
+    } else {
+        let g = load_undirected_any(input)?;
+        let (n0, m0) = (g.num_vertices(), g.num_edges());
+        let (state, outcome) = with_threads(flags, || {
+            let mut state = dsd_core::dynamic::DynamicUndirectedState::new(g);
+            let outcome = state.apply_batch(&batch);
+            (state, outcome)
+        })?;
+        let outcome = outcome.map_err(|e| e.to_string())?;
+        println!(
+            "graph: |V|={} |E|={} -> |E|={}\nk* = {}\nfrontier: {} vertices\nsweep rounds: {}",
+            n0,
+            m0,
+            state.graph().num_edges(),
+            state.k_star(),
+            outcome.frontier_size,
+            outcome.rounds
+        );
+        if let Some(out) = flags.get("out") {
+            let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+            dsd_graph::io::write_undirected(state.graph(), f).map_err(|e| e.to_string())?;
+            println!("updated graph: {out}");
+        }
+    }
+    if let Some(path) = trace_path {
+        let trace = dsd_telemetry::end_trace().ok_or("telemetry trace unavailable")?;
+        std::fs::write(path, trace.to_json()).map_err(|e| e.to_string())?;
+        println!("trace: {path}");
+    }
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
     Ok(())
 }
 

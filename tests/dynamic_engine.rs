@@ -1,0 +1,225 @@
+//! Differential property tests for the incremental decomposition engine
+//! (`dsd_core::dynamic`): on random base graphs with random insert/delete
+//! batches, the frontier-bounded batch update must be **bit-identical**
+//! to from-scratch recomputation on the updated graph — for both graph
+//! kinds, at thread pools {1, 2, 4}, and from either storage
+//! representation (plain CSR and compressed delta-varint).
+
+use proptest::prelude::*;
+
+use dsd_core::dynamic::{
+    scratch_directed, scratch_undirected, DynamicDirectedState, DynamicUndirectedState,
+};
+use dsd_core::runner::with_threads;
+use dsd_graph::compress::{DirectedStorage, UndirectedStorage};
+use dsd_graph::delta::{apply_directed, apply_undirected, DeltaBatch};
+use dsd_graph::{DirectedGraph, UndirectedGraph, VertexId};
+
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(default_cases)
+}
+
+/// Splitmix-style step for deterministic churn sampling.
+fn next(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *x >> 11
+}
+
+/// Deterministic churn batch against an undirected base: up to `n_rem`
+/// distinct existing edges removed, up to `n_ins` distinct absent pairs
+/// inserted. `None` when the batch would be empty (rejected by
+/// `DeltaBatch::new`).
+fn churn_undirected(
+    g: &UndirectedGraph,
+    seed: u64,
+    n_ins: usize,
+    n_rem: usize,
+) -> Option<DeltaBatch> {
+    let n = g.num_vertices() as u64;
+    let edges: Vec<_> = g.edges().collect();
+    let mut x = seed | 1;
+    let mut removes = Vec::new();
+    if !edges.is_empty() {
+        let mut i = (next(&mut x) as usize) % edges.len();
+        while removes.len() < n_rem.min(edges.len()) {
+            let e = edges[i % edges.len()];
+            if !removes.contains(&e) {
+                removes.push(e);
+            }
+            i += 1;
+        }
+    }
+    let mut inserts = Vec::new();
+    let mut tries = 0;
+    while inserts.len() < n_ins && tries < 400 {
+        tries += 1;
+        let u = (next(&mut x) % n) as VertexId;
+        let v = (next(&mut x) % n) as VertexId;
+        let (a, b) = (u.min(v), u.max(v));
+        if a == b || g.has_edge(a, b) || inserts.contains(&(a, b)) {
+            continue;
+        }
+        inserts.push((a, b));
+    }
+    DeltaBatch::new(inserts, removes).ok()
+}
+
+/// Directed counterpart of [`churn_undirected`]; arcs keep orientation.
+fn churn_directed(g: &DirectedGraph, seed: u64, n_ins: usize, n_rem: usize) -> Option<DeltaBatch> {
+    let n = g.num_vertices() as u64;
+    let edges: Vec<_> = g.edges().collect();
+    let mut x = seed | 1;
+    let mut removes = Vec::new();
+    if !edges.is_empty() {
+        let mut i = (next(&mut x) as usize) % edges.len();
+        while removes.len() < n_rem.min(edges.len()) {
+            let e = edges[i % edges.len()];
+            if !removes.contains(&e) {
+                removes.push(e);
+            }
+            i += 1;
+        }
+    }
+    let mut inserts = Vec::new();
+    let mut tries = 0;
+    while inserts.len() < n_ins && tries < 400 {
+        tries += 1;
+        let u = (next(&mut x) % n) as VertexId;
+        let v = (next(&mut x) % n) as VertexId;
+        if u == v || g.has_edge(u, v) || inserts.contains(&(u, v)) {
+            continue;
+        }
+        inserts.push((u, v));
+    }
+    DeltaBatch::new(inserts, removes).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    #[test]
+    fn undirected_batch_bit_identical_to_scratch_at_all_pools(
+        n in 8usize..60,
+        m in 20usize..300,
+        seed in any::<u64>(),
+        n_ins in 0usize..8,
+        n_rem in 0usize..8,
+    ) {
+        let g = dsd_graph::gen::erdos_renyi(n, m, seed);
+        let Some(batch) = churn_undirected(&g, seed, n_ins, n_rem) else {
+            return Ok(());
+        };
+        let updated = apply_undirected(&g, &batch).unwrap();
+        let oracle = scratch_undirected(&updated);
+        for pool in [1usize, 2, 4] {
+            let core = with_threads(pool, || {
+                let mut st = DynamicUndirectedState::new(g.clone());
+                st.apply_batch(&batch).unwrap();
+                st.core_numbers().to_vec()
+            });
+            prop_assert_eq!(
+                &core, &oracle,
+                "pool {} diverged from scratch", pool
+            );
+        }
+        // Same result when the state starts from compressed storage.
+        let c = dsd_graph::CompressedCsr::from_graph(&g);
+        let mut st =
+            DynamicUndirectedState::from_storage(&UndirectedStorage::Compressed(&c));
+        st.apply_batch(&batch).unwrap();
+        prop_assert_eq!(st.core_numbers(), oracle.as_slice());
+    }
+
+    #[test]
+    fn directed_batch_bit_identical_to_scratch_at_all_pools(
+        n in 6usize..45,
+        m in 15usize..220,
+        seed in any::<u64>(),
+        n_ins in 0usize..7,
+        n_rem in 0usize..7,
+    ) {
+        let g = dsd_graph::gen::erdos_renyi_directed(n, m, seed);
+        let Some(batch) = churn_directed(&g, seed, n_ins, n_rem) else {
+            return Ok(());
+        };
+        let updated = apply_directed(&g, &batch).unwrap();
+        let oracle = scratch_directed(&updated);
+        for pool in [1usize, 2, 4] {
+            let (induce, w_star) = with_threads(pool, || {
+                let mut st = DynamicDirectedState::new(g.clone());
+                st.apply_batch(&batch).unwrap();
+                (st.induce_numbers().to_vec(), st.w_star())
+            });
+            prop_assert_eq!(
+                &induce, &oracle.induce_number,
+                "pool {} diverged from scratch", pool
+            );
+            prop_assert_eq!(w_star, oracle.w_star);
+        }
+        let c = dsd_graph::CompressedDigraph::from_graph(&g);
+        let mut st = DynamicDirectedState::from_storage(&DirectedStorage::Compressed(&c));
+        st.apply_batch(&batch).unwrap();
+        prop_assert_eq!(st.induce_numbers(), oracle.induce_number.as_slice());
+        prop_assert_eq!(st.w_star(), oracle.w_star);
+    }
+
+    #[test]
+    fn sequential_batches_remain_exact(
+        n in 10usize..50,
+        m in 25usize..200,
+        seed in any::<u64>(),
+    ) {
+        // Chained updates: each batch applies to the previous version, so
+        // any drift compounds — three rounds with per-round oracles pin
+        // that the maintained state never detaches from the true fixed
+        // point.
+        let mut g = dsd_graph::gen::chung_lu(n, m, 2.3, seed);
+        let mut u_state = DynamicUndirectedState::new(g.clone());
+        for round in 0..3u64 {
+            let Some(batch) = churn_undirected(&g, seed ^ (round + 1), 3, 3) else {
+                continue;
+            };
+            u_state.apply_batch(&batch).unwrap();
+            g = apply_undirected(&g, &batch).unwrap();
+            let oracle = scratch_undirected(&g);
+            prop_assert_eq!(u_state.core_numbers(), oracle.as_slice());
+        }
+    }
+
+    #[test]
+    fn warm_started_dual_bound_brackets_new_optimum(
+        n in 8usize..26,
+        m in 12usize..80,
+        seed in any::<u64>(),
+    ) {
+        use dsd_core::uds::iterate::{
+            greedy_pp, greedy_pp_warm, CertifyMode, IterateConfig,
+        };
+        let g = dsd_graph::gen::erdos_renyi(n, m, seed);
+        if g.num_edges() == 0 {
+            return Ok(());
+        }
+        let cfg = IterateConfig { iterations: 12, epsilon: 0.001, certify: CertifyMode::Dual };
+        let cold = greedy_pp(&g, &cfg);
+        let Some(batch) = churn_undirected(&g, seed ^ 0xdead, 3, 3) else {
+            return Ok(());
+        };
+        let g2 = apply_undirected(&g, &batch).unwrap();
+        if g2.num_edges() == 0 {
+            return Ok(());
+        }
+        let warm = greedy_pp_warm(&g2, &cfg, Some(&cold.loads));
+        let exact = greedy_pp(
+            &g2,
+            &IterateConfig { iterations: 12, epsilon: 0.0, certify: CertifyMode::Exact },
+        );
+        // The reseeded run's dual bound must still bracket the *new*
+        // graph's optimum — the bound is taken over this run's load
+        // deltas only, so prior mass cannot deflate it.
+        prop_assert!(
+            warm.upper_bound >= exact.result.density - 1e-9,
+            "warm bound {} < optimum {}", warm.upper_bound, exact.result.density
+        );
+        prop_assert!(warm.result.density <= warm.upper_bound + 1e-9);
+    }
+}
