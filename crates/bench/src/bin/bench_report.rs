@@ -1100,6 +1100,175 @@ fn dynamic_section(
     }
 }
 
+/// Query-latency percentiles for one serve query kind, measured
+/// client-side over a loopback TCP round trip (frame encode + dispatch +
+/// snapshot read + frame decode).
+#[derive(Serialize)]
+struct ServingLatency {
+    kind: &'static str,
+    queries: usize,
+    p50_secs: f64,
+    p90_secs: f64,
+    p99_secs: f64,
+}
+
+/// The PR-10 serving section: `dsd serve` query latency against the
+/// precomputed snapshot, and what a snapshot install costs the readers.
+#[derive(Serialize)]
+struct ServingSection {
+    latency: Vec<ServingLatency>,
+    /// Best-of round trip for an `update` op: delta apply + certificate
+    /// rebuild + snapshot install, end to end.
+    update_roundtrip_best_secs: f64,
+    /// Worst densest-query latency observed by a reader running
+    /// *concurrently* with the snapshot installs — the reader-visible
+    /// install stall. Epoch reclamation means readers never block on the
+    /// writer, so this should stay within the same order of magnitude as
+    /// the idle p99 rather than absorbing the rebuild cost.
+    install_stall_max_query_secs: f64,
+    /// One-shot `pkmc` wall / best cached densest round trip — the PR-10
+    /// headline: what precomputing the certificate at load time buys every
+    /// subsequent query.
+    speedup_cached_vs_oneshot: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Times the serving layer end to end over loopback TCP: per-kind query
+/// percentiles on an idle daemon, update round trips, and the
+/// reader-observed stall while installs happen concurrently.
+fn serving_section(g: &UndirectedGraph, reps: usize, smoke: bool) -> ServingSection {
+    use dsd_serve::protocol::{read_frame, write_frame};
+    use dsd_serve::{ServeConfig, Server};
+    use std::net::TcpStream;
+
+    let server = Server::start_tcp(
+        dsd_core::dynamic::DynamicState::new_undirected(g.clone()),
+        "127.0.0.1:0",
+        ServeConfig::default(),
+    )
+    .expect("serving bench binds loopback");
+    let addr = server.local_addr().expect("tcp server has an address");
+    let query = |stream: &mut TcpStream, payload: &str| -> f64 {
+        let t0 = Instant::now();
+        write_frame(stream, payload).expect("serving bench send");
+        let frame = read_frame(stream)
+            .expect("serving bench read")
+            .expect("serving bench connection open")
+            .expect("serving bench well-formed frame");
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(frame.contains("\"ok\":true"), "serving bench query failed: {frame}");
+        wall
+    };
+
+    // --- Idle per-kind latency percentiles (one keep-alive connection,
+    // sequential queries, client-side wall). ---
+    let n = g.num_vertices();
+    let probe: Vec<String> = (0..8).map(|i| (i * n.max(8) / 8).to_string()).collect();
+    let kinds: Vec<(&'static str, String)> = vec![
+        ("densest", "{\"op\":\"densest\"}".to_string()),
+        ("density", format!("{{\"op\":\"density\",\"vertices\":[{}]}}", probe.join(","))),
+        ("core", format!("{{\"op\":\"core\",\"vertices\":[{}]}}", probe.join(","))),
+        ("neighborhood", "{\"op\":\"neighborhood\",\"seed\":0,\"k\":3}".to_string()),
+        ("greedypp", "{\"op\":\"greedypp\",\"iterations\":4,\"epsilon\":0.05}".to_string()),
+    ];
+    let queries = if smoke { 40 } else { 300 };
+    let mut stream = TcpStream::connect(addr).expect("serving bench connects");
+    stream.set_nodelay(true).expect("serving bench nodelay");
+    let mut latency = Vec::new();
+    for (kind, payload) in &kinds {
+        let mut samples: Vec<f64> = (0..queries).map(|_| query(&mut stream, payload)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+        latency.push(ServingLatency {
+            kind,
+            queries,
+            p50_secs: percentile(&samples, 0.50),
+            p90_secs: percentile(&samples, 0.90),
+            p99_secs: percentile(&samples, 0.99),
+        });
+    }
+    let densest_best =
+        latency.iter().find(|l| l.kind == "densest").expect("densest kind measured").p50_secs;
+
+    // --- Snapshot installs under concurrent reads: a reader hammers
+    // densest queries while the writer applies churn batches; its worst
+    // observed latency is the reader-visible install stall. ---
+    let edges: Vec<_> = g.edges().collect();
+    let installs = if smoke { 4 } else { 8 };
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("stall reader connects");
+            stream.set_nodelay(true).expect("stall reader nodelay");
+            let mut worst = 0.0f64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let t0 = Instant::now();
+                write_frame(&mut stream, "{\"op\":\"densest\"}").expect("stall reader send");
+                read_frame(&mut stream)
+                    .expect("stall reader read")
+                    .expect("stall reader connection open")
+                    .expect("stall reader well-formed frame");
+                worst = worst.max(t0.elapsed().as_secs_f64());
+            }
+            worst
+        })
+    };
+    let mut update_best = f64::MAX;
+    for i in 0..installs {
+        let batch = churn_batch(
+            &edges,
+            g.num_vertices(),
+            |u, v| g.has_edge(u, v),
+            false,
+            10,
+            0xbeef ^ i as u64,
+        );
+        let inverse = DeltaBatch::new(batch.removes().to_vec(), batch.inserts().to_vec())
+            .expect("inverse churn batch is valid");
+        for batch in [&batch, &inverse] {
+            let fmt = |pairs: &[(VertexId, VertexId)]| {
+                pairs.iter().map(|(u, v)| format!("[{u},{v}]")).collect::<Vec<_>>().join(",")
+            };
+            let payload = format!(
+                "{{\"op\":\"update\",\"insert\":[{}],\"remove\":[{}]}}",
+                fmt(batch.inserts()),
+                fmt(batch.removes())
+            );
+            update_best = update_best.min(query(&mut stream, &payload));
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let install_stall = reader.join().expect("stall reader finishes");
+
+    // --- Headline: the certificate is precomputed once per install, so a
+    // cached densest query costs a frame round trip, not a decomposition.
+    // (The inverse batches above returned the daemon to the base graph,
+    // so both sides answer for the same instance.) ---
+    let (oneshot_best, _, _) = time_reps(reps, || {
+        let r: dsd_core::uds::UdsResult =
+            pkmc_in(g, PkmcConfig::new(), &mut SweepWorkspace::new()).into();
+        r
+    });
+    let speedup = oneshot_best.as_secs_f64() / densest_best.max(1e-12);
+
+    drop(stream);
+    server.shutdown();
+    server.join();
+    ServingSection {
+        latency,
+        update_roundtrip_best_secs: update_best,
+        install_stall_max_query_secs: install_stall,
+        speedup_cached_vs_oneshot: speedup,
+    }
+}
+
 #[derive(Serialize)]
 struct Report {
     schema: &'static str,
@@ -1124,6 +1293,8 @@ struct Report {
     observability: ObservabilitySection,
     /// Incremental decomposition engine figures (PR 9).
     dynamic: DynamicSection,
+    /// Snapshot-isolated query daemon figures (PR 10).
+    serving: ServingSection,
     /// End-to-end contributed algorithms.
     end_to_end: Vec<Timing>,
     /// Per-round decomposition traces (`--trace` only): a
@@ -1385,7 +1556,7 @@ fn main() {
             if smoke {
                 "BENCH_SMOKE.json".to_string()
             } else {
-                "BENCH_PR9.json".to_string()
+                "BENCH_PR10.json".to_string()
             }
         });
     let scale: f64 = if smoke {
@@ -1525,6 +1696,10 @@ fn main() {
     // measurement; asserts batched == scratch parity internally). ---
     let dynamic = dynamic_section(&g, &power, &d, &df, reps);
 
+    // --- Snapshot-isolated query daemon (the PR-10 tentpole measurement;
+    // every benched query asserts its own success). ---
+    let serving = serving_section(&g, reps, smoke);
+
     // --- End-to-end contributed algorithms. ---
     let pkmc_t = timing(
         "pkmc_sync",
@@ -1549,8 +1724,8 @@ fn main() {
     let telemetry = trace.then(|| collect_traces(&g, &d, rayon::current_num_threads()));
 
     let report = Report {
-        schema: "dsd-bench-report/v9",
-        pr: 9,
+        schema: "dsd-bench-report/v10",
+        pr: 10,
         graphs: vec![
             GraphMeta {
                 name: "filament_chung_lu",
@@ -1588,6 +1763,7 @@ fn main() {
         iterative,
         observability,
         dynamic,
+        serving,
         end_to_end: vec![pkmc_t, pkmc_async_t, pwc_t],
         telemetry,
         threads: rayon::current_num_threads(),
@@ -1659,6 +1835,16 @@ fn main() {
              can approach a full re-peel by design); batched core vectors and \
              induce-numbers/w* are asserted bit-identical to from-scratch \
              recomputation at pool sizes 1/2/4 before the report is written; \
+             serving.speedup_cached_vs_oneshot is the PR-10 headline (target >> 1): \
+             one-shot pkmc wall over the best cached densest round trip on a live \
+             `dsd serve` daemon over loopback TCP — the certificate is precomputed \
+             per snapshot install, so a query pays a frame round trip instead of a \
+             decomposition; per-kind latency percentiles are client-side walls on an \
+             idle keep-alive connection, update_roundtrip_best_secs is the full \
+             delta-apply + certificate-rebuild + install path, and \
+             install_stall_max_query_secs is the worst densest latency a concurrent \
+             reader observed across the installs (epoch-reclaimed snapshots mean \
+             readers never block on the writer); \
              --trace appends recorder-on runs under the `telemetry` key without \
              touching the timings (dsd-trace/v2 documents, span trees truncated to \
              256 nodes)"
@@ -1813,6 +1999,26 @@ fn main() {
         parsed.pointer("/dynamic/points").and_then(|t| t.as_array()).is_some_and(|t| t.len() == 16),
         "dynamic section must carry 4 batch sizes x 4 benchmarks"
     );
+    assert!(
+        parsed
+            .pointer("/serving/speedup_cached_vs_oneshot")
+            .and_then(|v| v.as_f64())
+            .is_some_and(|s| s.is_finite() && s > 0.0),
+        "report schema lost the serving headline field"
+    );
+    assert!(
+        parsed.pointer("/serving/latency").and_then(|t| t.as_array()).is_some_and(|t| t.len() == 5),
+        "serving section must carry the five query-kind latency rows"
+    );
+    for field in ["update_roundtrip_best_secs", "install_stall_max_query_secs"] {
+        assert!(
+            parsed
+                .pointer(&format!("/serving/{field}"))
+                .and_then(|v| v.as_f64())
+                .is_some_and(|s| s.is_finite() && s > 0.0),
+            "serving section lost the {field} figure"
+        );
+    }
     if report.telemetry.is_some() {
         for (i, kind) in ["UDS", "DDS"].iter().enumerate() {
             let rounds = parsed.pointer(&format!("/telemetry/traces/{i}/rounds"));
@@ -1849,7 +2055,8 @@ fn main() {
          peel={}); iterative: greedypp {:.2}x, fista {:.2}x vs exact (reached \
          exact={}, parity greedypp={} fista={}); recorder: probe {:.1}ns disabled, \
          est overhead {:.3}%, on/off {:.2}x, hist pool-invariant={}; dynamic: batch=10 \
-         filament update {:.2}x vs scratch (parity undirected={} directed={}); wrote {}",
+         filament update {:.2}x vs scratch (parity undirected={} directed={}); serving: \
+         cached densest {:.2}x vs one-shot, install stall {:.1}us; wrote {}",
         report.sweep_engine[1].best_secs,
         report.sweep_engine[0].best_secs,
         speedup,
@@ -1889,6 +2096,8 @@ fn main() {
         report.dynamic.speedup_batch10_filament,
         report.dynamic.parity.undirected_identical_across_pools,
         report.dynamic.parity.directed_identical_across_pools,
+        report.serving.speedup_cached_vs_oneshot,
+        report.serving.install_stall_max_query_secs * 1e6,
         out_path
     );
 }

@@ -63,6 +63,7 @@ pub const METRICS: &[Metric] = &[
     Metric { path: "iterative.speedup_greedypp_vs_exact", direction: Direction::HigherIsBetter },
     Metric { path: "iterative.speedup_fista_vs_exact", direction: Direction::HigherIsBetter },
     Metric { path: "dynamic.speedup_batch10_filament", direction: Direction::HigherIsBetter },
+    Metric { path: "serving.speedup_cached_vs_oneshot", direction: Direction::HigherIsBetter },
 ];
 
 /// Default fractional noise band (0.30 = a metric may be up to 30% worse

@@ -281,6 +281,92 @@ impl DynamicDirectedState {
     }
 }
 
+/// The one delta-apply entry point shared by every consumer of the
+/// incremental engine — `dsd update` and the serve writer thread both go
+/// through here, so the CSR-patch + re-peel sequence (and the report text
+/// CI greps for) cannot drift between the batch CLI and the daemon.
+pub enum DynamicState {
+    /// Maintains the undirected k*-core decomposition.
+    Undirected(DynamicUndirectedState),
+    /// Maintains the directed w-induced decomposition.
+    Directed(DynamicDirectedState),
+}
+
+impl DynamicState {
+    /// Builds undirected state with a from-scratch frontier sweep.
+    pub fn new_undirected(graph: UndirectedGraph) -> Self {
+        DynamicState::Undirected(DynamicUndirectedState::new(graph))
+    }
+
+    /// Builds directed state with a from-scratch peel.
+    pub fn new_directed(graph: DirectedGraph) -> Self {
+        DynamicState::Directed(DynamicDirectedState::new(graph))
+    }
+
+    /// Applies one validated batch to whichever decomposition this state
+    /// maintains. On error the state is unchanged (both arms validate
+    /// against the current version before mutating).
+    pub fn apply_batch(&mut self, batch: &DeltaBatch) -> Result<UpdateOutcome, GraphError> {
+        match self {
+            DynamicState::Undirected(s) => s.apply_batch(batch),
+            DynamicState::Directed(s) => s.apply_batch(batch),
+        }
+    }
+
+    /// Vertices of the current graph version.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            DynamicState::Undirected(s) => s.graph().num_vertices(),
+            DynamicState::Directed(s) => s.graph().num_vertices(),
+        }
+    }
+
+    /// Edges of the current graph version.
+    pub fn num_edges(&self) -> usize {
+        match self {
+            DynamicState::Undirected(s) => s.graph().num_edges(),
+            DynamicState::Directed(s) => s.graph().num_edges(),
+        }
+    }
+
+    /// The headline certificate value: `k*` (undirected) or `w*`
+    /// (directed).
+    pub fn certificate_value(&self) -> u64 {
+        match self {
+            DynamicState::Undirected(s) => s.k_star() as u64,
+            DynamicState::Directed(s) => s.w_star(),
+        }
+    }
+
+    /// The post-update report text printed by `dsd update` and logged by
+    /// the serve writer: graph size transition, certificate line
+    /// (`k* = N` / `w* = N`), frontier accounting, and convergence
+    /// rounds. `n0`/`m0` are the pre-batch vertex/edge counts.
+    pub fn update_report(&self, n0: usize, m0: usize, outcome: &UpdateOutcome) -> String {
+        match self {
+            DynamicState::Undirected(s) => format!(
+                "graph: |V|={} |E|={} -> |E|={}\nk* = {}\nfrontier: {} vertices\nsweep rounds: {}",
+                n0,
+                m0,
+                s.graph().num_edges(),
+                s.k_star(),
+                outcome.frontier_size,
+                outcome.rounds
+            ),
+            DynamicState::Directed(s) => format!(
+                "graph: |V|={} |E|={} -> |E|={}\nw* = {}\nfrontier: {} active edges, {} frozen\nthreshold rounds: {}",
+                n0,
+                m0,
+                s.graph().num_edges(),
+                s.w_star(),
+                outcome.frontier_size,
+                outcome.frozen,
+                outcome.rounds
+            ),
+        }
+    }
+}
+
 /// From-scratch w-decomposition of `g` — the oracle the dynamic directed
 /// engine is differentially tested against.
 pub fn scratch_directed(g: &DirectedGraph) -> WDecomposition {

@@ -17,5 +17,6 @@ pub mod density;
 pub mod dynamic;
 pub mod refine;
 pub mod runner;
+pub mod seeded;
 pub mod stats;
 pub mod uds;

@@ -1,0 +1,181 @@
+//! Seeded dense-neighbourhood queries over a precomputed core certificate.
+//!
+//! The serving layer answers "top-k dense neighbourhoods of a seed vertex"
+//! without running a decomposition at query time: the snapshot's core
+//! vector (undirected) or degree arrays (directed) rank the seed's
+//! neighbours, and candidate subgraphs are the ranked prefixes. This is
+//! the core-based pruning of Fang et al. turned into a query primitive —
+//! a vertex's densest enclosing neighbourhood is overwhelmingly likely to
+//! sit inside its highest-core neighbours, so scoring `O(deg)` prefixes
+//! by exact induced density recovers it without a search.
+//!
+//! Everything here is deterministic: candidate order is a total order
+//! (certificate value descending, vertex id ascending) and ties between
+//! prefixes resolve toward the smaller subgraph, so serve-path answers
+//! are reproducible bit-for-bit across runs and thread-pool sizes.
+
+use dsd_graph::{DirectedGraph, UndirectedGraph, VertexId};
+
+use crate::density::{set_edges_and_density, st_edges_and_density};
+
+/// Prefix length cap: neighbourhood queries score at most this many ranked
+/// neighbours, bounding per-query work on hub seeds to a constant number
+/// of exact density evaluations.
+pub const NEIGHBORHOOD_CAP: usize = 64;
+
+/// One scored neighbourhood candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeededNeighborhood {
+    /// The candidate vertex set (sorted ascending; always contains the
+    /// seed for undirected queries, the source side for directed ones).
+    pub vertices: Vec<VertexId>,
+    /// Induced edge count (undirected) or `|E(S, T)|` (directed).
+    pub edges: usize,
+    /// Induced density: `|E(S)| / |S|` or `|E(S,T)| / √(|S||T|)`.
+    pub density: f64,
+}
+
+/// Top-`k` dense neighbourhoods of `seed` in an undirected graph.
+///
+/// Candidates are the prefixes `{seed} ∪ top-j neighbours` for
+/// `j = 1..min(deg(seed), NEIGHBORHOOD_CAP)`, where neighbours are ranked
+/// by core number descending (vertex id ascending on ties) using the
+/// caller's precomputed `core` vector. Returns the `k` densest prefixes,
+/// densest first; ties prefer the smaller prefix. Empty when the seed is
+/// out of range or isolated.
+pub fn top_dense_neighborhoods(
+    g: &UndirectedGraph,
+    core: &[u32],
+    seed: VertexId,
+    k: usize,
+) -> Vec<SeededNeighborhood> {
+    if k == 0 || (seed as usize) >= g.num_vertices() {
+        return Vec::new();
+    }
+    let mut cand: Vec<VertexId> = g.neighbors(seed).to_vec();
+    cand.sort_by(|&a, &b| core[b as usize].cmp(&core[a as usize]).then_with(|| a.cmp(&b)));
+    cand.truncate(NEIGHBORHOOD_CAP);
+    let mut prefix = vec![seed];
+    let mut scored = Vec::with_capacity(cand.len());
+    for (j, &v) in cand.iter().enumerate() {
+        prefix.push(v);
+        let (edges, density) = set_edges_and_density(g, &prefix);
+        let mut vertices = prefix.clone();
+        vertices.sort_unstable();
+        scored.push((j, SeededNeighborhood { vertices, edges, density }));
+    }
+    rank(scored, k)
+}
+
+/// Directed counterpart: top-`k` dense `(S, T)` neighbourhoods with
+/// `S = {seed}` and `T` a prefix of the seed's out-neighbours ranked by
+/// in-degree descending (vertex id ascending on ties). In-degree is the
+/// directed analogue of the core rank here: `d⁺(u)·d⁻(v)` upper-bounds an
+/// edge's induce-number, so high in-degree targets are where the dense
+/// `(x, y)`-cores live.
+pub fn top_dense_out_neighborhoods(
+    g: &DirectedGraph,
+    seed: VertexId,
+    k: usize,
+) -> Vec<SeededNeighborhood> {
+    if k == 0 || (seed as usize) >= g.num_vertices() {
+        return Vec::new();
+    }
+    let mut cand: Vec<VertexId> = g.out_neighbors(seed).to_vec();
+    cand.sort_by(|&a, &b| g.in_degree(b).cmp(&g.in_degree(a)).then_with(|| a.cmp(&b)));
+    cand.truncate(NEIGHBORHOOD_CAP);
+    let s = [seed];
+    let mut t = Vec::new();
+    let mut scored = Vec::with_capacity(cand.len());
+    for (j, &v) in cand.iter().enumerate() {
+        t.push(v);
+        let (edges, density) = st_edges_and_density(g, &s, &t);
+        let mut vertices = t.clone();
+        vertices.sort_unstable();
+        scored.push((j, SeededNeighborhood { vertices, edges, density }));
+    }
+    rank(scored, k)
+}
+
+/// Sorts candidates by density descending; ties prefer the shorter prefix
+/// (smaller original index). Stable and total, so the result is unique.
+fn rank(mut scored: Vec<(usize, SeededNeighborhood)>, k: usize) -> Vec<SeededNeighborhood> {
+    scored.sort_by(|(ia, a), (ib, b)| {
+        b.density.partial_cmp(&a.density).expect("densities are finite").then_with(|| ia.cmp(ib))
+    });
+    scored.truncate(k);
+    scored.into_iter().map(|(_, n)| n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uds::bz::bz_decomposition;
+    use dsd_graph::gen::erdos_renyi;
+    use dsd_graph::{DirectedGraphBuilder, UndirectedGraphBuilder};
+
+    fn clique_plus_tail() -> UndirectedGraph {
+        // 0..4 form a clique; 5 hangs off 0; 6 hangs off 5.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((0, 5));
+        edges.push((5, 6));
+        UndirectedGraphBuilder::with_capacity(7, edges.len()).add_edges(edges).build().unwrap()
+    }
+
+    #[test]
+    fn finds_the_clique_around_a_member() {
+        let g = clique_plus_tail();
+        let core = bz_decomposition(&g).core;
+        let top = top_dense_neighborhoods(&g, &core, 0, 1);
+        assert_eq!(top.len(), 1);
+        // The densest prefix of vertex 0's ranked neighbourhood is the
+        // full 4-clique: 6 edges over 4 vertices.
+        assert_eq!(top[0].vertices, vec![0, 1, 2, 3]);
+        assert_eq!(top[0].edges, 6);
+        assert!((top[0].density - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidates_are_ranked_deterministically() {
+        let g = erdos_renyi(60, 240, 11);
+        let core = bz_decomposition(&g).core;
+        for seed in [0u32, 7, 31] {
+            let a = top_dense_neighborhoods(&g, &core, seed, 5);
+            let b = top_dense_neighborhoods(&g, &core, seed, 5);
+            assert_eq!(a, b);
+            for w in a.windows(2) {
+                assert!(w[0].density >= w[1].density);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_seed_and_zero_k_are_empty() {
+        let g = clique_plus_tail();
+        let core = bz_decomposition(&g).core;
+        assert!(top_dense_neighborhoods(&g, &core, 99, 3).is_empty());
+        assert!(top_dense_neighborhoods(&g, &core, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn directed_prefixes_score_st_density() {
+        // seed 0 -> {1, 2, 3}; 1 and 2 also receive edges from 4 so they
+        // outrank 3 by in-degree.
+        let edges = vec![(0u32, 1u32), (0, 2), (0, 3), (4, 1), (4, 2)];
+        let g =
+            DirectedGraphBuilder::with_capacity(5, edges.len()).add_edges(edges).build().unwrap();
+        let top = top_dense_out_neighborhoods(&g, 0, 2);
+        assert_eq!(top.len(), 2);
+        // Every out-neighbour receives an edge from the seed, so the full
+        // prefix wins: |E(S,T)| / sqrt(|S||T|) = 3 / sqrt(3), then 2 / sqrt(2).
+        assert_eq!(top[0].vertices, vec![1, 2, 3]);
+        assert!((top[0].density - 3.0 / 3f64.sqrt()).abs() < 1e-12);
+        assert_eq!(top[1].vertices, vec![1, 2]);
+        assert!((top[1].density - 2.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+}

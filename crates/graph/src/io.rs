@@ -308,6 +308,40 @@ pub fn read_directed_path<P: AsRef<Path>>(path: P) -> Result<DirectedGraph> {
     read_directed(std::fs::File::open(path)?)
 }
 
+/// Reads an undirected graph from a file in *any* on-disk format — text
+/// edge list, binary v1, or packed v2 (decompressed once to plain CSR) —
+/// by sniffing the `DSDGRAPH` magic and version byte. This is the single
+/// ingest path shared by `dsd update`, `dsd serve`, and any other consumer
+/// that must accept "whatever the user has on disk".
+pub fn read_undirected_any_path<P: AsRef<Path>>(path: P) -> Result<UndirectedGraph> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    if bytes.len() >= 10 && &bytes[..8] == b"DSDGRAPH" {
+        if bytes[9] >= 2 {
+            Ok(crate::binio::load_compressed_undirected_path(path)?.decompress())
+        } else {
+            crate::binio::read_undirected_binary(&bytes[..])
+        }
+    } else {
+        read_undirected(&bytes[..])
+    }
+}
+
+/// Directed counterpart of [`read_undirected_any_path`].
+pub fn read_directed_any_path<P: AsRef<Path>>(path: P) -> Result<DirectedGraph> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path)?;
+    if bytes.len() >= 10 && &bytes[..8] == b"DSDGRAPH" {
+        if bytes[9] >= 2 {
+            Ok(crate::binio::load_compressed_directed_path(path)?.decompress())
+        } else {
+            crate::binio::read_directed_binary(&bytes[..])
+        }
+    } else {
+        read_directed(&bytes[..])
+    }
+}
+
 /// Writes an undirected graph as an edge list (one `u v` line per edge,
 /// `u < v`).
 pub fn write_undirected<W: Write>(g: &UndirectedGraph, writer: W) -> Result<()> {

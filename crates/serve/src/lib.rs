@@ -1,0 +1,39 @@
+//! `dsd-serve`: the long-running query daemon behind `dsd serve`.
+//!
+//! The one-shot CLI pays the full load + decomposition cost on every
+//! invocation. This crate amortises it: load a graph once, precompute the
+//! k\*-core (or \[x\*,y\*\]-core) certificates and the densest subgraph,
+//! and answer queries over a tiny length-prefixed JSON protocol
+//! ([`protocol`]) from whatever snapshot version is current.
+//!
+//! Layering, bottom up:
+//!
+//! * [`snapshot`] — an epoch-reclaimed pointer cell ([`SnapshotCell`]):
+//!   wait-free reader pins, single-swap installs, deferred frees. The
+//!   crate's only unsafe island.
+//! * [`query`] — the immutable [`GraphSnapshot`] (graph + certificates +
+//!   cached densest answer) and the pure evaluators for every query kind.
+//!   Answers are bit-identical to the one-shot CLI engines at the same
+//!   pool size.
+//! * [`server`] — threads and sockets: worker accept loops, the single
+//!   writer that applies [`DeltaBatch`](dsd_graph::DeltaBatch) updates
+//!   through the same entry point as `dsd update` and installs fresh
+//!   snapshot versions without blocking in-flight queries.
+//!
+//! The flight recorder (`dsd-telemetry`) doubles as the serving metrics
+//! backbone: each query kind runs under its own `serve/*` phase span, so
+//! per-kind latency histograms, query counters, and snapshot-install
+//! stall times fall out of the standard `dsd-trace/v2` report, exposed
+//! live via the `stats` op.
+
+#![deny(unsafe_code)] // snapshot.rs opts back in as a scoped island
+
+pub mod protocol;
+pub mod query;
+pub mod server;
+pub mod snapshot;
+
+pub use protocol::{read_frame, write_frame, Request, MAX_FRAME_BYTES};
+pub use query::{build_snapshot, GraphSnapshot};
+pub use server::{ServeConfig, Server};
+pub use snapshot::{PinnedSnapshot, ReaderHandle, SnapshotCell};

@@ -1,0 +1,351 @@
+//! Wire protocol: length-prefixed JSON frames and request parsing.
+//!
+//! Every message — request or response — is one **frame**: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8 JSON.
+//! The length covers the payload only (not itself) and is capped at
+//! [`MAX_FRAME_BYTES`]; a frame claiming more is rejected *before any
+//! payload allocation*, so a lying header cannot drive a capacity panic
+//! (the same discipline `dsd-graph::binio` applies to file headers).
+//!
+//! Requests are JSON objects selected by an `"op"` field:
+//!
+//! ```text
+//! {"op":"densest"}
+//! {"op":"density","vertices":[0,3,7]}          // undirected graphs
+//! {"op":"density","s":[0],"t":[3,7]}           // directed graphs
+//! {"op":"core","vertices":[0,1,2]}
+//! {"op":"neighborhood","seed":4,"k":3}
+//! {"op":"greedypp","iterations":30,"epsilon":0.05,"warm":true}
+//! {"op":"stats"}
+//! {"op":"update","insert":[[0,9]],"remove":[[2,3]]}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"ok":true,...}` or `{"ok":false,"error":"..."}`. Every
+//! rejection path produces its error text through a named function in this
+//! module, and the daemon sends *exactly* those strings — the conformance
+//! suite asserts byte parity between the wire and the library, so client
+//! error matching cannot drift.
+
+use std::io::{self, Read, Write};
+
+use dsd_graph::VertexId;
+use dsd_telemetry::json::{self, Value};
+
+/// Maximum frame payload size (16 MiB). Large enough for a `stats` trace
+/// document or a bulk density query; small enough that a hostile length
+/// word cannot balloon resident memory.
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+
+/// Canonical rejection text for a frame whose declared length exceeds
+/// [`MAX_FRAME_BYTES`].
+pub fn oversized_frame_error(len: u64) -> String {
+    format!("frame length {len} exceeds maximum {MAX_FRAME_BYTES} bytes")
+}
+
+/// Canonical rejection text for a frame whose payload is not UTF-8.
+pub fn invalid_utf8_error() -> String {
+    "frame payload is not valid UTF-8".to_string()
+}
+
+/// Canonical rejection text for a payload that fails JSON parsing.
+pub fn invalid_json_error(e: &json::ParseError) -> String {
+    format!("request is not valid JSON: {e}")
+}
+
+/// Canonical rejection text for a well-formed JSON payload that is not an
+/// object.
+pub fn not_an_object_error() -> String {
+    "request must be a JSON object".to_string()
+}
+
+/// Canonical rejection text for an object missing the `"op"` selector.
+pub fn missing_op_error() -> String {
+    "request is missing the \"op\" field".to_string()
+}
+
+/// Canonical rejection text for an unrecognised `"op"` value.
+pub fn unknown_op_error(op: &str) -> String {
+    format!("unknown op {op:?} (expected densest|density|core|neighborhood|greedypp|stats|update|shutdown)")
+}
+
+/// Canonical rejection text for a malformed field within a known op.
+pub fn bad_field_error(op: &str, field: &str, expected: &str) -> String {
+    format!("op {op:?}: field {field:?} must be {expected}")
+}
+
+/// One decoded frame: `Ok(payload)` for a well-formed frame, `Err(text)`
+/// for a protocol violation the server should answer (then drop the
+/// connection).
+pub type FrameResult = Result<String, String>;
+
+/// Reads one frame. `Ok(None)` is clean EOF at a frame boundary;
+/// `Err(io)` is a transport failure (including EOF mid-frame), after
+/// which no reply is possible.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<FrameResult>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as u64;
+    if len > MAX_FRAME_BYTES as u64 {
+        return Ok(Some(Err(oversized_frame_error(len))));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    match String::from_utf8(payload) {
+        Ok(s) => Ok(Some(Ok(s))),
+        Err(_) => Ok(Some(Err(invalid_utf8_error()))),
+    }
+}
+
+/// Writes one frame.
+///
+/// The length prefix and payload go out in a *single* write: splitting
+/// them lets Nagle's algorithm hold the second small segment for the
+/// peer's delayed ACK, turning every loopback round trip into a ~40-100ms
+/// stall. One contiguous write keeps a query at wire latency.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES);
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// The precomputed densest subgraph of the current snapshot.
+    Densest,
+    /// Exact density of an arbitrary vertex set (undirected form).
+    Density { vertices: Vec<VertexId> },
+    /// Exact density of an arbitrary `(S, T)` pair (directed form).
+    DensityST { s: Vec<VertexId>, t: Vec<VertexId> },
+    /// Core / induce-number membership for the listed vertices.
+    Core { vertices: Vec<VertexId> },
+    /// Top-`k` dense neighbourhoods of `seed`.
+    Neighborhood { seed: VertexId, k: usize },
+    /// Per-query Greedy++ with the ε accuracy/latency knob.
+    GreedyPP { iterations: usize, epsilon: f64, warm: bool },
+    /// Flight-recorder totals as a dsd-trace/v2 document.
+    Stats,
+    /// A `DeltaBatch` for the writer thread.
+    Update { insert: Vec<(VertexId, VertexId)>, remove: Vec<(VertexId, VertexId)> },
+    /// Graceful daemon shutdown.
+    Shutdown,
+}
+
+fn vertex_list(v: Option<&Value>, op: &str, field: &str) -> Result<Vec<VertexId>, String> {
+    let err = || bad_field_error(op, field, "an array of vertex ids");
+    let arr = v.and_then(Value::as_array).ok_or_else(err)?;
+    arr.iter().map(|x| x.as_u64().and_then(|id| u32::try_from(id).ok()).ok_or_else(err)).collect()
+}
+
+fn edge_list(
+    v: Option<&Value>,
+    op: &str,
+    field: &str,
+) -> Result<Vec<(VertexId, VertexId)>, String> {
+    let err = || bad_field_error(op, field, "an array of [u, v] pairs");
+    let Some(v) = v else { return Ok(Vec::new()) };
+    let arr = v.as_array().ok_or_else(err)?;
+    arr.iter()
+        .map(|pair| {
+            let p = pair.as_array().ok_or_else(err)?;
+            if p.len() != 2 {
+                return Err(err());
+            }
+            let u = p[0].as_u64().and_then(|id| u32::try_from(id).ok()).ok_or_else(err)?;
+            let v = p[1].as_u64().and_then(|id| u32::try_from(id).ok()).ok_or_else(err)?;
+            Ok((u, v))
+        })
+        .collect()
+}
+
+/// Parses one request payload. Every failure returns one of the canonical
+/// strings above.
+pub fn parse_request(payload: &str) -> Result<Request, String> {
+    let value = json::parse(payload).map_err(|e| invalid_json_error(&e))?;
+    let obj = value.as_object().ok_or_else(not_an_object_error)?;
+    let op = obj.get("op").and_then(Value::as_str).ok_or_else(missing_op_error)?;
+    match op {
+        "densest" => Ok(Request::Densest),
+        "density" => {
+            if obj.get("s").is_some() || obj.get("t").is_some() {
+                Ok(Request::DensityST {
+                    s: vertex_list(obj.get("s"), op, "s")?,
+                    t: vertex_list(obj.get("t"), op, "t")?,
+                })
+            } else {
+                Ok(Request::Density { vertices: vertex_list(obj.get("vertices"), op, "vertices")? })
+            }
+        }
+        "core" => Ok(Request::Core { vertices: vertex_list(obj.get("vertices"), op, "vertices")? }),
+        "neighborhood" => {
+            let seed = obj
+                .get("seed")
+                .and_then(Value::as_u64)
+                .and_then(|id| u32::try_from(id).ok())
+                .ok_or_else(|| bad_field_error(op, "seed", "a vertex id"))?;
+            let k = match obj.get("k") {
+                None => 1,
+                Some(v) => v
+                    .as_u64()
+                    .map(|k| k as usize)
+                    .ok_or_else(|| bad_field_error(op, "k", "a non-negative integer"))?,
+            };
+            Ok(Request::Neighborhood { seed, k })
+        }
+        "greedypp" => {
+            let iterations = match obj.get("iterations") {
+                None => 100,
+                Some(v) => v
+                    .as_u64()
+                    .map(|n| n as usize)
+                    .ok_or_else(|| bad_field_error(op, "iterations", "a non-negative integer"))?,
+            };
+            let epsilon = match obj.get("epsilon") {
+                None => 0.01,
+                Some(v) => v
+                    .as_f64()
+                    .filter(|e| e.is_finite() && *e >= 0.0)
+                    .ok_or_else(|| bad_field_error(op, "epsilon", "a non-negative number"))?,
+            };
+            let warm = match obj.get("warm") {
+                None => false,
+                Some(v) => v.as_bool().ok_or_else(|| bad_field_error(op, "warm", "a boolean"))?,
+            };
+            Ok(Request::GreedyPP { iterations, epsilon, warm })
+        }
+        "stats" => Ok(Request::Stats),
+        "update" => Ok(Request::Update {
+            insert: edge_list(obj.get("insert"), op, "insert")?,
+            remove: edge_list(obj.get("remove"), op, "remove")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(unknown_op_error(other)),
+    }
+}
+
+/// Serialises an error response.
+pub fn error_response(message: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":");
+    json::write_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Appends `"key":[v0,v1,...]` (no surrounding braces) for a vertex list.
+pub fn push_vertex_array(out: &mut String, key: &str, vertices: &[VertexId]) {
+    json::write_string(out, key);
+    out.push_str(":[");
+    for (i, v) in vertices.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(payload: &str) -> String {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        let got = read_frame(&mut buf.as_slice()).unwrap().unwrap().unwrap();
+        got
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for payload in ["", "{}", "{\"op\":\"densest\"}", &"x".repeat(70_000)] {
+            assert_eq!(roundtrip(payload), payload);
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap().unwrap().unwrap_err();
+        assert_eq!(err, oversized_frame_error(u32::MAX as u64));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_error() {
+        assert!(read_frame(&mut [].as_slice()).unwrap().is_none());
+        let partial = [0u8, 0, 0, 9, b'x'];
+        assert!(read_frame(&mut partial.as_slice()).is_err());
+    }
+
+    #[test]
+    fn non_utf8_payload_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe, 0xfd]);
+        let err = read_frame(&mut buf.as_slice()).unwrap().unwrap().unwrap_err();
+        assert_eq!(err, invalid_utf8_error());
+    }
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request("{\"op\":\"densest\"}").unwrap(), Request::Densest);
+        assert_eq!(
+            parse_request("{\"op\":\"density\",\"vertices\":[2,1]}").unwrap(),
+            Request::Density { vertices: vec![2, 1] }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"density\",\"s\":[0],\"t\":[1,2]}").unwrap(),
+            Request::DensityST { s: vec![0], t: vec![1, 2] }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"core\",\"vertices\":[5]}").unwrap(),
+            Request::Core { vertices: vec![5] }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"neighborhood\",\"seed\":4,\"k\":3}").unwrap(),
+            Request::Neighborhood { seed: 4, k: 3 }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"greedypp\",\"iterations\":7,\"epsilon\":0.5,\"warm\":true}")
+                .unwrap(),
+            Request::GreedyPP { iterations: 7, epsilon: 0.5, warm: true }
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"greedypp\"}").unwrap(),
+            Request::GreedyPP { iterations: 100, epsilon: 0.01, warm: false }
+        );
+        assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"op\":\"update\",\"insert\":[[0,1]],\"remove\":[[2,3],[4,5]]}")
+                .unwrap(),
+            Request::Update { insert: vec![(0, 1)], remove: vec![(2, 3), (4, 5)] }
+        );
+        assert_eq!(parse_request("{\"op\":\"shutdown\"}").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejections_use_canonical_strings() {
+        let e = parse_request("{nope").unwrap_err();
+        assert!(e.starts_with("request is not valid JSON: "), "{e}");
+        assert_eq!(parse_request("[1,2]").unwrap_err(), not_an_object_error());
+        assert_eq!(parse_request("{\"x\":1}").unwrap_err(), missing_op_error());
+        assert_eq!(parse_request("{\"op\":\"nope\"}").unwrap_err(), unknown_op_error("nope"));
+        assert_eq!(
+            parse_request("{\"op\":\"core\",\"vertices\":\"abc\"}").unwrap_err(),
+            bad_field_error("core", "vertices", "an array of vertex ids")
+        );
+        assert_eq!(
+            parse_request("{\"op\":\"update\",\"insert\":[[0]]}").unwrap_err(),
+            bad_field_error("update", "insert", "an array of [u, v] pairs")
+        );
+    }
+}

@@ -1,0 +1,469 @@
+//! Snapshot payloads and query evaluation.
+//!
+//! A [`GraphSnapshot`] is one immutable graph version plus everything the
+//! paper's theorems make cheap to precompute once and reuse per query:
+//! the k*-core vector / w-induced certificate, degree arrays, and the
+//! densest-subgraph answer itself (PKMC / PWC run once at install time).
+//! `densest` and `core` queries are pure certificate lookups — no
+//! decomposition kernel runs — which is what the `serve_cache_hits`
+//! counter measures.
+//!
+//! Every evaluator returns a complete JSON response payload (already
+//! carrying `"ok"` and `"version"`), or the canonical error string for
+//! the failure. Densities are serialised with the shortest round-trip
+//! `f64` form, so a client that parses the JSON recovers bit-identical
+//! values to the in-process engines — the parity the snapshot suite pins
+//! against one-shot CLI runs.
+
+use dsd_core::dds::iterate::{greedy_pp_dds, DdsIterateConfig};
+use dsd_core::density::{set_edges_and_density, st_edges_and_density};
+use dsd_core::dynamic::DynamicState;
+use dsd_core::seeded::{top_dense_neighborhoods, top_dense_out_neighborhoods};
+use dsd_core::uds::iterate::{greedy_pp_warm_storage, Certificate, CertifyMode, IterateConfig};
+use dsd_graph::compress::UndirectedStorage;
+use dsd_graph::{DirectedGraph, GraphError, UndirectedGraph, VertexId};
+use dsd_telemetry::json;
+
+use crate::protocol::push_vertex_array;
+
+/// One immutable published graph version.
+pub struct GraphSnapshot {
+    /// Monotone version number; 1 is the initial load.
+    pub version: u64,
+    /// The graph and its precomputed certificates.
+    pub data: SnapshotData,
+}
+
+/// Family-specific snapshot payload.
+pub enum SnapshotData {
+    /// Undirected: k*-core certificate + PKMC answer.
+    Undirected(UndirectedSnapshot),
+    /// Directed: w-induced certificate + PWC answer.
+    Directed(DirectedSnapshot),
+}
+
+/// Undirected snapshot: graph, core vector, degree array, PKMC answer.
+pub struct UndirectedSnapshot {
+    pub graph: UndirectedGraph,
+    /// Core number per vertex (the k*-core certificate).
+    pub core: Vec<u32>,
+    pub k_star: u32,
+    pub degrees: Vec<u32>,
+    /// Precomputed densest subgraph (PKMC), sorted vertex ids.
+    pub densest_vertices: Vec<VertexId>,
+    pub densest_density: f64,
+}
+
+/// Directed snapshot: graph, induce-numbers, degree arrays, PWC answer.
+pub struct DirectedSnapshot {
+    pub graph: DirectedGraph,
+    /// Induce-number per edge in CSR out-slot order.
+    pub induce: Vec<u64>,
+    /// Max induce-number among each vertex's incident edges (0 if
+    /// isolated) — the per-vertex membership view of the certificate.
+    pub vertex_induce_max: Vec<u64>,
+    pub w_star: u64,
+    pub out_degrees: Vec<u32>,
+    pub in_degrees: Vec<u32>,
+    /// Precomputed densest `(S, T)` pair (PWC), sorted vertex ids.
+    pub densest_s: Vec<VertexId>,
+    pub densest_t: Vec<VertexId>,
+    pub densest_density: f64,
+}
+
+/// Canonical error for a `vertices`-form density/core query against a
+/// directed snapshot.
+pub fn directed_needs_st_error() -> String {
+    "graph is directed; use fields \"s\" and \"t\"".to_string()
+}
+
+/// Canonical error for an `s`/`t`-form query against an undirected
+/// snapshot.
+pub fn undirected_needs_vertices_error() -> String {
+    "graph is undirected; use field \"vertices\"".to_string()
+}
+
+/// Canonical error for a vertex id outside the snapshot's range — exactly
+/// the [`GraphError::VertexOutOfRange`] display text, so wire errors match
+/// library errors byte-for-byte.
+pub fn vertex_range_error(vertex: VertexId, n: usize) -> String {
+    GraphError::VertexOutOfRange { vertex: vertex as u64, n: n as u64 }.to_string()
+}
+
+/// Builds the snapshot for the dynamic state's current graph version:
+/// clones the graph, copies the maintained certificate, and runs the
+/// densest-subgraph engine (PKMC / PWC) once. Deterministic at any
+/// thread-pool size, so serve answers stay bit-identical to one-shot runs.
+pub fn build_snapshot(state: &DynamicState, version: u64) -> GraphSnapshot {
+    let data = match state {
+        DynamicState::Undirected(s) => {
+            let graph = s.graph().clone();
+            let r: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&graph).into();
+            let mut densest_vertices = r.vertices;
+            densest_vertices.sort_unstable();
+            SnapshotData::Undirected(UndirectedSnapshot {
+                degrees: graph.degrees(),
+                core: s.core_numbers().to_vec(),
+                k_star: s.k_star(),
+                densest_vertices,
+                densest_density: r.density,
+                graph,
+            })
+        }
+        DynamicState::Directed(s) => {
+            let graph = s.graph().clone();
+            let r = dsd_core::dds::pwc::pwc(&graph).result;
+            let induce = s.induce_numbers().to_vec();
+            let mut vertex_induce_max = vec![0u64; graph.num_vertices()];
+            for u in 0..graph.num_vertices() {
+                let base = graph.out_offsets()[u];
+                for (i, &v) in graph.out_neighbors(u as VertexId).iter().enumerate() {
+                    let w = induce[base + i];
+                    vertex_induce_max[u] = vertex_induce_max[u].max(w);
+                    vertex_induce_max[v as usize] = vertex_induce_max[v as usize].max(w);
+                }
+            }
+            let (mut densest_s, mut densest_t) = (r.s, r.t);
+            densest_s.sort_unstable();
+            densest_t.sort_unstable();
+            SnapshotData::Directed(DirectedSnapshot {
+                out_degrees: graph.out_degrees(),
+                in_degrees: graph.in_degrees(),
+                induce,
+                vertex_induce_max,
+                w_star: s.w_star(),
+                densest_s,
+                densest_t,
+                densest_density: r.density,
+                graph,
+            })
+        }
+    };
+    GraphSnapshot { version, data }
+}
+
+impl GraphSnapshot {
+    fn num_vertices(&self) -> usize {
+        match &self.data {
+            SnapshotData::Undirected(s) => s.graph.num_vertices(),
+            SnapshotData::Directed(s) => s.graph.num_vertices(),
+        }
+    }
+
+    fn check_range(&self, vertices: &[VertexId]) -> Result<(), String> {
+        let n = self.num_vertices();
+        match vertices.iter().find(|&&v| v as usize >= n) {
+            Some(&v) => Err(vertex_range_error(v, n)),
+            None => Ok(()),
+        }
+    }
+
+    fn head(&self) -> String {
+        format!("{{\"ok\":true,\"version\":{}", self.version)
+    }
+
+    /// The precomputed densest subgraph — a pure certificate lookup.
+    pub fn answer_densest(&self) -> String {
+        let mut out = self.head();
+        match &self.data {
+            SnapshotData::Undirected(s) => {
+                out.push_str(",\"density\":");
+                json::write_f64(&mut out, s.densest_density);
+                out.push(',');
+                push_vertex_array(&mut out, "vertices", &s.densest_vertices);
+            }
+            SnapshotData::Directed(s) => {
+                out.push_str(",\"density\":");
+                json::write_f64(&mut out, s.densest_density);
+                out.push(',');
+                push_vertex_array(&mut out, "s", &s.densest_s);
+                out.push(',');
+                push_vertex_array(&mut out, "t", &s.densest_t);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Exact density of an arbitrary vertex set (undirected snapshots).
+    /// The set is sorted and deduplicated before evaluation.
+    pub fn answer_density(&self, vertices: &[VertexId]) -> Result<String, String> {
+        let SnapshotData::Undirected(s) = &self.data else {
+            return Err(directed_needs_st_error());
+        };
+        self.check_range(vertices)?;
+        let mut set = vertices.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        let (edges, density) = set_edges_and_density(&s.graph, &set);
+        let mut out = self.head();
+        out.push_str(&format!(",\"size\":{},\"edges\":{edges},\"density\":", set.len()));
+        json::write_f64(&mut out, density);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Exact `(S, T)` density (directed snapshots). Sides are sorted and
+    /// deduplicated before evaluation.
+    pub fn answer_density_st(&self, s: &[VertexId], t: &[VertexId]) -> Result<String, String> {
+        let SnapshotData::Directed(d) = &self.data else {
+            return Err(undirected_needs_vertices_error());
+        };
+        self.check_range(s)?;
+        self.check_range(t)?;
+        let (mut s, mut t) = (s.to_vec(), t.to_vec());
+        s.sort_unstable();
+        s.dedup();
+        t.sort_unstable();
+        t.dedup();
+        let (edges, density) = st_edges_and_density(&d.graph, &s, &t);
+        let mut out = self.head();
+        out.push_str(&format!(
+            ",\"s_size\":{},\"t_size\":{},\"edges\":{edges},\"density\":",
+            s.len(),
+            t.len()
+        ));
+        json::write_f64(&mut out, density);
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Core membership: per-vertex certificate values plus the global
+    /// `k*` / `w*`. A pure lookup into the maintained decomposition.
+    pub fn answer_core(&self, vertices: &[VertexId]) -> Result<String, String> {
+        self.check_range(vertices)?;
+        let mut out = self.head();
+        match &self.data {
+            SnapshotData::Undirected(s) => {
+                out.push_str(&format!(",\"k_star\":{},\"cores\":[", s.k_star));
+                for (i, &v) in vertices.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let c = s.core[v as usize];
+                    out.push_str(&format!(
+                        "{{\"vertex\":{v},\"core\":{c},\"degree\":{},\"in_kstar_core\":{}}}",
+                        s.degrees[v as usize],
+                        c == s.k_star && s.k_star > 0
+                    ));
+                }
+            }
+            SnapshotData::Directed(s) => {
+                out.push_str(&format!(",\"w_star\":{},\"cores\":[", s.w_star));
+                for (i, &v) in vertices.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let w = s.vertex_induce_max[v as usize];
+                    out.push_str(&format!(
+                        "{{\"vertex\":{v},\"induce_max\":{w},\"out_degree\":{},\"in_degree\":{},\"in_wstar_core\":{}}}",
+                        s.out_degrees[v as usize],
+                        s.in_degrees[v as usize],
+                        w == s.w_star && s.w_star > 0
+                    ));
+                }
+            }
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    /// Top-k dense neighbourhoods of a seed vertex.
+    pub fn answer_neighborhood(&self, seed: VertexId, k: usize) -> Result<String, String> {
+        self.check_range(&[seed])?;
+        let hoods = match &self.data {
+            SnapshotData::Undirected(s) => top_dense_neighborhoods(&s.graph, &s.core, seed, k),
+            SnapshotData::Directed(s) => top_dense_out_neighborhoods(&s.graph, seed, k),
+        };
+        let mut out = self.head();
+        out.push_str(&format!(",\"seed\":{seed},\"neighborhoods\":["));
+        for (i, h) in hoods.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"edges\":{},\"density\":", h.edges));
+            json::write_f64(&mut out, h.density);
+            out.push(',');
+            push_vertex_array(&mut out, "vertices", &h.vertices);
+            out.push('}');
+        }
+        out.push_str("]}");
+        Ok(out)
+    }
+
+    /// Per-query Greedy++ with the ε knob. `prior` is the warm-start load
+    /// vector carried across snapshot versions (used only when its length
+    /// matches the current vertex count). Returns the response payload
+    /// plus the run's final loads for the server's warm cache (empty for
+    /// directed snapshots — the directed engine keeps its loads
+    /// internal).
+    pub fn answer_greedypp(
+        &self,
+        iterations: usize,
+        epsilon: f64,
+        prior: Option<&[u64]>,
+    ) -> Result<(String, Vec<u64>), String> {
+        match &self.data {
+            SnapshotData::Undirected(s) => {
+                let cfg = IterateConfig { iterations, epsilon, certify: CertifyMode::Dual };
+                let prior = prior.filter(|p| p.len() == s.graph.num_vertices());
+                let storage = UndirectedStorage::Plain(&s.graph);
+                let warm = prior.is_some();
+                let it = greedy_pp_warm_storage(&storage, &cfg, prior);
+                let mut vertices = it.result.vertices.clone();
+                vertices.sort_unstable();
+                let mut out = self.head();
+                out.push_str(",\"density\":");
+                json::write_f64(&mut out, it.result.density);
+                out.push_str(&format!(",\"rounds\":{},\"upper_bound\":", it.rounds));
+                json::write_f64(&mut out, it.upper_bound);
+                let cert = match it.certificate {
+                    Certificate::Uncertified => "uncertified",
+                    Certificate::DualGap { .. } => "dual-gap",
+                    Certificate::Exact { .. } => "exact",
+                };
+                out.push_str(&format!(",\"certificate\":\"{cert}\",\"warm\":{warm},"));
+                push_vertex_array(&mut out, "vertices", &vertices);
+                out.push('}');
+                Ok((out, it.loads))
+            }
+            SnapshotData::Directed(s) => {
+                let cfg = DdsIterateConfig { iterations, certify_exact: false };
+                let it = greedy_pp_dds(&s.graph, &cfg);
+                let (mut sv, mut tv) = (it.result.s.clone(), it.result.t.clone());
+                sv.sort_unstable();
+                tv.sort_unstable();
+                let mut out = self.head();
+                out.push_str(",\"density\":");
+                json::write_f64(&mut out, it.result.density);
+                out.push_str(&format!(",\"rounds\":{},\"certificate\":", it.rounds));
+                json::write_string(&mut out, &it.certificate_label());
+                out.push(',');
+                push_vertex_array(&mut out, "s", &sv);
+                out.push(',');
+                push_vertex_array(&mut out, "t", &tv);
+                out.push('}');
+                Ok((out, Vec::new()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsd_graph::gen::{erdos_renyi, erdos_renyi_directed};
+    use dsd_telemetry::json::Value;
+
+    fn undirected_snap() -> GraphSnapshot {
+        let g = erdos_renyi(50, 200, 7);
+        build_snapshot(&DynamicState::new_undirected(g), 1)
+    }
+
+    fn directed_snap() -> GraphSnapshot {
+        let g = erdos_renyi_directed(40, 160, 7);
+        build_snapshot(&DynamicState::new_directed(g), 1)
+    }
+
+    fn parse_ok(payload: &str) -> dsd_telemetry::json::Value {
+        let v = json::parse(payload).expect("response is valid JSON");
+        assert_eq!(v.as_object().unwrap().get("ok").unwrap().as_bool(), Some(true));
+        v
+    }
+
+    #[test]
+    fn densest_matches_direct_pkmc() {
+        let g = erdos_renyi(50, 200, 7);
+        let snap = undirected_snap();
+        let v = parse_ok(&snap.answer_densest());
+        let obj = v.as_object().unwrap();
+        let r: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&g).into();
+        assert_eq!(obj.get("density").unwrap().as_f64().unwrap().to_bits(), r.density.to_bits());
+        let got: Vec<u64> = obj
+            .get("vertices")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|x| x.as_u64().unwrap())
+            .collect();
+        let mut want: Vec<u64> = r.vertices.iter().map(|&v| v as u64).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn density_handles_dups_and_range_errors() {
+        let snap = undirected_snap();
+        let ok = snap.answer_density(&[3, 1, 3, 2]).unwrap();
+        let v = parse_ok(&ok);
+        assert_eq!(v.as_object().unwrap().get("size").unwrap().as_u64(), Some(3));
+        let err = snap.answer_density(&[1, 99]).unwrap_err();
+        assert_eq!(err, vertex_range_error(99, 50));
+        // Family mismatch uses the canonical strings.
+        assert_eq!(
+            snap.answer_density_st(&[0], &[1]).unwrap_err(),
+            undirected_needs_vertices_error()
+        );
+        assert_eq!(directed_snap().answer_density(&[0]).unwrap_err(), directed_needs_st_error());
+    }
+
+    #[test]
+    fn core_lookup_matches_certificate() {
+        let g = erdos_renyi(50, 200, 7);
+        let snap = undirected_snap();
+        let d = dsd_core::uds::bz::bz_decomposition(&g);
+        let v = parse_ok(&snap.answer_core(&[0, 7, 13]).unwrap());
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("k_star").unwrap().as_u64(), Some(d.k_star as u64));
+        let cores = obj.get("cores").unwrap().as_array().unwrap();
+        for (entry, &vid) in cores.iter().zip(&[0u32, 7, 13]) {
+            let e = entry.as_object().unwrap();
+            assert_eq!(e.get("core").unwrap().as_u64(), Some(d.core[vid as usize] as u64));
+        }
+    }
+
+    #[test]
+    fn directed_core_and_densest_answer() {
+        let snap = directed_snap();
+        let v = parse_ok(&snap.answer_core(&[0, 5]).unwrap());
+        assert!(v.as_object().unwrap().get("w_star").unwrap().as_u64().unwrap() > 0);
+        let v = parse_ok(&snap.answer_densest());
+        let obj = v.as_object().unwrap();
+        assert!(obj.get("s").unwrap().as_array().is_some());
+        assert!(obj.get("t").unwrap().as_array().is_some());
+    }
+
+    #[test]
+    fn greedypp_cold_matches_library_and_warm_reuses_loads() {
+        let g = erdos_renyi(50, 200, 7);
+        let snap = undirected_snap();
+        let (payload, loads) = snap.answer_greedypp(20, 0.01, None).unwrap();
+        let v = parse_ok(&payload);
+        let cfg = IterateConfig { iterations: 20, epsilon: 0.01, certify: CertifyMode::Dual };
+        let want = dsd_core::uds::iterate::greedy_pp(&g, &cfg);
+        assert_eq!(
+            v.as_object().unwrap().get("density").unwrap().as_f64().unwrap().to_bits(),
+            want.result.density.to_bits()
+        );
+        assert_eq!(loads, want.loads);
+        // Warm run accepts the prior and reports warm:true.
+        let (payload, _) = snap.answer_greedypp(5, 0.01, Some(&loads)).unwrap();
+        let v = parse_ok(&payload);
+        assert_eq!(v.as_object().unwrap().get("warm").unwrap().as_bool(), Some(true));
+        // Length-mismatched prior is ignored, not an error.
+        let (payload, _) = snap.answer_greedypp(5, 0.01, Some(&loads[..10])).unwrap();
+        let v = parse_ok(&payload);
+        assert_eq!(v.as_object().unwrap().get("warm").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn neighborhood_answers_are_valid_json() {
+        for snap in [undirected_snap(), directed_snap()] {
+            let v = parse_ok(&snap.answer_neighborhood(0, 3).unwrap());
+            let hoods = v.as_object().unwrap().get("neighborhoods").unwrap().as_array().unwrap();
+            assert!(hoods.len() <= 3);
+            let _: Vec<&Value> = hoods.iter().collect();
+        }
+    }
+}

@@ -1,0 +1,545 @@
+//! The daemon: listeners, worker threads, the writer thread, shutdown.
+//!
+//! Topology:
+//!
+//! * **Accept workers** (thread-per-core by default) share one listening
+//!   socket; each accepted connection is served on its own thread, which
+//!   owns a [`ReaderHandle`] into the snapshot cell, so queries pin a
+//!   version wait-free and never block on the writer — and an idle
+//!   keep-alive connection never starves the accept queue.
+//! * **One writer thread** owns the [`DynamicState`]. `update` requests
+//!   are forwarded to it over a channel; it applies the `DeltaBatch`
+//!   incrementally (the same entry point as `dsd update`), builds the next
+//!   [`GraphSnapshot`] off to the side, and installs it with one pointer
+//!   swap — in-flight queries keep reading the version they pinned.
+//! * Greedy++ **warm starts** are carried across versions: the most recent
+//!   run's load vector lives in the server (not the snapshot), and a
+//!   `"warm":true` query feeds it to `greedy_pp_warm_storage` as the
+//!   prior whenever the vertex count still matches.
+//!
+//! Shutdown: the `shutdown` op (or [`Server::shutdown`]) raises a stop
+//! flag; workers poll it between non-blocking accepts and drain their
+//! current connection first. SIGTERM is also clean by construction — the
+//! daemon holds no on-disk state, so the default kill disposition loses
+//! nothing; the op exists for clients that want a confirmed drain.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dsd_core::dynamic::DynamicState;
+use dsd_graph::DeltaBatch;
+use dsd_telemetry::{self as telemetry, Counter, Phase};
+
+use crate::protocol::{self, Request};
+use crate::query::{build_snapshot, GraphSnapshot};
+use crate::snapshot::{ReaderHandle, SnapshotCell};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Accept/worker threads; 0 means one per available core.
+    pub workers: usize,
+    /// Rayon pool size for snapshot builds and per-query engines; 0 uses
+    /// the global pool. Matching this to a one-shot run's `--threads`
+    /// makes serve answers bit-identical to that run.
+    pub pool_threads: usize,
+    /// Enable the flight recorder and the `stats` query.
+    pub record: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 0, pool_threads: 0, record: false }
+    }
+}
+
+fn run_pool<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    if threads == 0 {
+        f()
+    } else {
+        dsd_core::runner::with_threads(threads, f)
+    }
+}
+
+enum WriterMsg {
+    Apply { batch: DeltaBatch, reply: Sender<Result<String, String>> },
+    Stop,
+}
+
+struct Shared {
+    cell: Arc<SnapshotCell<GraphSnapshot>>,
+    stop: AtomicBool,
+    writer_tx: Mutex<Option<Sender<WriterMsg>>>,
+    /// Warm-start load vector from the most recent Greedy++ run, carried
+    /// across snapshot versions.
+    warm: Mutex<Option<Vec<u64>>>,
+    /// Connections currently being served; [`Server::join`] drains to zero
+    /// after the accept workers exit.
+    live_connections: AtomicUsize,
+    pool_threads: usize,
+    record: bool,
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl ListenerKind {
+    fn try_clone(&self) -> io::Result<ListenerKind> {
+        match self {
+            ListenerKind::Tcp(l) => Ok(ListenerKind::Tcp(l.try_clone()?)),
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => Ok(ListenerKind::Unix(l.try_clone()?)),
+        }
+    }
+
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        match self {
+            ListenerKind::Tcp(l) => l.set_nonblocking(on),
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+
+    fn accept(&self) -> io::Result<StreamKind> {
+        match self {
+            ListenerKind::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(StreamKind::Tcp(s))
+            }
+            #[cfg(unix)]
+            ListenerKind::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(StreamKind::Unix(s))
+            }
+        }
+    }
+}
+
+enum StreamKind {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// Between frames a connection is idle for arbitrarily long, so the wait
+/// for a frame's first byte polls at this interval, checking the stop
+/// flag each lap — an idle keep-alive connection never delays shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+/// Once a frame has started, the rest must arrive within this budget; a
+/// stalled half-frame releases the worker instead of parking it.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl StreamKind {
+    fn configure(&self) -> io::Result<()> {
+        // Accepted sockets block again: the *listener* stays non-blocking
+        // so workers can poll the stop flag between accepts.
+        match self {
+            StreamKind::Tcp(s) => {
+                // Disable Nagle: responses are single-write frames, and
+                // holding one for the client's delayed ACK turns every
+                // query into a multi-ms stall.
+                s.set_nodelay(true)?;
+                s.set_nonblocking(false)
+            }
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.set_nonblocking(false),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            StreamKind::Tcp(s) => s.set_read_timeout(Some(timeout)),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.set_read_timeout(Some(timeout)),
+        }
+    }
+}
+
+impl Read for StreamKind {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamKind {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            StreamKind::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A running daemon. Dropping without [`join`](Self::join) detaches the
+/// threads; the CLI always joins.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+    addr: Option<SocketAddr>,
+    socket_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Starts the daemon on a TCP address (use port 0 to let the OS pick;
+    /// [`local_addr`](Self::local_addr) reports the binding).
+    pub fn start_tcp(state: DynamicState, addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok(Self::start_inner(state, ListenerKind::Tcp(listener), cfg, Some(local), None))
+    }
+
+    /// Starts the daemon on a Unix-domain socket path (removed on join).
+    #[cfg(unix)]
+    pub fn start_unix(
+        state: DynamicState,
+        path: impl Into<PathBuf>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let path = path.into();
+        // A stale socket file from a killed daemon would fail the bind.
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(Self::start_inner(state, ListenerKind::Unix(listener), cfg, None, Some(path)))
+    }
+
+    fn start_inner(
+        state: DynamicState,
+        listener: ListenerKind,
+        cfg: ServeConfig,
+        addr: Option<SocketAddr>,
+        socket_path: Option<PathBuf>,
+    ) -> Server {
+        if cfg.record {
+            telemetry::set_enabled(true);
+            telemetry::begin_trace("serve");
+        }
+        let initial = run_pool(cfg.pool_threads, || build_snapshot(&state, 1));
+        telemetry::counter_add(Counter::SnapshotInstalls, 1);
+        let cell = Arc::new(SnapshotCell::new(initial));
+        let (writer_tx, writer_rx) = channel();
+        let shared = Arc::new(Shared {
+            cell: Arc::clone(&cell),
+            stop: AtomicBool::new(false),
+            writer_tx: Mutex::new(Some(writer_tx)),
+            warm: Mutex::new(None),
+            live_connections: AtomicUsize::new(0),
+            pool_threads: cfg.pool_threads,
+            record: cfg.record,
+        });
+
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || writer_loop(state, shared, writer_rx))
+        };
+
+        let workers = if cfg.workers > 0 {
+            cfg.workers
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+        };
+        listener.set_nonblocking(true).expect("listener supports non-blocking accept");
+        let workers = (0..workers)
+            .map(|_| {
+                let listener = listener.try_clone().expect("listener clone");
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(listener, shared))
+            })
+            .collect();
+
+        Server { shared, workers, writer: Some(writer), addr, socket_path }
+    }
+
+    /// The bound TCP address (None for Unix-socket daemons).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Raises the stop flag; workers drain their current connection and
+    /// exit. Pair with [`join`](Self::join).
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the daemon stops (via the `shutdown` op or
+    /// [`shutdown`](Self::shutdown)), then joins every thread.
+    pub fn join(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        // Connection threads see the stop flag within one idle-poll lap;
+        // a frame mid-read gets the frame timeout to finish. Bound the
+        // drain anyway so a wedged peer cannot hang the daemon's exit.
+        let deadline = std::time::Instant::now() + FRAME_TIMEOUT + Duration::from_secs(5);
+        while self.shared.live_connections.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        if let Some(tx) = self.shared.writer_tx.lock().expect("writer handle poisoned").take() {
+            let _ = tx.send(WriterMsg::Stop);
+        }
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn writer_loop(mut state: DynamicState, shared: Arc<Shared>, rx: Receiver<WriterMsg>) {
+    let mut version = 1u64;
+    while let Ok(msg) = rx.recv() {
+        let WriterMsg::Apply { batch, reply } = msg else { break };
+        let applied = run_pool(shared.pool_threads, || state.apply_batch(&batch));
+        let response = match applied {
+            Err(e) => Err(e.to_string()),
+            Ok(outcome) => {
+                version += 1;
+                {
+                    // ServeInstall brackets exactly the window in which
+                    // the new version exists but is not yet published —
+                    // the "install stall" the bench serving section
+                    // reports.
+                    let _g = telemetry::span(Phase::ServeInstall);
+                    let snap = run_pool(shared.pool_threads, || build_snapshot(&state, version));
+                    shared.cell.install(snap);
+                }
+                telemetry::counter_add(Counter::SnapshotInstalls, 1);
+                Ok(format!(
+                    "{{\"ok\":true,\"version\":{version},\"edges\":{},\"certificate\":{},\"frontier\":{},\"rounds\":{},\"frozen\":{}}}",
+                    state.num_edges(),
+                    state.certificate_value(),
+                    outcome.frontier_size,
+                    outcome.rounds,
+                    outcome.frozen
+                ))
+            }
+        };
+        let _ = reply.send(response);
+    }
+}
+
+/// Thread-per-core accept loop. Each accepted connection is served on its
+/// own thread (connections are long-lived and may idle between frames, so
+/// serving them inline would let one keep-alive client starve the accept
+/// queue); connection threads register their own snapshot reader and exit
+/// on EOF, error, or the stop flag.
+fn worker_loop(listener: ListenerKind, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                if stream.configure().is_err() {
+                    continue;
+                }
+                let shared = Arc::clone(&shared);
+                shared.live_connections.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    let mut reader = shared.cell.reader();
+                    serve_connection(stream, &shared, &mut reader);
+                    shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serves one connection to completion. Malformed *frames* (bad length,
+/// bad UTF-8) get an error reply and close the connection — framing is
+/// lost. Malformed *requests* in well-formed frames get an error reply
+/// and keep the connection.
+fn serve_connection(
+    mut stream: StreamKind,
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle<GraphSnapshot>,
+) {
+    loop {
+        // Idle wait for the next frame's first byte, bounded so the stop
+        // flag is honoured; the remainder of the frame then reads under
+        // the long timeout via a chained reader.
+        let mut first = [0u8; 1];
+        if stream.set_read_timeout(IDLE_POLL).is_err() {
+            return;
+        }
+        loop {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match stream.read(&mut first) {
+                Ok(0) => return, // clean EOF between frames
+                Ok(_) => break,
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+                Err(_) => return,
+            }
+        }
+        if stream.set_read_timeout(FRAME_TIMEOUT).is_err() {
+            return;
+        }
+        let mut resumed = io::Read::chain(&first[..], &mut stream);
+        let frame = match protocol::read_frame(&mut resumed) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let payload = match frame {
+            Ok(p) => p,
+            Err(msg) => {
+                telemetry::counter_add(Counter::ServeQueries, 1);
+                let _ = protocol::write_frame(&mut stream, &protocol::error_response(&msg));
+                return;
+            }
+        };
+        telemetry::counter_add(Counter::ServeQueries, 1);
+        let request = match protocol::parse_request(&payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                let _ = protocol::write_frame(&mut stream, &protocol::error_response(&msg));
+                continue;
+            }
+        };
+        let shutting_down = matches!(request, Request::Shutdown);
+        let response = dispatch(request, shared, reader);
+        if protocol::write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+        if shutting_down {
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn dispatch(
+    request: Request,
+    shared: &Arc<Shared>,
+    reader: &mut ReaderHandle<GraphSnapshot>,
+) -> String {
+    match request {
+        Request::Densest => {
+            let _g = telemetry::span(Phase::ServeDensest);
+            let pin = reader.pin();
+            telemetry::counter_add(Counter::ServeCacheHits, 1);
+            pin.answer_densest()
+        }
+        Request::Density { vertices } => {
+            let _g = telemetry::span(Phase::ServeDensity);
+            let pin = reader.pin();
+            unwrap_reply(pin.answer_density(&vertices))
+        }
+        Request::DensityST { s, t } => {
+            let _g = telemetry::span(Phase::ServeDensity);
+            let pin = reader.pin();
+            unwrap_reply(pin.answer_density_st(&s, &t))
+        }
+        Request::Core { vertices } => {
+            let _g = telemetry::span(Phase::ServeCore);
+            let pin = reader.pin();
+            let reply = pin.answer_core(&vertices);
+            if reply.is_ok() {
+                telemetry::counter_add(Counter::ServeCacheHits, 1);
+            }
+            unwrap_reply(reply)
+        }
+        Request::Neighborhood { seed, k } => {
+            let _g = telemetry::span(Phase::ServeNeighborhood);
+            let pin = reader.pin();
+            unwrap_reply(pin.answer_neighborhood(seed, k))
+        }
+        Request::GreedyPP { iterations, epsilon, warm } => {
+            let _g = telemetry::span(Phase::ServeGreedy);
+            let pin = reader.pin();
+            let prior_loads =
+                if warm { shared.warm.lock().expect("warm cache poisoned").clone() } else { None };
+            let snap: &GraphSnapshot = &pin;
+            let outcome = run_pool(shared.pool_threads, || {
+                snap.answer_greedypp(iterations, epsilon, prior_loads.as_deref())
+            });
+            match outcome {
+                Ok((payload, loads)) => {
+                    if !loads.is_empty() {
+                        *shared.warm.lock().expect("warm cache poisoned") = Some(loads);
+                    }
+                    payload
+                }
+                Err(e) => protocol::error_response(&e),
+            }
+        }
+        Request::Stats => {
+            let _g = telemetry::span(Phase::ServeStats);
+            if !shared.record {
+                return protocol::error_response("stats recording is disabled on this daemon");
+            }
+            let pin = reader.pin();
+            match telemetry::snapshot_trace() {
+                Some(trace) => {
+                    format!(
+                        "{{\"ok\":true,\"version\":{},\"trace\":{}}}",
+                        pin.version,
+                        trace.to_json()
+                    )
+                }
+                None => protocol::error_response("no active trace"),
+            }
+        }
+        Request::Update { insert, remove } => {
+            let _g = telemetry::span(Phase::ServeUpdate);
+            match DeltaBatch::new(insert, remove) {
+                Err(e) => protocol::error_response(&e.to_string()),
+                Ok(batch) => {
+                    let (tx, rx) = channel();
+                    let sent = {
+                        let guard = shared.writer_tx.lock().expect("writer handle poisoned");
+                        match guard.as_ref() {
+                            Some(writer) => {
+                                writer.send(WriterMsg::Apply { batch, reply: tx }).is_ok()
+                            }
+                            None => false,
+                        }
+                    };
+                    if !sent {
+                        return protocol::error_response("writer thread unavailable");
+                    }
+                    match rx.recv() {
+                        Ok(Ok(payload)) => payload,
+                        Ok(Err(e)) => protocol::error_response(&e),
+                        Err(_) => protocol::error_response("writer thread unavailable"),
+                    }
+                }
+            }
+        }
+        Request::Shutdown => "{\"ok\":true,\"shutting_down\":true}".to_string(),
+    }
+}
+
+fn unwrap_reply(reply: Result<String, String>) -> String {
+    reply.unwrap_or_else(|e| protocol::error_response(&e))
+}

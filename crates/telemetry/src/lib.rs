@@ -119,11 +119,21 @@ pub enum Counter {
     /// vertices (the `core == K` BFS regions). One unit = one seeded
     /// vertex; the batch's from-scratch alternative would seed `n`.
     FrontierSize,
+    /// `dsd-serve`: queries answered by the daemon (every kind, including
+    /// `stats` and rejected-but-replied malformed requests).
+    ServeQueries,
+    /// `dsd-serve`: snapshot versions installed by the writer thread (the
+    /// initial load counts as the first install).
+    SnapshotInstalls,
+    /// `dsd-serve`: queries answered entirely from the snapshot's
+    /// precomputed certificate (densest-subgraph and core-membership
+    /// lookups that touched no decomposition kernel).
+    ServeCacheHits,
 }
 
 impl Counter {
     /// Every counter, in shard-slot order (also the JSON emission order).
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 13] = [
         Counter::HUpdatesApplied,
         Counter::FrontierEnqueues,
         Counter::ChunkMinRescans,
@@ -134,6 +144,9 @@ impl Counter {
         Counter::EncodeBytes,
         Counter::LoadsUpdated,
         Counter::FrontierSize,
+        Counter::ServeQueries,
+        Counter::SnapshotInstalls,
+        Counter::ServeCacheHits,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -151,6 +164,9 @@ impl Counter {
             Counter::EncodeBytes => "encode_bytes",
             Counter::LoadsUpdated => "loads_updated",
             Counter::FrontierSize => "frontier_size",
+            Counter::ServeQueries => "serve_queries",
+            Counter::SnapshotInstalls => "snapshot_installs",
+            Counter::ServeCacheHits => "serve_cache_hits",
         }
     }
 }
@@ -244,11 +260,29 @@ pub enum Phase {
     /// Dynamic engine: the restricted chunk-min peel re-deriving the
     /// w-induced decomposition below the changed-weight cutoff `W*`.
     DynamicPeel,
+    /// Serve: one densest-subgraph query (certificate lookup).
+    ServeDensest,
+    /// Serve: one density-of-set query.
+    ServeDensity,
+    /// Serve: one core-membership query.
+    ServeCore,
+    /// Serve: one top-k dense-neighbourhood query.
+    ServeNeighborhood,
+    /// Serve: one per-query Greedy++ run (`--epsilon` knob).
+    ServeGreedy,
+    /// Serve: one `stats` query (trace snapshot + serialisation).
+    ServeStats,
+    /// Serve: one `update` request, timed end-to-end on the client-facing
+    /// connection (queue wait + writer apply + install).
+    ServeUpdate,
+    /// Serve: writer-side snapshot construction and installation — the
+    /// interval in which a new version exists but is not yet published.
+    ServeInstall,
 }
 
 impl Phase {
     /// Every phase, in shard-slot order.
-    pub const ALL: [Phase; 29] = [
+    pub const ALL: [Phase; 37] = [
         Phase::Init,
         Phase::Sweep,
         Phase::Apply,
@@ -278,6 +312,14 @@ impl Phase {
         Phase::DynamicFrontier,
         Phase::DynamicSweep,
         Phase::DynamicPeel,
+        Phase::ServeDensest,
+        Phase::ServeDensity,
+        Phase::ServeCore,
+        Phase::ServeNeighborhood,
+        Phase::ServeGreedy,
+        Phase::ServeStats,
+        Phase::ServeUpdate,
+        Phase::ServeInstall,
     ];
 
     const COUNT: usize = Self::ALL.len();
@@ -314,6 +356,14 @@ impl Phase {
             Phase::DynamicFrontier => "dynamic/frontier",
             Phase::DynamicSweep => "dynamic/sweep",
             Phase::DynamicPeel => "dynamic/peel",
+            Phase::ServeDensest => "serve/densest",
+            Phase::ServeDensity => "serve/density",
+            Phase::ServeCore => "serve/core",
+            Phase::ServeNeighborhood => "serve/neighborhood",
+            Phase::ServeGreedy => "serve/greedypp",
+            Phase::ServeStats => "serve/stats",
+            Phase::ServeUpdate => "serve/update",
+            Phase::ServeInstall => "serve/install",
         }
     }
 }
@@ -1011,6 +1061,26 @@ pub fn end_trace() -> Option<DecompositionTrace> {
         return None;
     }
     let trace = active().lock().expect("telemetry trace poisoned").take()?;
+    Some(aggregate_trace(&trace))
+}
+
+/// Aggregate the active trace into a [`DecompositionTrace`] *without*
+/// consuming it: shards keep accumulating and a later [`end_trace`] (or the
+/// next `snapshot_trace`) sees everything recorded so far. This is the
+/// long-running daemon's `STATS` path — one trace spans the process
+/// lifetime and each stats query reports the running totals.
+///
+/// Spans still open on worker threads at the moment of the snapshot are not
+/// included (they are flushed to the shard only when their guard drops).
+pub fn snapshot_trace() -> Option<DecompositionTrace> {
+    if !enabled() {
+        return None;
+    }
+    let guard = active().lock().expect("telemetry trace poisoned");
+    guard.as_ref().map(aggregate_trace)
+}
+
+fn aggregate_trace(trace: &ActiveTrace) -> DecompositionTrace {
     let mut counter_totals = [0u64; Counter::COUNT];
     let mut phase_nanos = [0u64; Phase::COUNT];
     let mut phase_hists = vec![hist::LogHistogram::new(); Phase::COUNT];
@@ -1068,10 +1138,10 @@ pub fn end_trace() -> Option<DecompositionTrace> {
         }),
         _ => None,
     };
-    Some(DecompositionTrace {
-        label: trace.label,
+    DecompositionTrace {
+        label: trace.label.clone(),
         threads: trace.threads,
-        rounds: trace.rounds,
+        rounds: trace.rounds.clone(),
         counters,
         phase_totals,
         spans,
@@ -1079,7 +1149,7 @@ pub fn end_trace() -> Option<DecompositionTrace> {
         histograms,
         alloc,
         wall_secs: trace.started.elapsed().as_secs_f64(),
-    })
+    }
 }
 
 #[cfg(test)]

@@ -883,6 +883,9 @@ mod tests {
                 Counter::EncodeBytes => "encode_bytes",
                 Counter::LoadsUpdated => "loads_updated",
                 Counter::FrontierSize => "frontier_size",
+                Counter::ServeQueries => "serve_queries",
+                Counter::SnapshotInstalls => "snapshot_installs",
+                Counter::ServeCacheHits => "serve_cache_hits",
             }
         }
         let design = include_str!("../../../DESIGN.md");

@@ -25,7 +25,7 @@ static ALLOC: dsd_telemetry::alloc::CountingAlloc = dsd_telemetry::alloc::Counti
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd profile --input FILE [--algo ALGO] [--directed] [--threads N]\n            [--trace FILE] [--chrome FILE] [--folded FILE]\n            (runs one engine under the flight recorder: prints the phase /\n             span / histogram / allocation summary, and optionally writes\n             the dsd-trace/v2 JSON, a chrome://tracing trace-event file,\n             and flamegraph-ready folded stacks)\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)\n  dsd update --input FILE --delta FILE [--directed] [--threads N]\n            [--trace FILE] [--out FILE]\n            (applies an edge-delta file — text `+ u v`/`- u v` lines or\n             the DSDDELTA binary — to a base graph in any format and\n             maintains the k*-core / w-induced certificate incrementally\n             from the previous fixed point; --out writes the updated\n             graph as a text edge list)"
+        "usage:\n  dsd uds   --input FILE\n            [--algo pkmc|local|pkc|charikar|pbu|pfw|bsk|greedypp|fista|exact]\n            [--threads N] [--epsilon F] [--iterations N] [--iters N]\n            [--certify none|dual|exact] [--trace FILE] [--print-vertices]\n            (greedypp/fista: iterative near-optimal engine; stops when\n             density*(1+epsilon) >= dual bound; --certify exact hands the\n             incumbent to the flow oracle)\n  dsd dds   --input FILE [--algo pwc|pxy|pbd|pfks|pbs|pfw|greedypp|exact]\n            [--threads N] [--certify none|exact] [--print-vertices]\n  dsd profile --input FILE [--algo ALGO] [--directed] [--threads N]\n            [--trace FILE] [--chrome FILE] [--folded FILE]\n            (runs one engine under the flight recorder: prints the phase /\n             span / histogram / allocation summary, and optionally writes\n             the dsd-trace/v2 JSON, a chrome://tracing trace-event file,\n             and flamegraph-ready folded stacks)\n  dsd gen   --model er|chung-lu|ba|rmat --n N --m M [--seed S] [--gamma F]\n            [--directed] --out FILE\n  dsd stats --input FILE [--directed]\n  dsd decompose --input FILE --what core|truss|induce --out FILE\n            (core/truss: undirected; induce: directed edge induce-numbers)\n  dsd pack  --input FILE --out FILE [--directed] [--no-reorder] [--spill-arcs N]\n            (delta-varint compress to the binary v2 format; reorders by\n             descending degree first unless --no-reorder; --spill-arcs\n             ingests through disk shards of N arcs, bounding peak RSS)\n  dsd update --input FILE --delta FILE [--directed] [--threads N]\n            [--trace FILE] [--out FILE]\n            (applies an edge-delta file — text `+ u v`/`- u v` lines or\n             the DSDDELTA binary — to a base graph in any format and\n             maintains the k*-core / w-induced certificate incrementally\n             from the previous fixed point; --out writes the updated\n             graph as a text edge list)\n  dsd serve --input FILE [--directed] [--listen ADDR | --socket PATH]\n            [--workers N] [--threads N] [--no-record]\n            (long-running query daemon: loads the graph once, precomputes\n             the k*-core / [x*,y*]-core certificates and the densest\n             subgraph, and answers length-prefixed JSON queries —\n             densest|density|core|neighborhood|greedypp|stats|update|\n             shutdown — over TCP (default 127.0.0.1:0) or a Unix socket;\n             update applies a delta batch into a fresh snapshot version\n             without blocking in-flight queries)"
     );
     ExitCode::from(2)
 }
@@ -39,7 +39,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("unexpected argument {a}"));
         };
         // Boolean flags take no value.
-        if matches!(name, "directed" | "print-vertices" | "no-reorder") {
+        if matches!(name, "directed" | "print-vertices" | "no-reorder" | "no-record") {
             flags.insert(name.to_string(), "true".to_string());
             i += 1;
         } else {
@@ -83,6 +83,7 @@ fn main() -> ExitCode {
         "decompose" => cmd_decompose(&flags),
         "pack" => cmd_pack(&flags),
         "update" => cmd_update(&flags),
+        "serve" => cmd_serve(&flags),
         _ => return usage(),
     };
     match result {
@@ -446,37 +447,21 @@ fn cmd_decompose(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// Loads an undirected base graph from any on-disk format: text edge
-/// list, binary v1, or packed v2 (decompressed once to plain CSR — the
-/// dynamic engine mutates plain CSR between versions).
-fn load_undirected_any(path: &str) -> Result<dsd_graph::UndirectedGraph, String> {
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    if bytes.len() >= 10 && &bytes[..8] == b"DSDGRAPH" {
-        if bytes[9] >= 2 {
-            Ok(dsd_graph::binio::load_compressed_undirected_path(path)
-                .map_err(|e| e.to_string())?
-                .decompress())
-        } else {
-            dsd_graph::binio::read_undirected_binary(&bytes[..]).map_err(|e| e.to_string())
-        }
+/// Loads a base graph from any on-disk format — text edge list, binary
+/// v1, or packed v2, always decompressed to plain CSR (the dynamic engine
+/// mutates plain CSR between versions) — and stands up the incremental
+/// decomposition state. Shared by `dsd update` and `dsd serve` so both
+/// apply deltas through the exact same entry point.
+fn load_dynamic_state(
+    path: &str,
+    directed: bool,
+) -> Result<dsd_core::dynamic::DynamicState, String> {
+    if directed {
+        let g = dsd_graph::io::read_directed_any_path(path).map_err(|e| e.to_string())?;
+        Ok(dsd_core::dynamic::DynamicState::new_directed(g))
     } else {
-        dsd_graph::io::read_undirected(&bytes[..]).map_err(|e| e.to_string())
-    }
-}
-
-/// Directed counterpart of [`load_undirected_any`].
-fn load_directed_any(path: &str) -> Result<dsd_graph::DirectedGraph, String> {
-    let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
-    if bytes.len() >= 10 && &bytes[..8] == b"DSDGRAPH" {
-        if bytes[9] >= 2 {
-            Ok(dsd_graph::binio::load_compressed_directed_path(path)
-                .map_err(|e| e.to_string())?
-                .decompress())
-        } else {
-            dsd_graph::binio::read_directed_binary(&bytes[..]).map_err(|e| e.to_string())
-        }
-    } else {
-        dsd_graph::io::read_directed(&bytes[..]).map_err(|e| e.to_string())
+        let g = dsd_graph::io::read_undirected_any_path(path).map_err(|e| e.to_string())?;
+        Ok(dsd_core::dynamic::DynamicState::new_undirected(g))
     }
 }
 
@@ -500,53 +485,25 @@ fn cmd_update(flags: &HashMap<String, String>) -> Result<(), String> {
         batch.inserts().len(),
         batch.removes().len()
     );
-    if flags.contains_key("directed") {
-        let g = load_directed_any(input)?;
-        let (n0, m0) = (g.num_vertices(), g.num_edges());
-        let (state, outcome) = with_threads(flags, || {
-            let mut state = dsd_core::dynamic::DynamicDirectedState::new(g);
-            let outcome = state.apply_batch(&batch);
-            (state, outcome)
-        })?;
-        let outcome = outcome.map_err(|e| e.to_string())?;
-        println!(
-            "graph: |V|={} |E|={} -> |E|={}\nw* = {}\nfrontier: {} active edges, {} frozen\nthreshold rounds: {}",
-            n0,
-            m0,
-            state.graph().num_edges(),
-            state.w_star(),
-            outcome.frontier_size,
-            outcome.frozen,
-            outcome.rounds
-        );
-        if let Some(out) = flags.get("out") {
-            let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
-            dsd_graph::io::write_directed(state.graph(), f).map_err(|e| e.to_string())?;
-            println!("updated graph: {out}");
+    let directed = flags.contains_key("directed");
+    let (state, n0, m0, outcome) = with_threads(flags, || {
+        let mut state = load_dynamic_state(input, directed)?;
+        let (n0, m0) = (state.num_vertices(), state.num_edges());
+        let outcome = state.apply_batch(&batch).map_err(|e| e.to_string())?;
+        Ok::<_, String>((state, n0, m0, outcome))
+    })??;
+    println!("{}", state.update_report(n0, m0, &outcome));
+    if let Some(out) = flags.get("out") {
+        let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
+        match &state {
+            dsd_core::dynamic::DynamicState::Undirected(s) => {
+                dsd_graph::io::write_undirected(s.graph(), f).map_err(|e| e.to_string())?;
+            }
+            dsd_core::dynamic::DynamicState::Directed(s) => {
+                dsd_graph::io::write_directed(s.graph(), f).map_err(|e| e.to_string())?;
+            }
         }
-    } else {
-        let g = load_undirected_any(input)?;
-        let (n0, m0) = (g.num_vertices(), g.num_edges());
-        let (state, outcome) = with_threads(flags, || {
-            let mut state = dsd_core::dynamic::DynamicUndirectedState::new(g);
-            let outcome = state.apply_batch(&batch);
-            (state, outcome)
-        })?;
-        let outcome = outcome.map_err(|e| e.to_string())?;
-        println!(
-            "graph: |V|={} |E|={} -> |E|={}\nk* = {}\nfrontier: {} vertices\nsweep rounds: {}",
-            n0,
-            m0,
-            state.graph().num_edges(),
-            state.k_star(),
-            outcome.frontier_size,
-            outcome.rounds
-        );
-        if let Some(out) = flags.get("out") {
-            let f = std::fs::File::create(out).map_err(|e| e.to_string())?;
-            dsd_graph::io::write_undirected(state.graph(), f).map_err(|e| e.to_string())?;
-            println!("updated graph: {out}");
-        }
+        println!("updated graph: {out}");
     }
     if let Some(path) = trace_path {
         let trace = dsd_telemetry::end_trace().ok_or("telemetry trace unavailable")?;
@@ -554,6 +511,56 @@ fn cmd_update(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("trace: {path}");
     }
     std::io::stdout().flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Starts the snapshot-isolated query daemon (`dsd-serve`): load once,
+/// decompose once, then answer length-prefixed JSON queries until a
+/// `shutdown` op arrives. `--threads` sets the engine pool used for the
+/// initial decomposition, snapshot rebuilds, and per-query Greedy++ runs —
+/// matching it to a one-shot run's `--threads` makes answers bit-identical.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::Write as _;
+    let input = flags.get("input").ok_or("--input is required")?;
+    let directed = flags.contains_key("directed");
+    let workers: usize = get_parsed(flags, "workers", 0)?;
+    let pool_threads: usize = get_parsed(flags, "threads", 0)?;
+    let cfg =
+        dsd_serve::ServeConfig { workers, pool_threads, record: !flags.contains_key("no-record") };
+    let state = with_threads(flags, || load_dynamic_state(input, directed))??;
+    println!(
+        "serving {input}: |V|={} |E|={} ({}), {} = {}",
+        state.num_vertices(),
+        state.num_edges(),
+        if directed { "directed" } else { "undirected" },
+        if directed { "w*" } else { "k*" },
+        state.certificate_value()
+    );
+    let server = if let Some(path) = flags.get("socket") {
+        #[cfg(unix)]
+        {
+            let server = dsd_serve::Server::start_unix(state, path.clone(), cfg)
+                .map_err(|e| e.to_string())?;
+            println!("listening on unix:{path}");
+            server
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            return Err("--socket requires a Unix platform; use --listen".to_string());
+        }
+    } else {
+        let listen = flags.get("listen").map(String::as_str).unwrap_or("127.0.0.1:0");
+        let server = dsd_serve::Server::start_tcp(state, listen, cfg).map_err(|e| e.to_string())?;
+        let addr = server.local_addr().ok_or("TCP daemon has no local address")?;
+        println!("listening on {addr}");
+        server
+    };
+    // Scripted clients (the CI smoke step) parse the "listening on" line,
+    // so it must hit the pipe before the accept loop settles in.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.join();
+    println!("shutdown complete");
     Ok(())
 }
 

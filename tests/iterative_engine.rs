@@ -120,3 +120,56 @@ proptest! {
         }
     }
 }
+
+// --- Directed engine: the budget-exhausted certificate path (PR 10) ---
+//
+// The directed Greedy++ hook has no load-vector dual bound, so a run that
+// stops on its iteration budget must say "budget-exhausted" with the exact
+// round count — never imply convergence. These pin the certificate text
+// for arbitrary budgets; the serve layer and `dsd iterate --directed`
+// both print this label verbatim.
+
+fn directed_graph() -> impl Strategy<Value = dsd_graph::DirectedGraph> {
+    (2usize..22, 0.05f64..0.5, any::<u64>()).prop_map(|(n, p, seed)| {
+        let m = ((n * (n - 1)) as f64 * p).ceil() as usize;
+        dsd_graph::gen::erdos_renyi_directed(n, m.max(1), seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(16)))]
+
+    #[test]
+    fn budget_exhausted_certificate_pins_text_and_round_count(
+        g in directed_graph(),
+        budget in 1usize..12,
+    ) {
+        use dsd_core::dds::iterate::{greedy_pp_dds, DdsIterateConfig};
+        prop_assume!(g.num_edges() > 0);
+        let r = greedy_pp_dds(&g, &DdsIterateConfig { iterations: budget, certify_exact: false });
+        // The fixed budget is spent exactly: no early stop exists on this
+        // path, so rounds == budget always.
+        prop_assert_eq!(r.rounds, budget, "budget {} not honoured", budget);
+        prop_assert!(!r.exact_certified);
+        prop_assert_eq!(
+            r.certificate_label(),
+            format!("budget-exhausted ({budget} rounds, no dual bound available)"),
+            "certificate text drifted"
+        );
+    }
+
+    #[test]
+    fn exact_certification_replaces_the_budget_label(g in directed_graph()) {
+        use dsd_core::dds::iterate::{greedy_pp_dds, DdsIterateConfig};
+        prop_assume!(g.num_edges() > 0);
+        let r = greedy_pp_dds(&g, &DdsIterateConfig { iterations: 3, certify_exact: true });
+        prop_assert!(r.exact_certified);
+        prop_assert_eq!(r.certificate_label(), "exact (flow-certified)".to_string());
+        // Certification hands the incumbent to the flow oracle, so the
+        // reported density is the true optimum — at least as dense as any
+        // budget-bounded run on the same graph.
+        let uncertified =
+            greedy_pp_dds(&g, &DdsIterateConfig { iterations: 10, certify_exact: false });
+        prop_assert!(r.result.density + 1e-9 >= uncertified.result.density);
+    }
+}

@@ -1,0 +1,364 @@
+//! Protocol conformance for the `dsd serve` daemon (PR 10 tentpole):
+//! golden request/response checks for every query kind over a real
+//! loopback socket, canonical-error parity for malformed frames and
+//! requests, and a proptest that arbitrary byte junk never panics the
+//! framer or wedges the daemon.
+//!
+//! All daemons here are in-process (`dsd_serve::Server`) on OS-assigned
+//! loopback ports; the separate `serve_snapshot` suite covers concurrency
+//! and update isolation.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+
+use dsd_core::dynamic::DynamicState;
+use dsd_core::uds::iterate::{CertifyMode, IterateConfig};
+use dsd_graph::gen::{erdos_renyi, erdos_renyi_directed};
+use dsd_serve::protocol::{self, read_frame, write_frame};
+use dsd_serve::{ServeConfig, Server};
+use dsd_telemetry::json::{self, Value};
+use proptest::prelude::*;
+
+/// Case count honouring `PROPTEST_CASES` (the CI proptest job raises it).
+fn cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(default_cases)
+}
+
+fn undirected_server(cfg: ServeConfig) -> (Server, SocketAddr) {
+    let state = DynamicState::new_undirected(erdos_renyi(40, 150, 7));
+    let server = Server::start_tcp(state, "127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("tcp daemon has an address");
+    (server, addr)
+}
+
+fn directed_server() -> (Server, SocketAddr) {
+    let state = DynamicState::new_directed(erdos_renyi_directed(30, 120, 9));
+    let server =
+        Server::start_tcp(state, "127.0.0.1:0", ServeConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("tcp daemon has an address");
+    (server, addr)
+}
+
+/// One request over a fresh connection; returns the raw response payload.
+fn query(addr: SocketAddr, payload: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_frame(&mut stream, payload).expect("send");
+    match read_frame(&mut stream).expect("read") {
+        Some(Ok(response)) => response,
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+}
+
+fn parse_ok(payload: &str) -> Value {
+    let v = json::parse(payload).unwrap_or_else(|e| panic!("bad response {payload:?}: {e}"));
+    assert_eq!(
+        v.as_object().and_then(|o| o.get("ok")).and_then(Value::as_bool),
+        Some(true),
+        "expected ok response, got {payload}"
+    );
+    v
+}
+
+fn field_f64(v: &Value, key: &str) -> f64 {
+    v.as_object().unwrap().get(key).unwrap().as_f64().unwrap()
+}
+
+fn field_u64(v: &Value, key: &str) -> u64 {
+    v.as_object().unwrap().get(key).unwrap().as_u64().unwrap()
+}
+
+fn vertex_field(v: &Value, key: &str) -> Vec<u64> {
+    v.as_object()
+        .unwrap()
+        .get(key)
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|x| x.as_u64().unwrap())
+        .collect()
+}
+
+#[test]
+fn densest_and_density_round_trip_bit_exact() {
+    let g = erdos_renyi(40, 150, 7);
+    let (server, addr) = undirected_server(ServeConfig::default());
+
+    let v = parse_ok(&query(addr, "{\"op\":\"densest\"}"));
+    assert_eq!(field_u64(&v, "version"), 1);
+    let direct: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&g).into();
+    assert_eq!(
+        field_f64(&v, "density").to_bits(),
+        direct.density.to_bits(),
+        "serve densest must be bit-identical to one-shot PKMC"
+    );
+    let mut expected: Vec<u64> = direct.vertices.iter().map(|&x| x as u64).collect();
+    expected.sort_unstable();
+    assert_eq!(vertex_field(&v, "vertices"), expected);
+
+    // Arbitrary-set density, with duplicates collapsed server-side.
+    let v = parse_ok(&query(addr, "{\"op\":\"density\",\"vertices\":[0,1,2,3,2,1]}"));
+    let (edges, density) = dsd_core::density::set_edges_and_density(&g, &[0, 1, 2, 3]);
+    assert_eq!(field_u64(&v, "size"), 4);
+    assert_eq!(field_u64(&v, "edges"), edges as u64);
+    assert_eq!(field_f64(&v, "density").to_bits(), density.to_bits());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn core_and_neighborhood_match_direct_engines() {
+    let g = erdos_renyi(40, 150, 7);
+    let (server, addr) = undirected_server(ServeConfig::default());
+
+    let d = dsd_core::uds::bz::bz_decomposition(&g);
+    let v = parse_ok(&query(addr, "{\"op\":\"core\",\"vertices\":[0,5,17,39]}"));
+    assert_eq!(field_u64(&v, "k_star"), d.k_star as u64);
+    let cores = v.as_object().unwrap().get("cores").unwrap().as_array().unwrap();
+    assert_eq!(cores.len(), 4);
+    for c in cores {
+        let vertex = field_u64(c, "vertex") as usize;
+        assert_eq!(field_u64(c, "core"), d.core[vertex] as u64);
+        assert_eq!(field_u64(c, "degree"), g.degree(vertex as u32) as u64);
+        assert_eq!(
+            c.as_object().unwrap().get("in_kstar_core").unwrap().as_bool(),
+            Some(d.core[vertex] == d.k_star && d.k_star > 0)
+        );
+    }
+
+    let v = parse_ok(&query(addr, "{\"op\":\"neighborhood\",\"seed\":3,\"k\":2}"));
+    let hoods = v.as_object().unwrap().get("neighborhoods").unwrap().as_array().unwrap();
+    let direct = dsd_core::seeded::top_dense_neighborhoods(&g, &d.core, 3, 2);
+    assert_eq!(hoods.len(), direct.len());
+    for (got, want) in hoods.iter().zip(&direct) {
+        assert_eq!(field_f64(got, "density").to_bits(), want.density.to_bits());
+        assert_eq!(field_u64(got, "edges"), want.edges as u64);
+        let want_vs: Vec<u64> = want.vertices.iter().map(|&x| x as u64).collect();
+        assert_eq!(vertex_field(got, "vertices"), want_vs);
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn greedypp_honours_epsilon_and_warm_start() {
+    let g = erdos_renyi(40, 150, 7);
+    let (server, addr) = undirected_server(ServeConfig::default());
+
+    let v = parse_ok(&query(addr, "{\"op\":\"greedypp\",\"iterations\":8,\"epsilon\":0.05}"));
+    let cfg = IterateConfig { iterations: 8, epsilon: 0.05, certify: CertifyMode::Dual };
+    let direct = dsd_core::uds::iterate::greedy_pp(&g, &cfg);
+    assert_eq!(field_f64(&v, "density").to_bits(), direct.result.density.to_bits());
+    assert_eq!(field_u64(&v, "rounds"), direct.rounds as u64);
+    assert_eq!(field_f64(&v, "upper_bound").to_bits(), direct.upper_bound.to_bits());
+    assert_eq!(v.as_object().unwrap().get("warm").unwrap().as_bool(), Some(false));
+
+    // The first run populated the warm cache: a warm query reports it and
+    // still answers with a density no worse than the cold run's.
+    let v = parse_ok(&query(addr, "{\"op\":\"greedypp\",\"iterations\":8,\"warm\":true}"));
+    assert_eq!(v.as_object().unwrap().get("warm").unwrap().as_bool(), Some(true));
+    let warm_density = field_f64(&v, "density");
+    assert!(warm_density > 0.0 && warm_density <= field_f64(&v, "upper_bound") + 1e-9);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn directed_server_answers_st_queries() {
+    let g = erdos_renyi_directed(30, 120, 9);
+    let (server, addr) = directed_server();
+
+    let v = parse_ok(&query(addr, "{\"op\":\"densest\"}"));
+    let direct = dsd_core::dds::pwc::pwc(&g).result;
+    assert_eq!(field_f64(&v, "density").to_bits(), direct.density.to_bits());
+
+    let v = parse_ok(&query(addr, "{\"op\":\"density\",\"s\":[0,1,2],\"t\":[3,4]}"));
+    let (edges, density) = dsd_core::density::st_edges_and_density(&g, &[0, 1, 2], &[3, 4]);
+    assert_eq!(field_u64(&v, "edges"), edges as u64);
+    assert_eq!(field_f64(&v, "density").to_bits(), density.to_bits());
+
+    // Family mismatch uses the canonical redirect string.
+    let err = query(addr, "{\"op\":\"density\",\"vertices\":[0,1]}");
+    assert_eq!(err, protocol::error_response(&dsd_serve::query::directed_needs_st_error()));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_returns_live_trace_document() {
+    let (server, addr) =
+        undirected_server(ServeConfig { workers: 2, pool_threads: 0, record: true });
+    parse_ok(&query(addr, "{\"op\":\"densest\"}"));
+    parse_ok(&query(addr, "{\"op\":\"core\",\"vertices\":[0]}"));
+
+    let v = parse_ok(&query(addr, "{\"op\":\"stats\"}"));
+    let trace = v.as_object().unwrap().get("trace").unwrap().as_object().unwrap();
+    assert_eq!(trace.get("schema").unwrap().as_str(), Some("dsd-trace/v2"));
+    let counters = trace.get("counters").unwrap().as_object().unwrap();
+    // At least the two queries above (other tests may share the process
+    // but each begin_trace resets the shards).
+    assert!(counters.get("serve_queries").unwrap().as_u64().unwrap() >= 2);
+    assert!(counters.get("snapshot_installs").unwrap().as_u64().unwrap() >= 1);
+    assert!(counters.get("serve_cache_hits").unwrap().as_u64().unwrap() >= 2);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn update_installs_a_new_version_and_shutdown_is_acknowledged() {
+    let (server, addr) = undirected_server(ServeConfig::default());
+
+    // Remove one known edge and insert a fresh one through the daemon.
+    let g = erdos_renyi(40, 150, 7);
+    let (ru, rv) = g.edges().next().expect("seed graph has edges");
+    let (mut iu, mut iv) = (0u32, 1u32);
+    'outer: for u in 0..40u32 {
+        for v in (u + 1)..40 {
+            if !g.has_edge(u, v) {
+                (iu, iv) = (u, v);
+                break 'outer;
+            }
+        }
+    }
+    let v = parse_ok(&query(
+        addr,
+        &format!("{{\"op\":\"update\",\"insert\":[[{iu},{iv}]],\"remove\":[[{ru},{rv}]]}}"),
+    ));
+    assert_eq!(field_u64(&v, "version"), 2);
+    assert_eq!(field_u64(&v, "edges"), g.num_edges() as u64);
+
+    // Queries now see version 2, bit-identical to a from-scratch run on
+    // the mutated graph.
+    let mut edges: Vec<(u32, u32)> = g.edges().filter(|&e| e != (ru, rv)).collect();
+    edges.push((iu, iv));
+    let updated = dsd_graph::UndirectedGraphBuilder::with_capacity(40, edges.len())
+        .add_edges(edges)
+        .build()
+        .unwrap();
+    let direct: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&updated).into();
+    let v = parse_ok(&query(addr, "{\"op\":\"densest\"}"));
+    assert_eq!(field_u64(&v, "version"), 2);
+    assert_eq!(field_f64(&v, "density").to_bits(), direct.density.to_bits());
+
+    // Graceful stop: the shutdown op is acknowledged, then the daemon
+    // drains and join() returns (a hang here fails the test by timeout).
+    let bye = parse_ok(&query(addr, "{\"op\":\"shutdown\"}"));
+    assert_eq!(bye.as_object().unwrap().get("shutting_down").unwrap().as_bool(), Some(true));
+    server.join();
+}
+
+#[test]
+fn malformed_frames_and_requests_use_canonical_error_strings() {
+    let (server, addr) = undirected_server(ServeConfig::default());
+
+    // Oversized length prefix: rejected before allocation, connection drops.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let huge = (protocol::MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+    stream.write_all(&huge).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).unwrap().unwrap().unwrap();
+    assert_eq!(
+        reply,
+        protocol::error_response(&protocol::oversized_frame_error(
+            protocol::MAX_FRAME_BYTES as u64 + 1
+        ))
+    );
+    assert!(read_frame(&mut stream).unwrap().is_none(), "framing lost: connection must close");
+
+    // Invalid UTF-8 payload in a well-formed frame.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&4u32.to_be_bytes()).unwrap();
+    stream.write_all(&[0xff, 0xfe, 0x80, 0x00]).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).unwrap().unwrap().unwrap();
+    assert_eq!(reply, protocol::error_response(&protocol::invalid_utf8_error()));
+
+    // Malformed *requests* keep the connection: each canonical error comes
+    // back and the same socket then answers a valid query.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let expect_err = |stream: &mut TcpStream, payload: &str, want: &str| {
+        write_frame(stream, payload).unwrap();
+        let got = read_frame(stream).unwrap().unwrap().unwrap();
+        assert_eq!(got, protocol::error_response(want), "payload {payload:?}");
+    };
+    expect_err(
+        &mut stream,
+        "nonsense",
+        &protocol::invalid_json_error(&json::parse("nonsense").unwrap_err()),
+    );
+    expect_err(&mut stream, "[1,2]", &protocol::not_an_object_error());
+    expect_err(&mut stream, "{\"x\":1}", &protocol::missing_op_error());
+    expect_err(&mut stream, "{\"op\":\"dense\"}", &protocol::unknown_op_error("dense"));
+    expect_err(
+        &mut stream,
+        "{\"op\":\"density\",\"vertices\":\"nope\"}",
+        &protocol::bad_field_error("density", "vertices", "an array of vertex ids"),
+    );
+    expect_err(
+        &mut stream,
+        "{\"op\":\"greedypp\",\"epsilon\":-1}",
+        &protocol::bad_field_error("greedypp", "epsilon", "a non-negative number"),
+    );
+    write_frame(&mut stream, "{\"op\":\"densest\"}").unwrap();
+    parse_ok(&read_frame(&mut stream).unwrap().unwrap().unwrap());
+
+    // Out-of-range vertices reuse the GraphError wording byte-for-byte.
+    let err = query(addr, "{\"op\":\"density\",\"vertices\":[999]}");
+    assert_eq!(err, protocol::error_response(&dsd_serve::query::vertex_range_error(999, 40)));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn socket_junk_never_wedges_the_daemon() {
+    let (server, addr) = undirected_server(ServeConfig { workers: 2, ..ServeConfig::default() });
+    let mut x = 0x243f6a8885a308d3u64;
+    for round in 0..50 {
+        let mut junk = Vec::with_capacity(round % 13);
+        for _ in 0..(round % 13) {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            junk.push((x >> 56) as u8);
+        }
+        let mut stream = TcpStream::connect(addr).expect("daemon still accepting");
+        let _ = stream.write_all(&junk);
+        drop(stream); // abandon mid-frame
+    }
+    // The daemon survived 50 garbage connections and still answers.
+    parse_ok(&query(addr, "{\"op\":\"densest\"}"));
+    server.shutdown();
+    server.join();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    // The framer over arbitrary byte soup: must never panic, and every
+    // outcome is one of clean EOF, an io error, or a (possibly rejected)
+    // frame. Oversized claims must be rejected *before* allocating.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_framer(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let mut cursor = bytes.as_slice();
+        match read_frame(&mut cursor) {
+            Ok(None) => prop_assert!(bytes.len() < 4, "EOF only before a full length prefix"),
+            Ok(Some(Ok(payload))) => prop_assert!(payload.len() <= protocol::MAX_FRAME_BYTES),
+            Ok(Some(Err(msg))) => prop_assert!(!msg.is_empty()),
+            Err(_) => {} // truncated mid-frame
+        }
+    }
+
+    // Arbitrary UTF-8 payloads through the request parser: never a
+    // panic, and failures always carry a canonical non-empty message.
+    #[test]
+    fn arbitrary_payloads_never_panic_the_parser(payload in ".{0,60}") {
+        match protocol::parse_request(&payload) {
+            Ok(_) => {}
+            Err(msg) => prop_assert!(!msg.is_empty()),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Snapshot isolation for the `dsd serve` daemon (PR 10 tentpole):
+//! concurrent readers hammering queries while the writer applies
+//! `DeltaBatch` updates must only ever observe whole snapshot versions —
+//! every response's payload must match the from-scratch answer for
+//! exactly the version it claims, versions are monotone per connection,
+//! and post-update answers are bit-identical to one-shot decompositions
+//! of the mutated graph at thread pools {1, 2, 4}.
+
+use std::collections::{BTreeSet, HashMap};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use dsd_core::dynamic::DynamicState;
+use dsd_core::runner::with_threads;
+use dsd_core::uds::iterate::{CertifyMode, IterateConfig};
+use dsd_graph::gen::erdos_renyi;
+use dsd_graph::{UndirectedGraph, UndirectedGraphBuilder};
+use dsd_serve::protocol::{read_frame, write_frame};
+use dsd_serve::{ServeConfig, Server};
+use dsd_telemetry::json::{self, Value};
+
+const N: usize = 60;
+
+fn graph_from(edges: &BTreeSet<(u32, u32)>) -> UndirectedGraph {
+    UndirectedGraphBuilder::with_capacity(N, edges.len())
+        .add_edges(edges.iter().copied().collect::<Vec<_>>())
+        .build()
+        .expect("edge set is valid")
+}
+
+/// What a whole snapshot version must answer: densest density (bits) and
+/// vertex set, `k*`, the full core vector, and the edge count.
+#[derive(Clone)]
+struct VersionOracle {
+    density_bits: u64,
+    densest: Vec<u64>,
+    k_star: u64,
+    core: Vec<u32>,
+    edges: usize,
+}
+
+fn oracle_for(edges: &BTreeSet<(u32, u32)>, pool: usize) -> VersionOracle {
+    let g = graph_from(edges);
+    let (r, d) = with_threads(pool, || {
+        let r: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&g).into();
+        (r, dsd_core::uds::bz::bz_decomposition(&g))
+    });
+    let mut densest: Vec<u64> = r.vertices.iter().map(|&v| v as u64).collect();
+    densest.sort_unstable();
+    VersionOracle {
+        density_bits: r.density.to_bits(),
+        densest,
+        k_star: d.k_star as u64,
+        core: d.core,
+        edges: edges.len(),
+    }
+}
+
+/// Deterministic churn: drop the first `removes` edges of the set and add
+/// the first `inserts` absent pairs in lexicographic order.
+fn next_batch(
+    edges: &mut BTreeSet<(u32, u32)>,
+    inserts: usize,
+    removes: usize,
+) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    let rem: Vec<(u32, u32)> = edges.iter().take(removes).copied().collect();
+    let mut ins = Vec::new();
+    'outer: for u in 0..N as u32 {
+        for v in (u + 1)..N as u32 {
+            // Pairs must be absent from the *pre-batch* graph: re-adding a
+            // just-removed edge would make the batch self-conflicting.
+            if !edges.contains(&(u, v)) {
+                ins.push((u, v));
+                if ins.len() == inserts {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    for e in &rem {
+        edges.remove(e);
+    }
+    for e in &ins {
+        edges.insert(*e);
+    }
+    (ins, rem)
+}
+
+fn send(stream: &mut TcpStream, payload: &str) -> Value {
+    write_frame(stream, payload).expect("send");
+    let response =
+        read_frame(stream).expect("read").expect("connection open").expect("well-formed frame");
+    json::parse(&response).unwrap_or_else(|e| panic!("bad response {response:?}: {e}"))
+}
+
+fn field_u64(v: &Value, key: &str) -> u64 {
+    v.as_object().unwrap().get(key).unwrap().as_u64().unwrap()
+}
+
+fn check_densest(v: &Value, oracles: &HashMap<u64, VersionOracle>) -> u64 {
+    let version = field_u64(v, "version");
+    let want = oracles.get(&version).unwrap_or_else(|| panic!("unknown version {version}"));
+    let obj = v.as_object().unwrap();
+    assert_eq!(
+        obj.get("density").unwrap().as_f64().unwrap().to_bits(),
+        want.density_bits,
+        "version {version}: density not from this snapshot"
+    );
+    let got: Vec<u64> = obj
+        .get("vertices")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|x| x.as_u64().unwrap())
+        .collect();
+    assert_eq!(got, want.densest, "version {version}: vertex set not from this snapshot");
+    version
+}
+
+fn check_core(v: &Value, probe: &[u32], oracles: &HashMap<u64, VersionOracle>) -> u64 {
+    let version = field_u64(v, "version");
+    let want = oracles.get(&version).unwrap_or_else(|| panic!("unknown version {version}"));
+    assert_eq!(field_u64(v, "k_star"), want.k_star, "version {version}: torn k*");
+    let cores = v.as_object().unwrap().get("cores").unwrap().as_array().unwrap();
+    assert_eq!(cores.len(), probe.len());
+    for (c, &vertex) in cores.iter().zip(probe) {
+        assert_eq!(field_u64(c, "vertex"), vertex as u64);
+        assert_eq!(
+            field_u64(c, "core"),
+            want.core[vertex as usize] as u64,
+            "version {version}: core number not from this snapshot"
+        );
+    }
+    version
+}
+
+/// N readers on keep-alive connections vs the writer applying batches:
+/// every response must be internally consistent with exactly one
+/// installed version, and versions never run backwards on a connection.
+#[test]
+fn readers_never_observe_torn_snapshots() {
+    const BATCHES: usize = 5;
+    const READERS: usize = 3;
+    let probe: Vec<u32> = vec![0, 7, 19, 42, 59];
+
+    let g0 = erdos_renyi(N, 220, 13);
+    let mut edges: BTreeSet<(u32, u32)> = g0.edges().collect();
+    let mut oracles = HashMap::new();
+    oracles.insert(1u64, oracle_for(&edges, 1));
+    let mut batches = Vec::new();
+    let mut working = edges.clone();
+    for b in 0..BATCHES {
+        let batch = next_batch(&mut working, 3, 3);
+        oracles.insert(b as u64 + 2, oracle_for(&working, 1));
+        batches.push(batch);
+    }
+    edges = working;
+
+    let server = Server::start_tcp(
+        DynamicState::new_undirected(g0),
+        "127.0.0.1:0",
+        ServeConfig { workers: 2, pool_threads: 1, record: false },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let oracles = Arc::new(oracles);
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let oracles = Arc::clone(&oracles);
+            let probe = probe.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let core_req = format!(
+                    "{{\"op\":\"core\",\"vertices\":[{}]}}",
+                    probe.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+                );
+                let mut last = 0u64;
+                let mut observed = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    let v1 = check_densest(&send(&mut stream, "{\"op\":\"densest\"}"), &oracles);
+                    let v2 = check_core(&send(&mut stream, &core_req), &probe, &oracles);
+                    assert!(v1 >= last, "version ran backwards: {last} -> {v1}");
+                    assert!(v2 >= v1, "version ran backwards: {v1} -> {v2}");
+                    last = v2;
+                    observed += 1;
+                }
+                observed
+            })
+        })
+        .collect();
+
+    let mut writer = TcpStream::connect(addr).expect("writer connect");
+    for (i, (ins, rem)) in batches.iter().enumerate() {
+        let fmt = |pairs: &[(u32, u32)]| {
+            pairs.iter().map(|(u, v)| format!("[{u},{v}]")).collect::<Vec<_>>().join(",")
+        };
+        let v = send(
+            &mut writer,
+            &format!("{{\"op\":\"update\",\"insert\":[{}],\"remove\":[{}]}}", fmt(ins), fmt(rem)),
+        );
+        assert_eq!(v.as_object().unwrap().get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(field_u64(&v, "version"), i as u64 + 2);
+        assert_eq!(field_u64(&v, "edges"), oracles[&(i as u64 + 2)].edges as u64);
+        // Let the readers sample this version before the next install.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::SeqCst);
+    for r in readers {
+        let observed = r.join().expect("reader panicked (torn snapshot?)");
+        assert!(observed > 0, "reader never completed a query");
+    }
+
+    // The final version answers exactly like a from-scratch build.
+    let mut check = TcpStream::connect(addr).unwrap();
+    let version = check_densest(&send(&mut check, "{\"op\":\"densest\"}"), &oracles);
+    assert_eq!(version, BATCHES as u64 + 1);
+    assert_eq!(oracles[&version].edges, edges.len());
+    drop(check);
+    drop(writer);
+    server.shutdown();
+    server.join();
+}
+
+/// A rejected batch must leave the daemon on the same version with the
+/// same answers (the dynamic engines validate before mutating).
+#[test]
+fn failed_update_changes_nothing() {
+    let g0 = erdos_renyi(N, 220, 13);
+    let before = {
+        let r: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&g0).into();
+        r.density.to_bits()
+    };
+    let server =
+        Server::start_tcp(DynamicState::new_undirected(g0), "127.0.0.1:0", ServeConfig::default())
+            .expect("bind loopback");
+    let addr = server.local_addr().unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+
+    // Vertex 999 is out of range: the writer must reject and keep v1.
+    let v = send(&mut stream, "{\"op\":\"update\",\"insert\":[[0,999]]}");
+    assert_eq!(v.as_object().unwrap().get("ok").unwrap().as_bool(), Some(false));
+    let v = send(&mut stream, "{\"op\":\"densest\"}");
+    assert_eq!(field_u64(&v, "version"), 1);
+    assert_eq!(v.as_object().unwrap().get("density").unwrap().as_f64().unwrap().to_bits(), before);
+
+    server.shutdown();
+    server.join();
+}
+
+/// Serve answers after an update are bit-identical to one-shot engines on
+/// the mutated graph at every pool size in {1, 2, 4} — both the cached
+/// densest certificate and a live Greedy++ run.
+#[test]
+fn post_update_answers_match_one_shot_at_pools_1_2_4() {
+    let g0 = erdos_renyi(N, 220, 13);
+    let mut edges: BTreeSet<(u32, u32)> = g0.edges().collect();
+    let batch = next_batch(&mut edges, 4, 4);
+    let updated = graph_from(&edges);
+    let cfg = IterateConfig { iterations: 6, epsilon: 0.05, certify: CertifyMode::Dual };
+
+    for pool in [1usize, 2, 4] {
+        let server = Server::start_tcp(
+            DynamicState::new_undirected(g0.clone()),
+            "127.0.0.1:0",
+            ServeConfig { workers: 1, pool_threads: pool, record: false },
+        )
+        .expect("bind loopback");
+        let addr = server.local_addr().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        let fmt = |pairs: &[(u32, u32)]| {
+            pairs.iter().map(|(u, v)| format!("[{u},{v}]")).collect::<Vec<_>>().join(",")
+        };
+        let v = send(
+            &mut stream,
+            &format!(
+                "{{\"op\":\"update\",\"insert\":[{}],\"remove\":[{}]}}",
+                fmt(&batch.0),
+                fmt(&batch.1)
+            ),
+        );
+        assert_eq!(v.as_object().unwrap().get("ok").unwrap().as_bool(), Some(true));
+
+        let (direct, direct_it) = with_threads(pool, || {
+            let r: dsd_core::uds::UdsResult = dsd_core::uds::pkmc::pkmc(&updated).into();
+            (r, dsd_core::uds::iterate::greedy_pp(&updated, &cfg))
+        });
+
+        let v = send(&mut stream, "{\"op\":\"densest\"}");
+        assert_eq!(
+            v.as_object().unwrap().get("density").unwrap().as_f64().unwrap().to_bits(),
+            direct.density.to_bits(),
+            "pool {pool}: densest diverged from one-shot PKMC"
+        );
+
+        let v = send(&mut stream, "{\"op\":\"greedypp\",\"iterations\":6,\"epsilon\":0.05}");
+        assert_eq!(
+            v.as_object().unwrap().get("density").unwrap().as_f64().unwrap().to_bits(),
+            direct_it.result.density.to_bits(),
+            "pool {pool}: Greedy++ diverged from one-shot run"
+        );
+        assert_eq!(field_u64(&v, "rounds"), direct_it.rounds as u64);
+
+        drop(stream);
+        server.shutdown();
+        server.join();
+    }
+}
